@@ -1,0 +1,145 @@
+//! Criterion benches: reduced-scale versions of each paper experiment,
+//! so `cargo bench --workspace` exercises every reproduction path and
+//! tracks the simulator's own performance.
+//!
+//! The full paper-scale rows/series come from the `ibsim-bench` binaries
+//! (`cargo run --release -p ibsim-bench --bin all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibsim_event::SimTime;
+use ibsim_odp::{
+    fig11_curves, fig2_curve, fig9_points, run_microbench, timeout_probability,
+    MicrobenchConfig, OdpMode, SystemProfile,
+};
+
+fn bench_fig2(c: &mut Criterion) {
+    let knl = SystemProfile::knl();
+    c.bench_function("fig2_knl_to_at_cack1", |b| {
+        b.iter(|| fig2_curve(&knl, [1u8].into_iter()))
+    });
+}
+
+fn bench_fig4_damming(c: &mut Criterion) {
+    c.bench_function("fig4_two_reads_1ms_interval", |b| {
+        b.iter(|| {
+            let run = run_microbench(&MicrobenchConfig {
+                interval: SimTime::from_ms(1),
+                ..Default::default()
+            });
+            assert!(run.timed_out());
+            run.execution_time
+        })
+    });
+    c.bench_function("fig4_two_reads_6ms_interval", |b| {
+        b.iter(|| {
+            let run = run_microbench(&MicrobenchConfig {
+                interval: SimTime::from_ms(6),
+                ..Default::default()
+            });
+            assert!(!run.timed_out());
+            run.execution_time
+        })
+    });
+}
+
+fn bench_fig6_probability(c: &mut Criterion) {
+    c.bench_function("fig6_probability_point", |b| {
+        b.iter(|| {
+            timeout_probability(
+                &MicrobenchConfig {
+                    interval: SimTime::from_ms(2),
+                    odp: OdpMode::ServerSide,
+                    ..Default::default()
+                },
+                3,
+            )
+        })
+    });
+}
+
+fn bench_fig9_flood(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_flood");
+    g.sample_size(10);
+    g.bench_function("qps64_ops256_client_odp", |b| {
+        b.iter(|| fig9_points(&[64], 256, 32))
+    });
+    g.bench_function("qps4_ops256_client_odp", |b| {
+        b.iter(|| fig9_points(&[4], 256, 32))
+    });
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("completions_per_page_128ops_64qps", |b| {
+        b.iter(|| fig11_curves(128, 64))
+    });
+    g.finish();
+}
+
+fn bench_fig12_dsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_dsm");
+    g.sample_size(10);
+    g.bench_function("init_finalize_no_odp", |b| {
+        b.iter(|| {
+            ibsim_dsm::init_finalize_once(ibsim_dsm::DsmConfig {
+                odp: false,
+                compute_base: SimTime::from_ms(50),
+                compute_jitter: SimTime::from_ms(5),
+                ..Default::default()
+            })
+        })
+    });
+    g.bench_function("init_finalize_odp", |b| {
+        b.iter(|| {
+            ibsim_dsm::init_finalize_once(ibsim_dsm::DsmConfig {
+                odp: true,
+                compute_base: SimTime::from_ms(50),
+                compute_jitter: SimTime::from_ms(5),
+                ..Default::default()
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_table13_shuffle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table13_shuffle");
+    g.sample_size(10);
+    let small = ibsim_shuffle::ShuffleConfig {
+        map_tasks: 8,
+        reduce_tasks: 8,
+        block_bytes: 1024,
+        endpoints_per_pair: 8,
+        setup_compute: SimTime::from_ms(1),
+        ..Default::default()
+    };
+    g.bench_function("shuffle_odp", |b| {
+        let cfg = ibsim_shuffle::ShuffleConfig {
+            odp: true,
+            ..small.clone()
+        };
+        b.iter(|| ibsim_shuffle::run_shuffle(&cfg))
+    });
+    g.bench_function("shuffle_pinned", |b| {
+        let cfg = ibsim_shuffle::ShuffleConfig {
+            odp: false,
+            ..small.clone()
+        };
+        b.iter(|| ibsim_shuffle::run_shuffle(&cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    experiments,
+    bench_fig2,
+    bench_fig4_damming,
+    bench_fig6_probability,
+    bench_fig9_flood,
+    bench_fig11,
+    bench_fig12_dsm,
+    bench_table13_shuffle
+);
+criterion_main!(experiments);

@@ -1,0 +1,24 @@
+//! Runs every experiment binary in sequence (pass `--quick` through for
+//! the reduced-scale variants). Useful for regenerating the full
+//! `EXPERIMENTS.md` evidence in one go.
+
+use std::process::Command;
+
+fn main() {
+    let quick = ibsim_bench::quick_mode();
+    let bins = [
+        "table1", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11",
+        "fig12", "table13", "ablation", "ibperf",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n############ {bin} ############");
+        let mut cmd = Command::new(dir.join(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

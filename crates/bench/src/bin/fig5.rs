@@ -1,0 +1,16 @@
+//! Regenerates Fig. 5: the two-READ packet-damming workflow, showing the
+//! second READ's request lost and recovered only by the ~500 ms timeout.
+
+use ibsim_bench::header;
+use ibsim_odp::{fig5_workflow, OdpMode};
+
+fn main() {
+    header("Fig. 5 (left): server-side ODP, two READs, interval 1 ms");
+    println!("{}", fig5_workflow(OdpMode::ServerSide));
+    header("Fig. 5 (right): client-side ODP, two READs, interval 0.3 ms");
+    println!("{}", fig5_workflow(OdpMode::ClientSide));
+    println!(
+        "\nPaper reference: the response of the second READ disappears and\n\
+         the client waits for the ~500 ms transport timeout (ConnectX-4)."
+    );
+}

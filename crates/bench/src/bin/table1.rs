@@ -1,0 +1,99 @@
+//! Regenerates Table I (InfiniBand systems and RNIC details) and Table II
+//! (host environments) from the device catalog, including the simulator's
+//! derived timeout parameters.
+
+use ibsim_bench::{header, row};
+use ibsim_odp::SystemProfile;
+
+fn main() {
+    header("Table I: InfiniBand systems and details on their RNICs");
+    let widths = [22, 16, 24, 12, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "System name".into(),
+                "PSID".into(),
+                "Model name".into(),
+                "Driver".into(),
+                "Firmware".into(),
+            ],
+            &widths
+        )
+    );
+    for s in SystemProfile::all() {
+        println!(
+            "{}",
+            row(
+                &[
+                    s.name.into(),
+                    s.psid.into(),
+                    s.model_name.into(),
+                    s.driver_version.into(),
+                    s.firmware_version.into(),
+                ],
+                &widths
+            )
+        );
+    }
+
+    header("Table II: experimental environment");
+    let widths2 = [22, 34, 8, 22];
+    println!(
+        "{}",
+        row(
+            &[
+                "System name".into(),
+                "CPU".into(),
+                "Cores".into(),
+                "Memory".into(),
+            ],
+            &widths2
+        )
+    );
+    for s in SystemProfile::all() {
+        if s.cpu.is_empty() {
+            continue;
+        }
+        println!(
+            "{}",
+            row(
+                &[
+                    s.name.into(),
+                    s.cpu.into(),
+                    s.logical_cores.to_string(),
+                    s.memory.into(),
+                ],
+                &widths2
+            )
+        );
+    }
+
+    header("Derived simulator parameters (per device model)");
+    println!(
+        "{}",
+        row(
+            &[
+                "System name".into(),
+                "min C_ack".into(),
+                "T_o floor".into(),
+                "damming".into(),
+            ],
+            &[22, 10, 12, 8]
+        )
+    );
+    for s in SystemProfile::all() {
+        println!(
+            "{}",
+            row(
+                &[
+                    s.name.into(),
+                    s.device.min_cack.to_string(),
+                    format!("{}", s.device.t_o(1).expect("timer enabled")),
+                    s.device.damming.to_string(),
+                ],
+                &[22, 10, 12, 8]
+            )
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! # ibsim-bench
+//!
+//! The experiment harness regenerating every table and figure of
+//! *Pitfalls of InfiniBand with On-Demand Paging* (ISPASS 2021).
+//!
+//! One binary per experiment (run with `--release`; most accept
+//! `--quick` for a reduced-scale pass):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table I + Table II (system catalog) |
+//! | `fig1` | Fig. 1 single-READ ODP workflows |
+//! | `fig2` | Fig. 2 `T_o` vs `C_ack` curves |
+//! | `fig4` | Fig. 4 two-READ execution time vs interval |
+//! | `fig5` | Fig. 5 two-READ damming workflow |
+//! | `fig6` | Fig. 6a/6b timeout probability vs interval |
+//! | `fig7` | Fig. 7 timeout probability vs op count |
+//! | `fig8` | Fig. 8 three-READ NAK-rescue workflow |
+//! | `fig9` | Fig. 9a/9b execution time & packets vs #QPs |
+//! | `fig11` | Fig. 10 layout + Fig. 11 completions per page |
+//! | `fig12` | Fig. 12 ArgoDSM init/finalize histograms |
+//! | `table13` | Fig. 13 SparkUCX table |
+//! | `all` | everything above, in sequence |
+//!
+//! This library hosts the shared formatting and statistics helpers.
+
+#![warn(missing_docs)]
+
+use ibsim_event::SimTime;
+
+/// Returns true if `--quick` was passed: run a reduced-scale variant.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Sample mean in seconds.
+pub fn mean_secs(samples: &[SimTime]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|t| t.as_secs_f64()).sum::<f64>() / samples.len() as f64
+}
+
+/// Sample standard deviation (n−1) in seconds.
+pub fn std_secs(samples: &[SimTime]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let m = mean_secs(samples);
+    let var = samples
+        .iter()
+        .map(|t| {
+            let d = t.as_secs_f64() - m;
+            d * d
+        })
+        .sum::<f64>()
+        / (samples.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Renders a compact fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        out.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    out.trim_end().to_owned()
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a time as seconds with 3 decimals.
+pub fn secs(t: SimTime) -> String {
+    format!("{:.3}", t.as_secs_f64())
+}
+
+/// Formats a time as milliseconds with 2 decimals.
+pub fn millis(t: SimTime) -> String {
+    format!("{:.2}", t.as_ms_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_helpers() {
+        let s = [SimTime::from_ms(10), SimTime::from_ms(20)];
+        assert!((mean_secs(&s) - 0.015).abs() < 1e-12);
+        assert!(std_secs(&s) > 0.0);
+        assert_eq!(std_secs(&s[..1]), 0.0);
+        assert_eq!(mean_secs(&[]), 0.0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(SimTime::from_ms(1500)), "1.500");
+        assert_eq!(millis(SimTime::from_us(1280)), "1.28");
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end smoke tests: run every experiment binary at reduced scale
+//! and assert the key output each figure reproduction must contain.
+
+use std::process::Command;
+
+fn run(bin: &str, quick: bool) -> String {
+    let mut cmd = Command::new(bin);
+    if quick {
+        cmd.arg("--quick");
+    }
+    let out = cmd.output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn table1_lists_all_systems() {
+    let out = run(env!("CARGO_BIN_EXE_table1"), false);
+    for name in [
+        "Private servers A",
+        "KNL (Private servers B)",
+        "Reedbush-H",
+        "Reedbush-L",
+        "ABCI",
+        "ITO",
+        "Azure VM HCr Series",
+        "Azure VM HBv2 Series",
+    ] {
+        assert!(out.contains(name), "missing {name}");
+    }
+    assert!(out.contains("MT_2170111021"), "KNL PSID");
+    assert!(out.contains("Xeon Phi CPU 7250"), "Table II CPU");
+}
+
+#[test]
+fn fig1_shows_both_workflows() {
+    let out = run(env!("CARGO_BIN_EXE_fig1"), false);
+    assert!(out.contains("RNR_NAK"));
+    assert!(out.contains("== Post 1st request =="));
+    assert!(out.contains("RNR NAK delay (about 4.4"));
+    assert!(out.contains("[retransmission]"));
+}
+
+#[test]
+fn fig2_reports_floors() {
+    let out = run(env!("CARGO_BIN_EXE_fig2"), true);
+    assert!(out.contains("Azure VM HCr"), "CX-5 column present");
+    // The CX-4 floor (~0.502 s) and CX-5 floor (~0.030 s).
+    assert!(out.contains("0.5020"), "{out}");
+    assert!(out.contains("0.0300"), "{out}");
+}
+
+#[test]
+fn fig4_shows_plateau_and_recovery() {
+    let out = run(env!("CARGO_BIN_EXE_fig4"), true);
+    let plateau = out
+        .lines()
+        .filter(|l| l.starts_with("1.500") || l.starts_with("3.000"))
+        .all(|l| l.ends_with("0.5075") || l.contains(",0.5"));
+    assert!(plateau, "{out}");
+    assert!(out.lines().any(|l| l.starts_with("6.000,0.0")), "{out}");
+}
+
+#[test]
+fn fig5_shows_timeout_workflow() {
+    let out = run(env!("CARGO_BIN_EXE_fig5"), false);
+    assert!(out.contains("== Timeout (about 50"), "{out}");
+    assert!(out.contains("== Post 2nd request =="), "{out}");
+}
+
+#[test]
+fn fig6_windows_follow_rnr_delay() {
+    let out = run(env!("CARGO_BIN_EXE_fig6"), true);
+    assert!(out.contains("0.01 [ms]"));
+    assert!(out.contains("1.28 [ms]"));
+    assert!(out.contains("10.24 [ms]"));
+}
+
+#[test]
+fn fig7_has_three_series() {
+    let out = run(env!("CARGO_BIN_EXE_fig7"), true);
+    assert!(out.contains("2 operations"));
+    assert!(out.contains("4 operations"));
+}
+
+#[test]
+fn fig8_shows_nak_rescue() {
+    let out = run(env!("CARGO_BIN_EXE_fig8"), false);
+    assert!(out.contains("NAK_SEQ_ERR"), "{out}");
+    assert!(out.contains("[lost to the damming flaw]"), "{out}");
+}
+
+#[test]
+fn fig11_layout_and_tail() {
+    let out = run(env!("CARGO_BIN_EXE_fig11"), true);
+    assert!(out.contains("4 pages"), "{out}");
+    assert!(out.contains("last completion"), "{out}");
+}
+
+#[test]
+fn fig12_histograms_with_means() {
+    let out = run(env!("CARGO_BIN_EXE_fig12"), true);
+    assert!(out.contains("KNL w/o ODP"), "{out}");
+    assert!(out.contains("Reedbush-H w ODP"), "{out}");
+    assert!(out.contains("bin_start_s,count"), "{out}");
+}
+
+#[test]
+fn table13_reports_all_examples() {
+    let out = run(env!("CARGO_BIN_EXE_table13"), true);
+    assert!(out.contains("SparkTC"));
+    assert!(out.contains("mllib.RecommendationExample"));
+    assert!(out.contains("mllib.RankingMetricsExample"));
+    assert!(out.contains("Enable/Disable"));
+}
+
+#[test]
+fn ibperf_reports_latency_and_bandwidth() {
+    let out = run(env!("CARGO_BIN_EXE_ibperf"), false);
+    assert!(out.contains("read_lat pinned"));
+    assert!(out.contains("odp+prefetch"));
+    assert!(out.contains("size_bytes,read_MiBps"));
+}

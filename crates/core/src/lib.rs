@@ -1,0 +1,68 @@
+//! # ibsim-odp
+//!
+//! The core of the `ibsim` reproduction of *Pitfalls of InfiniBand with
+//! On-Demand Paging* (Fukuoka, Sato, Taura — ISPASS 2021): the paper's
+//! experimental apparatus and analysis as a library.
+//!
+//! * [`systems`] — the eight InfiniBand systems of Table I/II as
+//!   simulator device profiles.
+//! * [`microbench`] — the Fig. 3 micro-benchmark, parameterized exactly
+//!   like the paper's C code.
+//! * [`experiment`] — figure-level runners regenerating the data behind
+//!   Figures 1–11.
+//! * [`pitfall`] — packet-capture analyzers that detect packet damming
+//!   and packet flood from their wire signatures.
+//! * [`workaround`] — the §IX-A software mitigations (smallest RNR delay,
+//!   periodic dummy communication, fresh-QP re-issue).
+//! * [`regcache`] — the manual alternatives ODP competes against
+//!   (register-per-transfer, Tezuka-style pin-down cache, §VIII-A).
+//! * [`counters`] — `/sys`-style ODP/transport/driver counters and a
+//!   packet-free pitfall screen.
+//! * [`timeline`] — Fig. 1/5/8-style annotated workflow rendering.
+//!
+//! # Examples
+//!
+//! Reproduce the headline §V-A result — two ODP READs a millisecond apart
+//! stall for hundreds of milliseconds:
+//!
+//! ```
+//! use ibsim_event::SimTime;
+//! use ibsim_odp::microbench::{run_microbench, MicrobenchConfig};
+//!
+//! let run = run_microbench(&MicrobenchConfig {
+//!     interval: SimTime::from_ms(1),
+//!     ..Default::default()
+//! });
+//! assert!(run.timed_out());
+//! assert!(run.execution_time > SimTime::from_ms(400));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod experiment;
+pub mod microbench;
+pub mod pitfall;
+pub mod regcache;
+pub mod systems;
+pub mod timeline;
+pub mod workaround;
+
+pub use counters::{snapshot, HostCounters};
+pub use experiment::{
+    fig11_curves, fig1_workflow, fig2_curve, fig4_series, fig5_workflow, fig6_series,
+    fig7_series, fig8_workflow, fig9_points, Fig11Curve, Fig2Point, Fig4Point, Fig9Point,
+    TimeoutSeries,
+};
+pub use microbench::{
+    average_execution, run_microbench, timeout_probability, MicrobenchConfig, MicrobenchRun,
+    OdpMode,
+};
+pub use pitfall::{
+    detect_damming, detect_flood, summarize, DammingIncident, FloodIncident, RescueKind,
+    TrafficSummary,
+};
+pub use regcache::{deregistration_cost, registration_cost, PinDownCache, RegCacheStats};
+pub use systems::SystemProfile;
+pub use timeline::{annotate_workflow, render_workflow, WorkflowEvent};
+pub use workaround::{install_dummy_reads, reissue_read, smallest_rnr_delay};

@@ -1,0 +1,302 @@
+//! Pitfall detectors over packet captures.
+//!
+//! §IX-A of the paper stresses that the pitfalls are "problematic for the
+//! difficulty of the detection": they produce no error codes and are
+//! invisible without raw packets. These analyzers encode the packet-level
+//! signatures the authors found with `ibdump`, so any capture taken from
+//! the simulator (or, conceptually, a real fabric) can be screened
+//! automatically.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ibsim_event::SimTime;
+use ibsim_fabric::{Capture, Direction};
+use ibsim_verbs::{NakKind, Packet, PacketKind, Qpn};
+
+/// Per-opcode traffic counts of one capture.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficSummary {
+    /// Total frames in the capture.
+    pub total: u64,
+    /// Request packets (first transmissions).
+    pub requests: u64,
+    /// Retransmitted requests.
+    pub retransmissions: u64,
+    /// READ response packets.
+    pub responses: u64,
+    /// ACKs.
+    pub acks: u64,
+    /// RNR NAKs.
+    pub rnr_naks: u64,
+    /// PSN sequence error NAKs.
+    pub seq_naks: u64,
+    /// Ghost frames (visible at the sender, never delivered).
+    pub ghosts: u64,
+}
+
+impl fmt::Display for TrafficSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} frames: {} req (+{} retx), {} resp, {} ack, {} rnr-nak, {} seq-nak, {} ghost",
+            self.total,
+            self.requests,
+            self.retransmissions,
+            self.responses,
+            self.acks,
+            self.rnr_naks,
+            self.seq_naks,
+            self.ghosts
+        )
+    }
+}
+
+/// Counts packets per opcode class.
+pub fn summarize(cap: &Capture<Packet>) -> TrafficSummary {
+    let mut s = TrafficSummary::default();
+    for r in cap {
+        s.total += 1;
+        if r.payload.ghost {
+            s.ghosts += 1;
+        }
+        match &r.payload.kind {
+            PacketKind::Ack => s.acks += 1,
+            PacketKind::Nak(NakKind::Rnr { .. }) => s.rnr_naks += 1,
+            PacketKind::Nak(NakKind::SequenceError { .. }) => s.seq_naks += 1,
+            PacketKind::Nak(_) => {}
+            PacketKind::ReadResponse { .. } => s.responses += 1,
+            _ => {
+                if r.payload.retransmit {
+                    s.retransmissions += 1;
+                } else {
+                    s.requests += 1;
+                }
+            }
+        }
+    }
+    s
+}
+
+/// How a dammed request finally got through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RescueKind {
+    /// Recovered by the transport timeout — the §V worst case.
+    Timeout,
+    /// Recovered by a PSN sequence error NAK from the responder (Fig. 8).
+    SequenceErrorNak,
+}
+
+impl fmt::Display for RescueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RescueKind::Timeout => write!(f, "transport timeout"),
+            RescueKind::SequenceErrorNak => write!(f, "PSN sequence error NAK"),
+        }
+    }
+}
+
+/// One detected packet-damming stall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DammingIncident {
+    /// Requester QP (source QP of the stalled request).
+    pub qp: Qpn,
+    /// PSN of the stalled request.
+    pub psn: u32,
+    /// Time the packet was first transmitted.
+    pub first_tx: SimTime,
+    /// Time of the retransmission that ended the stall.
+    pub recovered_at: SimTime,
+    /// Stall duration.
+    pub stall: SimTime,
+    /// What ended it.
+    pub rescued_by: RescueKind,
+}
+
+/// Scans a *sender-side* capture for packet damming: a request retransmitted
+/// after a silent gap of at least `min_stall` (with no RNR NAK for that PSN
+/// explaining the wait). The paper's stalls are hundreds of milliseconds;
+/// `min_stall` of ~20 ms cleanly separates them from RNR waits.
+pub fn detect_damming(cap: &Capture<Packet>, min_stall: SimTime) -> Vec<DammingIncident> {
+    // Last transmission time per (qp, psn) of request packets.
+    let mut last_tx: HashMap<(Qpn, u32), SimTime> = HashMap::new();
+    // RNR NAK times per (qp, psn): a gap ending at an RNR-retransmission
+    // is legitimate waiting, not damming.
+    let mut rnr_for: HashMap<(Qpn, u32), SimTime> = HashMap::new();
+    // Last observed sequence-error NAK time (received by the client).
+    let mut last_seq_nak: Option<SimTime> = None;
+    let mut incidents = Vec::new();
+
+    for r in cap {
+        match (&r.payload.kind, r.direction) {
+            (PacketKind::Nak(NakKind::Rnr { .. }), Direction::Rx) => {
+                rnr_for.insert((r.payload.dst_qp, r.payload.psn.value()), r.time);
+            }
+            (PacketKind::Nak(NakKind::SequenceError { .. }), Direction::Rx) => {
+                last_seq_nak = Some(r.time);
+            }
+            (kind, Direction::Tx) if kind.is_request() => {
+                let key = (r.payload.src_qp, r.payload.psn.value());
+                if let Some(&prev) = last_tx.get(&key) {
+                    let gap = r.time - prev;
+                    let rnr_explains = rnr_for
+                        .get(&key)
+                        .is_some_and(|&t| t >= prev && t <= r.time);
+                    if gap >= min_stall && !rnr_explains {
+                        let rescued_by = if last_seq_nak
+                            .is_some_and(|t| t >= prev && r.time - t < SimTime::from_ms(1))
+                        {
+                            RescueKind::SequenceErrorNak
+                        } else {
+                            RescueKind::Timeout
+                        };
+                        incidents.push(DammingIncident {
+                            qp: r.payload.src_qp,
+                            psn: r.payload.psn.value(),
+                            first_tx: prev,
+                            recovered_at: r.time,
+                            stall: gap,
+                            rescued_by,
+                        });
+                    }
+                }
+                last_tx.insert(key, r.time);
+            }
+            _ => {}
+        }
+    }
+    incidents
+}
+
+/// One detected packet-flood storm on a single message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FloodIncident {
+    /// Requester QP.
+    pub qp: Qpn,
+    /// PSN of the repeatedly retransmitted request.
+    pub psn: u32,
+    /// Number of transmissions observed (1 original + duplicates).
+    pub transmissions: u64,
+    /// Time from first to last transmission.
+    pub span: SimTime,
+}
+
+/// Scans a sender-side capture for packet flood: the same request
+/// transmitted at least `min_transmissions` times (the paper observed
+/// "hundreds of times" per message; ≥5 is already anomalous).
+pub fn detect_flood(cap: &Capture<Packet>, min_transmissions: u64) -> Vec<FloodIncident> {
+    let mut seen: HashMap<(Qpn, u32), (u64, SimTime, SimTime)> = HashMap::new();
+    for r in cap {
+        if r.direction == Direction::Tx && r.payload.kind.is_request() {
+            let key = (r.payload.src_qp, r.payload.psn.value());
+            let e = seen.entry(key).or_insert((0, r.time, r.time));
+            e.0 += 1;
+            e.2 = r.time;
+        }
+    }
+    let mut out: Vec<FloodIncident> = seen
+        .into_iter()
+        .filter(|(_, (n, _, _))| *n >= min_transmissions)
+        .map(|((qp, psn), (n, first, last))| FloodIncident {
+            qp,
+            psn,
+            transmissions: n,
+            span: last - first,
+        })
+        .collect();
+    out.sort_by_key(|i| (i.qp, i.psn));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microbench::{run_microbench, MicrobenchConfig, OdpMode};
+    use ibsim_event::SimTime;
+
+    #[test]
+    fn damming_run_is_detected_with_timeout_rescue() {
+        let cfg = MicrobenchConfig {
+            interval: SimTime::from_ms(1),
+            capture: true,
+            ..Default::default()
+        };
+        let run = run_microbench(&cfg);
+        assert!(run.timed_out());
+        let cap = run.cluster.capture(run.client);
+        let incidents = detect_damming(cap, SimTime::from_ms(20));
+        assert_eq!(incidents.len(), 1, "exactly one dammed request");
+        assert_eq!(incidents[0].rescued_by, RescueKind::Timeout);
+        assert!(incidents[0].stall >= SimTime::from_ms(400));
+    }
+
+    #[test]
+    fn clean_run_has_no_incidents() {
+        let cfg = MicrobenchConfig {
+            odp: OdpMode::None,
+            num_ops: 16,
+            capture: true,
+            ..Default::default()
+        };
+        let run = run_microbench(&cfg);
+        let cap = run.cluster.capture(run.client);
+        assert!(detect_damming(cap, SimTime::from_ms(20)).is_empty());
+        assert!(detect_flood(cap, 5).is_empty());
+        let s = summarize(cap);
+        assert_eq!(s.requests, 16);
+        assert_eq!(s.retransmissions, 0);
+        assert_eq!(s.ghosts, 0);
+    }
+
+    #[test]
+    fn rnr_wait_is_not_flagged_as_damming() {
+        // A single server-side fault: the 4.5 ms RNR wait must not be
+        // misclassified even with a tiny threshold.
+        let cfg = MicrobenchConfig {
+            num_ops: 1,
+            odp: OdpMode::ServerSide,
+            capture: true,
+            ..Default::default()
+        };
+        let run = run_microbench(&cfg);
+        assert!(!run.timed_out());
+        let cap = run.cluster.capture(run.client);
+        assert!(detect_damming(cap, SimTime::from_ms(2)).is_empty());
+    }
+
+    #[test]
+    fn flood_run_is_detected() {
+        let cfg = MicrobenchConfig {
+            size: 32,
+            num_ops: 64,
+            num_qps: 64,
+            odp: OdpMode::ClientSide,
+            cack: 18,
+            capture: true,
+            ..Default::default()
+        };
+        let run = run_microbench(&cfg);
+        let cap = run.cluster.capture(run.client);
+        let storms = detect_flood(cap, 5);
+        assert!(!storms.is_empty(), "flood storms detected");
+        let max = storms.iter().map(|s| s.transmissions).max().unwrap();
+        assert!(max >= 5);
+        let s = summarize(cap);
+        assert!(s.retransmissions > s.requests, "{s}");
+    }
+
+    #[test]
+    fn summary_displays_counts() {
+        let s = TrafficSummary {
+            total: 10,
+            requests: 4,
+            retransmissions: 2,
+            responses: 3,
+            acks: 1,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("4 req (+2 retx)"));
+        assert!(text.contains("10 frames"));
+    }
+}

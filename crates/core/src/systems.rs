@@ -1,0 +1,223 @@
+//! The experimental systems of the paper: Table I (InfiniBand systems and
+//! their RNICs) and Table II (host environments).
+
+use ibsim_fabric::LinkSpec;
+use ibsim_verbs::DeviceProfile;
+#[cfg(test)]
+use ibsim_verbs::DeviceModel;
+
+/// One row of Table I + Table II: a named system with its RNIC profile and
+/// host environment.
+#[derive(Debug, Clone)]
+pub struct SystemProfile {
+    /// System name as the paper lists it.
+    pub name: &'static str,
+    /// Parameter-set ID of the RNIC firmware.
+    pub psid: &'static str,
+    /// Marketing model string (Table I).
+    pub model_name: &'static str,
+    /// OFED driver version (Table I).
+    pub driver_version: &'static str,
+    /// Firmware version (Table I).
+    pub firmware_version: &'static str,
+    /// CPU description (Table II; empty when the paper gives none).
+    pub cpu: &'static str,
+    /// Logical core count (Table II; 0 when unlisted).
+    pub logical_cores: u32,
+    /// Memory description (Table II; empty when unlisted).
+    pub memory: &'static str,
+    /// The simulator device profile reproducing the RNIC's behavior.
+    pub device: DeviceProfile,
+}
+
+impl SystemProfile {
+    /// Private servers A: ConnectX-3 56 Gb/s FDR.
+    pub fn private_servers_a() -> Self {
+        SystemProfile {
+            name: "Private servers A",
+            psid: "MT_1100120019",
+            model_name: "ConnectX-3 56Gbps FDR",
+            driver_version: "5.0-2.1.8.0",
+            firmware_version: "2.42.5000",
+            cpu: "",
+            logical_cores: 0,
+            memory: "",
+            device: DeviceProfile::connectx3(),
+        }
+    }
+
+    /// Private servers B — the "KNL" machines where all packet captures
+    /// were taken: ConnectX-4 FDR on Xeon Phi 7250.
+    pub fn knl() -> Self {
+        SystemProfile {
+            name: "KNL (Private servers B)",
+            psid: "MT_2170111021",
+            model_name: "ConnectX-4 56Gbps FDR",
+            driver_version: "5.0-2.1.8.0",
+            firmware_version: "12.27.1016",
+            cpu: "Xeon Phi CPU 7250 @ 1.40GHz",
+            logical_cores: 272,
+            memory: "196 GB + MCDRAM 16 GB",
+            device: DeviceProfile::connectx4(LinkSpec::fdr()),
+        }
+    }
+
+    /// Reedbush-H: ConnectX-4 FDR.
+    pub fn reedbush_h() -> Self {
+        SystemProfile {
+            name: "Reedbush-H",
+            psid: "MT_2160110021",
+            model_name: "ConnectX-4 56Gbps FDR",
+            driver_version: "4.5-0.1.0",
+            firmware_version: "12.24.1000",
+            cpu: "Xeon CPU E5-2695 v4 @ 2.10GHz",
+            logical_cores: 36,
+            memory: "256 GB",
+            device: DeviceProfile::connectx4(LinkSpec::fdr()),
+        }
+    }
+
+    /// Reedbush-L: ConnectX-4 EDR.
+    pub fn reedbush_l() -> Self {
+        SystemProfile {
+            name: "Reedbush-L",
+            psid: "MT_2180110032",
+            model_name: "ConnectX-4 100Gbps EDR",
+            driver_version: "4.5-0.1.0",
+            firmware_version: "12.24.1000",
+            cpu: "",
+            logical_cores: 0,
+            memory: "",
+            device: DeviceProfile::connectx4(LinkSpec::edr()),
+        }
+    }
+
+    /// ABCI: ConnectX-4 EDR.
+    pub fn abci() -> Self {
+        SystemProfile {
+            name: "ABCI",
+            psid: "MT_0000000095",
+            model_name: "ConnectX-4 100Gbps EDR",
+            driver_version: "4.4-1.0.0",
+            firmware_version: "12.21.1000",
+            cpu: "Xeon Gold 6148 CPU @ 2.40GHz",
+            logical_cores: 80,
+            memory: "384 GB",
+            device: DeviceProfile::connectx4(LinkSpec::edr()),
+        }
+    }
+
+    /// ITO: ConnectX-4 EDR.
+    pub fn ito() -> Self {
+        SystemProfile {
+            name: "ITO",
+            psid: "FJT2180110032",
+            model_name: "ConnectX-4 100Gbps EDR",
+            driver_version: "4.4-1.0.0",
+            firmware_version: "12.23.1020",
+            cpu: "",
+            logical_cores: 0,
+            memory: "",
+            device: DeviceProfile::connectx4(LinkSpec::edr()),
+        }
+    }
+
+    /// Azure VM HC-series: ConnectX-5 EDR (the one system with a ~30 ms
+    /// timeout floor in Fig. 2).
+    pub fn azure_hc() -> Self {
+        SystemProfile {
+            name: "Azure VM HCr Series",
+            psid: "MT_0000000010",
+            model_name: "ConnectX-5 100Gbps EDR",
+            driver_version: "4.7-3.2.9",
+            firmware_version: "16.26.0206",
+            cpu: "",
+            logical_cores: 0,
+            memory: "",
+            device: DeviceProfile::connectx5(),
+        }
+    }
+
+    /// Azure VM HBv2-series: ConnectX-6 HDR (no damming; flood remains).
+    pub fn azure_hbv2() -> Self {
+        SystemProfile {
+            name: "Azure VM HBv2 Series",
+            psid: "MT_0000000223",
+            model_name: "ConnectX-6 200Gbps HDR",
+            driver_version: "5.0-2.1.8.0",
+            firmware_version: "20.26.6200",
+            cpu: "",
+            logical_cores: 0,
+            memory: "",
+            device: DeviceProfile::connectx6(),
+        }
+    }
+
+    /// All eight systems in Table I order.
+    pub fn all() -> Vec<SystemProfile> {
+        vec![
+            Self::private_servers_a(),
+            Self::knl(),
+            Self::reedbush_h(),
+            Self::reedbush_l(),
+            Self::abci(),
+            Self::ito(),
+            Self::azure_hc(),
+            Self::azure_hbv2(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_eight_systems() {
+        let all = SystemProfile::all();
+        assert_eq!(all.len(), 8);
+        // PSIDs are unique.
+        let mut psids: Vec<&str> = all.iter().map(|s| s.psid).collect();
+        psids.sort_unstable();
+        psids.dedup();
+        assert_eq!(psids.len(), 8);
+    }
+
+    #[test]
+    fn generations_match_table_one() {
+        assert_eq!(
+            SystemProfile::private_servers_a().device.model,
+            DeviceModel::ConnectX3
+        );
+        assert_eq!(SystemProfile::knl().device.model, DeviceModel::ConnectX4);
+        assert_eq!(
+            SystemProfile::azure_hc().device.model,
+            DeviceModel::ConnectX5
+        );
+        assert_eq!(
+            SystemProfile::azure_hbv2().device.model,
+            DeviceModel::ConnectX6
+        );
+    }
+
+    #[test]
+    fn timeout_floors_partition_like_fig2() {
+        // ConnectX-5 ≈ 30 ms; everything else ≈ 500 ms.
+        for sys in SystemProfile::all() {
+            let floor = sys.device.t_o(1).unwrap();
+            if sys.device.model == DeviceModel::ConnectX5 {
+                assert!(floor < ibsim_event::SimTime::from_ms(60), "{}", sys.name);
+            } else {
+                assert!(floor > ibsim_event::SimTime::from_ms(300), "{}", sys.name);
+            }
+        }
+    }
+
+    #[test]
+    fn knl_matches_table_two() {
+        let knl = SystemProfile::knl();
+        assert_eq!(knl.logical_cores, 272);
+        assert!(knl.cpu.contains("Xeon Phi"));
+        assert!(knl.device.damming);
+    }
+}

@@ -1,0 +1,186 @@
+//! Workflow annotation: turns a raw packet capture into the style of the
+//! paper's Figures 1, 5 and 8 — posts, waits, timeouts and losses called
+//! out between the packets.
+
+use ibsim_event::SimTime;
+use ibsim_fabric::{Capture, Direction};
+use ibsim_verbs::{NakKind, Packet, PacketKind};
+
+/// One line of an annotated workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowEvent {
+    /// A packet crossed the capture point.
+    Packet {
+        /// Capture timestamp.
+        at: SimTime,
+        /// Rendered packet line.
+        line: String,
+    },
+    /// A human-readable annotation between packets.
+    Note {
+        /// Time the annotated interval ended.
+        at: SimTime,
+        /// The annotation.
+        text: String,
+    },
+}
+
+impl WorkflowEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match self {
+            WorkflowEvent::Packet { at, .. } | WorkflowEvent::Note { at, .. } => *at,
+        }
+    }
+}
+
+/// Annotates a client-side capture with the paper's workflow callouts:
+///
+/// * `Post nth READ` on each first transmission of a request,
+/// * `RNR NAK delay (about X)` for the wait between an RNR NAK and the
+///   retransmission it gates,
+/// * `Timeout (about X)` for silent gaps above `timeout_floor` ended by a
+///   retransmission,
+/// * `lost to the damming flaw` on ghost frames.
+pub fn annotate_workflow(cap: &Capture<Packet>, timeout_floor: SimTime) -> Vec<WorkflowEvent> {
+    let mut events = Vec::new();
+    let mut post_count = 0u32;
+    let mut last_rnr: Option<SimTime> = None;
+    let mut last_activity = SimTime::ZERO;
+
+    for r in cap {
+        let is_tx_request = r.direction == Direction::Tx && r.payload.kind.is_request();
+        if is_tx_request && !r.payload.retransmit {
+            post_count += 1;
+            events.push(WorkflowEvent::Note {
+                at: r.time,
+                text: format!("Post {} request", ordinal(post_count)),
+            });
+        }
+        if is_tx_request && r.payload.retransmit {
+            let gap = r.time - last_activity;
+            if let Some(rnr_at) = last_rnr {
+                let wait = r.time - rnr_at;
+                events.push(WorkflowEvent::Note {
+                    at: r.time,
+                    text: format!("RNR NAK delay (about {wait})"),
+                });
+                last_rnr = None;
+            } else if gap >= timeout_floor {
+                events.push(WorkflowEvent::Note {
+                    at: r.time,
+                    text: format!("Timeout (about {gap})"),
+                });
+            }
+        }
+        if r.direction == Direction::Rx {
+            if let PacketKind::Nak(NakKind::Rnr { .. }) = r.payload.kind {
+                last_rnr = Some(r.time);
+            }
+        }
+        let mut line = format!(
+            "{} {} {}",
+            match r.direction {
+                Direction::Tx => "->",
+                Direction::Rx => "<-",
+            },
+            r.payload.kind.opcode(),
+            r.payload.psn
+        );
+        if r.payload.ghost {
+            line.push_str("   [lost to the damming flaw]");
+        } else if r.payload.retransmit {
+            line.push_str("   [retransmission]");
+        }
+        events.push(WorkflowEvent::Packet { at: r.time, line });
+        last_activity = r.time;
+    }
+    events
+}
+
+/// Renders annotated events as the two-column-style text the figures use.
+pub fn render_workflow(events: &[WorkflowEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        match e {
+            WorkflowEvent::Note { at, text } => {
+                out.push_str(&format!("{:>12}  == {text} ==\n", at.to_string()));
+            }
+            WorkflowEvent::Packet { at, line } => {
+                out.push_str(&format!("{:>12}  {line}\n", at.to_string()));
+            }
+        }
+    }
+    out
+}
+
+fn ordinal(n: u32) -> String {
+    match n {
+        1 => "1st".into(),
+        2 => "2nd".into(),
+        3 => "3rd".into(),
+        n => format!("{n}th"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microbench::{run_microbench, MicrobenchConfig, OdpMode};
+
+    #[test]
+    fn fig1_style_annotations() {
+        let run = run_microbench(&MicrobenchConfig {
+            num_ops: 1,
+            odp: OdpMode::ServerSide,
+            capture: true,
+            ..Default::default()
+        });
+        let events = annotate_workflow(run.cluster.capture(run.client), SimTime::from_ms(50));
+        let text = render_workflow(&events);
+        assert!(text.contains("== Post 1st request =="), "{text}");
+        assert!(text.contains("RNR NAK delay (about 4.4"), "{text}");
+        assert!(text.contains("RNR_NAK"), "{text}");
+        // Events stay time-ordered.
+        assert!(events.windows(2).all(|w| w[0].at() <= w[1].at()));
+    }
+
+    #[test]
+    fn fig5_style_timeout_annotation() {
+        let run = run_microbench(&MicrobenchConfig {
+            interval: SimTime::from_ms(1),
+            capture: true,
+            ..Default::default()
+        });
+        assert!(run.timed_out());
+        let events = annotate_workflow(run.cluster.capture(run.client), SimTime::from_ms(50));
+        let text = render_workflow(&events);
+        assert!(text.contains("== Post 2nd request =="), "{text}");
+        assert!(text.contains("Timeout (about 50"), "{text}");
+    }
+
+    #[test]
+    fn fig8_style_ghost_annotation() {
+        let run = run_microbench(&MicrobenchConfig {
+            num_ops: 3,
+            interval: SimTime::from_us(350),
+            odp: OdpMode::ClientSide,
+            touch_all_but_first: true,
+            capture: true,
+            ..Default::default()
+        });
+        let events = annotate_workflow(run.cluster.capture(run.client), SimTime::from_ms(50));
+        let text = render_workflow(&events);
+        assert!(text.contains("[lost to the damming flaw]"), "{text}");
+        assert!(text.contains("NAK_SEQ_ERR"), "{text}");
+        assert!(!text.contains("== Timeout"), "rescued, no timeout: {text}");
+    }
+
+    #[test]
+    fn ordinals() {
+        assert_eq!(ordinal(1), "1st");
+        assert_eq!(ordinal(2), "2nd");
+        assert_eq!(ordinal(3), "3rd");
+        assert_eq!(ordinal(11), "11th");
+    }
+}

@@ -1,0 +1,97 @@
+//! DSM configuration.
+
+use ibsim_event::SimTime;
+use ibsim_verbs::DeviceProfile;
+
+/// Configuration of a DSM instance (the `argo::init` parameters plus the
+/// host-environment characteristics that shape Fig. 12).
+#[derive(Debug, Clone)]
+pub struct DsmConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Global shared memory size (Fig. 12 passes 10 MB).
+    pub memory: u64,
+    /// RNIC model of every node.
+    pub device: DeviceProfile,
+    /// Register DSM memory with ODP (the UCX-level toggle of Fig. 12).
+    pub odp: bool,
+    /// Seed for all run-level jitter.
+    pub seed: u64,
+    /// Local initialization compute per node: memory zeroing, MPI/UCX
+    /// setup. This is a host property — ~2.3 s on the slow 1.4 GHz KNL
+    /// cores, ~0.5 s on Reedbush-H (the w/o-ODP averages of Fig. 12).
+    pub compute_base: SimTime,
+    /// Uniform jitter added to the per-node compute time.
+    pub compute_jitter: SimTime,
+    /// Maximum scheduler-noise gap between the global-lock READ and the
+    /// SEND that follows it (§VII-A observes the damming-prone READ+SEND
+    /// pair during initialization). The gap is drawn uniformly from
+    /// `[0, lock_gap_max)` per acquisition; gaps inside the ~3.4 ms RNR
+    /// recovery window dam the SEND.
+    pub lock_gap_max: SimTime,
+}
+
+impl Default for DsmConfig {
+    /// Two KNL-like nodes with 10 MB of global memory, ODP enabled — the
+    /// Fig. 12a setup.
+    fn default() -> Self {
+        DsmConfig {
+            nodes: 2,
+            memory: 10 * 1024 * 1024,
+            device: DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()),
+            odp: true,
+            seed: 1,
+            compute_base: SimTime::from_ms(2200),
+            compute_jitter: SimTime::from_ms(160),
+            lock_gap_max: SimTime::from_ms(8),
+        }
+    }
+}
+
+impl DsmConfig {
+    /// Bytes of global memory homed on each node.
+    pub fn partition_size(&self) -> u64 {
+        self.memory.div_ceil(self.nodes as u64)
+    }
+
+    /// Home node of a global byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the global memory.
+    pub fn home_of(&self, addr: u64) -> usize {
+        assert!(addr < self.memory, "address {addr} outside global memory");
+        (addr / self.partition_size()) as usize
+    }
+
+    /// Offset of a global address within its home partition.
+    pub fn offset_in_home(&self, addr: u64) -> u64 {
+        addr % self.partition_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioning_is_even() {
+        let cfg = DsmConfig {
+            nodes: 4,
+            memory: 4096 * 8,
+            ..Default::default()
+        };
+        assert_eq!(cfg.partition_size(), 4096 * 2);
+        assert_eq!(cfg.home_of(0), 0);
+        assert_eq!(cfg.home_of(4096 * 2), 1);
+        assert_eq!(cfg.home_of(4096 * 8 - 1), 3);
+        assert_eq!(cfg.offset_in_home(4096 * 2 + 5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside global memory")]
+    fn out_of_range_address_panics() {
+        let cfg = DsmConfig::default();
+        cfg.home_of(cfg.memory);
+    }
+}

@@ -1,0 +1,370 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] owns a priority queue of scheduled events. Each event is a
+//! boxed closure receiving mutable access to the *world* (the user's state,
+//! generic parameter `W`) and to the engine itself, so handlers can schedule
+//! follow-up events. Events at equal timestamps fire in insertion order,
+//! which makes every run bit-for-bit deterministic.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable to [cancel](Engine::cancel) it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ev#{}", self.0)
+    }
+}
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    run: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    /// Reversed so the `BinaryHeap` becomes a min-heap on `(at, seq)`.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation engine over a world `W`.
+///
+/// # Examples
+///
+/// ```
+/// use ibsim_event::{Engine, SimTime};
+///
+/// let mut engine: Engine<u32> = Engine::new();
+/// engine.schedule_in(SimTime::from_us(5), |w, eng| {
+///     *w += 1;
+///     eng.schedule_in(SimTime::from_us(5), |w, _| *w += 10);
+/// });
+/// let mut world = 0u32;
+/// engine.run(&mut world);
+/// assert_eq!(world, 11);
+/// assert_eq!(engine.now(), SimTime::from_us(10));
+/// ```
+pub struct Engine<W> {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled<W>>,
+    /// Ids scheduled but not yet popped; removed on pop or cancel.
+    live: HashSet<u64>,
+    /// Ids cancelled while still in the heap; skipped at pop time.
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled-but-unpopped ones).
+    #[inline]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the past (`at < self.now()`): rewinding the
+    /// clock would silently corrupt causality, so it is a programming error.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            run: Box::new(f),
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `f` to run after relative delay `delay`.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimTime,
+        f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired (and therefore will
+    /// not fire). Cancelling an already-executed or already-cancelled event
+    /// returns `false` and is harmless.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.live.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs events until the queue is empty.
+    pub fn run(&mut self, world: &mut W) {
+        self.run_until(world, SimTime::MAX);
+    }
+
+    /// Runs events whose time is `<= deadline`, then stops.
+    ///
+    /// The clock is left at the time of the last executed event (or moved to
+    /// `deadline` if that is later and the queue still holds future events).
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                if deadline != SimTime::MAX && self.now < deadline {
+                    self.now = deadline;
+                }
+                return;
+            }
+            let ev = self.queue.pop().expect("peeked entry vanished");
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.live.remove(&ev.seq);
+            debug_assert!(ev.at >= self.now, "event queue went backwards");
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.run)(world, self);
+        }
+        if deadline != SimTime::MAX && self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Executes exactly one event if one is pending; returns whether it did.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        while let Some(ev) = self.queue.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.live.remove(&ev.seq);
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.run)(world, self);
+            return true;
+        }
+        false
+    }
+
+    /// Time of the next pending (non-cancelled) event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue
+            .iter()
+            .filter(|s| !self.cancelled.contains(&s.seq))
+            .map(|s| s.at)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        eng.schedule_at(SimTime::from_us(30), |w, _| w.push(3));
+        eng.schedule_at(SimTime::from_us(10), |w, _| w.push(1));
+        eng.schedule_at(SimTime::from_us(20), |w, _| w.push(2));
+        let mut out = Vec::new();
+        eng.run(&mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(eng.now(), SimTime::from_us(30));
+        assert_eq!(eng.executed_events(), 3);
+    }
+
+    #[test]
+    fn equal_times_fire_in_insertion_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let t = SimTime::from_us(5);
+        for i in 0..100 {
+            eng.schedule_at(t, move |w, _| w.push(i));
+        }
+        let mut out = Vec::new();
+        eng.run(&mut out);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut eng: Engine<Vec<SimTime>> = Engine::new();
+        fn tick(w: &mut Vec<SimTime>, eng: &mut Engine<Vec<SimTime>>) {
+            w.push(eng.now());
+            if w.len() < 4 {
+                eng.schedule_in(SimTime::from_us(7), tick);
+            }
+        }
+        eng.schedule_at(SimTime::ZERO, tick);
+        let mut out = Vec::new();
+        eng.run(&mut out);
+        assert_eq!(
+            out,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_us(7),
+                SimTime::from_us(14),
+                SimTime::from_us(21)
+            ]
+        );
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut eng: Engine<u32> = Engine::new();
+        let id = eng.schedule_at(SimTime::from_us(10), |w, _| *w += 1);
+        eng.schedule_at(SimTime::from_us(20), |w, _| *w += 100);
+        assert!(eng.cancel(id));
+        assert!(!eng.cancel(id), "double cancel reports false");
+        let mut w = 0;
+        eng.run(&mut w);
+        assert_eq!(w, 100);
+    }
+
+    #[test]
+    fn cancel_after_execution_is_false() {
+        let mut eng: Engine<u32> = Engine::new();
+        let id = eng.schedule_at(SimTime::from_us(1), |w, _| *w += 1);
+        let mut w = 0;
+        eng.run(&mut w);
+        assert!(!eng.cancel(id));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        eng.schedule_at(SimTime::from_us(10), |w, _| w.push(1));
+        eng.schedule_at(SimTime::from_us(30), |w, _| w.push(2));
+        let mut out = Vec::new();
+        eng.run_until(&mut out, SimTime::from_us(20));
+        assert_eq!(out, vec![1]);
+        assert_eq!(eng.now(), SimTime::from_us(20));
+        eng.run(&mut out);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn step_executes_one_event() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_at(SimTime::from_us(1), |w, _| *w += 1);
+        eng.schedule_at(SimTime::from_us(2), |w, _| *w += 1);
+        let mut w = 0;
+        assert!(eng.step(&mut w));
+        assert_eq!(w, 1);
+        assert!(eng.step(&mut w));
+        assert!(!eng.step(&mut w));
+        assert_eq!(w, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_at(SimTime::from_us(10), |_, eng| {
+            eng.schedule_at(SimTime::from_us(5), |_, _| {});
+        });
+        let mut w = 0;
+        eng.run(&mut w);
+    }
+
+    #[test]
+    fn next_event_time_skips_cancelled() {
+        let mut eng: Engine<u32> = Engine::new();
+        let id = eng.schedule_at(SimTime::from_us(5), |_, _| {});
+        eng.schedule_at(SimTime::from_us(9), |_, _| {});
+        assert_eq!(eng.next_event_time(), Some(SimTime::from_us(5)));
+        eng.cancel(id);
+        assert_eq!(eng.next_event_time(), Some(SimTime::from_us(9)));
+    }
+
+    #[test]
+    fn world_with_shared_state() {
+        // Regression test: handlers may close over Rc'd state.
+        let hits = Rc::new(RefCell::new(0));
+        let mut eng: Engine<()> = Engine::new();
+        for _ in 0..10 {
+            let h = Rc::clone(&hits);
+            eng.schedule_in(SimTime::from_us(1), move |_, _| *h.borrow_mut() += 1);
+        }
+        eng.run(&mut ());
+        assert_eq!(*hits.borrow(), 10);
+    }
+}

@@ -1,0 +1,45 @@
+//! # ibsim-event
+//!
+//! Deterministic discrete-event simulation (DES) kernel for the `ibsim`
+//! family of crates, which together form a packet-level InfiniBand /
+//! On-Demand-Paging simulator.
+//!
+//! The kernel is deliberately tiny: a virtual clock ([`SimTime`]) and an
+//! event queue ([`Engine`]) whose events are boxed closures over a
+//! user-supplied *world* type. Determinism guarantees:
+//!
+//! * integer nanosecond timestamps — no floating-point drift,
+//! * ties broken by insertion order — no hash-iteration nondeterminism,
+//! * single-threaded execution — no scheduler races.
+//!
+//! # Examples
+//!
+//! A two-node "ping" that bounces a counter back and forth:
+//!
+//! ```
+//! use ibsim_event::{Engine, SimTime};
+//!
+//! struct World { pings: u32 }
+//!
+//! fn ping(w: &mut World, eng: &mut Engine<World>) {
+//!     w.pings += 1;
+//!     if w.pings < 3 {
+//!         eng.schedule_in(SimTime::from_us(2), ping);
+//!     }
+//! }
+//!
+//! let mut eng = Engine::new();
+//! eng.schedule_at(SimTime::ZERO, ping);
+//! let mut world = World { pings: 0 };
+//! eng.run(&mut world);
+//! assert_eq!(world.pings, 3);
+//! assert_eq!(eng.now(), SimTime::from_us(4));
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod time;
+
+pub use engine::{Engine, EventId};
+pub use time::SimTime;

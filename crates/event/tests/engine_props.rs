@@ -1,0 +1,80 @@
+//! Property-based tests of the DES kernel: ordering, cancellation, and
+//! determinism invariants under arbitrary schedules.
+
+use ibsim_event::{Engine, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always observe a monotonically non-decreasing clock, and all
+    /// of them run exactly once.
+    #[test]
+    fn clock_is_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        for &t in &times {
+            eng.schedule_at(SimTime::from_ns(t), move |w, eng| {
+                w.push(eng.now().as_ns());
+            });
+        }
+        let mut seen = Vec::new();
+        eng.run(&mut seen);
+        prop_assert_eq!(seen.len(), times.len());
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&seen, &sorted);
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(0u64..100_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut eng: Engine<Vec<usize>> = Engine::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| eng.schedule_at(SimTime::from_ns(t), move |w, _| w.push(i)))
+            .collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            let cancel = *cancel_mask.get(i).unwrap_or(&false);
+            if cancel {
+                prop_assert!(eng.cancel(*id));
+            } else {
+                expect.push(i);
+            }
+        }
+        expect.sort_by_key(|&i| (times[i], i));
+        let mut seen = Vec::new();
+        eng.run(&mut seen);
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// `run_until` then `run` sees exactly the same events in the same
+    /// order as a single `run` — pausing the engine is transparent.
+    #[test]
+    fn run_until_is_transparent(
+        times in proptest::collection::vec(0u64..1_000_000, 1..150),
+        split in 0u64..1_000_000,
+    ) {
+        let schedule = |eng: &mut Engine<Vec<(u64, usize)>>| {
+            for (i, &t) in times.iter().enumerate() {
+                eng.schedule_at(SimTime::from_ns(t), move |w, eng| {
+                    w.push((eng.now().as_ns(), i));
+                });
+            }
+        };
+        let mut a: Engine<Vec<(u64, usize)>> = Engine::new();
+        schedule(&mut a);
+        let mut one_shot = Vec::new();
+        a.run(&mut one_shot);
+
+        let mut b: Engine<Vec<(u64, usize)>> = Engine::new();
+        schedule(&mut b);
+        let mut paused = Vec::new();
+        b.run_until(&mut paused, SimTime::from_ns(split));
+        b.run(&mut paused);
+
+        prop_assert_eq!(one_shot, paused);
+    }
+}

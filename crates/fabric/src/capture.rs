@@ -1,0 +1,278 @@
+//! `ibdump`-style packet capture.
+//!
+//! The paper's methodology hinges on capturing InfiniBand traffic with
+//! `ibdump` and reading the packet timeline (Figures 1, 5 and 8). In the
+//! simulator every frame can be recorded here, together with whether the
+//! fabric delivered or dropped it — strictly more visibility than real
+//! `ibdump`, which the paper could only run on hosts with `sudo`.
+//!
+//! The capture is generic over the payload type `P`; the verbs layer
+//! instantiates it with its transport packet so analyses can look at
+//! opcodes and PSNs.
+
+use std::fmt;
+
+use ibsim_event::SimTime;
+
+use crate::topology::Lid;
+
+/// Which way a captured frame was travelling relative to the capture point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Transmitted by the captured host.
+    Tx,
+    /// Received by the captured host.
+    Rx,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Tx => write!(f, "TX"),
+            Direction::Rx => write!(f, "RX"),
+        }
+    }
+}
+
+/// One captured frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Captured<P> {
+    /// Capture timestamp (transmit time for [`Direction::Tx`], arrival
+    /// time for [`Direction::Rx`]).
+    pub time: SimTime,
+    /// Direction at the capture point.
+    pub direction: Direction,
+    /// Source port LID.
+    pub src: Lid,
+    /// Destination port LID.
+    pub dst: Lid,
+    /// Frame size in bytes.
+    pub bytes: u32,
+    /// True if the fabric dropped the frame (visible only on the TX side,
+    /// like a capture running at the sending HCA).
+    pub dropped: bool,
+    /// The transport-layer payload (headers + semantics).
+    pub payload: P,
+}
+
+/// An append-only capture buffer, one per observation point.
+///
+/// # Examples
+///
+/// ```
+/// use ibsim_event::SimTime;
+/// use ibsim_fabric::{Capture, Direction, Lid};
+///
+/// let mut cap: Capture<&'static str> = Capture::new();
+/// cap.enable();
+/// cap.record(SimTime::ZERO, Direction::Tx, Lid(1), Lid(2), 64, false, "READ req");
+/// assert_eq!(cap.len(), 1);
+/// assert_eq!(cap.records()[0].payload, "READ req");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Capture<P> {
+    records: Vec<Captured<P>>,
+    enabled: bool,
+}
+
+impl<P> Default for Capture<P> {
+    fn default() -> Self {
+        Capture {
+            records: Vec::new(),
+            enabled: false,
+        }
+    }
+}
+
+impl<P> Capture<P> {
+    /// Creates a disabled capture (recording costs nothing until enabled).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Stops recording (existing records are kept).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// True if currently recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a frame if enabled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        direction: Direction,
+        src: Lid,
+        dst: Lid,
+        bytes: u32,
+        dropped: bool,
+        payload: P,
+    ) {
+        if self.enabled {
+            self.records.push(Captured {
+                time,
+                direction,
+                src,
+                dst,
+                bytes,
+                dropped,
+                payload,
+            });
+        }
+    }
+
+    /// All records in capture order.
+    pub fn records(&self) -> &[Captured<P>] {
+        &self.records
+    }
+
+    /// Number of captured frames.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Discards all records (keeps the enabled flag).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Iterates over captured frames.
+    pub fn iter(&self) -> std::slice::Iter<'_, Captured<P>> {
+        self.records.iter()
+    }
+}
+
+impl<P> IntoIterator for Capture<P> {
+    type Item = Captured<P>;
+    type IntoIter = std::vec::IntoIter<Captured<P>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+impl<'a, P> IntoIterator for &'a Capture<P> {
+    type Item = &'a Captured<P>;
+    type IntoIter = std::slice::Iter<'a, Captured<P>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+impl<P: fmt::Display> Capture<P> {
+    /// Renders the capture as an `ibdump`-like text timeline.
+    pub fn timeline(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let drop_mark = if r.dropped { "  [LOST IN FABRIC]" } else { "" };
+            out.push_str(&format!(
+                "{:>12}  {}  {} -> {}  {:>5}B  {}{}\n",
+                r.time.to_string(),
+                r.direction,
+                r.src,
+                r.dst,
+                r.bytes,
+                r.payload,
+                drop_mark
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(cap: &mut Capture<u32>, t: u64, payload: u32) {
+        cap.record(
+            SimTime::from_ns(t),
+            Direction::Tx,
+            Lid(1),
+            Lid(2),
+            64,
+            false,
+            payload,
+        );
+    }
+
+    #[test]
+    fn disabled_capture_records_nothing() {
+        let mut cap: Capture<u32> = Capture::new();
+        rec(&mut cap, 1, 7);
+        assert!(cap.is_empty());
+        assert!(!cap.is_enabled());
+    }
+
+    #[test]
+    fn enabled_capture_records_in_order() {
+        let mut cap: Capture<u32> = Capture::new();
+        cap.enable();
+        rec(&mut cap, 1, 7);
+        rec(&mut cap, 2, 8);
+        assert_eq!(cap.len(), 2);
+        let payloads: Vec<u32> = cap.iter().map(|r| r.payload).collect();
+        assert_eq!(payloads, vec![7, 8]);
+    }
+
+    #[test]
+    fn disable_keeps_existing_records() {
+        let mut cap: Capture<u32> = Capture::new();
+        cap.enable();
+        rec(&mut cap, 1, 7);
+        cap.disable();
+        rec(&mut cap, 2, 8);
+        assert_eq!(cap.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_buffer() {
+        let mut cap: Capture<u32> = Capture::new();
+        cap.enable();
+        rec(&mut cap, 1, 7);
+        cap.clear();
+        assert!(cap.is_empty());
+        assert!(cap.is_enabled());
+    }
+
+    #[test]
+    fn timeline_marks_drops() {
+        let mut cap: Capture<&str> = Capture::new();
+        cap.enable();
+        cap.record(
+            SimTime::from_us(1),
+            Direction::Tx,
+            Lid(1),
+            Lid(2),
+            64,
+            true,
+            "READ req psn=0",
+        );
+        let text = cap.timeline();
+        assert!(text.contains("LOST IN FABRIC"));
+        assert!(text.contains("READ req psn=0"));
+        assert!(text.contains("lid1 -> lid2"));
+    }
+
+    #[test]
+    fn into_iterator_consumes() {
+        let mut cap: Capture<u32> = Capture::new();
+        cap.enable();
+        rec(&mut cap, 1, 7);
+        let v: Vec<Captured<u32>> = cap.into_iter().collect();
+        assert_eq!(v.len(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # ibsim-fabric
+//!
+//! The physical-network substrate of the `ibsim` InfiniBand simulator:
+//! hosts, a crossbar switch, LID-based routing, link latency/bandwidth with
+//! per-port serialization, deterministic loss injection, and an
+//! `ibdump`-style packet capture facility.
+//!
+//! The fabric is a *pure timing model*: callers (the verbs layer) ask it
+//! when a frame of a given size sent now from one LID to another would be
+//! delivered, and schedule the delivery event themselves. This keeps the
+//! crate independent of both the event engine's world type and the
+//! transport packet format.
+//!
+//! # Examples
+//!
+//! ```
+//! use ibsim_event::SimTime;
+//! use ibsim_fabric::{Delivery, Fabric, LinkSpec};
+//!
+//! let mut fabric = Fabric::new(LinkSpec::fdr());
+//! let a = fabric.add_host("client");
+//! let b = fabric.add_host("server");
+//! match fabric.transit(SimTime::ZERO, a, b, 256) {
+//!     Delivery::Deliver { at } => assert!(at > SimTime::ZERO),
+//!     Delivery::Dropped(reason) => panic!("unexpected drop: {reason}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod capture;
+mod loss;
+mod topology;
+
+pub use capture::{Capture, Captured, Direction};
+pub use loss::{LossModel, Xorshift64Star};
+pub use topology::{Delivery, DropReason, Fabric, Lid, LinkSpec, LinkStats};

@@ -1,0 +1,190 @@
+//! Deterministic loss injection.
+//!
+//! The paper provokes packet loss deliberately (wrong destination LID,
+//! §IV-B) and observes incidental loss caused by ODP itself. For testing
+//! the transport's reliability machinery we additionally want repeatable
+//! random loss, provided here by a self-contained xorshift PRNG so the
+//! fabric stays dependency-free and every run is reproducible from a seed.
+
+use ibsim_event::SimTime;
+
+use crate::topology::Lid;
+
+/// A tiny, fast, deterministic PRNG (xorshift64*).
+///
+/// Not cryptographic; used only for repeatable loss patterns.
+///
+/// # Examples
+///
+/// ```
+/// use ibsim_fabric::Xorshift64Star;
+/// let mut a = Xorshift64Star::new(42);
+/// let mut b = Xorshift64Star::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xorshift64Star {
+    state: u64,
+}
+
+impl Xorshift64Star {
+    /// Creates a generator from a seed (zero is remapped to a fixed odd
+    /// constant because the all-zero state is a fixed point).
+    pub fn new(seed: u64) -> Self {
+        Xorshift64Star {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+}
+
+/// Frame-loss policy applied by the fabric after routing.
+#[derive(Debug, Default)]
+pub enum LossModel {
+    /// No injected loss (default).
+    #[default]
+    None,
+    /// Drop every frame. Models a severed cable / black-holed route.
+    DropAll,
+    /// Drop each frame independently with probability `prob`, using a
+    /// deterministic seeded PRNG.
+    Uniform {
+        /// Per-frame drop probability in `[0, 1]`.
+        prob: f64,
+        /// PRNG supplying the per-frame coin flips.
+        rng: Xorshift64Star,
+    },
+    /// Drop the frames whose (0-based) submission index is in the sorted
+    /// list. Gives tests exact control over which packet dies.
+    Nth {
+        /// Indices of frames to drop, in the order frames are submitted.
+        indices: Vec<u64>,
+        /// Frames seen so far.
+        seen: u64,
+    },
+    /// Drop frames directed at a specific destination LID.
+    ToDestination(Lid),
+}
+
+impl LossModel {
+    /// Uniform loss with probability `prob` seeded by `seed`.
+    pub fn uniform(prob: f64, seed: u64) -> Self {
+        LossModel::Uniform {
+            prob,
+            rng: Xorshift64Star::new(seed),
+        }
+    }
+
+    /// Drop exactly the frames with the given submission indices.
+    pub fn nth(mut indices: Vec<u64>) -> Self {
+        indices.sort_unstable();
+        LossModel::Nth { indices, seen: 0 }
+    }
+
+    /// Decides whether the frame submitted at `now` from `src` to `dst`
+    /// should be dropped. Stateful models advance their state.
+    pub fn drop(&mut self, _now: SimTime, _src: Lid, dst: Lid) -> bool {
+        match self {
+            LossModel::None => false,
+            LossModel::DropAll => true,
+            LossModel::Uniform { prob, rng } => rng.next_f64() < *prob,
+            LossModel::Nth { indices, seen } => {
+                let idx = *seen;
+                *seen += 1;
+                indices.binary_search(&idx).is_ok()
+            }
+            LossModel::ToDestination(target) => dst == *target,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_spread() {
+        let mut r = Xorshift64Star::new(7);
+        let vals: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        let mut r2 = Xorshift64Star::new(7);
+        let vals2: Vec<u64> = (0..4).map(|_| r2.next_u64()).collect();
+        assert_eq!(vals, vals2);
+        assert_ne!(vals[0], vals[1]);
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = Xorshift64Star::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Xorshift64Star::new(3);
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = Xorshift64Star::new(5);
+        for _ in 0..1000 {
+            assert!(r.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn nth_drops_exact_indices() {
+        let mut m = LossModel::nth(vec![0, 2]);
+        let t = SimTime::ZERO;
+        assert!(m.drop(t, Lid(1), Lid(2)));
+        assert!(!m.drop(t, Lid(1), Lid(2)));
+        assert!(m.drop(t, Lid(1), Lid(2)));
+        assert!(!m.drop(t, Lid(1), Lid(2)));
+    }
+
+    #[test]
+    fn uniform_hits_expected_rate() {
+        let mut m = LossModel::uniform(0.25, 99);
+        let t = SimTime::ZERO;
+        let drops = (0..10_000)
+            .filter(|_| m.drop(t, Lid(1), Lid(2)))
+            .count();
+        // 4 sigma around 2500.
+        assert!((2200..2800).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn to_destination_filters_by_lid() {
+        let mut m = LossModel::ToDestination(Lid(9));
+        let t = SimTime::ZERO;
+        assert!(m.drop(t, Lid(1), Lid(9)));
+        assert!(!m.drop(t, Lid(1), Lid(8)));
+    }
+}

@@ -1,0 +1,418 @@
+//! Hosts, links and the crossbar switch.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ibsim_event::SimTime;
+
+use crate::loss::LossModel;
+
+/// A Local IDentifier: the layer-2 address of a port on an InfiniBand
+/// subnet. The subnet manager (implicit here) assigns them densely from 1.
+///
+/// LID 0 is reserved (it is the "permissive" LID in real InfiniBand), so
+/// [`Lid::is_valid`] is false for it; sending to an unassigned LID models
+/// the paper's Fig. 2 experiment of deliberately mis-addressing a QP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lid(pub u16);
+
+impl Lid {
+    /// True unless this is the reserved LID 0.
+    pub fn is_valid(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for Lid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lid{}", self.0)
+    }
+}
+
+/// Physical characteristics of one host↔switch link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// One-way propagation + PHY latency of the cable.
+    pub latency: SimTime,
+    /// Signalling rate in gigabits per second.
+    pub bandwidth_gbps: f64,
+}
+
+impl LinkSpec {
+    /// 56 Gb/s FDR (ConnectX-3/4 FDR systems in Table I).
+    pub fn fdr() -> Self {
+        LinkSpec {
+            latency: SimTime::from_ns(300),
+            bandwidth_gbps: 56.0,
+        }
+    }
+
+    /// 100 Gb/s EDR (ConnectX-4/5 EDR systems in Table I).
+    pub fn edr() -> Self {
+        LinkSpec {
+            latency: SimTime::from_ns(300),
+            bandwidth_gbps: 100.0,
+        }
+    }
+
+    /// 200 Gb/s HDR (ConnectX-6 systems in Table I).
+    pub fn hdr() -> Self {
+        LinkSpec {
+            latency: SimTime::from_ns(300),
+            bandwidth_gbps: 200.0,
+        }
+    }
+
+    /// Time to serialize `bytes` onto the wire.
+    pub fn serialization(&self, bytes: u32) -> SimTime {
+        let ns = (bytes as f64 * 8.0) / self.bandwidth_gbps;
+        SimTime::from_ns(ns.ceil() as u64)
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec::edr()
+    }
+}
+
+/// Why a frame did not reach its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// No port with that LID exists on the subnet (mis-addressed QP).
+    UnknownDestination,
+    /// The configured [`LossModel`] discarded the frame.
+    Injected,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DropReason::UnknownDestination => write!(f, "unknown destination LID"),
+            DropReason::Injected => write!(f, "injected loss"),
+        }
+    }
+}
+
+/// The outcome of submitting a frame to the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The frame arrives at the destination port at `at`.
+    Deliver {
+        /// Absolute arrival time at the destination port.
+        at: SimTime,
+    },
+    /// The frame was lost in the fabric.
+    Dropped(DropReason),
+}
+
+impl Delivery {
+    /// Arrival time if delivered.
+    pub fn arrival(self) -> Option<SimTime> {
+        match self {
+            Delivery::Deliver { at } => Some(at),
+            Delivery::Dropped(_) => None,
+        }
+    }
+}
+
+/// Per-link traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames sent from the host into the fabric.
+    pub tx_frames: u64,
+    /// Bytes sent from the host into the fabric.
+    pub tx_bytes: u64,
+    /// Frames delivered to the host.
+    pub rx_frames: u64,
+    /// Bytes delivered to the host.
+    pub rx_bytes: u64,
+    /// Frames from this host that were dropped in the fabric.
+    pub dropped: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Port {
+    name: String,
+    spec: LinkSpec,
+    /// Egress (host → switch) serialization horizon.
+    egress_busy_until: SimTime,
+    /// Switch-egress (switch → host) serialization horizon.
+    ingress_busy_until: SimTime,
+    stats: LinkStats,
+}
+
+/// A single-subnet InfiniBand fabric: every host hangs off one crossbar
+/// switch. This is the topology of all two-to-four-node experiments in the
+/// paper; multi-switch fat trees are out of scope because none of the
+/// studied phenomena involve inter-switch behavior.
+///
+/// The model accounts for:
+///
+/// * serialization at the sending port (frames queue behind each other),
+/// * link propagation latency (both hops) plus switch forwarding delay,
+/// * serialization at the switch egress toward the destination,
+/// * loss: unknown destination LIDs and an optional injected [`LossModel`].
+#[derive(Debug)]
+pub struct Fabric {
+    default_spec: LinkSpec,
+    switch_latency: SimTime,
+    ports: HashMap<Lid, Port>,
+    next_lid: u16,
+    loss: LossModel,
+    total_frames: u64,
+    total_drops: u64,
+}
+
+impl Fabric {
+    /// Creates an empty fabric whose future hosts use `default_spec` links.
+    pub fn new(default_spec: LinkSpec) -> Self {
+        Fabric {
+            default_spec,
+            switch_latency: SimTime::from_ns(200),
+            ports: HashMap::new(),
+            next_lid: 1,
+            loss: LossModel::None,
+            total_frames: 0,
+            total_drops: 0,
+        }
+    }
+
+    /// Adds a host with the default link spec; returns its assigned LID.
+    pub fn add_host(&mut self, name: &str) -> Lid {
+        self.add_host_with(name, self.default_spec)
+    }
+
+    /// Adds a host with an explicit link spec; returns its assigned LID.
+    pub fn add_host_with(&mut self, name: &str, spec: LinkSpec) -> Lid {
+        let lid = Lid(self.next_lid);
+        self.next_lid += 1;
+        self.ports.insert(
+            lid,
+            Port {
+                name: name.to_owned(),
+                spec,
+                egress_busy_until: SimTime::ZERO,
+                ingress_busy_until: SimTime::ZERO,
+                stats: LinkStats::default(),
+            },
+        );
+        lid
+    }
+
+    /// Installs a loss model applied to every frame after routing.
+    pub fn set_loss(&mut self, loss: LossModel) {
+        self.loss = loss;
+    }
+
+    /// Sets the switch forwarding delay (default 200 ns).
+    pub fn set_switch_latency(&mut self, latency: SimTime) {
+        self.switch_latency = latency;
+    }
+
+    /// Host name registered for `lid`, if any.
+    pub fn host_name(&self, lid: Lid) -> Option<&str> {
+        self.ports.get(&lid).map(|p| p.name.as_str())
+    }
+
+    /// Traffic counters for `lid`'s link.
+    pub fn link_stats(&self, lid: Lid) -> Option<LinkStats> {
+        self.ports.get(&lid).map(|p| p.stats)
+    }
+
+    /// Total frames submitted to the fabric.
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// Total frames lost (both unknown-LID and injected).
+    pub fn total_drops(&self) -> u64 {
+        self.total_drops
+    }
+
+    /// Minimum one-way latency between two hosts for a frame of `bytes`,
+    /// assuming idle links. Useful for analytical baselines in tests.
+    pub fn idle_transit(&self, src: Lid, dst: Lid, bytes: u32) -> Option<SimTime> {
+        let s = self.ports.get(&src)?;
+        let d = self.ports.get(&dst)?;
+        Some(
+            s.spec.serialization(bytes)
+                + s.spec.latency
+                + self.switch_latency
+                + d.spec.serialization(bytes)
+                + d.spec.latency,
+        )
+    }
+
+    /// Submits a frame of `bytes` from `src` to `dst` at time `now`.
+    ///
+    /// Returns the delivery time at the destination port, or the drop
+    /// reason. Port serialization state advances even for frames that are
+    /// dropped past the sending port (they consumed wire time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is not a registered host: a NIC cannot transmit from
+    /// a port that does not exist.
+    pub fn transit(&mut self, now: SimTime, src: Lid, dst: Lid, bytes: u32) -> Delivery {
+        self.total_frames += 1;
+        let switch_latency = self.switch_latency;
+
+        // Egress serialization at the source port.
+        let (depart, src_latency) = {
+            let sport = self
+                .ports
+                .get_mut(&src)
+                .unwrap_or_else(|| panic!("transmit from unregistered port {src}"));
+            let start = now.max(sport.egress_busy_until);
+            let ser = sport.spec.serialization(bytes);
+            sport.egress_busy_until = start + ser;
+            sport.stats.tx_frames += 1;
+            sport.stats.tx_bytes += bytes as u64;
+            (start + ser, sport.spec.latency)
+        };
+        let at_switch = depart + src_latency + switch_latency;
+
+        // Routing: unknown LIDs die at the switch.
+        if !dst.is_valid() || !self.ports.contains_key(&dst) {
+            self.total_drops += 1;
+            let sport = self.ports.get_mut(&src).expect("source vanished");
+            sport.stats.dropped += 1;
+            return Delivery::Dropped(DropReason::UnknownDestination);
+        }
+
+        // Injected loss (applied post-routing, i.e. in the fabric).
+        if self.loss.drop(now, src, dst) {
+            self.total_drops += 1;
+            let sport = self.ports.get_mut(&src).expect("source vanished");
+            sport.stats.dropped += 1;
+            return Delivery::Dropped(DropReason::Injected);
+        }
+
+        // Switch-egress serialization toward the destination.
+        let dport = self.ports.get_mut(&dst).expect("routing checked above");
+        let start = at_switch.max(dport.ingress_busy_until);
+        let ser = dport.spec.serialization(bytes);
+        dport.ingress_busy_until = start + ser;
+        dport.stats.rx_frames += 1;
+        dport.stats.rx_bytes += bytes as u64;
+        Delivery::Deliver {
+            at: start + ser + dport.spec.latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_hosts() -> (Fabric, Lid, Lid) {
+        let mut f = Fabric::new(LinkSpec::fdr());
+        let a = f.add_host("a");
+        let b = f.add_host("b");
+        (f, a, b)
+    }
+
+    #[test]
+    fn lids_assigned_densely_from_one() {
+        let (f, a, b) = two_hosts();
+        assert_eq!(a, Lid(1));
+        assert_eq!(b, Lid(2));
+        assert_eq!(f.host_name(a), Some("a"));
+        assert!(!Lid(0).is_valid());
+    }
+
+    #[test]
+    fn serialization_matches_bandwidth() {
+        // 56 Gb/s: 7 bytes per ns, so 56 bytes take 8 ns.
+        assert_eq!(LinkSpec::fdr().serialization(56), SimTime::from_ns(8));
+        // 100 Gb/s: 4096 bytes take ceil(4096*8/100) = 328 ns.
+        assert_eq!(LinkSpec::edr().serialization(4096), SimTime::from_ns(328));
+    }
+
+    #[test]
+    fn transit_accumulates_all_stages() {
+        let (mut f, a, b) = two_hosts();
+        let d = f.transit(SimTime::ZERO, a, b, 56);
+        // ser(8) + latency(300) + switch(200) + ser(8) + latency(300)
+        assert_eq!(
+            d,
+            Delivery::Deliver {
+                at: SimTime::from_ns(816)
+            }
+        );
+        assert_eq!(f.idle_transit(a, b, 56), Some(SimTime::from_ns(816)));
+    }
+
+    #[test]
+    fn back_to_back_frames_queue_at_source() {
+        let (mut f, a, b) = two_hosts();
+        let first = f.transit(SimTime::ZERO, a, b, 4096).arrival().unwrap();
+        let second = f.transit(SimTime::ZERO, a, b, 4096).arrival().unwrap();
+        // Second frame waits a full serialization (586 ns at 56 Gb/s).
+        assert_eq!(second - first, LinkSpec::fdr().serialization(4096));
+    }
+
+    #[test]
+    fn unknown_lid_drops() {
+        let (mut f, a, _) = two_hosts();
+        let d = f.transit(SimTime::ZERO, a, Lid(99), 100);
+        assert_eq!(d, Delivery::Dropped(DropReason::UnknownDestination));
+        assert_eq!(f.total_drops(), 1);
+        assert_eq!(f.link_stats(a).unwrap().dropped, 1);
+        assert_eq!(d.arrival(), None);
+    }
+
+    #[test]
+    fn injected_loss_drops_matching_frames() {
+        let (mut f, a, b) = two_hosts();
+        f.set_loss(LossModel::DropAll);
+        assert!(matches!(
+            f.transit(SimTime::ZERO, a, b, 100),
+            Delivery::Dropped(DropReason::Injected)
+        ));
+        f.set_loss(LossModel::None);
+        assert!(matches!(
+            f.transit(SimTime::ZERO, a, b, 100),
+            Delivery::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn stats_track_tx_rx() {
+        let (mut f, a, b) = two_hosts();
+        f.transit(SimTime::ZERO, a, b, 100);
+        f.transit(SimTime::ZERO, b, a, 50);
+        let sa = f.link_stats(a).unwrap();
+        let sb = f.link_stats(b).unwrap();
+        assert_eq!(sa.tx_frames, 1);
+        assert_eq!(sa.tx_bytes, 100);
+        assert_eq!(sa.rx_frames, 1);
+        assert_eq!(sa.rx_bytes, 50);
+        assert_eq!(sb.tx_frames, 1);
+        assert_eq!(sb.rx_bytes, 100);
+        assert_eq!(f.total_frames(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered port")]
+    fn transmit_from_unknown_port_panics() {
+        let mut f = Fabric::new(LinkSpec::fdr());
+        f.transit(SimTime::ZERO, Lid(7), Lid(1), 10);
+    }
+
+    #[test]
+    fn heterogeneous_links() {
+        let mut f = Fabric::new(LinkSpec::fdr());
+        let a = f.add_host_with("fast", LinkSpec::hdr());
+        let b = f.add_host_with("slow", LinkSpec::fdr());
+        // Arrival dominated by the slower destination link serialization.
+        let at = f.transit(SimTime::ZERO, a, b, 4096).arrival().unwrap();
+        let expected = LinkSpec::hdr().serialization(4096)
+            + SimTime::from_ns(300)
+            + SimTime::from_ns(200)
+            + LinkSpec::fdr().serialization(4096)
+            + SimTime::from_ns(300);
+        assert_eq!(at, expected);
+    }
+}

@@ -1,0 +1,78 @@
+//! Latency statistics.
+
+use core::fmt;
+
+use ibsim_event::SimTime;
+
+/// Latency distribution of one run, like `perftest`'s summary line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyReport {
+    /// Fastest iteration.
+    pub min: SimTime,
+    /// Median iteration.
+    pub median: SimTime,
+    /// Mean iteration.
+    pub avg: SimTime,
+    /// 99th percentile.
+    pub p99: SimTime,
+    /// Slowest iteration.
+    pub max: SimTime,
+    /// Number of measured iterations.
+    pub iterations: usize,
+}
+
+impl LatencyReport {
+    /// Computes the report from raw per-iteration latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(mut samples: Vec<SimTime>) -> LatencyReport {
+        assert!(!samples.is_empty(), "need at least one sample");
+        samples.sort_unstable();
+        let n = samples.len();
+        let total: SimTime = samples.iter().copied().sum();
+        LatencyReport {
+            min: samples[0],
+            median: samples[n / 2],
+            avg: total / n as u64,
+            p99: samples[(n * 99) / 100],
+            max: samples[n - 1],
+            iterations: n,
+        }
+    }
+}
+
+impl fmt::Display for LatencyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={} median={} avg={} p99={} max={}",
+            self.iterations, self.min, self.median, self.avg, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_orders_statistics() {
+        let samples: Vec<SimTime> = (1..=100).map(SimTime::from_us).collect();
+        let r = LatencyReport::from_samples(samples);
+        assert_eq!(r.min, SimTime::from_us(1));
+        assert_eq!(r.max, SimTime::from_us(100));
+        assert_eq!(r.median, SimTime::from_us(51));
+        assert_eq!(r.p99, SimTime::from_us(100));
+        assert!((r.avg.as_us_f64() - 50.5).abs() < 1.0);
+        assert_eq!(r.iterations, 100);
+        assert!(r.to_string().contains("n=100"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        LatencyReport::from_samples(Vec::new());
+    }
+}

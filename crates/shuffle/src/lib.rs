@@ -1,0 +1,17 @@
+//! # ibsim-shuffle
+//!
+//! A SparkUCX-like \[21\] RDMA shuffle engine over the simulated UCX layer:
+//! map tasks register their output blocks, reduce tasks fetch them with
+//! one-sided READs over hundreds of QPs. With ODP enabled this reproduces
+//! the packet-flood degradation the paper measures in Fig. 13; workload
+//! presets shaped like the paper's three Spark examples live in
+//! [`presets`].
+
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+pub mod presets;
+
+pub use config::ShuffleConfig;
+pub use engine::{run_shuffle, ShuffleReport};

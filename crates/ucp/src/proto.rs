@@ -1,0 +1,122 @@
+//! Protocol-level types of the UCX-like layer: requests, endpoints,
+//! message metadata.
+
+use core::fmt;
+
+use ibsim_event::SimTime;
+use ibsim_verbs::{HostId, MrKey};
+
+/// A communication endpoint: one RC QP pair between two workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EpId(pub usize);
+
+impl fmt::Display for EpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// Handle to an asynchronous UCP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId(pub u64);
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// A message tag for two-sided matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u64);
+
+/// What a completed request was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// One-sided get (RDMA READ).
+    Get,
+    /// One-sided put (RDMA WRITE).
+    Put,
+    /// 8-byte remote atomic (fetch-add or compare-swap).
+    Atomic,
+    /// Two-sided tagged send.
+    TagSend,
+    /// Two-sided tagged receive.
+    TagRecv,
+}
+
+/// A completed UCP request, as returned by `Ucp::take_completed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UcpCompletion {
+    /// The request handle.
+    pub req: ReqId,
+    /// Operation kind.
+    pub kind: ReqKind,
+    /// Completion time.
+    pub at: SimTime,
+    /// True if the operation failed (transport error).
+    pub failed: bool,
+    /// Bytes transferred.
+    pub bytes: u32,
+}
+
+/// Where message payload lives for zero-copy operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemSlice {
+    /// Owning worker/host.
+    pub host: HostId,
+    /// Memory region key.
+    pub mr: MrKey,
+    /// Byte offset within the region.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+/// The "header" of a tagged message. In a real stack this rides inside
+/// the eager packet; the simulator keeps it beside the wire bytes, indexed
+/// by the per-endpoint sequence number that RC's in-order delivery
+/// guarantees to agree on both sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum MsgMeta {
+    /// Eager payload of `len` bytes, delivered inline via SEND.
+    Eager {
+        tag: Tag,
+        send_req: ReqId,
+        len: u32,
+    },
+    /// Rendezvous ready-to-send: the receiver should GET the payload.
+    RndvRts {
+        tag: Tag,
+        send_req: ReqId,
+        src: MemSlice,
+    },
+    /// Rendezvous fin: the receiver finished its GET; sender may complete.
+    RndvFin {
+        send_req: ReqId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(EpId(3).to_string(), "ep3");
+        assert_eq!(ReqId(9).to_string(), "req9");
+    }
+
+    #[test]
+    fn completion_carries_outcome() {
+        let c = UcpCompletion {
+            req: ReqId(1),
+            kind: ReqKind::Get,
+            at: SimTime::from_us(5),
+            failed: false,
+            bytes: 128,
+        };
+        assert!(!c.failed);
+        assert_eq!(c.kind, ReqKind::Get);
+    }
+}

@@ -1,0 +1,887 @@
+//! The UCP communication layer.
+//!
+//! A deliberately UCX-shaped API on top of `ibsim-verbs`: workers,
+//! endpoints, one-sided `get`/`put`, and tagged two-sided messaging with
+//! an eager protocol for small messages and a READ-based rendezvous
+//! protocol for large ones — the very READ path through which the paper's
+//! applications (ArgoDSM over MPI RMA, SparkUCX) hit the ODP pitfalls.
+//!
+//! Like the UCX release the paper studied, the layer **prefers ODP by
+//! default** for application memory ([`UcpConfig::odp`]), uses a minimal
+//! RNR NAK delay of 0.96 ms and `C_ack = 18` (§VII).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use ibsim_event::SimTime;
+use ibsim_verbs::{
+    Cluster, DeviceProfile, HostId, MrDesc, MrMode, QpConfig, Qpn, RecvWr, Sim, WcStatus, WrId,
+};
+
+use crate::proto::{EpId, MemSlice, MsgMeta, ReqId, ReqKind, Tag, UcpCompletion};
+
+/// Configuration of the UCP layer (UCX defaults from §VII).
+#[derive(Debug, Clone)]
+pub struct UcpConfig {
+    /// Register application memory with ODP (the UCX default the paper
+    /// calls out: "UCX prioritized ODP over direct memory registration by
+    /// default and we were even unaware of the use of ODP").
+    pub odp: bool,
+    /// Local ACK Timeout field used for all QPs (UCX default 18).
+    pub cack: u8,
+    /// Minimal RNR NAK delay (UCX default 0.96 ms).
+    pub min_rnr_delay: SimTime,
+    /// Messages of this size or larger use the rendezvous protocol.
+    pub rndv_threshold: u32,
+    /// Pre-posted eager receive buffers per endpoint direction.
+    pub eager_slots: usize,
+    /// Size of one eager receive buffer.
+    pub eager_slot_bytes: u32,
+    /// Minimum progress-tick interval.
+    pub progress_min: SimTime,
+    /// Maximum progress-tick interval (idle backoff ceiling).
+    pub progress_max: SimTime,
+}
+
+impl Default for UcpConfig {
+    fn default() -> Self {
+        UcpConfig {
+            odp: true,
+            cack: 18,
+            min_rnr_delay: SimTime::from_ms_f64(0.96),
+            rndv_threshold: 4096,
+            eager_slots: 32,
+            eager_slot_bytes: 4096,
+            progress_min: SimTime::from_us(2),
+            progress_max: SimTime::from_us(100),
+        }
+    }
+}
+
+/// Message direction within an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Dir {
+    AToB,
+    BToA,
+}
+
+impl Dir {
+    fn flip(self) -> Dir {
+        match self {
+            Dir::AToB => Dir::BToA,
+            Dir::BToA => Dir::AToB,
+        }
+    }
+}
+
+/// What an in-flight verbs work request means to the UCP layer.
+#[derive(Debug)]
+enum WrRole {
+    /// One-sided app operation.
+    App { req: ReqId, kind: ReqKind },
+    /// Sender-side eager SEND carrying app payload.
+    EagerSend { req: ReqId },
+    /// Control SEND (RTS/FIN); no app completion on the send CQE.
+    MetaSend,
+    /// A ring receive landed (one incoming message).
+    RingRecv { ep: EpId, dir: Dir, slot: usize },
+    /// The receiver's rendezvous GET finished.
+    RndvGet {
+        recv_req: ReqId,
+        ep: EpId,
+        dir: Dir,
+        send_req: ReqId,
+    },
+}
+
+#[derive(Debug)]
+struct Ring {
+    mr: MrDesc,
+    slot_bytes: u32,
+}
+
+#[derive(Debug)]
+struct EpState {
+    a: (HostId, Qpn),
+    b: (HostId, Qpn),
+    /// Eager ring at B for A→B traffic.
+    ring_at_b: Ring,
+    /// Eager ring at A for B→A traffic.
+    ring_at_a: Ring,
+}
+
+impl EpState {
+    fn dir_from(&self, host: HostId) -> Dir {
+        if host == self.a.0 {
+            Dir::AToB
+        } else {
+            Dir::BToA
+        }
+    }
+
+    fn sender_qp(&self, dir: Dir) -> (HostId, Qpn) {
+        match dir {
+            Dir::AToB => self.a,
+            Dir::BToA => self.b,
+        }
+    }
+
+    fn receiver(&self, dir: Dir) -> (HostId, Qpn) {
+        match dir {
+            Dir::AToB => self.b,
+            Dir::BToA => self.a,
+        }
+    }
+
+    fn ring(&self, dir: Dir) -> &Ring {
+        match dir {
+            Dir::AToB => &self.ring_at_b,
+            Dir::BToA => &self.ring_at_a,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PostedRecv {
+    req: ReqId,
+    host: HostId,
+    tag: Tag,
+    dst: MemSlice,
+}
+
+#[derive(Debug)]
+enum Unexpected {
+    Eager { data: Vec<u8> },
+    Rndv { src: MemSlice, send_req: ReqId, ep: EpId, dir: Dir },
+}
+
+#[derive(Debug)]
+struct WorkerState {
+    host: HostId,
+    /// Pinned scratch region for control-message payloads.
+    scratch: MrDesc,
+}
+
+struct Inner {
+    cfg: UcpConfig,
+    workers: Vec<WorkerState>,
+    eps: Vec<EpState>,
+    next_wr: u64,
+    next_req: u64,
+    wr_roles: HashMap<(HostId, WrId), WrRole>,
+    /// Out-of-band message headers, in per-(ep, dir) send order.
+    meta_q: HashMap<(EpId, Dir), VecDeque<MsgMeta>>,
+    posted_recvs: HashMap<HostId, Vec<PostedRecv>>,
+    unexpected: HashMap<(HostId, Tag), VecDeque<Unexpected>>,
+    completed: HashMap<HostId, Vec<UcpCompletion>>,
+    /// Continuations to invoke when a request completes.
+    callbacks: HashMap<ReqId, Callback>,
+    /// Requests that already completed (for late `when_done` registration).
+    done: HashMap<ReqId, UcpCompletion>,
+    /// Completions whose callbacks must fire once borrows are released.
+    fired: Vec<(Callback, UcpCompletion)>,
+    open_reqs: u64,
+    /// True while a progress tick is already scheduled.
+    tick_scheduled: bool,
+}
+
+impl Inner {
+    fn alloc_wr(&mut self) -> WrId {
+        self.next_wr += 1;
+        WrId(self.next_wr)
+    }
+
+    fn alloc_req(&mut self) -> ReqId {
+        self.next_req += 1;
+        self.open_reqs += 1;
+        ReqId(self.next_req)
+    }
+
+    fn finish(&mut self, host: HostId, req: ReqId, kind: ReqKind, at: SimTime, failed: bool, bytes: u32) {
+        self.open_reqs -= 1;
+        let c = UcpCompletion {
+            req,
+            kind,
+            at,
+            failed,
+            bytes,
+        };
+        self.completed.entry(host).or_default().push(c);
+        self.done.insert(req, c);
+        if let Some(cb) = self.callbacks.remove(&req) {
+            self.fired.push((cb, c));
+        }
+    }
+}
+
+/// The UCP layer. Clone-cheap: it is a shared handle; progress events
+/// scheduled into the engine keep their own handle.
+///
+/// # Examples
+///
+/// ```
+/// use ibsim_event::Engine;
+/// use ibsim_verbs::{Cluster, DeviceProfile};
+/// use ibsim_ucp::{MemSlice, Tag, Ucp, UcpConfig};
+///
+/// let mut eng = Engine::new();
+/// let mut cl = Cluster::new(3);
+/// let ucp = Ucp::new(UcpConfig { odp: false, ..Default::default() });
+/// let a = ucp.add_worker(&mut cl, "a", DeviceProfile::connectx6());
+/// let b = ucp.add_worker(&mut cl, "b", DeviceProfile::connectx6());
+/// let ep = ucp.connect(&mut eng, &mut cl, a, b);
+///
+/// let src = ucp.mem_map(&mut cl, a, 4096);
+/// let dst = ucp.mem_map(&mut cl, b, 4096);
+/// cl.mem_write(a, src.base, b"hi there");
+/// ucp.tag_recv(&mut eng, &mut cl, b, Tag(7), MemSlice { host: b, mr: dst.key, offset: 0, len: 8 });
+/// ucp.tag_send(&mut eng, &mut cl, ep, a, Tag(7), MemSlice { host: a, mr: src.key, offset: 0, len: 8 });
+/// eng.run(&mut cl);
+/// assert_eq!(ucp.take_completed(b).len(), 1);
+/// assert_eq!(cl.mem_read(b, dst.base, 8), b"hi there");
+/// ```
+#[derive(Clone)]
+pub struct Ucp {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl std::fmt::Debug for Ucp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Ucp")
+            .field("workers", &inner.workers.len())
+            .field("endpoints", &inner.eps.len())
+            .field("open_reqs", &inner.open_reqs)
+            .finish()
+    }
+}
+
+/// Size on the wire of a control (RTS/FIN) message.
+const META_BYTES: u32 = 64;
+
+/// A continuation invoked when a request completes.
+pub type Callback = Box<dyn FnOnce(&mut Sim, &mut Cluster, UcpCompletion)>;
+
+impl Ucp {
+    /// Creates a UCP layer with the given configuration.
+    pub fn new(cfg: UcpConfig) -> Self {
+        Ucp {
+            inner: Rc::new(RefCell::new(Inner {
+                cfg,
+                workers: Vec::new(),
+                eps: Vec::new(),
+                next_wr: 0,
+                next_req: 0,
+                wr_roles: HashMap::new(),
+                meta_q: HashMap::new(),
+                posted_recvs: HashMap::new(),
+                unexpected: HashMap::new(),
+                completed: HashMap::new(),
+                callbacks: HashMap::new(),
+                done: HashMap::new(),
+                fired: Vec::new(),
+                open_reqs: 0,
+                tick_scheduled: false,
+            })),
+        }
+    }
+
+    /// Adds a worker (host) to the cluster and returns its id. The first
+    /// worker installs this layer's completion waker on the cluster, so
+    /// progress is completion-driven rather than polled.
+    pub fn add_worker(&self, cl: &mut Cluster, name: &str, device: DeviceProfile) -> HostId {
+        if !cl.has_cq_waker() {
+            let ucp = self.clone();
+            cl.set_cq_waker(std::rc::Rc::new(move |eng: &mut Sim| ucp.wake(eng)));
+        }
+        let host = cl.add_host(name, device);
+        let scratch = cl.alloc_mr(host, 4096, MrMode::Pinned);
+        self.inner
+            .borrow_mut()
+            .workers
+            .push(WorkerState { host, scratch });
+        host
+    }
+
+    /// Registers `len` bytes of fresh memory on a worker, using ODP or
+    /// pinning per [`UcpConfig::odp`].
+    pub fn mem_map(&self, cl: &mut Cluster, w: HostId, len: u64) -> MrDesc {
+        let mode = if self.inner.borrow().cfg.odp {
+            MrMode::Odp
+        } else {
+            MrMode::Pinned
+        };
+        cl.alloc_mr(w, len, mode)
+    }
+
+    /// Number of requests not yet completed.
+    pub fn open_requests(&self) -> u64 {
+        self.inner.borrow().open_reqs
+    }
+
+    /// Connects two workers with a fresh endpoint (QP pair + eager rings).
+    pub fn connect(&self, eng: &mut Sim, cl: &mut Cluster, a: HostId, b: HostId) -> EpId {
+        let mut inner = self.inner.borrow_mut();
+        let qp_cfg = QpConfig {
+            cack: inner.cfg.cack,
+            min_rnr_delay: inner.cfg.min_rnr_delay,
+            ..QpConfig::default()
+        };
+        let (qa, qb) = cl.connect_pair(eng, a, b, qp_cfg);
+        let slots = inner.cfg.eager_slots;
+        let slot_bytes = inner.cfg.eager_slot_bytes;
+        // Eager rings are bounce buffers: always pinned, like UCX's
+        // pre-registered RX descriptors.
+        let ring_at_b = Ring {
+            mr: cl.alloc_mr(b, slots as u64 * slot_bytes as u64, MrMode::Pinned),
+            slot_bytes,
+        };
+        let ring_at_a = Ring {
+            mr: cl.alloc_mr(a, slots as u64 * slot_bytes as u64, MrMode::Pinned),
+            slot_bytes,
+        };
+        let ep = EpId(inner.eps.len());
+        inner.eps.push(EpState {
+            a: (a, qa),
+            b: (b, qb),
+            ring_at_b,
+            ring_at_a,
+        });
+        // Pre-post both rings.
+        for dir in [Dir::AToB, Dir::BToA] {
+            for slot in 0..slots {
+                post_ring_recv(&mut inner, cl, ep, dir, slot);
+            }
+        }
+        ep
+    }
+
+    /// One-sided get: READ `len` bytes from `(src_mr, src_off)` on the
+    /// remote side of `ep` into `(dst_mr, dst_off)` on `from`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get(
+        &self,
+        eng: &mut Sim,
+        cl: &mut Cluster,
+        ep: EpId,
+        from: HostId,
+        dst: MemSlice,
+        src_mr: ibsim_verbs::MrKey,
+        src_off: u64,
+        len: u32,
+    ) -> ReqId {
+        let mut inner = self.inner.borrow_mut();
+        let req = inner.alloc_req();
+        let wr = inner.alloc_wr();
+        let dir = inner.eps[ep.0].dir_from(from);
+        let (host, qpn) = inner.eps[ep.0].sender_qp(dir);
+        debug_assert_eq!(host, from);
+        inner.wr_roles.insert(
+            (host, wr),
+            WrRole::App {
+                req,
+                kind: ReqKind::Get,
+            },
+        );
+        cl.post_read(eng, host, qpn, wr, dst.mr, dst.offset, src_mr, src_off, len);
+        drop(inner);
+        self.ensure_ticking(eng);
+        req
+    }
+
+    /// One-sided put: WRITE `len` bytes from `src` into the remote
+    /// `(dst_mr, dst_off)` over `ep`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn put(
+        &self,
+        eng: &mut Sim,
+        cl: &mut Cluster,
+        ep: EpId,
+        from: HostId,
+        src: MemSlice,
+        dst_mr: ibsim_verbs::MrKey,
+        dst_off: u64,
+        len: u32,
+    ) -> ReqId {
+        let mut inner = self.inner.borrow_mut();
+        let req = inner.alloc_req();
+        let wr = inner.alloc_wr();
+        let dir = inner.eps[ep.0].dir_from(from);
+        let (host, qpn) = inner.eps[ep.0].sender_qp(dir);
+        inner.wr_roles.insert(
+            (host, wr),
+            WrRole::App {
+                req,
+                kind: ReqKind::Put,
+            },
+        );
+        cl.post_write(eng, host, qpn, wr, src.mr, src.offset, dst_mr, dst_off, len);
+        drop(inner);
+        self.ensure_ticking(eng);
+        req
+    }
+
+    /// 8-byte fetch-and-add on the remote `(dst_mr, dst_off)` over `ep`;
+    /// the original value lands at `local`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch_add(
+        &self,
+        eng: &mut Sim,
+        cl: &mut Cluster,
+        ep: EpId,
+        from: HostId,
+        local: MemSlice,
+        dst_mr: ibsim_verbs::MrKey,
+        dst_off: u64,
+        add: u64,
+    ) -> ReqId {
+        self.atomic(
+            eng,
+            cl,
+            ep,
+            from,
+            local,
+            dst_mr,
+            dst_off,
+            ibsim_verbs::AtomicOp::FetchAdd { add },
+        )
+    }
+
+    /// 8-byte compare-and-swap on the remote `(dst_mr, dst_off)` over
+    /// `ep`; the original value lands at `local`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compare_swap(
+        &self,
+        eng: &mut Sim,
+        cl: &mut Cluster,
+        ep: EpId,
+        from: HostId,
+        local: MemSlice,
+        dst_mr: ibsim_verbs::MrKey,
+        dst_off: u64,
+        compare: u64,
+        swap: u64,
+    ) -> ReqId {
+        self.atomic(
+            eng,
+            cl,
+            ep,
+            from,
+            local,
+            dst_mr,
+            dst_off,
+            ibsim_verbs::AtomicOp::CompareSwap { compare, swap },
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn atomic(
+        &self,
+        eng: &mut Sim,
+        cl: &mut Cluster,
+        ep: EpId,
+        from: HostId,
+        local: MemSlice,
+        dst_mr: ibsim_verbs::MrKey,
+        dst_off: u64,
+        op: ibsim_verbs::AtomicOp,
+    ) -> ReqId {
+        let mut inner = self.inner.borrow_mut();
+        let req = inner.alloc_req();
+        let wr = inner.alloc_wr();
+        let dir = inner.eps[ep.0].dir_from(from);
+        let (host, qpn) = inner.eps[ep.0].sender_qp(dir);
+        inner.wr_roles.insert(
+            (host, wr),
+            WrRole::App {
+                req,
+                kind: ReqKind::Atomic,
+            },
+        );
+        cl.post(
+            eng,
+            host,
+            qpn,
+            ibsim_verbs::WorkRequest {
+                id: wr,
+                op: ibsim_verbs::WrOp::Atomic {
+                    local_mr: local.mr,
+                    local_off: local.offset,
+                    rkey: dst_mr,
+                    remote_off: dst_off,
+                    op,
+                },
+            },
+        );
+        drop(inner);
+        self.ensure_ticking(eng);
+        req
+    }
+
+    /// Tagged send from `from` over `ep`. Small messages go eager; large
+    /// ones rendezvous (the receiver READs the payload from `src`).
+    pub fn tag_send(
+        &self,
+        eng: &mut Sim,
+        cl: &mut Cluster,
+        ep: EpId,
+        from: HostId,
+        tag: Tag,
+        src: MemSlice,
+    ) -> ReqId {
+        let mut inner = self.inner.borrow_mut();
+        let req = inner.alloc_req();
+        let dir = inner.eps[ep.0].dir_from(from);
+        let (host, qpn) = inner.eps[ep.0].sender_qp(dir);
+        let rndv = src.len >= inner.cfg.rndv_threshold;
+        if rndv {
+            inner
+                .meta_q
+                .entry((ep, dir))
+                .or_default()
+                .push_back(MsgMeta::RndvRts {
+                    tag,
+                    send_req: req,
+                    src,
+                });
+            let wr = inner.alloc_wr();
+            let scratch = worker_scratch(&inner, host);
+            inner.wr_roles.insert((host, wr), WrRole::MetaSend);
+            cl.post_send(eng, host, qpn, wr, scratch.key, 0, META_BYTES);
+        } else {
+            inner
+                .meta_q
+                .entry((ep, dir))
+                .or_default()
+                .push_back(MsgMeta::Eager {
+                    tag,
+                    send_req: req,
+                    len: src.len,
+                });
+            let wr = inner.alloc_wr();
+            inner
+                .wr_roles
+                .insert((host, wr), WrRole::EagerSend { req });
+            cl.post_send(eng, host, qpn, wr, src.mr, src.offset, src.len);
+        }
+        drop(inner);
+        self.ensure_ticking(eng);
+        req
+    }
+
+    /// Posts a tagged receive on worker `w` into `dst`.
+    pub fn tag_recv(
+        &self,
+        eng: &mut Sim,
+        cl: &mut Cluster,
+        w: HostId,
+        tag: Tag,
+        dst: MemSlice,
+    ) -> ReqId {
+        let mut inner = self.inner.borrow_mut();
+        let req = inner.alloc_req();
+        // Unexpected message already here?
+        if let Some(q) = inner.unexpected.get_mut(&(w, tag)) {
+            if let Some(u) = q.pop_front() {
+                match u {
+                    Unexpected::Eager { data } => {
+                        let base = cl.mr_base(w, dst.mr);
+                        let n = data.len().min(dst.len as usize);
+                        cl.mem_write(w, base + dst.offset, &data[..n]);
+                        let now = eng.now();
+                        inner.finish(w, req, ReqKind::TagRecv, now, false, n as u32);
+                        return req;
+                    }
+                    Unexpected::Rndv {
+                        src,
+                        send_req,
+                        ep,
+                        dir,
+                    } => {
+                        start_rndv_get(&mut inner, eng, cl, ep, dir, req, send_req, src, dst);
+                        drop(inner);
+                        self.ensure_ticking(eng);
+                        return req;
+                    }
+                }
+            }
+        }
+        inner
+            .posted_recvs
+            .entry(w)
+            .or_default()
+            .push(PostedRecv {
+                req,
+                host: w,
+                tag,
+                dst,
+            });
+        drop(inner);
+        self.ensure_ticking(eng);
+        req
+    }
+
+    /// Registers a continuation to run when `req` completes. If the
+    /// request already completed, the continuation runs immediately.
+    pub fn when_done(
+        &self,
+        eng: &mut Sim,
+        cl: &mut Cluster,
+        req: ReqId,
+        cb: impl FnOnce(&mut Sim, &mut Cluster, UcpCompletion) + 'static,
+    ) {
+        let already = self.inner.borrow().done.get(&req).copied();
+        if let Some(c) = already {
+            cb(eng, cl, c);
+        } else {
+            self.inner.borrow_mut().callbacks.insert(req, Box::new(cb));
+        }
+    }
+
+    /// Invokes continuations queued by completed requests.
+    fn drain_callbacks(&self, eng: &mut Sim, cl: &mut Cluster) {
+        loop {
+            let fired = std::mem::take(&mut self.inner.borrow_mut().fired);
+            if fired.is_empty() {
+                return;
+            }
+            for (cb, c) in fired {
+                cb(eng, cl, c);
+            }
+        }
+    }
+
+    /// Takes the completions accumulated on worker `w`.
+    pub fn take_completed(&self, w: HostId) -> Vec<UcpCompletion> {
+        self.inner
+            .borrow_mut()
+            .completed
+            .entry(w)
+            .or_default()
+            .drain(..)
+            .collect()
+    }
+
+    /// Schedules a progress tick shortly after a completion lands (the
+    /// cluster invokes this through its completion waker).
+    fn wake(&self, eng: &mut Sim) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.tick_scheduled {
+            return;
+        }
+        inner.tick_scheduled = true;
+        let delay = inner.cfg.progress_min;
+        drop(inner);
+        let ucp = self.clone();
+        eng.schedule_in(delay, move |c: &mut Cluster, eng| ucp.tick(eng, c));
+    }
+
+    /// Kept for call-site clarity: posting an operation needs no explicit
+    /// progress start — its completion will wake the layer — but posting
+    /// from inside a quiet system must not deadlock either, so this is a
+    /// no-op today.
+    fn ensure_ticking(&self, _eng: &mut Sim) {}
+
+    /// One progress step: drain CQs, advance protocols.
+    fn tick(&self, eng: &mut Sim, cl: &mut Cluster) {
+        self.inner.borrow_mut().tick_scheduled = false;
+        let hosts: Vec<HostId> = {
+            let inner = self.inner.borrow();
+            inner.workers.iter().map(|w| w.host).collect()
+        };
+        for host in hosts {
+            for c in cl.poll_cq(host) {
+                self.route_completion(eng, cl, host, c);
+            }
+        }
+        self.drain_callbacks(eng, cl);
+    }
+
+    fn route_completion(
+        &self,
+        eng: &mut Sim,
+        cl: &mut Cluster,
+        host: HostId,
+        c: ibsim_verbs::Completion,
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        let Some(role) = inner.wr_roles.remove(&(host, c.wr_id)) else {
+            return; // not ours (application used the cluster directly)
+        };
+        let failed = c.status != WcStatus::Success;
+        match role {
+            WrRole::App { req, kind } => {
+                inner.finish(host, req, kind, c.at, failed, c.bytes);
+            }
+            WrRole::EagerSend { req } => {
+                inner.finish(host, req, ReqKind::TagSend, c.at, failed, c.bytes);
+            }
+            WrRole::MetaSend => {}
+            WrRole::RingRecv { ep, dir, slot } => {
+                if !failed {
+                    self.handle_ring_message(&mut inner, eng, cl, ep, dir, slot, c.bytes, c.at);
+                }
+                post_ring_recv(&mut inner, cl, ep, dir, slot);
+            }
+            WrRole::RndvGet {
+                recv_req,
+                ep,
+                dir,
+                send_req,
+            } => {
+                inner.finish(host, recv_req, ReqKind::TagRecv, c.at, failed, c.bytes);
+                // Tell the sender it may complete (FIN).
+                let fin_dir = dir.flip();
+                inner
+                    .meta_q
+                    .entry((ep, fin_dir))
+                    .or_default()
+                    .push_back(MsgMeta::RndvFin { send_req });
+                let (fin_host, fin_qpn) = inner.eps[ep.0].sender_qp(fin_dir);
+                let wr = inner.alloc_wr();
+                let scratch = worker_scratch(&inner, fin_host);
+                inner.wr_roles.insert((fin_host, wr), WrRole::MetaSend);
+                cl.post_send(eng, fin_host, fin_qpn, wr, scratch.key, 0, META_BYTES);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_ring_message(
+        &self,
+        inner: &mut Inner,
+        eng: &mut Sim,
+        cl: &mut Cluster,
+        ep: EpId,
+        dir: Dir,
+        slot: usize,
+        bytes: u32,
+        at: SimTime,
+    ) {
+        let meta = inner
+            .meta_q
+            .get_mut(&(ep, dir))
+            .and_then(|q| q.pop_front())
+            .expect("RC in-order delivery keeps header and wire aligned");
+        let (rcv_host, _) = inner.eps[ep.0].receiver(dir);
+        match meta {
+            MsgMeta::Eager { tag, len, .. } => {
+                debug_assert_eq!(len, bytes, "eager length matches wire bytes");
+                let ring = inner.eps[ep.0].ring(dir);
+                let data = cl.mem_read(
+                    rcv_host,
+                    ring.mr.base + (slot as u64) * ring.slot_bytes as u64,
+                    len as usize,
+                );
+                if let Some(pos) = inner
+                    .posted_recvs
+                    .get(&rcv_host)
+                    .and_then(|v| v.iter().position(|r| r.tag == tag))
+                {
+                    let recv = inner
+                        .posted_recvs
+                        .get_mut(&rcv_host)
+                        .expect("checked")
+                        .swap_remove(pos);
+                    let base = cl.mr_base(rcv_host, recv.dst.mr);
+                    let n = data.len().min(recv.dst.len as usize);
+                    cl.mem_write(rcv_host, base + recv.dst.offset, &data[..n]);
+                    inner.finish(recv.host, recv.req, ReqKind::TagRecv, at, false, n as u32);
+                } else {
+                    inner
+                        .unexpected
+                        .entry((rcv_host, tag))
+                        .or_default()
+                        .push_back(Unexpected::Eager { data });
+                }
+            }
+            MsgMeta::RndvRts {
+                tag,
+                send_req,
+                src,
+            } => {
+                if let Some(pos) = inner
+                    .posted_recvs
+                    .get(&rcv_host)
+                    .and_then(|v| v.iter().position(|r| r.tag == tag))
+                {
+                    let recv = inner
+                        .posted_recvs
+                        .get_mut(&rcv_host)
+                        .expect("checked")
+                        .swap_remove(pos);
+                    start_rndv_get(inner, eng, cl, ep, dir, recv.req, send_req, src, recv.dst);
+                } else {
+                    inner
+                        .unexpected
+                        .entry((rcv_host, tag))
+                        .or_default()
+                        .push_back(Unexpected::Rndv {
+                            src,
+                            send_req,
+                            ep,
+                            dir,
+                        });
+                }
+            }
+            MsgMeta::RndvFin { send_req } => {
+                inner.finish(rcv_host, send_req, ReqKind::TagSend, at, false, 0);
+            }
+        }
+    }
+}
+
+fn worker_scratch(inner: &Inner, host: HostId) -> MrDesc {
+    inner
+        .workers
+        .iter()
+        .find(|w| w.host == host)
+        .expect("unknown worker")
+        .scratch
+}
+
+fn post_ring_recv(inner: &mut Inner, cl: &mut Cluster, ep: EpId, dir: Dir, slot: usize) {
+    let (host, qpn) = inner.eps[ep.0].receiver(dir);
+    let ring = inner.eps[ep.0].ring(dir);
+    let recv = RecvWr {
+        id: WrId(0), // replaced below
+        mr: ring.mr.key,
+        offset: (slot as u64) * ring.slot_bytes as u64,
+        max_len: ring.slot_bytes,
+    };
+    let wr = inner.alloc_wr();
+    inner
+        .wr_roles
+        .insert((host, wr), WrRole::RingRecv { ep, dir, slot });
+    cl.post_recv(host, qpn, RecvWr { id: wr, ..recv });
+}
+
+/// The receiver side of rendezvous: GET the payload from the sender's
+/// exposed region into the receive destination.
+#[allow(clippy::too_many_arguments)]
+fn start_rndv_get(
+    inner: &mut Inner,
+    eng: &mut Sim,
+    cl: &mut Cluster,
+    ep: EpId,
+    dir: Dir,
+    recv_req: ReqId,
+    send_req: ReqId,
+    src: MemSlice,
+    dst: MemSlice,
+) {
+    let (host, qpn) = inner.eps[ep.0].receiver(dir);
+    let wr = inner.alloc_wr();
+    inner.wr_roles.insert(
+        (host, wr),
+        WrRole::RndvGet {
+            recv_req,
+            ep,
+            dir,
+            send_req,
+        },
+    );
+    let len = src.len.min(dst.len);
+    cl.post_read(eng, host, qpn, wr, dst.mr, dst.offset, src.mr, src.offset, len);
+}

@@ -1,0 +1,757 @@
+//! The cluster: hosts, NICs, drivers and the fabric, glued to the event
+//! engine. This is the user-facing verbs API of the simulator.
+
+use std::collections::HashMap;
+
+use ibsim_event::{Engine, SimTime};
+use ibsim_fabric::{Capture, Delivery, Direction, Fabric, Lid, LinkSpec, Xorshift64Star};
+
+use crate::device::DeviceProfile;
+use crate::driver::{Driver, DriverStats, DriverWork};
+use crate::mem::{Memory, MrMode};
+use crate::nic::Nic;
+use crate::packet::{Packet, PacketKind};
+use crate::qp::{Outbox, QpConfig, QpEnv, QpStats};
+use crate::types::{HostId, MrKey, Qpn, WrId};
+use crate::wr::{Completion, RecvWr, WorkRequest, WrOp};
+
+/// The simulation engine type used throughout `ibsim`.
+pub type Sim = Engine<Cluster>;
+
+/// A completion waker callback (see [`Cluster::set_cq_waker`]).
+pub type CqWaker = std::rc::Rc<dyn Fn(&mut Sim)>;
+
+/// A registered memory region descriptor returned to applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrDesc {
+    /// Owning host.
+    pub host: HostId,
+    /// Key (lkey and rkey).
+    pub key: MrKey,
+    /// Base virtual address.
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Registration mode.
+    pub mode: MrMode,
+}
+
+/// Cluster-wide packet counters (what `ibdump` + `perfquery` would show).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Every packet submitted for transmission, including ghosts.
+    pub total_packets: u64,
+    /// Request packets (first transmissions).
+    pub request_packets: u64,
+    /// Retransmitted request packets.
+    pub retransmit_packets: u64,
+    /// READ response packets.
+    pub response_packets: u64,
+    /// ACKs.
+    pub ack_packets: u64,
+    /// RNR NAKs.
+    pub rnr_nak_packets: u64,
+    /// PSN sequence error NAKs.
+    pub seq_nak_packets: u64,
+    /// Ghost packets (damming quirk: captured but never delivered).
+    pub ghost_packets: u64,
+    /// Packets the fabric dropped (unknown LID or injected loss).
+    pub fabric_drops: u64,
+}
+
+/// A simulated InfiniBand cluster.
+///
+/// # Examples
+///
+/// A pinned-memory READ between two hosts:
+///
+/// ```
+/// use ibsim_event::Engine;
+/// use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, WrId};
+///
+/// let mut eng = Engine::new();
+/// let mut cl = Cluster::new(7);
+/// let a = cl.add_host("client", DeviceProfile::connectx6());
+/// let b = cl.add_host("server", DeviceProfile::connectx6());
+/// let src = cl.alloc_mr(b, 4096, MrMode::Pinned);
+/// let dst = cl.alloc_mr(a, 4096, MrMode::Pinned);
+/// cl.mem_write(b, src.base, b"greetings");
+/// let (qa, _qb) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
+/// cl.post_read(&mut eng, a, qa, WrId(1), dst.key, 0, src.key, 0, 9);
+/// eng.run(&mut cl);
+/// let done = cl.poll_cq(a);
+/// assert_eq!(done.len(), 1);
+/// assert!(done[0].status.is_success());
+/// assert_eq!(cl.mem_read(a, dst.base, 9), b"greetings");
+/// ```
+pub struct Cluster {
+    /// The switch fabric (public for loss injection and link stats).
+    pub fabric: Fabric,
+    nics: Vec<Nic>,
+    mems: Vec<Memory>,
+    drivers: Vec<Driver>,
+    captures: Vec<Capture<Packet>>,
+    lid_to_host: HashMap<Lid, HostId>,
+    rng: Xorshift64Star,
+    /// Invoked (with the engine) whenever completions are pushed to any
+    /// CQ; upper layers use it to schedule their progress.
+    cq_waker: Option<CqWaker>,
+    /// Scheduled ACK-timeout engine events, so re-arming or cancelling a
+    /// QP's timer removes the stale event from the queue.
+    ack_timer_events: HashMap<(HostId, Qpn), ibsim_event::EventId>,
+    /// Cluster-wide packet counters.
+    pub stats: ClusterStats,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("hosts", &self.nics.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Creates an empty cluster; `seed` drives every random draw (page
+    /// fault latencies, loss models), making runs reproducible.
+    pub fn new(seed: u64) -> Self {
+        Cluster {
+            fabric: Fabric::new(LinkSpec::default()),
+            nics: Vec::new(),
+            mems: Vec::new(),
+            drivers: Vec::new(),
+            captures: Vec::new(),
+            lid_to_host: HashMap::new(),
+            rng: Xorshift64Star::new(seed),
+            cq_waker: None,
+            ack_timer_events: HashMap::new(),
+            stats: ClusterStats::default(),
+        }
+    }
+
+    /// Adds a host with the given NIC profile; returns its id.
+    pub fn add_host(&mut self, name: &str, profile: DeviceProfile) -> HostId {
+        let host = HostId(self.nics.len());
+        let lid = self.fabric.add_host_with(name, profile.link);
+        self.drivers.push(Driver::new(
+            profile.resume_cost,
+            profile.irq_cost,
+            profile.irq_burst,
+        ));
+        self.nics.push(Nic::new(host, lid, profile));
+        self.mems.push(Memory::new());
+        self.captures.push(Capture::new());
+        self.lid_to_host.insert(lid, host);
+        host
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// The NIC of `host`.
+    pub fn nic(&self, host: HostId) -> &Nic {
+        &self.nics[host.0]
+    }
+
+    /// The LID of `host`'s port.
+    pub fn lid(&self, host: HostId) -> Lid {
+        self.nics[host.0].lid
+    }
+
+    /// Driver statistics for `host`.
+    pub fn driver_stats(&self, host: HostId) -> DriverStats {
+        self.drivers[host.0].stats()
+    }
+
+    /// Sum of per-QP protocol counters on `host`.
+    pub fn qp_stats_sum(&self, host: HostId) -> QpStats {
+        let nic = &self.nics[host.0];
+        let mut total = QpStats::default();
+        for &qpn in nic.qpns() {
+            let s = nic.qp(qpn).expect("listed qp exists").stats;
+            total.retransmissions += s.retransmissions;
+            total.timeouts += s.timeouts;
+            total.rnr_naks_received += s.rnr_naks_received;
+            total.rnr_naks_sent += s.rnr_naks_sent;
+            total.seq_naks_sent += s.seq_naks_sent;
+            total.responses_discarded += s.responses_discarded;
+            total.faults_raised += s.faults_raised;
+            total.pendency_drops += s.pendency_drops;
+        }
+        total
+    }
+
+    // ------------------------------------------------------------------
+    // Memory
+    // ------------------------------------------------------------------
+
+    /// Allocates a fresh page-aligned buffer without registering it
+    /// (manual registration flows register later, paying the cost).
+    pub fn alloc_buffer(&mut self, host: HostId, len: u64) -> u64 {
+        self.mems[host.0].alloc(len)
+    }
+
+    /// Allocates a fresh page-aligned buffer and registers it as an MR.
+    pub fn alloc_mr(&mut self, host: HostId, len: u64, mode: MrMode) -> MrDesc {
+        let base = self.mems[host.0].alloc(len);
+        let key = self.nics[host.0].reg_mr(base, len, mode);
+        MrDesc {
+            host,
+            key,
+            base,
+            len,
+            mode,
+        }
+    }
+
+    /// Registers an existing buffer as an MR.
+    pub fn reg_mr(&mut self, host: HostId, base: u64, len: u64, mode: MrMode) -> MrDesc {
+        let key = self.nics[host.0].reg_mr(base, len, mode);
+        MrDesc {
+            host,
+            key,
+            base,
+            len,
+            mode,
+        }
+    }
+
+    /// Writes bytes into host memory (application store).
+    pub fn mem_write(&mut self, host: HostId, addr: u64, data: &[u8]) {
+        self.mems[host.0].write(addr, data);
+    }
+
+    /// Reads bytes from host memory (application load).
+    pub fn mem_read(&mut self, host: HostId, addr: u64, len: usize) -> Vec<u8> {
+        self.mems[host.0].read(addr, len)
+    }
+
+    /// Pre-maps every page of an ODP region (like `ibv_advise_mr`
+    /// prefetch): no faults will occur on it until invalidated.
+    pub fn prefetch_mr(&mut self, host: HostId, key: MrKey) {
+        if let Some(mr) = self.nics[host.0].mrs.get_mut(&key) {
+            mr.map_all();
+        }
+    }
+
+    /// Invalidates one page of an ODP region (kernel reclaimed it).
+    pub fn invalidate_page(&mut self, host: HostId, key: MrKey, page: usize) {
+        if let Some(mr) = self.nics[host.0].mrs.get_mut(&key) {
+            mr.invalidate_page(page);
+        }
+    }
+
+    /// Base virtual address of a registered region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is unknown on that host.
+    pub fn mr_base(&self, host: HostId, key: MrKey) -> u64 {
+        self.nics[host.0]
+            .mrs
+            .get(&key)
+            .unwrap_or_else(|| panic!("unknown {key} on {host}"))
+            .base()
+    }
+
+    /// Network page faults raised so far on a region.
+    pub fn mr_fault_count(&self, host: HostId, key: MrKey) -> u64 {
+        self.nics[host.0]
+            .mrs
+            .get(&key)
+            .map(|m| m.fault_count)
+            .unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Connections
+    // ------------------------------------------------------------------
+
+    /// Creates an RC QP on `host`.
+    pub fn create_qp(&mut self, host: HostId, cfg: QpConfig) -> Qpn {
+        self.nics[host.0].create_qp(cfg)
+    }
+
+    /// Creates and connects a QP pair between two hosts; both ends use the
+    /// same config. Returns `(qp_on_a, qp_on_b)`.
+    pub fn connect_pair(
+        &mut self,
+        _eng: &mut Sim,
+        a: HostId,
+        b: HostId,
+        cfg: QpConfig,
+    ) -> (Qpn, Qpn) {
+        let qa = self.nics[a.0].create_qp(cfg.clone());
+        let qb = self.nics[b.0].create_qp(cfg);
+        let (la, lb) = (self.nics[a.0].lid, self.nics[b.0].lid);
+        self.nics[a.0]
+            .qp_mut(qa)
+            .expect("just created")
+            .connect(lb, qb);
+        self.nics[b.0]
+            .qp_mut(qb)
+            .expect("just created")
+            .connect(la, qa);
+        (qa, qb)
+    }
+
+    /// Points a QP at an explicit (possibly wrong) LID, reproducing the
+    /// deliberate mis-addressing of the paper's Fig. 2 experiment.
+    pub fn connect_to_lid(&mut self, host: HostId, qpn: Qpn, peer: Lid, peer_qpn: Qpn) {
+        self.nics[host.0]
+            .qp_mut(qpn)
+            .expect("unknown qp")
+            .connect(peer, peer_qpn);
+    }
+
+    // ------------------------------------------------------------------
+    // Verbs
+    // ------------------------------------------------------------------
+
+    /// Posts an RDMA READ work request.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_read(
+        &mut self,
+        eng: &mut Sim,
+        host: HostId,
+        qpn: Qpn,
+        wr_id: WrId,
+        local_mr: MrKey,
+        local_off: u64,
+        rkey: MrKey,
+        remote_off: u64,
+        len: u32,
+    ) {
+        self.post(
+            eng,
+            host,
+            qpn,
+            WorkRequest {
+                id: wr_id,
+                op: WrOp::Read {
+                    local_mr,
+                    local_off,
+                    rkey,
+                    remote_off,
+                    len,
+                },
+            },
+        );
+    }
+
+    /// Posts an RDMA WRITE work request.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_write(
+        &mut self,
+        eng: &mut Sim,
+        host: HostId,
+        qpn: Qpn,
+        wr_id: WrId,
+        local_mr: MrKey,
+        local_off: u64,
+        rkey: MrKey,
+        remote_off: u64,
+        len: u32,
+    ) {
+        self.post(
+            eng,
+            host,
+            qpn,
+            WorkRequest {
+                id: wr_id,
+                op: WrOp::Write {
+                    local_mr,
+                    local_off,
+                    rkey,
+                    remote_off,
+                    len,
+                },
+            },
+        );
+    }
+
+    /// Posts an 8-byte fetch-and-add; the original value lands at
+    /// `(local_mr, local_off)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_fetch_add(
+        &mut self,
+        eng: &mut Sim,
+        host: HostId,
+        qpn: Qpn,
+        wr_id: WrId,
+        local_mr: MrKey,
+        local_off: u64,
+        rkey: MrKey,
+        remote_off: u64,
+        add: u64,
+    ) {
+        self.post(
+            eng,
+            host,
+            qpn,
+            WorkRequest {
+                id: wr_id,
+                op: WrOp::Atomic {
+                    local_mr,
+                    local_off,
+                    rkey,
+                    remote_off,
+                    op: crate::packet::AtomicOp::FetchAdd { add },
+                },
+            },
+        );
+    }
+
+    /// Posts an 8-byte compare-and-swap; the original value lands at
+    /// `(local_mr, local_off)` (the swap took effect iff it equals
+    /// `compare`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_compare_swap(
+        &mut self,
+        eng: &mut Sim,
+        host: HostId,
+        qpn: Qpn,
+        wr_id: WrId,
+        local_mr: MrKey,
+        local_off: u64,
+        rkey: MrKey,
+        remote_off: u64,
+        compare: u64,
+        swap: u64,
+    ) {
+        self.post(
+            eng,
+            host,
+            qpn,
+            WorkRequest {
+                id: wr_id,
+                op: WrOp::Atomic {
+                    local_mr,
+                    local_off,
+                    rkey,
+                    remote_off,
+                    op: crate::packet::AtomicOp::CompareSwap { compare, swap },
+                },
+            },
+        );
+    }
+
+    /// Posts a two-sided SEND work request.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_send(
+        &mut self,
+        eng: &mut Sim,
+        host: HostId,
+        qpn: Qpn,
+        wr_id: WrId,
+        local_mr: MrKey,
+        local_off: u64,
+        len: u32,
+    ) {
+        self.post(
+            eng,
+            host,
+            qpn,
+            WorkRequest {
+                id: wr_id,
+                op: WrOp::Send {
+                    local_mr,
+                    local_off,
+                    len,
+                },
+            },
+        );
+    }
+
+    /// Posts an arbitrary work request.
+    pub fn post(&mut self, eng: &mut Sim, host: HostId, qpn: Qpn, wr: WorkRequest) {
+        self.with_qp(eng, host, qpn, move |qp, env, out| qp.post(env, out, wr));
+    }
+
+    /// Posts a receive buffer.
+    pub fn post_recv(&mut self, host: HostId, qpn: Qpn, recv: RecvWr) {
+        if let Some(qp) = self.nics[host.0].qp_mut(qpn) {
+            qp.post_recv(recv);
+        }
+    }
+
+    /// Drains the host completion queue.
+    pub fn poll_cq(&mut self, host: HostId) -> Vec<Completion> {
+        self.nics[host.0].poll_cq()
+    }
+
+    /// Completions currently queued on the host CQ.
+    pub fn cq_len(&self, host: HostId) -> usize {
+        self.nics[host.0].cq_len()
+    }
+
+    /// Registers the completion waker: called with the engine every time
+    /// completions land on any CQ. At most one waker exists; upper layers
+    /// (like `ibsim-ucp`) use it to drive their progress without polling.
+    pub fn set_cq_waker(&mut self, waker: CqWaker) {
+        self.cq_waker = Some(waker);
+    }
+
+    /// True if a completion waker is installed.
+    pub fn has_cq_waker(&self) -> bool {
+        self.cq_waker.is_some()
+    }
+
+    /// True if work request `id` on `qpn` is still pending (not completed).
+    pub fn wr_pending(&self, host: HostId, qpn: Qpn, id: WrId) -> bool {
+        self.nics[host.0]
+            .qp(qpn)
+            .is_some_and(|q| q.is_wr_pending(id))
+    }
+
+    // ------------------------------------------------------------------
+    // Capture
+    // ------------------------------------------------------------------
+
+    /// Starts `ibdump`-style capture on a host.
+    pub fn capture_enable(&mut self, host: HostId) {
+        self.captures[host.0].enable();
+    }
+
+    /// The capture buffer of a host.
+    pub fn capture(&self, host: HostId) -> &Capture<Packet> {
+        &self.captures[host.0]
+    }
+
+    /// Clears a host's capture buffer.
+    pub fn capture_clear(&mut self, host: HostId) {
+        self.captures[host.0].clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Internal glue
+    // ------------------------------------------------------------------
+
+    fn with_qp<F>(&mut self, eng: &mut Sim, host: HostId, qpn: Qpn, f: F)
+    where
+        F: FnOnce(&mut crate::qp::Qp, &mut QpEnv<'_>, &mut Outbox),
+    {
+        let mut out = Outbox::new();
+        {
+            let nic = &mut self.nics[host.0];
+            let mem = &mut self.mems[host.0];
+            let Some((qp, mrs, profile)) = nic.split_mut(qpn) else {
+                return;
+            };
+            let mut env = QpEnv {
+                now: eng.now(),
+                mem,
+                mrs,
+                profile,
+            };
+            f(qp, &mut env, &mut out);
+        }
+        self.nics[host.0].update_recovery(qpn);
+        self.process_outbox(eng, host, qpn, out);
+    }
+
+    fn process_outbox(&mut self, eng: &mut Sim, host: HostId, qpn: Qpn, out: Outbox) {
+        for pkt in out.packets {
+            self.transmit(eng, host, pkt);
+        }
+        let had_completions = !out.completions.is_empty();
+        for c in out.completions {
+            self.nics[host.0].push_completion(c);
+        }
+        if had_completions {
+            if let Some(waker) = self.cq_waker.clone() {
+                waker(eng);
+            }
+        }
+        if out.cancel_ack_timer {
+            if let Some(ev) = self.ack_timer_events.remove(&(host, qpn)) {
+                eng.cancel(ev);
+            }
+        }
+        if let Some(gen) = out.arm_ack_timer {
+            let nic = &self.nics[host.0];
+            let cack = nic
+                .qp(qpn)
+                .map(|q| q.config().cack)
+                .unwrap_or_default();
+            if let Some(t_o) = nic.profile.t_o(cack) {
+                // Timer-management load: many QPs in recovery lengthen the
+                // observed timeout (§VI-C).
+                let load = nic.recovery_count().saturating_sub(1) as f64;
+                let delay = t_o.mul_f64(1.0 + nic.profile.timer_load_coeff * load);
+                let ev = eng.schedule_in(delay, move |c: &mut Cluster, eng| {
+                    c.ack_timer_events.remove(&(host, qpn));
+                    c.with_qp(eng, host, qpn, |qp, env, out| {
+                        qp.on_ack_timeout(env, out, gen)
+                    });
+                });
+                // Re-arming replaces the pending timeout event so stale
+                // no-op events do not linger for a full T_o.
+                if let Some(old) = self.ack_timer_events.insert((host, qpn), ev) {
+                    eng.cancel(old);
+                }
+            }
+        }
+        if let Some((delay, gen)) = out.arm_rnr_timer {
+            eng.schedule_in(delay, move |c: &mut Cluster, eng| {
+                c.with_qp(eng, host, qpn, move |qp, env, out| {
+                    qp.on_rnr_fire(env, out, gen)
+                });
+            });
+        }
+        for (psn, delay, gen) in out.stall_ticks {
+            eng.schedule_in(delay, move |c: &mut Cluster, eng| {
+                c.with_qp(eng, host, qpn, move |qp, env, out| {
+                    qp.on_stall_tick(env, out, psn, gen)
+                });
+            });
+        }
+        let mut kick = false;
+        for (mr, page) in out.faults {
+            let lo = self.nics[host.0].profile.fault_latency_min.as_ns();
+            let hi = self.nics[host.0].profile.fault_latency_max.as_ns();
+            let latency = SimTime::from_ns(lo + self.rng.next_below((hi - lo).max(1)));
+            self.drivers[host.0].push_fault(mr, page, latency);
+            kick = true;
+        }
+        for (mr, page) in out.fault_waits {
+            self.nics[host.0].register_fault_waiter(qpn, mr, page);
+        }
+        for _ in 0..out.irqs {
+            self.drivers[host.0].push_irq();
+            kick = true;
+        }
+        if kick {
+            self.driver_kick(eng, host);
+        }
+    }
+
+    fn transmit(&mut self, eng: &mut Sim, host: HostId, pkt: Packet) {
+        self.stats.total_packets += 1;
+        match (&pkt.kind, pkt.retransmit) {
+            (PacketKind::Ack, _) => self.stats.ack_packets += 1,
+            (PacketKind::Nak(crate::packet::NakKind::Rnr { .. }), _) => {
+                self.stats.rnr_nak_packets += 1
+            }
+            (PacketKind::Nak(crate::packet::NakKind::SequenceError { .. }), _) => {
+                self.stats.seq_nak_packets += 1
+            }
+            (PacketKind::Nak(_), _) => {}
+            (PacketKind::ReadResponse { .. }, _) => self.stats.response_packets += 1,
+            (_, true) => self.stats.retransmit_packets += 1,
+            (_, false) => self.stats.request_packets += 1,
+        }
+        let bytes = pkt.wire_bytes();
+        let src_lid = pkt.src;
+        let dst_lid = pkt.dst;
+        if pkt.ghost {
+            // Damming quirk: the capture sees it, the wire never does.
+            self.stats.ghost_packets += 1;
+            self.captures[host.0].record(
+                eng.now(),
+                Direction::Tx,
+                src_lid,
+                dst_lid,
+                bytes,
+                true,
+                pkt,
+            );
+            return;
+        }
+        let send_overhead = self.nics[host.0].profile.send_overhead;
+        let submit = eng.now() + send_overhead;
+        let delivery = self.fabric.transit(submit, src_lid, dst_lid, bytes);
+        let dropped = delivery.arrival().is_none();
+        if dropped {
+            self.stats.fabric_drops += 1;
+        }
+        self.captures[host.0].record(
+            eng.now(),
+            Direction::Tx,
+            src_lid,
+            dst_lid,
+            bytes,
+            dropped,
+            pkt.clone(),
+        );
+        if let Delivery::Deliver { at } = delivery {
+            let Some(&dst_host) = self.lid_to_host.get(&dst_lid) else {
+                return;
+            };
+            let recv_overhead = self.nics[dst_host.0].profile.recv_overhead;
+            eng.schedule_at(at + recv_overhead, move |c: &mut Cluster, eng| {
+                c.deliver(eng, dst_host, pkt);
+            });
+        }
+    }
+
+    fn deliver(&mut self, eng: &mut Sim, host: HostId, pkt: Packet) {
+        self.captures[host.0].record(
+            eng.now(),
+            Direction::Rx,
+            pkt.src,
+            pkt.dst,
+            pkt.wire_bytes(),
+            false,
+            pkt.clone(),
+        );
+        let qpn = pkt.dst_qp;
+        self.with_qp(eng, host, qpn, move |qp, env, out| {
+            qp.on_packet(env, out, &pkt)
+        });
+    }
+
+    fn driver_kick(&mut self, eng: &mut Sim, host: HostId) {
+        if let Some((work, cost)) = self.drivers[host.0].begin_next() {
+            eng.schedule_in(cost, move |c: &mut Cluster, eng| {
+                c.on_driver_done(eng, host, work);
+            });
+        }
+    }
+
+    fn on_driver_done(&mut self, eng: &mut Sim, host: HostId, work: DriverWork) {
+        self.drivers[host.0].finish();
+        match work {
+            DriverWork::FaultResolved { mr, page } => {
+                if let Some(region) = self.nics[host.0].mrs.get_mut(&mr) {
+                    region.set_page_state(page, crate::mem::PageState::Mapped);
+                }
+                let waiters = self.nics[host.0].take_fault_waiters(mr, page);
+                let slots = self.nics[host.0].profile.resume_slots as usize;
+                let stale: Vec<Qpn> = if waiters.len() > slots {
+                    waiters[..waiters.len() - slots].to_vec()
+                } else {
+                    Vec::new()
+                };
+                // Flood: QPs beyond the NIC's instant-resume capacity get a
+                // stale page status that only a serialized driver resume
+                // refreshes (§VI-B "update failure of page statuses").
+                for &q in &stale {
+                    if let Some(qp) = self.nics[host.0].qp_mut(q) {
+                        qp.mark_page_stale(mr, page);
+                    }
+                    self.drivers[host.0].push_resume(q, mr, page);
+                }
+                let all: Vec<Qpn> = self.nics[host.0].qpns().to_vec();
+                for q in all {
+                    if stale.contains(&q) {
+                        continue;
+                    }
+                    self.with_qp(eng, host, q, move |qp, env, out| {
+                        qp.on_page_ready(env, out, mr, page)
+                    });
+                }
+            }
+            DriverWork::QpResumed { qpn, mr, page } => {
+                self.with_qp(eng, host, qpn, move |qp, env, out| {
+                    qp.on_page_ready(env, out, mr, page)
+                });
+            }
+            DriverWork::IrqBatch { .. } => {}
+        }
+        self.driver_kick(eng, host);
+    }
+}

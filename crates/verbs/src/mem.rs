@@ -1,0 +1,389 @@
+//! Host memory and memory regions.
+//!
+//! Each host owns a sparse byte-addressable [`Memory`]. Registering a
+//! [`MemRegion`] makes a range of it visible to the RNIC, either *pinned*
+//! (the classic path: every page mapped in the NIC translation table at
+//! registration time) or *ODP* (pages start unmapped; access triggers
+//! network page faults, §III).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::types::{MrKey, PAGE_SIZE};
+
+/// Sparse page-granular memory for one host.
+///
+/// Pages materialize zero-filled on first access, which doubles as a
+/// first-touch model: [`Memory::is_resident`] tells whether the OS has the
+/// page yet.
+///
+/// # Examples
+///
+/// ```
+/// use ibsim_verbs::Memory;
+///
+/// let mut mem = Memory::new();
+/// mem.write(0x1000, b"hello");
+/// assert_eq!(mem.read(0x1000, 5), b"hello");
+/// assert!(mem.is_resident(0x1000));
+/// assert!(!mem.is_resident(0x9000));
+/// ```
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8]>>,
+    next_alloc: u64,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Memory {
+            pages: HashMap::new(),
+            // Start allocations away from address zero so that a zero
+            // address is always a bug, never a valid buffer.
+            next_alloc: 0x1000,
+        }
+    }
+
+    /// Reserves `len` bytes of fresh page-aligned address space and
+    /// returns its base address. No pages are materialized yet.
+    pub fn alloc(&mut self, len: u64) -> u64 {
+        let base = self.next_alloc;
+        let span = len.max(1).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        self.next_alloc = base + span + PAGE_SIZE; // guard page
+        base
+    }
+
+    fn page_base(addr: u64) -> u64 {
+        addr & !(PAGE_SIZE - 1)
+    }
+
+    /// True if the page containing `addr` has been materialized.
+    pub fn is_resident(&self, addr: u64) -> bool {
+        self.pages.contains_key(&Self::page_base(addr))
+    }
+
+    /// Materializes the page containing `addr` (first touch).
+    pub fn touch(&mut self, addr: u64) {
+        self.pages
+            .entry(Self::page_base(addr))
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+    }
+
+    /// Reads `len` bytes at `addr`, materializing pages as needed.
+    pub fn read(&mut self, addr: u64, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut a = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            self.touch(a);
+            let base = Self::page_base(a);
+            let off = (a - base) as usize;
+            let take = remaining.min(PAGE_SIZE as usize - off);
+            let page = self.pages.get(&base).expect("touched above");
+            out.extend_from_slice(&page[off..off + take]);
+            a += take as u64;
+            remaining -= take;
+        }
+        out
+    }
+
+    /// Writes `data` at `addr`, materializing pages as needed.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let mut a = addr;
+        let mut src = data;
+        while !src.is_empty() {
+            self.touch(a);
+            let base = Self::page_base(a);
+            let off = (a - base) as usize;
+            let take = src.len().min(PAGE_SIZE as usize - off);
+            let page = self.pages.get_mut(&base).expect("touched above");
+            page[off..off + take].copy_from_slice(&src[..take]);
+            a += take as u64;
+            src = &src[take..];
+        }
+    }
+
+    /// Number of materialized pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// How a memory region is registered with the RNIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MrMode {
+    /// Classic registration: pages pinned and NIC-mapped up front.
+    Pinned,
+    /// On-Demand Paging: pages mapped lazily via network page faults.
+    Odp,
+}
+
+impl fmt::Display for MrMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrMode::Pinned => write!(f, "pinned"),
+            MrMode::Odp => write!(f, "odp"),
+        }
+    }
+}
+
+/// NIC-side mapping state of one page of an ODP region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Not in the NIC translation table; access faults.
+    Unmapped,
+    /// A network page fault is being resolved by the driver.
+    Faulting,
+    /// Present in the NIC translation table.
+    Mapped,
+}
+
+/// A registered memory region as the RNIC sees it.
+#[derive(Debug)]
+pub struct MemRegion {
+    key: MrKey,
+    base: u64,
+    len: u64,
+    mode: MrMode,
+    pages: Vec<PageState>,
+    /// Total network page faults raised on this region (diagnostics; the
+    /// paper reads the equivalent counters from `/sys`).
+    pub fault_count: u64,
+    /// Total invalidations applied to this region.
+    pub invalidation_count: u64,
+}
+
+impl MemRegion {
+    /// Creates a region covering `[base, base+len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(key: MrKey, base: u64, len: u64, mode: MrMode) -> Self {
+        assert!(len > 0, "cannot register an empty memory region");
+        let first_page = base / PAGE_SIZE;
+        let last_page = (base + len - 1) / PAGE_SIZE;
+        let n = (last_page - first_page + 1) as usize;
+        let initial = match mode {
+            MrMode::Pinned => PageState::Mapped,
+            MrMode::Odp => PageState::Unmapped,
+        };
+        MemRegion {
+            key,
+            base,
+            len,
+            mode,
+            pages: vec![initial; n],
+            fault_count: 0,
+            invalidation_count: 0,
+        }
+    }
+
+    /// The region's key (lkey/rkey).
+    pub fn key(&self) -> MrKey {
+        self.key
+    }
+
+    /// Base virtual address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the region registers no bytes (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Registration mode.
+    pub fn mode(&self) -> MrMode {
+        self.mode
+    }
+
+    /// Number of pages the region spans.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True if `[offset, offset+len)` lies within the region.
+    pub fn contains(&self, offset: u64, len: u32) -> bool {
+        offset
+            .checked_add(len as u64)
+            .is_some_and(|end| end <= self.len)
+    }
+
+    /// Page index within the region for a byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is out of bounds.
+    pub fn page_of(&self, offset: u64) -> usize {
+        assert!(offset < self.len, "offset {offset} beyond region {}", self.len);
+        (((self.base + offset) / PAGE_SIZE) - self.base / PAGE_SIZE) as usize
+    }
+
+    /// Indices of the pages touched by `[offset, offset+len)`.
+    pub fn pages_spanned(&self, offset: u64, len: u32) -> std::ops::RangeInclusive<usize> {
+        assert!(self.contains(offset, len), "range out of bounds");
+        let last = if len == 0 { offset } else { offset + len as u64 - 1 };
+        self.page_of(offset)..=self.page_of(last)
+    }
+
+    /// Mapping state of page `idx`.
+    pub fn page_state(&self, idx: usize) -> PageState {
+        self.pages[idx]
+    }
+
+    /// Sets the mapping state of page `idx`.
+    pub fn set_page_state(&mut self, idx: usize, state: PageState) {
+        self.pages[idx] = state;
+    }
+
+    /// True if every page covering the range is NIC-mapped.
+    pub fn range_mapped(&self, offset: u64, len: u32) -> bool {
+        self.pages_spanned(offset, len)
+            .all(|p| self.pages[p] == PageState::Mapped)
+    }
+
+    /// First non-mapped page index covering the range, if any.
+    pub fn first_unmapped(&self, offset: u64, len: u32) -> Option<usize> {
+        self.pages_spanned(offset, len)
+            .find(|&p| self.pages[p] != PageState::Mapped)
+    }
+
+    /// Maps every page (pre-touch / prefetch, like `ibv_advise_mr`).
+    pub fn map_all(&mut self) {
+        for p in &mut self.pages {
+            *p = PageState::Mapped;
+        }
+    }
+
+    /// Invalidates one page (kernel reclaimed it). Only meaningful for ODP
+    /// regions; pinned pages cannot be reclaimed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a pinned region.
+    pub fn invalidate_page(&mut self, idx: usize) {
+        assert_eq!(
+            self.mode,
+            MrMode::Odp,
+            "cannot invalidate a pinned region's page"
+        );
+        self.pages[idx] = PageState::Unmapped;
+        self.invalidation_count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_read_write_roundtrip() {
+        let mut m = Memory::new();
+        let a = m.alloc(10_000);
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        m.write(a, &data);
+        assert_eq!(m.read(a, 10_000), data);
+    }
+
+    #[test]
+    fn memory_crosses_page_boundaries() {
+        let mut m = Memory::new();
+        let a = m.alloc(2 * PAGE_SIZE);
+        let addr = a + PAGE_SIZE - 3;
+        m.write(addr, b"abcdef");
+        assert_eq!(m.read(addr, 6), b"abcdef");
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn alloc_is_page_aligned_and_disjoint() {
+        let mut m = Memory::new();
+        let a = m.alloc(100);
+        let b = m.alloc(100);
+        assert_eq!(a % PAGE_SIZE, 0);
+        assert_eq!(b % PAGE_SIZE, 0);
+        assert!(b >= a + PAGE_SIZE);
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mut m = Memory::new();
+        let a = m.alloc(100);
+        assert_eq!(m.read(a, 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn pinned_region_starts_mapped() {
+        let r = MemRegion::new(MrKey(1), 0x1000, 8192, MrMode::Pinned);
+        assert_eq!(r.page_count(), 2);
+        assert!(r.range_mapped(0, 8192));
+        assert_eq!(r.first_unmapped(0, 8192), None);
+    }
+
+    #[test]
+    fn odp_region_starts_unmapped() {
+        let r = MemRegion::new(MrKey(1), 0x1000, 8192, MrMode::Odp);
+        assert!(!r.range_mapped(0, 1));
+        assert_eq!(r.first_unmapped(0, 8192), Some(0));
+        assert_eq!(r.page_state(0), PageState::Unmapped);
+    }
+
+    #[test]
+    fn page_math_with_unaligned_base() {
+        // Region starting mid-page: page 0 covers the first partial page.
+        let r = MemRegion::new(MrKey(1), 0x1800, 4096, MrMode::Odp);
+        assert_eq!(r.page_count(), 2);
+        assert_eq!(r.page_of(0), 0);
+        assert_eq!(r.page_of(0x7FF), 0);
+        assert_eq!(r.page_of(0x800), 1);
+        assert_eq!(r.pages_spanned(0, 4096), 0..=1);
+    }
+
+    #[test]
+    fn pages_spanned_single_byte() {
+        let r = MemRegion::new(MrKey(1), 0, 4096 * 3, MrMode::Odp);
+        assert_eq!(r.pages_spanned(4096, 1), 1..=1);
+        assert_eq!(r.pages_spanned(4095, 2), 0..=1);
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let r = MemRegion::new(MrKey(1), 0, 4096, MrMode::Pinned);
+        assert!(r.contains(0, 4096));
+        assert!(!r.contains(1, 4096));
+        assert!(!r.contains(4096, 1));
+        assert!(r.contains(4095, 1));
+    }
+
+    #[test]
+    fn map_all_and_invalidate() {
+        let mut r = MemRegion::new(MrKey(1), 0, 8192, MrMode::Odp);
+        r.map_all();
+        assert!(r.range_mapped(0, 8192));
+        r.invalidate_page(1);
+        assert_eq!(r.page_state(1), PageState::Unmapped);
+        assert_eq!(r.invalidation_count, 1);
+        assert_eq!(r.first_unmapped(0, 8192), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot invalidate a pinned region")]
+    fn invalidating_pinned_panics() {
+        let mut r = MemRegion::new(MrKey(1), 0, 4096, MrMode::Pinned);
+        r.invalidate_page(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot register an empty memory region")]
+    fn empty_region_panics() {
+        MemRegion::new(MrKey(1), 0, 0, MrMode::Pinned);
+    }
+}

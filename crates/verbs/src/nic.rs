@@ -1,0 +1,221 @@
+//! The RNIC: QPs, memory regions, completion queue and flood bookkeeping
+//! for one host.
+
+use std::collections::{HashMap, VecDeque};
+
+use ibsim_fabric::Lid;
+
+use crate::device::DeviceProfile;
+use crate::mem::{MemRegion, MrMode};
+use crate::qp::{Qp, QpConfig};
+use crate::types::{HostId, MrKey, Qpn};
+use crate::wr::Completion;
+
+/// One RDMA network interface card and its host-side objects.
+#[derive(Debug)]
+pub struct Nic {
+    /// Owning host.
+    pub host: HostId,
+    /// Port address on the subnet.
+    pub lid: Lid,
+    /// Hardware/driver model.
+    pub profile: DeviceProfile,
+    /// Registered memory regions, keyed by lkey/rkey.
+    pub mrs: HashMap<MrKey, MemRegion>,
+    qps: HashMap<Qpn, Qp>,
+    /// QPs in creation order, for deterministic iteration.
+    qp_order: Vec<Qpn>,
+    next_qpn: u32,
+    next_mr: u32,
+    cq: VecDeque<Completion>,
+    /// Requester-side QPs waiting for a page fault, in stall order.
+    fault_waiters: HashMap<(MrKey, usize), Vec<Qpn>>,
+    /// Number of QPs currently in fault recovery (timer-load model).
+    recovery_members: std::collections::HashSet<Qpn>,
+}
+
+impl Nic {
+    /// Creates a NIC on `host` at port `lid`.
+    pub fn new(host: HostId, lid: Lid, profile: DeviceProfile) -> Self {
+        Nic {
+            host,
+            lid,
+            profile,
+            mrs: HashMap::new(),
+            qps: HashMap::new(),
+            qp_order: Vec::new(),
+            next_qpn: 1,
+            next_mr: 1,
+            cq: VecDeque::new(),
+            fault_waiters: HashMap::new(),
+            recovery_members: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Creates a QP in the RTS-pending state; connect it before use.
+    pub fn create_qp(&mut self, cfg: QpConfig) -> Qpn {
+        let qpn = Qpn(self.next_qpn);
+        self.next_qpn += 1;
+        self.qps.insert(qpn, Qp::new(qpn, self.lid, cfg));
+        self.qp_order.push(qpn);
+        qpn
+    }
+
+    /// Registers `[base, base+len)` as a memory region.
+    pub fn reg_mr(&mut self, base: u64, len: u64, mode: MrMode) -> MrKey {
+        let key = MrKey(self.next_mr);
+        self.next_mr += 1;
+        self.mrs.insert(key, MemRegion::new(key, base, len, mode));
+        key
+    }
+
+    /// Immutable QP access.
+    pub fn qp(&self, qpn: Qpn) -> Option<&Qp> {
+        self.qps.get(&qpn)
+    }
+
+    /// Mutable QP access.
+    pub fn qp_mut(&mut self, qpn: Qpn) -> Option<&mut Qp> {
+        self.qps.get_mut(&qpn)
+    }
+
+    /// QPs in creation order (deterministic).
+    pub fn qpns(&self) -> &[Qpn] {
+        &self.qp_order
+    }
+
+    /// Splits the NIC into the pieces a QP handler needs simultaneously:
+    /// the QP itself, the MR table, and the device profile.
+    pub fn split_mut(
+        &mut self,
+        qpn: Qpn,
+    ) -> Option<(&mut Qp, &mut HashMap<MrKey, MemRegion>, &DeviceProfile)> {
+        let qp = self.qps.get_mut(&qpn)?;
+        Some((qp, &mut self.mrs, &self.profile))
+    }
+
+    /// Number of QPs.
+    pub fn qp_count(&self) -> usize {
+        self.qp_order.len()
+    }
+
+    /// Pushes a completion onto the host CQ.
+    pub fn push_completion(&mut self, c: Completion) {
+        self.cq.push_back(c);
+    }
+
+    /// Drains the completion queue.
+    pub fn poll_cq(&mut self) -> Vec<Completion> {
+        self.cq.drain(..).collect()
+    }
+
+    /// Completions currently queued.
+    pub fn cq_len(&self) -> usize {
+        self.cq.len()
+    }
+
+    /// Registers `qpn` as waiting for `(mr, page)` (requester side); used
+    /// by the flood model to decide who needs a per-QP resume.
+    pub fn register_fault_waiter(&mut self, qpn: Qpn, mr: MrKey, page: usize) {
+        let list = self.fault_waiters.entry((mr, page)).or_default();
+        if !list.contains(&qpn) {
+            list.push(qpn);
+        }
+    }
+
+    /// Takes (and clears) the waiter list for `(mr, page)`, in stall order.
+    pub fn take_fault_waiters(&mut self, mr: MrKey, page: usize) -> Vec<Qpn> {
+        self.fault_waiters.remove(&(mr, page)).unwrap_or_default()
+    }
+
+    /// Refreshes the recovery-membership of `qpn` after an interaction;
+    /// returns the number of QPs currently in recovery.
+    pub fn update_recovery(&mut self, qpn: Qpn) -> usize {
+        let in_rec = self
+            .qps
+            .get(&qpn)
+            .map(|q| q.in_recovery())
+            .unwrap_or(false);
+        if in_rec {
+            self.recovery_members.insert(qpn);
+        } else {
+            self.recovery_members.remove(&qpn);
+        }
+        self.recovery_members.len()
+    }
+
+    /// Number of QPs currently in fault recovery.
+    pub fn recovery_count(&self) -> usize {
+        self.recovery_members.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibsim_fabric::LinkSpec;
+
+    fn nic() -> Nic {
+        Nic::new(
+            HostId(0),
+            Lid(1),
+            DeviceProfile::connectx4(LinkSpec::fdr()),
+        )
+    }
+
+    #[test]
+    fn qpns_are_dense_and_ordered() {
+        let mut n = nic();
+        let a = n.create_qp(QpConfig::default());
+        let b = n.create_qp(QpConfig::default());
+        assert_eq!(a, Qpn(1));
+        assert_eq!(b, Qpn(2));
+        assert_eq!(n.qpns(), &[a, b]);
+        assert_eq!(n.qp_count(), 2);
+        assert!(n.qp(a).is_some());
+        assert!(n.qp(Qpn(99)).is_none());
+    }
+
+    #[test]
+    fn mr_keys_are_unique() {
+        let mut n = nic();
+        let a = n.reg_mr(0x1000, 4096, MrMode::Pinned);
+        let b = n.reg_mr(0x9000, 4096, MrMode::Odp);
+        assert_ne!(a, b);
+        assert_eq!(n.mrs[&a].mode(), MrMode::Pinned);
+        assert_eq!(n.mrs[&b].mode(), MrMode::Odp);
+    }
+
+    #[test]
+    fn fault_waiters_dedupe_and_preserve_order() {
+        let mut n = nic();
+        let q1 = n.create_qp(QpConfig::default());
+        let q2 = n.create_qp(QpConfig::default());
+        n.register_fault_waiter(q1, MrKey(1), 0);
+        n.register_fault_waiter(q2, MrKey(1), 0);
+        n.register_fault_waiter(q1, MrKey(1), 0); // duplicate
+        assert_eq!(n.take_fault_waiters(MrKey(1), 0), vec![q1, q2]);
+        assert!(n.take_fault_waiters(MrKey(1), 0).is_empty());
+    }
+
+    #[test]
+    fn cq_drains_in_order() {
+        use crate::wr::{WcOpcode, WcStatus};
+        use ibsim_event::SimTime;
+        let mut n = nic();
+        for i in 0..3 {
+            n.push_completion(Completion {
+                wr_id: crate::types::WrId(i),
+                qpn: Qpn(1),
+                status: WcStatus::Success,
+                opcode: WcOpcode::Read,
+                bytes: 0,
+                at: SimTime::ZERO,
+            });
+        }
+        assert_eq!(n.cq_len(), 3);
+        let ids: Vec<u64> = n.poll_cq().iter().map(|c| c.wr_id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(n.cq_len(), 0);
+    }
+}

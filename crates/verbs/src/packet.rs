@@ -1,0 +1,384 @@
+//! Wire packet formats.
+//!
+//! The simulator models packets at the granularity `ibdump` shows them:
+//! opcode, PSN, addressing, and payload bytes. Multi-MTU messages are
+//! segmented into FIRST/MIDDLE/LAST packets each carrying its own PSN,
+//! exactly as RC does on the wire.
+
+use core::fmt;
+
+use crate::types::{MrKey, Psn, Qpn, AETH_BYTES, ATOMIC_ETH_BYTES, BASE_HEADER_BYTES, RETH_BYTES};
+use ibsim_fabric::Lid;
+
+/// Position of a packet within a segmented message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegPos {
+    /// The message fits in one packet.
+    Only,
+    /// First packet of a multi-packet message.
+    First,
+    /// Interior packet.
+    Middle,
+    /// Final packet of a multi-packet message.
+    Last,
+}
+
+impl SegPos {
+    /// Computes the position of segment `idx` out of `total`.
+    pub fn of(idx: u32, total: u32) -> SegPos {
+        match (idx, total) {
+            (_, 1) => SegPos::Only,
+            (0, _) => SegPos::First,
+            (i, t) if i + 1 == t => SegPos::Last,
+            _ => SegPos::Middle,
+        }
+    }
+
+    /// True for `Only` and `Last`: the packet completes a message.
+    pub fn is_final(self) -> bool {
+        matches!(self, SegPos::Only | SegPos::Last)
+    }
+}
+
+impl fmt::Display for SegPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegPos::Only => write!(f, "ONLY"),
+            SegPos::First => write!(f, "FIRST"),
+            SegPos::Middle => write!(f, "MID"),
+            SegPos::Last => write!(f, "LAST"),
+        }
+    }
+}
+
+/// NAK subtypes the simulator distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NakKind {
+    /// Receiver Not Ready: retry after at least the advertised delay.
+    Rnr {
+        /// Minimum delay before retrying (decoded from the 5-bit field).
+        delay: ibsim_event::SimTime,
+    },
+    /// PSN sequence error: the responder expected `epsn`.
+    SequenceError {
+        /// The PSN the responder expects next.
+        epsn: Psn,
+    },
+    /// The request named an invalid rkey or an out-of-bounds range.
+    RemoteAccess,
+}
+
+impl fmt::Display for NakKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NakKind::Rnr { delay } => write!(f, "RNR({delay})"),
+            NakKind::SequenceError { epsn } => write!(f, "SEQ_ERR(exp {epsn})"),
+            NakKind::RemoteAccess => write!(f, "REM_ACCESS_ERR"),
+        }
+    }
+}
+
+/// The two InfiniBand atomic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicOp {
+    /// Fetch-and-add: returns the original value, stores `original + add`.
+    FetchAdd {
+        /// The addend.
+        add: u64,
+    },
+    /// Compare-and-swap: returns the original value, stores `swap` only
+    /// if the original equals `compare`.
+    CompareSwap {
+        /// Expected value.
+        compare: u64,
+        /// Replacement value.
+        swap: u64,
+    },
+}
+
+/// Transport-level content of a packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PacketKind {
+    /// RDMA READ request: asks the responder to return `len` bytes from
+    /// `(rkey, addr)`. Consumes `resp_packets` PSNs (one per response
+    /// segment).
+    ReadRequest {
+        /// Remote key of the target memory region.
+        rkey: MrKey,
+        /// Byte offset within the target region.
+        addr: u64,
+        /// Number of bytes to read.
+        len: u32,
+        /// Number of response packets (and PSNs) this READ spans.
+        resp_packets: u32,
+    },
+    /// One segment of an RDMA READ response carrying `data`.
+    ReadResponse {
+        /// Segment position.
+        seg: SegPos,
+        /// Payload bytes of this segment.
+        data: Vec<u8>,
+        /// PSN of the request packet this responds to.
+        req_psn: Psn,
+        /// Byte offset of this segment within the whole READ.
+        offset: u32,
+    },
+    /// One segment of an RDMA WRITE request.
+    WriteRequest {
+        /// Segment position.
+        seg: SegPos,
+        /// Remote key of the target memory region.
+        rkey: MrKey,
+        /// Byte offset of this segment's destination within the region.
+        addr: u64,
+        /// Payload bytes of this segment.
+        data: Vec<u8>,
+    },
+    /// One segment of a two-sided SEND.
+    Send {
+        /// Segment position.
+        seg: SegPos,
+        /// Payload bytes of this segment.
+        data: Vec<u8>,
+    },
+    /// An 8-byte atomic request.
+    AtomicRequest {
+        /// The operation.
+        op: AtomicOp,
+        /// Remote key of the target memory region.
+        rkey: MrKey,
+        /// Byte offset of the 8-byte target within the region.
+        addr: u64,
+    },
+    /// The original 64-bit value returned by an atomic.
+    AtomicResponse {
+        /// Value at the target before the operation.
+        original: u64,
+        /// PSN of the request this responds to.
+        req_psn: Psn,
+    },
+    /// Positive acknowledgment of everything up to and including `psn`
+    /// (the PSN is carried in the BTH; field kept explicit for clarity).
+    Ack,
+    /// Negative acknowledgment.
+    Nak(NakKind),
+}
+
+impl PacketKind {
+    /// Short opcode mnemonic, as a capture tool would print.
+    pub fn opcode(&self) -> &'static str {
+        match self {
+            PacketKind::ReadRequest { .. } => "RDMA_READ_REQ",
+            PacketKind::ReadResponse { seg, .. } => match seg {
+                SegPos::Only => "RDMA_READ_RESP_ONLY",
+                SegPos::First => "RDMA_READ_RESP_FIRST",
+                SegPos::Middle => "RDMA_READ_RESP_MID",
+                SegPos::Last => "RDMA_READ_RESP_LAST",
+            },
+            PacketKind::WriteRequest { seg, .. } => match seg {
+                SegPos::Only => "RDMA_WRITE_ONLY",
+                SegPos::First => "RDMA_WRITE_FIRST",
+                SegPos::Middle => "RDMA_WRITE_MID",
+                SegPos::Last => "RDMA_WRITE_LAST",
+            },
+            PacketKind::Send { seg, .. } => match seg {
+                SegPos::Only => "SEND_ONLY",
+                SegPos::First => "SEND_FIRST",
+                SegPos::Middle => "SEND_MID",
+                SegPos::Last => "SEND_LAST",
+            },
+            PacketKind::AtomicRequest { op: AtomicOp::FetchAdd { .. }, .. } => "FETCH_ADD",
+            PacketKind::AtomicRequest { op: AtomicOp::CompareSwap { .. }, .. } => "CMP_SWAP",
+            PacketKind::AtomicResponse { .. } => "ATOMIC_ACK",
+            PacketKind::Ack => "ACK",
+            PacketKind::Nak(NakKind::Rnr { .. }) => "RNR_NAK",
+            PacketKind::Nak(NakKind::SequenceError { .. }) => "NAK_SEQ_ERR",
+            PacketKind::Nak(NakKind::RemoteAccess) => "NAK_REM_ACCESS",
+        }
+    }
+
+    /// True for requester→responder packets that consume a request PSN.
+    pub fn is_request(&self) -> bool {
+        matches!(
+            self,
+            PacketKind::ReadRequest { .. }
+                | PacketKind::WriteRequest { .. }
+                | PacketKind::Send { .. }
+                | PacketKind::AtomicRequest { .. }
+        )
+    }
+
+    /// True for READ response segments.
+    pub fn is_read_response(&self) -> bool {
+        matches!(self, PacketKind::ReadResponse { .. })
+    }
+}
+
+/// A packet on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Source port LID.
+    pub src: Lid,
+    /// Destination port LID.
+    pub dst: Lid,
+    /// Destination QP number (BTH field).
+    pub dst_qp: Qpn,
+    /// Source QP number (for capture readability; RC peers know each other).
+    pub src_qp: Qpn,
+    /// Packet sequence number.
+    pub psn: Psn,
+    /// Transport content.
+    pub kind: PacketKind,
+    /// Damming-quirk marker: the packet appears in the sender-side capture
+    /// but is never delivered (see `DeviceProfile::damming`).
+    pub ghost: bool,
+    /// True if this transmission is a retransmission.
+    pub retransmit: bool,
+}
+
+impl Packet {
+    /// Total wire size in bytes (headers + payload).
+    pub fn wire_bytes(&self) -> u32 {
+        let payload = match &self.kind {
+            PacketKind::ReadRequest { .. } | PacketKind::AtomicRequest { .. } => 0,
+            PacketKind::ReadResponse { data, .. } => data.len() as u32,
+            PacketKind::WriteRequest { data, .. } => data.len() as u32,
+            PacketKind::Send { data, .. } => data.len() as u32,
+            PacketKind::AtomicResponse { .. } => 8,
+            PacketKind::Ack | PacketKind::Nak(_) => 0,
+        };
+        let ext = match &self.kind {
+            PacketKind::ReadRequest { .. } | PacketKind::WriteRequest { .. } => RETH_BYTES,
+            PacketKind::AtomicRequest { .. } => ATOMIC_ETH_BYTES,
+            PacketKind::Ack
+            | PacketKind::Nak(_)
+            | PacketKind::ReadResponse { .. }
+            | PacketKind::AtomicResponse { .. } => AETH_BYTES,
+            PacketKind::Send { .. } => 0,
+        };
+        BASE_HEADER_BYTES + ext + payload
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind.opcode(), self.psn)?;
+        match &self.kind {
+            PacketKind::ReadRequest { addr, len, .. } => {
+                write!(f, " addr=0x{addr:x} len={len}")?;
+            }
+            PacketKind::ReadResponse { req_psn, data, .. } => {
+                write!(f, " req={req_psn} len={}", data.len())?;
+            }
+            PacketKind::WriteRequest { addr, data, .. } => {
+                write!(f, " addr=0x{addr:x} len={}", data.len())?;
+            }
+            PacketKind::Send { data, .. } => write!(f, " len={}", data.len())?,
+            PacketKind::AtomicRequest { op, addr, .. } => match op {
+                AtomicOp::FetchAdd { add } => write!(f, " addr=0x{addr:x} add={add}")?,
+                AtomicOp::CompareSwap { compare, swap } => {
+                    write!(f, " addr=0x{addr:x} cmp={compare} swap={swap}")?
+                }
+            },
+            PacketKind::AtomicResponse { original, req_psn } => {
+                write!(f, " orig={original} req={req_psn}")?
+            }
+            PacketKind::Ack => {}
+            PacketKind::Nak(k) => write!(f, " {k}")?,
+        }
+        if self.retransmit {
+            write!(f, " [RETX]")?;
+        }
+        if self.ghost {
+            write!(f, " [GHOST]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(kind: PacketKind) -> Packet {
+        Packet {
+            src: Lid(1),
+            dst: Lid(2),
+            dst_qp: Qpn(5),
+            src_qp: Qpn(4),
+            psn: Psn::new(9),
+            kind,
+            ghost: false,
+            retransmit: false,
+        }
+    }
+
+    #[test]
+    fn seg_pos_of() {
+        assert_eq!(SegPos::of(0, 1), SegPos::Only);
+        assert_eq!(SegPos::of(0, 3), SegPos::First);
+        assert_eq!(SegPos::of(1, 3), SegPos::Middle);
+        assert_eq!(SegPos::of(2, 3), SegPos::Last);
+        assert!(SegPos::Only.is_final());
+        assert!(SegPos::Last.is_final());
+        assert!(!SegPos::First.is_final());
+    }
+
+    #[test]
+    fn wire_bytes_counts_headers() {
+        let req = packet(PacketKind::ReadRequest {
+            rkey: MrKey(1),
+            addr: 0,
+            len: 100,
+            resp_packets: 1,
+        });
+        assert_eq!(req.wire_bytes(), BASE_HEADER_BYTES + RETH_BYTES);
+        let resp = packet(PacketKind::ReadResponse {
+            seg: SegPos::Only,
+            data: vec![0u8; 100],
+            req_psn: Psn::new(9),
+            offset: 0,
+        });
+        assert_eq!(resp.wire_bytes(), BASE_HEADER_BYTES + AETH_BYTES + 100);
+        let ack = packet(PacketKind::Ack);
+        assert_eq!(ack.wire_bytes(), BASE_HEADER_BYTES + AETH_BYTES);
+    }
+
+    #[test]
+    fn opcodes_match_segments() {
+        let p = packet(PacketKind::Send {
+            seg: SegPos::First,
+            data: vec![],
+        });
+        assert_eq!(p.kind.opcode(), "SEND_FIRST");
+        assert!(p.kind.is_request());
+        let r = packet(PacketKind::ReadResponse {
+            seg: SegPos::Last,
+            data: vec![],
+            req_psn: Psn::new(0),
+            offset: 0,
+        });
+        assert_eq!(r.kind.opcode(), "RDMA_READ_RESP_LAST");
+        assert!(r.kind.is_read_response());
+        assert!(!r.kind.is_request());
+    }
+
+    #[test]
+    fn display_includes_markers() {
+        let mut p = packet(PacketKind::Ack);
+        p.retransmit = true;
+        p.ghost = true;
+        let s = p.to_string();
+        assert!(s.contains("[RETX]"));
+        assert!(s.contains("[GHOST]"));
+        assert!(s.contains("ACK"));
+    }
+
+    #[test]
+    fn nak_display() {
+        let p = packet(PacketKind::Nak(NakKind::SequenceError {
+            epsn: Psn::new(3),
+        }));
+        assert!(p.to_string().contains("SEQ_ERR(exp psn3)"));
+    }
+}

@@ -1,0 +1,1580 @@
+//! The Reliable Connection queue-pair state machine.
+//!
+//! One [`Qp`] contains both the *requester* half (send queue, PSN
+//! assignment, ACK timeout, RNR wait, ODP response stalls, go-back-N
+//! retransmission) and the *responder* half (ePSN tracking, duplicate and
+//! out-of-sequence handling, RNR NAK generation, ODP fault pendency).
+//!
+//! The state machine is engine-agnostic: handlers receive a [`QpEnv`] view
+//! of the host (memory, memory regions, device profile, current time) and
+//! emit everything they want to happen into an [`Outbox`] — packets to
+//! transmit, timers to (re)arm, faults to raise, completions to deliver.
+//! The cluster glue interprets the outbox. This keeps every protocol rule
+//! unit-testable without an event loop.
+//!
+//! ## Where the paper's pitfalls live
+//!
+//! * Responder-side fault pendency silently drops every packet on the QP
+//!   until the faulted request is served again (§III-B).
+//! * On `damming` devices, fault-recovery retransmission resends *only*
+//!   the faulted message (not go-back-N), and requests first transmitted
+//!   inside a recovery window are ghosts that never reach the wire —
+//!   together these reproduce packet damming (§V) exactly as captured in
+//!   Figures 5 and 8.
+//! * Client-side ODP discards READ responses whose destination pages are
+//!   not usable *by this QP* and blindly retransmits every ~0.5 ms
+//!   (Fig. 1); per-QP staleness after a fault resolution is what turns
+//!   many QPs into a packet flood (§VI).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use ibsim_event::SimTime;
+use ibsim_fabric::Lid;
+
+use crate::device::DeviceProfile;
+use crate::mem::{MemRegion, Memory, MrMode, PageState};
+use crate::packet::{NakKind, Packet, PacketKind, SegPos};
+use crate::types::{MrKey, Psn, Qpn};
+use crate::wr::{Completion, RecvWr, SendWqe, WcOpcode, WcStatus, WorkRequest, WrOp};
+
+/// Connection-time QP attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QpConfig {
+    /// Requested Local ACK Timeout field `C_ack` (vendor-clamped to the
+    /// device minimum; 0 disables the transport timer).
+    pub cack: u8,
+    /// Transport retry budget `C_retry`.
+    pub retry_count: u8,
+    /// RNR retry budget; 7 means unlimited (InfiniBand convention).
+    pub rnr_retry: u8,
+    /// Minimal RNR NAK delay this QP advertises as a responder.
+    pub min_rnr_delay: SimTime,
+    /// Path MTU in bytes.
+    pub mtu: u32,
+    /// Maximum outstanding READ/ATOMIC requests (`max_rd_atomic`); the
+    /// usual hardware limit is 16.
+    pub max_rd_atomic: usize,
+}
+
+impl Default for QpConfig {
+    /// The paper's micro-benchmark settings (§V): `C_ack = 1` (clamped to
+    /// the vendor floor), `C_retry = 7`, minimal RNR NAK delay 1.28 ms.
+    fn default() -> Self {
+        QpConfig {
+            cack: 1,
+            retry_count: 7,
+            rnr_retry: 7,
+            min_rnr_delay: SimTime::from_ms_f64(1.28),
+            mtu: crate::types::DEFAULT_MTU,
+            max_rd_atomic: 16,
+        }
+    }
+}
+
+/// Operational state of the QP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QpState {
+    /// Ready to send (connected).
+    Rts,
+    /// Fatal error; all work completes with flush errors.
+    Error,
+}
+
+/// Per-QP protocol counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QpStats {
+    /// Request packets retransmitted.
+    pub retransmissions: u64,
+    /// ACK timeouts fired.
+    pub timeouts: u64,
+    /// RNR NAKs received (requester side).
+    pub rnr_naks_received: u64,
+    /// RNR NAKs sent (responder side).
+    pub rnr_naks_sent: u64,
+    /// Sequence-error NAKs sent (responder side).
+    pub seq_naks_sent: u64,
+    /// READ responses discarded by client-side ODP.
+    pub responses_discarded: u64,
+    /// Network page faults this QP triggered (either side).
+    pub faults_raised: u64,
+    /// Request packets silently dropped by responder fault pendency.
+    pub pendency_drops: u64,
+}
+
+/// Everything a QP handler may touch on its host.
+pub struct QpEnv<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Host memory.
+    pub mem: &'a mut Memory,
+    /// This NIC's registered memory regions.
+    pub mrs: &'a mut HashMap<MrKey, MemRegion>,
+    /// This NIC's device profile.
+    pub profile: &'a DeviceProfile,
+}
+
+/// Deferred effects produced by a QP handler, interpreted by the cluster.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    /// Packets to put on the wire, in order.
+    pub packets: Vec<Packet>,
+    /// Completions to append to the host CQ.
+    pub completions: Vec<Completion>,
+    /// Arm (or re-arm) the ACK timeout with this generation.
+    pub arm_ack_timer: Option<u64>,
+    /// Cancel any armed ACK timeout.
+    pub cancel_ack_timer: bool,
+    /// Start an RNR wait timer: (delay, generation).
+    pub arm_rnr_timer: Option<(SimTime, u64)>,
+    /// Schedule ODP blind-retransmit ticks: (message PSN, delay, generation).
+    pub stall_ticks: Vec<(Psn, SimTime, u64)>,
+    /// Network page faults to hand to the driver.
+    pub faults: Vec<(MrKey, usize)>,
+    /// Requester-side per-QP fault waits to register (flood bookkeeping).
+    pub fault_waits: Vec<(MrKey, usize)>,
+    /// Driver interrupt work units generated (discarded duplicates).
+    pub irqs: u32,
+}
+
+impl Outbox {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if the handler produced no effects.
+    pub fn is_quiet(&self) -> bool {
+        self.packets.is_empty()
+            && self.completions.is_empty()
+            && self.arm_ack_timer.is_none()
+            && !self.cancel_ack_timer
+            && self.arm_rnr_timer.is_none()
+            && self.stall_ticks.is_empty()
+            && self.faults.is_empty()
+            && self.fault_waits.is_empty()
+            && self.irqs == 0
+    }
+}
+
+/// An active client-side ODP stall: a READ whose response was discarded
+/// because local pages were not usable; blindly retransmitted each tick.
+#[derive(Debug, Clone)]
+struct OdpStall {
+    /// First PSN of the stalled message.
+    psn: Psn,
+    /// End of the damming ghost window (= time of the first blind retick).
+    ghost_until: SimTime,
+    /// Timer generation guarding this stall's ticks.
+    gen: u64,
+}
+
+/// Requester-side RNR wait state.
+#[derive(Debug, Clone, Copy)]
+struct RnrWait {
+    /// PSN of the message the responder RNR-NAKed.
+    psn: Psn,
+    /// Timer generation guarding the wait.
+    gen: u64,
+}
+
+/// Responder-side reason for dropping everything on the floor.
+#[derive(Debug, Clone)]
+enum RespPend {
+    /// An ODP fault on these pages is in flight; `psn` is the faulted
+    /// request so its retransmission can be RNR-NAKed again if early.
+    Fault { psn: Psn, pages: Vec<(MrKey, usize)> },
+    /// No receive was posted for an incoming SEND.
+    NoRecv { psn: Psn },
+}
+
+/// A Reliable Connection queue pair (requester + responder halves).
+pub struct Qp {
+    qpn: Qpn,
+    lid: Lid,
+    peer: Option<(Lid, Qpn)>,
+    cfg: QpConfig,
+    state: QpState,
+
+    // --- requester ---
+    sq: VecDeque<SendWqe>,
+    next_psn: Psn,
+    retry_budget: u8,
+    rnr_budget: u8,
+    timer_gen: u64,
+    ack_gen: u64,
+    rnr_wait: Option<RnrWait>,
+    stalls: Vec<OdpStall>,
+    /// Local source pages whose faults block further transmission.
+    tx_blocked: HashSet<(MrKey, usize)>,
+
+    // --- responder ---
+    epsn: Psn,
+    nak_seq_sent: bool,
+    resp_pend: Option<RespPend>,
+    rq: VecDeque<RecvWr>,
+    rq_written: u32,
+    /// Results of recently executed atomics, keyed by PSN: duplicates
+    /// must be *replayed*, never re-executed (atomics are not idempotent;
+    /// the spec's atomic response resources, §9.4.5).
+    atomic_replay: VecDeque<(Psn, u64)>,
+
+    // --- flood bookkeeping ---
+    /// Pages globally mapped but not yet propagated to this QP.
+    stale_pages: HashSet<(MrKey, usize)>,
+
+    /// Protocol counters.
+    pub stats: QpStats,
+}
+
+impl fmt::Debug for Qp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Qp")
+            .field("qpn", &self.qpn)
+            .field("state", &self.state)
+            .field("sq_depth", &self.sq.len())
+            .field("next_psn", &self.next_psn)
+            .field("epsn", &self.epsn)
+            .field("stalls", &self.stalls.len())
+            .finish()
+    }
+}
+
+impl Qp {
+    /// Creates a QP owned by the port `lid` with number `qpn`.
+    pub fn new(qpn: Qpn, lid: Lid, cfg: QpConfig) -> Self {
+        Qp {
+            qpn,
+            lid,
+            peer: None,
+            retry_budget: cfg.retry_count,
+            rnr_budget: cfg.rnr_retry,
+            cfg,
+            state: QpState::Rts,
+            sq: VecDeque::new(),
+            next_psn: Psn::new(0),
+            timer_gen: 0,
+            ack_gen: 0,
+            rnr_wait: None,
+            stalls: Vec::new(),
+            tx_blocked: HashSet::new(),
+            epsn: Psn::new(0),
+            nak_seq_sent: false,
+            resp_pend: None,
+            rq: VecDeque::new(),
+            rq_written: 0,
+            atomic_replay: VecDeque::new(),
+            stale_pages: HashSet::new(),
+            stats: QpStats::default(),
+        }
+    }
+
+    /// This QP's number.
+    pub fn qpn(&self) -> Qpn {
+        self.qpn
+    }
+
+    /// Connection attributes.
+    pub fn config(&self) -> &QpConfig {
+        &self.cfg
+    }
+
+    /// Operational state.
+    pub fn state(&self) -> QpState {
+        self.state
+    }
+
+    /// The connected peer `(lid, qpn)`, if any.
+    pub fn peer(&self) -> Option<(Lid, Qpn)> {
+        self.peer
+    }
+
+    /// Connects this QP to a remote peer. The paper's Fig. 2 experiment
+    /// deliberately passes a wrong LID here to provoke packet loss.
+    pub fn connect(&mut self, peer_lid: Lid, peer_qpn: Qpn) {
+        self.peer = Some((peer_lid, peer_qpn));
+    }
+
+    /// Number of send WQEs not yet retired.
+    pub fn pending_sends(&self) -> usize {
+        self.sq.len()
+    }
+
+    /// True if the work request `id` is still in the send queue (posted
+    /// but not yet completed).
+    pub fn is_wr_pending(&self, id: crate::types::WrId) -> bool {
+        self.sq.iter().any(|w| w.id == id)
+    }
+
+    /// True while the QP is inside a fault-recovery window (RNR wait, or
+    /// the pre-first-retransmit phase of an ODP stall): on `damming`
+    /// devices, requests first transmitted now become ghosts.
+    pub fn in_recovery_window(&self, now: SimTime) -> bool {
+        self.rnr_wait.is_some() || self.stalls.iter().any(|s| now < s.ghost_until)
+    }
+
+    /// True if this QP currently has an active ODP stall or RNR wait
+    /// (used by the NIC to estimate timer-management load, §VI-C).
+    pub fn in_recovery(&self) -> bool {
+        self.rnr_wait.is_some() || !self.stalls.is_empty()
+    }
+
+    fn next_gen(&mut self) -> u64 {
+        self.timer_gen += 1;
+        self.timer_gen
+    }
+
+    fn peer_or_panic(&self) -> (Lid, Qpn) {
+        self.peer.expect("QP used before connect()")
+    }
+
+    // ------------------------------------------------------------------
+    // Posting
+    // ------------------------------------------------------------------
+
+    /// Posts a send work request and transmits as far as possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the QP was never connected.
+    pub fn post(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, wr: WorkRequest) {
+        if self.state == QpState::Error {
+            out.completions.push(Completion {
+                wr_id: wr.id,
+                qpn: self.qpn,
+                status: WcStatus::WrFlushErr,
+                opcode: match wr.op {
+                    WrOp::Read { .. } => WcOpcode::Read,
+                    WrOp::Write { .. } => WcOpcode::Write,
+                    WrOp::Send { .. } => WcOpcode::Send,
+                    WrOp::Atomic {
+                        op: crate::packet::AtomicOp::FetchAdd { .. },
+                        ..
+                    } => WcOpcode::FetchAdd,
+                    WrOp::Atomic { .. } => WcOpcode::CompareSwap,
+                },
+                bytes: 0,
+                at: env.now,
+            });
+            return;
+        }
+        let span = wr.op.psn_span(self.cfg.mtu);
+        let req_packets = wr.op.request_packets(self.cfg.mtu);
+        let resp_packets = match wr.op {
+            WrOp::Read { len, .. } => crate::types::packets_for(len, self.cfg.mtu),
+            WrOp::Atomic { .. } => 1,
+            _ => 0,
+        };
+        let wqe = SendWqe {
+            id: wr.id,
+            op: wr.op,
+            psn_first: self.next_psn,
+            psn_last: self.next_psn.add(span - 1),
+            req_packets,
+            resp_packets,
+            sent_segments: 0,
+            recv_segments: 0,
+            acked: false,
+            ghosted: false,
+            first_tx: None,
+        };
+        self.next_psn = self.next_psn.add(span);
+        self.sq.push_back(wqe);
+        self.pump(env, out);
+    }
+
+    /// Posts a receive buffer for an incoming SEND.
+    pub fn post_recv(&mut self, recv: RecvWr) {
+        self.rq.push_back(recv);
+        if matches!(self.resp_pend, Some(RespPend::NoRecv { .. })) {
+            self.resp_pend = None;
+        }
+    }
+
+    /// Transmits every not-yet-sent segment, in SQ order, stopping at a
+    /// send-side ODP fault on a local source page.
+    fn pump(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox) {
+        if self.state == QpState::Error || !self.tx_blocked.is_empty() {
+            return;
+        }
+        let (peer_lid, peer_qpn) = self.peer_or_panic();
+        let ghost_window = env.profile.damming && self.in_recovery_window(env.now);
+        let mtu = self.cfg.mtu;
+        let mut outstanding_rd = self
+            .sq
+            .iter()
+            .filter(|w| {
+                matches!(w.op, WrOp::Read { .. } | WrOp::Atomic { .. })
+                    && w.sent_segments > 0
+                    && !w.is_done()
+            })
+            .count();
+        for wqe in self.sq.iter_mut() {
+            // max_rd_atomic: hardware bounds outstanding READ/ATOMIC
+            // requests; later WQEs wait in the send queue.
+            if matches!(wqe.op, WrOp::Read { .. } | WrOp::Atomic { .. })
+                && wqe.sent_segments == 0
+            {
+                if outstanding_rd >= self.cfg.max_rd_atomic {
+                    break;
+                }
+                outstanding_rd += 1;
+            }
+            while wqe.sent_segments < wqe.req_packets {
+                // Send-side ODP: WRITE/SEND payloads are DMA-read from
+                // local memory; unmapped pages stall transmission.
+                if let Some((mr_key, local_off, seg_len, seg_off)) =
+                    source_segment(wqe, wqe.sent_segments, mtu)
+                {
+                    let mr = env.mrs.get_mut(&mr_key).expect("posted with bad lkey");
+                    if mr.mode() == MrMode::Odp && seg_len > 0 {
+                        if let Some(page) = mr.first_unmapped(local_off + seg_off, seg_len) {
+                            let mut faulted = false;
+                            for p in mr.pages_spanned(local_off + seg_off, seg_len) {
+                                if mr.page_state(p) == PageState::Unmapped {
+                                    mr.set_page_state(p, PageState::Faulting);
+                                    mr.fault_count += 1;
+                                    out.faults.push((mr_key, p));
+                                    faulted = true;
+                                }
+                                if mr.page_state(p) == PageState::Faulting {
+                                    self.tx_blocked.insert((mr_key, p));
+                                }
+                            }
+                            if faulted {
+                                self.stats.faults_raised += 1;
+                            }
+                            let _ = page;
+                            return; // head-of-line blocked
+                        }
+                    }
+                }
+                let seg = wqe.sent_segments;
+                if seg == 0 {
+                    wqe.first_tx = Some(env.now);
+                    if ghost_window {
+                        wqe.ghosted = true;
+                    }
+                }
+                let pkt = build_request_packet(
+                    env,
+                    self.lid,
+                    self.qpn,
+                    peer_lid,
+                    peer_qpn,
+                    wqe,
+                    seg,
+                    mtu,
+                    false,
+                );
+                out.packets.push(pkt);
+                wqe.sent_segments += 1;
+            }
+        }
+        self.rearm_timer_if_needed(out);
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// True if some transmitted work still awaits acknowledgment or data.
+    fn has_outstanding(&self) -> bool {
+        self.sq
+            .iter()
+            .any(|w| w.sent_segments > 0 && !w.is_done())
+    }
+
+    fn rearm_timer_if_needed(&mut self, out: &mut Outbox) {
+        if self.cfg.cack == 0 || self.state == QpState::Error {
+            return;
+        }
+        if self.rnr_wait.is_some() {
+            // The RNR timer replaces the ACK timer while waiting.
+            if self.ack_gen != 0 {
+                self.ack_gen = 0;
+                out.cancel_ack_timer = true;
+            }
+            out.arm_ack_timer = None;
+            return;
+        }
+        if self.has_outstanding() {
+            let gen = self.next_gen();
+            self.ack_gen = gen;
+            out.arm_ack_timer = Some(gen);
+        } else {
+            if self.ack_gen != 0 {
+                self.ack_gen = 0;
+                out.cancel_ack_timer = true;
+            }
+            // An earlier handler in this same outbox may have armed the
+            // timer; the cancel must win or a stale no-op event lingers
+            // in the queue for a full T_o.
+            out.arm_ack_timer = None;
+        }
+    }
+
+    /// Notes forward progress: refills the retry budget and restarts the
+    /// ACK timer.
+    fn note_progress(&mut self, out: &mut Outbox) {
+        self.retry_budget = self.cfg.retry_count;
+        self.rnr_budget = self.cfg.rnr_retry;
+        self.rearm_timer_if_needed(out);
+    }
+
+    /// Progress may have freed `max_rd_atomic` slots: transmit waiting
+    /// READs/ATOMICs.
+    fn pump_after_progress(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox) {
+        let waiting = self.sq.iter().any(|w| w.sent_segments == 0);
+        if waiting {
+            self.pump(env, out);
+        }
+    }
+
+    /// Handles an ACK-timeout event with guard generation `gen`.
+    pub fn on_ack_timeout(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, gen: u64) {
+        if gen != self.ack_gen || self.state == QpState::Error {
+            return;
+        }
+        self.ack_gen = 0;
+        if !self.has_outstanding() {
+            return;
+        }
+        self.stats.timeouts += 1;
+        if self.retry_budget == 0 {
+            self.error_out(env, out, WcStatus::RetryExcErr);
+            return;
+        }
+        self.retry_budget -= 1;
+        let from = self.lowest_pending_psn();
+        self.go_back_n(env, out, from);
+        self.rearm_timer_if_needed(out);
+    }
+
+    /// Handles the RNR wait expiring.
+    pub fn on_rnr_fire(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, gen: u64) {
+        let Some(wait) = self.rnr_wait else { return };
+        if wait.gen != gen || self.state == QpState::Error {
+            return;
+        }
+        self.rnr_wait = None;
+        if env.profile.damming {
+            // The ConnectX-4 flaw: recovery retransmits the requests that
+            // were in flight when the RNR NAK arrived, but *forgets* the
+            // ghosts — successors first transmitted during the wait
+            // (→ packet damming). Back-to-back posts that beat the NAK
+            // onto the wire are recovered fine, which is why Fig. 6a's
+            // timeout probability is zero at near-zero intervals.
+            self.go_back_n_impl(env, out, wait.psn, true);
+        } else {
+            self.go_back_n(env, out, wait.psn);
+        }
+        self.rearm_timer_if_needed(out);
+    }
+
+    /// Handles one blind ODP retransmission tick for the stalled message
+    /// with first PSN `psn`.
+    pub fn on_stall_tick(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, psn: Psn, gen: u64) {
+        if self.state == QpState::Error {
+            return;
+        }
+        let Some(idx) = self
+            .stalls
+            .iter()
+            .position(|s| s.psn == psn && s.gen == gen)
+        else {
+            return;
+        };
+        let still_pending = self
+            .sq
+            .iter()
+            .any(|w| w.psn_first == psn && !w.is_done());
+        if !still_pending {
+            self.stalls.swap_remove(idx);
+            return;
+        }
+        // Blind retransmission "regardless of the resolution of the page
+        // fault" (§IV-A): resend the request and re-tick.
+        self.retransmit_message(env, out, psn);
+        let delay = env.profile.odp_client_retx;
+        let gen = self.stalls[idx].gen; // unchanged generation keeps ticking
+        out.stall_ticks.push((psn, delay, gen));
+    }
+
+    // ------------------------------------------------------------------
+    // Retransmission
+    // ------------------------------------------------------------------
+
+    /// First PSN of the oldest not-yet-done transmitted message.
+    fn lowest_pending_psn(&self) -> Psn {
+        self.sq
+            .iter()
+            .find(|w| w.sent_segments > 0 && !w.is_done())
+            .map(|w| w.psn_first)
+            .unwrap_or(self.next_psn)
+    }
+
+    /// Go-back-N: retransmits every transmitted, unfinished message whose
+    /// span reaches `from` or beyond. Clears damming ghosts — a recovery
+    /// retransmission really goes on the wire.
+    fn go_back_n(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, from: Psn) {
+        self.go_back_n_impl(env, out, from, false);
+    }
+
+    /// Go-back-N with the ConnectX-4 quirk knob: when `skip_ghosts` is
+    /// set, messages first transmitted inside a recovery window stay
+    /// forgotten (only a later NAK or the transport timeout saves them).
+    fn go_back_n_impl(
+        &mut self,
+        env: &mut QpEnv<'_>,
+        out: &mut Outbox,
+        from: Psn,
+        skip_ghosts: bool,
+    ) {
+        let (peer_lid, peer_qpn) = self.peer_or_panic();
+        let mtu = self.cfg.mtu;
+        let mut retx = 0;
+        for wqe in self.sq.iter_mut() {
+            if wqe.is_done() || wqe.sent_segments == 0 {
+                continue;
+            }
+            if wqe.psn_last.precedes(from) {
+                continue;
+            }
+            if skip_ghosts && wqe.ghosted {
+                continue;
+            }
+            wqe.ghosted = false;
+            for seg in 0..wqe.sent_segments {
+                let pkt = build_request_packet(
+                    env, self.lid, self.qpn, peer_lid, peer_qpn, wqe, seg, mtu, true,
+                );
+                out.packets.push(pkt);
+                retx += 1;
+            }
+        }
+        self.stats.retransmissions += retx;
+    }
+
+    /// Retransmits exactly the message whose first PSN is `psn`.
+    fn retransmit_message(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, psn: Psn) {
+        let (peer_lid, peer_qpn) = self.peer_or_panic();
+        let mtu = self.cfg.mtu;
+        let mut retx = 0;
+        for wqe in self.sq.iter_mut() {
+            if wqe.psn_first == psn && !wqe.is_done() && wqe.sent_segments > 0 {
+                wqe.ghosted = false;
+                for seg in 0..wqe.sent_segments {
+                    let pkt = build_request_packet(
+                        env, self.lid, self.qpn, peer_lid, peer_qpn, wqe, seg, mtu, true,
+                    );
+                    out.packets.push(pkt);
+                    retx += 1;
+                }
+                break;
+            }
+        }
+        self.stats.retransmissions += retx;
+    }
+
+    // ------------------------------------------------------------------
+    // Packet dispatch
+    // ------------------------------------------------------------------
+
+    /// Handles a packet addressed to this QP.
+    pub fn on_packet(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, pkt: &Packet) {
+        if self.state == QpState::Error {
+            return;
+        }
+        match &pkt.kind {
+            PacketKind::ReadRequest { .. }
+            | PacketKind::WriteRequest { .. }
+            | PacketKind::Send { .. }
+            | PacketKind::AtomicRequest { .. } => self.responder_handle(env, out, pkt),
+            PacketKind::ReadResponse { .. } => self.on_read_response(env, out, pkt),
+            PacketKind::AtomicResponse { .. } => self.on_atomic_response(env, out, pkt),
+            PacketKind::Ack => self.on_ack(env, out, pkt.psn),
+            PacketKind::Nak(kind) => self.on_nak(env, out, pkt.psn, *kind),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Requester: responses, ACKs, NAKs
+    // ------------------------------------------------------------------
+
+    /// Marks every fully-covered message up to `psn` as acknowledged.
+    fn advance_acked(&mut self, psn: Psn, out: &mut Outbox, env: &QpEnv<'_>) {
+        let mut progressed = false;
+        for wqe in self.sq.iter_mut() {
+            if wqe.psn_last.at_or_before(psn) && !wqe.acked {
+                wqe.acked = true;
+                progressed = true;
+            }
+        }
+        if progressed {
+            self.retire(out, env);
+            self.note_progress(out);
+        }
+    }
+
+    /// Retires contiguously finished WQEs from the SQ head (CQEs are
+    /// delivered in posting order, like hardware).
+    fn retire(&mut self, out: &mut Outbox, env: &QpEnv<'_>) {
+        while let Some(front) = self.sq.front() {
+            if !front.is_done() {
+                break;
+            }
+            let wqe = self.sq.pop_front().expect("checked front");
+            self.stalls.retain(|s| s.psn != wqe.psn_first);
+            out.completions.push(Completion {
+                wr_id: wqe.id,
+                qpn: self.qpn,
+                status: WcStatus::Success,
+                opcode: wqe.wc_opcode(),
+                bytes: wqe.op.len(),
+                at: env.now,
+            });
+        }
+    }
+
+    fn on_ack(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, psn: Psn) {
+        self.advance_acked(psn, out, env);
+        self.rearm_timer_if_needed(out);
+        self.pump_after_progress(env, out);
+    }
+
+    fn on_read_response(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, pkt: &Packet) {
+        let PacketKind::ReadResponse { seg, data, offset, .. } = &pkt.kind else {
+            unreachable!("dispatch guarantees a read response");
+        };
+        // ConnectX-4 discards responses arriving during an RNR wait
+        // ("while discarding responses sent back during the waiting
+        // time", §IV-A).
+        if env.profile.damming && self.rnr_wait.is_some() {
+            self.stats.responses_discarded += 1;
+            return;
+        }
+        let Some(wqe_idx) = self
+            .sq
+            .iter()
+            .position(|w| w.covers(pkt.psn) && matches!(w.op, WrOp::Read { .. }) && !w.is_done())
+        else {
+            // Stale duplicate of an already-completed message.
+            self.stats.responses_discarded += 1;
+            return;
+        };
+        let (expected_psn, local_mr, local_off, seg_done_bytes) = {
+            let w = &self.sq[wqe_idx];
+            let WrOp::Read { local_mr, local_off, .. } = w.op else {
+                unreachable!()
+            };
+            (
+                w.psn_first.add(w.recv_segments),
+                local_mr,
+                local_off,
+                w.recv_segments * self.cfg.mtu,
+            )
+        };
+        if pkt.psn != expected_psn {
+            // Duplicate of an already-consumed segment, or a gap left by a
+            // drop; recovery retransmission will resolve either.
+            self.stats.responses_discarded += 1;
+            return;
+        }
+        debug_assert_eq!(*offset, seg_done_bytes, "segment offset mismatch");
+
+        // Client-side ODP gate: destination pages must be NIC-mapped AND
+        // propagated to this QP.
+        let dest_off = local_off + *offset as u64;
+        let dest_len = (data.len() as u32).max(1);
+        let mr = env
+            .mrs
+            .get_mut(&local_mr)
+            .expect("READ posted with invalid lkey");
+        let mut usable = true;
+        if mr.mode() == MrMode::Odp {
+            let mut newly_faulted = false;
+            for p in mr.pages_spanned(dest_off, dest_len) {
+                match mr.page_state(p) {
+                    PageState::Unmapped => {
+                        mr.set_page_state(p, PageState::Faulting);
+                        mr.fault_count += 1;
+                        out.faults.push((local_mr, p));
+                        out.fault_waits.push((local_mr, p));
+                        newly_faulted = true;
+                        usable = false;
+                    }
+                    PageState::Faulting => {
+                        out.fault_waits.push((local_mr, p));
+                        usable = false;
+                    }
+                    PageState::Mapped => {
+                        if self.stale_pages.contains(&(local_mr, p)) {
+                            usable = false;
+                        }
+                    }
+                }
+            }
+            if newly_faulted {
+                self.stats.faults_raised += 1;
+            }
+        }
+        if !usable {
+            self.stats.responses_discarded += 1;
+            let msg_psn = self.sq[wqe_idx].psn_first;
+            if let Some(stall) = self.stalls.iter().find(|s| s.psn == msg_psn) {
+                // Already stalled: this is a discarded duplicate — the
+                // interrupt work that feeds the packet flood.
+                let _ = stall;
+                out.irqs += 1;
+            } else {
+                let gen = self.next_gen();
+                let delay = env.profile.odp_client_retx;
+                self.stalls.push(OdpStall {
+                    psn: msg_psn,
+                    ghost_until: env.now + delay,
+                    gen,
+                });
+                out.stall_ticks.push((msg_psn, delay, gen));
+            }
+            return;
+        }
+
+        // Accept the segment.
+        let base = mr.base();
+        env.mem.write(base + dest_off, data);
+        let w = &mut self.sq[wqe_idx];
+        w.recv_segments += 1;
+        if seg.is_final() {
+            debug_assert_eq!(w.recv_segments, w.resp_packets, "final segment count");
+        }
+        let done_psn = pkt.psn;
+        // A response implicitly acknowledges all earlier requests.
+        self.advance_acked(done_psn, out, env);
+        self.retire(out, env);
+        self.note_progress(out);
+        self.pump_after_progress(env, out);
+    }
+
+    /// Consumes the original value returned by an atomic. Same client-side
+    /// ODP gate as READ responses: the 8-byte landing pad must be usable.
+    fn on_atomic_response(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, pkt: &Packet) {
+        let PacketKind::AtomicResponse { original, .. } = &pkt.kind else {
+            unreachable!("dispatch guarantees an atomic response");
+        };
+        if env.profile.damming && self.rnr_wait.is_some() {
+            self.stats.responses_discarded += 1;
+            return;
+        }
+        let Some(wqe_idx) = self
+            .sq
+            .iter()
+            .position(|w| w.covers(pkt.psn) && matches!(w.op, WrOp::Atomic { .. }) && !w.is_done())
+        else {
+            self.stats.responses_discarded += 1;
+            return;
+        };
+        let (local_mr, local_off) = {
+            let WrOp::Atomic { local_mr, local_off, .. } = self.sq[wqe_idx].op else {
+                unreachable!()
+            };
+            (local_mr, local_off)
+        };
+        let mr = env
+            .mrs
+            .get_mut(&local_mr)
+            .expect("atomic posted with invalid lkey");
+        let mut usable = true;
+        if mr.mode() == MrMode::Odp {
+            let mut newly_faulted = false;
+            for p in mr.pages_spanned(local_off, 8) {
+                match mr.page_state(p) {
+                    PageState::Unmapped => {
+                        mr.set_page_state(p, PageState::Faulting);
+                        mr.fault_count += 1;
+                        out.faults.push((local_mr, p));
+                        out.fault_waits.push((local_mr, p));
+                        newly_faulted = true;
+                        usable = false;
+                    }
+                    PageState::Faulting => {
+                        out.fault_waits.push((local_mr, p));
+                        usable = false;
+                    }
+                    PageState::Mapped => {
+                        if self.stale_pages.contains(&(local_mr, p)) {
+                            usable = false;
+                        }
+                    }
+                }
+            }
+            if newly_faulted {
+                self.stats.faults_raised += 1;
+            }
+        }
+        if !usable {
+            self.stats.responses_discarded += 1;
+            let msg_psn = self.sq[wqe_idx].psn_first;
+            if self.stalls.iter().any(|s| s.psn == msg_psn) {
+                out.irqs += 1;
+            } else {
+                let gen = self.next_gen();
+                let delay = env.profile.odp_client_retx;
+                self.stalls.push(OdpStall {
+                    psn: msg_psn,
+                    ghost_until: env.now + delay,
+                    gen,
+                });
+                out.stall_ticks.push((msg_psn, delay, gen));
+            }
+            return;
+        }
+        let base = mr.base();
+        env.mem.write(base + local_off, &original.to_le_bytes());
+        self.sq[wqe_idx].recv_segments = 1;
+        let done_psn = pkt.psn;
+        self.advance_acked(done_psn, out, env);
+        self.retire(out, env);
+        self.note_progress(out);
+        self.pump_after_progress(env, out);
+    }
+
+    fn on_nak(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, psn: Psn, kind: NakKind) {
+        match kind {
+            NakKind::Rnr { delay } => {
+                self.stats.rnr_naks_received += 1;
+                // Ignore stale RNR NAKs for finished messages.
+                if !self.sq.iter().any(|w| w.covers(psn) && !w.is_done()) {
+                    return;
+                }
+                if self.cfg.rnr_retry != 7 {
+                    if self.rnr_budget == 0 {
+                        self.error_out(env, out, WcStatus::RnrRetryExcErr);
+                        return;
+                    }
+                    self.rnr_budget -= 1;
+                }
+                let gen = self.next_gen();
+                self.rnr_wait = Some(RnrWait { psn, gen });
+                out.arm_rnr_timer = Some((env.profile.rnr_actual(delay), gen));
+                if self.ack_gen != 0 {
+                    self.ack_gen = 0;
+                    out.cancel_ack_timer = true;
+                }
+                // Doorbell latency: requests that left the pipeline just
+                // before this NAK were still queued behind it in hardware;
+                // the flawed recovery forgets them too (they are dropped
+                // at the responder's fault pendency either way).
+                if env.profile.damming {
+                    let lookback = env.profile.ghost_lookback;
+                    for wqe in self.sq.iter_mut() {
+                        if wqe.sent_segments > 0
+                            && !wqe.is_done()
+                            && psn.precedes(wqe.psn_first)
+                        {
+                            if let Some(tx) = wqe.first_tx {
+                                if env.now.saturating_sub(tx) <= lookback {
+                                    wqe.ghosted = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            NakKind::SequenceError { epsn } => {
+                // The rescue path of Fig. 8: retransmit everything from
+                // the responder's expected PSN.
+                self.rnr_wait = None;
+                self.go_back_n(env, out, epsn);
+                self.rearm_timer_if_needed(out);
+            }
+            NakKind::RemoteAccess => {
+                self.error_out(env, out, WcStatus::RemoteAccessErr);
+            }
+        }
+    }
+
+    /// Fails all outstanding work and moves the QP to the error state.
+    fn error_out(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, status: WcStatus) {
+        self.state = QpState::Error;
+        let mut first = true;
+        while let Some(wqe) = self.sq.pop_front() {
+            if wqe.is_done() {
+                out.completions.push(Completion {
+                    wr_id: wqe.id,
+                    qpn: self.qpn,
+                    status: WcStatus::Success,
+                    opcode: wqe.wc_opcode(),
+                    bytes: wqe.op.len(),
+                    at: env.now,
+                });
+                continue;
+            }
+            out.completions.push(Completion {
+                wr_id: wqe.id,
+                qpn: self.qpn,
+                status: if first { status } else { WcStatus::WrFlushErr },
+                opcode: wqe.wc_opcode(),
+                bytes: 0,
+                at: env.now,
+            });
+            first = false;
+        }
+        self.stalls.clear();
+        self.rnr_wait = None;
+        self.tx_blocked.clear();
+        if self.ack_gen != 0 {
+            self.ack_gen = 0;
+            out.cancel_ack_timer = true;
+        }
+        out.arm_ack_timer = None;
+        self.timer_gen += 1; // invalidate everything in flight
+    }
+
+    // ------------------------------------------------------------------
+    // Responder
+    // ------------------------------------------------------------------
+
+    fn responder_handle(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, pkt: &Packet) {
+        // Fault pendency: drop everything; re-RNR-NAK the faulted PSN
+        // itself so an early retransmission keeps the requester waiting.
+        if let Some(pend) = &self.resp_pend {
+            let pend_psn = match pend {
+                RespPend::Fault { psn, .. } | RespPend::NoRecv { psn } => *psn,
+            };
+            if pkt.psn == pend_psn {
+                self.send_rnr_nak(out, pkt.psn);
+            } else {
+                self.stats.pendency_drops += 1;
+                // The NIC still queues page faults for the dropped
+                // packets' target pages — by the time the requester works
+                // its way back here, later pages are already resolving.
+                self.queue_faults_for(env, out, pkt);
+            }
+            return;
+        }
+        if pkt.psn == self.epsn {
+            self.nak_seq_sent = false;
+            self.execute_request(env, out, pkt);
+        } else if pkt.psn.precedes(self.epsn) {
+            self.handle_duplicate(env, out, pkt);
+        } else {
+            // Future PSN: something was lost in between.
+            if !self.nak_seq_sent {
+                self.nak_seq_sent = true;
+                self.stats.seq_naks_sent += 1;
+                let (peer_lid, peer_qpn) = self.peer_or_panic();
+                out.packets.push(Packet {
+                    src: self.lid,
+                    dst: peer_lid,
+                    dst_qp: peer_qpn,
+                    src_qp: self.qpn,
+                    psn: pkt.psn,
+                    kind: PacketKind::Nak(NakKind::SequenceError { epsn: self.epsn }),
+                    ghost: false,
+                    retransmit: false,
+                });
+            }
+        }
+    }
+
+    fn send_rnr_nak(&mut self, out: &mut Outbox, psn: Psn) {
+        self.stats.rnr_naks_sent += 1;
+        let (peer_lid, peer_qpn) = self.peer_or_panic();
+        out.packets.push(Packet {
+            src: self.lid,
+            dst: peer_lid,
+            dst_qp: peer_qpn,
+            src_qp: self.qpn,
+            psn,
+            kind: PacketKind::Nak(NakKind::Rnr {
+                delay: self.cfg.min_rnr_delay,
+            }),
+            ghost: false,
+            retransmit: false,
+        });
+    }
+
+    /// Starts page faults for the pages a dropped request targets, without
+    /// processing the request itself.
+    fn queue_faults_for(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, pkt: &Packet) {
+        let (rkey, addr, len) = match &pkt.kind {
+            PacketKind::ReadRequest { rkey, addr, len, .. } => (*rkey, *addr, (*len).max(1)),
+            PacketKind::WriteRequest { rkey, addr, data, .. } => {
+                (*rkey, *addr, (data.len() as u32).max(1))
+            }
+            PacketKind::AtomicRequest { rkey, addr, .. } => (*rkey, *addr, 8),
+            _ => return,
+        };
+        let Some(mr) = env.mrs.get_mut(&rkey) else { return };
+        if mr.mode() != MrMode::Odp || !mr.contains(addr, len) {
+            return;
+        }
+        let mut faulted = false;
+        for p in mr.pages_spanned(addr, len) {
+            if mr.page_state(p) == PageState::Unmapped {
+                mr.set_page_state(p, PageState::Faulting);
+                mr.fault_count += 1;
+                out.faults.push((rkey, p));
+                faulted = true;
+            }
+        }
+        if faulted {
+            self.stats.faults_raised += 1;
+        }
+    }
+
+    fn send_ack(&mut self, out: &mut Outbox, psn: Psn) {
+        let (peer_lid, peer_qpn) = self.peer_or_panic();
+        out.packets.push(Packet {
+            src: self.lid,
+            dst: peer_lid,
+            dst_qp: peer_qpn,
+            src_qp: self.qpn,
+            psn,
+            kind: PacketKind::Ack,
+            ghost: false,
+            retransmit: false,
+        });
+    }
+
+    /// Begins ODP fault pendency for `pages` of `mr` (server-side ODP,
+    /// §III-B): RNR-NAK the requester and drop everything until resolved.
+    fn begin_fault_pendency(
+        &mut self,
+        out: &mut Outbox,
+        mrs: &mut HashMap<MrKey, MemRegion>,
+        mr_key: MrKey,
+        offset: u64,
+        len: u32,
+        psn: Psn,
+    ) {
+        let mr = mrs.get_mut(&mr_key).expect("validated");
+        let mut pages = Vec::new();
+        let mut newly_faulted = false;
+        for p in mr.pages_spanned(offset, len.max(1)) {
+            match mr.page_state(p) {
+                PageState::Unmapped => {
+                    mr.set_page_state(p, PageState::Faulting);
+                    mr.fault_count += 1;
+                    out.faults.push((mr_key, p));
+                    pages.push((mr_key, p));
+                    newly_faulted = true;
+                }
+                PageState::Faulting => pages.push((mr_key, p)),
+                PageState::Mapped => {}
+            }
+        }
+        if newly_faulted {
+            self.stats.faults_raised += 1;
+        }
+        self.resp_pend = Some(RespPend::Fault { psn, pages });
+        self.send_rnr_nak(out, psn);
+    }
+
+    fn execute_request(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, pkt: &Packet) {
+        let (peer_lid, peer_qpn) = self.peer_or_panic();
+        match &pkt.kind {
+            PacketKind::ReadRequest {
+                rkey,
+                addr,
+                len,
+                resp_packets,
+            } => {
+                let Some(mr) = env.mrs.get(rkey) else {
+                    self.nak_remote_access(out, pkt.psn);
+                    return;
+                };
+                if !mr.contains(*addr, *len) {
+                    self.nak_remote_access(out, pkt.psn);
+                    return;
+                }
+                if mr.mode() == MrMode::Odp && mr.first_unmapped(*addr, (*len).max(1)).is_some() {
+                    self.begin_fault_pendency(out, env.mrs, *rkey, *addr, *len, pkt.psn);
+                    return;
+                }
+                let base = env.mrs.get(rkey).expect("checked").base();
+                let data = env.mem.read(base + addr, *len as usize);
+                let mtu = self.cfg.mtu as usize;
+                let total = *resp_packets;
+                for i in 0..total {
+                    let lo = i as usize * mtu;
+                    let hi = ((i as usize + 1) * mtu).min(data.len());
+                    out.packets.push(Packet {
+                        src: self.lid,
+                        dst: peer_lid,
+                        dst_qp: peer_qpn,
+                        src_qp: self.qpn,
+                        psn: pkt.psn.add(i),
+                        kind: PacketKind::ReadResponse {
+                            seg: SegPos::of(i, total),
+                            data: data[lo.min(data.len())..hi].to_vec(),
+                            req_psn: pkt.psn,
+                            offset: lo as u32,
+                        },
+                        ghost: false,
+                        retransmit: false,
+                    });
+                }
+                self.epsn = pkt.psn.add(total);
+            }
+            PacketKind::WriteRequest {
+                seg,
+                rkey,
+                addr,
+                data,
+            } => {
+                let Some(mr) = env.mrs.get(rkey) else {
+                    self.nak_remote_access(out, pkt.psn);
+                    return;
+                };
+                if !mr.contains(*addr, data.len() as u32) {
+                    self.nak_remote_access(out, pkt.psn);
+                    return;
+                }
+                if mr.mode() == MrMode::Odp
+                    && mr
+                        .first_unmapped(*addr, (data.len() as u32).max(1))
+                        .is_some()
+                {
+                    self.begin_fault_pendency(
+                        out,
+                        env.mrs,
+                        *rkey,
+                        *addr,
+                        data.len() as u32,
+                        pkt.psn,
+                    );
+                    return;
+                }
+                let base = env.mrs.get(rkey).expect("checked").base();
+                env.mem.write(base + addr, data);
+                self.epsn = self.epsn.next();
+                if seg.is_final() {
+                    self.send_ack(out, pkt.psn);
+                }
+            }
+            PacketKind::Send { seg, data } => {
+                let Some(recv) = self.rq.front().cloned() else {
+                    self.resp_pend = Some(RespPend::NoRecv { psn: pkt.psn });
+                    self.send_rnr_nak(out, pkt.psn);
+                    return;
+                };
+                if self.rq_written + data.len() as u32 > recv.max_len {
+                    self.nak_remote_access(out, pkt.psn);
+                    return;
+                }
+                let mr = env.mrs.get(&recv.mr).expect("posted recv with bad lkey");
+                let dst_off = recv.offset + self.rq_written as u64;
+                if mr.mode() == MrMode::Odp
+                    && mr
+                        .first_unmapped(dst_off, (data.len() as u32).max(1))
+                        .is_some()
+                {
+                    self.begin_fault_pendency(
+                        out,
+                        env.mrs,
+                        recv.mr,
+                        dst_off,
+                        data.len() as u32,
+                        pkt.psn,
+                    );
+                    return;
+                }
+                let base = env.mrs.get(&recv.mr).expect("checked").base();
+                env.mem.write(base + dst_off, data);
+                self.rq_written += data.len() as u32;
+                self.epsn = self.epsn.next();
+                if seg.is_final() {
+                    self.send_ack(out, pkt.psn);
+                    let recv = self.rq.pop_front().expect("front cloned above");
+                    out.completions.push(Completion {
+                        wr_id: recv.id,
+                        qpn: self.qpn,
+                        status: WcStatus::Success,
+                        opcode: WcOpcode::Recv,
+                        bytes: self.rq_written,
+                        at: env.now,
+                    });
+                    self.rq_written = 0;
+                }
+            }
+            PacketKind::AtomicRequest { op, rkey, addr } => {
+                let Some(mr) = env.mrs.get(rkey) else {
+                    self.nak_remote_access(out, pkt.psn);
+                    return;
+                };
+                if !mr.contains(*addr, 8) || addr % 8 != 0 {
+                    self.nak_remote_access(out, pkt.psn);
+                    return;
+                }
+                if mr.mode() == MrMode::Odp && mr.first_unmapped(*addr, 8).is_some() {
+                    self.begin_fault_pendency(out, env.mrs, *rkey, *addr, 8, pkt.psn);
+                    return;
+                }
+                let base = env.mrs.get(rkey).expect("checked").base();
+                let bytes = env.mem.read(base + addr, 8);
+                let original = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+                let new = match op {
+                    crate::packet::AtomicOp::FetchAdd { add } => original.wrapping_add(*add),
+                    crate::packet::AtomicOp::CompareSwap { compare, swap } => {
+                        if original == *compare {
+                            *swap
+                        } else {
+                            original
+                        }
+                    }
+                };
+                env.mem.write(base + addr, &new.to_le_bytes());
+                self.atomic_replay.push_back((pkt.psn, original));
+                if self.atomic_replay.len() > 16 {
+                    self.atomic_replay.pop_front();
+                }
+                self.epsn = self.epsn.next();
+                out.packets.push(Packet {
+                    src: self.lid,
+                    dst: peer_lid,
+                    dst_qp: peer_qpn,
+                    src_qp: self.qpn,
+                    psn: pkt.psn,
+                    kind: PacketKind::AtomicResponse {
+                        original,
+                        req_psn: pkt.psn,
+                    },
+                    ghost: false,
+                    retransmit: false,
+                });
+            }
+            _ => unreachable!("responder only sees requests"),
+        }
+    }
+
+    fn nak_remote_access(&mut self, out: &mut Outbox, psn: Psn) {
+        let (peer_lid, peer_qpn) = self.peer_or_panic();
+        out.packets.push(Packet {
+            src: self.lid,
+            dst: peer_lid,
+            dst_qp: peer_qpn,
+            src_qp: self.qpn,
+            psn,
+            kind: PacketKind::Nak(NakKind::RemoteAccess),
+            ghost: false,
+            retransmit: false,
+        });
+    }
+
+    /// Duplicate requests: re-execute READs (the blind-retransmission path
+    /// of client-side ODP relies on this), re-ACK WRITEs and SENDs.
+    fn handle_duplicate(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, pkt: &Packet) {
+        match &pkt.kind {
+            PacketKind::ReadRequest {
+                rkey,
+                addr,
+                len,
+                resp_packets,
+            } => {
+                let (peer_lid, peer_qpn) = self.peer_or_panic();
+                let Some(mr) = env.mrs.get(rkey) else { return };
+                if !mr.contains(*addr, *len)
+                    || (mr.mode() == MrMode::Odp
+                        && mr.first_unmapped(*addr, (*len).max(1)).is_some())
+                {
+                    // Rare: page got invalidated again. Drop; the
+                    // requester's timeout will re-drive it in order.
+                    return;
+                }
+                let base = mr.base();
+                let data = env.mem.read(base + addr, *len as usize);
+                let mtu = self.cfg.mtu as usize;
+                for i in 0..*resp_packets {
+                    let lo = i as usize * mtu;
+                    let hi = ((i as usize + 1) * mtu).min(data.len());
+                    out.packets.push(Packet {
+                        src: self.lid,
+                        dst: peer_lid,
+                        dst_qp: peer_qpn,
+                        src_qp: self.qpn,
+                        psn: pkt.psn.add(i),
+                        kind: PacketKind::ReadResponse {
+                            seg: SegPos::of(i, *resp_packets),
+                            data: data[lo.min(data.len())..hi].to_vec(),
+                            req_psn: pkt.psn,
+                            offset: lo as u32,
+                        },
+                        ghost: false,
+                        retransmit: true,
+                    });
+                }
+            }
+            PacketKind::AtomicRequest { .. } => {
+                // Never re-execute: replay the stored result if still in
+                // the replay window; otherwise drop (the requester's
+                // timeout will surface the loss).
+                let replay = self
+                    .atomic_replay
+                    .iter()
+                    .find(|(p, _)| *p == pkt.psn)
+                    .map(|&(_, original)| original);
+                if let Some(original) = replay {
+                    let (peer_lid, peer_qpn) = self.peer_or_panic();
+                    out.packets.push(Packet {
+                        src: self.lid,
+                        dst: peer_lid,
+                        dst_qp: peer_qpn,
+                        src_qp: self.qpn,
+                        psn: pkt.psn,
+                        kind: PacketKind::AtomicResponse {
+                            original,
+                            req_psn: pkt.psn,
+                        },
+                        ghost: false,
+                        retransmit: true,
+                    });
+                }
+            }
+            PacketKind::WriteRequest { seg, .. } | PacketKind::Send { seg, .. }
+                if seg.is_final() =>
+            {
+                // Idempotent re-ACK; data is not re-applied.
+                self.send_ack(out, pkt.psn);
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Page events
+    // ------------------------------------------------------------------
+
+    /// Called when a page becomes usable for this QP (fault resolved, or a
+    /// per-QP flood resume finished).
+    pub fn on_page_ready(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, mr: MrKey, page: usize) {
+        self.stale_pages.remove(&(mr, page));
+        // Responder pendency over?
+        if let Some(RespPend::Fault { pages, .. }) = &mut self.resp_pend {
+            pages.retain(|&(m, p)| !(m == mr && p == page));
+            if pages.is_empty() {
+                self.resp_pend = None;
+            }
+        }
+        // Send-side block over?
+        if self.tx_blocked.remove(&(mr, page)) && self.tx_blocked.is_empty() {
+            self.pump(env, out);
+        }
+    }
+
+    /// Marks a mapped page as not yet propagated to this QP (the packet
+    /// flood root cause: "update failure of page statuses", §VI-B).
+    pub fn mark_page_stale(&mut self, mr: MrKey, page: usize) {
+        self.stale_pages.insert((mr, page));
+    }
+
+    /// Number of pages this QP still considers stale.
+    pub fn stale_page_count(&self) -> usize {
+        self.stale_pages.len()
+    }
+}
+
+/// For WRITE/SEND WQEs, the local source range of segment `seg`:
+/// `(mr, base_offset, seg_len, seg_offset)`. READs return `None` (their
+/// requests carry no payload).
+fn source_segment(wqe: &SendWqe, seg: u32, mtu: u32) -> Option<(MrKey, u64, u32, u64)> {
+    match wqe.op {
+        WrOp::Read { .. } | WrOp::Atomic { .. } => None,
+        WrOp::Write {
+            local_mr,
+            local_off,
+            len,
+            ..
+        }
+        | WrOp::Send {
+            local_mr,
+            local_off,
+            len,
+        } => {
+            let seg_off = (seg * mtu) as u64;
+            let seg_len = len.saturating_sub(seg * mtu).min(mtu);
+            Some((local_mr, local_off, seg_len, seg_off))
+        }
+    }
+}
+
+/// Builds the request packet for segment `seg` of `wqe`.
+#[allow(clippy::too_many_arguments)]
+fn build_request_packet(
+    env: &mut QpEnv<'_>,
+    lid: Lid,
+    qpn: Qpn,
+    peer_lid: Lid,
+    peer_qpn: Qpn,
+    wqe: &SendWqe,
+    seg: u32,
+    mtu: u32,
+    retransmit: bool,
+) -> Packet {
+    let kind = match &wqe.op {
+        WrOp::Read {
+            rkey,
+            remote_off,
+            len,
+            ..
+        } => PacketKind::ReadRequest {
+            rkey: *rkey,
+            addr: *remote_off,
+            len: *len,
+            resp_packets: wqe.resp_packets,
+        },
+        WrOp::Write {
+            local_mr,
+            local_off,
+            rkey,
+            remote_off,
+            len,
+        } => {
+            let lo = seg * mtu;
+            let seg_len = len.saturating_sub(lo).min(mtu);
+            let base = env.mrs.get(local_mr).expect("posted with bad lkey").base();
+            let data = env.mem.read(base + local_off + lo as u64, seg_len as usize);
+            PacketKind::WriteRequest {
+                seg: SegPos::of(seg, wqe.req_packets),
+                rkey: *rkey,
+                addr: *remote_off + lo as u64,
+                data,
+            }
+        }
+        WrOp::Send {
+            local_mr,
+            local_off,
+            len,
+        } => {
+            let lo = seg * mtu;
+            let seg_len = len.saturating_sub(lo).min(mtu);
+            let base = env.mrs.get(local_mr).expect("posted with bad lkey").base();
+            let data = env.mem.read(base + local_off + lo as u64, seg_len as usize);
+            PacketKind::Send {
+                seg: SegPos::of(seg, wqe.req_packets),
+                data,
+            }
+        }
+        WrOp::Atomic {
+            rkey,
+            remote_off,
+            op,
+            ..
+        } => PacketKind::AtomicRequest {
+            op: *op,
+            rkey: *rkey,
+            addr: *remote_off,
+        },
+    };
+    Packet {
+        src: lid,
+        dst: peer_lid,
+        dst_qp: peer_qpn,
+        src_qp: qpn,
+        psn: wqe.psn_first.add(seg),
+        kind,
+        ghost: wqe.ghosted,
+        retransmit,
+    }
+}

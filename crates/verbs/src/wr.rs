@@ -1,0 +1,346 @@
+//! Work requests, work-queue elements and completions.
+
+use core::fmt;
+
+use ibsim_event::SimTime;
+
+use crate::types::{packets_for, MrKey, Psn, Qpn, WrId};
+
+/// The operation carried by a send work request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WrOp {
+    /// One-sided RDMA READ: fetch `len` bytes from `(rkey, remote_off)` on
+    /// the peer into `(local_mr, local_off)`.
+    Read {
+        /// Local destination region.
+        local_mr: MrKey,
+        /// Byte offset within the local region.
+        local_off: u64,
+        /// Peer region key.
+        rkey: MrKey,
+        /// Byte offset within the peer region.
+        remote_off: u64,
+        /// Transfer length in bytes.
+        len: u32,
+    },
+    /// One-sided RDMA WRITE: push `len` bytes from `(local_mr, local_off)`
+    /// into `(rkey, remote_off)` on the peer.
+    Write {
+        /// Local source region.
+        local_mr: MrKey,
+        /// Byte offset within the local region.
+        local_off: u64,
+        /// Peer region key.
+        rkey: MrKey,
+        /// Byte offset within the peer region.
+        remote_off: u64,
+        /// Transfer length in bytes.
+        len: u32,
+    },
+    /// Two-sided SEND of `len` bytes from `(local_mr, local_off)`; the
+    /// peer must have posted a receive.
+    Send {
+        /// Local source region.
+        local_mr: MrKey,
+        /// Byte offset within the local region.
+        local_off: u64,
+        /// Transfer length in bytes.
+        len: u32,
+    },
+    /// 8-byte atomic on `(rkey, remote_off)`; the original value lands at
+    /// `(local_mr, local_off)`.
+    Atomic {
+        /// Local region receiving the original value.
+        local_mr: MrKey,
+        /// Byte offset within the local region.
+        local_off: u64,
+        /// Peer region key.
+        rkey: MrKey,
+        /// Byte offset of the 8-byte target (must be 8-aligned).
+        remote_off: u64,
+        /// The operation.
+        op: crate::packet::AtomicOp,
+    },
+}
+
+impl WrOp {
+    /// Transfer length in bytes.
+    pub fn len(&self) -> u32 {
+        match self {
+            WrOp::Read { len, .. } | WrOp::Write { len, .. } | WrOp::Send { len, .. } => *len,
+            WrOp::Atomic { .. } => 8,
+        }
+    }
+
+    /// True for zero-length transfers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of request packets at the given MTU.
+    pub fn request_packets(&self, mtu: u32) -> u32 {
+        match self {
+            WrOp::Read { .. } | WrOp::Atomic { .. } => 1,
+            WrOp::Write { len, .. } | WrOp::Send { len, .. } => packets_for(*len, mtu),
+        }
+    }
+
+    /// Number of PSNs the operation consumes: SEND/WRITE use one per
+    /// request packet; READ consumes one per *response* packet (§9.7.2 of
+    /// the InfiniBand spec: read responses reuse the request PSN range);
+    /// atomics consume one.
+    pub fn psn_span(&self, mtu: u32) -> u32 {
+        match self {
+            WrOp::Read { len, .. } => packets_for(*len, mtu),
+            WrOp::Write { len, .. } | WrOp::Send { len, .. } => packets_for(*len, mtu),
+            WrOp::Atomic { .. } => 1,
+        }
+    }
+}
+
+/// A send work request as posted by the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkRequest {
+    /// Caller-chosen identifier echoed in the completion.
+    pub id: WrId,
+    /// The operation.
+    pub op: WrOp,
+}
+
+/// A receive work request (buffer for an incoming SEND).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecvWr {
+    /// Caller-chosen identifier echoed in the completion.
+    pub id: WrId,
+    /// Region the payload lands in.
+    pub mr: MrKey,
+    /// Byte offset within the region.
+    pub offset: u64,
+    /// Buffer capacity.
+    pub max_len: u32,
+}
+
+/// Completion status, mirroring `ibv_wc_status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WcStatus {
+    /// The operation completed successfully.
+    Success,
+    /// Transport retries exhausted (`IBV_WC_RETRY_EXC_ERR`): the error the
+    /// paper's Fig. 2 experiment measures and that SparkUCX runs hit.
+    RetryExcErr,
+    /// RNR retries exhausted.
+    RnrRetryExcErr,
+    /// The remote key or address was invalid.
+    RemoteAccessErr,
+    /// The work request was flushed because the QP entered the error state.
+    WrFlushErr,
+}
+
+impl WcStatus {
+    /// True only for [`WcStatus::Success`].
+    pub fn is_success(self) -> bool {
+        self == WcStatus::Success
+    }
+}
+
+impl fmt::Display for WcStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WcStatus::Success => write!(f, "IBV_WC_SUCCESS"),
+            WcStatus::RetryExcErr => write!(f, "IBV_WC_RETRY_EXC_ERR"),
+            WcStatus::RnrRetryExcErr => write!(f, "IBV_WC_RNR_RETRY_EXC_ERR"),
+            WcStatus::RemoteAccessErr => write!(f, "IBV_WC_REM_ACCESS_ERR"),
+            WcStatus::WrFlushErr => write!(f, "IBV_WC_WR_FLUSH_ERR"),
+        }
+    }
+}
+
+/// Which operation a completion reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WcOpcode {
+    /// RDMA READ completed on the requester.
+    Read,
+    /// RDMA WRITE completed on the requester.
+    Write,
+    /// SEND completed on the requester.
+    Send,
+    /// An incoming SEND landed in a posted receive.
+    Recv,
+    /// Fetch-and-add completed on the requester.
+    FetchAdd,
+    /// Compare-and-swap completed on the requester.
+    CompareSwap,
+}
+
+impl fmt::Display for WcOpcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WcOpcode::Read => write!(f, "READ"),
+            WcOpcode::Write => write!(f, "WRITE"),
+            WcOpcode::Send => write!(f, "SEND"),
+            WcOpcode::Recv => write!(f, "RECV"),
+            WcOpcode::FetchAdd => write!(f, "FETCH_ADD"),
+            WcOpcode::CompareSwap => write!(f, "CMP_SWAP"),
+        }
+    }
+}
+
+/// A completion queue entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Echoed work-request id.
+    pub wr_id: WrId,
+    /// QP the work request belonged to.
+    pub qpn: Qpn,
+    /// Outcome.
+    pub status: WcStatus,
+    /// Operation type.
+    pub opcode: WcOpcode,
+    /// Bytes transferred.
+    pub bytes: u32,
+    /// Completion timestamp.
+    pub at: SimTime,
+}
+
+/// Internal send-queue element: a work request plus transport progress.
+#[derive(Debug, Clone)]
+pub(crate) struct SendWqe {
+    pub id: WrId,
+    pub op: WrOp,
+    /// First PSN of the message.
+    pub psn_first: Psn,
+    /// Last PSN of the message (inclusive).
+    pub psn_last: Psn,
+    /// Request packets in the message.
+    pub req_packets: u32,
+    /// Response packets expected (READ only).
+    pub resp_packets: u32,
+    /// Request segments transmitted at least once.
+    pub sent_segments: u32,
+    /// Response segments consumed in order (READ only).
+    pub recv_segments: u32,
+    /// Remote side has acknowledged the message (ACK or implicit).
+    pub acked: bool,
+    /// Damming quirk: first transmission happened inside a fault-recovery
+    /// window, so recovery retransmissions skip it and the wire never saw
+    /// it (see `DeviceProfile::damming`).
+    pub ghosted: bool,
+    /// Time of first transmission of the first segment.
+    pub first_tx: Option<SimTime>,
+}
+
+impl SendWqe {
+    /// True when the WQE can retire: acked, and for READs and atomics all
+    /// response data consumed.
+    pub(crate) fn is_done(&self) -> bool {
+        match self.op {
+            WrOp::Read { .. } | WrOp::Atomic { .. } => self.recv_segments == self.resp_packets,
+            _ => self.acked,
+        }
+    }
+
+    /// True if `psn` falls within this message's PSN span.
+    pub(crate) fn covers(&self, psn: Psn) -> bool {
+        self.psn_first.at_or_before(psn) && psn.at_or_before(self.psn_last)
+    }
+
+    /// The completion opcode for this WQE.
+    pub(crate) fn wc_opcode(&self) -> WcOpcode {
+        match self.op {
+            WrOp::Read { .. } => WcOpcode::Read,
+            WrOp::Write { .. } => WcOpcode::Write,
+            WrOp::Send { .. } => WcOpcode::Send,
+            WrOp::Atomic { op: crate::packet::AtomicOp::FetchAdd { .. }, .. } => WcOpcode::FetchAdd,
+            WrOp::Atomic { op: crate::packet::AtomicOp::CompareSwap { .. }, .. } => {
+                WcOpcode::CompareSwap
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_op(len: u32) -> WrOp {
+        WrOp::Read {
+            local_mr: MrKey(1),
+            local_off: 0,
+            rkey: MrKey(2),
+            remote_off: 0,
+            len,
+        }
+    }
+
+    #[test]
+    fn read_consumes_response_psns() {
+        assert_eq!(read_op(100).psn_span(4096), 1);
+        assert_eq!(read_op(4097).psn_span(4096), 2);
+        assert_eq!(read_op(100).request_packets(4096), 1);
+        assert_eq!(read_op(10_000).request_packets(4096), 1);
+    }
+
+    #[test]
+    fn write_consumes_segment_psns() {
+        let w = WrOp::Write {
+            local_mr: MrKey(1),
+            local_off: 0,
+            rkey: MrKey(2),
+            remote_off: 0,
+            len: 10_000,
+        };
+        assert_eq!(w.psn_span(4096), 3);
+        assert_eq!(w.request_packets(4096), 3);
+        assert_eq!(w.len(), 10_000);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn wqe_covers_its_span() {
+        let wqe = SendWqe {
+            id: WrId(1),
+            op: read_op(10_000),
+            psn_first: Psn::new(10),
+            psn_last: Psn::new(12),
+            req_packets: 1,
+            resp_packets: 3,
+            sent_segments: 0,
+            recv_segments: 0,
+            acked: false,
+            ghosted: false,
+            first_tx: None,
+        };
+        assert!(!wqe.covers(Psn::new(9)));
+        assert!(wqe.covers(Psn::new(10)));
+        assert!(wqe.covers(Psn::new(12)));
+        assert!(!wqe.covers(Psn::new(13)));
+        assert_eq!(wqe.wc_opcode(), WcOpcode::Read);
+    }
+
+    #[test]
+    fn read_done_requires_data_not_just_ack() {
+        let mut wqe = SendWqe {
+            id: WrId(1),
+            op: read_op(100),
+            psn_first: Psn::new(0),
+            psn_last: Psn::new(0),
+            req_packets: 1,
+            resp_packets: 1,
+            sent_segments: 1,
+            recv_segments: 0,
+            acked: true,
+            ghosted: false,
+            first_tx: None,
+        };
+        assert!(!wqe.is_done(), "acked READ without data is not done");
+        wqe.recv_segments = 1;
+        assert!(wqe.is_done());
+    }
+
+    #[test]
+    fn status_display_matches_ibverbs_names() {
+        assert_eq!(WcStatus::RetryExcErr.to_string(), "IBV_WC_RETRY_EXC_ERR");
+        assert!(WcStatus::Success.is_success());
+        assert!(!WcStatus::RetryExcErr.is_success());
+    }
+}

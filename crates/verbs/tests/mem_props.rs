@@ -1,0 +1,78 @@
+//! Property tests of the memory substrate: sparse memory round-trips and
+//! region page arithmetic.
+
+use ibsim_verbs::{MemRegion, Memory, MrKey, MrMode, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary interleaved writes read back exactly, independent of page
+    /// boundaries.
+    #[test]
+    fn sparse_memory_roundtrips(
+        writes in proptest::collection::vec((0u64..100_000, proptest::collection::vec(any::<u8>(), 1..300)), 1..40)
+    ) {
+        let mut mem = Memory::new();
+        let mut model: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        for (addr, data) in &writes {
+            mem.write(*addr, data);
+            for (i, b) in data.iter().enumerate() {
+                model.insert(addr + i as u64, *b);
+            }
+        }
+        for (addr, data) in &writes {
+            let got = mem.read(*addr, data.len());
+            for (i, g) in got.iter().enumerate() {
+                prop_assert_eq!(*g, model[&(addr + i as u64)]);
+            }
+        }
+    }
+
+    /// `pages_spanned` covers exactly the pages containing the range, for
+    /// arbitrary (possibly unaligned) region bases.
+    #[test]
+    fn pages_spanned_is_exact(
+        base_page in 0u64..100,
+        base_off in 0u64..PAGE_SIZE,
+        len in 1u64..(PAGE_SIZE * 8),
+        range_off_frac in 0.0f64..1.0,
+        range_len in 1u32..4096,
+    ) {
+        let base = base_page * PAGE_SIZE + base_off;
+        let region_len = len.max(range_len as u64 + 1);
+        let r = MemRegion::new(MrKey(1), base, region_len, MrMode::Odp);
+        let max_off = region_len - range_len as u64;
+        let off = (max_off as f64 * range_off_frac) as u64;
+        let span = r.pages_spanned(off, range_len);
+        // Check against direct page arithmetic on absolute addresses.
+        let abs_first = (base + off) / PAGE_SIZE;
+        let abs_last = (base + off + range_len as u64 - 1) / PAGE_SIZE;
+        let rel_first = abs_first - base / PAGE_SIZE;
+        let rel_last = abs_last - base / PAGE_SIZE;
+        prop_assert_eq!(*span.start() as u64, rel_first);
+        prop_assert_eq!(*span.end() as u64, rel_last);
+        prop_assert!(rel_last < r.page_count() as u64);
+    }
+
+    /// Mapping then invalidating arbitrary pages leaves `first_unmapped`
+    /// consistent with `range_mapped`.
+    #[test]
+    fn page_state_queries_agree(
+        pages in 1usize..40,
+        invalidate in proptest::collection::vec(0usize..40, 0..12),
+    ) {
+        let mut r = MemRegion::new(MrKey(1), 0, pages as u64 * PAGE_SIZE, MrMode::Odp);
+        r.map_all();
+        for &p in &invalidate {
+            if p < pages {
+                r.invalidate_page(p);
+            }
+        }
+        let len = (pages as u64 * PAGE_SIZE) as u32;
+        let fully_mapped = r.range_mapped(0, len);
+        let first = r.first_unmapped(0, len);
+        prop_assert_eq!(fully_mapped, first.is_none());
+        if let Some(p) = first {
+            prop_assert!(invalidate.contains(&p));
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! Direct unit tests of the QP state machine through the outbox
+//! interface, without the event engine: protocol rules in isolation.
+
+use std::collections::HashMap;
+
+use ibsim_event::SimTime;
+use ibsim_fabric::{Lid, LinkSpec};
+use ibsim_verbs::{
+    DeviceProfile, MemRegion, Memory, MrKey, MrMode, NakKind, Outbox, PacketKind, Psn, Qp,
+    QpConfig, QpEnv, Qpn, RecvWr, SegPos, WcStatus, WorkRequest, WrId, WrOp,
+};
+
+struct Host {
+    mem: Memory,
+    mrs: HashMap<MrKey, MemRegion>,
+    profile: DeviceProfile,
+}
+
+impl Host {
+    fn new(profile: DeviceProfile) -> Host {
+        Host {
+            mem: Memory::new(),
+            mrs: HashMap::new(),
+            profile,
+        }
+    }
+
+    fn add_mr(&mut self, key: u32, len: u64, mode: MrMode) -> MrKey {
+        let base = self.mem.alloc(len);
+        let k = MrKey(key);
+        self.mrs.insert(k, MemRegion::new(k, base, len, mode));
+        k
+    }
+
+    fn env(&mut self, now: SimTime) -> QpEnv<'_> {
+        QpEnv {
+            now,
+            mem: &mut self.mem,
+            mrs: &mut self.mrs,
+            profile: &self.profile,
+        }
+    }
+}
+
+fn cx4() -> DeviceProfile {
+    DeviceProfile::connectx4(LinkSpec::fdr())
+}
+
+fn read_wr(id: u64, local: MrKey, remote: MrKey, len: u32) -> WorkRequest {
+    WorkRequest {
+        id: WrId(id),
+        op: WrOp::Read {
+            local_mr: local,
+            local_off: 0,
+            rkey: remote,
+            remote_off: 0,
+            len,
+        },
+    }
+}
+
+#[test]
+fn post_read_emits_request_and_arms_timer() {
+    let mut host = Host::new(cx4());
+    let local = host.add_mr(1, 4096, MrMode::Pinned);
+    let mut qp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
+    qp.connect(Lid(2), Qpn(9));
+    let mut out = Outbox::new();
+    qp.post(
+        &mut host.env(SimTime::ZERO),
+        &mut out,
+        read_wr(1, local, MrKey(7), 100),
+    );
+    assert_eq!(out.packets.len(), 1);
+    let pkt = &out.packets[0];
+    assert_eq!(pkt.dst, Lid(2));
+    assert_eq!(pkt.dst_qp, Qpn(9));
+    assert_eq!(pkt.psn, Psn::new(0));
+    assert!(matches!(pkt.kind, PacketKind::ReadRequest { len: 100, .. }));
+    assert!(out.arm_ack_timer.is_some(), "timeout armed");
+    assert_eq!(qp.pending_sends(), 1);
+    assert!(qp.is_wr_pending(WrId(1)));
+}
+
+#[test]
+fn responder_executes_in_order_and_advances_epsn() {
+    let mut client = Host::new(cx4());
+    let mut server = Host::new(cx4());
+    let local = client.add_mr(1, 4096, MrMode::Pinned);
+    let remote = server.add_mr(2, 4096, MrMode::Pinned);
+    let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
+    let mut sqp = Qp::new(Qpn(2), Lid(2), QpConfig::default());
+    cqp.connect(Lid(2), Qpn(2));
+    sqp.connect(Lid(1), Qpn(1));
+
+    let mut out = Outbox::new();
+    cqp.post(
+        &mut client.env(SimTime::ZERO),
+        &mut out,
+        read_wr(1, local, remote, 64),
+    );
+    let req = out.packets.remove(0);
+
+    let mut sout = Outbox::new();
+    sqp.on_packet(&mut server.env(SimTime::from_us(1)), &mut sout, &req);
+    assert_eq!(sout.packets.len(), 1);
+    assert!(matches!(
+        &sout.packets[0].kind,
+        PacketKind::ReadResponse { seg: SegPos::Only, .. }
+    ));
+
+    // Client consumes the response: completion + data.
+    let resp = sout.packets.remove(0);
+    let mut cout = Outbox::new();
+    cqp.on_packet(&mut client.env(SimTime::from_us(2)), &mut cout, &resp);
+    assert_eq!(cout.completions.len(), 1);
+    assert_eq!(cout.completions[0].status, WcStatus::Success);
+    assert_eq!(qp_pending(&cqp), 0);
+}
+
+fn qp_pending(qp: &Qp) -> usize {
+    qp.pending_sends()
+}
+
+#[test]
+fn responder_naks_future_psn_once() {
+    let mut client = Host::new(cx4());
+    let mut server = Host::new(cx4());
+    let local = client.add_mr(1, 4096, MrMode::Pinned);
+    let remote = server.add_mr(2, 4096, MrMode::Pinned);
+    let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
+    let mut sqp = Qp::new(Qpn(2), Lid(2), QpConfig::default());
+    cqp.connect(Lid(2), Qpn(2));
+    sqp.connect(Lid(1), Qpn(1));
+
+    // Post two READs but deliver only the second to the server.
+    let mut out = Outbox::new();
+    cqp.post(&mut client.env(SimTime::ZERO), &mut out, read_wr(1, local, remote, 32));
+    cqp.post(&mut client.env(SimTime::ZERO), &mut out, read_wr(2, local, remote, 32));
+    assert_eq!(out.packets.len(), 2);
+    let second = out.packets.remove(1);
+
+    let mut sout = Outbox::new();
+    sqp.on_packet(&mut server.env(SimTime::from_us(1)), &mut sout, &second);
+    assert_eq!(sout.packets.len(), 1);
+    assert!(matches!(
+        sout.packets[0].kind,
+        PacketKind::Nak(NakKind::SequenceError { epsn }) if epsn == Psn::new(0)
+    ));
+    assert_eq!(sqp.stats.seq_naks_sent, 1);
+
+    // A second out-of-order packet does not produce another NAK.
+    let mut sout2 = Outbox::new();
+    sqp.on_packet(&mut server.env(SimTime::from_us(2)), &mut sout2, &second);
+    assert!(sout2.packets.is_empty(), "NAK already outstanding");
+}
+
+#[test]
+fn nak_seq_error_triggers_go_back_n() {
+    let mut client = Host::new(cx4());
+    let local = client.add_mr(1, 4096, MrMode::Pinned);
+    let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
+    cqp.connect(Lid(2), Qpn(2));
+    let mut out = Outbox::new();
+    for i in 0..3 {
+        cqp.post(
+            &mut client.env(SimTime::ZERO),
+            &mut out,
+            read_wr(i, local, MrKey(7), 32),
+        );
+    }
+    out.packets.clear();
+
+    // NAK(SEQ_ERR, expected psn1): retransmit psn1 and psn2.
+    let nak = ibsim_verbs::Packet {
+        src: Lid(2),
+        dst: Lid(1),
+        dst_qp: Qpn(1),
+        src_qp: Qpn(2),
+        psn: Psn::new(2),
+        kind: PacketKind::Nak(NakKind::SequenceError { epsn: Psn::new(1) }),
+        ghost: false,
+        retransmit: false,
+    };
+    let mut out2 = Outbox::new();
+    cqp.on_packet(&mut client.env(SimTime::from_us(5)), &mut out2, &nak);
+    let psns: Vec<u32> = out2.packets.iter().map(|p| p.psn.value()).collect();
+    assert_eq!(psns, vec![1, 2]);
+    assert!(out2.packets.iter().all(|p| p.retransmit));
+    assert_eq!(cqp.stats.retransmissions, 2);
+}
+
+#[test]
+fn responder_rnr_naks_send_without_recv_and_recovers() {
+    let mut server = Host::new(cx4());
+    let recv_mr = server.add_mr(3, 4096, MrMode::Pinned);
+    let mut sqp = Qp::new(Qpn(2), Lid(2), QpConfig::default());
+    sqp.connect(Lid(1), Qpn(1));
+    let send_pkt = ibsim_verbs::Packet {
+        src: Lid(1),
+        dst: Lid(2),
+        dst_qp: Qpn(2),
+        src_qp: Qpn(1),
+        psn: Psn::new(0),
+        kind: PacketKind::Send {
+            seg: SegPos::Only,
+            data: b"hello".to_vec(),
+        },
+        ghost: false,
+        retransmit: false,
+    };
+    let mut out = Outbox::new();
+    sqp.on_packet(&mut server.env(SimTime::ZERO), &mut out, &send_pkt);
+    assert!(matches!(
+        out.packets[0].kind,
+        PacketKind::Nak(NakKind::Rnr { .. })
+    ));
+    // Recv posted: the retransmitted SEND now lands and completes.
+    sqp.post_recv(RecvWr {
+        id: WrId(50),
+        mr: recv_mr,
+        offset: 0,
+        max_len: 4096,
+    });
+    let mut out2 = Outbox::new();
+    sqp.on_packet(&mut server.env(SimTime::from_ms(1)), &mut out2, &send_pkt);
+    assert!(matches!(out2.packets[0].kind, PacketKind::Ack));
+    assert_eq!(out2.completions.len(), 1);
+    assert_eq!(out2.completions[0].wr_id, WrId(50));
+    assert_eq!(out2.completions[0].bytes, 5);
+}
+
+#[test]
+fn odp_responder_faults_and_enters_pendency() {
+    let mut server = Host::new(cx4());
+    let remote = server.add_mr(2, 8192, MrMode::Odp);
+    let mut sqp = Qp::new(Qpn(2), Lid(2), QpConfig::default());
+    sqp.connect(Lid(1), Qpn(1));
+    let req = ibsim_verbs::Packet {
+        src: Lid(1),
+        dst: Lid(2),
+        dst_qp: Qpn(2),
+        src_qp: Qpn(1),
+        psn: Psn::new(0),
+        kind: PacketKind::ReadRequest {
+            rkey: remote,
+            addr: 0,
+            len: 100,
+            resp_packets: 1,
+        },
+        ghost: false,
+        retransmit: false,
+    };
+    let mut out = Outbox::new();
+    sqp.on_packet(&mut server.env(SimTime::ZERO), &mut out, &req);
+    assert!(matches!(
+        out.packets[0].kind,
+        PacketKind::Nak(NakKind::Rnr { .. })
+    ));
+    assert_eq!(out.faults, vec![(remote, 0)]);
+    assert_eq!(sqp.stats.rnr_naks_sent, 1);
+
+    // During pendency other packets are silently dropped...
+    let mut later = req.clone();
+    later.psn = Psn::new(1);
+    let mut out2 = Outbox::new();
+    sqp.on_packet(&mut server.env(SimTime::from_us(10)), &mut out2, &later);
+    assert!(out2.is_quiet());
+    assert_eq!(sqp.stats.pendency_drops, 1);
+
+    // ...while the faulted PSN itself is re-RNR-NAKed.
+    let mut out3 = Outbox::new();
+    sqp.on_packet(&mut server.env(SimTime::from_us(20)), &mut out3, &req);
+    assert!(matches!(
+        out3.packets[0].kind,
+        PacketKind::Nak(NakKind::Rnr { .. })
+    ));
+
+    // Fault resolution clears pendency and the retransmission executes.
+    {
+        let mut env = server.env(SimTime::from_ms(1));
+        env.mrs
+            .get_mut(&remote)
+            .expect("mr")
+            .set_page_state(0, ibsim_verbs::PageState::Mapped);
+        let mut out4 = Outbox::new();
+        sqp.on_page_ready(&mut env, &mut out4, remote, 0);
+    }
+    let mut out5 = Outbox::new();
+    sqp.on_packet(&mut server.env(SimTime::from_ms(2)), &mut out5, &req);
+    assert!(matches!(
+        out5.packets[0].kind,
+        PacketKind::ReadResponse { .. }
+    ));
+}
+
+#[test]
+fn damming_device_ghosts_posts_inside_rnr_wait() {
+    let mut client = Host::new(cx4());
+    let local = client.add_mr(1, 8192, MrMode::Pinned);
+    let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
+    cqp.connect(Lid(2), Qpn(2));
+    let mut out = Outbox::new();
+    cqp.post(&mut client.env(SimTime::ZERO), &mut out, read_wr(1, local, MrKey(7), 32));
+
+    // RNR NAK arrives: the QP enters the recovery window.
+    let nak = ibsim_verbs::Packet {
+        src: Lid(2),
+        dst: Lid(1),
+        dst_qp: Qpn(1),
+        src_qp: Qpn(2),
+        psn: Psn::new(0),
+        kind: PacketKind::Nak(NakKind::Rnr {
+            delay: SimTime::from_ms_f64(1.28),
+        }),
+        ghost: false,
+        retransmit: false,
+    };
+    let mut out2 = Outbox::new();
+    cqp.on_packet(&mut client.env(SimTime::from_us(5)), &mut out2, &nak);
+    assert!(out2.arm_rnr_timer.is_some());
+    assert!(cqp.in_recovery_window(SimTime::from_ms(1)));
+
+    // A request posted during the window is transmitted as a ghost.
+    let mut out3 = Outbox::new();
+    cqp.post(
+        &mut client.env(SimTime::from_ms(1)),
+        &mut out3,
+        read_wr(2, local, MrKey(7), 32),
+    );
+    assert_eq!(out3.packets.len(), 1);
+    assert!(out3.packets[0].ghost, "damming ghost");
+}
+
+#[test]
+fn healthy_device_does_not_ghost() {
+    let mut client = Host::new(DeviceProfile::connectx6());
+    let local = client.add_mr(1, 8192, MrMode::Pinned);
+    let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
+    cqp.connect(Lid(2), Qpn(2));
+    let mut out = Outbox::new();
+    cqp.post(&mut client.env(SimTime::ZERO), &mut out, read_wr(1, local, MrKey(7), 32));
+    let nak = ibsim_verbs::Packet {
+        src: Lid(2),
+        dst: Lid(1),
+        dst_qp: Qpn(1),
+        src_qp: Qpn(2),
+        psn: Psn::new(0),
+        kind: PacketKind::Nak(NakKind::Rnr {
+            delay: SimTime::from_ms_f64(1.28),
+        }),
+        ghost: false,
+        retransmit: false,
+    };
+    let mut out2 = Outbox::new();
+    cqp.on_packet(&mut client.env(SimTime::from_us(5)), &mut out2, &nak);
+    let mut out3 = Outbox::new();
+    cqp.post(
+        &mut client.env(SimTime::from_ms(1)),
+        &mut out3,
+        read_wr(2, local, MrKey(7), 32),
+    );
+    assert!(!out3.packets[0].ghost, "no ghosting on fixed hardware");
+}
+
+#[test]
+fn rnr_fire_retransmits_only_faulted_message_on_damming_device() {
+    let mut client = Host::new(cx4());
+    let local = client.add_mr(1, 8192, MrMode::Pinned);
+    let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
+    cqp.connect(Lid(2), Qpn(2));
+    let mut out = Outbox::new();
+    cqp.post(&mut client.env(SimTime::ZERO), &mut out, read_wr(1, local, MrKey(7), 32));
+    let nak = ibsim_verbs::Packet {
+        src: Lid(2),
+        dst: Lid(1),
+        dst_qp: Qpn(1),
+        src_qp: Qpn(2),
+        psn: Psn::new(0),
+        kind: PacketKind::Nak(NakKind::Rnr {
+            delay: SimTime::from_ms_f64(1.28),
+        }),
+        ghost: false,
+        retransmit: false,
+    };
+    let mut out2 = Outbox::new();
+    cqp.on_packet(&mut client.env(SimTime::from_us(5)), &mut out2, &nak);
+    let (_, gen) = out2.arm_rnr_timer.expect("rnr armed");
+    // Post a second message inside the window (ghosted).
+    let mut out3 = Outbox::new();
+    cqp.post(&mut client.env(SimTime::from_ms(1)), &mut out3, read_wr(2, local, MrKey(7), 32));
+    // Fire the RNR timer: only the faulted message (psn0) retransmits.
+    let mut out4 = Outbox::new();
+    cqp.on_rnr_fire(&mut client.env(SimTime::from_ms(5)), &mut out4, gen);
+    let psns: Vec<u32> = out4.packets.iter().map(|p| p.psn.value()).collect();
+    assert_eq!(psns, vec![0], "ConnectX-4 forgets the successor");
+}
+
+#[test]
+fn stale_timer_generations_are_ignored() {
+    let mut client = Host::new(cx4());
+    let local = client.add_mr(1, 4096, MrMode::Pinned);
+    let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
+    cqp.connect(Lid(2), Qpn(2));
+    let mut out = Outbox::new();
+    cqp.post(&mut client.env(SimTime::ZERO), &mut out, read_wr(1, local, MrKey(7), 32));
+    let gen = out.arm_ack_timer.expect("armed");
+    // A later event re-arms with a new generation; the old one is stale.
+    let mut out2 = Outbox::new();
+    cqp.on_ack_timeout(&mut client.env(SimTime::from_secs(1)), &mut out2, gen + 999);
+    assert!(out2.is_quiet(), "stale generation ignored");
+    assert_eq!(cqp.stats.timeouts, 0);
+    // The genuine generation fires.
+    let mut out3 = Outbox::new();
+    cqp.on_ack_timeout(&mut client.env(SimTime::from_secs(1)), &mut out3, gen);
+    assert_eq!(cqp.stats.timeouts, 1);
+    assert_eq!(out3.packets.len(), 1, "go-back-N retransmission");
+}
+
+#[test]
+fn retry_exhaustion_errors_out_and_flushes() {
+    let mut client = Host::new(cx4());
+    let local = client.add_mr(1, 4096, MrMode::Pinned);
+    let cfg = QpConfig {
+        retry_count: 1,
+        ..QpConfig::default()
+    };
+    let mut cqp = Qp::new(Qpn(1), Lid(1), cfg);
+    cqp.connect(Lid(2), Qpn(2));
+    let mut out = Outbox::new();
+    cqp.post(&mut client.env(SimTime::ZERO), &mut out, read_wr(1, local, MrKey(7), 32));
+    cqp.post(&mut client.env(SimTime::ZERO), &mut out, read_wr(2, local, MrKey(7), 32));
+    let mut gen = out.arm_ack_timer.expect("armed");
+    // First timeout: retries once and re-arms.
+    let mut out2 = Outbox::new();
+    cqp.on_ack_timeout(&mut client.env(SimTime::from_secs(1)), &mut out2, gen);
+    gen = out2.arm_ack_timer.expect("re-armed");
+    // Second timeout: budget exhausted.
+    let mut out3 = Outbox::new();
+    cqp.on_ack_timeout(&mut client.env(SimTime::from_secs(2)), &mut out3, gen);
+    assert_eq!(out3.completions.len(), 2);
+    assert_eq!(out3.completions[0].status, WcStatus::RetryExcErr);
+    assert_eq!(out3.completions[1].status, WcStatus::WrFlushErr);
+    assert_eq!(cqp.state(), ibsim_verbs::QpState::Error);
+    // Posting afterwards flushes immediately.
+    let mut out4 = Outbox::new();
+    cqp.post(&mut client.env(SimTime::from_secs(3)), &mut out4, read_wr(3, local, MrKey(7), 32));
+    assert_eq!(out4.completions[0].status, WcStatus::WrFlushErr);
+}
+
+#[test]
+fn write_segments_carry_correct_slices() {
+    let mut client = Host::new(cx4());
+    let len = 4096 * 2 + 100;
+    let local = client.add_mr(1, len as u64, MrMode::Pinned);
+    {
+        let env = client.env(SimTime::ZERO);
+        let base = env.mrs[&local].base();
+        let data: Vec<u8> = (0..len).map(|i| (i % 201) as u8).collect();
+        env.mem.write(base, &data);
+    }
+    let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
+    cqp.connect(Lid(2), Qpn(2));
+    let mut out = Outbox::new();
+    cqp.post(
+        &mut client.env(SimTime::ZERO),
+        &mut out,
+        WorkRequest {
+            id: WrId(1),
+            op: WrOp::Write {
+                local_mr: local,
+                local_off: 0,
+                rkey: MrKey(7),
+                remote_off: 0,
+                len: len as u32,
+            },
+        },
+    );
+    assert_eq!(out.packets.len(), 3);
+    let segs: Vec<SegPos> = out
+        .packets
+        .iter()
+        .map(|p| match &p.kind {
+            PacketKind::WriteRequest { seg, .. } => *seg,
+            _ => panic!("expected write"),
+        })
+        .collect();
+    assert_eq!(segs, vec![SegPos::First, SegPos::Middle, SegPos::Last]);
+    let sizes: Vec<usize> = out
+        .packets
+        .iter()
+        .map(|p| match &p.kind {
+            PacketKind::WriteRequest { data, .. } => data.len(),
+            _ => unreachable!(),
+        })
+        .collect();
+    assert_eq!(sizes, vec![4096, 4096, 100]);
+    // PSNs are consecutive.
+    let psns: Vec<u32> = out.packets.iter().map(|p| p.psn.value()).collect();
+    assert_eq!(psns, vec![0, 1, 2]);
+}

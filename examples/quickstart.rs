@@ -1,0 +1,42 @@
+//! Quickstart: simulate two InfiniBand hosts, run one RDMA READ against
+//! an ODP-registered buffer, and print the packet trace `ibdump` style.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ibsim::event::Engine;
+use ibsim::verbs::{Cluster, DeviceProfile, MrMode, QpConfig, WrId};
+
+fn main() {
+    // A deterministic two-host cluster with ConnectX-4 FDR NICs (the
+    // paper's KNL testbed).
+    let mut eng = Engine::new();
+    let mut cluster = Cluster::new(42);
+    let client = cluster.add_host("client", DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr()));
+    let server = cluster.add_host("server", DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr()));
+
+    // The server exposes an On-Demand-Paging region; the client reads
+    // into a pinned buffer. The first READ will page-fault on the server.
+    let remote = cluster.alloc_mr(server, 4096, MrMode::Odp);
+    let local = cluster.alloc_mr(client, 4096, MrMode::Pinned);
+    cluster.mem_write(server, remote.base, b"hello from on-demand paging");
+
+    cluster.capture_enable(client);
+    let (qp, _) = cluster.connect_pair(&mut eng, client, server, QpConfig::default());
+    cluster.post_read(&mut eng, client, qp, WrId(1), local.key, 0, remote.key, 0, 28);
+    eng.run(&mut cluster);
+
+    let completions = cluster.poll_cq(client);
+    println!("completion: {:?} at {}", completions[0].status, completions[0].at);
+    println!(
+        "data: {:?}",
+        String::from_utf8_lossy(&cluster.mem_read(client, local.base, 28))
+    );
+    println!("\nclient-side packet capture:");
+    print!("{}", cluster.capture(client).timeline());
+    println!(
+        "\nNote the RNR NAK and the ~4.5 ms wait before the retransmitted\n\
+         request succeeds — the server-side ODP workflow of the paper's Fig. 1."
+    );
+}

@@ -1,0 +1,47 @@
+//! A Spark-style shuffle job on the SparkUCX-like engine: compare the
+//! same workload with ODP disabled and enabled, like Fig. 13's columns.
+//!
+//! ```text
+//! cargo run --release --example shuffle_wordcount
+//! ```
+
+use ibsim::event::SimTime;
+use ibsim::shuffle::{run_shuffle, ShuffleConfig};
+
+fn main() {
+    // A wordcount-ish shuffle: 24 map tasks hash words into 24 reduce
+    // partitions; blocks are small, so many of them share pages — the
+    // flood-prone layout.
+    let base = ShuffleConfig {
+        workers: 2,
+        map_tasks: 24,
+        reduce_tasks: 24,
+        block_bytes: 256,
+        endpoints_per_pair: 128,
+        fetch_parallelism: 12,
+        fetch_stagger: SimTime::from_us(5),
+        setup_compute: SimTime::from_ms(20),
+        seed: 3,
+        ..Default::default()
+    };
+
+    let pinned = run_shuffle(&ShuffleConfig { odp: false, ..base.clone() });
+    let odp = run_shuffle(&ShuffleConfig { odp: true, ..base });
+
+    println!("workload: 24x24 blocks of 256 B over {} QPs", pinned.qps);
+    println!(
+        "ODP disabled: {} ({} fetches, {} packets)",
+        pinned.duration, pinned.fetches, pinned.packets
+    );
+    println!(
+        "ODP enabled:  {} ({} fetches, {} packets, {} failed)",
+        odp.duration, odp.fetches, odp.packets, odp.failed_fetches
+    );
+    println!(
+        "enable/disable ratio: {:.2} — packet ratio {:.1}x",
+        odp.duration.as_secs_f64() / pinned.duration.as_secs_f64(),
+        odp.packets as f64 / pinned.packets as f64
+    );
+    assert!(pinned.data_ok && odp.data_ok);
+    assert!(odp.duration >= pinned.duration);
+}

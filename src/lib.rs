@@ -1,0 +1,28 @@
+//! # ibsim
+//!
+//! Facade crate re-exporting the full `ibsim` workspace: a packet-level
+//! InfiniBand Reliable Connection + On-Demand Paging simulator that
+//! reproduces the ISPASS 2021 study *Pitfalls of InfiniBand with On-Demand
+//! Paging* (Fukuoka, Sato, Taura).
+//!
+//! See the sub-crate docs for details:
+//!
+//! * [`event`] — deterministic discrete-event kernel,
+//! * [`fabric`] — links, switch, LID routing, loss injection, capture,
+//! * [`verbs`] — packets, memory regions, RC queue pairs, verbs API,
+//! * [`odp`] — On-Demand Paging engine, device models, pitfall analysis,
+//! * [`ucp`] — UCX-like messaging/RMA layer,
+//! * [`dsm`] — ArgoDSM-like distributed shared memory,
+//! * [`shuffle`] — SparkUCX-like shuffle engine,
+//! * [`perftest`] — `ib_read_lat`/`ib_read_bw`-style micro-benchmarks.
+
+#![warn(missing_docs)]
+
+pub use ibsim_dsm as dsm;
+pub use ibsim_event as event;
+pub use ibsim_fabric as fabric;
+pub use ibsim_odp as odp;
+pub use ibsim_perftest as perftest;
+pub use ibsim_shuffle as shuffle;
+pub use ibsim_ucp as ucp;
+pub use ibsim_verbs as verbs;
