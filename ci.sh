@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repository CI: static checks, full test suite, runtime-invariant
+# builds, and the pitfall-probe golden runs. Everything is offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> custom source lint (no unwrap / no wall-clock in simulator crates)"
+cargo run -q --offline -p ibsim-bench --bin lint -- --src
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test --workspace"
+cargo test -q --offline --workspace
+
+echo "==> runtime invariant checks (--features checks)"
+cargo test -q --offline -p ibsim-verbs --features checks
+cargo test -q --offline -p ibsim-analysis --features checks
+
+echo "==> pitfall probes (linter must flag each probe's own signature)"
+cargo run -q --offline --release --example damming_probe
+cargo run -q --offline --release --example flood_probe
+
+echo "==> ci: all green"

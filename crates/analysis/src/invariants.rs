@@ -1,0 +1,173 @@
+//! The runtime invariant registry.
+//!
+//! The trace linter works offline, after the fact. The invariants here
+//! are checked *while the simulation runs*, inside `ibsim-verbs` and
+//! `ibsim-event`, when those crates are built with their `checks`
+//! feature (this crate's own `checks` feature forwards to them). The
+//! registry gives each runtime check a stable identity and a single
+//! place to collect the violation counters from.
+//!
+//! Checks never panic: violations are counted and surfaced — through
+//! [`ibsim_verbs::QpStats::invariant_violations`], through
+//! `Engine::monotonicity_violations`, and through `ibsim-odp`'s
+//! `HostCounters` — so a broken invariant shows up in the same counter
+//! reports the paper's methodology relies on.
+
+use std::fmt;
+
+use ibsim_event::Engine;
+use ibsim_verbs::{Cluster, HostId};
+
+/// Stable identity of one runtime invariant check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantId {
+    /// Every QP state change must be legal per the RC state machine
+    /// (`QpState::transition_allowed`); checked in `ibsim-verbs`.
+    QpStateTransition,
+    /// Every event popped by the engine must carry a timestamp at or
+    /// after the current clock; checked in `ibsim-event`.
+    EventTimeMonotonicity,
+}
+
+impl InvariantId {
+    /// Every registered runtime invariant.
+    pub const ALL: [InvariantId; 2] = [
+        InvariantId::QpStateTransition,
+        InvariantId::EventTimeMonotonicity,
+    ];
+
+    /// Short stable mnemonic.
+    pub fn code(self) -> &'static str {
+        match self {
+            InvariantId::QpStateTransition => "QP_STATE_TRANSITION",
+            InvariantId::EventTimeMonotonicity => "EVENT_TIME_MONOTONICITY",
+        }
+    }
+
+    /// One-line description of what the check enforces.
+    pub fn description(self) -> &'static str {
+        match self {
+            InvariantId::QpStateTransition => {
+                "QP state changes follow the RC lifecycle (Reset→Init→Rtr→Rts, \
+                 any→Error, Error→Reset)"
+            }
+            InvariantId::EventTimeMonotonicity => {
+                "event pops never move the simulated clock backwards"
+            }
+        }
+    }
+}
+
+impl fmt::Display for InvariantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// Violation counters collected from a running (or finished) simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InvariantSnapshot {
+    /// Illegal QP state transitions, summed over the snapshot's hosts.
+    pub qp_transition_violations: u64,
+    /// Event pops that moved the clock backwards.
+    pub event_monotonicity_violations: u64,
+}
+
+impl InvariantSnapshot {
+    /// Collects the counters for every host of a cluster plus its engine.
+    ///
+    /// Without the `checks` feature both counters are always zero (the
+    /// checks compile away); the collection path itself is unconditional
+    /// so callers need no feature gates.
+    pub fn collect<W>(cl: &Cluster, hosts: &[HostId], engine: &Engine<W>) -> Self {
+        let qp = hosts
+            .iter()
+            .map(|&h| cl.qp_stats_sum(h).invariant_violations)
+            .sum();
+        InvariantSnapshot {
+            qp_transition_violations: qp,
+            event_monotonicity_violations: engine.monotonicity_violations(),
+        }
+    }
+
+    /// Total violations across all invariants.
+    pub fn total(&self) -> u64 {
+        self.qp_transition_violations + self.event_monotonicity_violations
+    }
+
+    /// True when every runtime invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// The counter for one registered invariant.
+    pub fn count(&self, id: InvariantId) -> u64 {
+        match id {
+            InvariantId::QpStateTransition => self.qp_transition_violations,
+            InvariantId::EventTimeMonotonicity => self.event_monotonicity_violations,
+        }
+    }
+}
+
+impl fmt::Display for InvariantSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "runtime invariants clean");
+        }
+        write!(f, "runtime invariant violations:")?;
+        for id in InvariantId::ALL {
+            if self.count(id) > 0 {
+                write!(f, " {}={}", id, self.count(id))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibsim_event::Engine;
+    use ibsim_fabric::LinkSpec;
+    use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, WrId};
+
+    #[test]
+    fn registry_is_self_describing() {
+        for id in InvariantId::ALL {
+            assert!(!id.code().is_empty());
+            assert!(!id.description().is_empty());
+            assert_eq!(id.to_string(), id.code());
+        }
+    }
+
+    #[test]
+    fn healthy_run_snapshot_is_clean() {
+        let mut eng = Engine::new();
+        let mut cl = Cluster::new(1);
+        let a = cl.add_host("client", DeviceProfile::connectx4(LinkSpec::fdr()));
+        let b = cl.add_host("server", DeviceProfile::connectx4(LinkSpec::fdr()));
+        let remote = cl.alloc_mr(b, 4096, MrMode::Pinned);
+        let local = cl.alloc_mr(a, 4096, MrMode::Pinned);
+        let (qp, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
+        cl.post_read(&mut eng, a, qp, WrId(0), local.key, 0, remote.key, 0, 256);
+        eng.run(&mut cl);
+        assert_eq!(cl.poll_cq(a).len(), 1);
+        let snap = InvariantSnapshot::collect(&cl, &[a, b], &eng);
+        assert!(snap.is_clean(), "{snap}");
+        assert_eq!(snap.total(), 0);
+        assert!(snap.to_string().contains("clean"));
+    }
+
+    #[test]
+    fn snapshot_display_lists_nonzero_counters() {
+        let snap = InvariantSnapshot {
+            qp_transition_violations: 2,
+            event_monotonicity_violations: 0,
+        };
+        let s = snap.to_string();
+        assert!(s.contains("QP_STATE_TRANSITION=2"), "{s}");
+        assert!(!s.contains("EVENT_TIME_MONOTONICITY"), "{s}");
+        assert_eq!(snap.count(InvariantId::QpStateTransition), 2);
+        assert!(!snap.is_clean());
+    }
+}

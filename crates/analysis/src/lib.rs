@@ -1,0 +1,50 @@
+//! # ibsim-analysis
+//!
+//! Protocol-conformance and pitfall analysis for `ibsim` packet traces.
+//!
+//! The paper's central methodological point (§IX-A) is that the ODP
+//! pitfalls are *invisible* without raw packets: no error codes, no
+//! failed verbs, just time disappearing. This crate turns the simulator's
+//! `ibdump`-style captures into checked artifacts:
+//!
+//! * [`lint_capture`] — an RC **trace linter**: per-flow PSN monotonicity
+//!   and contiguity, sequence-error-NAK justification, retransmission
+//!   justification, ACK/response matching; plus the §V damming and §VI
+//!   flood **signature detectors** ([`signature`]).
+//! * [`check_conservation`] — **packet conservation** between the two
+//!   ends of a link: nothing silently lost, nothing invented.
+//! * [`InvariantSnapshot`] — the **runtime invariant registry**: QP
+//!   state-machine legality and event-clock monotonicity, counted inside
+//!   `ibsim-verbs` / `ibsim-event` when built with the `checks` feature
+//!   and collected here.
+//!
+//! Findings come back as a structured [`LintReport`] whose rules carry
+//! stable [`RuleId`] codes, so CI can assert "clean trace" exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use ibsim_analysis::{lint_capture, LintConfig, RuleId};
+//! use ibsim_fabric::Capture;
+//! use ibsim_verbs::Packet;
+//!
+//! let cap: Capture<Packet> = Capture::new();
+//! let report = lint_capture(&cap, &LintConfig::default());
+//! assert!(report.is_clean());
+//! assert_eq!(report.count(RuleId::FloodSignature), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod conservation;
+mod finding;
+mod invariants;
+mod linter;
+pub mod signature;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use conservation::check_conservation;
+pub use finding::{Finding, LintReport, RuleId, Severity};
+pub use invariants::{InvariantId, InvariantSnapshot};
+pub use linter::{lint_capture, LintConfig};

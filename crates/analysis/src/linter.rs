@@ -1,0 +1,455 @@
+//! The RC protocol-conformance trace linter.
+//!
+//! [`lint_capture`] takes one host's `ibdump`-style capture and checks
+//! the *requester-side* transport invariants packet by packet:
+//!
+//! * fresh request PSNs are monotone and contiguous per flow,
+//! * every sequence-error NAK is preceded by an out-of-order cause
+//!   (a silently lost or ghosted request) visible in the trace,
+//! * every retransmission is justified by a NAK, an observed loss, or a
+//!   plausible ACK timeout,
+//! * every ACK and READ/ATOMIC response matches an outstanding request.
+//!
+//! It then runs the pitfall signature detectors from [`crate::signature`]
+//! over the same capture, so one call yields both conformance violations
+//! and §V/§VI pitfall findings.
+//!
+//! A *flow* is the ordered pair (local QP, remote QP). The linter views
+//! the capture from the requester's seat: transmitted requests, received
+//! acknowledgements. Responder-side traffic (received requests, sent
+//! ACKs) is covered by running the linter on the peer's capture and by
+//! [`crate::conservation`].
+
+use std::collections::{HashMap, HashSet};
+
+use ibsim_event::SimTime;
+use ibsim_fabric::{Capture, Direction};
+use ibsim_verbs::{NakKind, Packet, PacketKind, Psn, Qpn};
+
+use crate::finding::{Finding, LintReport, RuleId, Severity};
+use crate::signature;
+
+/// Tunables for the linter and the signature detectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Shortest interval after which a spontaneous retransmission is
+    /// accepted as a plausible transport (ACK) timeout. Should sit below
+    /// the smallest `T_o` any profile in the trace can produce; the
+    /// vendor floor `C_ack = 5` gives `T_o ≈ 245 µs`.
+    pub ack_timeout_hint: SimTime,
+    /// Minimum silent gap after an unexplained loss to call damming.
+    /// The paper's stalls run to hundreds of milliseconds; 20 ms cleanly
+    /// separates them from RNR waits (§V).
+    pub damming_min_stall: SimTime,
+    /// Minimum transmissions of one request to consider a flood storm
+    /// (the paper saw "hundreds"; ≥5 is already anomalous, §VI).
+    pub flood_min_transmissions: u64,
+    /// Inclusive band of retransmit cadences treated as the blind ODP
+    /// retry timer (~0.5 ms on ConnectX-4, Fig. 1 right).
+    pub flood_cadence: (SimTime, SimTime),
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            ack_timeout_hint: SimTime::from_us(100),
+            damming_min_stall: SimTime::from_ms(20),
+            flood_min_transmissions: 5,
+            flood_cadence: (SimTime::from_us(100), SimTime::from_ms(2)),
+        }
+    }
+}
+
+/// Requester-side linter state for one flow (local QP, remote QP).
+#[derive(Default)]
+struct FlowState {
+    /// Next expected fresh request PSN; `None` until the first request.
+    expected: Option<Psn>,
+    /// Every PSN value consumed by a fresh request (window membership).
+    consumed: HashSet<u32>,
+    /// PSNs of transmitted READ requests (fresh or retransmitted).
+    read_psns: HashSet<u32>,
+    /// PSNs of transmitted ATOMIC requests.
+    atomic_psns: HashSet<u32>,
+    /// Last transmission time per request PSN.
+    last_tx: HashMap<u32, SimTime>,
+    /// Time of the most recent NAK received on this flow.
+    last_nak_rx: Option<SimTime>,
+    /// Time of the most recent silently lost (dropped/ghost) request Tx.
+    last_silent_loss: Option<SimTime>,
+}
+
+/// How many consecutive PSNs a fresh request packet consumes.
+fn psn_span(kind: &PacketKind) -> u32 {
+    match kind {
+        // A READ reserves one PSN per response segment.
+        PacketKind::ReadRequest { resp_packets, .. } => (*resp_packets).max(1),
+        // WRITE/SEND segments and ATOMICs each carry exactly one PSN.
+        _ => 1,
+    }
+}
+
+/// Lints one capture against the requester-side RC conformance rules,
+/// then appends the §V/§VI pitfall signature findings.
+///
+/// # Examples
+///
+/// A clean capture yields a clean report:
+///
+/// ```
+/// use ibsim_analysis::{lint_capture, LintConfig};
+/// use ibsim_fabric::Capture;
+/// use ibsim_verbs::Packet;
+///
+/// let cap: Capture<Packet> = Capture::new();
+/// let report = lint_capture(&cap, &LintConfig::default());
+/// assert!(report.is_clean());
+/// ```
+pub fn lint_capture(cap: &Capture<Packet>, cfg: &LintConfig) -> LintReport {
+    let mut report = LintReport::default();
+    let mut flows: HashMap<(Qpn, Qpn), FlowState> = HashMap::new();
+
+    for r in cap {
+        let p = &r.payload;
+        match r.direction {
+            Direction::Tx if p.kind.is_request() => {
+                let key = (p.src_qp, p.dst_qp);
+                let flow = flows.entry(key).or_default();
+                if p.retransmit {
+                    check_retransmit(&mut report, flow, key, r.time, p, cfg);
+                } else {
+                    check_fresh_request(&mut report, flow, key, r.time, p);
+                }
+                match &p.kind {
+                    PacketKind::ReadRequest { .. } => {
+                        flow.read_psns.insert(p.psn.value());
+                    }
+                    PacketKind::AtomicRequest { .. } => {
+                        flow.atomic_psns.insert(p.psn.value());
+                    }
+                    _ => {}
+                }
+                if r.dropped || p.ghost {
+                    flow.last_silent_loss = Some(r.time);
+                }
+                flow.last_tx.insert(p.psn.value(), r.time);
+            }
+            Direction::Rx => {
+                // Viewed from the requester: local QP is the destination.
+                let key = (p.dst_qp, p.src_qp);
+                let flow = flows.entry(key).or_default();
+                check_response(&mut report, flow, key, r.time, p);
+            }
+            Direction::Tx => {} // responder-side Tx (ACKs, responses)
+        }
+    }
+
+    report.merge(signature::detect_damming_signature(cap, cfg));
+    report.merge(signature::detect_flood_signature(cap, cfg));
+    report
+}
+
+/// PSN monotonicity + contiguity for fresh (first-transmission) requests.
+fn check_fresh_request(
+    report: &mut LintReport,
+    flow: &mut FlowState,
+    key: (Qpn, Qpn),
+    at: SimTime,
+    p: &Packet,
+) {
+    let span = psn_span(&p.kind);
+    if let Some(expected) = flow.expected {
+        if p.psn != expected {
+            let (rule, message) = if p.psn.precedes(expected) {
+                (
+                    RuleId::PsnMonotonicity,
+                    format!(
+                        "fresh {} reuses {} inside the consumed window (expected {})",
+                        p.kind.opcode(),
+                        p.psn,
+                        expected
+                    ),
+                )
+            } else {
+                (
+                    RuleId::PsnContiguity,
+                    format!(
+                        "fresh {} skips from expected {} to {} leaving a {}-PSN hole",
+                        p.kind.opcode(),
+                        expected,
+                        p.psn,
+                        p.psn.distance_from(expected)
+                    ),
+                )
+            };
+            report.findings.push(Finding {
+                rule,
+                severity: Severity::Violation,
+                at,
+                flow: Some(key),
+                psn: Some(p.psn.value()),
+                message,
+            });
+        }
+    }
+    // Resynchronise on what was actually sent so one hole is one finding,
+    // not a cascade.
+    flow.expected = Some(p.psn.add(span));
+    for i in 0..span {
+        flow.consumed.insert(p.psn.add(i).value());
+    }
+}
+
+/// Every retransmission must have a visible cause.
+fn check_retransmit(
+    report: &mut LintReport,
+    flow: &mut FlowState,
+    key: (Qpn, Qpn),
+    at: SimTime,
+    p: &Packet,
+    cfg: &LintConfig,
+) {
+    let psn = p.psn.value();
+    let Some(&prev) = flow.last_tx.get(&psn) else {
+        report.findings.push(Finding {
+            rule: RuleId::UnjustifiedRetransmit,
+            severity: Severity::Violation,
+            at,
+            flow: Some(key),
+            psn: Some(psn),
+            message: format!(
+                "{} marked as retransmission but {} was never transmitted",
+                p.kind.opcode(),
+                p.psn
+            ),
+        });
+        return;
+    };
+    // Justifications, in the order a debugging human would check them:
+    // a NAK since the last attempt, a loss observed since the last
+    // attempt (go-back-N rolls back over healthy PSNs too, so any loss
+    // on the flow counts), or enough silence for an ACK timeout.
+    let nak_explains = flow.last_nak_rx.is_some_and(|t| t >= prev && t <= at);
+    let loss_explains = flow.last_silent_loss.is_some_and(|t| t >= prev && t <= at);
+    let timeout_plausible = at - prev >= cfg.ack_timeout_hint;
+    if !nak_explains && !loss_explains && !timeout_plausible {
+        report.findings.push(Finding {
+            rule: RuleId::UnjustifiedRetransmit,
+            severity: Severity::Violation,
+            at,
+            flow: Some(key),
+            psn: Some(psn),
+            message: format!(
+                "{} retransmitted {} after the previous attempt with no NAK, \
+                 no observed loss, and below the ACK-timeout hint ({})",
+                p.kind.opcode(),
+                at - prev,
+                cfg.ack_timeout_hint
+            ),
+        });
+    }
+}
+
+/// ACK / NAK / response matching on the receive side of a flow.
+fn check_response(
+    report: &mut LintReport,
+    flow: &mut FlowState,
+    key: (Qpn, Qpn),
+    at: SimTime,
+    p: &Packet,
+) {
+    match &p.kind {
+        PacketKind::Ack if !flow.consumed.contains(&p.psn.value()) => {
+            report.findings.push(Finding {
+                rule: RuleId::UnmatchedAck,
+                severity: Severity::Violation,
+                at,
+                flow: Some(key),
+                psn: Some(p.psn.value()),
+                message: format!("ACK for {} which no request consumed", p.psn),
+            });
+        }
+        PacketKind::ReadResponse { req_psn, .. } if !flow.read_psns.contains(&req_psn.value()) => {
+            report.findings.push(Finding {
+                rule: RuleId::UnmatchedResponse,
+                severity: Severity::Violation,
+                at,
+                flow: Some(key),
+                psn: Some(req_psn.value()),
+                message: format!("READ response for {req_psn} with no READ request"),
+            });
+        }
+        PacketKind::AtomicResponse { req_psn, .. }
+            if !flow.atomic_psns.contains(&req_psn.value()) =>
+        {
+            report.findings.push(Finding {
+                rule: RuleId::UnmatchedResponse,
+                severity: Severity::Violation,
+                at,
+                flow: Some(key),
+                psn: Some(req_psn.value()),
+                message: format!("ATOMIC response for {req_psn} with no ATOMIC request"),
+            });
+        }
+        PacketKind::Nak(kind) => {
+            if let NakKind::SequenceError { epsn } = kind {
+                // The responder claims out-of-order arrival. In this
+                // capture (which sees fabric drops and ghosts — strictly
+                // more than real ibdump) that is only explicable if some
+                // request was silently lost beforehand.
+                if flow.last_silent_loss.is_none() {
+                    report.findings.push(Finding {
+                        rule: RuleId::UnjustifiedSeqNak,
+                        severity: Severity::Violation,
+                        at,
+                        flow: Some(key),
+                        psn: Some(epsn.value()),
+                        message: format!(
+                            "sequence-error NAK (expecting {epsn}) with no preceding \
+                             request loss on the flow"
+                        ),
+                    });
+                }
+            }
+            flow.last_nak_rx = Some(at);
+        }
+        _ => {} // inbound requests: this host is the responder for those
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, nak_seq, read_req, read_resp, rx, tx, tx_dropped, tx_retx};
+
+    fn lint(cap: &Capture<Packet>) -> LintReport {
+        lint_capture(cap, &LintConfig::default())
+    }
+
+    #[test]
+    fn empty_capture_is_clean() {
+        let cap: Capture<Packet> = Capture::new();
+        assert!(lint(&cap).is_clean());
+    }
+
+    #[test]
+    fn clean_read_exchange_is_clean() {
+        let mut cap = Capture::new();
+        cap.enable();
+        tx(&mut cap, 1_000, read_req(0, 1));
+        rx(&mut cap, 3_000, read_resp(0, 0));
+        tx(&mut cap, 4_000, read_req(1, 1));
+        rx(&mut cap, 6_000, read_resp(1, 1));
+        let report = lint(&cap);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn psn_hole_is_contiguity_violation() {
+        let mut cap = Capture::new();
+        cap.enable();
+        tx(&mut cap, 1_000, read_req(0, 1));
+        tx(&mut cap, 2_000, read_req(5, 1)); // skips 1..=4
+        let report = lint(&cap);
+        assert_eq!(report.count(RuleId::PsnContiguity), 1, "{report}");
+        let f = report.by_rule(RuleId::PsnContiguity).next().unwrap();
+        assert_eq!(f.psn, Some(5));
+        assert!(f.message.contains("5-PSN hole") || f.message.contains("hole"));
+    }
+
+    #[test]
+    fn psn_reuse_is_monotonicity_violation() {
+        let mut cap = Capture::new();
+        cap.enable();
+        tx(&mut cap, 1_000, read_req(0, 1));
+        tx(&mut cap, 2_000, read_req(1, 1));
+        tx(&mut cap, 3_000, read_req(0, 1)); // fresh reuse of psn 0
+        let report = lint(&cap);
+        assert_eq!(report.count(RuleId::PsnMonotonicity), 1, "{report}");
+    }
+
+    #[test]
+    fn multi_packet_read_spans_are_contiguous() {
+        let mut cap = Capture::new();
+        cap.enable();
+        tx(&mut cap, 1_000, read_req(0, 4)); // consumes 0..=3
+        tx(&mut cap, 2_000, read_req(4, 1));
+        assert!(lint(&cap).is_clean());
+    }
+
+    #[test]
+    fn seq_nak_without_loss_is_flagged() {
+        let mut cap = Capture::new();
+        cap.enable();
+        tx(&mut cap, 1_000, read_req(0, 1));
+        rx(&mut cap, 2_000, nak_seq(1));
+        let report = lint(&cap);
+        assert_eq!(report.count(RuleId::UnjustifiedSeqNak), 1, "{report}");
+    }
+
+    #[test]
+    fn seq_nak_after_drop_is_justified() {
+        let mut cap = Capture::new();
+        cap.enable();
+        tx_dropped(&mut cap, 1_000, read_req(0, 1));
+        tx(&mut cap, 2_000, read_req(1, 1));
+        rx(&mut cap, 3_000, nak_seq(0));
+        let report = lint(&cap);
+        assert_eq!(report.count(RuleId::UnjustifiedSeqNak), 0, "{report}");
+    }
+
+    #[test]
+    fn early_retransmit_without_cause_is_flagged() {
+        let mut cap = Capture::new();
+        cap.enable();
+        tx(&mut cap, 1_000, read_req(0, 1));
+        tx_retx(&mut cap, 11_000, read_req(0, 1)); // 10 µs later: too soon
+        let report = lint(&cap);
+        assert_eq!(report.count(RuleId::UnjustifiedRetransmit), 1, "{report}");
+    }
+
+    #[test]
+    fn timeout_paced_retransmit_is_justified() {
+        let mut cap = Capture::new();
+        cap.enable();
+        tx(&mut cap, 1_000, read_req(0, 1));
+        tx_retx(&mut cap, 1_000 + 300_000, read_req(0, 1)); // 300 µs later
+        let report = lint(&cap);
+        assert_eq!(report.count(RuleId::UnjustifiedRetransmit), 0, "{report}");
+    }
+
+    #[test]
+    fn nak_justifies_prompt_retransmit() {
+        let mut cap = Capture::new();
+        cap.enable();
+        tx_dropped(&mut cap, 1_000, read_req(0, 1));
+        tx(&mut cap, 2_000, read_req(1, 1));
+        rx(&mut cap, 5_000, nak_seq(0));
+        tx_retx(&mut cap, 6_000, read_req(0, 1));
+        tx_retx(&mut cap, 7_000, read_req(1, 1));
+        let report = lint(&cap);
+        assert_eq!(report.count(RuleId::UnjustifiedRetransmit), 0, "{report}");
+    }
+
+    #[test]
+    fn retransmit_of_unseen_psn_is_flagged() {
+        let mut cap = Capture::new();
+        cap.enable();
+        tx_retx(&mut cap, 1_000, read_req(9, 1));
+        let report = lint(&cap);
+        assert_eq!(report.count(RuleId::UnjustifiedRetransmit), 1);
+        assert!(report.findings[0].message.contains("never transmitted"));
+    }
+
+    #[test]
+    fn unmatched_ack_and_response_are_flagged() {
+        let mut cap = Capture::new();
+        cap.enable();
+        tx(&mut cap, 1_000, read_req(0, 1));
+        rx(&mut cap, 2_000, ack(17));
+        rx(&mut cap, 3_000, read_resp(12, 0));
+        let report = lint(&cap);
+        assert_eq!(report.count(RuleId::UnmatchedAck), 1, "{report}");
+        assert_eq!(report.count(RuleId::UnmatchedResponse), 1, "{report}");
+    }
+}

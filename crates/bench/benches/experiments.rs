@@ -1,112 +1,95 @@
-//! Criterion benches: reduced-scale versions of each paper experiment,
+//! Smoke-bench harness: reduced-scale versions of each paper experiment,
 //! so `cargo bench --workspace` exercises every reproduction path and
-//! tracks the simulator's own performance.
+//! reports coarse wall-clock timings.
 //!
-//! The full paper-scale rows/series come from the `ibsim-bench` binaries
+//! This is a plain `harness = false` binary (no external bench framework,
+//! so the workspace builds offline). Timings here are indicative only;
+//! the full paper-scale rows/series come from the `ibsim-bench` binaries
 //! (`cargo run --release -p ibsim-bench --bin all`).
+//!
+//! Wall-clock use is confined to this harness: the simulator crates
+//! themselves are forbidden from touching `std::time::Instant` (enforced
+//! by the `lint` bin's source lint).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ibsim_event::SimTime;
 use ibsim_odp::{
-    fig11_curves, fig2_curve, fig9_points, run_microbench, timeout_probability,
-    MicrobenchConfig, OdpMode, SystemProfile,
+    fig11_curves, fig2_curve, fig9_points, run_microbench, timeout_probability, MicrobenchConfig,
+    OdpMode, SystemProfile,
 };
 
-fn bench_fig2(c: &mut Criterion) {
+/// Runs `f` a few times and prints mean wall-clock per iteration.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f()); // warm-up
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = start.elapsed() / iters;
+    println!("{name:<44} {per:>12.2?}/iter  (x{iters})");
+}
+
+fn main() {
     let knl = SystemProfile::knl();
-    c.bench_function("fig2_knl_to_at_cack1", |b| {
-        b.iter(|| fig2_curve(&knl, [1u8].into_iter()))
+    bench("fig2_knl_to_at_cack1", 10, || {
+        fig2_curve(&knl, [1u8].into_iter())
     });
-}
 
-fn bench_fig4_damming(c: &mut Criterion) {
-    c.bench_function("fig4_two_reads_1ms_interval", |b| {
-        b.iter(|| {
-            let run = run_microbench(&MicrobenchConfig {
-                interval: SimTime::from_ms(1),
+    bench("fig4_two_reads_1ms_interval", 20, || {
+        let run = run_microbench(&MicrobenchConfig {
+            interval: SimTime::from_ms(1),
+            ..Default::default()
+        });
+        assert!(run.timed_out());
+        run.execution_time
+    });
+    bench("fig4_two_reads_6ms_interval", 20, || {
+        let run = run_microbench(&MicrobenchConfig {
+            interval: SimTime::from_ms(6),
+            ..Default::default()
+        });
+        assert!(!run.timed_out());
+        run.execution_time
+    });
+
+    bench("fig6_probability_point", 5, || {
+        timeout_probability(
+            &MicrobenchConfig {
+                interval: SimTime::from_ms(2),
+                odp: OdpMode::ServerSide,
                 ..Default::default()
-            });
-            assert!(run.timed_out());
-            run.execution_time
+            },
+            3,
+        )
+    });
+
+    bench("fig9_qps64_ops256_client_odp", 3, || {
+        fig9_points(&[64], 256, 32)
+    });
+    bench("fig9_qps4_ops256_client_odp", 3, || {
+        fig9_points(&[4], 256, 32)
+    });
+
+    bench("fig11_completions_per_page_128ops_64qps", 3, || {
+        fig11_curves(128, 64)
+    });
+
+    bench("fig12_dsm_init_finalize_no_odp", 3, || {
+        ibsim_dsm::init_finalize_once(ibsim_dsm::DsmConfig {
+            odp: false,
+            compute_base: SimTime::from_ms(50),
+            compute_jitter: SimTime::from_ms(5),
+            ..Default::default()
         })
     });
-    c.bench_function("fig4_two_reads_6ms_interval", |b| {
-        b.iter(|| {
-            let run = run_microbench(&MicrobenchConfig {
-                interval: SimTime::from_ms(6),
-                ..Default::default()
-            });
-            assert!(!run.timed_out());
-            run.execution_time
+    bench("fig12_dsm_init_finalize_odp", 3, || {
+        ibsim_dsm::init_finalize_once(ibsim_dsm::DsmConfig {
+            odp: true,
+            compute_base: SimTime::from_ms(50),
+            compute_jitter: SimTime::from_ms(5),
+            ..Default::default()
         })
     });
-}
 
-fn bench_fig6_probability(c: &mut Criterion) {
-    c.bench_function("fig6_probability_point", |b| {
-        b.iter(|| {
-            timeout_probability(
-                &MicrobenchConfig {
-                    interval: SimTime::from_ms(2),
-                    odp: OdpMode::ServerSide,
-                    ..Default::default()
-                },
-                3,
-            )
-        })
-    });
-}
-
-fn bench_fig9_flood(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_flood");
-    g.sample_size(10);
-    g.bench_function("qps64_ops256_client_odp", |b| {
-        b.iter(|| fig9_points(&[64], 256, 32))
-    });
-    g.bench_function("qps4_ops256_client_odp", |b| {
-        b.iter(|| fig9_points(&[4], 256, 32))
-    });
-    g.finish();
-}
-
-fn bench_fig11(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11");
-    g.sample_size(10);
-    g.bench_function("completions_per_page_128ops_64qps", |b| {
-        b.iter(|| fig11_curves(128, 64))
-    });
-    g.finish();
-}
-
-fn bench_fig12_dsm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12_dsm");
-    g.sample_size(10);
-    g.bench_function("init_finalize_no_odp", |b| {
-        b.iter(|| {
-            ibsim_dsm::init_finalize_once(ibsim_dsm::DsmConfig {
-                odp: false,
-                compute_base: SimTime::from_ms(50),
-                compute_jitter: SimTime::from_ms(5),
-                ..Default::default()
-            })
-        })
-    });
-    g.bench_function("init_finalize_odp", |b| {
-        b.iter(|| {
-            ibsim_dsm::init_finalize_once(ibsim_dsm::DsmConfig {
-                odp: true,
-                compute_base: SimTime::from_ms(50),
-                compute_jitter: SimTime::from_ms(5),
-                ..Default::default()
-            })
-        })
-    });
-    g.finish();
-}
-
-fn bench_table13_shuffle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table13_shuffle");
-    g.sample_size(10);
     let small = ibsim_shuffle::ShuffleConfig {
         map_tasks: 8,
         reduce_tasks: 8,
@@ -115,31 +98,16 @@ fn bench_table13_shuffle(c: &mut Criterion) {
         setup_compute: SimTime::from_ms(1),
         ..Default::default()
     };
-    g.bench_function("shuffle_odp", |b| {
-        let cfg = ibsim_shuffle::ShuffleConfig {
+    bench("table13_shuffle_odp", 3, || {
+        ibsim_shuffle::run_shuffle(&ibsim_shuffle::ShuffleConfig {
             odp: true,
             ..small.clone()
-        };
-        b.iter(|| ibsim_shuffle::run_shuffle(&cfg))
+        })
     });
-    g.bench_function("shuffle_pinned", |b| {
-        let cfg = ibsim_shuffle::ShuffleConfig {
+    bench("table13_shuffle_pinned", 3, || {
+        ibsim_shuffle::run_shuffle(&ibsim_shuffle::ShuffleConfig {
             odp: false,
             ..small.clone()
-        };
-        b.iter(|| ibsim_shuffle::run_shuffle(&cfg))
+        })
     });
-    g.finish();
 }
-
-criterion_group!(
-    experiments,
-    bench_fig2,
-    bench_fig4_damming,
-    bench_fig6_probability,
-    bench_fig9_flood,
-    bench_fig11,
-    bench_fig12_dsm,
-    bench_table13_shuffle
-);
-criterion_main!(experiments);

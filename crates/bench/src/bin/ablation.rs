@@ -146,8 +146,16 @@ fn part2() {
         ..cx4.clone()
     };
     let (t_off, to_off) = damming_case(healthy);
-    println!("damming flag ON : two-READ benchmark {} ({} timeouts)", secs(t_on), to_on);
-    println!("damming flag OFF: two-READ benchmark {} ({} timeouts)", secs(t_off), to_off);
+    println!(
+        "damming flag ON : two-READ benchmark {} ({} timeouts)",
+        secs(t_on),
+        to_on
+    );
+    println!(
+        "damming flag OFF: two-READ benchmark {} ({} timeouts)",
+        secs(t_off),
+        to_off
+    );
 
     // RNR stretch governs the Fig. 6a window width.
     for stretch in [1.0, 3.5] {

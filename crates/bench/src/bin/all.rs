@@ -7,8 +7,8 @@ use std::process::Command;
 fn main() {
     let quick = ibsim_bench::quick_mode();
     let bins = [
-        "table1", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11",
-        "fig12", "table13", "ablation", "ibperf",
+        "table1", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig12",
+        "table13", "ablation", "ibperf",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

@@ -21,7 +21,9 @@ fn main() {
     );
 
     for &ops in &[qps, 4 * qps] {
-        header(&format!("Fig. 11: {ops} operations, {qps} QPs, client-side ODP"));
+        header(&format!(
+            "Fig. 11: {ops} operations, {qps} QPs, client-side ODP"
+        ));
         println!("page,op_index_within_page,completion_ms");
         let curves = fig11_curves(ops, qps);
         for c in &curves {

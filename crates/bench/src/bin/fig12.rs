@@ -17,10 +17,7 @@ fn run_system(name: &str, compute: SimTime, lock_gap_max: SimTime, trials: u64) 
         };
         let samples = init_finalize_histogram(&cfg, trials);
         let label = if odp { "w ODP" } else { "w/o ODP" };
-        println!(
-            "-- {name} {label} (avg: {:.2} [s]) --",
-            mean_secs(&samples)
-        );
+        println!("-- {name} {label} (avg: {:.2} [s]) --", mean_secs(&samples));
         // 0.25 s histogram bins, like the paper's figure.
         let mut bins = std::collections::BTreeMap::new();
         for s in &samples {
@@ -37,12 +34,7 @@ fn run_system(name: &str, compute: SimTime, lock_gap_max: SimTime, trials: u64) 
 fn main() {
     let trials = if quick_mode() { 10 } else { 100 };
     header("Fig. 12a: KNL (2 nodes), argo::init(10MB) + argo::finalize()");
-    run_system(
-        "KNL",
-        SimTime::from_ms(2200),
-        SimTime::from_ms(11),
-        trials,
-    );
+    run_system("KNL", SimTime::from_ms(2200), SimTime::from_ms(11), trials);
     header("Fig. 12b: Reedbush-H (2 nodes)");
     run_system(
         "Reedbush-H",

@@ -19,11 +19,17 @@ fn main() {
         SimTime::from_ms_f64(1.28),
         SimTime::from_ms_f64(10.24),
     ];
-    print_series(&intervals, fig6_series(OdpMode::ServerSide, &delays, &intervals, trials));
+    print_series(
+        &intervals,
+        fig6_series(OdpMode::ServerSide, &delays, &intervals, trials),
+    );
 
     header("Fig. 6b: client-side ODP, P(timeout) vs interval");
     let delays_b = [SimTime::from_ms_f64(1.28)];
-    print_series(&intervals, fig6_series(OdpMode::ClientSide, &delays_b, &intervals, trials));
+    print_series(
+        &intervals,
+        fig6_series(OdpMode::ClientSide, &delays_b, &intervals, trials),
+    );
 
     println!(
         "\nPaper reference: 6a's window tracks the actual RNR wait (~4.5 ms\n\

@@ -23,9 +23,15 @@ fn main() {
             ..PerfConfig::default()
         };
         let r = read_lat(&cfg);
-        println!("{}", row(&[format!("read_lat {name}"), r.to_string()], &widths));
+        println!(
+            "{}",
+            row(&[format!("read_lat {name}"), r.to_string()], &widths)
+        );
         let s = send_lat(&cfg);
-        println!("{}", row(&[format!("send_lat {name}"), s.to_string()], &widths));
+        println!(
+            "{}",
+            row(&[format!("send_lat {name}"), s.to_string()], &widths)
+        );
     }
 
     header("ib_read_bw / ib_write_bw (pinned)");

@@ -30,6 +30,10 @@ pub struct HostCounters {
     pub responses_discarded: u64,
     /// Packets silently dropped during responder fault pendency.
     pub pendency_drops: u64,
+    /// Runtime protocol-invariant violations (QP state-machine legality;
+    /// counted only when `ibsim-verbs` is built with its `checks` feature,
+    /// always zero otherwise).
+    pub invariant_violations: u64,
     /// Driver: page faults resolved.
     pub faults_resolved: u64,
     /// Driver: per-QP page-status resumes.
@@ -58,6 +62,7 @@ pub fn snapshot(cl: &Cluster, host: HostId) -> HostCounters {
         seq_naks_sent: qps.seq_naks_sent,
         responses_discarded: qps.responses_discarded,
         pendency_drops: qps.pendency_drops,
+        invariant_violations: qps.invariant_violations,
         faults_resolved: drv.faults_resolved,
         qp_resumes: drv.qp_resumes,
         irqs_processed: drv.irqs_processed,
@@ -104,13 +109,14 @@ impl fmt::Display for HostCounters {
         }
         writeln!(
             f,
-            "  qp: timeouts={} retx={} rnr_nak_tx={} seq_nak_tx={} resp_discarded={} pendency_drops={}",
+            "  qp: timeouts={} retx={} rnr_nak_tx={} seq_nak_tx={} resp_discarded={} pendency_drops={} invariant_violations={}",
             self.timeouts,
             self.retransmissions,
             self.rnr_naks_sent,
             self.seq_naks_sent,
             self.responses_discarded,
-            self.pendency_drops
+            self.pendency_drops,
+            self.invariant_violations
         )?;
         write!(
             f,
@@ -152,8 +158,7 @@ mod tests {
         let server = snapshot(&run.cluster, run.server);
         assert!(client.timeouts > 0);
         assert!(server.total_faults() > 0 || client.total_faults() > 0);
-        let combined = client.timeouts > 0
-            && (client.total_faults() + server.total_faults()) > 0;
+        let combined = client.timeouts > 0 && (client.total_faults() + server.total_faults()) > 0;
         assert!(combined, "damming smell present");
         if client.total_faults() > 0 {
             assert!(!client.suspicions().is_empty());

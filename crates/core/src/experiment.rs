@@ -225,10 +225,8 @@ pub fn fig1_workflow(odp: OdpMode) -> String {
         ..Default::default()
     };
     let run = run_microbench(&cfg);
-    let events = crate::timeline::annotate_workflow(
-        run.cluster.capture(run.client),
-        SimTime::from_ms(50),
-    );
+    let events =
+        crate::timeline::annotate_workflow(run.cluster.capture(run.client), SimTime::from_ms(50));
     format!(
         "{} — single READ, min RNR NAK delay 1.28 ms\n{}",
         odp.label(),
@@ -251,10 +249,8 @@ pub fn fig5_workflow(odp: OdpMode) -> String {
         ..Default::default()
     };
     let run = run_microbench(&cfg);
-    let events = crate::timeline::annotate_workflow(
-        run.cluster.capture(run.client),
-        SimTime::from_ms(50),
-    );
+    let events =
+        crate::timeline::annotate_workflow(run.cluster.capture(run.client), SimTime::from_ms(50));
     format!(
         "{} — two READs, interval {}\n{}",
         odp.label(),
@@ -275,10 +271,8 @@ pub fn fig8_workflow() -> String {
         ..Default::default()
     };
     let run = run_microbench(&cfg);
-    let events = crate::timeline::annotate_workflow(
-        run.cluster.capture(run.client),
-        SimTime::from_ms(50),
-    );
+    let events =
+        crate::timeline::annotate_workflow(run.cluster.capture(run.client), SimTime::from_ms(50));
     format!(
         "Client-side ODP — three READs, interval 350 µs\n{}",
         crate::timeline::render_workflow(&events)
@@ -316,10 +310,7 @@ mod tests {
 
     #[test]
     fn fig4_shows_the_damming_plateau() {
-        let pts = fig4_series(
-            &[SimTime::from_ms(1), SimTime::from_ms(6)],
-            2,
-        );
+        let pts = fig4_series(&[SimTime::from_ms(1), SimTime::from_ms(6)], 2);
         assert!(pts[0].mean_execution >= SimTime::from_ms(300));
         assert!(pts[1].mean_execution < SimTime::from_ms(30));
     }

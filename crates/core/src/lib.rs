@@ -50,9 +50,8 @@ pub mod workaround;
 
 pub use counters::{snapshot, HostCounters};
 pub use experiment::{
-    fig11_curves, fig1_workflow, fig2_curve, fig4_series, fig5_workflow, fig6_series,
-    fig7_series, fig8_workflow, fig9_points, Fig11Curve, Fig2Point, Fig4Point, Fig9Point,
-    TimeoutSeries,
+    fig11_curves, fig1_workflow, fig2_curve, fig4_series, fig5_workflow, fig6_series, fig7_series,
+    fig8_workflow, fig9_points, Fig11Curve, Fig2Point, Fig4Point, Fig9Point, TimeoutSeries,
 };
 pub use microbench::{
     average_execution, run_microbench, timeout_probability, MicrobenchConfig, MicrobenchRun,

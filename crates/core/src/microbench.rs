@@ -296,12 +296,7 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> MicrobenchRun {
 
 /// Pre-touches every page of both buffers except the one used by the
 /// first communication (§V-C).
-fn touch_all_but_first(
-    cl: &mut Cluster,
-    local: &MrDesc,
-    remote: &MrDesc,
-    cfg: &MicrobenchConfig,
-) {
+fn touch_all_but_first(cl: &mut Cluster, local: &MrDesc, remote: &MrDesc, cfg: &MicrobenchConfig) {
     if cfg.odp.client_mode() == MrMode::Odp {
         cl.prefetch_mr(local.host, local.key);
         cl.invalidate_page(local.host, local.key, cfg.page_of_op(0));

@@ -139,9 +139,7 @@ pub fn detect_damming(cap: &Capture<Packet>, min_stall: SimTime) -> Vec<DammingI
                 let key = (r.payload.src_qp, r.payload.psn.value());
                 if let Some(&prev) = last_tx.get(&key) {
                     let gap = r.time - prev;
-                    let rnr_explains = rnr_for
-                        .get(&key)
-                        .is_some_and(|&t| t >= prev && t <= r.time);
+                    let rnr_explains = rnr_for.get(&key).is_some_and(|&t| t >= prev && t <= r.time);
                     if gap >= min_stall && !rnr_explains {
                         let rescued_by = if last_seq_nak
                             .is_some_and(|t| t >= prev && r.time - t < SimTime::from_ms(1))

@@ -2,9 +2,9 @@
 //! their RNICs) and Table II (host environments).
 
 use ibsim_fabric::LinkSpec;
-use ibsim_verbs::DeviceProfile;
 #[cfg(test)]
 use ibsim_verbs::DeviceModel;
+use ibsim_verbs::DeviceProfile;
 
 /// One row of Table I + Table II: a named system with its RNIC profile and
 /// host environment.

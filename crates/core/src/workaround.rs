@@ -247,6 +247,9 @@ mod tests {
             reissued < orig_flooded,
             "fresh-QP reissue ({reissued}) beats the flooded original ({orig_flooded})"
         );
-        assert!(reissued < orig_plain, "and the un-helped run ({orig_plain})");
+        assert!(
+            reissued < orig_plain,
+            "and the un-helped run ({orig_plain})"
+        );
     }
 }

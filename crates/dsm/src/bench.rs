@@ -83,7 +83,10 @@ mod tests {
         assert!(slow > 0, "some trials hit the timeout: {samples:?}");
         assert!(fast > 0, "some trials stay fast: {samples:?}");
         // The slow group sits ~T_o(18) ≈ 2 s above the fast group.
-        let slow_min = samples.iter().filter(|t| **t > SimTime::from_ms(1000)).min();
+        let slow_min = samples
+            .iter()
+            .filter(|t| **t > SimTime::from_ms(1000))
+            .min();
         assert!(*slow_min.unwrap() > SimTime::from_ms(1900));
     }
 

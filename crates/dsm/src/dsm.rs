@@ -17,10 +17,7 @@ use std::cell::RefCell;
 use std::collections::{HashSet, VecDeque};
 use std::rc::Rc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use ibsim_event::SimTime;
+use ibsim_event::{SimTime, SplitMix64};
 use ibsim_ucp::{EpId, MemSlice, Tag, Ucp, UcpConfig};
 use ibsim_verbs::{Cluster, HostId, MrDesc, Sim, PAGE_SIZE};
 
@@ -75,7 +72,7 @@ struct Node {
 struct Inner {
     cfg: DsmConfig,
     nodes: Vec<Node>,
-    rng: StdRng,
+    rng: SplitMix64,
     seq: u64,
     /// Pages currently valid in each node's cache.
     cache_valid: HashSet<(usize, u64)>,
@@ -166,7 +163,7 @@ impl Dsm {
                 nodes[j].eps[i] = Some(ep);
             }
         }
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = SplitMix64::new(cfg.seed);
         Dsm {
             inner: Rc::new(RefCell::new(Inner {
                 cfg,
@@ -239,7 +236,14 @@ impl Dsm {
             };
             // Node i: ARRIVE → coordinator; GO ← coordinator completes i.
             let host_i = self.host(i);
-            self.ucp.tag_send(eng, cl, ep, host_i, tag(tag_kind::ARRIVE, seq, i), arrive_src);
+            self.ucp.tag_send(
+                eng,
+                cl,
+                ep,
+                host_i,
+                tag(tag_kind::ARRIVE, seq, i),
+                arrive_src,
+            );
             let greq = self
                 .ucp
                 .tag_recv(eng, cl, host_i, tag(tag_kind::GO, seq, i), go_dst);
@@ -249,9 +253,9 @@ impl Dsm {
 
             // Coordinator: recv ARRIVE(i); when all arrived, broadcast GO.
             let host0 = self.host(0);
-            let areq =
-                self.ucp
-                    .tag_recv(eng, cl, host0, tag(tag_kind::ARRIVE, seq, i), coord_dst);
+            let areq = self
+                .ucp
+                .tag_recv(eng, cl, host0, tag(tag_kind::ARRIVE, seq, i), coord_dst);
             let arrive_left = arrive_left.clone();
             let dsm = self.clone();
             let done0 = done.clone();
@@ -316,8 +320,8 @@ impl Dsm {
                 let jit = inner.cfg.compute_jitter.as_ns().max(1);
                 let gapmax = inner.cfg.lock_gap_max.as_ns().max(1);
                 (
-                    SimTime::from_ns(base + inner.rng.gen_range(0..jit)),
-                    SimTime::from_ns(inner.rng.gen_range(0..gapmax)),
+                    SimTime::from_ns(base + inner.rng.next_below(jit)),
+                    SimTime::from_ns(inner.rng.next_below(gapmax)),
                 )
             };
             let dsm = self.clone();
@@ -420,9 +424,9 @@ impl Dsm {
             let inner = self.inner.borrow();
             inner.scratch_slice(0, 256 + (i as u64) * 8, 8)
         };
-        let note_recv = self
-            .ucp
-            .tag_recv(eng, cl, host0, tag(tag_kind::LOCK_NOTE, seq, i), note_dst);
+        let note_recv =
+            self.ucp
+                .tag_recv(eng, cl, host0, tag(tag_kind::LOCK_NOTE, seq, i), note_dst);
 
         // READ the lock word (faults on node 0's cold page 0)...
         let read_req = self
@@ -431,7 +435,14 @@ impl Dsm {
         // ...and SEND the note after the scheduler-noise gap, pipelined.
         let ucp = self.ucp.clone();
         eng.schedule_in(gap, move |c: &mut Cluster, eng| {
-            ucp.tag_send(eng, c, ep, host_i, tag(tag_kind::LOCK_NOTE, seq, i), note_src);
+            ucp.tag_send(
+                eng,
+                c,
+                ep,
+                host_i,
+                tag(tag_kind::LOCK_NOTE, seq, i),
+                note_src,
+            );
         });
 
         // The node is done when both its READ and node 0's note arrival

@@ -28,11 +28,18 @@ fn local_read_write_roundtrip() {
     let (mut eng, mut cl, dsm) = build(false);
     // Address 0 is homed on node 0.
     let d = dsm.clone();
-    dsm.write(&mut eng, &mut cl, 0, 64, b"local!".to_vec(), move |eng, cl| {
-        d.read(eng, cl, 0, 64, 6, |_, _, data| {
-            assert_eq!(data, b"local!");
-        });
-    });
+    dsm.write(
+        &mut eng,
+        &mut cl,
+        0,
+        64,
+        b"local!".to_vec(),
+        move |eng, cl| {
+            d.read(eng, cl, 0, 64, 6, |_, _, data| {
+                assert_eq!(data, b"local!");
+            });
+        },
+    );
     eng.run(&mut cl);
     let s = dsm.stats();
     assert_eq!(s.local_writes, 1);
@@ -45,15 +52,22 @@ fn remote_read_fetches_page_then_hits_cache() {
     let (mut eng, mut cl, dsm) = build(false);
     let d = dsm.clone();
     // Address 0 is homed on node 0; node 1 reads it twice.
-    dsm.write(&mut eng, &mut cl, 0, 100, b"shared".to_vec(), move |eng, cl| {
-        let d2 = d.clone();
-        d.read(eng, cl, 1, 100, 6, move |eng, cl, data| {
-            assert_eq!(data, b"shared");
-            d2.read(eng, cl, 1, 100, 6, |_, _, data| {
+    dsm.write(
+        &mut eng,
+        &mut cl,
+        0,
+        100,
+        b"shared".to_vec(),
+        move |eng, cl| {
+            let d2 = d.clone();
+            d.read(eng, cl, 1, 100, 6, move |eng, cl, data| {
                 assert_eq!(data, b"shared");
+                d2.read(eng, cl, 1, 100, 6, |_, _, data| {
+                    assert_eq!(data, b"shared");
+                });
             });
-        });
-    });
+        },
+    );
     eng.run(&mut cl);
     let s = dsm.stats();
     assert_eq!(s.remote_reads, 1, "first read fetches the page");
@@ -131,9 +145,16 @@ fn write_through_is_visible_at_home() {
     let (mut eng, mut cl, dsm) = build(false);
     // Node 1 writes to an address homed on node 0.
     let d = dsm.clone();
-    dsm.write(&mut eng, &mut cl, 1, 200, b"from-1".to_vec(), move |eng, cl| {
-        d.read(eng, cl, 0, 200, 6, |_, _, v| assert_eq!(v, b"from-1"));
-    });
+    dsm.write(
+        &mut eng,
+        &mut cl,
+        1,
+        200,
+        b"from-1".to_vec(),
+        move |eng, cl| {
+            d.read(eng, cl, 0, 200, 6, |_, _, v| assert_eq!(v, b"from-1"));
+        },
+    );
     eng.run(&mut cl);
     let s = dsm.stats();
     assert_eq!(s.remote_writes, 1);
@@ -146,9 +167,16 @@ fn odp_mode_still_coherent() {
     // accesses fault but results stay correct.
     let (mut eng, mut cl, dsm) = build(true);
     let d = dsm.clone();
-    dsm.write(&mut eng, &mut cl, 1, 300, b"odp-write".to_vec(), move |eng, cl| {
-        d.read(eng, cl, 0, 300, 9, |_, _, v| assert_eq!(v, b"odp-write"));
-    });
+    dsm.write(
+        &mut eng,
+        &mut cl,
+        1,
+        300,
+        b"odp-write".to_vec(),
+        move |eng, cl| {
+            d.read(eng, cl, 0, 300, 9, |_, _, v| assert_eq!(v, b"odp-write"));
+        },
+    );
     eng.run(&mut cl);
     assert_eq!(dsm.stats().remote_writes, 1);
 }

@@ -77,6 +77,10 @@ pub struct Engine<W> {
     cancelled: HashSet<u64>,
     next_seq: u64,
     executed: u64,
+    /// Event pops whose timestamp preceded the clock (only counted with
+    /// the `checks` feature; always zero otherwise). A non-zero value
+    /// means the min-heap ordering invariant broke — causality is gone.
+    monotonicity_violations: u64,
 }
 
 impl<W> Default for Engine<W> {
@@ -105,6 +109,7 @@ impl<W> Engine<W> {
             cancelled: HashSet::new(),
             next_seq: 0,
             executed: 0,
+            monotonicity_violations: 0,
         }
     }
 
@@ -124,6 +129,27 @@ impl<W> Engine<W> {
     #[inline]
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Number of event pops that violated clock monotonicity. Counted
+    /// only when the crate is built with the `checks` feature; without it
+    /// this always returns zero (the condition is still a `debug_assert`
+    /// in debug builds).
+    #[inline]
+    pub fn monotonicity_violations(&self) -> u64 {
+        self.monotonicity_violations
+    }
+
+    /// Validates one popped event timestamp against the clock.
+    #[inline]
+    fn check_pop_monotone(&mut self, at: SimTime) {
+        #[cfg(feature = "checks")]
+        if at < self.now {
+            self.monotonicity_violations += 1;
+        }
+        #[cfg(not(feature = "checks"))]
+        debug_assert!(at >= self.now, "event queue went backwards");
+        let _ = at;
     }
 
     /// Schedules `f` to run at absolute time `at`.
@@ -198,7 +224,7 @@ impl<W> Engine<W> {
                 continue;
             }
             self.live.remove(&ev.seq);
-            debug_assert!(ev.at >= self.now, "event queue went backwards");
+            self.check_pop_monotone(ev.at);
             self.now = ev.at;
             self.executed += 1;
             (ev.run)(world, self);
@@ -215,6 +241,7 @@ impl<W> Engine<W> {
                 continue;
             }
             self.live.remove(&ev.seq);
+            self.check_pop_monotone(ev.at);
             self.now = ev.at;
             self.executed += 1;
             (ev.run)(world, self);

@@ -39,7 +39,9 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod rng;
 mod time;
 
 pub use engine::{Engine, EventId};
+pub use rng::SplitMix64;
 pub use time::SimTime;

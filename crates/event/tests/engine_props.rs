@@ -1,14 +1,22 @@
-//! Property-based tests of the DES kernel: ordering, cancellation, and
+//! Randomized tests of the DES kernel: ordering, cancellation, and
 //! determinism invariants under arbitrary schedules.
+//!
+//! These were property-based (`proptest`) tests; they now run as seeded
+//! loops over the in-tree [`SplitMix64`] generator so the suite needs no
+//! external dependencies and every failure reproduces from its seed.
 
-use ibsim_event::{Engine, SimTime};
-use proptest::prelude::*;
+use ibsim_event::{Engine, SimTime, SplitMix64};
 
-proptest! {
-    /// Events always observe a monotonically non-decreasing clock, and all
-    /// of them run exactly once.
-    #[test]
-    fn clock_is_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+const CASES: u64 = 64;
+
+/// Events always observe a monotonically non-decreasing clock, and all
+/// of them run exactly once.
+#[test]
+fn clock_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xC10C * 1000 + case);
+        let n = rng.range(1, 200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.next_below(1_000_000)).collect();
         let mut eng: Engine<Vec<u64>> = Engine::new();
         for &t in &times {
             eng.schedule_at(SimTime::from_ns(t), move |w, eng| {
@@ -17,18 +25,21 @@ proptest! {
         }
         let mut seen = Vec::new();
         eng.run(&mut seen);
-        prop_assert_eq!(seen.len(), times.len());
+        assert_eq!(seen.len(), times.len(), "case {case}");
         let mut sorted = times.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(&seen, &sorted);
+        assert_eq!(seen, sorted, "case {case}");
     }
+}
 
-    /// Cancelling an arbitrary subset removes exactly that subset.
-    #[test]
-    fn cancellation_is_exact(
-        times in proptest::collection::vec(0u64..100_000, 1..100),
-        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancelling an arbitrary subset removes exactly that subset.
+#[test]
+fn cancellation_is_exact() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xCA7CE1 * 1000 + case);
+        let n = rng.range(1, 100) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.next_below(100_000)).collect();
+        let cancel_mask: Vec<bool> = (0..n).map(|_| rng.next_bool()).collect();
         let mut eng: Engine<Vec<usize>> = Engine::new();
         let ids: Vec<_> = times
             .iter()
@@ -37,9 +48,8 @@ proptest! {
             .collect();
         let mut expect: Vec<usize> = Vec::new();
         for (i, id) in ids.iter().enumerate() {
-            let cancel = *cancel_mask.get(i).unwrap_or(&false);
-            if cancel {
-                prop_assert!(eng.cancel(*id));
+            if cancel_mask[i] {
+                assert!(eng.cancel(*id), "case {case}: fresh cancel succeeds");
             } else {
                 expect.push(i);
             }
@@ -47,17 +57,20 @@ proptest! {
         expect.sort_by_key(|&i| (times[i], i));
         let mut seen = Vec::new();
         eng.run(&mut seen);
-        prop_assert_eq!(seen, expect);
+        assert_eq!(seen, expect, "case {case}");
     }
+}
 
-    /// `run_until` then `run` sees exactly the same events in the same
-    /// order as a single `run` — pausing the engine is transparent.
-    #[test]
-    fn run_until_is_transparent(
-        times in proptest::collection::vec(0u64..1_000_000, 1..150),
-        split in 0u64..1_000_000,
-    ) {
-        let schedule = |eng: &mut Engine<Vec<(u64, usize)>>| {
+/// `run_until` then `run` sees exactly the same events in the same order
+/// as a single `run` — pausing the engine is transparent.
+#[test]
+fn run_until_is_transparent() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5117 * 1000 + case);
+        let n = rng.range(1, 150) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.next_below(1_000_000)).collect();
+        let split = rng.next_below(1_000_000);
+        let schedule = |eng: &mut Engine<Vec<(u64, usize)>>, times: &[u64]| {
             for (i, &t) in times.iter().enumerate() {
                 eng.schedule_at(SimTime::from_ns(t), move |w, eng| {
                     w.push((eng.now().as_ns(), i));
@@ -65,16 +78,16 @@ proptest! {
             }
         };
         let mut a: Engine<Vec<(u64, usize)>> = Engine::new();
-        schedule(&mut a);
+        schedule(&mut a, &times);
         let mut one_shot = Vec::new();
         a.run(&mut one_shot);
 
         let mut b: Engine<Vec<(u64, usize)>> = Engine::new();
-        schedule(&mut b);
+        schedule(&mut b, &times);
         let mut paused = Vec::new();
         b.run_until(&mut paused, SimTime::from_ns(split));
         b.run(&mut paused);
 
-        prop_assert_eq!(one_shot, paused);
+        assert_eq!(one_shot, paused, "case {case} (split {split})");
     }
 }

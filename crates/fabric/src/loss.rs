@@ -32,7 +32,11 @@ impl Xorshift64Star {
     /// constant because the all-zero state is a fixed point).
     pub fn new(seed: u64) -> Self {
         Xorshift64Star {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -173,9 +177,7 @@ mod tests {
     fn uniform_hits_expected_rate() {
         let mut m = LossModel::uniform(0.25, 99);
         let t = SimTime::ZERO;
-        let drops = (0..10_000)
-            .filter(|_| m.drop(t, Lid(1), Lid(2)))
-            .count();
+        let drops = (0..10_000).filter(|_| m.drop(t, Lid(1), Lid(2))).count();
         // 4 sigma around 2500.
         assert!((2200..2800).contains(&drops), "drops={drops}");
     }

@@ -110,7 +110,11 @@ pub fn read_lat(cfg: &PerfConfig) -> LatencyReport {
         b.eng.run(&mut b.cl);
         let cq = b.cl.poll_cq(b.client);
         assert_eq!(cq.len(), 1, "iteration completes");
-        assert!(cq[0].status.is_success(), "read_lat failed: {}", cq[0].status);
+        assert!(
+            cq[0].status.is_success(),
+            "read_lat failed: {}",
+            cq[0].status
+        );
         if i >= cfg.warmup {
             samples.push(cq[0].at - start);
         }
@@ -146,7 +150,11 @@ pub fn send_lat(cfg: &PerfConfig) -> LatencyReport {
         );
         b.eng.run(&mut b.cl);
         let cq = b.cl.poll_cq(b.client);
-        assert!(cq[0].status.is_success(), "send_lat failed: {}", cq[0].status);
+        assert!(
+            cq[0].status.is_success(),
+            "send_lat failed: {}",
+            cq[0].status
+        );
         let cq_s = b.cl.poll_cq(b.server);
         assert_eq!(cq_s.len(), 1, "receive completed");
         if i >= cfg.warmup {

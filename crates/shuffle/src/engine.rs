@@ -11,10 +11,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use ibsim_event::{Engine, SimTime};
+use ibsim_event::{Engine, SimTime, SplitMix64};
 use ibsim_ucp::{EpId, MemSlice, Ucp, UcpConfig};
 use ibsim_verbs::{Cluster, HostId, MrDesc, Sim};
 
@@ -120,10 +117,10 @@ pub fn run_shuffle(cfg: &ShuffleConfig) -> ShuffleReport {
 
     // Reduce phase: reducer r (on worker r % W) fetches one block from
     // every mapper, `fetch_parallelism` at a time.
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5u64);
+    let mut rng = SplitMix64::new(cfg.seed ^ 0x5u64);
     for r in 0..cfg.reduce_tasks {
         let start = cfg.setup_compute
-            + SimTime::from_ns(rng.gen_range(0..cfg.fetch_stagger.as_ns().max(1) * 4));
+            + SimTime::from_ns(rng.next_below(cfg.fetch_stagger.as_ns().max(1) * 4));
         let cfg2 = cfg.clone();
         let ucp2 = ucp.clone();
         let areas2 = areas.clone();
@@ -141,7 +138,7 @@ pub fn run_shuffle(cfg: &ShuffleConfig) -> ShuffleReport {
                 next_map: RefCell::new(0),
                 inflight: RefCell::new(0),
                 done: RefCell::new(false),
-                rng: RefCell::new(StdRng::seed_from_u64(jitter_seed)),
+                rng: RefCell::new(SplitMix64::new(jitter_seed)),
             });
             ReduceTask::pump(&task, eng, cl);
         });
@@ -174,8 +171,7 @@ fn block_offset(cfg: &ShuffleConfig, m: usize, r: usize) -> u64 {
 /// so blocks arriving for different co-located reducers share pages: the
 /// requester-side mirror of the flood layout (Fig. 10).
 fn stage_offset(cfg: &ShuffleConfig, m: usize, r: usize) -> u64 {
-    (m * cfg.reduce_tasks.div_ceil(cfg.workers) + r / cfg.workers) as u64
-        * cfg.block_bytes as u64
+    (m * cfg.reduce_tasks.div_ceil(cfg.workers) + r / cfg.workers) as u64 * cfg.block_bytes as u64
 }
 
 /// Deterministic block contents for integrity checking.
@@ -194,7 +190,7 @@ struct ReduceTask {
     next_map: RefCell<usize>,
     inflight: RefCell<u32>,
     done: RefCell<bool>,
-    rng: RefCell<StdRng>,
+    rng: RefCell<SplitMix64>,
 }
 
 impl ReduceTask {
@@ -285,7 +281,7 @@ impl ReduceTask {
 
     fn stagger_delay(&self) -> SimTime {
         let max = self.cfg.fetch_stagger.as_ns().max(1) * 2;
-        SimTime::from_ns(self.rng.borrow_mut().gen_range(0..max))
+        SimTime::from_ns(self.rng.borrow_mut().next_below(max))
     }
 
     fn verify(&self, cl: &mut Cluster, m: usize, dst_off: u64) {

@@ -92,7 +92,6 @@ impl Fig13Cluster {
             _ => DeviceProfile::connectx4(ibsim_fabric::LinkSpec::edr()),
         }
     }
-
 }
 
 /// One Fig. 13 cell: the paper's reference numbers plus the simulator
@@ -176,20 +175,92 @@ pub fn fig13_cells() -> Vec<Fig13Cell> {
     use SparkExample::*;
     vec![
         // SparkTC
-        Fig13Cell { cluster: Knl2, example: SparkTc, paper_qps: 411, paper_disabled_s: 303.0, paper_enabled_s: 473.0 },
-        Fig13Cell { cluster: ReedbushH2, example: SparkTc, paper_qps: 980, paper_disabled_s: 39.7, paper_enabled_s: 256.0 },
-        Fig13Cell { cluster: Abci2, example: SparkTc, paper_qps: 2191, paper_disabled_s: 83.9, paper_enabled_s: 84.9 },
-        Fig13Cell { cluster: Abci4, example: SparkTc, paper_qps: 2858, paper_disabled_s: 41.7, paper_enabled_s: 59.3 },
+        Fig13Cell {
+            cluster: Knl2,
+            example: SparkTc,
+            paper_qps: 411,
+            paper_disabled_s: 303.0,
+            paper_enabled_s: 473.0,
+        },
+        Fig13Cell {
+            cluster: ReedbushH2,
+            example: SparkTc,
+            paper_qps: 980,
+            paper_disabled_s: 39.7,
+            paper_enabled_s: 256.0,
+        },
+        Fig13Cell {
+            cluster: Abci2,
+            example: SparkTc,
+            paper_qps: 2191,
+            paper_disabled_s: 83.9,
+            paper_enabled_s: 84.9,
+        },
+        Fig13Cell {
+            cluster: Abci4,
+            example: SparkTc,
+            paper_qps: 2858,
+            paper_disabled_s: 41.7,
+            paper_enabled_s: 59.3,
+        },
         // RecommendationExample
-        Fig13Cell { cluster: Knl2, example: Recommendation, paper_qps: 210, paper_disabled_s: 100.0, paper_enabled_s: 151.0 },
-        Fig13Cell { cluster: ReedbushH2, example: Recommendation, paper_qps: 980, paper_disabled_s: 21.9, paper_enabled_s: 78.6 },
-        Fig13Cell { cluster: Abci2, example: Recommendation, paper_qps: 2191, paper_disabled_s: 29.0, paper_enabled_s: 31.2 },
-        Fig13Cell { cluster: Abci4, example: Recommendation, paper_qps: 1953, paper_disabled_s: 24.3, paper_enabled_s: 28.6 },
+        Fig13Cell {
+            cluster: Knl2,
+            example: Recommendation,
+            paper_qps: 210,
+            paper_disabled_s: 100.0,
+            paper_enabled_s: 151.0,
+        },
+        Fig13Cell {
+            cluster: ReedbushH2,
+            example: Recommendation,
+            paper_qps: 980,
+            paper_disabled_s: 21.9,
+            paper_enabled_s: 78.6,
+        },
+        Fig13Cell {
+            cluster: Abci2,
+            example: Recommendation,
+            paper_qps: 2191,
+            paper_disabled_s: 29.0,
+            paper_enabled_s: 31.2,
+        },
+        Fig13Cell {
+            cluster: Abci4,
+            example: Recommendation,
+            paper_qps: 1953,
+            paper_disabled_s: 24.3,
+            paper_enabled_s: 28.6,
+        },
         // RankingMetricsExample
-        Fig13Cell { cluster: Knl2, example: RankingMetrics, paper_qps: 389, paper_disabled_s: 517.0, paper_enabled_s: 674.0 },
-        Fig13Cell { cluster: ReedbushH2, example: RankingMetrics, paper_qps: 980, paper_disabled_s: 46.6, paper_enabled_s: 111.0 },
-        Fig13Cell { cluster: Abci2, example: RankingMetrics, paper_qps: 2191, paper_disabled_s: 107.0, paper_enabled_s: 147.0 },
-        Fig13Cell { cluster: Abci4, example: RankingMetrics, paper_qps: 2667, paper_disabled_s: 83.2, paper_enabled_s: 197.0 },
+        Fig13Cell {
+            cluster: Knl2,
+            example: RankingMetrics,
+            paper_qps: 389,
+            paper_disabled_s: 517.0,
+            paper_enabled_s: 674.0,
+        },
+        Fig13Cell {
+            cluster: ReedbushH2,
+            example: RankingMetrics,
+            paper_qps: 980,
+            paper_disabled_s: 46.6,
+            paper_enabled_s: 111.0,
+        },
+        Fig13Cell {
+            cluster: Abci2,
+            example: RankingMetrics,
+            paper_qps: 2191,
+            paper_disabled_s: 107.0,
+            paper_enabled_s: 147.0,
+        },
+        Fig13Cell {
+            cluster: Abci4,
+            example: RankingMetrics,
+            paper_qps: 2667,
+            paper_disabled_s: 83.2,
+            paper_enabled_s: 197.0,
+        },
     ]
 }
 
@@ -202,10 +273,7 @@ mod tests {
         let cells = fig13_cells();
         assert_eq!(cells.len(), 12);
         // Extremes of the ratio column.
-        let max = cells
-            .iter()
-            .map(|c| c.paper_ratio())
-            .fold(0.0f64, f64::max);
+        let max = cells.iter().map(|c| c.paper_ratio()).fold(0.0f64, f64::max);
         assert!((6.4..6.5).contains(&max), "Reedbush SparkTC is 6.46x");
         let min = cells
             .iter()

@@ -80,11 +80,7 @@ pub struct MemSlice {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum MsgMeta {
     /// Eager payload of `len` bytes, delivered inline via SEND.
-    Eager {
-        tag: Tag,
-        send_req: ReqId,
-        len: u32,
-    },
+    Eager { tag: Tag, send_req: ReqId, len: u32 },
     /// Rendezvous ready-to-send: the receiver should GET the payload.
     RndvRts {
         tag: Tag,
@@ -92,9 +88,7 @@ pub(crate) enum MsgMeta {
         src: MemSlice,
     },
     /// Rendezvous fin: the receiver finished its GET; sender may complete.
-    RndvFin {
-        send_req: ReqId,
-    },
+    RndvFin { send_req: ReqId },
 }
 
 #[cfg(test)]

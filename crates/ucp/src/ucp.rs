@@ -152,8 +152,15 @@ struct PostedRecv {
 
 #[derive(Debug)]
 enum Unexpected {
-    Eager { data: Vec<u8> },
-    Rndv { src: MemSlice, send_req: ReqId, ep: EpId, dir: Dir },
+    Eager {
+        data: Vec<u8>,
+    },
+    Rndv {
+        src: MemSlice,
+        send_req: ReqId,
+        ep: EpId,
+        dir: Dir,
+    },
 }
 
 #[derive(Debug)]
@@ -198,7 +205,15 @@ impl Inner {
         ReqId(self.next_req)
     }
 
-    fn finish(&mut self, host: HostId, req: ReqId, kind: ReqKind, at: SimTime, failed: bool, bytes: u32) {
+    fn finish(
+        &mut self,
+        host: HostId,
+        req: ReqId,
+        kind: ReqKind,
+        at: SimTime,
+        failed: bool,
+        bytes: u32,
+    ) {
         self.open_reqs -= 1;
         let c = UcpCompletion {
             req,
@@ -560,9 +575,7 @@ impl Ucp {
                     len: src.len,
                 });
             let wr = inner.alloc_wr();
-            inner
-                .wr_roles
-                .insert((host, wr), WrRole::EagerSend { req });
+            inner.wr_roles.insert((host, wr), WrRole::EagerSend { req });
             cl.post_send(eng, host, qpn, wr, src.mr, src.offset, src.len);
         }
         drop(inner);
@@ -607,16 +620,12 @@ impl Ucp {
                 }
             }
         }
-        inner
-            .posted_recvs
-            .entry(w)
-            .or_default()
-            .push(PostedRecv {
-                req,
-                host: w,
-                tag,
-                dst,
-            });
+        inner.posted_recvs.entry(w).or_default().push(PostedRecv {
+            req,
+            host: w,
+            tag,
+            dst,
+        });
         drop(inner);
         self.ensure_ticking(eng);
         req
@@ -796,11 +805,7 @@ impl Ucp {
                         .push_back(Unexpected::Eager { data });
                 }
             }
-            MsgMeta::RndvRts {
-                tag,
-                send_req,
-                src,
-            } => {
+            MsgMeta::RndvRts { tag, send_req, src } => {
                 if let Some(pos) = inner
                     .posted_recvs
                     .get(&rcv_host)
@@ -883,5 +888,7 @@ fn start_rndv_get(
         },
     );
     let len = src.len.min(dst.len);
-    cl.post_read(eng, host, qpn, wr, dst.mr, dst.offset, src.mr, src.offset, len);
+    cl.post_read(
+        eng, host, qpn, wr, dst.mr, dst.offset, src.mr, src.offset, len,
+    );
 }

@@ -9,8 +9,16 @@ fn setup(cfg: UcpConfig) -> (Sim, Cluster, Ucp, HostId, HostId, ibsim_ucp::EpId)
     let mut eng = Engine::new();
     let mut cl = Cluster::new(21);
     let ucp = Ucp::new(cfg);
-    let a = ucp.add_worker(&mut cl, "a", DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
-    let b = ucp.add_worker(&mut cl, "b", DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
+    let a = ucp.add_worker(
+        &mut cl,
+        "a",
+        DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()),
+    );
+    let b = ucp.add_worker(
+        &mut cl,
+        "b",
+        DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()),
+    );
     let ep = ucp.connect(&mut eng, &mut cl, a, b);
     (eng, cl, ucp, a, b, ep)
 }
@@ -123,7 +131,16 @@ fn get_and_put_roundtrip() {
     cl.mem_write(b, rb.base, b"get me");
     cl.mem_write(a, ra.base + 4096, b"put me");
     let g = ucp.get(&mut eng, &mut cl, ep, a, slice(&ra, 0, 6), rb.key, 0, 6);
-    let p = ucp.put(&mut eng, &mut cl, ep, a, slice(&ra, 4096, 6), rb.key, 4096, 6);
+    let p = ucp.put(
+        &mut eng,
+        &mut cl,
+        ep,
+        a,
+        slice(&ra, 4096, 6),
+        rb.key,
+        4096,
+        6,
+    );
     eng.run(&mut cl);
     let done = ucp.take_completed(a);
     assert_eq!(done.len(), 2);
@@ -203,13 +220,26 @@ fn many_messages_both_directions() {
     let rb = ucp.mem_map(&mut cl, b, 64 * 128);
     for i in 0..64u64 {
         cl.mem_write(a, ra.base + i * 128, &[i as u8; 64]);
-        ucp.tag_recv(&mut eng, &mut cl, a, Tag(1000 + i), slice(&ra, i * 128 + 64, 64));
+        ucp.tag_recv(
+            &mut eng,
+            &mut cl,
+            a,
+            Tag(1000 + i),
+            slice(&ra, i * 128 + 64, 64),
+        );
         ucp.tag_recv(&mut eng, &mut cl, b, Tag(i), slice(&rb, i * 128, 64));
     }
     for i in 0..64u64 {
         ucp.tag_send(&mut eng, &mut cl, ep, a, Tag(i), slice(&ra, i * 128, 64));
         cl.mem_write(b, rb.base + i * 128 + 64, &[(i + 1) as u8; 64]);
-        ucp.tag_send(&mut eng, &mut cl, ep, b, Tag(1000 + i), slice(&rb, i * 128 + 64, 64));
+        ucp.tag_send(
+            &mut eng,
+            &mut cl,
+            ep,
+            b,
+            Tag(1000 + i),
+            slice(&rb, i * 128 + 64, 64),
+        );
     }
     eng.run(&mut cl);
     assert_eq!(ucp.take_completed(a).len(), 128, "64 sends + 64 recvs");
@@ -241,7 +271,17 @@ fn ucp_atomics_roundtrip() {
     assert_eq!(now, 8);
 
     // CAS: swap only when the comparison matches.
-    let r2 = ucp.compare_swap(&mut eng, &mut cl, ep, a, slice(&la, 8, 8), shared.key, 0, 8, 100);
+    let r2 = ucp.compare_swap(
+        &mut eng,
+        &mut cl,
+        ep,
+        a,
+        slice(&la, 8, 8),
+        shared.key,
+        0,
+        8,
+        100,
+    );
     eng.run(&mut cl);
     assert_eq!(ucp.take_completed(a)[0].req, r2);
     let now = u64::from_le_bytes(cl.mem_read(b, shared.base, 8).try_into().unwrap());

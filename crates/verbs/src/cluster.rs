@@ -180,6 +180,7 @@ impl Cluster {
             total.responses_discarded += s.responses_discarded;
             total.faults_raised += s.faults_raised;
             total.pendency_drops += s.pendency_drops;
+            total.invariant_violations += s.invariant_violations;
         }
         total
     }
@@ -573,10 +574,7 @@ impl Cluster {
         }
         if let Some(gen) = out.arm_ack_timer {
             let nic = &self.nics[host.0];
-            let cack = nic
-                .qp(qpn)
-                .map(|q| q.config().cack)
-                .unwrap_or_default();
+            let cack = nic.qp(qpn).map(|q| q.config().cack).unwrap_or_default();
             if let Some(t_o) = nic.profile.t_o(cack) {
                 // Timer-management load: many QPs in recovery lengthen the
                 // observed timeout (§VI-C).

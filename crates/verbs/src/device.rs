@@ -54,8 +54,8 @@ const RNR_TIMER_TABLE_NS: [u64; 32] = [
     320_000,
     480_000,
     640_000,
-    960_000,    // 13: 0.96 ms (UCX default)
-    1_280_000,  // 14: 1.28 ms (paper's micro-benchmarks)
+    960_000,   // 13: 0.96 ms (UCX default)
+    1_280_000, // 14: 1.28 ms (paper's micro-benchmarks)
     1_920_000,
     2_560_000,
     3_840_000,

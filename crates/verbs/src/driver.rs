@@ -221,7 +221,13 @@ mod tests {
         d.push_irq();
         d.push_fault(MrKey(1), 0, SimTime::from_us(300));
         let (w, cost) = d.begin_next().unwrap();
-        assert_eq!(w, DriverWork::FaultResolved { mr: MrKey(1), page: 0 });
+        assert_eq!(
+            w,
+            DriverWork::FaultResolved {
+                mr: MrKey(1),
+                page: 0
+            }
+        );
         assert_eq!(cost, SimTime::from_us(300));
         assert!(d.is_busy());
         assert_eq!(d.begin_next(), None, "serial: busy driver yields nothing");

@@ -223,14 +223,22 @@ impl MemRegion {
     ///
     /// Panics if `offset` is out of bounds.
     pub fn page_of(&self, offset: u64) -> usize {
-        assert!(offset < self.len, "offset {offset} beyond region {}", self.len);
+        assert!(
+            offset < self.len,
+            "offset {offset} beyond region {}",
+            self.len
+        );
         (((self.base + offset) / PAGE_SIZE) - self.base / PAGE_SIZE) as usize
     }
 
     /// Indices of the pages touched by `[offset, offset+len)`.
     pub fn pages_spanned(&self, offset: u64, len: u32) -> std::ops::RangeInclusive<usize> {
         assert!(self.contains(offset, len), "range out of bounds");
-        let last = if len == 0 { offset } else { offset + len as u64 - 1 };
+        let last = if len == 0 {
+            offset
+        } else {
+            offset + len as u64 - 1
+        };
         self.page_of(offset)..=self.page_of(last)
     }
 

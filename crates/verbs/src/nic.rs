@@ -131,11 +131,7 @@ impl Nic {
     /// Refreshes the recovery-membership of `qpn` after an interaction;
     /// returns the number of QPs currently in recovery.
     pub fn update_recovery(&mut self, qpn: Qpn) -> usize {
-        let in_rec = self
-            .qps
-            .get(&qpn)
-            .map(|q| q.in_recovery())
-            .unwrap_or(false);
+        let in_rec = self.qps.get(&qpn).map(|q| q.in_recovery()).unwrap_or(false);
         if in_rec {
             self.recovery_members.insert(qpn);
         } else {
@@ -156,11 +152,7 @@ mod tests {
     use ibsim_fabric::LinkSpec;
 
     fn nic() -> Nic {
-        Nic::new(
-            HostId(0),
-            Lid(1),
-            DeviceProfile::connectx4(LinkSpec::fdr()),
-        )
+        Nic::new(HostId(0), Lid(1), DeviceProfile::connectx4(LinkSpec::fdr()))
     }
 
     #[test]

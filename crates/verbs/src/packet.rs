@@ -187,8 +187,14 @@ impl PacketKind {
                 SegPos::Middle => "SEND_MID",
                 SegPos::Last => "SEND_LAST",
             },
-            PacketKind::AtomicRequest { op: AtomicOp::FetchAdd { .. }, .. } => "FETCH_ADD",
-            PacketKind::AtomicRequest { op: AtomicOp::CompareSwap { .. }, .. } => "CMP_SWAP",
+            PacketKind::AtomicRequest {
+                op: AtomicOp::FetchAdd { .. },
+                ..
+            } => "FETCH_ADD",
+            PacketKind::AtomicRequest {
+                op: AtomicOp::CompareSwap { .. },
+                ..
+            } => "CMP_SWAP",
             PacketKind::AtomicResponse { .. } => "ATOMIC_ACK",
             PacketKind::Ack => "ACK",
             PacketKind::Nak(NakKind::Rnr { .. }) => "RNR_NAK",

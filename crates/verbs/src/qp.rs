@@ -72,13 +72,48 @@ impl Default for QpConfig {
     }
 }
 
-/// Operational state of the QP.
+/// Operational state of the QP, following the RC lifecycle that
+/// `ibv_modify_qp` walks on real hardware.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QpState {
+    /// Freshly created, not yet initialised.
+    Reset,
+    /// Initialised (port and access flags assigned).
+    Init,
+    /// Ready to receive (remote peer known).
+    Rtr,
     /// Ready to send (connected).
     Rts,
     /// Fatal error; all work completes with flush errors.
     Error,
+}
+
+impl QpState {
+    /// The RC state-machine legality table (IB spec §10.3.1): the only
+    /// forward transitions are `Reset → Init → Rtr → Rts`, any state may
+    /// collapse to `Error`, and `Error → Reset` recycles the QP. Under
+    /// the `checks` feature every transition a [`Qp`] performs is
+    /// validated against this table and illegal ones are counted in
+    /// [`QpStats::invariant_violations`].
+    pub fn transition_allowed(from: QpState, to: QpState) -> bool {
+        use QpState::*;
+        matches!(
+            (from, to),
+            (Reset, Init) | (Init, Rtr) | (Rtr, Rts) | (_, Error) | (Error, Reset)
+        )
+    }
+}
+
+impl fmt::Display for QpState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QpState::Reset => write!(f, "RESET"),
+            QpState::Init => write!(f, "INIT"),
+            QpState::Rtr => write!(f, "RTR"),
+            QpState::Rts => write!(f, "RTS"),
+            QpState::Error => write!(f, "ERROR"),
+        }
+    }
 }
 
 /// Per-QP protocol counters.
@@ -100,6 +135,11 @@ pub struct QpStats {
     pub faults_raised: u64,
     /// Request packets silently dropped by responder fault pendency.
     pub pendency_drops: u64,
+    /// Protocol-invariant violations detected at runtime (only counted
+    /// when the `checks` feature is enabled; always zero otherwise).
+    /// Currently covers illegal QP state transitions per
+    /// [`QpState::transition_allowed`].
+    pub invariant_violations: u64,
 }
 
 /// Everything a QP handler may touch on its host.
@@ -183,7 +223,10 @@ struct RnrWait {
 enum RespPend {
     /// An ODP fault on these pages is in flight; `psn` is the faulted
     /// request so its retransmission can be RNR-NAKed again if early.
-    Fault { psn: Psn, pages: Vec<(MrKey, usize)> },
+    Fault {
+        psn: Psn,
+        pages: Vec<(MrKey, usize)>,
+    },
     /// No receive was posted for an incoming SEND.
     NoRecv { psn: Psn },
 }
@@ -250,7 +293,7 @@ impl Qp {
             retry_budget: cfg.retry_count,
             rnr_budget: cfg.rnr_retry,
             cfg,
-            state: QpState::Rts,
+            state: QpState::Reset,
             sq: VecDeque::new(),
             next_psn: Psn::new(0),
             timer_gen: 0,
@@ -289,10 +332,27 @@ impl Qp {
         self.peer
     }
 
-    /// Connects this QP to a remote peer. The paper's Fig. 2 experiment
-    /// deliberately passes a wrong LID here to provoke packet loss.
+    /// Connects this QP to a remote peer, walking the RC lifecycle
+    /// (`Reset → Init → Rtr → Rts`) exactly as a chain of `ibv_modify_qp`
+    /// calls would. The paper's Fig. 2 experiment deliberately passes a
+    /// wrong LID here to provoke packet loss.
     pub fn connect(&mut self, peer_lid: Lid, peer_qpn: Qpn) {
         self.peer = Some((peer_lid, peer_qpn));
+        self.set_state(QpState::Init);
+        self.set_state(QpState::Rtr);
+        self.set_state(QpState::Rts);
+    }
+
+    /// Routes every state change through the legality table. With the
+    /// `checks` feature enabled, an illegal transition increments
+    /// [`QpStats::invariant_violations`]; the transition is still applied
+    /// so a buggy caller's behaviour is observed rather than masked.
+    fn set_state(&mut self, to: QpState) {
+        #[cfg(feature = "checks")]
+        if !QpState::transition_allowed(self.state, to) {
+            self.stats.invariant_violations += 1;
+        }
+        self.state = to;
     }
 
     /// Number of send WQEs not yet retired.
@@ -412,9 +472,7 @@ impl Qp {
         for wqe in self.sq.iter_mut() {
             // max_rd_atomic: hardware bounds outstanding READ/ATOMIC
             // requests; later WQEs wait in the send queue.
-            if matches!(wqe.op, WrOp::Read { .. } | WrOp::Atomic { .. })
-                && wqe.sent_segments == 0
-            {
+            if matches!(wqe.op, WrOp::Read { .. } | WrOp::Atomic { .. }) && wqe.sent_segments == 0 {
                 if outstanding_rd >= self.cfg.max_rd_atomic {
                     break;
                 }
@@ -457,15 +515,7 @@ impl Qp {
                     }
                 }
                 let pkt = build_request_packet(
-                    env,
-                    self.lid,
-                    self.qpn,
-                    peer_lid,
-                    peer_qpn,
-                    wqe,
-                    seg,
-                    mtu,
-                    false,
+                    env, self.lid, self.qpn, peer_lid, peer_qpn, wqe, seg, mtu, false,
                 );
                 out.packets.push(pkt);
                 wqe.sent_segments += 1;
@@ -480,9 +530,7 @@ impl Qp {
 
     /// True if some transmitted work still awaits acknowledgment or data.
     fn has_outstanding(&self) -> bool {
-        self.sq
-            .iter()
-            .any(|w| w.sent_segments > 0 && !w.is_done())
+        self.sq.iter().any(|w| w.sent_segments > 0 && !w.is_done())
     }
 
     fn rearm_timer_if_needed(&mut self, out: &mut Outbox) {
@@ -585,10 +633,7 @@ impl Qp {
         else {
             return;
         };
-        let still_pending = self
-            .sq
-            .iter()
-            .any(|w| w.psn_first == psn && !w.is_done());
+        let still_pending = self.sq.iter().any(|w| w.psn_first == psn && !w.is_done());
         if !still_pending {
             self.stalls.swap_remove(idx);
             return;
@@ -744,7 +789,10 @@ impl Qp {
     }
 
     fn on_read_response(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, pkt: &Packet) {
-        let PacketKind::ReadResponse { seg, data, offset, .. } = &pkt.kind else {
+        let PacketKind::ReadResponse {
+            seg, data, offset, ..
+        } = &pkt.kind
+        else {
             unreachable!("dispatch guarantees a read response");
         };
         // ConnectX-4 discards responses arriving during an RNR wait
@@ -765,7 +813,12 @@ impl Qp {
         };
         let (expected_psn, local_mr, local_off, seg_done_bytes) = {
             let w = &self.sq[wqe_idx];
-            let WrOp::Read { local_mr, local_off, .. } = w.op else {
+            let WrOp::Read {
+                local_mr,
+                local_off,
+                ..
+            } = w.op
+            else {
                 unreachable!()
             };
             (
@@ -875,7 +928,12 @@ impl Qp {
             return;
         };
         let (local_mr, local_off) = {
-            let WrOp::Atomic { local_mr, local_off, .. } = self.sq[wqe_idx].op else {
+            let WrOp::Atomic {
+                local_mr,
+                local_off,
+                ..
+            } = self.sq[wqe_idx].op
+            else {
                 unreachable!()
             };
             (local_mr, local_off)
@@ -968,10 +1026,7 @@ impl Qp {
                 if env.profile.damming {
                     let lookback = env.profile.ghost_lookback;
                     for wqe in self.sq.iter_mut() {
-                        if wqe.sent_segments > 0
-                            && !wqe.is_done()
-                            && psn.precedes(wqe.psn_first)
-                        {
+                        if wqe.sent_segments > 0 && !wqe.is_done() && psn.precedes(wqe.psn_first) {
                             if let Some(tx) = wqe.first_tx {
                                 if env.now.saturating_sub(tx) <= lookback {
                                     wqe.ghosted = true;
@@ -996,7 +1051,7 @@ impl Qp {
 
     /// Fails all outstanding work and moves the QP to the error state.
     fn error_out(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, status: WcStatus) {
-        self.state = QpState::Error;
+        self.set_state(QpState::Error);
         let mut first = true;
         while let Some(wqe) = self.sq.pop_front() {
             if wqe.is_done() {
@@ -1099,14 +1154,18 @@ impl Qp {
     /// processing the request itself.
     fn queue_faults_for(&mut self, env: &mut QpEnv<'_>, out: &mut Outbox, pkt: &Packet) {
         let (rkey, addr, len) = match &pkt.kind {
-            PacketKind::ReadRequest { rkey, addr, len, .. } => (*rkey, *addr, (*len).max(1)),
-            PacketKind::WriteRequest { rkey, addr, data, .. } => {
-                (*rkey, *addr, (data.len() as u32).max(1))
-            }
+            PacketKind::ReadRequest {
+                rkey, addr, len, ..
+            } => (*rkey, *addr, (*len).max(1)),
+            PacketKind::WriteRequest {
+                rkey, addr, data, ..
+            } => (*rkey, *addr, (data.len() as u32).max(1)),
             PacketKind::AtomicRequest { rkey, addr, .. } => (*rkey, *addr, 8),
             _ => return,
         };
-        let Some(mr) = env.mrs.get_mut(&rkey) else { return };
+        let Some(mr) = env.mrs.get_mut(&rkey) else {
+            return;
+        };
         if mr.mode() != MrMode::Odp || !mr.contains(addr, len) {
             return;
         }

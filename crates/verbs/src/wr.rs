@@ -250,10 +250,14 @@ impl SendWqe {
             WrOp::Read { .. } => WcOpcode::Read,
             WrOp::Write { .. } => WcOpcode::Write,
             WrOp::Send { .. } => WcOpcode::Send,
-            WrOp::Atomic { op: crate::packet::AtomicOp::FetchAdd { .. }, .. } => WcOpcode::FetchAdd,
-            WrOp::Atomic { op: crate::packet::AtomicOp::CompareSwap { .. }, .. } => {
-                WcOpcode::CompareSwap
-            }
+            WrOp::Atomic {
+                op: crate::packet::AtomicOp::FetchAdd { .. },
+                ..
+            } => WcOpcode::FetchAdd,
+            WrOp::Atomic {
+                op: crate::packet::AtomicOp::CompareSwap { .. },
+                ..
+            } => WcOpcode::CompareSwap,
         }
     }
 }

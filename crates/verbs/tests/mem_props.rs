@@ -1,16 +1,25 @@
-//! Property tests of the memory substrate: sparse memory round-trips and
-//! region page arithmetic.
+//! Randomized tests of the memory substrate: sparse memory round-trips
+//! and region page arithmetic, driven by seeded loops over the in-tree
+//! deterministic PRNG (formerly `proptest` properties).
 
+use ibsim_event::SplitMix64;
 use ibsim_verbs::{MemRegion, Memory, MrKey, MrMode, PAGE_SIZE};
-use proptest::prelude::*;
 
-proptest! {
-    /// Arbitrary interleaved writes read back exactly, independent of page
-    /// boundaries.
-    #[test]
-    fn sparse_memory_roundtrips(
-        writes in proptest::collection::vec((0u64..100_000, proptest::collection::vec(any::<u8>(), 1..300)), 1..40)
-    ) {
+/// Arbitrary interleaved writes read back exactly, independent of page
+/// boundaries.
+#[test]
+fn sparse_memory_roundtrips() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0x3E3 * 1000 + case);
+        let n_writes = rng.range(1, 40) as usize;
+        let writes: Vec<(u64, Vec<u8>)> = (0..n_writes)
+            .map(|_| {
+                let addr = rng.next_below(100_000);
+                let len = rng.range(1, 300) as usize;
+                let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+                (addr, data)
+            })
+            .collect();
         let mut mem = Memory::new();
         let mut model: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
         for (addr, data) in &writes {
@@ -22,44 +31,52 @@ proptest! {
         for (addr, data) in &writes {
             let got = mem.read(*addr, data.len());
             for (i, g) in got.iter().enumerate() {
-                prop_assert_eq!(*g, model[&(addr + i as u64)]);
+                assert_eq!(*g, model[&(addr + i as u64)], "case {case}");
             }
         }
     }
+}
 
-    /// `pages_spanned` covers exactly the pages containing the range, for
-    /// arbitrary (possibly unaligned) region bases.
-    #[test]
-    fn pages_spanned_is_exact(
-        base_page in 0u64..100,
-        base_off in 0u64..PAGE_SIZE,
-        len in 1u64..(PAGE_SIZE * 8),
-        range_off_frac in 0.0f64..1.0,
-        range_len in 1u32..4096,
-    ) {
+/// `pages_spanned` covers exactly the pages containing the range, for
+/// arbitrary (possibly unaligned) region bases.
+#[test]
+fn pages_spanned_is_exact() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0x9A6E5 * 1000 + case);
+        let base_page = rng.next_below(100);
+        let base_off = rng.next_below(PAGE_SIZE);
+        let len = rng.range(1, PAGE_SIZE * 8);
+        let range_len = rng.range(1, 4096) as u32;
         let base = base_page * PAGE_SIZE + base_off;
         let region_len = len.max(range_len as u64 + 1);
         let r = MemRegion::new(MrKey(1), base, region_len, MrMode::Odp);
         let max_off = region_len - range_len as u64;
-        let off = (max_off as f64 * range_off_frac) as u64;
+        let off = if max_off == 0 {
+            0
+        } else {
+            rng.next_below(max_off + 1)
+        };
         let span = r.pages_spanned(off, range_len);
         // Check against direct page arithmetic on absolute addresses.
         let abs_first = (base + off) / PAGE_SIZE;
         let abs_last = (base + off + range_len as u64 - 1) / PAGE_SIZE;
         let rel_first = abs_first - base / PAGE_SIZE;
         let rel_last = abs_last - base / PAGE_SIZE;
-        prop_assert_eq!(*span.start() as u64, rel_first);
-        prop_assert_eq!(*span.end() as u64, rel_last);
-        prop_assert!(rel_last < r.page_count() as u64);
+        assert_eq!(*span.start() as u64, rel_first, "case {case}");
+        assert_eq!(*span.end() as u64, rel_last, "case {case}");
+        assert!(rel_last < r.page_count() as u64, "case {case}");
     }
+}
 
-    /// Mapping then invalidating arbitrary pages leaves `first_unmapped`
-    /// consistent with `range_mapped`.
-    #[test]
-    fn page_state_queries_agree(
-        pages in 1usize..40,
-        invalidate in proptest::collection::vec(0usize..40, 0..12),
-    ) {
+/// Mapping then invalidating arbitrary pages leaves `first_unmapped`
+/// consistent with `range_mapped`.
+#[test]
+fn page_state_queries_agree() {
+    for case in 0..128u64 {
+        let mut rng = SplitMix64::new(0x57A7E * 1000 + case);
+        let pages = rng.range(1, 40) as usize;
+        let n_inval = rng.next_below(12) as usize;
+        let invalidate: Vec<usize> = (0..n_inval).map(|_| rng.next_below(40) as usize).collect();
         let mut r = MemRegion::new(MrKey(1), 0, pages as u64 * PAGE_SIZE, MrMode::Odp);
         r.map_all();
         for &p in &invalidate {
@@ -70,9 +87,9 @@ proptest! {
         let len = (pages as u64 * PAGE_SIZE) as u32;
         let fully_mapped = r.range_mapped(0, len);
         let first = r.first_unmapped(0, len);
-        prop_assert_eq!(fully_mapped, first.is_none());
+        assert_eq!(fully_mapped, first.is_none(), "case {case}");
         if let Some(p) = first {
-            prop_assert!(invalidate.contains(&p));
+            assert!(invalidate.contains(&p), "case {case}");
         }
     }
 }

@@ -28,8 +28,16 @@ fn setup(
     let mut cl = Cluster::new(7);
     let a = cl.add_host("client", profile.clone());
     let b = cl.add_host("server", profile);
-    let server_mode = if server_odp { MrMode::Odp } else { MrMode::Pinned };
-    let client_mode = if client_odp { MrMode::Odp } else { MrMode::Pinned };
+    let server_mode = if server_odp {
+        MrMode::Odp
+    } else {
+        MrMode::Pinned
+    };
+    let client_mode = if client_odp {
+        MrMode::Odp
+    } else {
+        MrMode::Pinned
+    };
     let remote = cl.alloc_mr(b, buf, server_mode);
     let local = cl.alloc_mr(a, buf, client_mode);
     (eng, cl, a, b, local, remote)
@@ -152,7 +160,12 @@ fn write_from_odp_source_stalls_until_fault_resolves() {
 
 /// Runs the two-READ micro-benchmark of Fig. 3 at a given interval and
 /// returns the completion time of the last READ.
-fn two_reads(profile: DeviceProfile, server_odp: bool, client_odp: bool, interval: SimTime) -> SimTime {
+fn two_reads(
+    profile: DeviceProfile,
+    server_odp: bool,
+    client_odp: bool,
+    interval: SimTime,
+) -> SimTime {
     let (mut eng, mut cl, a, b, local, remote) = setup(profile, server_odp, client_odp, 8192);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
     // Fig. 3 layout: 100-byte messages at `size * i`, both on page 0.
@@ -204,7 +217,12 @@ fn no_damming_on_connectx6() {
     // Vendor feedback: the flaw "vanishes in later models" (§IX-B).
     let t = two_reads(DeviceProfile::connectx6(), true, false, SimTime::from_ms(1));
     assert!(t < SimTime::from_ms(20), "ConnectX-6 must not dam: {t}");
-    let t = two_reads(DeviceProfile::connectx6(), false, true, SimTime::from_us(300));
+    let t = two_reads(
+        DeviceProfile::connectx6(),
+        false,
+        true,
+        SimTime::from_us(300),
+    );
     assert!(t < SimTime::from_ms(20), "ConnectX-6 must not dam: {t}");
 }
 
@@ -369,7 +387,9 @@ fn flood_retransmissions_are_duplicates_of_the_same_reads() {
     let retx_reqs = cl
         .capture(a)
         .iter()
-        .filter(|r| r.payload.retransmit && matches!(r.payload.kind, PacketKind::ReadRequest { .. }))
+        .filter(|r| {
+            r.payload.retransmit && matches!(r.payload.kind, PacketKind::ReadRequest { .. })
+        })
         .count();
     assert!(retx_reqs > 32, "flood duplicates: {retx_reqs}");
     let discarded = cl.qp_stats_sum(a).responses_discarded;

@@ -106,7 +106,10 @@ fn responder_executes_in_order_and_advances_epsn() {
     assert_eq!(sout.packets.len(), 1);
     assert!(matches!(
         &sout.packets[0].kind,
-        PacketKind::ReadResponse { seg: SegPos::Only, .. }
+        PacketKind::ReadResponse {
+            seg: SegPos::Only,
+            ..
+        }
     ));
 
     // Client consumes the response: completion + data.
@@ -135,8 +138,16 @@ fn responder_naks_future_psn_once() {
 
     // Post two READs but deliver only the second to the server.
     let mut out = Outbox::new();
-    cqp.post(&mut client.env(SimTime::ZERO), &mut out, read_wr(1, local, remote, 32));
-    cqp.post(&mut client.env(SimTime::ZERO), &mut out, read_wr(2, local, remote, 32));
+    cqp.post(
+        &mut client.env(SimTime::ZERO),
+        &mut out,
+        read_wr(1, local, remote, 32),
+    );
+    cqp.post(
+        &mut client.env(SimTime::ZERO),
+        &mut out,
+        read_wr(2, local, remote, 32),
+    );
     assert_eq!(out.packets.len(), 2);
     let second = out.packets.remove(1);
 
@@ -301,7 +312,11 @@ fn damming_device_ghosts_posts_inside_rnr_wait() {
     let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
     cqp.connect(Lid(2), Qpn(2));
     let mut out = Outbox::new();
-    cqp.post(&mut client.env(SimTime::ZERO), &mut out, read_wr(1, local, MrKey(7), 32));
+    cqp.post(
+        &mut client.env(SimTime::ZERO),
+        &mut out,
+        read_wr(1, local, MrKey(7), 32),
+    );
 
     // RNR NAK arrives: the QP enters the recovery window.
     let nak = ibsim_verbs::Packet {
@@ -339,7 +354,11 @@ fn healthy_device_does_not_ghost() {
     let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
     cqp.connect(Lid(2), Qpn(2));
     let mut out = Outbox::new();
-    cqp.post(&mut client.env(SimTime::ZERO), &mut out, read_wr(1, local, MrKey(7), 32));
+    cqp.post(
+        &mut client.env(SimTime::ZERO),
+        &mut out,
+        read_wr(1, local, MrKey(7), 32),
+    );
     let nak = ibsim_verbs::Packet {
         src: Lid(2),
         dst: Lid(1),
@@ -370,7 +389,11 @@ fn rnr_fire_retransmits_only_faulted_message_on_damming_device() {
     let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
     cqp.connect(Lid(2), Qpn(2));
     let mut out = Outbox::new();
-    cqp.post(&mut client.env(SimTime::ZERO), &mut out, read_wr(1, local, MrKey(7), 32));
+    cqp.post(
+        &mut client.env(SimTime::ZERO),
+        &mut out,
+        read_wr(1, local, MrKey(7), 32),
+    );
     let nak = ibsim_verbs::Packet {
         src: Lid(2),
         dst: Lid(1),
@@ -388,7 +411,11 @@ fn rnr_fire_retransmits_only_faulted_message_on_damming_device() {
     let (_, gen) = out2.arm_rnr_timer.expect("rnr armed");
     // Post a second message inside the window (ghosted).
     let mut out3 = Outbox::new();
-    cqp.post(&mut client.env(SimTime::from_ms(1)), &mut out3, read_wr(2, local, MrKey(7), 32));
+    cqp.post(
+        &mut client.env(SimTime::from_ms(1)),
+        &mut out3,
+        read_wr(2, local, MrKey(7), 32),
+    );
     // Fire the RNR timer: only the faulted message (psn0) retransmits.
     let mut out4 = Outbox::new();
     cqp.on_rnr_fire(&mut client.env(SimTime::from_ms(5)), &mut out4, gen);
@@ -403,7 +430,11 @@ fn stale_timer_generations_are_ignored() {
     let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
     cqp.connect(Lid(2), Qpn(2));
     let mut out = Outbox::new();
-    cqp.post(&mut client.env(SimTime::ZERO), &mut out, read_wr(1, local, MrKey(7), 32));
+    cqp.post(
+        &mut client.env(SimTime::ZERO),
+        &mut out,
+        read_wr(1, local, MrKey(7), 32),
+    );
     let gen = out.arm_ack_timer.expect("armed");
     // A later event re-arms with a new generation; the old one is stale.
     let mut out2 = Outbox::new();
@@ -428,8 +459,16 @@ fn retry_exhaustion_errors_out_and_flushes() {
     let mut cqp = Qp::new(Qpn(1), Lid(1), cfg);
     cqp.connect(Lid(2), Qpn(2));
     let mut out = Outbox::new();
-    cqp.post(&mut client.env(SimTime::ZERO), &mut out, read_wr(1, local, MrKey(7), 32));
-    cqp.post(&mut client.env(SimTime::ZERO), &mut out, read_wr(2, local, MrKey(7), 32));
+    cqp.post(
+        &mut client.env(SimTime::ZERO),
+        &mut out,
+        read_wr(1, local, MrKey(7), 32),
+    );
+    cqp.post(
+        &mut client.env(SimTime::ZERO),
+        &mut out,
+        read_wr(2, local, MrKey(7), 32),
+    );
     let mut gen = out.arm_ack_timer.expect("armed");
     // First timeout: retries once and re-arms.
     let mut out2 = Outbox::new();
@@ -444,7 +483,11 @@ fn retry_exhaustion_errors_out_and_flushes() {
     assert_eq!(cqp.state(), ibsim_verbs::QpState::Error);
     // Posting afterwards flushes immediately.
     let mut out4 = Outbox::new();
-    cqp.post(&mut client.env(SimTime::from_secs(3)), &mut out4, read_wr(3, local, MrKey(7), 32));
+    cqp.post(
+        &mut client.env(SimTime::from_secs(3)),
+        &mut out4,
+        read_wr(3, local, MrKey(7), 32),
+    );
     assert_eq!(out4.completions[0].status, WcStatus::WrFlushErr);
 }
 

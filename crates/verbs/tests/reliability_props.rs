@@ -1,11 +1,13 @@
-//! Property-based tests of the transport's reliability guarantees: under
+//! Randomized tests of the transport's reliability guarantees: under
 //! arbitrary injected packet loss (within the retry budget), every work
 //! request completes exactly once with intact data.
+//!
+//! Formerly `proptest` properties; now seeded loops over the in-tree
+//! deterministic PRNG so the suite is hermetic.
 
-use ibsim_event::Engine;
+use ibsim_event::{Engine, SplitMix64};
 use ibsim_fabric::{LinkSpec, LossModel};
 use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, RecvWr, WcStatus, WrId};
-use proptest::prelude::*;
 
 fn profile() -> DeviceProfile {
     // Shrink the timeout so loss-recovery tests stay fast: a permissive
@@ -16,13 +18,14 @@ fn profile() -> DeviceProfile {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Uniform random loss below the retry budget: every READ completes
-    /// exactly once and the data is intact.
-    #[test]
-    fn reads_survive_uniform_loss(seed in any::<u64>(), loss_pct in 0u32..30) {
+/// Uniform random loss below the retry budget: every READ completes
+/// exactly once and the data is intact.
+#[test]
+fn reads_survive_uniform_loss() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0x10BB * 1000 + case);
+        let seed = rng.next_u64();
+        let loss_pct = rng.next_below(30) as u32;
         let mut eng = Engine::new();
         let mut cl = Cluster::new(seed);
         let a = cl.add_host("client", profile());
@@ -32,32 +35,57 @@ proptest! {
         let local = cl.alloc_mr(a, n_ops * 128, MrMode::Pinned);
         let payload: Vec<u8> = (0..(n_ops * 128) as u32).map(|i| (i % 251) as u8).collect();
         cl.mem_write(b, remote.base, &payload);
-        cl.fabric.set_loss(LossModel::uniform(loss_pct as f64 / 100.0, seed ^ 0xABCD));
+        cl.fabric
+            .set_loss(LossModel::uniform(loss_pct as f64 / 100.0, seed ^ 0xABCD));
         // A deep retry budget: with C_retry = 7 a ~23% loss rate can
         // legitimately exhaust the transport retries (0.4^8 ≈ 1e-3 per
         // message), which is not what this property is about.
-        let cfg = QpConfig { retry_count: 24, ..QpConfig::default() };
+        let cfg = QpConfig {
+            retry_count: 24,
+            ..QpConfig::default()
+        };
         let (qa, _) = cl.connect_pair(&mut eng, a, b, cfg);
         for i in 0..n_ops {
-            cl.post_read(&mut eng, a, qa, WrId(i), local.key, i * 128, remote.key, i * 128, 128);
+            cl.post_read(
+                &mut eng,
+                a,
+                qa,
+                WrId(i),
+                local.key,
+                i * 128,
+                remote.key,
+                i * 128,
+                128,
+            );
         }
         eng.run(&mut cl);
         let cq = cl.poll_cq(a);
-        prop_assert_eq!(cq.len(), n_ops as usize, "every WR completes exactly once");
+        assert_eq!(
+            cq.len(),
+            n_ops as usize,
+            "case {case}: every WR completes exactly once"
+        );
         // With ≤30% loss and an effectively unbounded retry budget per
         // element of progress, everything should succeed.
         for c in &cq {
-            prop_assert_eq!(c.status, WcStatus::Success);
+            assert_eq!(c.status, WcStatus::Success, "case {case}");
         }
-        prop_assert_eq!(cl.mem_read(a, local.base, payload.len()), payload);
+        assert_eq!(
+            cl.mem_read(a, local.base, payload.len()),
+            payload,
+            "case {case}"
+        );
     }
+}
 
-    /// Mixed op types survive deterministic loss of arbitrary packets.
-    #[test]
-    fn mixed_ops_survive_exact_losses(
-        seed in any::<u64>(),
-        drops in proptest::collection::vec(0u64..60, 0..12),
-    ) {
+/// Mixed op types survive deterministic loss of arbitrary packets.
+#[test]
+fn mixed_ops_survive_exact_losses() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0x3D0D * 1000 + case);
+        let seed = rng.next_u64();
+        let n_drops = rng.next_below(12) as usize;
+        let drops: Vec<u64> = (0..n_drops).map(|_| rng.next_below(60)).collect();
         let mut eng = Engine::new();
         let mut cl = Cluster::new(seed);
         let a = cl.add_host("client", profile());
@@ -68,10 +96,22 @@ proptest! {
         cl.mem_write(a, local.base, &[7u8; 1024]);
         cl.mem_write(b, remote.base, &[9u8; 1024]);
         cl.fabric.set_loss(LossModel::nth(drops));
-        let cfg = QpConfig { retry_count: 24, ..QpConfig::default() };
+        let cfg = QpConfig {
+            retry_count: 24,
+            ..QpConfig::default()
+        };
         let (qa, qb) = cl.connect_pair(&mut eng, a, b, cfg);
         for i in 0..4 {
-            cl.post_recv(b, qb, RecvWr { id: WrId(100 + i), mr: recv.key, offset: i * 256, max_len: 256 });
+            cl.post_recv(
+                b,
+                qb,
+                RecvWr {
+                    id: WrId(100 + i),
+                    mr: recv.key,
+                    offset: i * 256,
+                    max_len: 256,
+                },
+            );
         }
         let mut expect_client = 0usize;
         for i in 0..12u64 {
@@ -84,18 +124,21 @@ proptest! {
         }
         eng.run(&mut cl);
         let ca = cl.poll_cq(a);
-        prop_assert_eq!(ca.len(), expect_client);
-        prop_assert!(ca.iter().all(|c| c.status.is_success()));
+        assert_eq!(ca.len(), expect_client, "case {case}");
+        assert!(ca.iter().all(|c| c.status.is_success()), "case {case}");
         // 4 SENDs consumed exactly the 4 posted receives.
         let cb = cl.poll_cq(b);
-        prop_assert_eq!(cb.len(), 4);
-        prop_assert!(cb.iter().all(|c| c.status.is_success()));
+        assert_eq!(cb.len(), 4, "case {case}");
+        assert!(cb.iter().all(|c| c.status.is_success()), "case {case}");
     }
+}
 
-    /// Determinism: identical seeds give bit-identical completion
-    /// timelines; the simulator is a function of its inputs.
-    #[test]
-    fn identical_seeds_are_deterministic(seed in any::<u64>()) {
+/// Determinism: identical seeds give bit-identical completion timelines;
+/// the simulator is a function of its inputs.
+#[test]
+fn identical_seeds_are_deterministic() {
+    for case in 0..16u64 {
+        let seed = SplitMix64::new(0xDE7E * 1000 + case).next_u64();
         let run = || {
             let mut eng = Engine::new();
             let mut cl = Cluster::new(seed);
@@ -105,11 +148,24 @@ proptest! {
             let local = cl.alloc_mr(a, 16 * 4096, MrMode::Odp);
             let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
             for i in 0..16u64 {
-                cl.post_read(&mut eng, a, qa, WrId(i), local.key, i * 4096, remote.key, i * 4096, 256);
+                cl.post_read(
+                    &mut eng,
+                    a,
+                    qa,
+                    WrId(i),
+                    local.key,
+                    i * 4096,
+                    remote.key,
+                    i * 4096,
+                    256,
+                );
             }
             eng.run(&mut cl);
-            cl.poll_cq(a).iter().map(|c| (c.wr_id.0, c.at.as_ns())).collect::<Vec<_>>()
+            cl.poll_cq(a)
+                .iter()
+                .map(|c| (c.wr_id.0, c.at.as_ns()))
+                .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
 }

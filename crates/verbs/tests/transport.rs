@@ -18,7 +18,8 @@ fn two_hosts(profile: DeviceProfile) -> (Sim, Cluster, ibsim_verbs::HostId, ibsi
 
 #[test]
 fn read_roundtrip_pinned() {
-    let (mut eng, mut cl, a, b) = two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
+    let (mut eng, mut cl, a, b) =
+        two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
     let remote = cl.alloc_mr(b, 8192, MrMode::Pinned);
     let local = cl.alloc_mr(a, 8192, MrMode::Pinned);
     let payload: Vec<u8> = (0..8192u32).map(|i| (i % 253) as u8).collect();
@@ -36,7 +37,8 @@ fn read_roundtrip_pinned() {
 
 #[test]
 fn read_latency_is_microseconds_without_odp() {
-    let (mut eng, mut cl, a, b) = two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
+    let (mut eng, mut cl, a, b) =
+        two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
     let remote = cl.alloc_mr(b, 4096, MrMode::Pinned);
     let local = cl.alloc_mr(a, 4096, MrMode::Pinned);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
@@ -53,14 +55,25 @@ fn read_latency_is_microseconds_without_odp() {
 
 #[test]
 fn large_read_segments_at_mtu() {
-    let (mut eng, mut cl, a, b) = two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
+    let (mut eng, mut cl, a, b) =
+        two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
     let len = 3 * 4096 + 100; // 4 response segments
     let remote = cl.alloc_mr(b, len as u64, MrMode::Pinned);
     let local = cl.alloc_mr(a, len as u64, MrMode::Pinned);
     let payload: Vec<u8> = (0..len as u32).map(|i| (i * 7 % 256) as u8).collect();
     cl.mem_write(b, remote.base, &payload);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_read(&mut eng, a, qa, WrId(1), local.key, 0, remote.key, 0, len as u32);
+    cl.post_read(
+        &mut eng,
+        a,
+        qa,
+        WrId(1),
+        local.key,
+        0,
+        remote.key,
+        0,
+        len as u32,
+    );
     eng.run(&mut cl);
     assert_eq!(cl.poll_cq(a)[0].status, WcStatus::Success);
     assert_eq!(cl.mem_read(a, local.base, len), payload);
@@ -69,7 +82,8 @@ fn large_read_segments_at_mtu() {
 
 #[test]
 fn write_roundtrip() {
-    let (mut eng, mut cl, a, b) = two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
+    let (mut eng, mut cl, a, b) =
+        two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
     let remote = cl.alloc_mr(b, 10000, MrMode::Pinned);
     let local = cl.alloc_mr(a, 10000, MrMode::Pinned);
     let payload: Vec<u8> = (0..10000u32).map(|i| (i % 59) as u8).collect();
@@ -85,7 +99,8 @@ fn write_roundtrip() {
 
 #[test]
 fn send_recv_roundtrip() {
-    let (mut eng, mut cl, a, b) = two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
+    let (mut eng, mut cl, a, b) =
+        two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
     let src = cl.alloc_mr(a, 4096, MrMode::Pinned);
     let dst = cl.alloc_mr(b, 4096, MrMode::Pinned);
     cl.mem_write(a, src.base, b"two-sided hello");
@@ -114,7 +129,8 @@ fn send_recv_roundtrip() {
 
 #[test]
 fn send_without_recv_waits_for_rnr_then_completes() {
-    let (mut eng, mut cl, a, b) = two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
+    let (mut eng, mut cl, a, b) =
+        two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
     let src = cl.alloc_mr(a, 4096, MrMode::Pinned);
     let dst = cl.alloc_mr(b, 4096, MrMode::Pinned);
     cl.mem_write(a, src.base, b"late recv");
@@ -148,7 +164,8 @@ fn send_without_recv_waits_for_rnr_then_completes() {
 
 #[test]
 fn many_sequential_reads_complete_in_order() {
-    let (mut eng, mut cl, a, b) = two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
+    let (mut eng, mut cl, a, b) =
+        two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
     let remote = cl.alloc_mr(b, 64 * 100, MrMode::Pinned);
     let local = cl.alloc_mr(a, 64 * 100, MrMode::Pinned);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
@@ -177,7 +194,8 @@ fn many_sequential_reads_complete_in_order() {
 fn wrong_lid_aborts_with_retry_exc_err_at_8_timeouts() {
     // The Fig. 2 methodology: wrong destination LID, C_retry = 7, measure
     // t and estimate T_o = t / 8.
-    let (mut eng, mut cl, a, b) = two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
+    let (mut eng, mut cl, a, b) =
+        two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
     let remote = cl.alloc_mr(b, 4096, MrMode::Pinned);
     let local = cl.alloc_mr(a, 4096, MrMode::Pinned);
     let (qa, qb) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
@@ -227,7 +245,8 @@ fn cack_above_floor_doubles_abort_time() {
 
 #[test]
 fn injected_single_loss_recovers_via_timeout() {
-    let (mut eng, mut cl, a, b) = two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
+    let (mut eng, mut cl, a, b) =
+        two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
     let remote = cl.alloc_mr(b, 4096, MrMode::Pinned);
     let local = cl.alloc_mr(a, 4096, MrMode::Pinned);
     cl.mem_write(b, remote.base, b"survives loss");
@@ -240,18 +259,33 @@ fn injected_single_loss_recovers_via_timeout() {
     assert_eq!(cq[0].status, WcStatus::Success);
     assert_eq!(cl.mem_read(a, local.base, 13), b"survives loss");
     // Recovery needed one transport timeout (~500 ms on CX-4).
-    assert!(cq[0].at >= SimTime::from_ms(400), "completed at {}", cq[0].at);
+    assert!(
+        cq[0].at >= SimTime::from_ms(400),
+        "completed at {}",
+        cq[0].at
+    );
     assert_eq!(cl.qp_stats_sum(a).timeouts, 1);
 }
 
 #[test]
 fn remote_access_error_reported() {
-    let (mut eng, mut cl, a, b) = two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
+    let (mut eng, mut cl, a, b) =
+        two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
     let remote = cl.alloc_mr(b, 4096, MrMode::Pinned);
     let local = cl.alloc_mr(a, 4096, MrMode::Pinned);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
     // Read past the end of the remote region.
-    cl.post_read(&mut eng, a, qa, WrId(1), local.key, 0, remote.key, 4000, 200);
+    cl.post_read(
+        &mut eng,
+        a,
+        qa,
+        WrId(1),
+        local.key,
+        0,
+        remote.key,
+        4000,
+        200,
+    );
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
     assert_eq!(cq[0].status, WcStatus::RemoteAccessErr);
@@ -259,7 +293,8 @@ fn remote_access_error_reported() {
 
 #[test]
 fn posts_after_error_flush() {
-    let (mut eng, mut cl, a, b) = two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
+    let (mut eng, mut cl, a, b) =
+        two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
     let remote = cl.alloc_mr(b, 4096, MrMode::Pinned);
     let local = cl.alloc_mr(a, 4096, MrMode::Pinned);
     let (qa, qb) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
@@ -277,7 +312,8 @@ fn posts_after_error_flush() {
 
 #[test]
 fn capture_records_request_and_response() {
-    let (mut eng, mut cl, a, b) = two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
+    let (mut eng, mut cl, a, b) =
+        two_hosts(DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()));
     let remote = cl.alloc_mr(b, 4096, MrMode::Pinned);
     let local = cl.alloc_mr(a, 4096, MrMode::Pinned);
     cl.capture_enable(a);

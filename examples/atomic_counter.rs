@@ -33,23 +33,43 @@ fn main() {
     eng.run(&mut cl);
     let (d1, d2) = (cl.poll_cq(c1), cl.poll_cq(c2));
     assert!(d1.iter().chain(&d2).all(|c| c.status == WcStatus::Success));
-    let total = u64::from_le_bytes(
-        cl.mem_read(server, shared.base, 8).try_into().expect("8B"),
-    );
+    let total = u64::from_le_bytes(cl.mem_read(server, shared.base, 8).try_into().expect("8B"));
     println!("64 racing fetch-adds from 2 clients -> counter = {total}");
     assert_eq!(total, 64);
 
     // A CAS spinlock: client1 takes it, client2's attempt fails, then
     // succeeds after release.
     let lock_off = 8u64;
-    cl.post_compare_swap(&mut eng, c1, q1, WrId(100), l1.key, 512, shared.key, lock_off, 0, 1);
+    cl.post_compare_swap(
+        &mut eng,
+        c1,
+        q1,
+        WrId(100),
+        l1.key,
+        512,
+        shared.key,
+        lock_off,
+        0,
+        1,
+    );
     eng.run(&mut cl);
     assert_eq!(cl.poll_cq(c1).len(), 1);
     let seen1 = u64::from_le_bytes(cl.mem_read(c1, l1.base + 512, 8).try_into().expect("8B"));
     println!("client1 CAS(0 -> 1): saw {seen1} (acquired)");
     assert_eq!(seen1, 0);
 
-    cl.post_compare_swap(&mut eng, c2, q2, WrId(100), l2.key, 512, shared.key, lock_off, 0, 1);
+    cl.post_compare_swap(
+        &mut eng,
+        c2,
+        q2,
+        WrId(100),
+        l2.key,
+        512,
+        shared.key,
+        lock_off,
+        0,
+        1,
+    );
     eng.run(&mut cl);
     cl.poll_cq(c2);
     let seen2 = u64::from_le_bytes(cl.mem_read(c2, l2.base + 512, 8).try_into().expect("8B"));
@@ -57,10 +77,32 @@ fn main() {
     assert_eq!(seen2, 1);
 
     // client1 releases (CAS 1 -> 0), client2 retries and wins.
-    cl.post_compare_swap(&mut eng, c1, q1, WrId(101), l1.key, 520, shared.key, lock_off, 1, 0);
+    cl.post_compare_swap(
+        &mut eng,
+        c1,
+        q1,
+        WrId(101),
+        l1.key,
+        520,
+        shared.key,
+        lock_off,
+        1,
+        0,
+    );
     eng.run(&mut cl);
     cl.poll_cq(c1);
-    cl.post_compare_swap(&mut eng, c2, q2, WrId(101), l2.key, 520, shared.key, lock_off, 0, 1);
+    cl.post_compare_swap(
+        &mut eng,
+        c2,
+        q2,
+        WrId(101),
+        l2.key,
+        520,
+        shared.key,
+        lock_off,
+        0,
+        1,
+    );
     eng.run(&mut cl);
     cl.poll_cq(c2);
     let seen3 = u64::from_le_bytes(cl.mem_read(c2, l2.base + 520, 8).try_into().expect("8B"));

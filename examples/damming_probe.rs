@@ -6,9 +6,10 @@
 //! cargo run --release --example damming_probe
 //! ```
 
+use ibsim::analysis::{lint_capture, LintConfig, RuleId};
 use ibsim::event::{Engine, SimTime};
-use ibsim::odp::{detect_damming, run_microbench, MicrobenchConfig};
 use ibsim::odp::workaround::install_dummy_reads;
+use ibsim::odp::{detect_damming, run_microbench, MicrobenchConfig};
 use ibsim::verbs::{Cluster, DeviceProfile, MrMode, QpConfig, WcStatus, WrId};
 
 fn main() {
@@ -35,7 +36,18 @@ fn main() {
     }
     assert!(!incidents.is_empty(), "the stall must be detected");
 
-    // 3. Workaround: a software timer posting dummy READs gives the
+    // 3. The conformance linter agrees: every packet is individually
+    //    protocol-legal (no conformance violations), yet the damming
+    //    signature detector flags the flow.
+    let report = lint_capture(run.cluster.capture(run.client), &LintConfig::default());
+    for f in report.by_rule(RuleId::DammingSignature) {
+        println!("LINTER {f}");
+    }
+    assert!(report.count(RuleId::DammingSignature) >= 1);
+    assert_eq!(report.count(RuleId::FloodSignature), 0);
+    assert_eq!(report.count(RuleId::UnjustifiedRetransmit), 0);
+
+    // 4. Workaround: a software timer posting dummy READs gives the
     //    responder a chance to emit NAK(PSN sequence error) early.
     let mut eng = Engine::new();
     let mut cl = Cluster::new(7);
@@ -50,7 +62,18 @@ fn main() {
     eng.schedule_at(SimTime::from_ms(1), move |c: &mut Cluster, eng| {
         c.post_read(eng, a, qp, WrId(1), lk, 200, rk, 200, 100);
     });
-    install_dummy_reads(&mut eng, a, qp, 1000, local.key, 0, remote.key, 0, SimTime::from_ms(2), 8);
+    install_dummy_reads(
+        &mut eng,
+        a,
+        qp,
+        1000,
+        local.key,
+        0,
+        remote.key,
+        0,
+        SimTime::from_ms(2),
+        8,
+    );
     eng.run(&mut cl);
     let t2 = cl
         .poll_cq(a)

@@ -24,15 +24,22 @@ fn increment_loop(dsm: Dsm, node: usize, remaining: u32) {
                 let mut v = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
                 v += 1;
                 let d3 = d2.clone();
-                d2.write(eng, cl, node, 0, v.to_le_bytes().to_vec(), move |eng, cl| {
-                    d3.release(eng, cl, node);
-                    if remaining > 1 {
-                        increment_loop(d3.clone(), node, remaining - 1);
-                        // The next iteration schedules itself via acquire,
-                        // which is already posted above.
-                        let _ = (eng, cl);
-                    }
-                });
+                d2.write(
+                    eng,
+                    cl,
+                    node,
+                    0,
+                    v.to_le_bytes().to_vec(),
+                    move |eng, cl| {
+                        d3.release(eng, cl, node);
+                        if remaining > 1 {
+                            increment_loop(d3.clone(), node, remaining - 1);
+                            // The next iteration schedules itself via acquire,
+                            // which is already posted above.
+                            let _ = (eng, cl);
+                        }
+                    },
+                );
             });
         });
     };
@@ -75,7 +82,14 @@ fn main() {
     dsm.start_lock_service(&mut eng, &mut cl);
 
     // Initialize the counter at global address 0 (homed on node 0).
-    dsm.write(&mut eng, &mut cl, 0, 0, 0u64.to_le_bytes().to_vec(), |_, _| {});
+    dsm.write(
+        &mut eng,
+        &mut cl,
+        0,
+        0,
+        0u64.to_le_bytes().to_vec(),
+        |_, _| {},
+    );
     eng.run(&mut cl);
 
     const PER_NODE: u32 = 10;

@@ -25,7 +25,13 @@ fn addr(cell: usize) -> u64 {
 }
 
 /// Runs one stencil step on `node`, then joins the barrier.
-fn step(dsm: Dsm, node: usize, eng: &mut ibsim::verbs::Sim, cl: &mut Cluster, done: Rc<RefCell<StepSync>>) {
+fn step(
+    dsm: Dsm,
+    node: usize,
+    eng: &mut ibsim::verbs::Sim,
+    cl: &mut Cluster,
+    done: Rc<RefCell<StepSync>>,
+) {
     let lo = node * CELLS_PER_NODE;
     let hi = lo + CELLS_PER_NODE;
     // Read the halo + own slice (own cells are local; halos may fetch a
@@ -40,9 +46,8 @@ fn step(dsm: Dsm, node: usize, eng: &mut ibsim::verbs::Sim, cl: &mut Cluster, do
         let done = done.clone();
         let reads_lo = reads[0];
         dsm.read(eng, cl, node, addr(cell), 8, move |eng, cl, bytes| {
-            values.borrow_mut()[slot] = f64::from_bits(u64::from_le_bytes(
-                bytes.try_into().expect("8 bytes"),
-            ));
+            values.borrow_mut()[slot] =
+                f64::from_bits(u64::from_le_bytes(bytes.try_into().expect("8 bytes")));
             let left = {
                 let mut r = remaining.borrow_mut();
                 *r -= 1;
@@ -78,16 +83,23 @@ fn write_all(
         let remaining = remaining.clone();
         let dsm2 = dsm.clone();
         let done = done.clone();
-        dsm.write(eng, cl, node, addr(c), v.to_bits().to_le_bytes().to_vec(), move |eng, cl| {
-            let left = {
-                let mut r = remaining.borrow_mut();
-                *r -= 1;
-                *r
-            };
-            if left == 0 {
-                StepSync::arrive(&done, &dsm2, node, eng, cl);
-            }
-        });
+        dsm.write(
+            eng,
+            cl,
+            node,
+            addr(c),
+            v.to_bits().to_le_bytes().to_vec(),
+            move |eng, cl| {
+                let left = {
+                    let mut r = remaining.borrow_mut();
+                    *r -= 1;
+                    *r
+                };
+                if left == 0 {
+                    StepSync::arrive(&done, &dsm2, node, eng, cl);
+                }
+            },
+        );
     }
 }
 
@@ -99,7 +111,13 @@ struct StepSync {
 }
 
 impl StepSync {
-    fn arrive(me: &Rc<RefCell<StepSync>>, dsm: &Dsm, node: usize, eng: &mut ibsim::verbs::Sim, cl: &mut Cluster) {
+    fn arrive(
+        me: &Rc<RefCell<StepSync>>,
+        dsm: &Dsm,
+        node: usize,
+        eng: &mut ibsim::verbs::Sim,
+        cl: &mut Cluster,
+    ) {
         // Self-invalidate this node's halo cache before the barrier, like
         // a release.
         dsm.release_cache(node);
@@ -144,7 +162,14 @@ fn main() {
     // Initial condition: a hot spike in the middle of the rod.
     for c in 0..CELLS {
         let v = if c == CELLS / 2 { 100.0f64 } else { 0.0 };
-        dsm.write(&mut eng, &mut cl, 0, addr(c), v.to_bits().to_le_bytes().to_vec(), |_, _| {});
+        dsm.write(
+            &mut eng,
+            &mut cl,
+            0,
+            addr(c),
+            v.to_bits().to_le_bytes().to_vec(),
+            |_, _| {},
+        );
     }
     eng.run(&mut cl);
 

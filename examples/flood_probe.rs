@@ -7,6 +7,7 @@
 //! cargo run --release --example flood_probe
 //! ```
 
+use ibsim::analysis::{lint_capture, LintConfig, RuleId};
 use ibsim::event::{Engine, SimTime};
 use ibsim::odp::workaround::reissue_read;
 use ibsim::odp::{detect_flood, run_microbench, summarize, MicrobenchConfig, OdpMode};
@@ -41,7 +42,19 @@ fn main() {
     }
     assert!(!storms.is_empty());
 
-    // 2. Workaround: re-issue the stuck READ on a fresh QP whose page
+    // 2. The conformance linter sees the same storms as signature
+    //    findings — blind 0.5 ms retransmits with responses discarded —
+    //    while the per-packet RC rules all hold.
+    let report = lint_capture(run.cluster.capture(run.client), &LintConfig::default());
+    println!(
+        "linter: {} flood signature(s), {} conformance violation(s)",
+        report.count(RuleId::FloodSignature),
+        report.violations() - report.count(RuleId::FloodSignature)
+    );
+    assert!(report.count(RuleId::FloodSignature) >= 1);
+    assert_eq!(report.count(RuleId::DammingSignature), 0);
+
+    // 3. Workaround: re-issue the stuck READ on a fresh QP whose page
     //    status is clean.
     let mut eng = Engine::new();
     let mut cl = Cluster::new(5);
@@ -50,22 +63,49 @@ fn main() {
     let b = cl.add_host("server", device);
     let remote = cl.alloc_mr(b, 4096, MrMode::Pinned);
     let local = cl.alloc_mr(a, 4096, MrMode::Odp);
-    let qp_cfg = QpConfig { cack: 18, ..QpConfig::default() };
+    let qp_cfg = QpConfig {
+        cack: 18,
+        ..QpConfig::default()
+    };
     let qps: Vec<_> = (0..96)
         .map(|_| cl.connect_pair(&mut eng, a, b, qp_cfg.clone()).0)
         .collect();
     let spare = cl.connect_pair(&mut eng, a, b, qp_cfg).0;
     for (i, q) in qps.iter().enumerate() {
-        cl.post_read(&mut eng, a, *q, WrId(i as u64), local.key, (i * 32) as u64, remote.key, 0, 32);
+        cl.post_read(
+            &mut eng,
+            a,
+            *q,
+            WrId(i as u64),
+            local.key,
+            (i * 32) as u64,
+            remote.key,
+            0,
+            32,
+        );
     }
     reissue_read(
-        &mut eng, a, qps[0], WrId(0), spare, WrId(999), local.key, 0, remote.key, 0, 32,
+        &mut eng,
+        a,
+        qps[0],
+        WrId(0),
+        spare,
+        WrId(999),
+        local.key,
+        0,
+        remote.key,
+        0,
+        32,
         SimTime::from_ms(2),
     );
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
     let original = cq.iter().find(|c| c.wr_id == WrId(0)).expect("original").at;
-    let reissued = cq.iter().find(|c| c.wr_id == WrId(999)).expect("reissue").at;
+    let reissued = cq
+        .iter()
+        .find(|c| c.wr_id == WrId(999))
+        .expect("reissue")
+        .at;
     println!("flooded original READ completed at {original}; fresh-QP re-issue at {reissued}");
     assert!(reissued < original);
 }

@@ -13,8 +13,14 @@ fn main() {
     // paper's KNL testbed).
     let mut eng = Engine::new();
     let mut cluster = Cluster::new(42);
-    let client = cluster.add_host("client", DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr()));
-    let server = cluster.add_host("server", DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr()));
+    let client = cluster.add_host(
+        "client",
+        DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr()),
+    );
+    let server = cluster.add_host(
+        "server",
+        DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr()),
+    );
 
     // The server exposes an On-Demand-Paging region; the client reads
     // into a pinned buffer. The first READ will page-fault on the server.
@@ -24,11 +30,24 @@ fn main() {
 
     cluster.capture_enable(client);
     let (qp, _) = cluster.connect_pair(&mut eng, client, server, QpConfig::default());
-    cluster.post_read(&mut eng, client, qp, WrId(1), local.key, 0, remote.key, 0, 28);
+    cluster.post_read(
+        &mut eng,
+        client,
+        qp,
+        WrId(1),
+        local.key,
+        0,
+        remote.key,
+        0,
+        28,
+    );
     eng.run(&mut cluster);
 
     let completions = cluster.poll_cq(client);
-    println!("completion: {:?} at {}", completions[0].status, completions[0].at);
+    println!(
+        "completion: {:?} at {}",
+        completions[0].status, completions[0].at
+    );
     println!(
         "data: {:?}",
         String::from_utf8_lossy(&cluster.mem_read(client, local.base, 28))

@@ -25,7 +25,10 @@ fn main() {
         ..Default::default()
     };
 
-    let pinned = run_shuffle(&ShuffleConfig { odp: false, ..base.clone() });
+    let pinned = run_shuffle(&ShuffleConfig {
+        odp: false,
+        ..base.clone()
+    });
     let odp = run_shuffle(&ShuffleConfig { odp: true, ..base });
 
     println!("workload: 24x24 blocks of 256 B over {} QPs", pinned.qps);

@@ -14,10 +14,18 @@
 //! * [`ucp`] — UCX-like messaging/RMA layer,
 //! * [`dsm`] — ArgoDSM-like distributed shared memory,
 //! * [`shuffle`] — SparkUCX-like shuffle engine,
-//! * [`perftest`] — `ib_read_lat`/`ib_read_bw`-style micro-benchmarks.
+//! * [`perftest`] — `ib_read_lat`/`ib_read_bw`-style micro-benchmarks,
+//! * [`analysis`] — RC trace linter, pitfall signature detectors, packet
+//!   conservation, and the runtime invariant registry.
+//!
+//! Building with `--features checks` turns on runtime invariant checking
+//! (QP state-machine legality, event-clock monotonicity) across the
+//! stack; violations are counted, never panicking, and surface in the
+//! usual counter reports.
 
 #![warn(missing_docs)]
 
+pub use ibsim_analysis as analysis;
 pub use ibsim_dsm as dsm;
 pub use ibsim_event as event;
 pub use ibsim_fabric as fabric;

@@ -80,7 +80,12 @@ fn ucp_over_damming_hardware_still_delivers() {
         &mut cl,
         b,
         Tag(1),
-        MemSlice { host: b, mr: dst.key, offset: 0, len },
+        MemSlice {
+            host: b,
+            mr: dst.key,
+            offset: 0,
+            len,
+        },
     );
     ucp.tag_send(
         &mut eng,
@@ -88,7 +93,12 @@ fn ucp_over_damming_hardware_still_delivers() {
         ep,
         a,
         Tag(1),
-        MemSlice { host: a, mr: src.key, offset: 0, len },
+        MemSlice {
+            host: a,
+            mr: src.key,
+            offset: 0,
+            len,
+        },
     );
     eng.run(&mut cl);
     assert_eq!(ucp.take_completed(b).len(), 1);
