@@ -27,4 +27,7 @@ echo "==> pitfall probes (linter must flag each probe's own signature)"
 cargo run -q --offline --release --example damming_probe
 cargo run -q --offline --release --example flood_probe
 
+echo "==> qpsweep smoke (dead-event pops must stay under 5% of executed)"
+cargo run -q --offline --release -p ibsim-bench --bin qpsweep -- --quick
+
 echo "==> ci: all green"

@@ -27,13 +27,18 @@ pub enum InvariantId {
     /// Every event popped by the engine must carry a timestamp at or
     /// after the current clock; checked in `ibsim-event`.
     EventTimeMonotonicity,
+    /// The engine's indexed heap must never pop a cancelled (dead)
+    /// entry; a nonzero count means timer churn is leaking tombstones
+    /// back into the queue. Counted unconditionally in `ibsim-event`.
+    DeadEventPops,
 }
 
 impl InvariantId {
     /// Every registered runtime invariant.
-    pub const ALL: [InvariantId; 2] = [
+    pub const ALL: [InvariantId; 3] = [
         InvariantId::QpStateTransition,
         InvariantId::EventTimeMonotonicity,
+        InvariantId::DeadEventPops,
     ];
 
     /// Short stable mnemonic.
@@ -41,6 +46,7 @@ impl InvariantId {
         match self {
             InvariantId::QpStateTransition => "QP_STATE_TRANSITION",
             InvariantId::EventTimeMonotonicity => "EVENT_TIME_MONOTONICITY",
+            InvariantId::DeadEventPops => "DEAD_EVENT_POPS",
         }
     }
 
@@ -53,6 +59,10 @@ impl InvariantId {
             }
             InvariantId::EventTimeMonotonicity => {
                 "event pops never move the simulated clock backwards"
+            }
+            InvariantId::DeadEventPops => {
+                "the event queue never pops a cancelled entry (cancellation \
+                 physically removes events instead of tombstoning them)"
             }
         }
     }
@@ -71,6 +81,8 @@ pub struct InvariantSnapshot {
     pub qp_transition_violations: u64,
     /// Event pops that moved the clock backwards.
     pub event_monotonicity_violations: u64,
+    /// Cancelled entries that reached the head of the event queue.
+    pub dead_event_pops: u64,
 }
 
 impl InvariantSnapshot {
@@ -87,12 +99,13 @@ impl InvariantSnapshot {
         InvariantSnapshot {
             qp_transition_violations: qp,
             event_monotonicity_violations: engine.monotonicity_violations(),
+            dead_event_pops: engine.dead_event_pops(),
         }
     }
 
     /// Total violations across all invariants.
     pub fn total(&self) -> u64 {
-        self.qp_transition_violations + self.event_monotonicity_violations
+        self.qp_transition_violations + self.event_monotonicity_violations + self.dead_event_pops
     }
 
     /// True when every runtime invariant held.
@@ -105,6 +118,7 @@ impl InvariantSnapshot {
         match id {
             InvariantId::QpStateTransition => self.qp_transition_violations,
             InvariantId::EventTimeMonotonicity => self.event_monotonicity_violations,
+            InvariantId::DeadEventPops => self.dead_event_pops,
         }
     }
 }
@@ -163,11 +177,42 @@ mod tests {
         let snap = InvariantSnapshot {
             qp_transition_violations: 2,
             event_monotonicity_violations: 0,
+            dead_event_pops: 0,
         };
         let s = snap.to_string();
         assert!(s.contains("QP_STATE_TRANSITION=2"), "{s}");
         assert!(!s.contains("EVENT_TIME_MONOTONICITY"), "{s}");
         assert_eq!(snap.count(InvariantId::QpStateTransition), 2);
         assert!(!snap.is_clean());
+    }
+
+    #[test]
+    fn dead_event_pops_are_collected_from_the_engine() {
+        // A churny run on the indexed heap must report zero dead pops
+        // through the snapshot — the counter exists without `checks`.
+        let mut eng = Engine::new();
+        let mut cl = Cluster::new(5);
+        let a = cl.add_host("client", DeviceProfile::connectx4(LinkSpec::fdr()));
+        let b = cl.add_host("server", DeviceProfile::connectx4(LinkSpec::fdr()));
+        let remote = cl.alloc_mr(b, 1 << 16, MrMode::Odp);
+        let local = cl.alloc_mr(a, 1 << 16, MrMode::Pinned);
+        let (qp, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
+        for i in 0..8u64 {
+            cl.post_read(
+                &mut eng,
+                a,
+                qp,
+                WrId(i),
+                local.key,
+                0,
+                remote.key,
+                i * 4096,
+                64,
+            );
+        }
+        eng.run(&mut cl);
+        let snap = InvariantSnapshot::collect(&cl, &[a, b], &eng);
+        assert_eq!(snap.count(InvariantId::DeadEventPops), 0, "{snap}");
+        assert!(snap.is_clean(), "{snap}");
     }
 }

@@ -1,0 +1,52 @@
+//! Golden-trace byte-identity pins: the damming and flood probe captures
+//! must not change when engine internals change. The expected hashes were
+//! captured from the pre-indexed-heap engine; any drift means event
+//! ordering (and therefore simulated behaviour) changed.
+
+use ibsim_odp::{run_microbench, MicrobenchConfig, OdpMode};
+
+/// FNV-1a over the rendered timeline: stable, dependency-free.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn damming_probe_trace_hash_pinned() {
+    let run = run_microbench(&MicrobenchConfig {
+        interval: ibsim_event::SimTime::from_ms(1),
+        capture: true,
+        ..Default::default()
+    });
+    let tl = run.cluster.capture(run.client).timeline();
+    assert_eq!(tl.len(), 919, "damming timeline length drifted");
+    assert_eq!(
+        fnv1a(&tl),
+        0xeabf_f70d_d984_76b9,
+        "damming probe trace is no longer byte-identical to the pinned capture"
+    );
+}
+
+#[test]
+fn flood_probe_trace_hash_pinned() {
+    let run = run_microbench(&MicrobenchConfig {
+        size: 32,
+        num_ops: 128,
+        num_qps: 128,
+        odp: OdpMode::ClientSide,
+        cack: 18,
+        capture: true,
+        ..Default::default()
+    });
+    let tl = run.cluster.capture(run.client).timeline();
+    assert_eq!(tl.len(), 135_890, "flood timeline length drifted");
+    assert_eq!(
+        fnv1a(&tl),
+        0xa115_5303_7a19_1337,
+        "flood probe trace is no longer byte-identical to the pinned capture"
+    );
+}

@@ -1,13 +1,38 @@
 //! The discrete-event engine.
 //!
-//! [`Engine`] owns a priority queue of scheduled events. Each event is a
-//! boxed closure receiving mutable access to the *world* (the user's state,
-//! generic parameter `W`) and to the engine itself, so handlers can schedule
-//! follow-up events. Events at equal timestamps fire in insertion order,
-//! which makes every run bit-for-bit deterministic.
+//! [`Engine`] owns an *indexed* binary min-heap of scheduled events. Each
+//! event is a boxed closure receiving mutable access to the *world* (the
+//! user's state, generic parameter `W`) and to the engine itself, so
+//! handlers can schedule follow-up events. Events at equal timestamps fire
+//! in insertion order, which makes every run bit-for-bit deterministic.
+//!
+//! ## Why an indexed heap
+//!
+//! The timer-heavy regimes this simulator exists for — thousands of QPs
+//! rearming retransmit timers every ~0.5 ms (§VI packet flood) — are
+//! exactly where a plain `BinaryHeap` with tombstone cancellation falls
+//! over: cancelled events linger until popped (dead pops burn time and
+//! skew queue-depth reports) and finding the next live event degenerates
+//! to an O(n) scan. The indexed heap keeps a `seq → heap slot` map so
+//! [`cancel`](Engine::cancel) *physically removes* the entry in O(log n),
+//! [`next_event_time`](Engine::next_event_time) is a O(1) peek, and heap
+//! occupancy is observable through counters
+//! ([`pending_events`](Engine::pending_events),
+//! [`peak_heap_depth`](Engine::peak_heap_depth),
+//! [`dead_event_pops`](Engine::dead_event_pops)).
+//!
+//! ## Keyed timers
+//!
+//! Protocol timers (ACK timeout, RNR wait, blind-retransmit ticks) are
+//! *slots*: re-arming replaces the previous event rather than piling a
+//! new one next to a stale gen-guarded no-op. The engine models this with
+//! [`TimerKey`]-addressed scheduling
+//! ([`schedule_keyed_in`](Engine::schedule_keyed_in) /
+//! [`cancel_key`](Engine::cancel_key)): at most one live event exists per
+//! key, and arming a key that is already armed cancels the old event in
+//! the same call.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::time::SimTime;
@@ -22,32 +47,79 @@ impl fmt::Display for EventId {
     }
 }
 
+/// Address of a replaceable timer slot: at most one live event exists per
+/// key (see [`Engine::schedule_keyed_in`]). The two words are free-form;
+/// `ibsim-verbs` packs (timer family, host) and (QP number, PSN) into
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerKey(pub u64, pub u64);
+
+impl fmt::Display for TimerKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer({:#x},{:#x})", self.0, self.1)
+    }
+}
+
 type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
 
-struct Scheduled<W> {
+struct Entry<W> {
     at: SimTime,
     seq: u64,
+    key: Option<TimerKey>,
     run: EventFn<W>,
 }
 
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl<W> Entry<W> {
+    /// Lexicographic (time, insertion order) min-heap rank.
+    #[inline]
+    fn rank(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Occupancy and churn counters of an [`Engine`]'s event queue.
+///
+/// `dead_pops` and `dead_pending` exist to *prove a negative*: the
+/// indexed heap removes cancelled events physically, so both stay at
+/// zero by construction. Reports and CI gates pin them there so a future
+/// regression back to tombstone cancellation is caught immediately.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events currently scheduled (live entries only).
+    pub live: usize,
+    /// Cancelled events still occupying heap slots (always 0).
+    pub dead_pending: usize,
+    /// Events executed so far.
+    pub executed: u64,
+    /// Pops that found a cancelled event (always 0).
+    pub dead_pops: u64,
+    /// Maximum simultaneous live events observed.
+    pub peak_depth: usize,
+    /// Total `schedule_*` calls.
+    pub scheduled: u64,
+    /// Events physically removed by `cancel` / `cancel_key`.
+    pub cancelled: u64,
+    /// Events replaced by a keyed re-arm on the same [`TimerKey`].
+    pub replaced: u64,
+    /// Keyed timer slots currently armed.
+    pub keyed_live: usize,
 }
-impl<W> Ord for Scheduled<W> {
-    /// Reversed so the `BinaryHeap` becomes a min-heap on `(at, seq)`.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+
+impl fmt::Display for QueueStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "live={} executed={} dead_pops={} peak={} scheduled={} \
+             cancelled={} replaced={} keyed={}",
+            self.live,
+            self.executed,
+            self.dead_pops,
+            self.peak_depth,
+            self.scheduled,
+            self.cancelled,
+            self.replaced,
+            self.keyed_live
+        )
     }
 }
 
@@ -70,13 +142,24 @@ impl<W> Ord for Scheduled<W> {
 /// ```
 pub struct Engine<W> {
     now: SimTime,
-    queue: BinaryHeap<Scheduled<W>>,
-    /// Ids scheduled but not yet popped; removed on pop or cancel.
-    live: HashSet<u64>,
-    /// Ids cancelled while still in the heap; skipped at pop time.
-    cancelled: HashSet<u64>,
+    /// Indexed binary min-heap on `(at, seq)`.
+    heap: Vec<Entry<W>>,
+    /// `seq → heap slot` for every live event; the heap invariantly
+    /// contains exactly the live events (cancellation removes).
+    pos: HashMap<u64, usize>,
+    /// `key → seq` of the single live event armed under each timer key.
+    keyed: HashMap<TimerKey, u64>,
     next_seq: u64,
     executed: u64,
+    scheduled_total: u64,
+    cancelled_total: u64,
+    replaced_total: u64,
+    /// Pops that found a cancelled event. The indexed heap removes
+    /// cancelled entries physically, so this is zero by construction;
+    /// the counter (and the analysis-crate invariant over it) exists to
+    /// catch a regression back to tombstone cancellation.
+    dead_pops: u64,
+    peak_depth: usize,
     /// Event pops whose timestamp preceded the clock (only counted with
     /// the `checks` feature; always zero otherwise). A non-zero value
     /// means the min-heap ordering invariant broke — causality is gone.
@@ -93,8 +176,9 @@ impl<W> fmt::Debug for Engine<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Engine")
             .field("now", &self.now)
-            .field("pending", &self.queue.len())
+            .field("pending", &self.heap.len())
             .field("executed", &self.executed)
+            .field("peak_depth", &self.peak_depth)
             .finish()
     }
 }
@@ -104,11 +188,16 @@ impl<W> Engine<W> {
     pub fn new() -> Self {
         Engine {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
-            live: HashSet::new(),
-            cancelled: HashSet::new(),
+            heap: Vec::new(),
+            pos: HashMap::new(),
+            keyed: HashMap::new(),
             next_seq: 0,
             executed: 0,
+            scheduled_total: 0,
+            cancelled_total: 0,
+            replaced_total: 0,
+            dead_pops: 0,
+            peak_depth: 0,
             monotonicity_violations: 0,
         }
     }
@@ -125,10 +214,70 @@ impl<W> Engine<W> {
         self.executed
     }
 
-    /// Number of events still pending (including cancelled-but-unpopped ones).
+    /// Number of *live* events still pending. Cancelled events are
+    /// physically removed from the heap, so — unlike the old tombstone
+    /// engine — this never overstates queue depth.
     #[inline]
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.heap.len()
+    }
+
+    /// Cancelled-but-unpopped events still occupying queue slots (the
+    /// quantity the old tombstone engine silently folded into
+    /// `pending_events`). The indexed heap removes cancelled entries
+    /// immediately, so this is always zero; it is exposed so reports can
+    /// state that fact rather than assume it.
+    #[inline]
+    pub fn dead_pending(&self) -> usize {
+        0
+    }
+
+    /// Pops that found a cancelled event (zero by construction; see
+    /// [`QueueStats::dead_pops`]).
+    #[inline]
+    pub fn dead_event_pops(&self) -> u64 {
+        self.dead_pops
+    }
+
+    /// Maximum number of simultaneously live events observed so far.
+    #[inline]
+    pub fn peak_heap_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// Total events ever scheduled.
+    #[inline]
+    pub fn scheduled_events(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Events physically removed by [`cancel`](Engine::cancel) or
+    /// [`cancel_key`](Engine::cancel_key) (including keyed re-arm
+    /// replacements).
+    #[inline]
+    pub fn cancelled_events(&self) -> u64 {
+        self.cancelled_total
+    }
+
+    /// Keyed timer slots currently armed.
+    #[inline]
+    pub fn keyed_timers(&self) -> usize {
+        self.keyed.len()
+    }
+
+    /// Snapshot of every queue counter.
+    pub fn queue_stats(&self) -> QueueStats {
+        QueueStats {
+            live: self.heap.len(),
+            dead_pending: self.dead_pending(),
+            executed: self.executed,
+            dead_pops: self.dead_pops,
+            peak_depth: self.peak_depth,
+            scheduled: self.scheduled_total,
+            cancelled: self.cancelled_total,
+            replaced: self.replaced_total,
+            keyed_live: self.keyed.len(),
+        }
     }
 
     /// Number of event pops that violated clock monotonicity. Counted
@@ -152,6 +301,125 @@ impl<W> Engine<W> {
         let _ = at;
     }
 
+    // ------------------------------------------------------------------
+    // Indexed-heap plumbing
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn set_pos(&mut self, idx: usize) {
+        self.pos.insert(self.heap[idx].seq, idx);
+    }
+
+    fn sift_up(&mut self, mut idx: usize) {
+        while idx > 0 {
+            let parent = (idx - 1) / 2;
+            if self.heap[idx].rank() < self.heap[parent].rank() {
+                self.heap.swap(idx, parent);
+                self.set_pos(idx);
+                idx = parent;
+            } else {
+                break;
+            }
+        }
+        self.set_pos(idx);
+    }
+
+    fn sift_down(&mut self, mut idx: usize) {
+        let len = self.heap.len();
+        loop {
+            let l = 2 * idx + 1;
+            if l >= len {
+                break;
+            }
+            let r = l + 1;
+            let smallest = if r < len && self.heap[r].rank() < self.heap[l].rank() {
+                r
+            } else {
+                l
+            };
+            if self.heap[smallest].rank() < self.heap[idx].rank() {
+                self.heap.swap(idx, smallest);
+                self.set_pos(idx);
+                idx = smallest;
+            } else {
+                break;
+            }
+        }
+        self.set_pos(idx);
+    }
+
+    /// Physically removes the entry at heap slot `idx` and restores the
+    /// heap property; returns the removed entry.
+    fn remove_at(&mut self, idx: usize) -> Entry<W> {
+        let last = self.heap.len() - 1;
+        self.heap.swap(idx, last);
+        let entry = self.heap.pop().expect("non-empty: just swapped");
+        self.pos.remove(&entry.seq);
+        if idx < self.heap.len() {
+            // The displaced tail entry may need to move either way. If
+            // sift_up moves it, it became smaller than its old parent and
+            // therefore than everything below its new slot, so the
+            // follow-up sift_down is a no-op; the two calls together
+            // restore the heap property from any single displacement.
+            let moved_seq = self.heap[idx].seq;
+            self.set_pos(idx);
+            self.sift_up(idx);
+            let cur = *self.pos.get(&moved_seq).expect("just repositioned");
+            self.sift_down(cur);
+        }
+        entry
+    }
+
+    /// Detaches an entry's keyed-slot registration (if this seq is still
+    /// the one the key maps to).
+    fn unlink_key(&mut self, entry_key: Option<TimerKey>, seq: u64) {
+        if let Some(key) = entry_key {
+            if self.keyed.get(&key) == Some(&seq) {
+                self.keyed.remove(&key);
+            }
+        }
+    }
+
+    fn insert(
+        &mut self,
+        at: SimTime,
+        key: Option<TimerKey>,
+        f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            key,
+            run: Box::new(f),
+        });
+        let idx = self.heap.len() - 1;
+        self.pos.insert(seq, idx);
+        self.sift_up(idx);
+        self.peak_depth = self.peak_depth.max(self.heap.len());
+        EventId(seq)
+    }
+
+    fn pop(&mut self) -> Option<Entry<W>> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let entry = self.remove_at(0);
+        self.unlink_key(entry.key, entry.seq);
+        Some(entry)
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
     /// Schedules `f` to run at absolute time `at`.
     ///
     /// # Panics
@@ -163,20 +431,7 @@ impl<W> Engine<W> {
         at: SimTime,
         f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
     ) -> EventId {
-        assert!(
-            at >= self.now,
-            "cannot schedule into the past: at={at} now={}",
-            self.now
-        );
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.live.insert(seq);
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            run: Box::new(f),
-        });
-        EventId(seq)
+        self.insert(at, None, f)
     }
 
     /// Schedules `f` to run after relative delay `delay`.
@@ -185,22 +440,89 @@ impl<W> Engine<W> {
         delay: SimTime,
         f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
     ) -> EventId {
-        self.schedule_at(self.now + delay, f)
+        self.insert(self.now + delay, None, f)
     }
 
-    /// Cancels a previously scheduled event.
-    ///
-    /// Returns `true` if the event had not yet fired (and therefore will
-    /// not fire). Cancelling an already-executed or already-cancelled event
-    /// returns `false` and is harmless.
-    pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.live.remove(&id.0) {
-            self.cancelled.insert(id.0);
+    /// Schedules `f` at absolute time `at` under timer slot `key`,
+    /// *replacing* any event currently armed under that key (the old
+    /// event is physically removed and will never fire). This is the
+    /// re-arm semantics protocol timers want: no gen-guarded no-op events
+    /// left behind in the queue.
+    pub fn schedule_keyed_at(
+        &mut self,
+        key: TimerKey,
+        at: SimTime,
+        f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        if let Some(&old_seq) = self.keyed.get(&key) {
+            if let Some(idx) = self.pos.get(&old_seq).copied() {
+                self.remove_at(idx);
+                self.replaced_total += 1;
+            }
+            self.keyed.remove(&key);
+        }
+        let id = self.insert(at, Some(key), f);
+        self.keyed.insert(key, id.0);
+        id
+    }
+
+    /// Schedules `f` after `delay` under timer slot `key`; see
+    /// [`schedule_keyed_at`](Engine::schedule_keyed_at).
+    pub fn schedule_keyed_in(
+        &mut self,
+        key: TimerKey,
+        delay: SimTime,
+        f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        self.schedule_keyed_at(key, self.now + delay, f)
+    }
+
+    /// True if an event is currently armed under `key`.
+    pub fn key_armed(&self, key: TimerKey) -> bool {
+        self.keyed.contains_key(&key)
+    }
+
+    /// Fire time of the event armed under `key`, if any.
+    pub fn key_deadline(&self, key: TimerKey) -> Option<SimTime> {
+        let seq = self.keyed.get(&key)?;
+        let idx = self.pos.get(seq)?;
+        Some(self.heap[*idx].at)
+    }
+
+    /// Cancels the event armed under timer slot `key`, physically
+    /// removing it from the heap. Returns `true` if one was armed.
+    pub fn cancel_key(&mut self, key: TimerKey) -> bool {
+        let Some(seq) = self.keyed.remove(&key) else {
+            return false;
+        };
+        if let Some(idx) = self.pos.get(&seq).copied() {
+            self.remove_at(idx);
+            self.cancelled_total += 1;
             true
         } else {
             false
         }
     }
+
+    /// Cancels a previously scheduled event, physically removing it from
+    /// the heap in O(log n).
+    ///
+    /// Returns `true` if the event had not yet fired (and therefore will
+    /// not fire). Cancelling an already-executed or already-cancelled event
+    /// returns `false` and is harmless.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let Some(idx) = self.pos.get(&id.0).copied() else {
+            return false;
+        };
+        let entry = self.remove_at(idx);
+        self.unlink_key(entry.key, entry.seq);
+        self.cancelled_total += 1;
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
 
     /// Runs events until the queue is empty.
     pub fn run(&mut self, world: &mut W) {
@@ -212,18 +534,14 @@ impl<W> Engine<W> {
     /// The clock is left at the time of the last executed event (or moved to
     /// `deadline` if that is later and the queue still holds future events).
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
-        while let Some(head) = self.queue.peek() {
-            if head.at > deadline {
+        while let Some(head_at) = self.next_event_time() {
+            if head_at > deadline {
                 if deadline != SimTime::MAX && self.now < deadline {
                     self.now = deadline;
                 }
                 return;
             }
-            let ev = self.queue.pop().expect("peeked entry vanished");
-            if self.cancelled.remove(&ev.seq) {
-                continue;
-            }
-            self.live.remove(&ev.seq);
+            let ev = self.pop().expect("peeked entry vanished");
             self.check_pop_monotone(ev.at);
             self.now = ev.at;
             self.executed += 1;
@@ -236,27 +554,21 @@ impl<W> Engine<W> {
 
     /// Executes exactly one event if one is pending; returns whether it did.
     pub fn step(&mut self, world: &mut W) -> bool {
-        while let Some(ev) = self.queue.pop() {
-            if self.cancelled.remove(&ev.seq) {
-                continue;
-            }
-            self.live.remove(&ev.seq);
-            self.check_pop_monotone(ev.at);
-            self.now = ev.at;
-            self.executed += 1;
-            (ev.run)(world, self);
-            return true;
-        }
-        false
+        let Some(ev) = self.pop() else {
+            return false;
+        };
+        self.check_pop_monotone(ev.at);
+        self.now = ev.at;
+        self.executed += 1;
+        (ev.run)(world, self);
+        true
     }
 
-    /// Time of the next pending (non-cancelled) event, if any.
+    /// Time of the next pending event, if any — an O(1) heap peek (every
+    /// heap entry is live; cancellation removes physically).
+    #[inline]
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue
-            .iter()
-            .filter(|s| !self.cancelled.contains(&s.seq))
-            .map(|s| s.at)
-            .min()
+        self.heap.first().map(|e| e.at)
     }
 }
 
@@ -336,6 +648,26 @@ mod tests {
     }
 
     #[test]
+    fn cancel_physically_removes() {
+        let mut eng: Engine<u32> = Engine::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| eng.schedule_at(SimTime::from_us(i), |_, _| {}))
+            .collect();
+        assert_eq!(eng.pending_events(), 10);
+        for id in &ids[..5] {
+            assert!(eng.cancel(*id));
+        }
+        // No tombstones: the queue depth drops immediately.
+        assert_eq!(eng.pending_events(), 5);
+        assert_eq!(eng.dead_pending(), 0);
+        assert_eq!(eng.cancelled_events(), 5);
+        let mut w = 0;
+        eng.run(&mut w);
+        assert_eq!(eng.executed_events(), 5);
+        assert_eq!(eng.dead_event_pops(), 0);
+    }
+
+    #[test]
     fn run_until_respects_deadline() {
         let mut eng: Engine<Vec<u32>> = Engine::new();
         eng.schedule_at(SimTime::from_us(10), |w, _| w.push(1));
@@ -393,5 +725,78 @@ mod tests {
         }
         eng.run(&mut ());
         assert_eq!(*hits.borrow(), 10);
+    }
+
+    #[test]
+    fn keyed_rearm_replaces_previous_event() {
+        let key = TimerKey(1, 7);
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        eng.schedule_keyed_at(key, SimTime::from_us(10), |w, _| w.push(1));
+        assert!(eng.key_armed(key));
+        assert_eq!(eng.key_deadline(key), Some(SimTime::from_us(10)));
+        // Re-arm: the first event must never fire.
+        eng.schedule_keyed_at(key, SimTime::from_us(20), |w, _| w.push(2));
+        assert_eq!(eng.pending_events(), 1, "replace, not accumulate");
+        assert_eq!(eng.key_deadline(key), Some(SimTime::from_us(20)));
+        let mut out = Vec::new();
+        eng.run(&mut out);
+        assert_eq!(out, vec![2]);
+        assert!(!eng.key_armed(key));
+        assert_eq!(eng.queue_stats().replaced, 1);
+    }
+
+    #[test]
+    fn cancel_key_removes_event() {
+        let key = TimerKey(3, 4);
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_keyed_in(key, SimTime::from_us(5), |w, _| *w += 1);
+        assert!(eng.key_armed(key));
+        assert!(eng.cancel_key(key));
+        assert!(!eng.cancel_key(key), "double cancel reports false");
+        assert_eq!(eng.pending_events(), 0);
+        let mut w = 0;
+        eng.run(&mut w);
+        assert_eq!(w, 0, "cancelled keyed timer never fires");
+    }
+
+    #[test]
+    fn cancel_by_id_frees_keyed_slot() {
+        let key = TimerKey(2, 2);
+        let mut eng: Engine<u32> = Engine::new();
+        let id = eng.schedule_keyed_in(key, SimTime::from_us(5), |w, _| *w += 1);
+        assert!(eng.cancel(id));
+        assert!(!eng.key_armed(key), "id cancel unlinks the key slot");
+        assert_eq!(eng.keyed_timers(), 0);
+    }
+
+    #[test]
+    fn keyed_slot_clears_after_fire() {
+        let key = TimerKey(9, 9);
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_keyed_in(key, SimTime::from_us(5), |w, _| *w += 1);
+        let mut w = 0;
+        eng.run(&mut w);
+        assert_eq!(w, 1);
+        assert!(!eng.key_armed(key), "slot is free after the event fires");
+        assert_eq!(eng.keyed_timers(), 0);
+    }
+
+    #[test]
+    fn queue_stats_track_churn() {
+        let mut eng: Engine<u32> = Engine::new();
+        let a = eng.schedule_at(SimTime::from_us(1), |_, _| {});
+        eng.schedule_at(SimTime::from_us(2), |_, _| {});
+        assert_eq!(eng.peak_heap_depth(), 2);
+        eng.cancel(a);
+        let mut w = 0;
+        eng.run(&mut w);
+        let s = eng.queue_stats();
+        assert_eq!(s.scheduled, 2);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.executed, 1);
+        assert_eq!(s.dead_pops, 0);
+        assert_eq!(s.peak_depth, 2);
+        assert_eq!(s.live, 0);
+        assert_eq!(format!("{s}"), s.to_string());
     }
 }

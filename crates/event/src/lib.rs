@@ -42,6 +42,6 @@ mod engine;
 mod rng;
 mod time;
 
-pub use engine::{Engine, EventId};
+pub use engine::{Engine, EventId, QueueStats, TimerKey};
 pub use rng::SplitMix64;
 pub use time::SimTime;

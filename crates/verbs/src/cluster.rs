@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use ibsim_event::{Engine, SimTime};
+use ibsim_event::{Engine, SimTime, TimerKey};
 use ibsim_fabric::{Capture, Delivery, Direction, Fabric, Lid, LinkSpec, Xorshift64Star};
 
 use crate::device::DeviceProfile;
@@ -17,6 +17,38 @@ use crate::wr::{Completion, RecvWr, WorkRequest, WrOp};
 
 /// The simulation engine type used throughout `ibsim`.
 pub type Sim = Engine<Cluster>;
+
+/// The three per-QP protocol timer families, multiplexed onto the
+/// engine's keyed timer table. Each family has at most one live event
+/// per (host, QP[, PSN]) slot: arming an armed slot replaces the old
+/// event, so re-arms never leave gen-guarded no-op events in the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerFamily {
+    /// Transport ACK timeout (`T_o`), one slot per (host, QP).
+    Ack,
+    /// RNR wait expiry, one slot per (host, QP).
+    Rnr,
+    /// Client-side ODP blind-retransmit tick, one slot per
+    /// (host, QP, stalled message PSN).
+    Stall,
+}
+
+impl TimerFamily {
+    /// Packs the family, host, QP and auxiliary discriminator (the
+    /// stalled message PSN for [`TimerFamily::Stall`], zero otherwise)
+    /// into an engine [`TimerKey`].
+    pub fn key(self, host: HostId, qpn: Qpn, aux: u32) -> TimerKey {
+        let fam = match self {
+            TimerFamily::Ack => 0u64,
+            TimerFamily::Rnr => 1,
+            TimerFamily::Stall => 2,
+        };
+        TimerKey(
+            (fam << 48) | host.0 as u64,
+            ((qpn.0 as u64) << 32) | aux as u64,
+        )
+    }
+}
 
 /// A completion waker callback (see [`Cluster::set_cq_waker`]).
 pub type CqWaker = std::rc::Rc<dyn Fn(&mut Sim)>;
@@ -96,9 +128,6 @@ pub struct Cluster {
     /// Invoked (with the engine) whenever completions are pushed to any
     /// CQ; upper layers use it to schedule their progress.
     cq_waker: Option<CqWaker>,
-    /// Scheduled ACK-timeout engine events, so re-arming or cancelling a
-    /// QP's timer removes the stale event from the queue.
-    ack_timer_events: HashMap<(HostId, Qpn), ibsim_event::EventId>,
     /// Cluster-wide packet counters.
     pub stats: ClusterStats,
 }
@@ -125,7 +154,6 @@ impl Cluster {
             lid_to_host: HashMap::new(),
             rng: Xorshift64Star::new(seed),
             cq_waker: None,
-            ack_timer_events: HashMap::new(),
             stats: ClusterStats::default(),
         }
     }
@@ -568,44 +596,57 @@ impl Cluster {
             }
         }
         if out.cancel_ack_timer {
-            if let Some(ev) = self.ack_timer_events.remove(&(host, qpn)) {
-                eng.cancel(ev);
-            }
+            eng.cancel_key(TimerFamily::Ack.key(host, qpn, 0));
         }
         if let Some(gen) = out.arm_ack_timer {
             let nic = &self.nics[host.0];
             let cack = nic.qp(qpn).map(|q| q.config().cack).unwrap_or_default();
             if let Some(t_o) = nic.profile.t_o(cack) {
                 // Timer-management load: many QPs in recovery lengthen the
-                // observed timeout (§VI-C).
+                // observed timeout (§VI-C). The load factor is re-checked
+                // when the timer fires (see `on_ack_timer_fire`), so a
+                // timer armed before a recovery storm still observes the
+                // lengthened delay. Arming through the keyed slot replaces
+                // any pending timeout event in place.
                 let load = nic.recovery_count().saturating_sub(1) as f64;
                 let delay = t_o.mul_f64(1.0 + nic.profile.timer_load_coeff * load);
-                let ev = eng.schedule_in(delay, move |c: &mut Cluster, eng| {
-                    c.ack_timer_events.remove(&(host, qpn));
-                    c.with_qp(eng, host, qpn, |qp, env, out| {
-                        qp.on_ack_timeout(env, out, gen)
-                    });
-                });
-                // Re-arming replaces the pending timeout event so stale
-                // no-op events do not linger for a full T_o.
-                if let Some(old) = self.ack_timer_events.insert((host, qpn), ev) {
-                    eng.cancel(old);
-                }
+                let armed_at = eng.now();
+                eng.schedule_keyed_in(
+                    TimerFamily::Ack.key(host, qpn, 0),
+                    delay,
+                    move |c: &mut Cluster, eng| {
+                        c.on_ack_timer_fire(eng, host, qpn, gen, armed_at, t_o);
+                    },
+                );
             }
         }
+        if out.cancel_rnr_timer {
+            eng.cancel_key(TimerFamily::Rnr.key(host, qpn, 0));
+        }
         if let Some((delay, gen)) = out.arm_rnr_timer {
-            eng.schedule_in(delay, move |c: &mut Cluster, eng| {
-                c.with_qp(eng, host, qpn, move |qp, env, out| {
-                    qp.on_rnr_fire(env, out, gen)
-                });
-            });
+            eng.schedule_keyed_in(
+                TimerFamily::Rnr.key(host, qpn, 0),
+                delay,
+                move |c: &mut Cluster, eng| {
+                    c.with_qp(eng, host, qpn, move |qp, env, out| {
+                        qp.on_rnr_fire(env, out, gen)
+                    });
+                },
+            );
+        }
+        for psn in out.cancel_stall_ticks {
+            eng.cancel_key(TimerFamily::Stall.key(host, qpn, psn.value()));
         }
         for (psn, delay, gen) in out.stall_ticks {
-            eng.schedule_in(delay, move |c: &mut Cluster, eng| {
-                c.with_qp(eng, host, qpn, move |qp, env, out| {
-                    qp.on_stall_tick(env, out, psn, gen)
-                });
-            });
+            eng.schedule_keyed_in(
+                TimerFamily::Stall.key(host, qpn, psn.value()),
+                delay,
+                move |c: &mut Cluster, eng| {
+                    c.with_qp(eng, host, qpn, move |qp, env, out| {
+                        qp.on_stall_tick(env, out, psn, gen)
+                    });
+                },
+            );
         }
         let mut kick = false;
         for (mr, page) in out.faults {
@@ -625,6 +666,40 @@ impl Cluster {
         if kick {
             self.driver_kick(eng, host);
         }
+    }
+
+    /// An ACK-timeout event reached its scheduled time. The §VI-C
+    /// timer-management load factor is sampled *again* here: a timer armed
+    /// before a recovery storm was scheduled with a stale (too short)
+    /// delay, so if the load has since grown the timeout is deferred to
+    /// `armed_at + T_o · (1 + coeff · load_now)` instead of firing early.
+    /// A shrinking load never retracts an elapsed wait: the timer just
+    /// fires at its (longer) armed delay.
+    fn on_ack_timer_fire(
+        &mut self,
+        eng: &mut Sim,
+        host: HostId,
+        qpn: Qpn,
+        gen: u64,
+        armed_at: SimTime,
+        t_o: SimTime,
+    ) {
+        let nic = &self.nics[host.0];
+        let load = nic.recovery_count().saturating_sub(1) as f64;
+        let due = armed_at + t_o.mul_f64(1.0 + nic.profile.timer_load_coeff * load);
+        if eng.now() < due {
+            eng.schedule_keyed_at(
+                TimerFamily::Ack.key(host, qpn, 0),
+                due,
+                move |c: &mut Cluster, eng| {
+                    c.on_ack_timer_fire(eng, host, qpn, gen, armed_at, t_o);
+                },
+            );
+            return;
+        }
+        self.with_qp(eng, host, qpn, |qp, env, out| {
+            qp.on_ack_timeout(env, out, gen)
+        });
     }
 
     fn transmit(&mut self, eng: &mut Sim, host: HostId, pkt: Packet) {

@@ -25,7 +25,7 @@ pub mod qp;
 mod types;
 mod wr;
 
-pub use cluster::{Cluster, ClusterStats, MrDesc, Sim};
+pub use cluster::{Cluster, ClusterStats, MrDesc, Sim, TimerFamily};
 pub use device::{rnr_timer_decode, rnr_timer_encode, t_tr, DeviceModel, DeviceProfile};
 pub use driver::{Driver, DriverStats, DriverWork};
 pub use mem::{MemRegion, Memory, MrMode, PageState};

@@ -167,8 +167,15 @@ pub struct Outbox {
     pub cancel_ack_timer: bool,
     /// Start an RNR wait timer: (delay, generation).
     pub arm_rnr_timer: Option<(SimTime, u64)>,
+    /// Cancel any armed RNR wait timer (the wait resolved early, e.g. a
+    /// sequence-error NAK or QP teardown); without this the stale event
+    /// sits in the heap for the full advertised delay.
+    pub cancel_rnr_timer: bool,
     /// Schedule ODP blind-retransmit ticks: (message PSN, delay, generation).
     pub stall_ticks: Vec<(Psn, SimTime, u64)>,
+    /// Cancel the blind-retransmit tick of these stalled messages (the
+    /// stall resolved before its next tick).
+    pub cancel_stall_ticks: Vec<Psn>,
     /// Network page faults to hand to the driver.
     pub faults: Vec<(MrKey, usize)>,
     /// Requester-side per-QP fault waits to register (flood bookkeeping).
@@ -190,7 +197,9 @@ impl Outbox {
             && self.arm_ack_timer.is_none()
             && !self.cancel_ack_timer
             && self.arm_rnr_timer.is_none()
+            && !self.cancel_rnr_timer
             && self.stall_ticks.is_empty()
+            && self.cancel_stall_ticks.is_empty()
             && self.faults.is_empty()
             && self.fault_waits.is_empty()
             && self.irqs == 0
@@ -770,7 +779,13 @@ impl Qp {
                 break;
             }
             let wqe = self.sq.pop_front().expect("checked front");
-            self.stalls.retain(|s| s.psn != wqe.psn_first);
+            if self.stalls.iter().any(|s| s.psn == wqe.psn_first) {
+                // The stalled message completed: take its pending blind
+                // retransmit tick out of the event heap instead of leaving
+                // it to fire as a no-op up to 0.5 ms later.
+                out.cancel_stall_ticks.push(wqe.psn_first);
+                self.stalls.retain(|s| s.psn != wqe.psn_first);
+            }
             out.completions.push(Completion {
                 wr_id: wqe.id,
                 qpn: self.qpn,
@@ -1039,7 +1054,9 @@ impl Qp {
             NakKind::SequenceError { epsn } => {
                 // The rescue path of Fig. 8: retransmit everything from
                 // the responder's expected PSN.
-                self.rnr_wait = None;
+                if self.rnr_wait.take().is_some() {
+                    out.cancel_rnr_timer = true;
+                }
                 self.go_back_n(env, out, epsn);
                 self.rearm_timer_if_needed(out);
             }
@@ -1075,8 +1092,13 @@ impl Qp {
             });
             first = false;
         }
+        for s in &self.stalls {
+            out.cancel_stall_ticks.push(s.psn);
+        }
         self.stalls.clear();
-        self.rnr_wait = None;
+        if self.rnr_wait.take().is_some() {
+            out.cancel_rnr_timer = true;
+        }
         self.tx_blocked.clear();
         if self.ack_gen != 0 {
             self.ack_gen = 0;
