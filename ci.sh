@@ -23,7 +23,11 @@ echo "==> runtime invariant checks (--features checks)"
 cargo test -q --offline -p ibsim-verbs --features checks
 cargo test -q --offline -p ibsim-analysis --features checks
 
-echo "==> pitfall probes (linter must flag each probe's own signature)"
+echo "==> telemetry unit tests (registry, spans, exporters)"
+cargo test -q --offline -p ibsim-telemetry
+
+echo "==> pitfall probes (linter must flag each probe's own signature;"
+echo "    flood probe exits nonzero if telemetry records zero fault spans)"
 cargo run -q --offline --release --example damming_probe
 cargo run -q --offline --release --example flood_probe
 

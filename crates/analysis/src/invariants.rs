@@ -143,7 +143,7 @@ mod tests {
     use super::*;
     use ibsim_event::Engine;
     use ibsim_fabric::LinkSpec;
-    use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, WrId};
+    use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, ReadWr};
 
     #[test]
     fn registry_is_self_describing() {
@@ -163,7 +163,12 @@ mod tests {
         let remote = cl.alloc_mr(b, 4096, MrMode::Pinned);
         let local = cl.alloc_mr(a, 4096, MrMode::Pinned);
         let (qp, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-        cl.post_read(&mut eng, a, qp, WrId(0), local.key, 0, remote.key, 0, 256);
+        cl.post(
+            &mut eng,
+            a,
+            qp,
+            ReadWr::new(local.key, remote.key).len(256).id(0u64),
+        );
         eng.run(&mut cl);
         assert_eq!(cl.poll_cq(a).len(), 1);
         let snap = InvariantSnapshot::collect(&cl, &[a, b], &eng);
@@ -198,16 +203,11 @@ mod tests {
         let local = cl.alloc_mr(a, 1 << 16, MrMode::Pinned);
         let (qp, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
         for i in 0..8u64 {
-            cl.post_read(
+            cl.post(
                 &mut eng,
                 a,
                 qp,
-                WrId(i),
-                local.key,
-                0,
-                remote.key,
-                i * 4096,
-                64,
+                ReadWr::new(local.key, (remote.key, i * 4096)).len(64).id(i),
             );
         }
         eng.run(&mut cl);

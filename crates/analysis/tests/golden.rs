@@ -10,7 +10,7 @@ use ibsim_analysis::{check_conservation, lint_capture, LintConfig, RuleId};
 use ibsim_event::Engine;
 use ibsim_fabric::LinkSpec;
 use ibsim_odp::{run_microbench, MicrobenchConfig, OdpMode};
-use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, WrId};
+use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, ReadWr, WriteWr};
 
 #[test]
 fn damming_probe_trace_triggers_damming_detector() {
@@ -95,28 +95,22 @@ fn conservation_holds_between_healthy_hosts() {
     let (qp, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
     for i in 0..8u64 {
         if i % 2 == 0 {
-            cl.post_read(
+            cl.post(
                 &mut eng,
                 a,
                 qp,
-                WrId(i),
-                local.key,
-                i * 4096,
-                remote.key,
-                i * 4096,
-                2048,
+                ReadWr::new((local.key, i * 4096), (remote.key, i * 4096))
+                    .len(2048)
+                    .id(i),
             );
         } else {
-            cl.post_write(
+            cl.post(
                 &mut eng,
                 a,
                 qp,
-                WrId(i),
-                local.key,
-                i * 4096,
-                remote.key,
-                i * 4096,
-                2048,
+                WriteWr::new((local.key, i * 4096), (remote.key, i * 4096))
+                    .len(2048)
+                    .id(i),
             );
         }
     }
@@ -144,28 +138,18 @@ fn damming_ghosts_do_not_violate_conservation() {
     cl.capture_enable(a);
     cl.capture_enable(b);
     let (qp, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_read(
+    cl.post(
         &mut eng,
         a,
         qp,
-        WrId(0),
-        local.key,
-        0,
-        remote.key,
-        0,
-        1 << 20,
+        ReadWr::new(local.key, remote.key).len(1 << 20).id(0u64),
     );
     eng.run_until(&mut cl, ibsim_event::SimTime::from_ms(1));
-    cl.post_read(
+    cl.post(
         &mut eng,
         a,
         qp,
-        WrId(1),
-        local.key,
-        0,
-        remote.key,
-        0,
-        1 << 20,
+        ReadWr::new(local.key, remote.key).len(1 << 20).id(1),
     );
     eng.run(&mut cl);
     let report = check_conservation(cl.capture(a), cl.capture(b));

@@ -50,3 +50,55 @@ fn flood_probe_trace_hash_pinned() {
         "flood probe trace is no longer byte-identical to the pinned capture"
     );
 }
+
+// ---------------------------------------------------------------------
+// Telemetry zero-perturbation: recording never schedules events, draws
+// RNG, or alters control flow, so turning it on must reproduce the
+// pinned traces byte for byte.
+// ---------------------------------------------------------------------
+
+#[test]
+fn telemetry_does_not_perturb_damming_trace() {
+    let run = run_microbench(&MicrobenchConfig {
+        interval: ibsim_event::SimTime::from_ms(1),
+        capture: true,
+        telemetry: true,
+        ..Default::default()
+    });
+    let tl = run.cluster.capture(run.client).timeline();
+    assert_eq!(tl.len(), 919, "telemetry perturbed the damming timeline");
+    assert_eq!(
+        fnv1a(&tl),
+        0xeabf_f70d_d984_76b9,
+        "telemetry perturbed the damming trace hash"
+    );
+    assert!(
+        !run.cluster.telemetry().spans().is_empty(),
+        "the same run must still record fault spans"
+    );
+}
+
+#[test]
+fn telemetry_does_not_perturb_flood_trace() {
+    let run = run_microbench(&MicrobenchConfig {
+        size: 32,
+        num_ops: 128,
+        num_qps: 128,
+        odp: OdpMode::ClientSide,
+        cack: 18,
+        capture: true,
+        telemetry: true,
+        ..Default::default()
+    });
+    let tl = run.cluster.capture(run.client).timeline();
+    assert_eq!(tl.len(), 135_890, "telemetry perturbed the flood timeline");
+    assert_eq!(
+        fnv1a(&tl),
+        0xa115_5303_7a19_1337,
+        "telemetry perturbed the flood trace hash"
+    );
+    assert!(
+        !run.cluster.telemetry().spans().is_empty(),
+        "the same run must still record fault spans"
+    );
+}

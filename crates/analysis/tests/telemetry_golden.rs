@@ -1,0 +1,98 @@
+//! Golden-file determinism for the telemetry exporters: the JSONL export
+//! of a seeded probe run must be byte-identical across runs, and every
+//! recorded fault span must account for its full end-to-end latency.
+
+use ibsim_event::SimTime;
+use ibsim_odp::{run_microbench, MicrobenchConfig, MicrobenchRun, OdpMode};
+use ibsim_telemetry::export_jsonl;
+
+fn damming_cfg() -> MicrobenchConfig {
+    MicrobenchConfig {
+        interval: SimTime::from_ms(1),
+        telemetry: true,
+        ..Default::default()
+    }
+}
+
+fn flood_cfg() -> MicrobenchConfig {
+    MicrobenchConfig {
+        size: 32,
+        num_ops: 128,
+        num_qps: 128,
+        odp: OdpMode::ClientSide,
+        cack: 18,
+        telemetry: true,
+        ..Default::default()
+    }
+}
+
+fn assert_spans_account_for_latency(run: &MicrobenchRun) {
+    let spans = run.cluster.telemetry().spans();
+    assert!(!spans.is_empty(), "run must close at least one span");
+    for s in spans {
+        let stages = s.stages().expect("closed span has all stages");
+        let stage_sum: SimTime = stages.iter().map(|(_, d)| *d).sum();
+        assert_eq!(
+            stage_sum,
+            s.end_to_end().expect("closed span has end-to-end"),
+            "stage durations must sum to the end-to-end fault latency \
+             (host {} mr {} page {})",
+            s.host,
+            s.mr,
+            s.page
+        );
+    }
+}
+
+#[test]
+fn damming_jsonl_is_byte_identical_across_runs() {
+    let a = export_jsonl(run_microbench(&damming_cfg()).cluster.telemetry());
+    let b = export_jsonl(run_microbench(&damming_cfg()).cluster.telemetry());
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "seeded damming telemetry export must be reproducible");
+}
+
+#[test]
+fn flood_jsonl_is_byte_identical_across_runs() {
+    let a = export_jsonl(run_microbench(&flood_cfg()).cluster.telemetry());
+    let b = export_jsonl(run_microbench(&flood_cfg()).cluster.telemetry());
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "seeded flood telemetry export must be reproducible");
+}
+
+#[test]
+fn damming_spans_stage_durations_sum_to_end_to_end() {
+    assert_spans_account_for_latency(&run_microbench(&damming_cfg()));
+}
+
+#[test]
+fn flood_spans_stage_durations_sum_to_end_to_end() {
+    assert_spans_account_for_latency(&run_microbench(&flood_cfg()));
+}
+
+#[test]
+fn flood_span_sees_the_stale_qp_propagation() {
+    let run = run_microbench(&flood_cfg());
+    let spans = run.cluster.telemetry().spans();
+    // Fig. 11a: one shared fault, the other QPs all go stale and must be
+    // resumed one by one — the propagation stage dominates.
+    let worst = spans
+        .iter()
+        .max_by_key(|s| s.stale_qps)
+        .expect("at least one span");
+    assert!(
+        worst.stale_qps > 64,
+        "most of the 128 QPs go stale on the shared page: {}",
+        worst.stale_qps
+    );
+    let stages = worst.stages().expect("closed span has all stages");
+    let propagation = stages
+        .iter()
+        .find(|(n, _)| *n == "propagation")
+        .expect("propagation stage")
+        .1;
+    assert!(
+        propagation > SimTime::from_ms(1),
+        "per-QP status updates serialize in the driver: {propagation}"
+    );
+}

@@ -19,7 +19,7 @@ use ibsim_event::{Engine, SimTime};
 use ibsim_fabric::LinkSpec;
 use ibsim_odp::regcache::{deregistration_cost, registration_cost, PinDownCache};
 use ibsim_odp::{run_microbench, MicrobenchConfig, OdpMode};
-use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, Sim, WrId};
+use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, ReadWr, Sim, WrId};
 
 /// Sequentially READs `transfers` times, one of `buffers` 16 KiB client
 /// buffers per transfer (round-robin), under one strategy; returns
@@ -77,7 +77,7 @@ fn memory_strategy_run(strategy: &str, transfers: usize, buffers: usize) -> (Sim
         };
         let wr = WrId(i as u64);
         eng.schedule_at(ready.max(eng.now()), move |c: &mut Cluster, eng| {
-            c.post_read(eng, a, qp, wr, key, 0, remote.key, 0, 4096);
+            c.post(eng, a, qp, ReadWr::new(key, remote.key).len(4096).id(wr));
         });
         eng.run(&mut cl);
         let cq = cl.poll_cq(a);

@@ -37,6 +37,7 @@ const SRC_ROOTS: &[(&str, bool)] = &[
     ("crates/odp", true),
     ("crates/perftest", true),
     ("crates/shuffle", true),
+    ("crates/telemetry", true),
     ("crates/ucp", true),
     ("crates/verbs", true),
     ("crates/bench", false),

@@ -26,7 +26,7 @@ use std::time::Instant;
 use ibsim_bench::{header, quick_mode, row};
 use ibsim_event::{QueueStats, SimTime};
 use ibsim_fabric::LinkSpec;
-use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, Sim, WrId};
+use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, ReadWr, Sim};
 
 /// QPs per client/server host pair — the paper's §VI flood scale.
 const SHARD_QPS: usize = 64;
@@ -43,6 +43,7 @@ struct Rung {
     wall_secs: f64,
     completions: usize,
     stats: QueueStats,
+    spans: usize,
 }
 
 /// Runs one rung: `qps / SHARD_QPS` independent 64-QP floods in one
@@ -52,6 +53,7 @@ fn run_rung(qps: usize) -> Rung {
     let started = Instant::now();
     let mut eng = Sim::new();
     let mut cl = Cluster::new(qps as u64);
+    cl.telemetry_enable();
     let device = DeviceProfile::connectx4(LinkSpec::fdr());
     let qp_cfg = QpConfig {
         cack: 18,
@@ -66,22 +68,20 @@ fn run_rung(qps: usize) -> Rung {
         let local = cl.alloc_mr(a, 4096, MrMode::Odp);
         for i in 0..SHARD_QPS {
             let qp = cl.connect_pair(&mut eng, a, b, qp_cfg.clone()).0;
-            cl.post_read(
+            cl.post(
                 &mut eng,
                 a,
                 qp,
-                WrId(i as u64),
-                local.key,
-                (i * 32) as u64,
-                remote.key,
-                0,
-                32,
+                ReadWr::new((local.key, (i * 32) as u64), remote.key)
+                    .len(32)
+                    .id(i as u64),
             );
         }
         clients.push(a);
     }
 
     eng.run(&mut cl);
+    cl.sync_telemetry(&eng);
     let completions = clients.iter().map(|&a| cl.poll_cq(a).len()).sum();
     Rung {
         qps,
@@ -89,6 +89,7 @@ fn run_rung(qps: usize) -> Rung {
         wall_secs: started.elapsed().as_secs_f64(),
         completions,
         stats: eng.queue_stats(),
+        spans: cl.telemetry().spans().len(),
     }
 }
 
@@ -101,12 +102,15 @@ fn main() -> ExitCode {
     };
 
     header("QP-count scaling sweep: §VI flood, 64-QP shards, one event heap");
-    let widths = [5, 9, 9, 10, 9, 9, 9, 10, 8];
+    let widths = [5, 9, 9, 10, 9, 9, 9, 10, 8, 7];
     println!(
         "{}",
         row(
-            &["QPs", "exec", "wall", "events", "ev/QP", "deadpop", "peak", "replaced", "wall/QP",]
-                .map(str::to_owned),
+            &[
+                "QPs", "exec", "wall", "events", "ev/QP", "deadpop", "peak", "replaced", "wall/QP",
+                "spans",
+            ]
+            .map(str::to_owned),
             &widths,
         )
     );
@@ -136,11 +140,22 @@ fn main() -> ExitCode {
                     format!("{}", s.peak_depth),
                     format!("{}", s.replaced),
                     format!("{:.2}x", per_qp / base_per_qp),
+                    format!("{}", r.spans),
                 ],
                 &widths,
             )
         );
 
+        // One cold ODP page per shard → exactly one fault span each.
+        if r.spans != r.qps / SHARD_QPS {
+            eprintln!(
+                "FAIL: expected {} fault spans (one per shard) at {} QPs, saw {}",
+                r.qps / SHARD_QPS,
+                r.qps,
+                r.spans
+            );
+            failed = true;
+        }
         if r.completions != r.qps {
             eprintln!(
                 "FAIL: {} QPs but only {} completions — the flood did not drain",

@@ -7,7 +7,7 @@
 
 use ibsim_event::{Engine, SimTime};
 use ibsim_fabric::Lid;
-use ibsim_verbs::{Cluster, MrMode, QpConfig, WcStatus, WrId};
+use ibsim_verbs::{Cluster, MrMode, QpConfig, ReadWr, WcStatus};
 
 use crate::microbench::{
     average_execution, run_microbench, timeout_probability, MicrobenchConfig, OdpMode,
@@ -43,7 +43,12 @@ pub fn fig2_curve(sys: &SystemProfile, cacks: impl Iterator<Item = u8>) -> Vec<F
             };
             let (qa, qb) = cl.connect_pair(&mut eng, a, b, cfg);
             cl.connect_to_lid(a, qa, Lid(0xFFF), qb);
-            cl.post_read(&mut eng, a, qa, WrId(1), local.key, 0, remote.key, 0, 100);
+            cl.post(
+                &mut eng,
+                a,
+                qa,
+                ReadWr::new(local.key, remote.key).len(100).id(1),
+            );
             eng.run(&mut cl);
             let cq = cl.poll_cq(a);
             assert_eq!(cq[0].status, WcStatus::RetryExcErr, "{}", sys.name);

@@ -16,7 +16,8 @@
 
 use ibsim_event::{Engine, SimTime};
 use ibsim_verbs::{
-    Cluster, DeviceProfile, HostId, MrDesc, MrMode, QpConfig, Qpn, WcStatus, WrId, PAGE_SIZE,
+    Cluster, DeviceProfile, HostId, MrBuilder, MrDesc, MrMode, QpConfig, Qpn, ReadWr, WcStatus,
+    PAGE_SIZE,
 };
 
 /// Which side(s) register their buffers with On-Demand Paging (§IV-A).
@@ -98,6 +99,10 @@ pub struct MicrobenchConfig {
     /// §V-C variant: pre-touch every buffer page except the first
     /// communication's page.
     pub touch_all_but_first: bool,
+    /// Record sim-time telemetry (metric registry + fault-lifecycle
+    /// spans) during the run; read it back via
+    /// [`Cluster::telemetry`] on [`MicrobenchRun::cluster`].
+    pub telemetry: bool,
 }
 
 impl Default for MicrobenchConfig {
@@ -119,6 +124,7 @@ impl Default for MicrobenchConfig {
             seed: 1,
             capture: false,
             touch_all_but_first: false,
+            telemetry: false,
         }
     }
 }
@@ -208,12 +214,15 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> MicrobenchRun {
 
     let mut eng = Engine::new();
     let mut cl = Cluster::new(cfg.seed);
+    if cfg.telemetry {
+        cl.telemetry_enable();
+    }
     let client = cl.add_host("client", cfg.device.clone());
     let server = cl.add_host("server", cfg.device.clone());
 
     let buf_len = cfg.num_ops as u64 * cfg.size as u64;
-    let remote = cl.alloc_mr(server, buf_len, cfg.odp.server_mode());
-    let local = cl.alloc_mr(client, buf_len, cfg.odp.client_mode());
+    let remote = cl.mr(server, MrBuilder::new(buf_len, cfg.odp.server_mode()));
+    let local = cl.mr(client, MrBuilder::new(buf_len, cfg.odp.client_mode()));
 
     // Fill the server buffer with a recognizable pattern.
     let pattern: Vec<u8> = (0..buf_len as u32).map(|i| (i % 241) as u8).collect();
@@ -247,10 +256,18 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> MicrobenchRun {
         let (lk, rk, size) = (local.key, remote.key, cfg.size);
         let at = (cfg.interval + cfg.post_overhead) * i as u64;
         eng.schedule_at(at, move |c: &mut Cluster, eng| {
-            c.post_read(eng, client, qa, WrId(i as u64), lk, off, rk, off, size);
+            c.post(
+                eng,
+                client,
+                qa,
+                ReadWr::new((lk, off), (rk, off)).len(size).id(i as u64),
+            );
         });
     }
     eng.run(&mut cl);
+    if cfg.telemetry {
+        cl.sync_telemetry(&eng);
+    }
 
     let mut op_completions = vec![None; cfg.num_ops];
     let mut errors = 0;

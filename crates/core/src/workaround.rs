@@ -15,7 +15,7 @@
 //!    [`reissue_read`].
 
 use ibsim_event::SimTime;
-use ibsim_verbs::{rnr_timer_decode, Cluster, HostId, MrKey, Qpn, Sim, WrId};
+use ibsim_verbs::{rnr_timer_decode, Cluster, HostId, MrKey, Qpn, ReadWr, Sim, WrId};
 
 /// The smallest nonzero minimal RNR NAK delay the RNR timer table allows
 /// (10 µs, encoding 1). Workaround 1: configure responders with this value
@@ -47,16 +47,13 @@ pub fn install_dummy_reads(
     for i in 0..count {
         let at = eng.now() + period * (i as u64 + 1);
         eng.schedule_at(at, move |c: &mut Cluster, eng| {
-            c.post_read(
+            c.post(
                 eng,
                 host,
                 qpn,
-                WrId(wr_base + i as u64),
-                local_mr,
-                local_off,
-                remote_rkey,
-                remote_off,
-                1,
+                ReadWr::new((local_mr, local_off), (remote_rkey, remote_off))
+                    .len(1)
+                    .id(wr_base + i as u64),
             );
         });
     }
@@ -88,16 +85,13 @@ pub fn reissue_read(
     let at = eng.now() + deadline;
     eng.schedule_at(at, move |c: &mut Cluster, eng| {
         if c.wr_pending(host, watched_qpn, watched) {
-            c.post_read(
+            c.post(
                 eng,
                 host,
                 spare_qpn,
-                reissue_id,
-                local_mr,
-                local_off,
-                remote_rkey,
-                remote_off,
-                len,
+                ReadWr::new((local_mr, local_off), (remote_rkey, remote_off))
+                    .len(len)
+                    .id(reissue_id),
             );
         }
     });
@@ -148,10 +142,15 @@ mod tests {
             let remote = cl.alloc_mr(b, 4096, MrMode::Odp);
             let local = cl.alloc_mr(a, 4096, MrMode::Pinned);
             let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-            cl.post_read(&mut eng, a, qa, WrId(0), local.key, 0, remote.key, 0, 100);
+            cl.post(
+                &mut eng,
+                a,
+                qa,
+                ReadWr::new(local.key, remote.key).len(100).id(0u64),
+            );
             let (lk, rk) = (local.key, remote.key);
             eng.schedule_at(SimTime::from_ms(1), move |c: &mut Cluster, eng| {
-                c.post_read(eng, a, qa, WrId(1), lk, 200, rk, 200, 100);
+                c.post(eng, a, qa, ReadWr::new((lk, 200), (rk, 200)).len(100).id(1));
             });
             if dummies {
                 install_dummy_reads(
@@ -202,16 +201,13 @@ mod tests {
                 .collect();
             let spare = cl.connect_pair(&mut eng, a, b, cfg).0;
             for (i, q) in qps.iter().enumerate() {
-                cl.post_read(
+                cl.post(
                     &mut eng,
                     a,
                     *q,
-                    WrId(i as u64),
-                    local.key,
-                    (i * 32) as u64,
-                    remote.key,
-                    0,
-                    32,
+                    ReadWr::new((local.key, (i * 32) as u64), remote.key)
+                        .len(32)
+                        .id(i as u64),
                 );
             }
             if reissue {

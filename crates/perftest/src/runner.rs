@@ -3,7 +3,8 @@
 use ibsim_event::{Engine, SimTime};
 use ibsim_fabric::LinkSpec;
 use ibsim_verbs::{
-    Cluster, DeviceProfile, HostId, MrDesc, MrMode, QpConfig, Qpn, RecvWr, Sim, WrId,
+    Cluster, DeviceProfile, HostId, MrDesc, MrMode, QpConfig, Qpn, ReadWr, RecvWr, SendWr, Sim,
+    WrId, WriteWr,
 };
 
 use crate::stats::LatencyReport;
@@ -96,16 +97,13 @@ pub fn read_lat(cfg: &PerfConfig) -> LatencyReport {
     for i in 0..cfg.warmup + cfg.iterations {
         let o = off(&b, cfg, i);
         let start = b.eng.now();
-        b.cl.post_read(
+        b.cl.post(
             &mut b.eng,
             b.client,
             b.qp,
-            WrId(i as u64),
-            b.local.key,
-            o,
-            b.remote.key,
-            o,
-            cfg.size,
+            ReadWr::new((b.local.key, o), (b.remote.key, o))
+                .len(cfg.size)
+                .id(i as u64),
         );
         b.eng.run(&mut b.cl);
         let cq = b.cl.poll_cq(b.client);
@@ -139,14 +137,11 @@ pub fn send_lat(cfg: &PerfConfig) -> LatencyReport {
             },
         );
         let start = b.eng.now();
-        b.cl.post_send(
+        b.cl.post(
             &mut b.eng,
             b.client,
             b.qp,
-            WrId(i as u64),
-            b.local.key,
-            o,
-            cfg.size,
+            SendWr::new((b.local.key, o)).len(cfg.size).id(i as u64),
         );
         b.eng.run(&mut b.cl);
         let cq = b.cl.poll_cq(b.client);
@@ -195,28 +190,22 @@ fn bw_run(cfg: &PerfConfig, write: bool) -> BwReport {
     for i in 0..total {
         let o = off(&b, cfg, i);
         if write {
-            b.cl.post_write(
+            b.cl.post(
                 &mut b.eng,
                 b.client,
                 b.qp,
-                WrId(i as u64),
-                b.local.key,
-                o,
-                b.remote.key,
-                o,
-                cfg.size,
+                WriteWr::new((b.local.key, o), (b.remote.key, o))
+                    .len(cfg.size)
+                    .id(i as u64),
             );
         } else {
-            b.cl.post_read(
+            b.cl.post(
                 &mut b.eng,
                 b.client,
                 b.qp,
-                WrId(i as u64),
-                b.local.key,
-                o,
-                b.remote.key,
-                o,
-                cfg.size,
+                ReadWr::new((b.local.key, o), (b.remote.key, o))
+                    .len(cfg.size)
+                    .id(i as u64),
             );
         }
     }

@@ -1,0 +1,316 @@
+//! Deterministic exporters: human summary table, JSON-lines, CSV.
+//!
+//! All three render from the registry's sorted iteration order and the
+//! span store's close order, and format durations as integer
+//! nanoseconds — two runs of the same seeded workload produce
+//! byte-identical output, which CI exploits as a golden-file check.
+
+use core::fmt::Write as _;
+
+use crate::span::{FaultSpan, STAGE_NAMES};
+use crate::{Instrument, Telemetry};
+
+fn opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "-".to_owned(),
+    }
+}
+
+fn opt_u32(v: Option<u32>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "-".to_owned(),
+    }
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "null".to_owned(),
+    }
+}
+
+fn json_opt_u32(v: Option<u32>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "null".to_owned(),
+    }
+}
+
+/// Renders the human-readable summary table: every metric slot, then
+/// the span-stage decomposition.
+pub fn render_summary(t: &Telemetry) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== telemetry summary ==");
+    let _ = writeln!(
+        s,
+        "{:<34} {:>6} {:>8} {:<9} {:>14} {:>10} {:>14} {:>14}",
+        "metric", "host", "qpn", "kind", "value/count", "min", "mean", "max"
+    );
+    for (name, labels, inst) in t.registry().iter() {
+        let (value, min, mean, max) = match inst {
+            Instrument::Counter(v) | Instrument::Gauge(v) => {
+                (v.to_string(), String::new(), String::new(), String::new())
+            }
+            Instrument::Histogram(h) => (
+                h.count().to_string(),
+                h.min().to_string(),
+                h.mean().to_string(),
+                h.max().to_string(),
+            ),
+        };
+        let _ = writeln!(
+            s,
+            "{:<34} {:>6} {:>8} {:<9} {:>14} {:>10} {:>14} {:>14}",
+            name,
+            opt_u64(labels.host),
+            opt_u32(labels.qpn),
+            inst.kind(),
+            value,
+            min,
+            mean,
+            max
+        );
+    }
+    let closed = t.spans();
+    let _ = writeln!(
+        s,
+        "fault spans: {} closed, {} open",
+        closed.len(),
+        t.open_span_count()
+    );
+    if !closed.is_empty() {
+        let _ = writeln!(
+            s,
+            "{:<18} {:>14} {:>14} {:>14}",
+            "stage", "mean_ns", "max_ns", "total_ns"
+        );
+        for (idx, stage) in STAGE_NAMES.iter().enumerate() {
+            let durations: Vec<u64> = closed
+                .iter()
+                .filter_map(|sp| sp.stages().map(|st| st[idx].1.as_ns()))
+                .collect();
+            let total: u64 = durations.iter().sum();
+            let max = durations.iter().copied().max().unwrap_or(0);
+            let mean = total / durations.len().max(1) as u64;
+            let _ = writeln!(s, "{stage:<18} {mean:>14} {max:>14} {total:>14}");
+        }
+        let e2e: Vec<u64> = closed
+            .iter()
+            .filter_map(|sp| sp.end_to_end().map(|d| d.as_ns()))
+            .collect();
+        let total: u64 = e2e.iter().sum();
+        let max = e2e.iter().copied().max().unwrap_or(0);
+        let mean = total / e2e.len().max(1) as u64;
+        let _ = writeln!(
+            s,
+            "{:<18} {:>14} {:>14} {:>14}",
+            "end_to_end", mean, max, total
+        );
+    }
+    s
+}
+
+/// Exports the registry and closed spans as JSON-lines: one object per
+/// line, metrics first (sorted), then spans (close order).
+pub fn export_jsonl(t: &Telemetry) -> String {
+    let mut s = String::new();
+    for (name, labels, inst) in t.registry().iter() {
+        let host = json_opt_u64(labels.host);
+        let qpn = json_opt_u32(labels.qpn);
+        match inst {
+            Instrument::Counter(v) | Instrument::Gauge(v) => {
+                let _ = writeln!(
+                    s,
+                    "{{\"type\":\"metric\",\"name\":\"{}\",\"host\":{},\"qpn\":{},\
+                     \"kind\":\"{}\",\"value\":{}}}",
+                    name,
+                    host,
+                    qpn,
+                    inst.kind(),
+                    v
+                );
+            }
+            Instrument::Histogram(h) => {
+                let mut buckets = String::new();
+                for (floor, count) in h.nonzero_buckets() {
+                    if !buckets.is_empty() {
+                        buckets.push(',');
+                    }
+                    let _ = write!(buckets, "[{floor},{count}]");
+                }
+                let _ = writeln!(
+                    s,
+                    "{{\"type\":\"metric\",\"name\":\"{}\",\"host\":{},\"qpn\":{},\
+                     \"kind\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                     \"mean\":{},\"buckets\":[{}]}}",
+                    name,
+                    host,
+                    qpn,
+                    h.count(),
+                    h.sum(),
+                    h.min(),
+                    h.max(),
+                    h.mean(),
+                    buckets
+                );
+            }
+        }
+    }
+    for sp in t.spans() {
+        s.push_str(&span_json(sp));
+        s.push('\n');
+    }
+    s
+}
+
+fn span_json(sp: &FaultSpan) -> String {
+    let stages = sp.stages();
+    let stage_ns = |i: usize| -> String {
+        match &stages {
+            Some(st) => st[i].1.as_ns().to_string(),
+            None => "null".to_owned(),
+        }
+    };
+    format!(
+        "{{\"type\":\"span\",\"host\":{},\"mr\":{},\"page\":{},\"raised_ns\":{},\
+         \"queue_wait_ns\":{},\"resolution_ns\":{},\"propagation_ns\":{},\
+         \"retransmit_drain_ns\":{},\"end_to_end_ns\":{},\"waiters\":{},\"stale_qps\":{}}}",
+        sp.host,
+        sp.mr,
+        sp.page,
+        sp.raised.as_ns(),
+        stage_ns(0),
+        stage_ns(1),
+        stage_ns(2),
+        stage_ns(3),
+        json_opt_u64(sp.end_to_end().map(|d| d.as_ns())),
+        sp.waiters,
+        sp.stale_qps,
+    )
+}
+
+/// Exports the registry as a CSV table (header + one row per slot).
+pub fn metrics_csv(t: &Telemetry) -> String {
+    let mut s = String::from("name,host,qpn,kind,value,count,sum,min,max,mean\n");
+    for (name, labels, inst) in t.registry().iter() {
+        let host = labels.host.map(|h| h.to_string()).unwrap_or_default();
+        let qpn = labels.qpn.map(|q| q.to_string()).unwrap_or_default();
+        match inst {
+            Instrument::Counter(v) | Instrument::Gauge(v) => {
+                let _ = writeln!(s, "{},{},{},{},{},,,,,", name, host, qpn, inst.kind(), v);
+            }
+            Instrument::Histogram(h) => {
+                let _ = writeln!(
+                    s,
+                    "{},{},{},histogram,,{},{},{},{},{}",
+                    name,
+                    host,
+                    qpn,
+                    h.count(),
+                    h.sum(),
+                    h.min(),
+                    h.max(),
+                    h.mean()
+                );
+            }
+        }
+    }
+    s
+}
+
+/// Exports closed spans as a CSV table (header + one row per span).
+pub fn spans_csv(t: &Telemetry) -> String {
+    let mut s = String::from(
+        "host,mr,page,raised_ns,queue_wait_ns,resolution_ns,propagation_ns,\
+         retransmit_drain_ns,end_to_end_ns,waiters,stale_qps\n",
+    );
+    for sp in t.spans() {
+        let stages = sp.stages();
+        let stage_ns = |i: usize| -> String {
+            match &stages {
+                Some(st) => st[i].1.as_ns().to_string(),
+                None => String::new(),
+            }
+        };
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{},{},{},{}",
+            sp.host,
+            sp.mr,
+            sp.page,
+            sp.raised.as_ns(),
+            stage_ns(0),
+            stage_ns(1),
+            stage_ns(2),
+            stage_ns(3),
+            sp.end_to_end()
+                .map(|d| d.as_ns().to_string())
+                .unwrap_or_default(),
+            sp.waiters,
+            sp.stale_qps,
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Labels;
+    use ibsim_event::SimTime;
+
+    fn sample() -> Telemetry {
+        let mut t = Telemetry::new();
+        t.enable();
+        t.counter_add("packets.total", Labels::host(0), 12);
+        t.gauge_set("event.peak_depth", Labels::NONE, 5);
+        t.observe("fault.drawn_latency_ns", Labels::host(0), 250_000);
+        t.observe("fault.drawn_latency_ns", Labels::host(0), 900_000);
+        t.fault_raised(0, 1, 0, SimTime::from_us(10));
+        t.fault_service_begin(0, 1, 0, SimTime::from_us(20));
+        t.fault_resolved(0, 1, 0, SimTime::from_us(500), &[3], 0);
+        t.qp_completion(0, 3, SimTime::from_us(600));
+        t
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(export_jsonl(&a), export_jsonl(&b));
+        assert_eq!(render_summary(&a), render_summary(&b));
+        assert_eq!(metrics_csv(&a), metrics_csv(&b));
+        assert_eq!(spans_csv(&a), spans_csv(&b));
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_line() {
+        let t = sample();
+        let out = export_jsonl(&t);
+        for line in out.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(out.contains("\"type\":\"span\""));
+        assert!(out.contains("\"name\":\"packets.total\""));
+        assert!(out.contains("\"kind\":\"histogram\""));
+    }
+
+    #[test]
+    fn summary_reports_span_counts_and_stages() {
+        let t = sample();
+        let out = render_summary(&t);
+        assert!(out.contains("fault spans: 1 closed, 0 open"), "{out}");
+        assert!(out.contains("queue_wait"));
+        assert!(out.contains("retransmit_drain"));
+        assert!(out.contains("end_to_end"));
+    }
+
+    #[test]
+    fn csv_row_counts_match() {
+        let t = sample();
+        assert_eq!(metrics_csv(&t).lines().count(), 1 + t.registry().len());
+        assert_eq!(spans_csv(&t).lines().count(), 1 + t.spans().len());
+    }
+}

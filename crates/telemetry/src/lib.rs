@@ -1,0 +1,342 @@
+//! # ibsim-telemetry
+//!
+//! Sim-time observability for the `ibsim` workspace: a deterministic
+//! metric registry (counters, gauges, log2 histograms keyed by static
+//! name plus optional `(host, qpn)` labels), **fault-lifecycle spans**
+//! that decompose one network page fault into the stages the paper
+//! measures (queue wait → resolution → per-QP propagation → retransmit
+//! drain), and three exporters (human summary, JSON-lines, CSV) whose
+//! output is byte-identical across runs of the same seeded workload.
+//!
+//! The paper's methodology is observational — `ibdump` captures and
+//! reverse-engineered timelines are how packet damming (§V) and the
+//! packet flood (§VI) were found. This crate gives the simulator the
+//! instrumentation the authors had to reconstruct by hand: every span
+//! answers "where did this fault's 500 ms go?" with named stages whose
+//! durations sum exactly to the end-to-end latency.
+//!
+//! ## Zero perturbation
+//!
+//! A [`Telemetry`] handle starts disabled and records nothing until
+//! [`Telemetry::enable`] is called. Recording never schedules events,
+//! draws randomness, or allocates on behalf of the simulation — enabling
+//! telemetry must not move a single packet, which CI enforces by
+//! asserting the golden FNV trace hashes are unchanged with telemetry
+//! on.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod export;
+mod registry;
+mod span;
+
+use std::collections::BTreeMap;
+
+use ibsim_event::SimTime;
+
+pub use export::{export_jsonl, metrics_csv, render_summary, spans_csv};
+pub use registry::{Histogram, Instrument, Labels, Registry, HISTOGRAM_BUCKETS};
+pub use span::{FaultSpan, SpanStore, STAGE_NAMES};
+
+/// Maps a QP state name (as rendered by the verbs crate) to the static
+/// dwell-time counter it accumulates into.
+fn dwell_metric(state: &'static str) -> &'static str {
+    match state {
+        "RESET" => "qp.dwell_reset_ns",
+        "INIT" => "qp.dwell_init_ns",
+        "RTR" => "qp.dwell_rtr_ns",
+        "RTS" => "qp.dwell_rts_ns",
+        "ERROR" => "qp.dwell_error_ns",
+        _ => "qp.dwell_other_ns",
+    }
+}
+
+/// The observability hub threaded through the simulator.
+///
+/// One `Telemetry` lives on the cluster; layers report into it through
+/// the methods below. Every method is a no-op while disabled, so the
+/// instrumented hot paths cost one branch when observability is off.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    enabled: bool,
+    registry: Registry,
+    spans: SpanStore,
+    /// Post time of in-flight work requests: `(host, qpn, wr_id) → t`.
+    pending_wrs: BTreeMap<(u64, u32, u64), SimTime>,
+    /// Current QP state and when it was entered: `(host, qpn) → …`.
+    qp_states: BTreeMap<(u64, u32), (&'static str, SimTime)>,
+}
+
+impl Telemetry {
+    /// Creates a disabled hub.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Turns recording on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// True if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The metric registry (read side, for exporters and assertions).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Spans that ran to completion, in close order.
+    pub fn spans(&self) -> &[FaultSpan] {
+        self.spans.closed()
+    }
+
+    /// Faults still mid-lifecycle.
+    pub fn open_span_count(&self) -> usize {
+        self.spans.open_count()
+    }
+
+    // ------------------------------------------------------------------
+    // Registry write side
+    // ------------------------------------------------------------------
+
+    /// Adds `delta` to a counter.
+    pub fn counter_add(&mut self, name: &'static str, labels: Labels, delta: u64) {
+        if self.enabled {
+            self.registry.counter_add(name, labels, delta);
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, name: &'static str, labels: Labels, v: u64) {
+        if self.enabled {
+            self.registry.gauge_set(name, labels, v);
+        }
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&mut self, name: &'static str, labels: Labels, v: u64) {
+        if self.enabled {
+            self.registry.observe(name, labels, v);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Work-request latency
+    // ------------------------------------------------------------------
+
+    /// A work request was posted; starts its latency clock.
+    pub fn wr_posted(&mut self, host: u64, qpn: u32, wr_id: u64, now: SimTime) {
+        if self.enabled {
+            self.pending_wrs.insert((host, qpn, wr_id), now);
+        }
+    }
+
+    /// A completion landed on the CQ: records post-to-completion latency
+    /// and lets any fault span waiting on this QP check it off.
+    pub fn wr_completed(&mut self, host: u64, qpn: u32, wr_id: u64, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        self.registry
+            .counter_add("cq.completions", Labels::host_qp(host, qpn), 1);
+        if let Some(posted) = self.pending_wrs.remove(&(host, qpn, wr_id)) {
+            self.registry.observe(
+                "cq.wr_latency_ns",
+                Labels::host(host),
+                (now - posted).as_ns(),
+            );
+        }
+        self.spans.qp_completion(host, qpn, now);
+    }
+
+    /// Forwards a bare QP completion to the span store (used for
+    /// completions that are not tracked WRs, e.g. RECVs).
+    pub fn qp_completion(&mut self, host: u64, qpn: u32, now: SimTime) {
+        if self.enabled {
+            self.spans.qp_completion(host, qpn, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault lifecycle
+    // ------------------------------------------------------------------
+
+    /// A network page fault was raised (span stage 1).
+    pub fn fault_raised(&mut self, host: u64, mr: u32, page: u64, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        self.registry
+            .counter_add("fault.raised", Labels::host(host), 1);
+        self.spans.fault_raised(host, mr, page, now);
+    }
+
+    /// The driver popped the fault off its work queue (ends queue wait).
+    pub fn fault_service_begin(&mut self, host: u64, mr: u32, page: u64, now: SimTime) {
+        if self.enabled {
+            self.spans.service_begin(host, mr, page, now);
+        }
+    }
+
+    /// The driver mapped the page. `waiters` are the parked QPs; `stale`
+    /// of them need serialized per-QP resumes (§VI-B).
+    pub fn fault_resolved(
+        &mut self,
+        host: u64,
+        mr: u32,
+        page: u64,
+        now: SimTime,
+        waiters: &[u32],
+        stale: u32,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.registry
+            .counter_add("fault.resolved", Labels::host(host), 1);
+        self.spans
+            .fault_resolved(host, mr, page, now, waiters, stale);
+    }
+
+    /// A serialized per-QP page-status resume finished.
+    pub fn resume_done(&mut self, host: u64, mr: u32, page: u64, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        self.registry
+            .counter_add("driver.qp_resumes", Labels::host(host), 1);
+        self.spans.resume_done(host, mr, page, now);
+    }
+
+    // ------------------------------------------------------------------
+    // QP state dwell times
+    // ------------------------------------------------------------------
+
+    /// Samples a QP's current state; accumulates dwell time into
+    /// per-state counters on every transition.
+    ///
+    /// `state` must be one of the verbs-crate state names (`RESET`,
+    /// `INIT`, `RTR`, `RTS`, `ERROR`).
+    pub fn qp_state_sample(&mut self, host: u64, qpn: u32, state: &'static str, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        let entry = self.qp_states.entry((host, qpn)).or_insert((state, now));
+        if entry.0 != state {
+            let (prev, since) = *entry;
+            self.registry.counter_add(
+                dwell_metric(prev),
+                Labels::host_qp(host, qpn),
+                (now - since).as_ns(),
+            );
+            *entry = (state, now);
+        }
+    }
+
+    /// Flushes the partial dwell of every tracked QP up to `now`
+    /// (called before exporting so the table reflects the full run).
+    pub fn flush_dwell(&mut self, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        for (&(host, qpn), entry) in self.qp_states.iter_mut() {
+            let (state, since) = *entry;
+            self.registry.counter_add(
+                dwell_metric(state),
+                Labels::host_qp(host, qpn),
+                (now - since).as_ns(),
+            );
+            entry.1 = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_us(us)
+    }
+
+    #[test]
+    fn disabled_hub_records_nothing() {
+        let mut tel = Telemetry::new();
+        tel.counter_add("a", Labels::NONE, 1);
+        tel.observe("b", Labels::NONE, 1);
+        tel.gauge_set("c", Labels::NONE, 1);
+        tel.wr_posted(0, 0, 0, t(0));
+        tel.wr_completed(0, 0, 0, t(1));
+        tel.fault_raised(0, 0, 0, t(0));
+        tel.qp_state_sample(0, 0, "RTS", t(0));
+        assert!(tel.registry().is_empty());
+        assert_eq!(tel.spans().len(), 0);
+        assert_eq!(tel.open_span_count(), 0);
+    }
+
+    #[test]
+    fn wr_latency_is_post_to_completion() {
+        let mut tel = Telemetry::new();
+        tel.enable();
+        tel.wr_posted(1, 7, 42, t(100));
+        tel.wr_completed(1, 7, 42, t(350));
+        let h = tel
+            .registry()
+            .histogram("cq.wr_latency_ns", Labels::host(1))
+            .expect("histogram exists");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 250_000);
+        assert_eq!(
+            tel.registry()
+                .counter("cq.completions", Labels::host_qp(1, 7)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn full_fault_lifecycle_through_hub() {
+        let mut tel = Telemetry::new();
+        tel.enable();
+        tel.fault_raised(0, 2, 1, t(0));
+        tel.fault_service_begin(0, 2, 1, t(10));
+        tel.fault_resolved(0, 2, 1, t(400), &[5, 6], 1);
+        tel.resume_done(0, 2, 1, t(425));
+        tel.wr_posted(0, 5, 1, t(0));
+        tel.wr_completed(0, 5, 1, t(430));
+        tel.qp_completion(0, 6, t(440));
+        assert_eq!(tel.spans().len(), 1);
+        let span = &tel.spans()[0];
+        let stages = span.stages().expect("closed");
+        let total: SimTime = stages.iter().map(|&(_, d)| d).sum();
+        assert_eq!(Some(total), span.end_to_end());
+        assert_eq!(span.end_to_end(), Some(t(440)));
+        assert_eq!(
+            tel.registry().counter("fault.raised", Labels::host(0)),
+            Some(1)
+        );
+        assert_eq!(
+            tel.registry().counter("driver.qp_resumes", Labels::host(0)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn dwell_accumulates_per_state() {
+        let mut tel = Telemetry::new();
+        tel.enable();
+        tel.qp_state_sample(0, 3, "INIT", t(0));
+        tel.qp_state_sample(0, 3, "INIT", t(5));
+        tel.qp_state_sample(0, 3, "RTS", t(10));
+        tel.flush_dwell(t(100));
+        let l = Labels::host_qp(0, 3);
+        assert_eq!(tel.registry().counter("qp.dwell_init_ns", l), Some(10_000));
+        assert_eq!(tel.registry().counter("qp.dwell_rts_ns", l), Some(90_000));
+        // A second flush at the same instant adds nothing.
+        tel.flush_dwell(t(100));
+        assert_eq!(tel.registry().counter("qp.dwell_rts_ns", l), Some(90_000));
+    }
+}

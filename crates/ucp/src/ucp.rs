@@ -16,7 +16,8 @@ use std::rc::Rc;
 
 use ibsim_event::SimTime;
 use ibsim_verbs::{
-    Cluster, DeviceProfile, HostId, MrDesc, MrMode, QpConfig, Qpn, RecvWr, Sim, WcStatus, WrId,
+    Cluster, DeviceProfile, HostId, MrDesc, MrMode, QpConfig, Qpn, ReadWr, RecvWr, SendWr, Sim,
+    WcStatus, WrId, WriteWr,
 };
 
 use crate::proto::{EpId, MemSlice, MsgMeta, ReqId, ReqKind, Tag, UcpCompletion};
@@ -399,7 +400,14 @@ impl Ucp {
                 kind: ReqKind::Get,
             },
         );
-        cl.post_read(eng, host, qpn, wr, dst.mr, dst.offset, src_mr, src_off, len);
+        cl.post(
+            eng,
+            host,
+            qpn,
+            ReadWr::new((dst.mr, dst.offset), (src_mr, src_off))
+                .len(len)
+                .id(wr),
+        );
         drop(inner);
         self.ensure_ticking(eng);
         req
@@ -431,7 +439,14 @@ impl Ucp {
                 kind: ReqKind::Put,
             },
         );
-        cl.post_write(eng, host, qpn, wr, src.mr, src.offset, dst_mr, dst_off, len);
+        cl.post(
+            eng,
+            host,
+            qpn,
+            WriteWr::new((src.mr, src.offset), (dst_mr, dst_off))
+                .len(len)
+                .id(wr),
+        );
         drop(inner);
         self.ensure_ticking(eng);
         req
@@ -563,7 +578,12 @@ impl Ucp {
             let wr = inner.alloc_wr();
             let scratch = worker_scratch(&inner, host);
             inner.wr_roles.insert((host, wr), WrRole::MetaSend);
-            cl.post_send(eng, host, qpn, wr, scratch.key, 0, META_BYTES);
+            cl.post(
+                eng,
+                host,
+                qpn,
+                SendWr::new(scratch.key).len(META_BYTES).id(wr),
+            );
         } else {
             inner
                 .meta_q
@@ -576,7 +596,12 @@ impl Ucp {
                 });
             let wr = inner.alloc_wr();
             inner.wr_roles.insert((host, wr), WrRole::EagerSend { req });
-            cl.post_send(eng, host, qpn, wr, src.mr, src.offset, src.len);
+            cl.post(
+                eng,
+                host,
+                qpn,
+                SendWr::new((src.mr, src.offset)).len(src.len).id(wr),
+            );
         }
         drop(inner);
         self.ensure_ticking(eng);
@@ -751,7 +776,12 @@ impl Ucp {
                 let wr = inner.alloc_wr();
                 let scratch = worker_scratch(&inner, fin_host);
                 inner.wr_roles.insert((fin_host, wr), WrRole::MetaSend);
-                cl.post_send(eng, fin_host, fin_qpn, wr, scratch.key, 0, META_BYTES);
+                cl.post(
+                    eng,
+                    fin_host,
+                    fin_qpn,
+                    SendWr::new(scratch.key).len(META_BYTES).id(wr),
+                );
             }
         }
     }
@@ -888,7 +918,12 @@ fn start_rndv_get(
         },
     );
     let len = src.len.min(dst.len);
-    cl.post_read(
-        eng, host, qpn, wr, dst.mr, dst.offset, src.mr, src.offset, len,
+    cl.post(
+        eng,
+        host,
+        qpn,
+        ReadWr::new((dst.mr, dst.offset), (src.mr, src.offset))
+            .len(len)
+            .id(wr),
     );
 }

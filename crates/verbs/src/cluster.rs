@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use ibsim_event::{Engine, SimTime, TimerKey};
 use ibsim_fabric::{Capture, Delivery, Direction, Fabric, Lid, LinkSpec, Xorshift64Star};
+use ibsim_telemetry::{Labels, Telemetry};
 
 use crate::device::DeviceProfile;
 use crate::driver::{Driver, DriverStats, DriverWork};
@@ -68,6 +69,17 @@ pub struct MrDesc {
     pub mode: MrMode,
 }
 
+impl MrDesc {
+    /// A slice of this region starting `offset` bytes in, for use in
+    /// typed work-request builders.
+    pub fn at(&self, offset: u64) -> crate::wr::MrSlice {
+        crate::wr::MrSlice {
+            mr: self.key,
+            offset,
+        }
+    }
+}
+
 /// Cluster-wide packet counters (what `ibdump` + `perfquery` would show).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClusterStats {
@@ -98,18 +110,19 @@ pub struct ClusterStats {
 /// A pinned-memory READ between two hosts:
 ///
 /// ```
-/// use ibsim_event::Engine;
-/// use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, WrId};
+/// use ibsim_verbs::{ClusterBuilder, DeviceProfile, MrMode, QpConfig, ReadWr};
 ///
-/// let mut eng = Engine::new();
-/// let mut cl = Cluster::new(7);
-/// let a = cl.add_host("client", DeviceProfile::connectx6());
-/// let b = cl.add_host("server", DeviceProfile::connectx6());
+/// let (mut eng, mut cl, hosts) = ClusterBuilder::new()
+///     .seed(7)
+///     .host("client", DeviceProfile::connectx6())
+///     .host("server", DeviceProfile::connectx6())
+///     .build();
+/// let (a, b) = (hosts[0], hosts[1]);
 /// let src = cl.alloc_mr(b, 4096, MrMode::Pinned);
 /// let dst = cl.alloc_mr(a, 4096, MrMode::Pinned);
 /// cl.mem_write(b, src.base, b"greetings");
 /// let (qa, _qb) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-/// cl.post_read(&mut eng, a, qa, WrId(1), dst.key, 0, src.key, 0, 9);
+/// cl.post(&mut eng, a, qa, ReadWr::new(dst, src).len(9).id(1));
 /// eng.run(&mut cl);
 /// let done = cl.poll_cq(a);
 /// assert_eq!(done.len(), 1);
@@ -130,6 +143,10 @@ pub struct Cluster {
     cq_waker: Option<CqWaker>,
     /// Cluster-wide packet counters.
     pub stats: ClusterStats,
+    /// The observability hub (disabled by default; see
+    /// [`Cluster::telemetry_enable`]). Recording never schedules events
+    /// or draws randomness, so enabling it cannot perturb a run.
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -155,6 +172,7 @@ impl Cluster {
             rng: Xorshift64Star::new(seed),
             cq_waker: None,
             stats: ClusterStats::default(),
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -246,6 +264,30 @@ impl Cluster {
             len,
             mode,
         }
+    }
+
+    /// Registers a memory region described by an [`MrBuilder`] — the
+    /// single entry point unifying the [`Cluster::alloc_mr`] and
+    /// [`Cluster::reg_mr`] paths:
+    ///
+    /// * no base address ([`MrBuilder::pinned`] / [`MrBuilder::odp`]
+    ///   alone) → a fresh page-aligned buffer is allocated and then
+    ///   registered (the `alloc_mr` path);
+    /// * an explicit base ([`MrBuilder::at`]) → the caller-owned buffer
+    ///   is registered as-is (the `reg_mr` path);
+    /// * [`MrBuilder::prefetch`] → every page is pre-touched after
+    ///   registration (like `ibv_advise_mr` prefetch), so an ODP region
+    ///   raises no faults until a page is invalidated. Meaningless but
+    ///   harmless on pinned regions, which are always mapped.
+    pub fn mr(&mut self, host: HostId, builder: MrBuilder) -> MrDesc {
+        let desc = match builder.base {
+            Some(base) => self.reg_mr(host, base, builder.len, builder.mode),
+            None => self.alloc_mr(host, builder.len, builder.mode),
+        };
+        if builder.prefetch {
+            self.prefetch_mr(host, desc.key);
+        }
+        desc
     }
 
     /// Writes bytes into host memory (application store).
@@ -341,6 +383,11 @@ impl Cluster {
     // ------------------------------------------------------------------
 
     /// Posts an RDMA READ work request.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a typed request instead: `cl.post(eng, host, qpn, \
+                ReadWr::new(local, (rkey, off)).len(n).id(i))`"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn post_read(
         &mut self,
@@ -372,6 +419,11 @@ impl Cluster {
     }
 
     /// Posts an RDMA WRITE work request.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a typed request instead: `cl.post(eng, host, qpn, \
+                WriteWr::new(local, (rkey, off)).len(n).id(i))`"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn post_write(
         &mut self,
@@ -404,6 +456,11 @@ impl Cluster {
 
     /// Posts an 8-byte fetch-and-add; the original value lands at
     /// `(local_mr, local_off)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a typed request instead: `cl.post(eng, host, qpn, \
+                FetchAddWr::new(local, remote).add(v).id(i))`"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn post_fetch_add(
         &mut self,
@@ -437,6 +494,11 @@ impl Cluster {
     /// Posts an 8-byte compare-and-swap; the original value lands at
     /// `(local_mr, local_off)` (the swap took effect iff it equals
     /// `compare`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a typed request instead: `cl.post(eng, host, qpn, \
+                CompareSwapWr::new(local, remote).compare(c).swap(s).id(i))`"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn post_compare_swap(
         &mut self,
@@ -469,6 +531,11 @@ impl Cluster {
     }
 
     /// Posts a two-sided SEND work request.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a typed request instead: `cl.post(eng, host, qpn, \
+                SendWr::new(local).len(n).id(i))`"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn post_send(
         &mut self,
@@ -495,8 +562,19 @@ impl Cluster {
         );
     }
 
-    /// Posts an arbitrary work request.
-    pub fn post(&mut self, eng: &mut Sim, host: HostId, qpn: Qpn, wr: WorkRequest) {
+    /// Posts a work request: either a typed builder ([`ReadWr`],
+    /// [`WriteWr`], [`SendWr`], [`FetchAddWr`], [`CompareSwapWr`]) or a
+    /// raw [`WorkRequest`].
+    ///
+    /// [`ReadWr`]: crate::wr::ReadWr
+    /// [`WriteWr`]: crate::wr::WriteWr
+    /// [`SendWr`]: crate::wr::SendWr
+    /// [`FetchAddWr`]: crate::wr::FetchAddWr
+    /// [`CompareSwapWr`]: crate::wr::CompareSwapWr
+    pub fn post(&mut self, eng: &mut Sim, host: HostId, qpn: Qpn, wr: impl Into<WorkRequest>) {
+        let wr = wr.into();
+        self.telemetry
+            .wr_posted(host.0 as u64, qpn.0, wr.id.0, eng.now());
         self.with_qp(eng, host, qpn, move |qp, env, out| qp.post(env, out, wr));
     }
 
@@ -556,6 +634,88 @@ impl Cluster {
     }
 
     // ------------------------------------------------------------------
+    // Telemetry
+    // ------------------------------------------------------------------
+
+    /// Turns on the observability hub.
+    ///
+    /// Recording is purely passive — it never schedules events, draws
+    /// randomness or changes control flow — so a run with telemetry
+    /// enabled produces a byte-identical packet trace (CI pins the
+    /// golden FNV hashes to prove it).
+    pub fn telemetry_enable(&mut self) {
+        self.telemetry.enable();
+    }
+
+    /// The observability hub (read side: exporters, assertions).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable access to the hub, so upper layers (`ibsim-ucp`, DSM,
+    /// benches) can record their own metrics into the same registry.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Snapshots every legacy stat struct into the metric registry as
+    /// gauges: engine [`ibsim_event::QueueStats`] (queue depth, dead
+    /// pops, timer churn), per-host [`DriverStats`], per-host fabric
+    /// link counters, per-QP [`QpStats`], and the cluster-wide packet
+    /// counters. Also flushes partial QP state dwell times up to now.
+    ///
+    /// Call once before exporting; the structs stay API-compatible and
+    /// the registry holds a superset of what they expose.
+    pub fn sync_telemetry(&mut self, eng: &Sim) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let t = &mut self.telemetry;
+        let qs = eng.queue_stats();
+        t.gauge_set("event.live", Labels::NONE, qs.live as u64);
+        t.gauge_set("event.dead_pending", Labels::NONE, qs.dead_pending as u64);
+        t.gauge_set("event.executed", Labels::NONE, qs.executed);
+        t.gauge_set("event.dead_pops", Labels::NONE, qs.dead_pops);
+        t.gauge_set("event.peak_depth", Labels::NONE, qs.peak_depth as u64);
+        t.gauge_set("event.scheduled", Labels::NONE, qs.scheduled);
+        t.gauge_set("event.cancelled", Labels::NONE, qs.cancelled);
+        t.gauge_set("event.replaced", Labels::NONE, qs.replaced);
+        t.gauge_set("event.keyed_live", Labels::NONE, qs.keyed_live as u64);
+        let cs = self.stats;
+        t.gauge_set("cluster.total_packets", Labels::NONE, cs.total_packets);
+        t.gauge_set("cluster.ghost_packets", Labels::NONE, cs.ghost_packets);
+        t.gauge_set("cluster.fabric_drops", Labels::NONE, cs.fabric_drops);
+        for (h, (nic, driver)) in self.nics.iter().zip(self.drivers.iter()).enumerate() {
+            let labels = Labels::host(h as u64);
+            let ds = driver.stats();
+            t.gauge_set("driver.stats.faults_resolved", labels, ds.faults_resolved);
+            t.gauge_set("driver.stats.qp_resumes", labels, ds.qp_resumes);
+            t.gauge_set("driver.stats.irqs_processed", labels, ds.irqs_processed);
+            if let Some(ls) = self.fabric.link_stats(nic.lid) {
+                t.gauge_set("fabric.tx_frames", labels, ls.tx_frames);
+                t.gauge_set("fabric.tx_bytes", labels, ls.tx_bytes);
+                t.gauge_set("fabric.rx_frames", labels, ls.rx_frames);
+                t.gauge_set("fabric.rx_bytes", labels, ls.rx_bytes);
+                t.gauge_set("fabric.dropped", labels, ls.dropped);
+            }
+            for &qpn in nic.qpns() {
+                let Some(qp) = nic.qp(qpn) else { continue };
+                let s = qp.stats;
+                let ql = Labels::host_qp(h as u64, qpn.0);
+                t.gauge_set("qp.retransmissions", ql, s.retransmissions);
+                t.gauge_set("qp.timeouts", ql, s.timeouts);
+                t.gauge_set("qp.rnr_naks_received", ql, s.rnr_naks_received);
+                t.gauge_set("qp.rnr_naks_sent", ql, s.rnr_naks_sent);
+                t.gauge_set("qp.seq_naks_sent", ql, s.seq_naks_sent);
+                t.gauge_set("qp.responses_discarded", ql, s.responses_discarded);
+                t.gauge_set("qp.faults_raised", ql, s.faults_raised);
+                t.gauge_set("qp.pendency_drops", ql, s.pendency_drops);
+            }
+        }
+        t.flush_dwell(eng.now());
+    }
+
+    // ------------------------------------------------------------------
     // Internal glue
     // ------------------------------------------------------------------
 
@@ -579,6 +739,12 @@ impl Cluster {
             f(qp, &mut env, &mut out);
         }
         self.nics[host.0].update_recovery(qpn);
+        if self.telemetry.is_enabled() {
+            if let Some(state) = self.nics[host.0].qp(qpn).map(|q| q.state()) {
+                self.telemetry
+                    .qp_state_sample(host.0 as u64, qpn.0, state.name(), eng.now());
+            }
+        }
         self.process_outbox(eng, host, qpn, out);
     }
 
@@ -588,6 +754,8 @@ impl Cluster {
         }
         let had_completions = !out.completions.is_empty();
         for c in out.completions {
+            self.telemetry
+                .wr_completed(host.0 as u64, c.qpn.0, c.wr_id.0, c.at);
             self.nics[host.0].push_completion(c);
         }
         if had_completions {
@@ -628,6 +796,11 @@ impl Cluster {
                 TimerFamily::Rnr.key(host, qpn, 0),
                 delay,
                 move |c: &mut Cluster, eng| {
+                    c.telemetry.counter_add(
+                        "timer.rnr_fired",
+                        Labels::host_qp(host.0 as u64, qpn.0),
+                        1,
+                    );
                     c.with_qp(eng, host, qpn, move |qp, env, out| {
                         qp.on_rnr_fire(env, out, gen)
                     });
@@ -642,6 +815,11 @@ impl Cluster {
                 TimerFamily::Stall.key(host, qpn, psn.value()),
                 delay,
                 move |c: &mut Cluster, eng| {
+                    c.telemetry.counter_add(
+                        "timer.stall_tick_fired",
+                        Labels::host_qp(host.0 as u64, qpn.0),
+                        1,
+                    );
                     c.with_qp(eng, host, qpn, move |qp, env, out| {
                         qp.on_stall_tick(env, out, psn, gen)
                     });
@@ -653,6 +831,13 @@ impl Cluster {
             let lo = self.nics[host.0].profile.fault_latency_min.as_ns();
             let hi = self.nics[host.0].profile.fault_latency_max.as_ns();
             let latency = SimTime::from_ns(lo + self.rng.next_below((hi - lo).max(1)));
+            self.telemetry
+                .fault_raised(host.0 as u64, mr.0, page as u64, eng.now());
+            self.telemetry.observe(
+                "fault.drawn_latency_ns",
+                Labels::host(host.0 as u64),
+                latency.as_ns(),
+            );
             self.drivers[host.0].push_fault(mr, page, latency);
             kick = true;
         }
@@ -688,6 +873,11 @@ impl Cluster {
         let load = nic.recovery_count().saturating_sub(1) as f64;
         let due = armed_at + t_o.mul_f64(1.0 + nic.profile.timer_load_coeff * load);
         if eng.now() < due {
+            self.telemetry.counter_add(
+                "timer.ack_deferred",
+                Labels::host_qp(host.0 as u64, qpn.0),
+                1,
+            );
             eng.schedule_keyed_at(
                 TimerFamily::Ack.key(host, qpn, 0),
                 due,
@@ -697,6 +887,8 @@ impl Cluster {
             );
             return;
         }
+        self.telemetry
+            .counter_add("timer.ack_fired", Labels::host_qp(host.0 as u64, qpn.0), 1);
         self.with_qp(eng, host, qpn, |qp, env, out| {
             qp.on_ack_timeout(env, out, gen)
         });
@@ -704,18 +896,37 @@ impl Cluster {
 
     fn transmit(&mut self, eng: &mut Sim, host: HostId, pkt: Packet) {
         self.stats.total_packets += 1;
-        match (&pkt.kind, pkt.retransmit) {
-            (PacketKind::Ack, _) => self.stats.ack_packets += 1,
+        let kind_metric = match (&pkt.kind, pkt.retransmit) {
+            (PacketKind::Ack, _) => {
+                self.stats.ack_packets += 1;
+                "packets.ack"
+            }
             (PacketKind::Nak(crate::packet::NakKind::Rnr { .. }), _) => {
-                self.stats.rnr_nak_packets += 1
+                self.stats.rnr_nak_packets += 1;
+                "packets.rnr_nak"
             }
             (PacketKind::Nak(crate::packet::NakKind::SequenceError { .. }), _) => {
-                self.stats.seq_nak_packets += 1
+                self.stats.seq_nak_packets += 1;
+                "packets.seq_nak"
             }
-            (PacketKind::Nak(_), _) => {}
-            (PacketKind::ReadResponse { .. }, _) => self.stats.response_packets += 1,
-            (_, true) => self.stats.retransmit_packets += 1,
-            (_, false) => self.stats.request_packets += 1,
+            (PacketKind::Nak(_), _) => "packets.nak_other",
+            (PacketKind::ReadResponse { .. }, _) => {
+                self.stats.response_packets += 1;
+                "packets.response"
+            }
+            (_, true) => {
+                self.stats.retransmit_packets += 1;
+                "packets.retransmit"
+            }
+            (_, false) => {
+                self.stats.request_packets += 1;
+                "packets.request"
+            }
+        };
+        if self.telemetry.is_enabled() {
+            let labels = Labels::host(host.0 as u64);
+            self.telemetry.counter_add("packets.total", labels, 1);
+            self.telemetry.counter_add(kind_metric, labels, 1);
         }
         let bytes = pkt.wire_bytes();
         let src_lid = pkt.src;
@@ -723,6 +934,8 @@ impl Cluster {
         if pkt.ghost {
             // Damming quirk: the capture sees it, the wire never does.
             self.stats.ghost_packets += 1;
+            self.telemetry
+                .counter_add("packets.ghost", Labels::host(host.0 as u64), 1);
             self.captures[host.0].record(
                 eng.now(),
                 Direction::Tx,
@@ -740,6 +953,8 @@ impl Cluster {
         let dropped = delivery.arrival().is_none();
         if dropped {
             self.stats.fabric_drops += 1;
+            self.telemetry
+                .counter_add("packets.fabric_drops", Labels::host(host.0 as u64), 1);
         }
         self.captures[host.0].record(
             eng.now(),
@@ -779,6 +994,30 @@ impl Cluster {
 
     fn driver_kick(&mut self, eng: &mut Sim, host: HostId) {
         if let Some((work, cost)) = self.drivers[host.0].begin_next() {
+            if self.telemetry.is_enabled() {
+                let labels = Labels::host(host.0 as u64);
+                match &work {
+                    DriverWork::FaultResolved { mr, page } => {
+                        self.telemetry.counter_add("driver.faults_begun", labels, 1);
+                        self.telemetry.fault_service_begin(
+                            host.0 as u64,
+                            mr.0,
+                            *page as u64,
+                            eng.now(),
+                        );
+                    }
+                    DriverWork::QpResumed { .. } => {
+                        self.telemetry
+                            .counter_add("driver.resumes_begun", labels, 1);
+                    }
+                    DriverWork::IrqBatch { .. } => {
+                        self.telemetry
+                            .counter_add("driver.irq_batches_begun", labels, 1);
+                    }
+                }
+                self.telemetry
+                    .observe("driver.work_cost_ns", labels, cost.as_ns());
+            }
             eng.schedule_in(cost, move |c: &mut Cluster, eng| {
                 c.on_driver_done(eng, host, work);
             });
@@ -799,6 +1038,17 @@ impl Cluster {
                 } else {
                     Vec::new()
                 };
+                if self.telemetry.is_enabled() {
+                    let waiter_qpns: Vec<u32> = waiters.iter().map(|q| q.0).collect();
+                    self.telemetry.fault_resolved(
+                        host.0 as u64,
+                        mr.0,
+                        page as u64,
+                        eng.now(),
+                        &waiter_qpns,
+                        stale.len() as u32,
+                    );
+                }
                 // Flood: QPs beyond the NIC's instant-resume capacity get a
                 // stale page status that only a serialized driver resume
                 // refreshes (§VI-B "update failure of page statuses").
@@ -819,6 +1069,8 @@ impl Cluster {
                 }
             }
             DriverWork::QpResumed { qpn, mr, page } => {
+                self.telemetry
+                    .resume_done(host.0 as u64, mr.0, page as u64, eng.now());
                 self.with_qp(eng, host, qpn, move |qp, env, out| {
                     qp.on_page_ready(env, out, mr, page)
                 });
@@ -826,5 +1078,132 @@ impl Cluster {
             DriverWork::IrqBatch { .. } => {}
         }
         self.driver_kick(eng, host);
+    }
+}
+
+/// Builder collapsing the `Engine::new` + `Cluster::new` +
+/// `add_host`/`capture_enable`/`telemetry_enable` boilerplate into one
+/// fluent expression.
+///
+/// # Examples
+///
+/// ```
+/// use ibsim_verbs::{ClusterBuilder, DeviceProfile};
+///
+/// let (eng, cl, hosts) = ClusterBuilder::new()
+///     .seed(42)
+///     .host("client", DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()))
+///     .host("server", DeviceProfile::connectx4(ibsim_fabric::LinkSpec::fdr()))
+///     .capture(true)
+///     .telemetry(true)
+///     .build();
+/// assert_eq!(hosts.len(), 2);
+/// assert!(cl.telemetry().is_enabled());
+/// assert_eq!(eng.now(), ibsim_event::SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClusterBuilder {
+    seed: u64,
+    hosts: Vec<(String, DeviceProfile)>,
+    capture: bool,
+    telemetry: bool,
+}
+
+impl ClusterBuilder {
+    /// A builder with seed 0, no hosts, capture and telemetry off.
+    pub fn new() -> Self {
+        ClusterBuilder::default()
+    }
+
+    /// The seed driving every random draw (page-fault latencies, loss
+    /// models); same seed, same run.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds a host with the given NIC profile. Hosts get ids in call
+    /// order, returned by [`ClusterBuilder::build`].
+    pub fn host(mut self, name: &str, profile: DeviceProfile) -> Self {
+        self.hosts.push((name.to_owned(), profile));
+        self
+    }
+
+    /// Enables `ibdump`-style capture on every host.
+    pub fn capture(mut self, on: bool) -> Self {
+        self.capture = on;
+        self
+    }
+
+    /// Enables the telemetry hub (metric registry + fault spans).
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Builds the engine and cluster; returns them with the host ids in
+    /// the order the hosts were added.
+    pub fn build(self) -> (Sim, Cluster, Vec<HostId>) {
+        let eng = Engine::new();
+        let mut cl = Cluster::new(self.seed);
+        if self.telemetry {
+            cl.telemetry_enable();
+        }
+        let mut ids = Vec::with_capacity(self.hosts.len());
+        for (name, profile) in self.hosts {
+            let id = cl.add_host(&name, profile);
+            if self.capture {
+                cl.capture_enable(id);
+            }
+            ids.push(id);
+        }
+        (eng, cl, ids)
+    }
+}
+
+/// Describes a memory registration for [`Cluster::mr`], unifying the
+/// allocate-then-register and register-existing-buffer paths behind one
+/// entry point (see [`Cluster::mr`] for which path is taken when).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrBuilder {
+    len: u64,
+    base: Option<u64>,
+    mode: MrMode,
+    prefetch: bool,
+}
+
+impl MrBuilder {
+    /// A registration of `len` bytes in the given mode, allocating a
+    /// fresh buffer unless [`MrBuilder::at`] is called.
+    pub fn new(len: u64, mode: MrMode) -> Self {
+        MrBuilder {
+            len,
+            base: None,
+            mode,
+            prefetch: false,
+        }
+    }
+
+    /// Shorthand for a pinned registration.
+    pub fn pinned(len: u64) -> Self {
+        MrBuilder::new(len, MrMode::Pinned)
+    }
+
+    /// Shorthand for an On-Demand Paging registration.
+    pub fn odp(len: u64) -> Self {
+        MrBuilder::new(len, MrMode::Odp)
+    }
+
+    /// Registers the existing buffer at `base` instead of allocating.
+    pub fn at(mut self, base: u64) -> Self {
+        self.base = Some(base);
+        self
+    }
+
+    /// Pre-touches every page after registration, so an ODP region
+    /// starts fully mapped.
+    pub fn prefetch(mut self) -> Self {
+        self.prefetch = true;
+        self
     }
 }

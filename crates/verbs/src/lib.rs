@@ -25,7 +25,7 @@ pub mod qp;
 mod types;
 mod wr;
 
-pub use cluster::{Cluster, ClusterStats, MrDesc, Sim, TimerFamily};
+pub use cluster::{Cluster, ClusterBuilder, ClusterStats, MrBuilder, MrDesc, Sim, TimerFamily};
 pub use device::{rnr_timer_decode, rnr_timer_encode, t_tr, DeviceModel, DeviceProfile};
 pub use driver::{Driver, DriverStats, DriverWork};
 pub use mem::{MemRegion, Memory, MrMode, PageState};
@@ -36,4 +36,11 @@ pub use types::{
     packets_for, HostId, MrKey, Psn, Qpn, WrId, AETH_BYTES, BASE_HEADER_BYTES, DEFAULT_MTU,
     PAGE_SIZE, RETH_BYTES,
 };
-pub use wr::{Completion, RecvWr, WcOpcode, WcStatus, WorkRequest, WrOp};
+pub use wr::{
+    CompareSwapWr, Completion, FetchAddWr, MrSlice, ReadWr, RecvWr, SendWr, WcOpcode, WcStatus,
+    WorkRequest, WrOp, WriteWr,
+};
+
+// Re-exported so downstream crates can talk to the hub without adding
+// their own `ibsim-telemetry` dependency.
+pub use ibsim_telemetry::{Labels, Telemetry};

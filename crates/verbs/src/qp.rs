@@ -104,15 +104,23 @@ impl QpState {
     }
 }
 
+impl QpState {
+    /// The state's canonical uppercase name (also what `Display` prints);
+    /// static so telemetry can key dwell counters off it.
+    pub fn name(self) -> &'static str {
+        match self {
+            QpState::Reset => "RESET",
+            QpState::Init => "INIT",
+            QpState::Rtr => "RTR",
+            QpState::Rts => "RTS",
+            QpState::Error => "ERROR",
+        }
+    }
+}
+
 impl fmt::Display for QpState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            QpState::Reset => write!(f, "RESET"),
-            QpState::Init => write!(f, "INIT"),
-            QpState::Rtr => write!(f, "RTR"),
-            QpState::Rts => write!(f, "RTS"),
-            QpState::Error => write!(f, "ERROR"),
-        }
+        f.write_str(self.name())
     }
 }
 

@@ -54,6 +54,12 @@ impl fmt::Display for MrKey {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WrId(pub u64);
 
+impl From<u64> for WrId {
+    fn from(v: u64) -> Self {
+        WrId(v)
+    }
+}
+
 impl fmt::Display for WrId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "wr{}", self.0)

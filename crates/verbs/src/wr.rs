@@ -107,6 +107,309 @@ pub struct WorkRequest {
     pub op: WrOp,
 }
 
+/// A position inside a registered memory region: `(key, byte offset)`.
+///
+/// Everything that builds a typed work request takes `impl Into<MrSlice>`,
+/// so call sites can pass a bare [`MrKey`] (offset 0), a `(MrKey, u64)`
+/// tuple, an [`MrDesc`](crate::cluster::MrDesc) (offset 0), or the result
+/// of [`MrDesc::at`](crate::cluster::MrDesc::at).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrSlice {
+    /// Region key (doubles as lkey and rkey in the simulator).
+    pub mr: MrKey,
+    /// Byte offset within the region.
+    pub offset: u64,
+}
+
+impl From<MrKey> for MrSlice {
+    fn from(mr: MrKey) -> Self {
+        MrSlice { mr, offset: 0 }
+    }
+}
+
+impl From<(MrKey, u64)> for MrSlice {
+    fn from((mr, offset): (MrKey, u64)) -> Self {
+        MrSlice { mr, offset }
+    }
+}
+
+impl From<crate::cluster::MrDesc> for MrSlice {
+    fn from(d: crate::cluster::MrDesc) -> Self {
+        MrSlice {
+            mr: d.key,
+            offset: 0,
+        }
+    }
+}
+
+impl From<&crate::cluster::MrDesc> for MrSlice {
+    fn from(d: &crate::cluster::MrDesc) -> Self {
+        MrSlice {
+            mr: d.key,
+            offset: 0,
+        }
+    }
+}
+
+/// Typed builder for an RDMA READ work request.
+///
+/// ```
+/// use ibsim_verbs::{MrKey, ReadWr, WorkRequest};
+///
+/// let wr: WorkRequest = ReadWr::new(MrKey(1), (MrKey(2), 64)).len(28).id(1).into();
+/// assert_eq!(wr.op.len(), 28);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadWr {
+    local: MrSlice,
+    remote: MrSlice,
+    len: u32,
+    id: WrId,
+}
+
+impl ReadWr {
+    /// A READ fetching from `remote` on the peer into `local`.
+    pub fn new(local: impl Into<MrSlice>, remote: impl Into<MrSlice>) -> Self {
+        ReadWr {
+            local: local.into(),
+            remote: remote.into(),
+            len: 0,
+            id: WrId(0),
+        }
+    }
+
+    /// Transfer length in bytes (default 0).
+    pub fn len(mut self, len: u32) -> Self {
+        self.len = len;
+        self
+    }
+
+    /// Work-request id echoed in the completion (default 0).
+    pub fn id(mut self, id: impl Into<WrId>) -> Self {
+        self.id = id.into();
+        self
+    }
+}
+
+impl From<ReadWr> for WorkRequest {
+    fn from(b: ReadWr) -> Self {
+        WorkRequest {
+            id: b.id,
+            op: WrOp::Read {
+                local_mr: b.local.mr,
+                local_off: b.local.offset,
+                rkey: b.remote.mr,
+                remote_off: b.remote.offset,
+                len: b.len,
+            },
+        }
+    }
+}
+
+/// Typed builder for an RDMA WRITE work request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteWr {
+    local: MrSlice,
+    remote: MrSlice,
+    len: u32,
+    id: WrId,
+}
+
+impl WriteWr {
+    /// A WRITE pushing from `local` into `remote` on the peer.
+    pub fn new(local: impl Into<MrSlice>, remote: impl Into<MrSlice>) -> Self {
+        WriteWr {
+            local: local.into(),
+            remote: remote.into(),
+            len: 0,
+            id: WrId(0),
+        }
+    }
+
+    /// Transfer length in bytes (default 0).
+    pub fn len(mut self, len: u32) -> Self {
+        self.len = len;
+        self
+    }
+
+    /// Work-request id echoed in the completion (default 0).
+    pub fn id(mut self, id: impl Into<WrId>) -> Self {
+        self.id = id.into();
+        self
+    }
+}
+
+impl From<WriteWr> for WorkRequest {
+    fn from(b: WriteWr) -> Self {
+        WorkRequest {
+            id: b.id,
+            op: WrOp::Write {
+                local_mr: b.local.mr,
+                local_off: b.local.offset,
+                rkey: b.remote.mr,
+                remote_off: b.remote.offset,
+                len: b.len,
+            },
+        }
+    }
+}
+
+/// Typed builder for a two-sided SEND work request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendWr {
+    local: MrSlice,
+    len: u32,
+    id: WrId,
+}
+
+impl SendWr {
+    /// A SEND sourcing its payload from `local`.
+    pub fn new(local: impl Into<MrSlice>) -> Self {
+        SendWr {
+            local: local.into(),
+            len: 0,
+            id: WrId(0),
+        }
+    }
+
+    /// Payload length in bytes (default 0).
+    pub fn len(mut self, len: u32) -> Self {
+        self.len = len;
+        self
+    }
+
+    /// Work-request id echoed in the completion (default 0).
+    pub fn id(mut self, id: impl Into<WrId>) -> Self {
+        self.id = id.into();
+        self
+    }
+}
+
+impl From<SendWr> for WorkRequest {
+    fn from(b: SendWr) -> Self {
+        WorkRequest {
+            id: b.id,
+            op: WrOp::Send {
+                local_mr: b.local.mr,
+                local_off: b.local.offset,
+                len: b.len,
+            },
+        }
+    }
+}
+
+/// Typed builder for an 8-byte fetch-and-add; the original value lands
+/// at `local`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchAddWr {
+    local: MrSlice,
+    remote: MrSlice,
+    add: u64,
+    id: WrId,
+}
+
+impl FetchAddWr {
+    /// A fetch-and-add on the 8-byte word at `remote` (default addend 1).
+    pub fn new(local: impl Into<MrSlice>, remote: impl Into<MrSlice>) -> Self {
+        FetchAddWr {
+            local: local.into(),
+            remote: remote.into(),
+            add: 1,
+            id: WrId(0),
+        }
+    }
+
+    /// The addend (default 1).
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(mut self, add: u64) -> Self {
+        self.add = add;
+        self
+    }
+
+    /// Work-request id echoed in the completion (default 0).
+    pub fn id(mut self, id: impl Into<WrId>) -> Self {
+        self.id = id.into();
+        self
+    }
+}
+
+impl From<FetchAddWr> for WorkRequest {
+    fn from(b: FetchAddWr) -> Self {
+        WorkRequest {
+            id: b.id,
+            op: WrOp::Atomic {
+                local_mr: b.local.mr,
+                local_off: b.local.offset,
+                rkey: b.remote.mr,
+                remote_off: b.remote.offset,
+                op: crate::packet::AtomicOp::FetchAdd { add: b.add },
+            },
+        }
+    }
+}
+
+/// Typed builder for an 8-byte compare-and-swap; the original value
+/// lands at `local` (the swap took effect iff it equals the compare
+/// operand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompareSwapWr {
+    local: MrSlice,
+    remote: MrSlice,
+    compare: u64,
+    swap: u64,
+    id: WrId,
+}
+
+impl CompareSwapWr {
+    /// A compare-and-swap on the 8-byte word at `remote` (defaults:
+    /// compare 0, swap 0).
+    pub fn new(local: impl Into<MrSlice>, remote: impl Into<MrSlice>) -> Self {
+        CompareSwapWr {
+            local: local.into(),
+            remote: remote.into(),
+            compare: 0,
+            swap: 0,
+            id: WrId(0),
+        }
+    }
+
+    /// The expected current value (default 0).
+    pub fn compare(mut self, compare: u64) -> Self {
+        self.compare = compare;
+        self
+    }
+
+    /// The replacement value (default 0).
+    pub fn swap(mut self, swap: u64) -> Self {
+        self.swap = swap;
+        self
+    }
+
+    /// Work-request id echoed in the completion (default 0).
+    pub fn id(mut self, id: impl Into<WrId>) -> Self {
+        self.id = id.into();
+        self
+    }
+}
+
+impl From<CompareSwapWr> for WorkRequest {
+    fn from(b: CompareSwapWr) -> Self {
+        WorkRequest {
+            id: b.id,
+            op: WrOp::Atomic {
+                local_mr: b.local.mr,
+                local_off: b.local.offset,
+                rkey: b.remote.mr,
+                remote_off: b.remote.offset,
+                op: crate::packet::AtomicOp::CompareSwap {
+                    compare: b.compare,
+                    swap: b.swap,
+                },
+            },
+        }
+    }
+}
+
 /// A receive work request (buffer for an incoming SEND).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecvWr {
@@ -339,6 +642,93 @@ mod tests {
         assert!(!wqe.is_done(), "acked READ without data is not done");
         wqe.recv_segments = 1;
         assert!(wqe.is_done());
+    }
+
+    #[test]
+    fn builders_produce_equivalent_work_requests() {
+        let local = MrKey(1);
+        let remote = MrKey(2);
+        let read: WorkRequest = ReadWr::new(local, (remote, 64)).len(28).id(1).into();
+        assert_eq!(
+            read,
+            WorkRequest {
+                id: WrId(1),
+                op: WrOp::Read {
+                    local_mr: local,
+                    local_off: 0,
+                    rkey: remote,
+                    remote_off: 64,
+                    len: 28,
+                },
+            }
+        );
+        let write: WorkRequest = WriteWr::new((local, 8), remote).len(100).id(2).into();
+        assert_eq!(
+            write.op,
+            WrOp::Write {
+                local_mr: local,
+                local_off: 8,
+                rkey: remote,
+                remote_off: 0,
+                len: 100,
+            }
+        );
+        let send: WorkRequest = SendWr::new(local).len(5).id(3).into();
+        assert_eq!(
+            send.op,
+            WrOp::Send {
+                local_mr: local,
+                local_off: 0,
+                len: 5,
+            }
+        );
+        let faa: WorkRequest = FetchAddWr::new(local, remote).add(7).id(4).into();
+        assert_eq!(
+            faa.op,
+            WrOp::Atomic {
+                local_mr: local,
+                local_off: 0,
+                rkey: remote,
+                remote_off: 0,
+                op: crate::packet::AtomicOp::FetchAdd { add: 7 },
+            }
+        );
+        let cas: WorkRequest = CompareSwapWr::new(local, (remote, 16))
+            .compare(1)
+            .swap(9)
+            .id(5)
+            .into();
+        assert_eq!(
+            cas.op,
+            WrOp::Atomic {
+                local_mr: local,
+                local_off: 0,
+                rkey: remote,
+                remote_off: 16,
+                op: crate::packet::AtomicOp::CompareSwap {
+                    compare: 1,
+                    swap: 9,
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn mr_slice_conversions() {
+        assert_eq!(
+            MrSlice::from(MrKey(3)),
+            MrSlice {
+                mr: MrKey(3),
+                offset: 0
+            }
+        );
+        assert_eq!(
+            MrSlice::from((MrKey(3), 12)),
+            MrSlice {
+                mr: MrKey(3),
+                offset: 12
+            }
+        );
     }
 
     #[test]

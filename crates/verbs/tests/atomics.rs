@@ -5,7 +5,8 @@
 use ibsim_event::{Engine, SimTime, SplitMix64};
 use ibsim_fabric::{LinkSpec, LossModel};
 use ibsim_verbs::{
-    Cluster, DeviceProfile, HostId, MrDesc, MrMode, QpConfig, Sim, WcOpcode, WcStatus, WrId,
+    Cluster, CompareSwapWr, DeviceProfile, FetchAddWr, HostId, MrDesc, MrMode, QpConfig, Sim,
+    WcOpcode, WcStatus,
 };
 fn setup(mode: MrMode) -> (Sim, Cluster, HostId, HostId, MrDesc, MrDesc) {
     let mut eng = Engine::new();
@@ -27,7 +28,12 @@ fn fetch_add_returns_original_and_adds() {
     let (mut eng, mut cl, a, b, local, remote) = setup(MrMode::Pinned);
     cl.mem_write(b, remote.base, &100u64.to_le_bytes());
     let (qp, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_fetch_add(&mut eng, a, qp, WrId(1), local.key, 0, remote.key, 0, 5);
+    cl.post(
+        &mut eng,
+        a,
+        qp,
+        FetchAddWr::new(local.key, remote.key).add(5).id(1),
+    );
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
     assert_eq!(cq[0].status, WcStatus::Success);
@@ -43,13 +49,29 @@ fn compare_swap_only_swaps_on_match() {
     cl.mem_write(b, remote.base, &7u64.to_le_bytes());
     let (qp, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
     // Mismatch first: no swap.
-    cl.post_compare_swap(&mut eng, a, qp, WrId(1), local.key, 0, remote.key, 0, 99, 1);
+    cl.post(
+        &mut eng,
+        a,
+        qp,
+        CompareSwapWr::new(local.key, remote.key)
+            .compare(99)
+            .swap(1)
+            .id(1),
+    );
     eng.run(&mut cl);
     assert_eq!(cl.poll_cq(a)[0].opcode, WcOpcode::CompareSwap);
     assert_eq!(read_u64(&mut cl, a, local.base), 7);
     assert_eq!(read_u64(&mut cl, b, remote.base), 7, "no swap on mismatch");
     // Match: swap.
-    cl.post_compare_swap(&mut eng, a, qp, WrId(2), local.key, 8, remote.key, 0, 7, 42);
+    cl.post(
+        &mut eng,
+        a,
+        qp,
+        CompareSwapWr::new((local.key, 8), remote.key)
+            .compare(7)
+            .swap(42)
+            .id(2),
+    );
     eng.run(&mut cl);
     assert_eq!(cl.poll_cq(a)[0].status, WcStatus::Success);
     assert_eq!(read_u64(&mut cl, a, local.base + 8), 7);
@@ -60,7 +82,12 @@ fn compare_swap_only_swaps_on_match() {
 fn unaligned_atomic_is_rejected() {
     let (mut eng, mut cl, a, b, local, remote) = setup(MrMode::Pinned);
     let (qp, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_fetch_add(&mut eng, a, qp, WrId(1), local.key, 0, remote.key, 4, 1);
+    cl.post(
+        &mut eng,
+        a,
+        qp,
+        FetchAddWr::new(local.key, (remote.key, 4)).add(1).id(1),
+    );
     eng.run(&mut cl);
     assert_eq!(cl.poll_cq(a)[0].status, WcStatus::RemoteAccessErr);
 }
@@ -70,7 +97,12 @@ fn atomic_on_cold_odp_page_faults_then_completes() {
     let (mut eng, mut cl, a, b, local, remote) = setup(MrMode::Odp);
     cl.mem_write(b, remote.base, &1u64.to_le_bytes());
     let (qp, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_fetch_add(&mut eng, a, qp, WrId(1), local.key, 0, remote.key, 0, 1);
+    cl.post(
+        &mut eng,
+        a,
+        qp,
+        FetchAddWr::new(local.key, remote.key).add(1).id(1),
+    );
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
     assert_eq!(cq[0].status, WcStatus::Success);
@@ -90,7 +122,12 @@ fn lost_response_is_replayed_not_reexecuted() {
     let (qp, _) = cl.connect_pair(&mut eng, a, b, cfg);
     // Frame 0 is the request, frame 1 the response: drop the response.
     cl.fabric.set_loss(LossModel::nth(vec![1]));
-    cl.post_fetch_add(&mut eng, a, qp, WrId(1), local.key, 0, remote.key, 0, 1);
+    cl.post(
+        &mut eng,
+        a,
+        qp,
+        FetchAddWr::new(local.key, remote.key).add(1).id(1),
+    );
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
     assert_eq!(cq[0].status, WcStatus::Success);
@@ -111,7 +148,12 @@ fn concurrent_fetch_adds_from_two_qps_serialize() {
     let (qp2, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
     for i in 0..8u64 {
         let qp = if i % 2 == 0 { qp1 } else { qp2 };
-        cl.post_fetch_add(&mut eng, a, qp, WrId(i), local.key, i * 8, remote.key, 0, 1);
+        cl.post(
+            &mut eng,
+            a,
+            qp,
+            FetchAddWr::new((local.key, i * 8), remote.key).add(1).id(i),
+        );
     }
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
@@ -154,7 +196,12 @@ fn fetch_add_exactly_once_under_loss() {
         let (qp, _) = cl.connect_pair(&mut eng, a, b, cfg);
         let n = 10u64;
         for i in 0..n {
-            cl.post_fetch_add(&mut eng, a, qp, WrId(i), local.key, i * 8, remote.key, 0, 1);
+            cl.post(
+                &mut eng,
+                a,
+                qp,
+                FetchAddWr::new((local.key, i * 8), remote.key).add(1).id(i),
+            );
         }
         eng.run(&mut cl);
         let cq = cl.poll_cq(a);

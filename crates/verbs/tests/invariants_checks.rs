@@ -7,7 +7,7 @@
 
 use ibsim_event::Engine;
 use ibsim_fabric::{Lid, LinkSpec};
-use ibsim_verbs::{Cluster, DeviceProfile, MrMode, Qp, QpConfig, QpState, Qpn, WrId};
+use ibsim_verbs::{Cluster, DeviceProfile, MrMode, Qp, QpConfig, QpState, Qpn, ReadWr};
 
 #[test]
 fn healthy_run_counts_no_violations() {
@@ -19,7 +19,12 @@ fn healthy_run_counts_no_violations() {
     let local = cl.alloc_mr(a, 1 << 16, MrMode::Pinned);
     let (qp, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
     for i in 0..4u64 {
-        cl.post_read(&mut eng, a, qp, WrId(i), local.key, 0, remote.key, 0, 1024);
+        cl.post(
+            &mut eng,
+            a,
+            qp,
+            ReadWr::new(local.key, remote.key).len(1024).id(i),
+        );
     }
     eng.run(&mut cl);
     assert_eq!(cl.poll_cq(a).len(), 4);

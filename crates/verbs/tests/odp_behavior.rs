@@ -4,7 +4,7 @@
 use ibsim_event::{Engine, SimTime};
 use ibsim_fabric::LinkSpec;
 use ibsim_verbs::{
-    Cluster, DeviceProfile, HostId, MrMode, PacketKind, QpConfig, Sim, WcStatus, WrId,
+    Cluster, DeviceProfile, HostId, MrMode, PacketKind, QpConfig, ReadWr, Sim, WcStatus, WriteWr,
 };
 
 fn cx4() -> DeviceProfile {
@@ -50,7 +50,12 @@ fn server_side_odp_single_read_uses_rnr_nak() {
     let (mut eng, mut cl, a, b, local, remote) = setup(cx4(), true, false, 4096);
     cl.capture_enable(a);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_read(&mut eng, a, qa, WrId(1), local.key, 0, remote.key, 0, 100);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        ReadWr::new(local.key, remote.key).len(100).id(1),
+    );
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
     assert_eq!(cq[0].status, WcStatus::Success);
@@ -80,7 +85,12 @@ fn client_side_odp_single_read_blind_retransmits() {
     let (mut eng, mut cl, a, b, local, remote) = setup(cx4(), false, true, 4096);
     cl.capture_enable(a);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_read(&mut eng, a, qa, WrId(1), local.key, 0, remote.key, 0, 100);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        ReadWr::new(local.key, remote.key).len(100).id(1),
+    );
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
     assert_eq!(cq[0].status, WcStatus::Success);
@@ -108,7 +118,12 @@ fn prefetched_odp_behaves_like_pinned() {
     cl.prefetch_mr(b, remote.key);
     cl.prefetch_mr(a, local.key);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_read(&mut eng, a, qa, WrId(1), local.key, 0, remote.key, 0, 100);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        ReadWr::new(local.key, remote.key).len(100).id(1),
+    );
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
     assert_eq!(cq[0].status, WcStatus::Success);
@@ -121,13 +136,23 @@ fn prefetched_odp_behaves_like_pinned() {
 fn invalidated_page_faults_again() {
     let (mut eng, mut cl, a, b, local, remote) = setup(cx4(), true, false, 4096);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_read(&mut eng, a, qa, WrId(1), local.key, 0, remote.key, 0, 100);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        ReadWr::new(local.key, remote.key).len(100).id(1),
+    );
     eng.run(&mut cl);
     assert_eq!(cl.poll_cq(a).len(), 1);
     assert_eq!(cl.mr_fault_count(b, remote.key), 1);
     // The kernel reclaims the server page; the next READ faults again.
     cl.invalidate_page(b, remote.key, 0);
-    cl.post_read(&mut eng, a, qa, WrId(2), local.key, 0, remote.key, 0, 100);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        ReadWr::new(local.key, remote.key).len(100).id(2),
+    );
     eng.run(&mut cl);
     assert_eq!(cl.poll_cq(a)[0].status, WcStatus::Success);
     assert_eq!(cl.mr_fault_count(b, remote.key), 2);
@@ -141,7 +166,12 @@ fn write_from_odp_source_stalls_until_fault_resolves() {
     cl.mem_write(a, local.base, b"send-side fault");
     // mem_write touches OS pages but the NIC mapping is still cold.
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_write(&mut eng, a, qa, WrId(1), local.key, 0, remote.key, 0, 15);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        WriteWr::new(local.key, remote.key).len(15).id(1),
+    );
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
     assert_eq!(cq[0].status, WcStatus::Success);
@@ -169,10 +199,15 @@ fn two_reads(
     let (mut eng, mut cl, a, b, local, remote) = setup(profile, server_odp, client_odp, 8192);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
     // Fig. 3 layout: 100-byte messages at `size * i`, both on page 0.
-    cl.post_read(&mut eng, a, qa, WrId(0), local.key, 0, remote.key, 0, 100);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        ReadWr::new(local.key, remote.key).len(100).id(0u64),
+    );
     let (lk, rk) = (local.key, remote.key);
     eng.schedule_at(interval, move |c: &mut Cluster, eng| {
-        c.post_read(eng, a, qa, WrId(1), lk, 100, rk, 100, 100);
+        c.post(eng, a, qa, ReadWr::new((lk, 100), (rk, 100)).len(100).id(1));
     });
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
@@ -240,13 +275,23 @@ fn third_read_rescues_via_sequence_error_nak() {
     cl.invalidate_page(a, local.key, 0);
     cl.capture_enable(a);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_read(&mut eng, a, qa, WrId(0), local.key, 0, remote.key, 0, 100);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        ReadWr::new(local.key, remote.key).len(100).id(0u64),
+    );
     let (lk, rk) = (local.key, remote.key);
     // Second READ 0.35 ms after the first (inside the ghost window),
     // third at 0.7 ms (outside).
     for i in 1..3u64 {
         eng.schedule_at(SimTime::from_us(350) * i, move |c: &mut Cluster, eng| {
-            c.post_read(eng, a, qa, WrId(i), lk, i * 4096, rk, i * 4096, 100);
+            c.post(
+                eng,
+                a,
+                qa,
+                ReadWr::new((lk, i * 4096), (rk, i * 4096)).len(100).id(i),
+            );
         });
     }
     eng.run(&mut cl);
@@ -270,10 +315,20 @@ fn damming_timeout_also_with_write_as_second_op() {
     let (mut eng, mut cl, a, b, local, remote) = setup(cx4(), true, false, 8192);
     cl.mem_write(a, local.base + 4096, b"w");
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_read(&mut eng, a, qa, WrId(0), local.key, 0, remote.key, 0, 100);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        ReadWr::new(local.key, remote.key).len(100).id(0u64),
+    );
     let (lk, rk) = (local.key, remote.key);
     eng.schedule_at(SimTime::from_ms(1), move |c: &mut Cluster, eng| {
-        c.post_write(eng, a, qa, WrId(1), lk, 4096, rk, 4096, 1);
+        c.post(
+            eng,
+            a,
+            qa,
+            WriteWr::new((lk, 4096), (rk, 4096)).len(1).id(1),
+        );
     });
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
@@ -304,16 +359,13 @@ fn flood_run(qps: usize) -> (SimTime, u64) {
         handles.push(cl.connect_pair(&mut eng, a, b, cfg.clone()));
     }
     for (i, (qa, _)) in handles.iter().enumerate() {
-        cl.post_read(
+        cl.post(
             &mut eng,
             a,
             *qa,
-            WrId(i as u64),
-            local.key,
-            (i * 32) as u64,
-            remote.key,
-            0,
-            32,
+            ReadWr::new((local.key, (i * 32) as u64), remote.key)
+                .len(32)
+                .id(i as u64),
         );
     }
     eng.run(&mut cl);
@@ -369,16 +421,13 @@ fn flood_retransmissions_are_duplicates_of_the_same_reads() {
         qps.push(cl.connect_pair(&mut eng, a, b, cfg.clone()).0);
     }
     for (i, qa) in qps.iter().enumerate() {
-        cl.post_read(
+        cl.post(
             &mut eng,
             a,
             *qa,
-            WrId(i as u64),
-            local.key,
-            (i * 32) as u64,
-            remote.key,
-            0,
-            32,
+            ReadWr::new((local.key, (i * 32) as u64), remote.key)
+                .len(32)
+                .id(i as u64),
         );
     }
     eng.run(&mut cl);

@@ -7,7 +7,9 @@
 
 use ibsim_event::{Engine, SplitMix64};
 use ibsim_fabric::{LinkSpec, LossModel};
-use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, RecvWr, WcStatus, WrId};
+use ibsim_verbs::{
+    Cluster, DeviceProfile, MrMode, QpConfig, ReadWr, RecvWr, SendWr, WcStatus, WrId, WriteWr,
+};
 
 fn profile() -> DeviceProfile {
     // Shrink the timeout so loss-recovery tests stay fast: a permissive
@@ -46,16 +48,13 @@ fn reads_survive_uniform_loss() {
         };
         let (qa, _) = cl.connect_pair(&mut eng, a, b, cfg);
         for i in 0..n_ops {
-            cl.post_read(
+            cl.post(
                 &mut eng,
                 a,
                 qa,
-                WrId(i),
-                local.key,
-                i * 128,
-                remote.key,
-                i * 128,
-                128,
+                ReadWr::new((local.key, i * 128), (remote.key, i * 128))
+                    .len(128)
+                    .id(i),
             );
         }
         eng.run(&mut cl);
@@ -116,9 +115,19 @@ fn mixed_ops_survive_exact_losses() {
         let mut expect_client = 0usize;
         for i in 0..12u64 {
             match i % 3 {
-                0 => cl.post_read(&mut eng, a, qa, WrId(i), local.key, 0, remote.key, 0, 200),
-                1 => cl.post_write(&mut eng, a, qa, WrId(i), local.key, 0, remote.key, 512, 200),
-                _ => cl.post_send(&mut eng, a, qa, WrId(i), local.key, 0, 100),
+                0 => cl.post(
+                    &mut eng,
+                    a,
+                    qa,
+                    ReadWr::new(local.key, remote.key).len(200).id(i),
+                ),
+                1 => cl.post(
+                    &mut eng,
+                    a,
+                    qa,
+                    WriteWr::new(local.key, (remote.key, 512)).len(200).id(i),
+                ),
+                _ => cl.post(&mut eng, a, qa, SendWr::new(local.key).len(100).id(i)),
             }
             expect_client += 1;
         }
@@ -148,16 +157,13 @@ fn identical_seeds_are_deterministic() {
             let local = cl.alloc_mr(a, 16 * 4096, MrMode::Odp);
             let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
             for i in 0..16u64 {
-                cl.post_read(
+                cl.post(
                     &mut eng,
                     a,
                     qa,
-                    WrId(i),
-                    local.key,
-                    i * 4096,
-                    remote.key,
-                    i * 4096,
-                    256,
+                    ReadWr::new((local.key, i * 4096), (remote.key, i * 4096))
+                        .len(256)
+                        .id(i),
                 );
             }
             eng.run(&mut cl);

@@ -6,7 +6,7 @@
 
 use ibsim_event::{Engine, SimTime};
 use ibsim_fabric::{Lid, LinkSpec};
-use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, Qpn, WrId};
+use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, Qpn, ReadWr};
 
 /// A device with a low timeout floor (so the test runs in microseconds,
 /// not the CX-4's 500 ms) and an exaggerated per-QP load coefficient (so
@@ -44,16 +44,11 @@ fn storm_scenario(n_storm: usize) -> (Engine<Cluster>, Cluster, ibsim_verbs::Hos
         },
     );
     cl.connect_to_lid(a, victim, Lid(999), Qpn(77));
-    cl.post_read(
+    cl.post(
         &mut eng,
         a,
         victim,
-        WrId(0),
-        local.key,
-        0,
-        remote_pinned.key,
-        0,
-        64,
+        ReadWr::new(local.key, remote_pinned.key).len(64).id(0u64),
     );
 
     // The storm: READs against cold ODP pages trigger responder-side
@@ -67,7 +62,14 @@ fn storm_scenario(n_storm: usize) -> (Engine<Cluster>, Cluster, ibsim_verbs::Hos
         let (q, lk, rk) = (*q, local.key, remote_odp.key);
         let off = 4096 + (i as u64) * 64;
         eng.schedule_at(SimTime::from_us(20), move |c: &mut Cluster, eng| {
-            c.post_read(eng, a, q, WrId(1000 + i as u64), lk, off, rk, off, 32);
+            c.post(
+                eng,
+                a,
+                q,
+                ReadWr::new((lk, off), (rk, off))
+                    .len(32)
+                    .id(1000 + i as u64),
+            );
         });
     }
     (eng, cl, a)

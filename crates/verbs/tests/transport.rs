@@ -5,7 +5,8 @@
 use ibsim_event::{Engine, SimTime};
 use ibsim_fabric::{Lid, LossModel};
 use ibsim_verbs::{
-    Cluster, DeviceProfile, MrMode, QpConfig, RecvWr, Sim, WcOpcode, WcStatus, WrId,
+    Cluster, DeviceProfile, MrMode, QpConfig, ReadWr, RecvWr, SendWr, Sim, WcOpcode, WcStatus,
+    WrId, WriteWr,
 };
 
 fn two_hosts(profile: DeviceProfile) -> (Sim, Cluster, ibsim_verbs::HostId, ibsim_verbs::HostId) {
@@ -25,7 +26,12 @@ fn read_roundtrip_pinned() {
     let payload: Vec<u8> = (0..8192u32).map(|i| (i % 253) as u8).collect();
     cl.mem_write(b, remote.base, &payload);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_read(&mut eng, a, qa, WrId(1), local.key, 0, remote.key, 0, 8192);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        ReadWr::new(local.key, remote.key).len(8192).id(1),
+    );
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
     assert_eq!(cq.len(), 1);
@@ -42,7 +48,12 @@ fn read_latency_is_microseconds_without_odp() {
     let remote = cl.alloc_mr(b, 4096, MrMode::Pinned);
     let local = cl.alloc_mr(a, 4096, MrMode::Pinned);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_read(&mut eng, a, qa, WrId(1), local.key, 0, remote.key, 0, 100);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        ReadWr::new(local.key, remote.key).len(100).id(1),
+    );
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
     // "the usual round trip latency of InfiniBand is about several µs" (§IV-B)
@@ -63,16 +74,11 @@ fn large_read_segments_at_mtu() {
     let payload: Vec<u8> = (0..len as u32).map(|i| (i * 7 % 256) as u8).collect();
     cl.mem_write(b, remote.base, &payload);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_read(
+    cl.post(
         &mut eng,
         a,
         qa,
-        WrId(1),
-        local.key,
-        0,
-        remote.key,
-        0,
-        len as u32,
+        ReadWr::new(local.key, remote.key).len(len as u32).id(1),
     );
     eng.run(&mut cl);
     assert_eq!(cl.poll_cq(a)[0].status, WcStatus::Success);
@@ -89,7 +95,12 @@ fn write_roundtrip() {
     let payload: Vec<u8> = (0..10000u32).map(|i| (i % 59) as u8).collect();
     cl.mem_write(a, local.base, &payload);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_write(&mut eng, a, qa, WrId(2), local.key, 0, remote.key, 0, 10000);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        WriteWr::new(local.key, remote.key).len(10000).id(2),
+    );
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
     assert_eq!(cq[0].status, WcStatus::Success);
@@ -115,7 +126,7 @@ fn send_recv_roundtrip() {
             max_len: 4096,
         },
     );
-    cl.post_send(&mut eng, a, qa, WrId(3), src.key, 0, 15);
+    cl.post(&mut eng, a, qa, SendWr::new(src.key).len(15).id(3));
     eng.run(&mut cl);
     let ca = cl.poll_cq(a);
     let cb = cl.poll_cq(b);
@@ -135,7 +146,7 @@ fn send_without_recv_waits_for_rnr_then_completes() {
     let dst = cl.alloc_mr(b, 4096, MrMode::Pinned);
     cl.mem_write(a, src.base, b"late recv");
     let (qa, qb) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_send(&mut eng, a, qa, WrId(1), src.key, 0, 9);
+    cl.post(&mut eng, a, qa, SendWr::new(src.key).len(9).id(1));
     // Post the receive 2 ms later; the sender must recover via RNR NAK.
     let key = dst.key;
     eng.schedule_at(SimTime::from_ms(2), move |c: &mut Cluster, _| {
@@ -170,16 +181,13 @@ fn many_sequential_reads_complete_in_order() {
     let local = cl.alloc_mr(a, 64 * 100, MrMode::Pinned);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
     for i in 0..64u64 {
-        cl.post_read(
+        cl.post(
             &mut eng,
             a,
             qa,
-            WrId(i),
-            local.key,
-            i * 100,
-            remote.key,
-            i * 100,
-            100,
+            ReadWr::new((local.key, i * 100), (remote.key, i * 100))
+                .len(100)
+                .id(i),
         );
     }
     eng.run(&mut cl);
@@ -201,7 +209,12 @@ fn wrong_lid_aborts_with_retry_exc_err_at_8_timeouts() {
     let (qa, qb) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
     // Redirect the client QP to a nonexistent LID.
     cl.connect_to_lid(a, qa, Lid(999), qb);
-    cl.post_read(&mut eng, a, qa, WrId(1), local.key, 0, remote.key, 0, 100);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        ReadWr::new(local.key, remote.key).len(100).id(1),
+    );
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
     assert_eq!(cq.len(), 1);
@@ -233,7 +246,12 @@ fn cack_above_floor_doubles_abort_time() {
         };
         let (qa, qb) = cl.connect_pair(&mut eng, a, b, cfg);
         cl.connect_to_lid(a, qa, Lid(999), qb);
-        cl.post_read(&mut eng, a, qa, WrId(1), local.key, 0, remote.key, 0, 100);
+        cl.post(
+            &mut eng,
+            a,
+            qa,
+            ReadWr::new(local.key, remote.key).len(100).id(1),
+        );
         eng.run(&mut cl);
         cl.poll_cq(a)[0].at
     };
@@ -253,7 +271,12 @@ fn injected_single_loss_recovers_via_timeout() {
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
     // Drop exactly the first frame (the READ request).
     cl.fabric.set_loss(LossModel::nth(vec![0]));
-    cl.post_read(&mut eng, a, qa, WrId(1), local.key, 0, remote.key, 0, 13);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        ReadWr::new(local.key, remote.key).len(13).id(1),
+    );
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
     assert_eq!(cq[0].status, WcStatus::Success);
@@ -275,16 +298,11 @@ fn remote_access_error_reported() {
     let local = cl.alloc_mr(a, 4096, MrMode::Pinned);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
     // Read past the end of the remote region.
-    cl.post_read(
+    cl.post(
         &mut eng,
         a,
         qa,
-        WrId(1),
-        local.key,
-        0,
-        remote.key,
-        4000,
-        200,
+        ReadWr::new(local.key, (remote.key, 4000)).len(200).id(1),
     );
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
@@ -299,11 +317,21 @@ fn posts_after_error_flush() {
     let local = cl.alloc_mr(a, 4096, MrMode::Pinned);
     let (qa, qb) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
     cl.connect_to_lid(a, qa, Lid(999), qb);
-    cl.post_read(&mut eng, a, qa, WrId(1), local.key, 0, remote.key, 0, 100);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        ReadWr::new(local.key, remote.key).len(100).id(1),
+    );
     eng.run(&mut cl);
     assert_eq!(cl.poll_cq(a)[0].status, WcStatus::RetryExcErr);
     // The QP is now in the error state: further posts flush immediately.
-    cl.post_read(&mut eng, a, qa, WrId(2), local.key, 0, remote.key, 0, 100);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        ReadWr::new(local.key, remote.key).len(100).id(2),
+    );
     eng.run(&mut cl);
     let cq = cl.poll_cq(a);
     assert_eq!(cq.len(), 1);
@@ -318,7 +346,12 @@ fn capture_records_request_and_response() {
     let local = cl.alloc_mr(a, 4096, MrMode::Pinned);
     cl.capture_enable(a);
     let (qa, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_read(&mut eng, a, qa, WrId(1), local.key, 0, remote.key, 0, 64);
+    cl.post(
+        &mut eng,
+        a,
+        qa,
+        ReadWr::new(local.key, remote.key).len(64).id(1),
+    );
     eng.run(&mut cl);
     let cap = cl.capture(a);
     let ops: Vec<&str> = cap.iter().map(|r| r.payload.kind.opcode()).collect();

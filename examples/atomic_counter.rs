@@ -6,29 +6,42 @@
 //! cargo run --release --example atomic_counter
 //! ```
 
-use ibsim::event::Engine;
-use ibsim::verbs::{Cluster, DeviceProfile, MrMode, QpConfig, WcStatus, WrId};
+use ibsim::verbs::{
+    ClusterBuilder, CompareSwapWr, DeviceProfile, FetchAddWr, MrBuilder, QpConfig, WcStatus,
+};
 
 fn main() {
-    let mut eng = Engine::new();
-    let mut cl = Cluster::new(23);
     let device = DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr());
-    let server = cl.add_host("server", device.clone());
-    let c1 = cl.add_host("client1", device.clone());
-    let c2 = cl.add_host("client2", device);
+    let (mut eng, mut cl, hosts) = ClusterBuilder::new()
+        .seed(23)
+        .host("server", device.clone())
+        .host("client1", device.clone())
+        .host("client2", device)
+        .build();
+    let (server, c1, c2) = (hosts[0], hosts[1], hosts[2]);
 
     // The shared counter lives in an ODP region on the server: the very
     // first atomic page-faults, the rest run at wire speed.
-    let shared = cl.alloc_mr(server, 4096, MrMode::Odp);
-    let l1 = cl.alloc_mr(c1, 4096, MrMode::Pinned);
-    let l2 = cl.alloc_mr(c2, 4096, MrMode::Pinned);
+    let shared = cl.mr(server, MrBuilder::odp(4096));
+    let l1 = cl.mr(c1, MrBuilder::pinned(4096));
+    let l2 = cl.mr(c2, MrBuilder::pinned(4096));
     let (q1, _) = cl.connect_pair(&mut eng, c1, server, QpConfig::default());
     let (q2, _) = cl.connect_pair(&mut eng, c2, server, QpConfig::default());
 
     // 32 increments from each client, racing.
     for i in 0..32u64 {
-        cl.post_fetch_add(&mut eng, c1, q1, WrId(i), l1.key, i * 8, shared.key, 0, 1);
-        cl.post_fetch_add(&mut eng, c2, q2, WrId(i), l2.key, i * 8, shared.key, 0, 1);
+        cl.post(
+            &mut eng,
+            c1,
+            q1,
+            FetchAddWr::new((l1.key, i * 8), shared.key).add(1).id(i),
+        );
+        cl.post(
+            &mut eng,
+            c2,
+            q2,
+            FetchAddWr::new((l2.key, i * 8), shared.key).add(1).id(i),
+        );
     }
     eng.run(&mut cl);
     let (d1, d2) = (cl.poll_cq(c1), cl.poll_cq(c2));
@@ -40,17 +53,14 @@ fn main() {
     // A CAS spinlock: client1 takes it, client2's attempt fails, then
     // succeeds after release.
     let lock_off = 8u64;
-    cl.post_compare_swap(
+    cl.post(
         &mut eng,
         c1,
         q1,
-        WrId(100),
-        l1.key,
-        512,
-        shared.key,
-        lock_off,
-        0,
-        1,
+        CompareSwapWr::new((l1.key, 512), (shared.key, lock_off))
+            .compare(0)
+            .swap(1)
+            .id(100),
     );
     eng.run(&mut cl);
     assert_eq!(cl.poll_cq(c1).len(), 1);
@@ -58,17 +68,14 @@ fn main() {
     println!("client1 CAS(0 -> 1): saw {seen1} (acquired)");
     assert_eq!(seen1, 0);
 
-    cl.post_compare_swap(
+    cl.post(
         &mut eng,
         c2,
         q2,
-        WrId(100),
-        l2.key,
-        512,
-        shared.key,
-        lock_off,
-        0,
-        1,
+        CompareSwapWr::new((l2.key, 512), (shared.key, lock_off))
+            .compare(0)
+            .swap(1)
+            .id(100),
     );
     eng.run(&mut cl);
     cl.poll_cq(c2);
@@ -77,31 +84,25 @@ fn main() {
     assert_eq!(seen2, 1);
 
     // client1 releases (CAS 1 -> 0), client2 retries and wins.
-    cl.post_compare_swap(
+    cl.post(
         &mut eng,
         c1,
         q1,
-        WrId(101),
-        l1.key,
-        520,
-        shared.key,
-        lock_off,
-        1,
-        0,
+        CompareSwapWr::new((l1.key, 520), (shared.key, lock_off))
+            .compare(1)
+            .swap(0)
+            .id(101),
     );
     eng.run(&mut cl);
     cl.poll_cq(c1);
-    cl.post_compare_swap(
+    cl.post(
         &mut eng,
         c2,
         q2,
-        WrId(101),
-        l2.key,
-        520,
-        shared.key,
-        lock_off,
-        0,
-        1,
+        CompareSwapWr::new((l2.key, 520), (shared.key, lock_off))
+            .compare(0)
+            .swap(1)
+            .id(101),
     );
     eng.run(&mut cl);
     cl.poll_cq(c2);

@@ -7,16 +7,21 @@
 //! ```
 
 use ibsim::analysis::{lint_capture, LintConfig, RuleId};
-use ibsim::event::{Engine, SimTime};
+use ibsim::event::SimTime;
 use ibsim::odp::workaround::install_dummy_reads;
 use ibsim::odp::{detect_damming, run_microbench, MicrobenchConfig};
-use ibsim::verbs::{Cluster, DeviceProfile, MrMode, QpConfig, WcStatus, WrId};
+use ibsim::telemetry::render_summary;
+use ibsim::verbs::{
+    Cluster, ClusterBuilder, DeviceProfile, MrBuilder, QpConfig, ReadWr, WcStatus, WrId,
+};
 
 fn main() {
-    // 1. Two READs, 1 ms apart, both-side ODP: the paper's §V-A setup.
+    // 1. Two READs, 1 ms apart, both-side ODP: the paper's §V-A setup,
+    //    with sim-time telemetry recording the fault lifecycles.
     let cfg = MicrobenchConfig {
         interval: SimTime::from_ms(1),
         capture: true,
+        telemetry: true,
         ..Default::default()
     };
     let run = run_microbench(&cfg);
@@ -47,20 +52,44 @@ fn main() {
     assert_eq!(report.count(RuleId::FloodSignature), 0);
     assert_eq!(report.count(RuleId::UnjustifiedRetransmit), 0);
 
-    // 4. Workaround: a software timer posting dummy READs gives the
+    // 4. The telemetry layer tells the same story from the inside: the
+    //    fault-lifecycle spans show where the time went (driver queue
+    //    wait, resolution, page-status propagation, retransmit drain).
+    println!(
+        "\nsim-time telemetry:\n{}",
+        render_summary(run.cluster.telemetry())
+    );
+    assert!(
+        !run.cluster.telemetry().spans().is_empty(),
+        "the damming run must record at least one fault span"
+    );
+
+    // 5. Workaround: a software timer posting dummy READs gives the
     //    responder a chance to emit NAK(PSN sequence error) early.
-    let mut eng = Engine::new();
-    let mut cl = Cluster::new(7);
-    let device = DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr());
-    let a = cl.add_host("client", device.clone());
-    let b = cl.add_host("server", device);
-    let remote = cl.alloc_mr(b, 8192, MrMode::Odp);
-    let local = cl.alloc_mr(a, 8192, MrMode::Pinned);
+    let (mut eng, mut cl, hosts) = ClusterBuilder::new()
+        .seed(7)
+        .host(
+            "client",
+            DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr()),
+        )
+        .host(
+            "server",
+            DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr()),
+        )
+        .build();
+    let (a, b) = (hosts[0], hosts[1]);
+    let remote = cl.mr(b, MrBuilder::odp(8192));
+    let local = cl.mr(a, MrBuilder::pinned(8192));
     let (qp, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_read(&mut eng, a, qp, WrId(0), local.key, 0, remote.key, 0, 100);
+    cl.post(
+        &mut eng,
+        a,
+        qp,
+        ReadWr::new(local.key, remote.key).len(100).id(0u64),
+    );
     let (lk, rk) = (local.key, remote.key);
     eng.schedule_at(SimTime::from_ms(1), move |c: &mut Cluster, eng| {
-        c.post_read(eng, a, qp, WrId(1), lk, 200, rk, 200, 100);
+        c.post(eng, a, qp, ReadWr::new((lk, 200), (rk, 200)).len(100).id(1));
     });
     install_dummy_reads(
         &mut eng,

@@ -8,14 +8,16 @@
 //! ```
 
 use ibsim::analysis::{lint_capture, LintConfig, RuleId};
-use ibsim::event::{Engine, SimTime};
+use ibsim::event::SimTime;
 use ibsim::odp::workaround::reissue_read;
 use ibsim::odp::{detect_flood, run_microbench, summarize, MicrobenchConfig, OdpMode};
-use ibsim::verbs::{Cluster, DeviceProfile, MrMode, QpConfig, WrId};
+use ibsim::telemetry::render_summary;
+use ibsim::verbs::{ClusterBuilder, DeviceProfile, MrBuilder, QpConfig, ReadWr, WrId};
 
 fn main() {
     // 1. The Fig. 11a setup: 128 QPs, one 32-byte READ each, all landing
-    //    on the same local ODP page.
+    //    on the same local ODP page, with telemetry recording the fault
+    //    lifecycle (raise → queue wait → resolve → per-QP propagation).
     let cfg = MicrobenchConfig {
         size: 32,
         num_ops: 128,
@@ -23,6 +25,7 @@ fn main() {
         odp: OdpMode::ClientSide,
         cack: 18,
         capture: true,
+        telemetry: true,
         ..Default::default()
     };
     let run = run_microbench(&cfg);
@@ -54,15 +57,36 @@ fn main() {
     assert!(report.count(RuleId::FloodSignature) >= 1);
     assert_eq!(report.count(RuleId::DammingSignature), 0);
 
-    // 3. Workaround: re-issue the stuck READ on a fresh QP whose page
+    // 3. Telemetry: the span report must show the single shared fault
+    //    with its 127 stale-QP propagations. An empty span store means
+    //    the observability layer silently lost the lifecycle — fail
+    //    loudly so CI catches it.
+    println!(
+        "\nsim-time telemetry:\n{}",
+        render_summary(run.cluster.telemetry())
+    );
+    let spans = run.cluster.telemetry().spans();
+    if spans.is_empty() {
+        eprintln!("error: flood run recorded zero fault spans");
+        std::process::exit(1);
+    }
+
+    // 4. Workaround: re-issue the stuck READ on a fresh QP whose page
     //    status is clean.
-    let mut eng = Engine::new();
-    let mut cl = Cluster::new(5);
-    let device = DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr());
-    let a = cl.add_host("client", device.clone());
-    let b = cl.add_host("server", device);
-    let remote = cl.alloc_mr(b, 4096, MrMode::Pinned);
-    let local = cl.alloc_mr(a, 4096, MrMode::Odp);
+    let (mut eng, mut cl, hosts) = ClusterBuilder::new()
+        .seed(5)
+        .host(
+            "client",
+            DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr()),
+        )
+        .host(
+            "server",
+            DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr()),
+        )
+        .build();
+    let (a, b) = (hosts[0], hosts[1]);
+    let remote = cl.mr(b, MrBuilder::pinned(4096));
+    let local = cl.mr(a, MrBuilder::odp(4096));
     let qp_cfg = QpConfig {
         cack: 18,
         ..QpConfig::default()
@@ -72,16 +96,13 @@ fn main() {
         .collect();
     let spare = cl.connect_pair(&mut eng, a, b, qp_cfg).0;
     for (i, q) in qps.iter().enumerate() {
-        cl.post_read(
+        cl.post(
             &mut eng,
             a,
             *q,
-            WrId(i as u64),
-            local.key,
-            (i * 32) as u64,
-            remote.key,
-            0,
-            32,
+            ReadWr::new((local.key, (i * 32) as u64), remote.key)
+                .len(32)
+                .id(i as u64),
         );
     }
     reissue_read(

@@ -5,41 +5,37 @@
 //! cargo run --example quickstart
 //! ```
 
-use ibsim::event::Engine;
-use ibsim::verbs::{Cluster, DeviceProfile, MrMode, QpConfig, WrId};
+use ibsim::verbs::{ClusterBuilder, DeviceProfile, MrBuilder, QpConfig, ReadWr};
 
 fn main() {
     // A deterministic two-host cluster with ConnectX-4 FDR NICs (the
-    // paper's KNL testbed).
-    let mut eng = Engine::new();
-    let mut cluster = Cluster::new(42);
-    let client = cluster.add_host(
-        "client",
-        DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr()),
-    );
-    let server = cluster.add_host(
-        "server",
-        DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr()),
-    );
+    // paper's KNL testbed), capture on.
+    let (mut eng, mut cluster, hosts) = ClusterBuilder::new()
+        .seed(42)
+        .host(
+            "client",
+            DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr()),
+        )
+        .host(
+            "server",
+            DeviceProfile::connectx4(ibsim::fabric::LinkSpec::fdr()),
+        )
+        .capture(true)
+        .build();
+    let (client, server) = (hosts[0], hosts[1]);
 
     // The server exposes an On-Demand-Paging region; the client reads
     // into a pinned buffer. The first READ will page-fault on the server.
-    let remote = cluster.alloc_mr(server, 4096, MrMode::Odp);
-    let local = cluster.alloc_mr(client, 4096, MrMode::Pinned);
+    let remote = cluster.mr(server, MrBuilder::odp(4096));
+    let local = cluster.mr(client, MrBuilder::pinned(4096));
     cluster.mem_write(server, remote.base, b"hello from on-demand paging");
 
-    cluster.capture_enable(client);
     let (qp, _) = cluster.connect_pair(&mut eng, client, server, QpConfig::default());
-    cluster.post_read(
+    cluster.post(
         &mut eng,
         client,
         qp,
-        WrId(1),
-        local.key,
-        0,
-        remote.key,
-        0,
-        28,
+        ReadWr::new(local.key, remote.key).len(28).id(1),
     );
     eng.run(&mut cluster);
 

@@ -14,6 +14,7 @@
 //! * [`ucp`] — UCX-like messaging/RMA layer,
 //! * [`dsm`] — ArgoDSM-like distributed shared memory,
 //! * [`shuffle`] — SparkUCX-like shuffle engine,
+//! * [`telemetry`] — metric registry, fault-lifecycle spans, exporters,
 //! * [`perftest`] — `ib_read_lat`/`ib_read_bw`-style micro-benchmarks,
 //! * [`analysis`] — RC trace linter, pitfall signature detectors, packet
 //!   conservation, and the runtime invariant registry.
@@ -32,5 +33,6 @@ pub use ibsim_fabric as fabric;
 pub use ibsim_odp as odp;
 pub use ibsim_perftest as perftest;
 pub use ibsim_shuffle as shuffle;
+pub use ibsim_telemetry as telemetry;
 pub use ibsim_ucp as ucp;
 pub use ibsim_verbs as verbs;

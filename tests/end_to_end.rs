@@ -10,7 +10,7 @@ use ibsim::odp::{
 };
 use ibsim::shuffle::{run_shuffle, ShuffleConfig};
 use ibsim::ucp::{MemSlice, Tag, Ucp, UcpConfig};
-use ibsim::verbs::{Cluster, DeviceProfile, MrMode, QpConfig, WrId};
+use ibsim::verbs::{Cluster, DeviceProfile, MrMode, QpConfig, ReadWr};
 
 #[test]
 fn facade_reexports_are_usable() {
@@ -23,7 +23,7 @@ fn facade_reexports_are_usable() {
     let dst = cl.alloc_mr(a, 4096, MrMode::Pinned);
     cl.mem_write(b, src.base, b"facade");
     let (qp, _) = cl.connect_pair(&mut eng, a, b, QpConfig::default());
-    cl.post_read(&mut eng, a, qp, WrId(1), dst.key, 0, src.key, 0, 6);
+    cl.post(&mut eng, a, qp, ReadWr::new(dst.key, src.key).len(6).id(1));
     eng.run(&mut cl);
     assert_eq!(cl.mem_read(a, dst.base, 6), b"facade");
 }
