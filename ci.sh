@@ -34,4 +34,8 @@ cargo run -q --offline --release --example flood_probe
 echo "==> qpsweep smoke (dead-event pops must stay under 5% of executed)"
 cargo run -q --offline --release -p ibsim-bench --bin qpsweep -- --quick
 
+echo "==> scenario conformance (paper corpus + 256-seed fuzz through the"
+echo "    differential oracle, 1-vs-4-worker hash identity, minimizer demo)"
+cargo run -q --offline --release -p ibsim-bench --bin scenario -- --workers 4 --fuzz 256 --minimize-demo
+
 echo "==> ci: all green"

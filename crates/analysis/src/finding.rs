@@ -56,6 +56,16 @@ impl RuleId {
         RuleId::FloodSignature,
     ];
 
+    /// True for the §V/§VI pitfall *signature* rules. Signature findings
+    /// mean the trace exhibits a known ODP pathology — expected (and
+    /// wanted) when replaying the paper's probe scenarios — whereas every
+    /// other rule flags an RC protocol-conformance violation that is
+    /// never acceptable. The scenario oracle fails runs only on the
+    /// latter.
+    pub fn is_pitfall_signature(self) -> bool {
+        matches!(self, RuleId::DammingSignature | RuleId::FloodSignature)
+    }
+
     /// Short stable mnemonic (used in rendered reports and CI grep).
     pub fn code(self) -> &'static str {
         match self {
@@ -159,6 +169,16 @@ impl LintReport {
             .iter()
             .filter(|f| f.severity == Severity::Violation)
             .count()
+    }
+
+    /// `Violation`-severity findings from conformance rules only,
+    /// excluding the §V/§VI pitfall signatures (which report expected
+    /// pathologies, not protocol bugs; see
+    /// [`RuleId::is_pitfall_signature`]).
+    pub fn conformance_violations(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Violation && !f.rule.is_pitfall_signature())
     }
 
     /// Merges another report's findings into this one.

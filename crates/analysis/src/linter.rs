@@ -77,6 +77,16 @@ struct FlowState {
     last_nak_rx: Option<SimTime>,
     /// Time of the most recent silently lost (dropped/ghost) request Tx.
     last_silent_loss: Option<SimTime>,
+    /// PSN values of every NAK received on this flow. A NAK'd request
+    /// was delivered but *refused* (RNR) or rejected out-of-order, so
+    /// the responder still expects it — which justifies a later
+    /// sequence-error NAK naming that PSN without any packet loss.
+    nak_psns: HashSet<u32>,
+    /// Time of the most recent *justified* retransmission on this flow.
+    /// Go-back-N emits its whole batch at one instant in ascending PSN
+    /// order; trailing members inherit the head's justification even
+    /// when their own first transmission postdates the triggering NAK.
+    last_justified_retx: Option<SimTime>,
 }
 
 /// How many consecutive PSNs a fresh request packet consumes.
@@ -228,11 +238,19 @@ fn check_retransmit(
     // Justifications, in the order a debugging human would check them:
     // a NAK since the last attempt, a loss observed since the last
     // attempt (go-back-N rolls back over healthy PSNs too, so any loss
-    // on the flow counts), or enough silence for an ACK timeout.
+    // on the flow counts), enough silence for an ACK timeout, or
+    // membership in a justified go-back-N batch (same flow, same
+    // instant, justified head — an RNR backoff can expire after a
+    // younger request's first transmission, so the batch tail sees the
+    // triggering NAK *before* its own `prev`).
     let nak_explains = flow.last_nak_rx.is_some_and(|t| t >= prev && t <= at);
     let loss_explains = flow.last_silent_loss.is_some_and(|t| t >= prev && t <= at);
     let timeout_plausible = at - prev >= cfg.ack_timeout_hint;
-    if !nak_explains && !loss_explains && !timeout_plausible {
+    let batch_explains = flow.last_justified_retx == Some(at);
+    if nak_explains || loss_explains || timeout_plausible {
+        flow.last_justified_retx = Some(at);
+    }
+    if !nak_explains && !loss_explains && !timeout_plausible && !batch_explains {
         report.findings.push(Finding {
             rule: RuleId::UnjustifiedRetransmit,
             severity: Severity::Violation,
@@ -296,8 +314,14 @@ fn check_response(
                 // The responder claims out-of-order arrival. In this
                 // capture (which sees fabric drops and ghosts — strictly
                 // more than real ibdump) that is only explicable if some
-                // request was silently lost beforehand.
-                if flow.last_silent_loss.is_none() {
+                // request was silently lost beforehand, or if the
+                // expected PSN itself was previously NAK'd: an
+                // RNR-refused request leaves the responder still
+                // expecting it, so any younger request transmitted
+                // during the backoff draws a sequence error with no
+                // packet ever lost.
+                let refused_explains = flow.nak_psns.contains(&epsn.value());
+                if flow.last_silent_loss.is_none() && !refused_explains {
                     report.findings.push(Finding {
                         rule: RuleId::UnjustifiedSeqNak,
                         severity: Severity::Violation,
@@ -312,6 +336,7 @@ fn check_response(
                 }
             }
             flow.last_nak_rx = Some(at);
+            flow.nak_psns.insert(p.psn.value());
         }
         _ => {} // inbound requests: this host is the responder for those
     }
@@ -320,7 +345,9 @@ fn check_response(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{ack, nak_seq, read_req, read_resp, rx, tx, tx_dropped, tx_retx};
+    use crate::testutil::{
+        ack, nak_rnr, nak_seq, read_req, read_resp, rx, tx, tx_dropped, tx_retx,
+    };
 
     fn lint(cap: &Capture<Packet>) -> LintReport {
         lint_capture(cap, &LintConfig::default())
@@ -429,6 +456,50 @@ mod tests {
         tx_retx(&mut cap, 7_000, read_req(1, 1));
         let report = lint(&cap);
         assert_eq!(report.count(RuleId::UnjustifiedRetransmit), 0, "{report}");
+    }
+
+    #[test]
+    fn seq_nak_after_rnr_refusal_is_justified() {
+        // The RNR-refused request is still expected by the responder, so
+        // a younger request transmitted during the backoff draws a
+        // sequence error without any packet loss.
+        let mut cap = Capture::new();
+        cap.enable();
+        tx(&mut cap, 1_000, read_req(0, 1));
+        rx(&mut cap, 2_000, nak_rnr()); // refuses psn 0
+        tx(&mut cap, 3_000, read_req(1, 1));
+        rx(&mut cap, 4_000, nak_seq(0));
+        let report = lint(&cap);
+        assert_eq!(report.count(RuleId::UnjustifiedSeqNak), 0, "{report}");
+    }
+
+    #[test]
+    fn go_back_n_batch_tail_inherits_head_justification() {
+        // An RNR backoff expiring after a younger request's first
+        // transmission retransmits the whole batch at one instant; the
+        // tail's own [prev, at] window misses the NAK.
+        let mut cap = Capture::new();
+        cap.enable();
+        tx(&mut cap, 1_000, read_req(0, 1));
+        rx(&mut cap, 2_000, nak_rnr());
+        tx(&mut cap, 3_000, read_req(1, 1));
+        tx_retx(&mut cap, 40_000, read_req(0, 1)); // justified by the NAK
+        tx_retx(&mut cap, 40_000, read_req(1, 1)); // same-instant batch tail
+        let report = lint(&cap);
+        assert_eq!(report.count(RuleId::UnjustifiedRetransmit), 0, "{report}");
+    }
+
+    #[test]
+    fn retransmit_at_a_different_instant_is_not_a_batch_tail() {
+        let mut cap = Capture::new();
+        cap.enable();
+        tx(&mut cap, 1_000, read_req(0, 1));
+        rx(&mut cap, 2_000, nak_rnr());
+        tx(&mut cap, 3_000, read_req(1, 1));
+        tx_retx(&mut cap, 40_000, read_req(0, 1));
+        tx_retx(&mut cap, 45_000, read_req(1, 1)); // 5 µs later: no batch
+        let report = lint(&cap);
+        assert_eq!(report.count(RuleId::UnjustifiedRetransmit), 1, "{report}");
     }
 
     #[test]

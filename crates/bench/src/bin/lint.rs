@@ -36,6 +36,7 @@ const SRC_ROOTS: &[(&str, bool)] = &[
     ("crates/fabric", true),
     ("crates/odp", true),
     ("crates/perftest", true),
+    ("crates/scenario", true),
     ("crates/shuffle", true),
     ("crates/telemetry", true),
     ("crates/ucp", true),

@@ -1,0 +1,381 @@
+//! The scenario executor: spins up a two-host cluster, installs the
+//! fault and loss schedules as engine events, posts the workload, runs
+//! the simulation to completion and collects every observable artifact
+//! the oracle checks — completions, memory images, the merged lint
+//! report, runtime invariant counts, fault spans and a trace hash.
+
+use ibsim_analysis::{check_conservation, lint_capture, InvariantSnapshot, LintConfig, LintReport};
+use ibsim_event::SimTime;
+use ibsim_fabric::{LinkSpec, LossModel};
+use ibsim_telemetry::FaultSpan;
+use ibsim_verbs::{
+    Cluster, ClusterBuilder, CompareSwapWr, Completion, DeviceProfile, FetchAddWr, MrBuilder,
+    MrMode, QpConfig, ReadWr, RecvWr, SendWr, WrId, WriteWr, PAGE_SIZE,
+};
+
+use crate::reference::{client_init_byte, server_init_byte, RECV_ID_BASE};
+use crate::spec::{DeviceKind, LossSpec, Scenario, Side, WrSpec};
+
+/// Extra simulated time granted past the last post before a run is
+/// declared stalled. Generous: the paper's worst damming stalls are
+/// hundreds of milliseconds, and simulated seconds are cheap (the event
+/// engine only pays for events that exist).
+const DRAIN_BUDGET: SimTime = SimTime::from_secs(30);
+
+/// FNV-1a over raw bytes: the dependency-free stable hash used for all
+/// trace-identity checks in this repository.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ibsim_scenario::fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+/// assert_ne!(ibsim_scenario::fnv1a(b"a"), ibsim_scenario::fnv1a(b"b"));
+/// ```
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Everything one scenario run produced that the oracle (or a human)
+/// might want to inspect.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// Requester-side completions, grouped by QP index in poll order.
+    pub client_comps: Vec<Vec<Completion>>,
+    /// Responder-side completions, grouped by QP index in poll order.
+    pub server_comps: Vec<Vec<Completion>>,
+    /// Completions whose QP number matched no scenario QP (always a bug).
+    pub stray_comps: usize,
+    /// Final client region contents.
+    pub client_mem: Vec<u8>,
+    /// Final server region contents.
+    pub server_mem: Vec<u8>,
+    /// Merged protocol lint: client capture + server capture + pairwise
+    /// packet conservation.
+    pub lint: LintReport,
+    /// Total runtime invariant violations counted across the cluster and
+    /// engine (nonzero only when built with `--features checks`).
+    pub invariant_violations: u64,
+    /// Closed fault-lifecycle spans recorded by telemetry.
+    pub spans: Vec<FaultSpan>,
+    /// Telemetry closed spans whose stage durations do not sum to their
+    /// end-to-end latency (see `Telemetry::stage_sum_violations`).
+    pub stage_sum_violations: usize,
+    /// The run hit its drain deadline with events still pending.
+    pub stalled: bool,
+    /// Simulated completion time of the run, in nanoseconds.
+    pub end_ns: u64,
+    /// FNV-1a hash over both packet timelines, the completion log and
+    /// the final memory images — the run's identity for determinism
+    /// comparisons across worker counts.
+    pub trace_hash: u64,
+}
+
+/// Runs one scenario to completion. Deterministic: the same scenario
+/// always produces the same [`ScenarioRun`], including its `trace_hash`.
+///
+/// The scenario should satisfy [`Scenario::validate`]; out-of-range
+/// offsets would make the run itself meaningless.
+pub fn run_scenario(sc: &Scenario) -> ScenarioRun {
+    let profile = match sc.device {
+        DeviceKind::ConnectX4 => DeviceProfile::connectx4(LinkSpec::fdr()),
+        DeviceKind::ConnectX6 => DeviceProfile::connectx6(),
+    };
+    let (mut eng, mut cl, hosts) = ClusterBuilder::new()
+        .seed(sc.seed)
+        .host("client", profile.clone())
+        .host("server", profile)
+        .capture(true)
+        .telemetry(true)
+        .build();
+    let (client, server) = (hosts[0], hosts[1]);
+
+    let len = sc.region_len();
+    let mode = |odp: bool| if odp { MrMode::Odp } else { MrMode::Pinned };
+    let mk = |mb: MrBuilder| if sc.prefetch { mb.prefetch() } else { mb };
+    let cmr = cl.mr(client, mk(MrBuilder::new(len, mode(sc.client_odp))));
+    let smr = cl.mr(server, mk(MrBuilder::new(len, mode(sc.server_odp))));
+
+    let client_init: Vec<u8> = (0..len).map(client_init_byte).collect();
+    let server_init: Vec<u8> = (0..len).map(server_init_byte).collect();
+    cl.mem_write(client, cmr.base, &client_init);
+    cl.mem_write(server, smr.base, &server_init);
+
+    let cfg = QpConfig {
+        cack: sc.cack,
+        retry_count: sc.retry_count,
+        min_rnr_delay: SimTime::from_ns(sc.min_rnr_delay_ns),
+        ..QpConfig::default()
+    };
+    let mut client_qpns = Vec::with_capacity(sc.qps);
+    let mut server_qpns = Vec::with_capacity(sc.qps);
+    for _ in 0..sc.qps {
+        let (qc, qs) = cl.connect_pair(&mut eng, client, server, cfg.clone());
+        client_qpns.push(qc);
+        server_qpns.push(qs);
+    }
+
+    // Receives are posted up front, at the same window offset as the
+    // matching SEND: RC pairs sends with posted receives FIFO per QP, and
+    // posting order follows the workload list, so the k-th SEND on a QP
+    // consumes the k-th receive posted on it.
+    for (k, &(qp, wr)) in sc.wrs.iter().enumerate() {
+        if let WrSpec::Send { off, len } = wr {
+            cl.post_recv(
+                server,
+                server_qpns[qp],
+                RecvWr {
+                    id: WrId(RECV_ID_BASE + k as u64),
+                    mr: smr.key,
+                    offset: qp as u64 * sc.slot + off,
+                    max_len: len,
+                },
+            );
+        }
+    }
+
+    // The workload loop: the k-th request is posted at k * interval (the
+    // Fig. 3 `usleep` pacing), with the global list index as its id.
+    for (k, &(qp, wr)) in sc.wrs.iter().enumerate() {
+        let at = SimTime::from_ns(k as u64 * sc.post_interval_ns);
+        let qpn = client_qpns[qp];
+        let base = qp as u64 * sc.slot;
+        let id = k as u64;
+        eng.schedule_at(at, move |c: &mut Cluster, eng| match wr {
+            WrSpec::Read { off, len } => c.post(
+                eng,
+                client,
+                qpn,
+                ReadWr::new(cmr.at(base + off), smr.at(base + off))
+                    .len(len)
+                    .id(id),
+            ),
+            WrSpec::Write { off, len } => c.post(
+                eng,
+                client,
+                qpn,
+                WriteWr::new(cmr.at(base + off), smr.at(base + off))
+                    .len(len)
+                    .id(id),
+            ),
+            WrSpec::Send { off, len } => c.post(
+                eng,
+                client,
+                qpn,
+                SendWr::new(cmr.at(base + off)).len(len).id(id),
+            ),
+            WrSpec::FetchAdd { off, add } => c.post(
+                eng,
+                client,
+                qpn,
+                FetchAddWr::new(cmr.at(base + off), smr.at(base + off))
+                    .add(add)
+                    .id(id),
+            ),
+            WrSpec::CompareSwap { off, compare, swap } => c.post(
+                eng,
+                client,
+                qpn,
+                CompareSwapWr::new(cmr.at(base + off), smr.at(base + off))
+                    .compare(compare)
+                    .swap(swap)
+                    .id(id),
+            ),
+        });
+    }
+
+    // The fault schedule. Invalidations only make sense on ODP regions:
+    // pinned pages can never be reclaimed, so events against a pinned
+    // side are skipped rather than simulating an impossible kernel.
+    let pages = len.div_ceil(PAGE_SIZE) as usize;
+    for f in &sc.faults {
+        let (host, key, odp) = match f.side {
+            Side::Client => (client, cmr.key, sc.client_odp),
+            Side::Server => (server, smr.key, sc.server_odp),
+        };
+        if !odp {
+            continue;
+        }
+        let (first, count) = (f.page, f.count.min(pages.saturating_sub(f.page)));
+        eng.schedule_at(SimTime::from_ns(f.at_ns), move |c: &mut Cluster, _| {
+            for p in first..first + count {
+                c.invalidate_page(host, key, p);
+            }
+        });
+    }
+
+    // The loss schedule: each phase swaps the fabric's loss model.
+    for phase in &sc.loss {
+        let model = phase.model.clone();
+        eng.schedule_at(SimTime::from_ns(phase.at_ns), move |c: &mut Cluster, _| {
+            c.fabric.set_loss(loss_model(&model));
+        });
+    }
+
+    let deadline = SimTime::from_ns(sc.wrs.len() as u64 * sc.post_interval_ns) + DRAIN_BUDGET;
+    eng.run_until(&mut cl, deadline);
+    let stalled = eng.queue_stats().live > 0;
+    let end_ns = eng.now().as_ns();
+
+    // ---- Collection ---------------------------------------------------
+    let mut client_comps = vec![Vec::new(); sc.qps];
+    let mut server_comps = vec![Vec::new(); sc.qps];
+    let mut stray_comps = 0usize;
+    let mut comp_log = String::new();
+    for (tag, host, qpns, grouped) in [
+        ("C", client, &client_qpns, &mut client_comps),
+        ("S", server, &server_qpns, &mut server_comps),
+    ] {
+        for comp in cl.poll_cq(host) {
+            comp_log.push_str(&format!(
+                "{tag} qp={} id={} st={} op={} b={} t={}\n",
+                comp.qpn.0,
+                comp.wr_id.0,
+                comp.status,
+                comp.opcode,
+                comp.bytes,
+                comp.at.as_ns()
+            ));
+            match qpns.iter().position(|&q| q == comp.qpn) {
+                Some(i) => grouped[i].push(comp),
+                None => stray_comps += 1,
+            }
+        }
+    }
+
+    let client_mem = cl.mem_read(client, cmr.base, len as usize);
+    let server_mem = cl.mem_read(server, smr.base, len as usize);
+
+    let lint_cfg = LintConfig::default();
+    let mut lint = lint_capture(cl.capture(client), &lint_cfg);
+    lint.merge(lint_capture(cl.capture(server), &lint_cfg));
+    lint.merge(check_conservation(cl.capture(client), cl.capture(server)));
+
+    cl.sync_telemetry(&eng);
+    let snapshot = InvariantSnapshot::collect(&cl, &hosts, &eng);
+    let spans: Vec<FaultSpan> = cl.telemetry().spans().to_vec();
+    let stage_sum_violations = cl.telemetry().stage_sum_violations();
+
+    let mut ident = String::new();
+    ident.push_str(&cl.capture(client).timeline());
+    ident.push('\n');
+    ident.push_str(&cl.capture(server).timeline());
+    ident.push('\n');
+    ident.push_str(&comp_log);
+    let mut ident = ident.into_bytes();
+    ident.extend_from_slice(&client_mem);
+    ident.extend_from_slice(&server_mem);
+
+    ScenarioRun {
+        client_comps,
+        server_comps,
+        stray_comps,
+        client_mem,
+        server_mem,
+        lint,
+        invariant_violations: snapshot.total(),
+        spans,
+        stage_sum_violations,
+        stalled,
+        end_ns,
+        trace_hash: fnv1a(&ident),
+    }
+}
+
+/// Instantiates the fabric loss model a [`LossSpec`] describes.
+fn loss_model(spec: &LossSpec) -> LossModel {
+    match spec {
+        LossSpec::None => LossModel::None,
+        LossSpec::Uniform { prob_milli, seed } => {
+            LossModel::uniform(*prob_milli as f64 / 1000.0, *seed)
+        }
+        LossSpec::Burst {
+            enter_milli,
+            exit_milli,
+            drop_milli,
+            seed,
+        } => LossModel::burst_with(
+            *enter_milli as f64 / 1000.0,
+            *exit_milli as f64 / 1000.0,
+            *drop_milli as f64 / 1000.0,
+            *seed,
+        ),
+        LossSpec::Nth(indices) => LossModel::nth(indices.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FaultEvent, LossPhase, Scenario};
+
+    #[test]
+    fn identical_scenarios_hash_identically() {
+        let mut sc = Scenario::base("det");
+        sc.slot = 64;
+        sc.wrs = vec![
+            (0, WrSpec::Write { off: 0, len: 32 }),
+            (0, WrSpec::Read { off: 0, len: 32 }),
+        ];
+        let a = run_scenario(&sc);
+        let b = run_scenario(&sc);
+        assert_eq!(a.trace_hash, b.trace_hash);
+        assert!(!a.stalled);
+        assert_eq!(a.stray_comps, 0);
+        assert_eq!(a.client_comps[0].len(), 2);
+    }
+
+    #[test]
+    fn seed_changes_the_run_when_randomness_is_drawn() {
+        // ODP fault latencies are drawn from the cluster RNG, so two
+        // seeds must diverge once a fault occurs.
+        let mut sc = Scenario::base("seeded");
+        sc.client_odp = true;
+        sc.slot = 64;
+        sc.wrs = vec![(0, WrSpec::Read { off: 0, len: 32 })];
+        let a = run_scenario(&sc);
+        sc.seed = 2;
+        let b = run_scenario(&sc);
+        assert_ne!(a.trace_hash, b.trace_hash);
+    }
+
+    #[test]
+    fn faults_on_pinned_regions_are_skipped() {
+        let mut sc = Scenario::base("pinned-fault");
+        sc.slot = 64;
+        sc.wrs = vec![(0, WrSpec::Read { off: 0, len: 32 })];
+        sc.faults = vec![FaultEvent {
+            at_ns: 10,
+            side: Side::Client,
+            page: 0,
+            count: 1,
+        }];
+        let run = run_scenario(&sc);
+        assert!(run.spans.is_empty(), "pinned region must never fault");
+        assert!(!run.stalled);
+    }
+
+    #[test]
+    fn loss_phase_perturbs_the_trace() {
+        let mut sc = Scenario::base("lossy");
+        sc.slot = 64;
+        sc.wrs = vec![
+            (0, WrSpec::Write { off: 0, len: 32 }),
+            (0, WrSpec::Write { off: 32, len: 32 }),
+        ];
+        let clean = run_scenario(&sc);
+        sc.loss = vec![LossPhase {
+            at_ns: 0,
+            model: LossSpec::Nth(vec![0]),
+        }];
+        let lossy = run_scenario(&sc);
+        assert_ne!(clean.trace_hash, lossy.trace_hash);
+        // The dropped first frame must be retransmitted and both writes
+        // must still complete.
+        assert_eq!(lossy.client_comps[0].len(), 2);
+    }
+}

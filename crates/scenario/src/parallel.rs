@@ -1,0 +1,128 @@
+//! The multi-threaded corpus runner.
+//!
+//! [`run_corpus`] distributes scenarios over a worker pool with a shared
+//! atomic cursor. Every run is fully self-contained — each worker builds
+//! its own engine and cluster per scenario, and a scenario's entire
+//! randomness derives from its own seed — so the per-scenario results,
+//! including the FNV trace hashes, are byte-identical for *any* worker
+//! count. CI exploits that: the `scenario` stage runs the corpus with 1
+//! and 4 workers and fails on any hash divergence, turning thread-count
+//! independence into an enforced invariant rather than a hope.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::exec::run_scenario;
+use crate::oracle::check_run;
+use crate::spec::Scenario;
+
+/// The outcome of one scenario within a corpus run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusOutcome {
+    /// Position of the scenario in the input slice.
+    pub index: usize,
+    /// Scenario name.
+    pub name: String,
+    /// The run's FNV trace hash (see
+    /// [`ScenarioRun::trace_hash`](crate::ScenarioRun)).
+    pub hash: u64,
+    /// Number of oracle violations (0 = clean).
+    pub violations: usize,
+    /// The rendered oracle report for failing scenarios, empty when
+    /// clean (keeps bulk results small).
+    pub report: String,
+    /// Simulated end time of the run, in nanoseconds.
+    pub end_ns: u64,
+}
+
+/// Runs every scenario through the executor and oracle on `workers`
+/// threads (clamped to at least 1). Results come back in input order
+/// regardless of scheduling.
+pub fn run_corpus(scenarios: &[Scenario], workers: usize) -> Vec<CorpusOutcome> {
+    let workers = workers.max(1).min(scenarios.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<CorpusOutcome>>> = Mutex::new(vec![None; scenarios.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= scenarios.len() {
+                    return;
+                }
+                let sc = &scenarios[index];
+                let run = run_scenario(sc);
+                let verdict = check_run(sc, &run);
+                let outcome = CorpusOutcome {
+                    index,
+                    name: sc.name.clone(),
+                    hash: run.trace_hash,
+                    violations: verdict.violations.len(),
+                    report: if verdict.is_clean() {
+                        String::new()
+                    } else {
+                        verdict.to_string()
+                    },
+                    end_ns: run.end_ns,
+                };
+                if let Ok(mut slots) = results.lock() {
+                    slots[index] = Some(outcome);
+                }
+            });
+        }
+    });
+
+    match results.into_inner() {
+        Ok(slots) => slots.into_iter().flatten().collect(),
+        Err(poisoned) => poisoned.into_inner().into_iter().flatten().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WrSpec;
+
+    fn tiny_corpus() -> Vec<Scenario> {
+        (0..6)
+            .map(|i| {
+                let mut sc = Scenario::base(&format!("tiny-{i}"));
+                sc.seed = 100 + i;
+                sc.slot = 64;
+                sc.wrs = vec![
+                    (0, WrSpec::Write { off: 0, len: 16 }),
+                    (0, WrSpec::Read { off: 0, len: 16 }),
+                ];
+                sc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn worker_count_does_not_change_hashes() {
+        let corpus = tiny_corpus();
+        let one = run_corpus(&corpus, 1);
+        let four = run_corpus(&corpus, 4);
+        assert_eq!(one.len(), corpus.len());
+        assert_eq!(one, four, "results must be identical for any worker count");
+        for o in &one {
+            assert_eq!(o.violations, 0, "{}", o.report);
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let corpus = tiny_corpus();
+        let out = run_corpus(&corpus, 3);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.index, i);
+            assert_eq!(o.name, corpus[i].name);
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_clamped() {
+        let corpus = tiny_corpus();
+        assert_eq!(run_corpus(&corpus, 0).len(), corpus.len());
+    }
+}

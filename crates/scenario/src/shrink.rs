@@ -1,0 +1,255 @@
+//! The failing-seed minimizer.
+//!
+//! Given a failing scenario and a predicate that re-runs it (returning
+//! `true` while the failure persists), [`shrink`] performs delta
+//! debugging over the three schedule lists — work requests, fault
+//! events, loss phases — removing the largest chunks that preserve the
+//! failure, halving the chunk size until single-element removal is
+//! stable, then dropping QPs left without work. The result is a minimal
+//! reproducer suitable for checking in as a spec file.
+
+use crate::spec::Scenario;
+
+/// Counters describing one minimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Predicate evaluations (scenario re-runs) performed.
+    pub tests: usize,
+    /// Work requests in the input / output scenario.
+    pub wrs: (usize, usize),
+    /// Fault events in the input / output scenario.
+    pub faults: (usize, usize),
+    /// Loss phases in the input / output scenario.
+    pub loss: (usize, usize),
+    /// QPs in the input / output scenario.
+    pub qps: (usize, usize),
+}
+
+/// Minimizes `sc` while `still_fails` holds. The input must itself fail
+/// (`still_fails(&sc) == true`); otherwise the input is returned as-is.
+///
+/// The predicate is handed complete, valid scenarios only: list
+/// removals cannot break window bounds, and QP compaction renumbers
+/// work requests before dropping the count.
+pub fn shrink<F>(sc: &Scenario, still_fails: F) -> (Scenario, ShrinkStats)
+where
+    F: Fn(&Scenario) -> bool,
+{
+    let mut stats = ShrinkStats {
+        wrs: (sc.wrs.len(), sc.wrs.len()),
+        faults: (sc.faults.len(), sc.faults.len()),
+        loss: (sc.loss.len(), sc.loss.len()),
+        qps: (sc.qps, sc.qps),
+        ..ShrinkStats::default()
+    };
+    let mut cur = sc.clone();
+    stats.tests += 1;
+    if !still_fails(&cur) {
+        return (cur, stats);
+    }
+
+    // Whole-list removal first: the cheapest big win.
+    for list in [ListId::Loss, ListId::Faults] {
+        if list_len(&cur, list) == 0 {
+            continue;
+        }
+        let mut cand = cur.clone();
+        clear_list(&mut cand, list);
+        stats.tests += 1;
+        if still_fails(&cand) {
+            cur = cand;
+        }
+    }
+
+    // ddmin-style chunk removal per list, largest chunks first.
+    for list in [ListId::Wrs, ListId::Faults, ListId::Loss] {
+        loop {
+            let before = list_len(&cur, list);
+            ddmin_pass(&mut cur, list, &still_fails, &mut stats);
+            if list_len(&cur, list) == before {
+                break;
+            }
+        }
+    }
+
+    compact_qps(&mut cur, &still_fails, &mut stats);
+
+    stats.wrs.1 = cur.wrs.len();
+    stats.faults.1 = cur.faults.len();
+    stats.loss.1 = cur.loss.len();
+    stats.qps.1 = cur.qps;
+    (cur, stats)
+}
+
+/// Which shrinkable list a pass operates on. The three lists have
+/// different element types, so passes go through an erased
+/// remove-by-index-set representation instead of generics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ListId {
+    Wrs,
+    Faults,
+    Loss,
+}
+
+fn list_len(sc: &Scenario, list: ListId) -> usize {
+    match list {
+        ListId::Wrs => sc.wrs.len(),
+        ListId::Faults => sc.faults.len(),
+        ListId::Loss => sc.loss.len(),
+    }
+}
+
+/// Replaces `list` with the elements whose indices survive in `keep`
+/// (given as the retained index list, in order).
+fn retain_indices(sc: &mut Scenario, list: ListId, keep: &[usize]) {
+    match list {
+        ListId::Wrs => sc.wrs = keep.iter().map(|&i| sc.wrs[i]).collect(),
+        ListId::Faults => sc.faults = keep.iter().map(|&i| sc.faults[i]).collect(),
+        ListId::Loss => sc.loss = keep.iter().map(|&i| sc.loss[i].clone()).collect(),
+    }
+}
+
+fn clear_list(sc: &mut Scenario, list: ListId) {
+    match list {
+        ListId::Wrs => sc.wrs.clear(),
+        ListId::Faults => sc.faults.clear(),
+        ListId::Loss => sc.loss.clear(),
+    }
+}
+
+/// One full ddmin sweep over a list: for chunk sizes n/2, n/4, …, 1 try
+/// removing each aligned chunk; restart the size ladder after any
+/// successful removal (handled by the caller's loop).
+fn ddmin_pass<F>(cur: &mut Scenario, list: ListId, still_fails: &F, stats: &mut ShrinkStats)
+where
+    F: Fn(&Scenario) -> bool,
+{
+    let mut chunk = (list_len(cur, list) / 2).max(1);
+    loop {
+        if list_len(cur, list) == 0 {
+            return;
+        }
+        let mut start = 0;
+        while start < list_len(cur, list) {
+            let len = list_len(cur, list);
+            let end = (start + chunk).min(len);
+            let keep: Vec<usize> = (0..len).filter(|&i| i < start || i >= end).collect();
+            let mut cand = cur.clone();
+            retain_indices(&mut cand, list, &keep);
+            stats.tests += 1;
+            if still_fails(&cand) {
+                *cur = cand; // chunk removed; same start now covers new elements
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 {
+            return;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+}
+
+/// Renumbers work-request QP indices densely over the QPs still used and
+/// drops the rest, if the failure survives the compaction.
+fn compact_qps<F>(cur: &mut Scenario, still_fails: &F, stats: &mut ShrinkStats)
+where
+    F: Fn(&Scenario) -> bool,
+{
+    let mut used: Vec<usize> = cur.wrs.iter().map(|&(q, _)| q).collect();
+    used.sort_unstable();
+    used.dedup();
+    if used.len() == cur.qps || used.is_empty() {
+        return;
+    }
+    let mut cand = cur.clone();
+    for (new, &old) in used.iter().enumerate() {
+        for wr in &mut cand.wrs {
+            if wr.0 == old {
+                wr.0 = new;
+            }
+        }
+    }
+    cand.qps = used.len();
+    // Fault pages may now exceed the shrunken region; clamp them out.
+    let pages = cand.region_len().div_ceil(ibsim_verbs::PAGE_SIZE) as usize;
+    cand.faults.retain(|f| f.page < pages);
+    stats.tests += 1;
+    if still_fails(&cand) {
+        *cur = cand;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FaultEvent, LossPhase, LossSpec, Scenario, Side, WrSpec};
+
+    /// A pure-structural predicate (no simulation): fails while the
+    /// scenario contains a WRITE on QP 0.
+    fn has_qp0_write(sc: &Scenario) -> bool {
+        sc.wrs
+            .iter()
+            .any(|&(q, w)| q == 0 && matches!(w, WrSpec::Write { .. }))
+    }
+
+    fn noisy_scenario() -> Scenario {
+        let mut sc = Scenario::base("noisy");
+        sc.qps = 4;
+        sc.slot = 64;
+        sc.wrs = vec![
+            (1, WrSpec::Read { off: 0, len: 8 }),
+            (0, WrSpec::Write { off: 0, len: 8 }),
+            (2, WrSpec::Send { off: 0, len: 8 }),
+            (0, WrSpec::Read { off: 8, len: 8 }),
+            (3, WrSpec::FetchAdd { off: 0, add: 1 }),
+            (0, WrSpec::Write { off: 16, len: 8 }),
+            (1, WrSpec::Write { off: 0, len: 8 }),
+        ];
+        sc.faults = vec![FaultEvent {
+            at_ns: 5,
+            side: Side::Client,
+            page: 0,
+            count: 1,
+        }];
+        sc.loss = vec![LossPhase {
+            at_ns: 0,
+            model: LossSpec::Nth(vec![1]),
+        }];
+        sc
+    }
+
+    #[test]
+    fn shrinks_to_a_single_triggering_wr() {
+        let sc = noisy_scenario();
+        let (min, stats) = shrink(&sc, has_qp0_write);
+        assert!(has_qp0_write(&min), "shrinking lost the failure");
+        assert_eq!(min.wrs.len(), 1, "{:?}", min.wrs);
+        assert!(min.faults.is_empty());
+        assert!(min.loss.is_empty());
+        assert_eq!(min.qps, 1, "unused QPs must be compacted away");
+        assert!(min.validate().is_ok());
+        assert!(stats.tests > 1);
+        assert_eq!(stats.wrs, (7, 1));
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let sc = noisy_scenario();
+        let (out, stats) = shrink(&sc, |_| false);
+        assert_eq!(out, sc);
+        assert_eq!(stats.tests, 1);
+    }
+
+    #[test]
+    fn conjunction_failures_keep_both_elements() {
+        // Failure requires a WRITE on QP 0 *and* at least one fault
+        // event: the minimizer must keep one of each.
+        let sc = noisy_scenario();
+        let pred = |s: &Scenario| has_qp0_write(s) && !s.faults.is_empty();
+        let (min, _) = shrink(&sc, pred);
+        assert!(pred(&min));
+        assert_eq!(min.wrs.len(), 1);
+        assert_eq!(min.faults.len(), 1);
+    }
+}

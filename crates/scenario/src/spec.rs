@@ -1,0 +1,767 @@
+//! The serializable scenario specification.
+//!
+//! A [`Scenario`] is everything one conformance run needs, as plain
+//! data: one client and one server host, `qps` RC queue pairs between
+//! them, a typed work-request list, a deterministic fault schedule and a
+//! seed. The spec serializes to a line-oriented text format
+//! ([`Scenario::to_spec_string`] / [`Scenario::parse`]) so failing
+//! fuzz seeds can be checked in as reproducers and diffed by humans —
+//! no external serialization dependency required.
+//!
+//! ## Memory layout
+//!
+//! Each QP owns a disjoint `slot`-byte window of both the client and the
+//! server region: QP `i` owns bytes `[i*slot, (i+1)*slot)`. All work
+//! request offsets are relative to the owning QP's window. Disjoint
+//! windows make the reference model exact: RC guarantees in-order
+//! execution *within* a QP, and no two QPs can touch the same byte, so
+//! the final memory image is independent of cross-QP interleaving — the
+//! property the differential oracle checks.
+
+use std::fmt;
+
+/// Which NIC model both hosts use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// ConnectX-4 on an FDR link (the paper's KNL cluster).
+    ConnectX4,
+    /// ConnectX-6 (the paper's newer comparison system).
+    ConnectX6,
+}
+
+impl DeviceKind {
+    fn token(self) -> &'static str {
+        match self {
+            DeviceKind::ConnectX4 => "cx4",
+            DeviceKind::ConnectX6 => "cx6",
+        }
+    }
+
+    fn from_token(s: &str) -> Result<Self, String> {
+        match s {
+            "cx4" => Ok(DeviceKind::ConnectX4),
+            "cx6" => Ok(DeviceKind::ConnectX6),
+            other => Err(format!("unknown device {other:?}")),
+        }
+    }
+}
+
+/// Which host a fault event targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The requester host.
+    Client,
+    /// The responder host.
+    Server,
+}
+
+impl Side {
+    fn token(self) -> &'static str {
+        match self {
+            Side::Client => "client",
+            Side::Server => "server",
+        }
+    }
+
+    fn from_token(s: &str) -> Result<Self, String> {
+        match s {
+            "client" => Ok(Side::Client),
+            "server" => Ok(Side::Server),
+            other => Err(format!("unknown side {other:?}")),
+        }
+    }
+}
+
+/// One typed work request, offsets relative to the posting QP's window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WrSpec {
+    /// RDMA READ of `len` bytes: server window `off` → client window `off`.
+    Read {
+        /// Byte offset within the QP window (both sides).
+        off: u64,
+        /// Transfer length in bytes.
+        len: u32,
+    },
+    /// RDMA WRITE of `len` bytes: client window `off` → server window `off`.
+    Write {
+        /// Byte offset within the QP window (both sides).
+        off: u64,
+        /// Transfer length in bytes.
+        len: u32,
+    },
+    /// Two-sided SEND of `len` bytes from client window `off`; the
+    /// executor posts the matching receive at server window `off`.
+    Send {
+        /// Byte offset within the QP window (both sides).
+        off: u64,
+        /// Payload length in bytes.
+        len: u32,
+    },
+    /// 8-byte fetch-and-add on the server word at `off` (8-aligned);
+    /// the original value lands at client window `off`.
+    FetchAdd {
+        /// Byte offset of the 8-byte word within the QP window.
+        off: u64,
+        /// The addend.
+        add: u64,
+    },
+    /// 8-byte compare-and-swap on the server word at `off` (8-aligned);
+    /// the original value lands at client window `off`.
+    CompareSwap {
+        /// Byte offset of the 8-byte word within the QP window.
+        off: u64,
+        /// Expected current value.
+        compare: u64,
+        /// Replacement value if it matches.
+        swap: u64,
+    },
+}
+
+impl WrSpec {
+    /// Bytes this request occupies in the QP window (both sides).
+    pub fn footprint(self) -> (u64, u64) {
+        match self {
+            WrSpec::Read { off, len } | WrSpec::Write { off, len } | WrSpec::Send { off, len } => {
+                (off, len as u64)
+            }
+            WrSpec::FetchAdd { off, .. } | WrSpec::CompareSwap { off, .. } => (off, 8),
+        }
+    }
+
+    /// True if posting `later` after `self` on the *same QP* with
+    /// overlapping footprints is an unsequenced buffer race — the
+    /// differential oracle's soundness precondition
+    /// ([`Scenario::validate`] rejects such workloads).
+    ///
+    /// Two mechanisms make these pairs unpredictable, and both are
+    /// faithful RC semantics rather than simulator artefacts:
+    ///
+    /// * **Gather at transmit.** A WRITE/SEND DMA-reads its payload from
+    ///   client memory when each packet goes on the wire, while an
+    ///   earlier outstanding READ or atomic lands its response bytes in
+    ///   the client window only when the response arrives. If the source
+    ///   and landing ranges overlap, the payload snapshot races the
+    ///   landing — real ibverbs makes the same non-guarantee (reusing a
+    ///   buffer before its completion polls is a user bug).
+    /// * **Duplicate-READ re-execution.** A responder replays a
+    ///   duplicate READ request from *current* memory (IBA allows this).
+    ///   If the original response is lost and a later request already
+    ///   mutated overlapping server bytes, the replay returns
+    ///   post-mutation data instead of what the sequential order saw.
+    ///
+    /// Overlaps between two WRITE/SENDs, two READs, or two atomics are
+    /// always fine: responder execution is PSN-ordered, duplicate
+    /// WRITE/SENDs are re-ACKed without re-applying data, and duplicate
+    /// atomics are replayed from the responder's replay cache.
+    pub fn races_with_later(self, later: WrSpec) -> bool {
+        let (a_off, a_len) = self.footprint();
+        let (b_off, b_len) = later.footprint();
+        if a_off + a_len <= b_off || b_off + b_len <= a_off {
+            return false; // disjoint footprints never race
+        }
+        let later_mutates = !matches!(later, WrSpec::Read { .. });
+        match self {
+            // Earlier READ: its client landing races a later payload
+            // gather, and its duplicate replay races any later
+            // server-side mutation.
+            WrSpec::Read { .. } => later_mutates,
+            // Earlier atomic: its client landing races a later payload
+            // gather; server-side duplicates are replay-cached.
+            WrSpec::FetchAdd { .. } | WrSpec::CompareSwap { .. } => {
+                matches!(later, WrSpec::Write { .. } | WrSpec::Send { .. })
+            }
+            // Earlier WRITE/SEND: any response that could land in the
+            // overlap carries a higher PSN and therefore cumulatively
+            // acknowledges this request first — it can no longer be
+            // re-gathered once the overlap changes.
+            WrSpec::Write { .. } | WrSpec::Send { .. } => false,
+        }
+    }
+}
+
+/// One entry of the fault schedule: invalidate `count` pages of one
+/// side's region starting at `page`, at simulated time `at_ns`.
+///
+/// `count == 1` models a NIC translation-cache eviction of a single
+/// page; larger counts model an ODP fault burst (the kernel reclaiming
+/// a range, as `madvise(MADV_DONTNEED)` or memory pressure would).
+/// Events targeting a pinned region are skipped by the executor: pinned
+/// pages can never be reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulated time the invalidation lands, in nanoseconds.
+    pub at_ns: u64,
+    /// Which host's region is hit.
+    pub side: Side,
+    /// First page index invalidated.
+    pub page: usize,
+    /// Number of consecutive pages invalidated.
+    pub count: usize,
+}
+
+/// The fabric loss model installed from one point in time onward.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LossSpec {
+    /// No injected loss.
+    None,
+    /// Independent per-frame loss with probability `prob_milli / 1000`.
+    /// The rate is carried in integer milli-units so the spec format
+    /// round-trips exactly.
+    Uniform {
+        /// Drop probability in thousandths (47 = 4.7 %).
+        prob_milli: u32,
+        /// PRNG seed for the per-frame coin flips.
+        seed: u64,
+    },
+    /// Gilbert–Elliott burst loss (see `ibsim_fabric::LossModel::Burst`).
+    Burst {
+        /// Probability of entering a burst, in thousandths.
+        enter_milli: u32,
+        /// Probability of leaving a burst, in thousandths.
+        exit_milli: u32,
+        /// Drop probability while inside a burst, in thousandths. Fuzzed
+        /// scenarios keep this well below 1000 so eight consecutive
+        /// losses of one request (transport retry exhaustion) stays
+        /// astronomically unlikely and the oracle can demand success.
+        drop_milli: u32,
+        /// PRNG seed for transitions and drop coins.
+        seed: u64,
+    },
+    /// Drop exactly the frames with these 0-based submission indices.
+    Nth(
+        /// Frame indices to drop, counted from the phase's installation.
+        Vec<u64>,
+    ),
+}
+
+/// One phase of the loss schedule: at `at_ns`, install `model`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossPhase {
+    /// Simulated time the model is installed, in nanoseconds.
+    pub at_ns: u64,
+    /// The loss model active from then on (until the next phase).
+    pub model: LossSpec,
+}
+
+/// A complete, self-contained conformance scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable name (shown in runner tables; no whitespace).
+    pub name: String,
+    /// Seed driving every random draw inside the simulator.
+    pub seed: u64,
+    /// NIC model on both hosts.
+    pub device: DeviceKind,
+    /// Number of RC QP pairs between the client and the server.
+    pub qps: usize,
+    /// Bytes of client and server region owned by each QP.
+    pub slot: u64,
+    /// Register the client region with On-Demand Paging.
+    pub client_odp: bool,
+    /// Register the server region with On-Demand Paging.
+    pub server_odp: bool,
+    /// Prefetch (pre-map) ODP regions after registration — the §IX-A
+    /// `ibv_advise_mr` workaround ablation.
+    pub prefetch: bool,
+    /// Local ACK Timeout field `C_ack` on every QP.
+    pub cack: u8,
+    /// Transport retry budget `C_retry` on every QP.
+    pub retry_count: u8,
+    /// Minimal RNR NAK delay advertised by every QP, in nanoseconds.
+    pub min_rnr_delay_ns: u64,
+    /// Gap between consecutive posts of the workload loop, in
+    /// nanoseconds (the Fig. 3 `usleep(interval)`).
+    pub post_interval_ns: u64,
+    /// The workload: `(qp index, request)`, posted in list order with
+    /// the global list position as the work-request id.
+    pub wrs: Vec<(usize, WrSpec)>,
+    /// The fault schedule (ODP invalidation bursts / cache evictions).
+    pub faults: Vec<FaultEvent>,
+    /// The loss schedule (fabric loss model changes over time).
+    pub loss: Vec<LossPhase>,
+}
+
+impl Scenario {
+    /// A minimal baseline scenario: one QP, pinned memory, no faults, no
+    /// loss — callers override fields from here.
+    pub fn base(name: &str) -> Self {
+        Scenario {
+            name: name.to_owned(),
+            seed: 1,
+            device: DeviceKind::ConnectX4,
+            qps: 1,
+            slot: 256,
+            client_odp: false,
+            server_odp: false,
+            prefetch: false,
+            cack: 1,
+            retry_count: 7,
+            min_rnr_delay_ns: 1_280_000,
+            post_interval_ns: 1_000,
+            wrs: Vec::new(),
+            faults: Vec::new(),
+            loss: Vec::new(),
+        }
+    }
+
+    /// Total length in bytes of each host's region.
+    pub fn region_len(&self) -> u64 {
+        self.qps as u64 * self.slot
+    }
+
+    /// Validates internal consistency; returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() || self.name.contains(char::is_whitespace) {
+            return Err(format!("bad name {:?}", self.name));
+        }
+        if self.qps == 0 {
+            return Err("need at least one QP".into());
+        }
+        if self.slot == 0 {
+            return Err("slot must be positive".into());
+        }
+        for (i, &(qp, wr)) in self.wrs.iter().enumerate() {
+            if qp >= self.qps {
+                return Err(format!("wr {i} targets QP {qp} of {}", self.qps));
+            }
+            let (off, len) = wr.footprint();
+            if len == 0 {
+                return Err(format!("wr {i} has zero length"));
+            }
+            if off + len > self.slot {
+                return Err(format!(
+                    "wr {i} spans [{off}, {}) outside slot {}",
+                    off + len,
+                    self.slot
+                ));
+            }
+            if matches!(wr, WrSpec::FetchAdd { .. } | WrSpec::CompareSwap { .. }) && off % 8 != 0 {
+                return Err(format!("atomic wr {i} offset {off} not 8-aligned"));
+            }
+        }
+        // Oracle soundness precondition: no unsequenced buffer races
+        // between same-QP requests (see `WrSpec::races_with_later`).
+        for (j, &(qp_j, wr_j)) in self.wrs.iter().enumerate() {
+            for &(qp_i, wr_i) in &self.wrs[..j] {
+                if qp_i == qp_j && wr_i.races_with_later(wr_j) {
+                    return Err(format!(
+                        "wr {j} ({wr_j:?}) overlaps the landing range of an earlier \
+                         outstanding {wr_i:?} on QP {qp_j}: unsequenced buffer race \
+                         (the reference model assumes sequential buffer evolution)"
+                    ));
+                }
+            }
+        }
+        let pages = self.region_len().div_ceil(ibsim_verbs::PAGE_SIZE) as usize;
+        for (i, f) in self.faults.iter().enumerate() {
+            if f.count == 0 {
+                return Err(format!("fault {i} invalidates zero pages"));
+            }
+            if f.page >= pages {
+                return Err(format!("fault {i} starts at page {} of {pages}", f.page));
+            }
+        }
+        for (i, p) in self.loss.iter().enumerate() {
+            if let LossSpec::Uniform { prob_milli, .. } = p.model {
+                if prob_milli > 1000 {
+                    return Err(format!("loss phase {i} probability {prob_milli} > 1000"));
+                }
+            }
+            if let LossSpec::Burst {
+                enter_milli,
+                exit_milli,
+                drop_milli,
+                ..
+            } = p.model
+            {
+                if enter_milli > 1000 || exit_milli > 1000 || drop_milli > 1000 {
+                    return Err(format!("loss phase {i} burst params out of range"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the scenario in the line-oriented spec format parsed by
+    /// [`Scenario::parse`]. Round-trips exactly.
+    pub fn to_spec_string(&self) -> String {
+        let mut s = String::new();
+        s.push_str("ibsim-scenario v1\n");
+        s.push_str(&format!("name={}\n", self.name));
+        s.push_str(&format!("seed={}\n", self.seed));
+        s.push_str(&format!("device={}\n", self.device.token()));
+        s.push_str(&format!("qps={}\n", self.qps));
+        s.push_str(&format!("slot={}\n", self.slot));
+        s.push_str(&format!(
+            "odp={}{}\n",
+            if self.client_odp { "c" } else { "-" },
+            if self.server_odp { "s" } else { "-" }
+        ));
+        s.push_str(&format!("prefetch={}\n", u8::from(self.prefetch)));
+        s.push_str(&format!("cack={}\n", self.cack));
+        s.push_str(&format!("retry={}\n", self.retry_count));
+        s.push_str(&format!("rnr_ns={}\n", self.min_rnr_delay_ns));
+        s.push_str(&format!("interval_ns={}\n", self.post_interval_ns));
+        for &(qp, wr) in &self.wrs {
+            match wr {
+                WrSpec::Read { off, len } => s.push_str(&format!("wr={qp} read {off} {len}\n")),
+                WrSpec::Write { off, len } => s.push_str(&format!("wr={qp} write {off} {len}\n")),
+                WrSpec::Send { off, len } => s.push_str(&format!("wr={qp} send {off} {len}\n")),
+                WrSpec::FetchAdd { off, add } => s.push_str(&format!("wr={qp} fadd {off} {add}\n")),
+                WrSpec::CompareSwap { off, compare, swap } => {
+                    s.push_str(&format!("wr={qp} cas {off} {compare} {swap}\n"))
+                }
+            }
+        }
+        for f in &self.faults {
+            s.push_str(&format!(
+                "fault={} {} {} {}\n",
+                f.at_ns,
+                f.side.token(),
+                f.page,
+                f.count
+            ));
+        }
+        for p in &self.loss {
+            match &p.model {
+                LossSpec::None => s.push_str(&format!("loss={} none\n", p.at_ns)),
+                LossSpec::Uniform { prob_milli, seed } => {
+                    s.push_str(&format!("loss={} uniform {prob_milli} {seed}\n", p.at_ns))
+                }
+                LossSpec::Burst {
+                    enter_milli,
+                    exit_milli,
+                    drop_milli,
+                    seed,
+                } => s.push_str(&format!(
+                    "loss={} burst {enter_milli} {exit_milli} {drop_milli} {seed}\n",
+                    p.at_ns
+                )),
+                LossSpec::Nth(indices) => {
+                    let list: Vec<String> = indices.iter().map(u64::to_string).collect();
+                    s.push_str(&format!("loss={} nth {}\n", p.at_ns, list.join(",")));
+                }
+            }
+        }
+        s
+    }
+
+    /// Parses the spec format produced by [`Scenario::to_spec_string`].
+    pub fn parse(text: &str) -> Result<Scenario, String> {
+        let mut lines = text.lines().filter(|l| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('#')
+        });
+        let header = lines.next().ok_or("empty spec")?;
+        if header.trim() != "ibsim-scenario v1" {
+            return Err(format!("bad header {header:?}"));
+        }
+        let mut sc = Scenario::base("unnamed");
+        for line in lines {
+            let line = line.trim();
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("bad line {line:?}"))?;
+            match key {
+                "name" => sc.name = value.to_owned(),
+                "seed" => sc.seed = parse_num(value)?,
+                "device" => sc.device = DeviceKind::from_token(value)?,
+                "qps" => sc.qps = parse_num::<u64>(value)? as usize,
+                "slot" => sc.slot = parse_num(value)?,
+                "odp" => {
+                    let mut chars = value.chars();
+                    sc.client_odp = chars.next() == Some('c');
+                    sc.server_odp = chars.next() == Some('s');
+                }
+                "prefetch" => sc.prefetch = value == "1",
+                "cack" => sc.cack = parse_num::<u64>(value)? as u8,
+                "retry" => sc.retry_count = parse_num::<u64>(value)? as u8,
+                "rnr_ns" => sc.min_rnr_delay_ns = parse_num(value)?,
+                "interval_ns" => sc.post_interval_ns = parse_num(value)?,
+                "wr" => {
+                    let parts: Vec<&str> = value.split_whitespace().collect();
+                    if parts.len() < 3 {
+                        return Err(format!("short wr line {line:?}"));
+                    }
+                    let qp = parse_num::<u64>(parts[0])? as usize;
+                    let wr = match parts[1] {
+                        "read" => WrSpec::Read {
+                            off: parse_num(parts[2])?,
+                            len: arg(&parts, 3)?,
+                        },
+                        "write" => WrSpec::Write {
+                            off: parse_num(parts[2])?,
+                            len: arg(&parts, 3)?,
+                        },
+                        "send" => WrSpec::Send {
+                            off: parse_num(parts[2])?,
+                            len: arg(&parts, 3)?,
+                        },
+                        "fadd" => WrSpec::FetchAdd {
+                            off: parse_num(parts[2])?,
+                            add: arg(&parts, 3)?,
+                        },
+                        "cas" => WrSpec::CompareSwap {
+                            off: parse_num(parts[2])?,
+                            compare: arg(&parts, 3)?,
+                            swap: arg(&parts, 4)?,
+                        },
+                        other => return Err(format!("unknown wr kind {other:?}")),
+                    };
+                    sc.wrs.push((qp, wr));
+                }
+                "fault" => {
+                    let parts: Vec<&str> = value.split_whitespace().collect();
+                    if parts.len() != 4 {
+                        return Err(format!("bad fault line {line:?}"));
+                    }
+                    sc.faults.push(FaultEvent {
+                        at_ns: parse_num(parts[0])?,
+                        side: Side::from_token(parts[1])?,
+                        page: parse_num::<u64>(parts[2])? as usize,
+                        count: parse_num::<u64>(parts[3])? as usize,
+                    });
+                }
+                "loss" => {
+                    let parts: Vec<&str> = value.split_whitespace().collect();
+                    if parts.len() < 2 {
+                        return Err(format!("short loss line {line:?}"));
+                    }
+                    let at_ns = parse_num(parts[0])?;
+                    let model = match parts[1] {
+                        "none" => LossSpec::None,
+                        "uniform" => LossSpec::Uniform {
+                            prob_milli: arg(&parts, 2)?,
+                            seed: arg(&parts, 3)?,
+                        },
+                        "burst" => LossSpec::Burst {
+                            enter_milli: arg(&parts, 2)?,
+                            exit_milli: arg(&parts, 3)?,
+                            drop_milli: arg(&parts, 4)?,
+                            seed: arg(&parts, 5)?,
+                        },
+                        "nth" => {
+                            let list = parts.get(2).copied().unwrap_or_default();
+                            let indices: Result<Vec<u64>, String> = list
+                                .split(',')
+                                .filter(|s| !s.is_empty())
+                                .map(parse_num)
+                                .collect();
+                            LossSpec::Nth(indices?)
+                        }
+                        other => return Err(format!("unknown loss model {other:?}")),
+                    };
+                    sc.loss.push(LossPhase { at_ns, model });
+                }
+                other => return Err(format!("unknown key {other:?}")),
+            }
+        }
+        sc.validate()?;
+        Ok(sc)
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (seed {}, {} QPs, {} wrs, {} faults, {} loss phases)",
+            self.name,
+            self.seed,
+            self.qps,
+            self.wrs.len(),
+            self.faults.len(),
+            self.loss.len()
+        )
+    }
+}
+
+/// Parses one integer field with a contextual error.
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad number {s:?}"))
+}
+
+/// Fetches and parses positional argument `i` of a spec line.
+fn arg<T: std::str::FromStr>(parts: &[&str], i: usize) -> Result<T, String> {
+    let s = parts.get(i).ok_or_else(|| format!("missing arg {i}"))?;
+    parse_num(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        let mut sc = Scenario::base("sample");
+        sc.seed = 99;
+        sc.device = DeviceKind::ConnectX6;
+        sc.qps = 3;
+        sc.slot = 512;
+        sc.client_odp = true;
+        sc.prefetch = true;
+        sc.cack = 18;
+        sc.post_interval_ns = 5_000;
+        sc.wrs = vec![
+            (0, WrSpec::Read { off: 0, len: 100 }),
+            (1, WrSpec::Write { off: 64, len: 32 }),
+            (1, WrSpec::Send { off: 128, len: 8 }),
+            (2, WrSpec::FetchAdd { off: 8, add: 7 }),
+            (
+                2,
+                WrSpec::CompareSwap {
+                    off: 16,
+                    compare: 1,
+                    swap: 2,
+                },
+            ),
+        ];
+        sc.faults = vec![FaultEvent {
+            at_ns: 10_000,
+            side: Side::Client,
+            page: 0,
+            count: 1,
+        }];
+        sc.loss = vec![
+            LossPhase {
+                at_ns: 0,
+                model: LossSpec::Uniform {
+                    prob_milli: 20,
+                    seed: 5,
+                },
+            },
+            LossPhase {
+                at_ns: 50_000,
+                model: LossSpec::Burst {
+                    enter_milli: 10,
+                    exit_milli: 200,
+                    drop_milli: 1000,
+                    seed: 6,
+                },
+            },
+            LossPhase {
+                at_ns: 80_000,
+                model: LossSpec::Nth(vec![3, 9]),
+            },
+            LossPhase {
+                at_ns: 100_000,
+                model: LossSpec::None,
+            },
+        ];
+        sc
+    }
+
+    #[test]
+    fn spec_round_trips_exactly() {
+        let sc = sample();
+        sc.validate().expect("sample is valid");
+        let text = sc.to_spec_string();
+        let back = Scenario::parse(&text).expect("parse back");
+        assert_eq!(sc, back);
+        // And the re-rendered text is byte-identical.
+        assert_eq!(text, back.to_spec_string());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Scenario::parse("").is_err());
+        assert!(Scenario::parse("nonsense v9\n").is_err());
+        let ok = "ibsim-scenario v1\nname=x\n";
+        assert!(Scenario::parse(ok).is_ok());
+        assert!(Scenario::parse("ibsim-scenario v1\nwat=1\n").is_err());
+        assert!(Scenario::parse("ibsim-scenario v1\nwr=0 levitate 1 2\n").is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_specs() {
+        let mut sc = sample();
+        sc.wrs.push((9, WrSpec::Read { off: 0, len: 1 }));
+        assert!(sc.validate().is_err());
+
+        let mut sc = sample();
+        sc.wrs.push((0, WrSpec::Read { off: 500, len: 100 }));
+        assert!(sc.validate().is_err(), "wr outside slot");
+
+        let mut sc = sample();
+        sc.wrs.push((0, WrSpec::FetchAdd { off: 4, add: 1 }));
+        assert!(sc.validate().is_err(), "unaligned atomic");
+
+        let mut sc = sample();
+        sc.faults.push(FaultEvent {
+            at_ns: 0,
+            side: Side::Server,
+            page: 999,
+            count: 1,
+        });
+        assert!(sc.validate().is_err(), "fault page out of range");
+
+        let mut sc = sample();
+        sc.loss.push(LossPhase {
+            at_ns: 0,
+            model: LossSpec::Uniform {
+                prob_milli: 2000,
+                seed: 0,
+            },
+        });
+        assert!(sc.validate().is_err(), "probability over 1.0");
+    }
+
+    #[test]
+    fn validate_rejects_unsequenced_buffer_races() {
+        // Later WRITE sourcing bytes an outstanding READ lands into.
+        let mut sc = Scenario::base("race-read-write");
+        sc.wrs = vec![
+            (0, WrSpec::Read { off: 0, len: 32 }),
+            (0, WrSpec::Write { off: 16, len: 8 }),
+        ];
+        let err = sc.validate().expect_err("read/write race must be rejected");
+        assert!(err.contains("unsequenced buffer race"), "{err}");
+
+        // Later SEND sourcing an atomic's landing qword.
+        let mut sc = Scenario::base("race-atomic-send");
+        sc.wrs = vec![
+            (0, WrSpec::FetchAdd { off: 64, add: 1 }),
+            (0, WrSpec::Send { off: 60, len: 16 }),
+        ];
+        assert!(sc.validate().is_err(), "atomic/send race must be rejected");
+
+        // Later atomic hitting an outstanding READ's server range
+        // (duplicate-READ replay hazard under response loss).
+        let mut sc = Scenario::base("race-read-atomic");
+        sc.wrs = vec![
+            (0, WrSpec::Read { off: 0, len: 32 }),
+            (0, WrSpec::FetchAdd { off: 8, add: 1 }),
+        ];
+        assert!(sc.validate().is_err(), "read/atomic race must be rejected");
+
+        // Safe shapes: different QPs, disjoint ranges, WRITE-then-READ
+        // (the response that lands in the overlap cumulatively acks the
+        // WRITE first), and overlapping same-kind pairs.
+        let mut sc = Scenario::base("race-free");
+        sc.qps = 2;
+        sc.wrs = vec![
+            (0, WrSpec::Read { off: 0, len: 32 }),
+            (1, WrSpec::Write { off: 0, len: 32 }),
+            (0, WrSpec::Write { off: 32, len: 8 }),
+            (1, WrSpec::Read { off: 0, len: 32 }),
+            (0, WrSpec::Read { off: 0, len: 32 }),
+            (0, WrSpec::FetchAdd { off: 40, add: 1 }),
+            (
+                0,
+                WrSpec::CompareSwap {
+                    off: 40,
+                    compare: 0,
+                    swap: 1,
+                },
+            ),
+        ];
+        sc.validate().expect("race-free workload must validate");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "ibsim-scenario v1\n\n# a comment\nname=c\n# another\nqps=2\n";
+        let sc = Scenario::parse(text).expect("parse");
+        assert_eq!(sc.name, "c");
+        assert_eq!(sc.qps, 2);
+    }
+}

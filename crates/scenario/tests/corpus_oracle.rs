@@ -1,0 +1,26 @@
+//! End-to-end conformance: every paper-derived corpus scenario must
+//! pass the differential oracle, and the parallel runner must produce
+//! identical hashes for different worker counts on the real corpus.
+
+use ibsim_scenario::{paper_corpus, run_corpus};
+
+#[test]
+fn corpus_is_oracle_clean() {
+    let corpus = paper_corpus();
+    let out = run_corpus(&corpus, 4);
+    assert_eq!(out.len(), corpus.len());
+    let failing: Vec<String> = out
+        .iter()
+        .filter(|o| o.violations > 0)
+        .map(|o| format!("{}:\n{}", o.name, o.report))
+        .collect();
+    assert!(failing.is_empty(), "{}", failing.join("\n"));
+}
+
+#[test]
+fn corpus_hashes_are_worker_count_independent() {
+    let corpus = paper_corpus();
+    let one = run_corpus(&corpus, 1);
+    let four = run_corpus(&corpus, 4);
+    assert_eq!(one, four);
+}

@@ -99,6 +99,24 @@ impl Telemetry {
         self.spans.open_count()
     }
 
+    /// Closed spans violating the stage-sum conservation law: the four
+    /// named stage durations of every closed span must sum exactly to
+    /// its end-to-end latency. Zero on a healthy hub; the scenario
+    /// oracle asserts this after every run.
+    pub fn stage_sum_violations(&self) -> usize {
+        self.spans
+            .closed()
+            .iter()
+            .filter(|s| {
+                let (Some(stages), Some(total)) = (s.stages(), s.end_to_end()) else {
+                    return true; // a closed span must expose both
+                };
+                let sum: SimTime = stages.iter().fold(SimTime::ZERO, |acc, &(_, d)| acc + d);
+                sum != total
+            })
+            .count()
+    }
+
     // ------------------------------------------------------------------
     // Registry write side
     // ------------------------------------------------------------------

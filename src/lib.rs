@@ -17,7 +17,9 @@
 //! * [`telemetry`] — metric registry, fault-lifecycle spans, exporters,
 //! * [`perftest`] — `ib_read_lat`/`ib_read_bw`-style micro-benchmarks,
 //! * [`analysis`] — RC trace linter, pitfall signature detectors, packet
-//!   conservation, and the runtime invariant registry.
+//!   conservation, and the runtime invariant registry,
+//! * [`scenario`] — seeded fault-schedule fuzzing with a differential RC
+//!   oracle, a failing-seed minimizer, and a parallel conformance runner.
 //!
 //! Building with `--features checks` turns on runtime invariant checking
 //! (QP state-machine legality, event-clock monotonicity) across the
@@ -32,6 +34,7 @@ pub use ibsim_event as event;
 pub use ibsim_fabric as fabric;
 pub use ibsim_odp as odp;
 pub use ibsim_perftest as perftest;
+pub use ibsim_scenario as scenario;
 pub use ibsim_shuffle as shuffle;
 pub use ibsim_telemetry as telemetry;
 pub use ibsim_ucp as ucp;
