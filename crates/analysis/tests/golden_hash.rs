@@ -3,17 +3,7 @@
 //! captured from the pre-indexed-heap engine; any drift means event
 //! ordering (and therefore simulated behaviour) changed.
 
-use ibsim_odp::{run_microbench, MicrobenchConfig, OdpMode};
-
-/// FNV-1a over the rendered timeline: stable, dependency-free.
-fn fnv1a(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+use ibsim_odp::{fnv1a_str as fnv1a, run_microbench, MicrobenchConfig, OdpMode};
 
 #[test]
 fn damming_probe_trace_hash_pinned() {

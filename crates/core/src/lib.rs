@@ -19,6 +19,8 @@
 //! * [`counters`] — `/sys`-style ODP/transport/driver counters and a
 //!   packet-free pitfall screen.
 //! * [`timeline`] — Fig. 1/5/8-style annotated workflow rendering.
+//! * [`hash`] — the FNV-1a trace-identity digest shared by every
+//!   byte-identity gate in the workspace.
 //!
 //! # Examples
 //!
@@ -41,6 +43,7 @@
 
 pub mod counters;
 pub mod experiment;
+pub mod hash;
 pub mod microbench;
 pub mod pitfall;
 pub mod regcache;
@@ -53,6 +56,7 @@ pub use experiment::{
     fig11_curves, fig1_workflow, fig2_curve, fig4_series, fig5_workflow, fig6_series, fig7_series,
     fig8_workflow, fig9_points, Fig11Curve, Fig2Point, Fig4Point, Fig9Point, TimeoutSeries,
 };
+pub use hash::{fnv1a, fnv1a_str};
 pub use microbench::{
     average_execution, run_microbench, timeout_probability, MicrobenchConfig, MicrobenchRun,
     OdpMode,

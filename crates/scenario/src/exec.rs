@@ -23,7 +23,9 @@ use crate::spec::{DeviceKind, LossSpec, Scenario, Side, WrSpec};
 const DRAIN_BUDGET: SimTime = SimTime::from_secs(30);
 
 /// FNV-1a over raw bytes: the dependency-free stable hash used for all
-/// trace-identity checks in this repository.
+/// trace-identity checks in this repository. Re-exported from
+/// [`ibsim_odp::hash`] so every crate hashes with the same pinned
+/// implementation.
 ///
 /// # Examples
 ///
@@ -31,14 +33,7 @@ const DRAIN_BUDGET: SimTime = SimTime::from_secs(30);
 /// assert_eq!(ibsim_scenario::fnv1a(b""), 0xcbf2_9ce4_8422_2325);
 /// assert_ne!(ibsim_scenario::fnv1a(b"a"), ibsim_scenario::fnv1a(b"b"));
 /// ```
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+pub use ibsim_odp::hash::fnv1a;
 
 /// Everything one scenario run produced that the oracle (or a human)
 /// might want to inspect.

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use ibsim_event::{Engine, SimTime, TimerKey};
+use ibsim_event::{Engine, SimTime};
 use ibsim_fabric::{Capture, Delivery, Direction, Fabric, Lid, LinkSpec, Xorshift64Star};
 use ibsim_telemetry::{Labels, Telemetry};
 
@@ -12,44 +12,12 @@ use crate::driver::{Driver, DriverStats, DriverWork};
 use crate::mem::{Memory, MrMode};
 use crate::nic::Nic;
 use crate::packet::{Packet, PacketKind};
-use crate::qp::{Outbox, QpConfig, QpEnv, QpStats};
+use crate::qp::{Effects, QpConfig, QpEnv, QpStats, TimerFamily};
 use crate::types::{HostId, MrKey, Qpn, WrId};
-use crate::wr::{Completion, RecvWr, WorkRequest, WrOp};
+use crate::wr::{Completion, RecvWr, WorkRequest};
 
 /// The simulation engine type used throughout `ibsim`.
 pub type Sim = Engine<Cluster>;
-
-/// The three per-QP protocol timer families, multiplexed onto the
-/// engine's keyed timer table. Each family has at most one live event
-/// per (host, QP[, PSN]) slot: arming an armed slot replaces the old
-/// event, so re-arms never leave gen-guarded no-op events in the heap.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TimerFamily {
-    /// Transport ACK timeout (`T_o`), one slot per (host, QP).
-    Ack,
-    /// RNR wait expiry, one slot per (host, QP).
-    Rnr,
-    /// Client-side ODP blind-retransmit tick, one slot per
-    /// (host, QP, stalled message PSN).
-    Stall,
-}
-
-impl TimerFamily {
-    /// Packs the family, host, QP and auxiliary discriminator (the
-    /// stalled message PSN for [`TimerFamily::Stall`], zero otherwise)
-    /// into an engine [`TimerKey`].
-    pub fn key(self, host: HostId, qpn: Qpn, aux: u32) -> TimerKey {
-        let fam = match self {
-            TimerFamily::Ack => 0u64,
-            TimerFamily::Rnr => 1,
-            TimerFamily::Stall => 2,
-        };
-        TimerKey(
-            (fam << 48) | host.0 as u64,
-            ((qpn.0 as u64) << 32) | aux as u64,
-        )
-    }
-}
 
 /// A completion waker callback (see [`Cluster::set_cq_waker`]).
 pub type CqWaker = std::rc::Rc<dyn Fn(&mut Sim)>;
@@ -217,7 +185,7 @@ impl Cluster {
         let nic = &self.nics[host.0];
         let mut total = QpStats::default();
         for &qpn in nic.qpns() {
-            let s = nic.qp(qpn).expect("listed qp exists").stats;
+            let s = nic.qp(qpn).expect("listed qp exists").stats();
             total.retransmissions += s.retransmissions;
             total.timeouts += s.timeouts;
             total.rnr_naks_received += s.rnr_naks_received;
@@ -382,186 +350,6 @@ impl Cluster {
     // Verbs
     // ------------------------------------------------------------------
 
-    /// Posts an RDMA READ work request.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a typed request instead: `cl.post(eng, host, qpn, \
-                ReadWr::new(local, (rkey, off)).len(n).id(i))`"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn post_read(
-        &mut self,
-        eng: &mut Sim,
-        host: HostId,
-        qpn: Qpn,
-        wr_id: WrId,
-        local_mr: MrKey,
-        local_off: u64,
-        rkey: MrKey,
-        remote_off: u64,
-        len: u32,
-    ) {
-        self.post(
-            eng,
-            host,
-            qpn,
-            WorkRequest {
-                id: wr_id,
-                op: WrOp::Read {
-                    local_mr,
-                    local_off,
-                    rkey,
-                    remote_off,
-                    len,
-                },
-            },
-        );
-    }
-
-    /// Posts an RDMA WRITE work request.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a typed request instead: `cl.post(eng, host, qpn, \
-                WriteWr::new(local, (rkey, off)).len(n).id(i))`"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn post_write(
-        &mut self,
-        eng: &mut Sim,
-        host: HostId,
-        qpn: Qpn,
-        wr_id: WrId,
-        local_mr: MrKey,
-        local_off: u64,
-        rkey: MrKey,
-        remote_off: u64,
-        len: u32,
-    ) {
-        self.post(
-            eng,
-            host,
-            qpn,
-            WorkRequest {
-                id: wr_id,
-                op: WrOp::Write {
-                    local_mr,
-                    local_off,
-                    rkey,
-                    remote_off,
-                    len,
-                },
-            },
-        );
-    }
-
-    /// Posts an 8-byte fetch-and-add; the original value lands at
-    /// `(local_mr, local_off)`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a typed request instead: `cl.post(eng, host, qpn, \
-                FetchAddWr::new(local, remote).add(v).id(i))`"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn post_fetch_add(
-        &mut self,
-        eng: &mut Sim,
-        host: HostId,
-        qpn: Qpn,
-        wr_id: WrId,
-        local_mr: MrKey,
-        local_off: u64,
-        rkey: MrKey,
-        remote_off: u64,
-        add: u64,
-    ) {
-        self.post(
-            eng,
-            host,
-            qpn,
-            WorkRequest {
-                id: wr_id,
-                op: WrOp::Atomic {
-                    local_mr,
-                    local_off,
-                    rkey,
-                    remote_off,
-                    op: crate::packet::AtomicOp::FetchAdd { add },
-                },
-            },
-        );
-    }
-
-    /// Posts an 8-byte compare-and-swap; the original value lands at
-    /// `(local_mr, local_off)` (the swap took effect iff it equals
-    /// `compare`).
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a typed request instead: `cl.post(eng, host, qpn, \
-                CompareSwapWr::new(local, remote).compare(c).swap(s).id(i))`"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn post_compare_swap(
-        &mut self,
-        eng: &mut Sim,
-        host: HostId,
-        qpn: Qpn,
-        wr_id: WrId,
-        local_mr: MrKey,
-        local_off: u64,
-        rkey: MrKey,
-        remote_off: u64,
-        compare: u64,
-        swap: u64,
-    ) {
-        self.post(
-            eng,
-            host,
-            qpn,
-            WorkRequest {
-                id: wr_id,
-                op: WrOp::Atomic {
-                    local_mr,
-                    local_off,
-                    rkey,
-                    remote_off,
-                    op: crate::packet::AtomicOp::CompareSwap { compare, swap },
-                },
-            },
-        );
-    }
-
-    /// Posts a two-sided SEND work request.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a typed request instead: `cl.post(eng, host, qpn, \
-                SendWr::new(local).len(n).id(i))`"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn post_send(
-        &mut self,
-        eng: &mut Sim,
-        host: HostId,
-        qpn: Qpn,
-        wr_id: WrId,
-        local_mr: MrKey,
-        local_off: u64,
-        len: u32,
-    ) {
-        self.post(
-            eng,
-            host,
-            qpn,
-            WorkRequest {
-                id: wr_id,
-                op: WrOp::Send {
-                    local_mr,
-                    local_off,
-                    len,
-                },
-            },
-        );
-    }
-
     /// Posts a work request: either a typed builder ([`ReadWr`],
     /// [`WriteWr`], [`SendWr`], [`FetchAddWr`], [`CompareSwapWr`]) or a
     /// raw [`WorkRequest`].
@@ -575,7 +363,7 @@ impl Cluster {
         let wr = wr.into();
         self.telemetry
             .wr_posted(host.0 as u64, qpn.0, wr.id.0, eng.now());
-        self.with_qp(eng, host, qpn, move |qp, env, out| qp.post(env, out, wr));
+        self.with_qp(eng, host, qpn, move |qp, env, fx| qp.post(env, fx, wr));
     }
 
     /// Posts a receive buffer.
@@ -700,7 +488,7 @@ impl Cluster {
             }
             for &qpn in nic.qpns() {
                 let Some(qp) = nic.qp(qpn) else { continue };
-                let s = qp.stats;
+                let s = qp.stats();
                 let ql = Labels::host_qp(h as u64, qpn.0);
                 t.gauge_set("qp.retransmissions", ql, s.retransmissions);
                 t.gauge_set("qp.timeouts", ql, s.timeouts);
@@ -721,9 +509,9 @@ impl Cluster {
 
     fn with_qp<F>(&mut self, eng: &mut Sim, host: HostId, qpn: Qpn, f: F)
     where
-        F: FnOnce(&mut crate::qp::Qp, &mut QpEnv<'_>, &mut Outbox),
+        F: FnOnce(&mut crate::qp::Qp, &mut QpEnv<'_>, &mut Effects),
     {
-        let mut out = Outbox::new();
+        let mut fx = Effects::new();
         {
             let nic = &mut self.nics[host.0];
             let mem = &mut self.mems[host.0];
@@ -736,7 +524,7 @@ impl Cluster {
                 mrs,
                 profile,
             };
-            f(qp, &mut env, &mut out);
+            f(qp, &mut env, &mut fx);
         }
         self.nics[host.0].update_recovery(qpn);
         if self.telemetry.is_enabled() {
@@ -745,15 +533,18 @@ impl Cluster {
                     .qp_state_sample(host.0 as u64, qpn.0, state.name(), eng.now());
             }
         }
-        self.process_outbox(eng, host, qpn, out);
+        self.apply_effects(eng, host, qpn, fx);
     }
 
-    fn process_outbox(&mut self, eng: &mut Sim, host: HostId, qpn: Qpn, out: Outbox) {
-        for pkt in out.packets {
+    /// Drains one [`Effects`] value into the engine and peripherals, in a
+    /// fixed order: packets, completions, timer ops (ack, rnr, stall),
+    /// faults, fault waiters, IRQs, then at most one driver kick.
+    fn apply_effects(&mut self, eng: &mut Sim, host: HostId, qpn: Qpn, fx: Effects) {
+        for pkt in fx.packets {
             self.transmit(eng, host, pkt);
         }
-        let had_completions = !out.completions.is_empty();
-        for c in out.completions {
+        let had_completions = !fx.completions.is_empty();
+        for c in fx.completions {
             self.telemetry
                 .wr_completed(host.0 as u64, c.qpn.0, c.wr_id.0, c.at);
             self.nics[host.0].push_completion(c);
@@ -763,10 +554,10 @@ impl Cluster {
                 waker(eng);
             }
         }
-        if out.cancel_ack_timer {
+        if fx.timers.cancel_ack {
             eng.cancel_key(TimerFamily::Ack.key(host, qpn, 0));
         }
-        if let Some(gen) = out.arm_ack_timer {
+        if let Some(gen) = fx.timers.arm_ack {
             let nic = &self.nics[host.0];
             let cack = nic.qp(qpn).map(|q| q.config().cack).unwrap_or_default();
             if let Some(t_o) = nic.profile.t_o(cack) {
@@ -788,10 +579,10 @@ impl Cluster {
                 );
             }
         }
-        if out.cancel_rnr_timer {
+        if fx.timers.cancel_rnr {
             eng.cancel_key(TimerFamily::Rnr.key(host, qpn, 0));
         }
-        if let Some((delay, gen)) = out.arm_rnr_timer {
+        if let Some((delay, gen)) = fx.timers.arm_rnr {
             eng.schedule_keyed_in(
                 TimerFamily::Rnr.key(host, qpn, 0),
                 delay,
@@ -801,16 +592,16 @@ impl Cluster {
                         Labels::host_qp(host.0 as u64, qpn.0),
                         1,
                     );
-                    c.with_qp(eng, host, qpn, move |qp, env, out| {
-                        qp.on_rnr_fire(env, out, gen)
+                    c.with_qp(eng, host, qpn, move |qp, env, fx| {
+                        qp.on_rnr_fire(env, fx, gen)
                     });
                 },
             );
         }
-        for psn in out.cancel_stall_ticks {
+        for psn in fx.timers.cancel_stalls {
             eng.cancel_key(TimerFamily::Stall.key(host, qpn, psn.value()));
         }
-        for (psn, delay, gen) in out.stall_ticks {
+        for (psn, delay, gen) in fx.timers.arm_stalls {
             eng.schedule_keyed_in(
                 TimerFamily::Stall.key(host, qpn, psn.value()),
                 delay,
@@ -820,14 +611,14 @@ impl Cluster {
                         Labels::host_qp(host.0 as u64, qpn.0),
                         1,
                     );
-                    c.with_qp(eng, host, qpn, move |qp, env, out| {
-                        qp.on_stall_tick(env, out, psn, gen)
+                    c.with_qp(eng, host, qpn, move |qp, env, fx| {
+                        qp.on_stall_tick(env, fx, psn, gen)
                     });
                 },
             );
         }
         let mut kick = false;
-        for (mr, page) in out.faults {
+        for (mr, page) in fx.faults {
             let lo = self.nics[host.0].profile.fault_latency_min.as_ns();
             let hi = self.nics[host.0].profile.fault_latency_max.as_ns();
             let latency = SimTime::from_ns(lo + self.rng.next_below((hi - lo).max(1)));
@@ -841,10 +632,10 @@ impl Cluster {
             self.drivers[host.0].push_fault(mr, page, latency);
             kick = true;
         }
-        for (mr, page) in out.fault_waits {
+        for (mr, page) in fx.fault_waits {
             self.nics[host.0].register_fault_waiter(qpn, mr, page);
         }
-        for _ in 0..out.irqs {
+        for _ in 0..fx.irqs {
             self.drivers[host.0].push_irq();
             kick = true;
         }
@@ -889,8 +680,8 @@ impl Cluster {
         }
         self.telemetry
             .counter_add("timer.ack_fired", Labels::host_qp(host.0 as u64, qpn.0), 1);
-        self.with_qp(eng, host, qpn, |qp, env, out| {
-            qp.on_ack_timeout(env, out, gen)
+        self.with_qp(eng, host, qpn, |qp, env, fx| {
+            qp.on_ack_timeout(env, fx, gen)
         });
     }
 
@@ -987,8 +778,8 @@ impl Cluster {
             pkt.clone(),
         );
         let qpn = pkt.dst_qp;
-        self.with_qp(eng, host, qpn, move |qp, env, out| {
-            qp.on_packet(env, out, &pkt)
+        self.with_qp(eng, host, qpn, move |qp, env, fx| {
+            qp.on_packet(env, fx, &pkt)
         });
     }
 
@@ -1063,16 +854,16 @@ impl Cluster {
                     if stale.contains(&q) {
                         continue;
                     }
-                    self.with_qp(eng, host, q, move |qp, env, out| {
-                        qp.on_page_ready(env, out, mr, page)
+                    self.with_qp(eng, host, q, move |qp, env, fx| {
+                        qp.on_page_ready(env, fx, mr, page)
                     });
                 }
             }
             DriverWork::QpResumed { qpn, mr, page } => {
                 self.telemetry
                     .resume_done(host.0 as u64, mr.0, page as u64, eng.now());
-                self.with_qp(eng, host, qpn, move |qp, env, out| {
-                    qp.on_page_ready(env, out, mr, page)
+                self.with_qp(eng, host, qpn, move |qp, env, fx| {
+                    qp.on_page_ready(env, fx, mr, page)
                 });
             }
             DriverWork::IrqBatch { .. } => {}

@@ -25,13 +25,13 @@ pub mod qp;
 mod types;
 mod wr;
 
-pub use cluster::{Cluster, ClusterBuilder, ClusterStats, MrBuilder, MrDesc, Sim, TimerFamily};
+pub use cluster::{Cluster, ClusterBuilder, ClusterStats, MrBuilder, MrDesc, Sim};
 pub use device::{rnr_timer_decode, rnr_timer_encode, t_tr, DeviceModel, DeviceProfile};
 pub use driver::{Driver, DriverStats, DriverWork};
 pub use mem::{MemRegion, Memory, MrMode, PageState};
 pub use nic::Nic;
 pub use packet::{AtomicOp, NakKind, Packet, PacketKind, SegPos};
-pub use qp::{Outbox, Qp, QpConfig, QpEnv, QpState, QpStats};
+pub use qp::{Effects, Qp, QpConfig, QpEnv, QpState, QpStats, TimerEffects, TimerFamily};
 pub use types::{
     packets_for, HostId, MrKey, Psn, Qpn, WrId, AETH_BYTES, BASE_HEADER_BYTES, DEFAULT_MTU,
     PAGE_SIZE, RETH_BYTES,

@@ -1,0 +1,271 @@
+//! The ODP fault layer: per-QP page staleness, recovery-window state, and
+//! the page-gate loops both transport engines route their ODP decisions
+//! through.
+//!
+//! This is the only place requester and responder knowledge meet: the
+//! [`FaultTracker`] page map is owned by the QP facade and read by the
+//! requester's client-side gate, while the gate helpers below mutate MR
+//! page states and emit fault effects with the exact push order the
+//! golden traces pin.
+
+use std::collections::HashSet;
+
+use ibsim_event::SimTime;
+
+use crate::mem::{MemRegion, PageState};
+use crate::types::{MrKey, Psn};
+
+use super::effects::Effects;
+
+/// Pages globally mapped but not yet propagated to this QP — the packet
+/// flood root cause ("update failure of page statuses", §VI-B). Owned by
+/// the QP facade; the requester reads it, only page-ready/stale events
+/// write it.
+#[derive(Debug, Default)]
+pub(super) struct FaultTracker {
+    stale_pages: HashSet<(MrKey, usize)>,
+}
+
+impl FaultTracker {
+    /// An empty tracker (no stale pages).
+    pub(super) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a mapped page as not yet propagated to this QP.
+    pub(super) fn mark_stale(&mut self, mr: MrKey, page: usize) {
+        self.stale_pages.insert((mr, page));
+    }
+
+    /// A page became usable for this QP: drop any staleness.
+    pub(super) fn page_ready(&mut self, mr: MrKey, page: usize) {
+        self.stale_pages.remove(&(mr, page));
+    }
+
+    /// True if the page is mapped globally but unusable by this QP.
+    pub(super) fn is_stale(&self, mr: MrKey, page: usize) -> bool {
+        self.stale_pages.contains(&(mr, page))
+    }
+
+    /// Number of pages this QP still considers stale.
+    pub(super) fn stale_count(&self) -> usize {
+        self.stale_pages.len()
+    }
+}
+
+/// An active client-side ODP stall: a READ whose response was discarded
+/// because local pages were not usable; blindly retransmitted each tick.
+#[derive(Debug, Clone)]
+pub(super) struct OdpStall {
+    /// First PSN of the stalled message.
+    pub(super) psn: Psn,
+    /// End of the damming ghost window (= time of the first blind retick).
+    pub(super) ghost_until: SimTime,
+    /// Timer generation guarding this stall's ticks.
+    pub(super) gen: u64,
+}
+
+/// Requester-side RNR wait state.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct RnrWait {
+    /// PSN of the message the responder RNR-NAKed.
+    pub(super) psn: Psn,
+    /// Timer generation guarding the wait.
+    pub(super) gen: u64,
+}
+
+/// The requester's fault-recovery state: the RNR wait (if any) plus every
+/// active ODP stall. Owned by the requester engine; grouped here because
+/// the damming ghost window (§V) is defined over exactly this state.
+#[derive(Debug, Default)]
+pub(super) struct Recovery {
+    /// Active RNR wait, if the responder RNR-NAKed us.
+    pub(super) rnr_wait: Option<RnrWait>,
+    /// Active client-side ODP stalls.
+    pub(super) stalls: Vec<OdpStall>,
+}
+
+impl Recovery {
+    /// True while the QP is inside a fault-recovery window (RNR wait, or
+    /// the pre-first-retransmit phase of an ODP stall): on `damming`
+    /// devices, requests first transmitted now become ghosts.
+    pub(super) fn in_window(&self, now: SimTime) -> bool {
+        self.rnr_wait.is_some() || self.stalls.iter().any(|s| now < s.ghost_until)
+    }
+
+    /// True if any ODP stall or RNR wait is active (used by the NIC to
+    /// estimate timer-management load, §VI-C).
+    pub(super) fn active(&self) -> bool {
+        self.rnr_wait.is_some() || !self.stalls.is_empty()
+    }
+}
+
+/// Outcome of the client-side destination-page gate.
+pub(super) struct GateOutcome {
+    /// Every spanned page is NIC-mapped and propagated to this QP.
+    pub(super) usable: bool,
+    /// At least one page moved `Unmapped → Faulting` (one fault event).
+    pub(super) newly_faulted: bool,
+}
+
+/// Client-side ODP gate (requester): destination pages of a READ/ATOMIC
+/// response must be NIC-mapped AND propagated to this QP. Unmapped pages
+/// start faulting and register a fault wait; already-faulting pages just
+/// register the wait; mapped-but-stale pages make the response unusable
+/// without any fault work. The caller has already checked the MR is ODP.
+pub(super) fn gate_dest_pages(
+    tracker: &FaultTracker,
+    mr: &mut MemRegion,
+    mr_key: MrKey,
+    off: u64,
+    len: u32,
+    fx: &mut Effects,
+) -> GateOutcome {
+    let mut usable = true;
+    let mut newly_faulted = false;
+    for p in mr.pages_spanned(off, len) {
+        match mr.page_state(p) {
+            PageState::Unmapped => {
+                mr.set_page_state(p, PageState::Faulting);
+                mr.fault_count += 1;
+                fx.faults.push((mr_key, p));
+                fx.fault_waits.push((mr_key, p));
+                newly_faulted = true;
+                usable = false;
+            }
+            PageState::Faulting => {
+                fx.fault_waits.push((mr_key, p));
+                usable = false;
+            }
+            PageState::Mapped => {
+                if tracker.is_stale(mr_key, p) {
+                    usable = false;
+                }
+            }
+        }
+    }
+    GateOutcome {
+        usable,
+        newly_faulted,
+    }
+}
+
+/// Send-side ODP gate (requester pump): WRITE/SEND payloads are DMA-read
+/// from local memory, so unmapped source pages start faulting and every
+/// still-faulting page blocks transmission. Returns the blocking pages
+/// and whether any fault was newly raised.
+pub(super) fn fault_source_pages(
+    mr: &mut MemRegion,
+    mr_key: MrKey,
+    off: u64,
+    len: u32,
+    fx: &mut Effects,
+) -> (Vec<(MrKey, usize)>, bool) {
+    let mut blocked = Vec::new();
+    let mut faulted = false;
+    for p in mr.pages_spanned(off, len) {
+        if mr.page_state(p) == PageState::Unmapped {
+            mr.set_page_state(p, PageState::Faulting);
+            mr.fault_count += 1;
+            fx.faults.push((mr_key, p));
+            faulted = true;
+        }
+        if mr.page_state(p) == PageState::Faulting {
+            blocked.push((mr_key, p));
+        }
+    }
+    (blocked, faulted)
+}
+
+/// Responder drop-path fault priming: starts faults for the unmapped
+/// pages a dropped request targets, without touching faulting or mapped
+/// pages. Returns true if any fault was raised.
+pub(super) fn raise_unmapped(
+    mr: &mut MemRegion,
+    mr_key: MrKey,
+    addr: u64,
+    len: u32,
+    fx: &mut Effects,
+) -> bool {
+    let mut faulted = false;
+    for p in mr.pages_spanned(addr, len) {
+        if mr.page_state(p) == PageState::Unmapped {
+            mr.set_page_state(p, PageState::Faulting);
+            mr.fault_count += 1;
+            fx.faults.push((mr_key, p));
+            faulted = true;
+        }
+    }
+    faulted
+}
+
+/// Responder pendency collection: the pages that must resolve before the
+/// QP leaves fault pendency — unmapped ones are raised, already-faulting
+/// ones joined, mapped ones skipped. Returns the pendency page list and
+/// whether any fault was newly raised.
+pub(super) fn collect_pendency_pages(
+    mr: &mut MemRegion,
+    mr_key: MrKey,
+    offset: u64,
+    len: u32,
+    fx: &mut Effects,
+) -> (Vec<(MrKey, usize)>, bool) {
+    let mut pages = Vec::new();
+    let mut newly_faulted = false;
+    for p in mr.pages_spanned(offset, len.max(1)) {
+        match mr.page_state(p) {
+            PageState::Unmapped => {
+                mr.set_page_state(p, PageState::Faulting);
+                mr.fault_count += 1;
+                fx.faults.push((mr_key, p));
+                pages.push((mr_key, p));
+                newly_faulted = true;
+            }
+            PageState::Faulting => pages.push((mr_key, p)),
+            PageState::Mapped => {}
+        }
+    }
+    (pages, newly_faulted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_round_trips_staleness() {
+        let mut t = FaultTracker::new();
+        assert!(!t.is_stale(MrKey(1), 0));
+        t.mark_stale(MrKey(1), 0);
+        t.mark_stale(MrKey(1), 3);
+        assert!(t.is_stale(MrKey(1), 0));
+        assert_eq!(t.stale_count(), 2);
+        t.page_ready(MrKey(1), 0);
+        assert!(!t.is_stale(MrKey(1), 0));
+        assert_eq!(t.stale_count(), 1);
+    }
+
+    #[test]
+    fn recovery_window_covers_rnr_and_fresh_stalls() {
+        let mut r = Recovery::default();
+        assert!(!r.active());
+        assert!(!r.in_window(SimTime::ZERO));
+        r.stalls.push(OdpStall {
+            psn: Psn::new(5),
+            ghost_until: SimTime::from_us(10),
+            gen: 1,
+        });
+        assert!(r.active());
+        assert!(r.in_window(SimTime::from_us(9)));
+        // Past the first blind retransmit the stall is no longer a ghost
+        // window, but still counts as recovery load.
+        assert!(!r.in_window(SimTime::from_us(10)));
+        assert!(r.active());
+        r.stalls.clear();
+        r.rnr_wait = Some(RnrWait {
+            psn: Psn::new(5),
+            gen: 2,
+        });
+        assert!(r.in_window(SimTime::from_ms(99)));
+    }
+}

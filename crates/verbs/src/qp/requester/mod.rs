@@ -1,0 +1,542 @@
+//! The requester engine: send queue, PSN assignment, ACK timeout, RNR
+//! wait, ODP response stalls, and go-back-N retransmission.
+//!
+//! Everything here runs on the *initiating* side of a connection. The
+//! engine owns no responder state; the only cross-role input is a
+//! read-only view of the [`FaultTracker`](super::fault::FaultTracker)
+//! page map, consulted by the client-side ODP gate. This file holds the
+//! transmit-side machinery; [`response`] holds the ACK/response/NAK
+//! receive path.
+
+mod response;
+
+use std::collections::{HashSet, VecDeque};
+
+use ibsim_event::SimTime;
+
+use crate::mem::MrMode;
+use crate::types::{MrKey, Psn, WrId};
+use crate::wr::{Completion, SendWqe, WcOpcode, WcStatus, WorkRequest, WrOp};
+
+use super::effects::Effects;
+use super::fault::{self, Recovery};
+use super::state::{Lifecycle, QpState};
+use super::wire::{build_request_packet, source_segment};
+use super::{QpCtx, QpEnv};
+
+/// Requester-side protocol counters (merged into the public
+/// [`QpStats`](super::QpStats) by the facade).
+#[derive(Debug, Clone, Copy, Default)]
+pub(super) struct ReqStats {
+    /// Request packets retransmitted.
+    pub(super) retransmissions: u64,
+    /// ACK timeouts fired.
+    pub(super) timeouts: u64,
+    /// RNR NAKs received.
+    pub(super) rnr_naks_received: u64,
+    /// READ/ATOMIC responses discarded by client-side ODP.
+    pub(super) responses_discarded: u64,
+    /// Network page faults raised on this side.
+    pub(super) faults_raised: u64,
+}
+
+/// The requester half of an RC queue pair.
+#[derive(Debug)]
+pub(super) struct Requester {
+    sq: VecDeque<SendWqe>,
+    next_psn: Psn,
+    retry_budget: u8,
+    rnr_budget: u8,
+    timer_gen: u64,
+    ack_gen: u64,
+    recovery: Recovery,
+    /// Local source pages whose faults block further transmission.
+    tx_blocked: HashSet<(MrKey, usize)>,
+    /// Protocol counters.
+    pub(super) stats: ReqStats,
+}
+
+impl Requester {
+    /// A fresh requester with full retry budgets.
+    pub(super) fn new(retry_count: u8, rnr_retry: u8) -> Self {
+        Requester {
+            sq: VecDeque::new(),
+            next_psn: Psn::new(0),
+            retry_budget: retry_count,
+            rnr_budget: rnr_retry,
+            timer_gen: 0,
+            ack_gen: 0,
+            recovery: Recovery::default(),
+            tx_blocked: HashSet::new(),
+            stats: ReqStats::default(),
+        }
+    }
+
+    /// Number of send WQEs not yet retired.
+    pub(super) fn pending_sends(&self) -> usize {
+        self.sq.len()
+    }
+
+    /// True if the work request `id` is still in the send queue.
+    pub(super) fn is_wr_pending(&self, id: WrId) -> bool {
+        self.sq.iter().any(|w| w.id == id)
+    }
+
+    /// Next PSN to be assigned (for debugging).
+    pub(super) fn next_psn(&self) -> Psn {
+        self.next_psn
+    }
+
+    /// Number of active ODP stalls (for debugging).
+    pub(super) fn stall_count(&self) -> usize {
+        self.recovery.stalls.len()
+    }
+
+    /// See [`Recovery::in_window`].
+    pub(super) fn in_recovery_window(&self, now: SimTime) -> bool {
+        self.recovery.in_window(now)
+    }
+
+    /// See [`Recovery::active`].
+    pub(super) fn in_recovery(&self) -> bool {
+        self.recovery.active()
+    }
+
+    fn next_gen(&mut self) -> u64 {
+        self.timer_gen += 1;
+        self.timer_gen
+    }
+
+    // ------------------------------------------------------------------
+    // Posting
+    // ------------------------------------------------------------------
+
+    /// Posts a send work request and transmits as far as possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the QP was never connected.
+    pub(super) fn post(
+        &mut self,
+        ctx: &QpCtx,
+        life: &Lifecycle,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+        wr: WorkRequest,
+    ) {
+        if life.is_error() {
+            fx.completions.push(Completion {
+                wr_id: wr.id,
+                qpn: ctx.qpn,
+                status: WcStatus::WrFlushErr,
+                opcode: match wr.op {
+                    WrOp::Read { .. } => WcOpcode::Read,
+                    WrOp::Write { .. } => WcOpcode::Write,
+                    WrOp::Send { .. } => WcOpcode::Send,
+                    WrOp::Atomic {
+                        op: crate::packet::AtomicOp::FetchAdd { .. },
+                        ..
+                    } => WcOpcode::FetchAdd,
+                    WrOp::Atomic { .. } => WcOpcode::CompareSwap,
+                },
+                bytes: 0,
+                at: env.now,
+            });
+            return;
+        }
+        let span = wr.op.psn_span(ctx.cfg.mtu);
+        let req_packets = wr.op.request_packets(ctx.cfg.mtu);
+        let resp_packets = match wr.op {
+            WrOp::Read { len, .. } => crate::types::packets_for(len, ctx.cfg.mtu),
+            WrOp::Atomic { .. } => 1,
+            _ => 0,
+        };
+        let wqe = SendWqe {
+            id: wr.id,
+            op: wr.op,
+            psn_first: self.next_psn,
+            psn_last: self.next_psn.add(span - 1),
+            req_packets,
+            resp_packets,
+            sent_segments: 0,
+            recv_segments: 0,
+            acked: false,
+            ghosted: false,
+            first_tx: None,
+        };
+        self.next_psn = self.next_psn.add(span);
+        self.sq.push_back(wqe);
+        self.pump(ctx, life, env, fx);
+    }
+
+    /// Transmits every not-yet-sent segment, in SQ order, stopping at a
+    /// send-side ODP fault on a local source page.
+    pub(super) fn pump(
+        &mut self,
+        ctx: &QpCtx,
+        life: &Lifecycle,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+    ) {
+        if life.is_error() || !self.tx_blocked.is_empty() {
+            return;
+        }
+        let (peer_lid, peer_qpn) = ctx.peer_or_panic();
+        let ghost_window = env.profile.damming && self.recovery.in_window(env.now);
+        let mtu = ctx.cfg.mtu;
+        let mut outstanding_rd = self
+            .sq
+            .iter()
+            .filter(|w| {
+                matches!(w.op, WrOp::Read { .. } | WrOp::Atomic { .. })
+                    && w.sent_segments > 0
+                    && !w.is_done()
+            })
+            .count();
+        for wqe in self.sq.iter_mut() {
+            // max_rd_atomic: hardware bounds outstanding READ/ATOMIC
+            // requests; later WQEs wait in the send queue.
+            if matches!(wqe.op, WrOp::Read { .. } | WrOp::Atomic { .. }) && wqe.sent_segments == 0 {
+                if outstanding_rd >= ctx.cfg.max_rd_atomic {
+                    break;
+                }
+                outstanding_rd += 1;
+            }
+            while wqe.sent_segments < wqe.req_packets {
+                // Send-side ODP: WRITE/SEND payloads are DMA-read from
+                // local memory; unmapped pages stall transmission.
+                if let Some((mr_key, local_off, seg_len, seg_off)) =
+                    source_segment(wqe, wqe.sent_segments, mtu)
+                {
+                    let mr = env.mrs.get_mut(&mr_key).expect("posted with bad lkey");
+                    if mr.mode() == MrMode::Odp
+                        && seg_len > 0
+                        && mr.first_unmapped(local_off + seg_off, seg_len).is_some()
+                    {
+                        let (blocked, faulted) =
+                            fault::fault_source_pages(mr, mr_key, local_off + seg_off, seg_len, fx);
+                        for b in blocked {
+                            self.tx_blocked.insert(b);
+                        }
+                        if faulted {
+                            self.stats.faults_raised += 1;
+                        }
+                        return; // head-of-line blocked
+                    }
+                }
+                let seg = wqe.sent_segments;
+                if seg == 0 {
+                    wqe.first_tx = Some(env.now);
+                    if ghost_window {
+                        wqe.ghosted = true;
+                    }
+                }
+                let pkt = build_request_packet(
+                    env, ctx.lid, ctx.qpn, peer_lid, peer_qpn, wqe, seg, mtu, false,
+                );
+                fx.packets.push(pkt);
+                wqe.sent_segments += 1;
+            }
+        }
+        self.rearm_timer_if_needed(ctx, life, fx);
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// True if some transmitted work still awaits acknowledgment or data.
+    fn has_outstanding(&self) -> bool {
+        self.sq.iter().any(|w| w.sent_segments > 0 && !w.is_done())
+    }
+
+    fn rearm_timer_if_needed(&mut self, ctx: &QpCtx, life: &Lifecycle, fx: &mut Effects) {
+        if ctx.cfg.cack == 0 || life.is_error() {
+            return;
+        }
+        if self.recovery.rnr_wait.is_some() {
+            // The RNR timer replaces the ACK timer while waiting.
+            if self.ack_gen != 0 {
+                self.ack_gen = 0;
+                fx.timers.cancel_ack = true;
+            }
+            fx.timers.arm_ack = None;
+            return;
+        }
+        if self.has_outstanding() {
+            let gen = self.next_gen();
+            self.ack_gen = gen;
+            fx.timers.arm_ack = Some(gen);
+        } else {
+            if self.ack_gen != 0 {
+                self.ack_gen = 0;
+                fx.timers.cancel_ack = true;
+            }
+            // An earlier handler in this same effects batch may have armed
+            // the timer; the cancel must win or a stale no-op event
+            // lingers in the queue for a full T_o.
+            fx.timers.arm_ack = None;
+        }
+    }
+
+    /// Notes forward progress: refills the retry budget and restarts the
+    /// ACK timer.
+    fn note_progress(&mut self, ctx: &QpCtx, life: &Lifecycle, fx: &mut Effects) {
+        self.retry_budget = ctx.cfg.retry_count;
+        self.rnr_budget = ctx.cfg.rnr_retry;
+        self.rearm_timer_if_needed(ctx, life, fx);
+    }
+
+    /// Progress may have freed `max_rd_atomic` slots: transmit waiting
+    /// READs/ATOMICs.
+    fn pump_after_progress(
+        &mut self,
+        ctx: &QpCtx,
+        life: &Lifecycle,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+    ) {
+        let waiting = self.sq.iter().any(|w| w.sent_segments == 0);
+        if waiting {
+            self.pump(ctx, life, env, fx);
+        }
+    }
+
+    /// Handles an ACK-timeout event with guard generation `gen`.
+    pub(super) fn on_ack_timeout(
+        &mut self,
+        ctx: &QpCtx,
+        life: &mut Lifecycle,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+        gen: u64,
+    ) {
+        if gen != self.ack_gen || life.is_error() {
+            return;
+        }
+        self.ack_gen = 0;
+        if !self.has_outstanding() {
+            return;
+        }
+        self.stats.timeouts += 1;
+        if self.retry_budget == 0 {
+            self.error_out(ctx, life, env, fx, WcStatus::RetryExcErr);
+            return;
+        }
+        self.retry_budget -= 1;
+        let from = self.lowest_pending_psn();
+        self.go_back_n(ctx, env, fx, from);
+        self.rearm_timer_if_needed(ctx, life, fx);
+    }
+
+    /// Handles the RNR wait expiring.
+    pub(super) fn on_rnr_fire(
+        &mut self,
+        ctx: &QpCtx,
+        life: &Lifecycle,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+        gen: u64,
+    ) {
+        let Some(wait) = self.recovery.rnr_wait else {
+            return;
+        };
+        if wait.gen != gen || life.is_error() {
+            return;
+        }
+        self.recovery.rnr_wait = None;
+        if env.profile.damming {
+            // The ConnectX-4 flaw: recovery retransmits the requests that
+            // were in flight when the RNR NAK arrived, but *forgets* the
+            // ghosts — successors first transmitted during the wait
+            // (→ packet damming). Back-to-back posts that beat the NAK
+            // onto the wire are recovered fine, which is why Fig. 6a's
+            // timeout probability is zero at near-zero intervals.
+            self.go_back_n_impl(ctx, env, fx, wait.psn, true);
+        } else {
+            self.go_back_n(ctx, env, fx, wait.psn);
+        }
+        self.rearm_timer_if_needed(ctx, life, fx);
+    }
+
+    /// Handles one blind ODP retransmission tick for the stalled message
+    /// with first PSN `psn`.
+    pub(super) fn on_stall_tick(
+        &mut self,
+        ctx: &QpCtx,
+        life: &Lifecycle,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+        psn: Psn,
+        gen: u64,
+    ) {
+        if life.is_error() {
+            return;
+        }
+        let Some(idx) = self
+            .recovery
+            .stalls
+            .iter()
+            .position(|s| s.psn == psn && s.gen == gen)
+        else {
+            return;
+        };
+        let still_pending = self.sq.iter().any(|w| w.psn_first == psn && !w.is_done());
+        if !still_pending {
+            self.recovery.stalls.swap_remove(idx);
+            return;
+        }
+        // Blind retransmission "regardless of the resolution of the page
+        // fault" (§IV-A): resend the request and re-tick.
+        self.retransmit_message(ctx, env, fx, psn);
+        let delay = env.profile.odp_client_retx;
+        let gen = self.recovery.stalls[idx].gen; // unchanged generation keeps ticking
+        fx.timers.arm_stalls.push((psn, delay, gen));
+    }
+
+    // ------------------------------------------------------------------
+    // Retransmission
+    // ------------------------------------------------------------------
+
+    /// First PSN of the oldest not-yet-done transmitted message.
+    fn lowest_pending_psn(&self) -> Psn {
+        self.sq
+            .iter()
+            .find(|w| w.sent_segments > 0 && !w.is_done())
+            .map(|w| w.psn_first)
+            .unwrap_or(self.next_psn)
+    }
+
+    /// Go-back-N: retransmits every transmitted, unfinished message whose
+    /// span reaches `from` or beyond. Clears damming ghosts — a recovery
+    /// retransmission really goes on the wire.
+    fn go_back_n(&mut self, ctx: &QpCtx, env: &mut QpEnv<'_>, fx: &mut Effects, from: Psn) {
+        self.go_back_n_impl(ctx, env, fx, from, false);
+    }
+
+    /// Go-back-N with the ConnectX-4 quirk knob: when `skip_ghosts` is
+    /// set, messages first transmitted inside a recovery window stay
+    /// forgotten (only a later NAK or the transport timeout saves them).
+    fn go_back_n_impl(
+        &mut self,
+        ctx: &QpCtx,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+        from: Psn,
+        skip_ghosts: bool,
+    ) {
+        let (peer_lid, peer_qpn) = ctx.peer_or_panic();
+        let mtu = ctx.cfg.mtu;
+        let mut retx = 0;
+        for wqe in self.sq.iter_mut() {
+            if wqe.is_done() || wqe.sent_segments == 0 {
+                continue;
+            }
+            if wqe.psn_last.precedes(from) {
+                continue;
+            }
+            if skip_ghosts && wqe.ghosted {
+                continue;
+            }
+            wqe.ghosted = false;
+            for seg in 0..wqe.sent_segments {
+                let pkt = build_request_packet(
+                    env, ctx.lid, ctx.qpn, peer_lid, peer_qpn, wqe, seg, mtu, true,
+                );
+                fx.packets.push(pkt);
+                retx += 1;
+            }
+        }
+        self.stats.retransmissions += retx;
+    }
+
+    /// Retransmits exactly the message whose first PSN is `psn`.
+    fn retransmit_message(&mut self, ctx: &QpCtx, env: &mut QpEnv<'_>, fx: &mut Effects, psn: Psn) {
+        let (peer_lid, peer_qpn) = ctx.peer_or_panic();
+        let mtu = ctx.cfg.mtu;
+        let mut retx = 0;
+        for wqe in self.sq.iter_mut() {
+            if wqe.psn_first == psn && !wqe.is_done() && wqe.sent_segments > 0 {
+                wqe.ghosted = false;
+                for seg in 0..wqe.sent_segments {
+                    let pkt = build_request_packet(
+                        env, ctx.lid, ctx.qpn, peer_lid, peer_qpn, wqe, seg, mtu, true,
+                    );
+                    fx.packets.push(pkt);
+                    retx += 1;
+                }
+                break;
+            }
+        }
+        self.stats.retransmissions += retx;
+    }
+
+    /// Fails all outstanding work and moves the QP to the error state.
+    fn error_out(
+        &mut self,
+        ctx: &QpCtx,
+        life: &mut Lifecycle,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+        status: WcStatus,
+    ) {
+        life.set(QpState::Error);
+        let mut first = true;
+        while let Some(wqe) = self.sq.pop_front() {
+            if wqe.is_done() {
+                fx.completions.push(Completion {
+                    wr_id: wqe.id,
+                    qpn: ctx.qpn,
+                    status: WcStatus::Success,
+                    opcode: wqe.wc_opcode(),
+                    bytes: wqe.op.len(),
+                    at: env.now,
+                });
+                continue;
+            }
+            fx.completions.push(Completion {
+                wr_id: wqe.id,
+                qpn: ctx.qpn,
+                status: if first { status } else { WcStatus::WrFlushErr },
+                opcode: wqe.wc_opcode(),
+                bytes: 0,
+                at: env.now,
+            });
+            first = false;
+        }
+        for s in &self.recovery.stalls {
+            fx.timers.cancel_stalls.push(s.psn);
+        }
+        self.recovery.stalls.clear();
+        if self.recovery.rnr_wait.take().is_some() {
+            fx.timers.cancel_rnr = true;
+        }
+        self.tx_blocked.clear();
+        if self.ack_gen != 0 {
+            self.ack_gen = 0;
+            fx.timers.cancel_ack = true;
+        }
+        fx.timers.arm_ack = None;
+        self.timer_gen += 1; // invalidate everything in flight
+    }
+
+    // ------------------------------------------------------------------
+    // Page events
+    // ------------------------------------------------------------------
+
+    /// A local source page became usable: unblock transmission if this
+    /// was the last blocking page.
+    pub(super) fn page_ready(
+        &mut self,
+        ctx: &QpCtx,
+        life: &Lifecycle,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+        mr: MrKey,
+        page: usize,
+    ) {
+        if self.tx_blocked.remove(&(mr, page)) && self.tx_blocked.is_empty() {
+            self.pump(ctx, life, env, fx);
+        }
+    }
+}

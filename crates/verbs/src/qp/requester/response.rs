@@ -1,0 +1,324 @@
+//! The requester's receive path: ACK processing, READ/ATOMIC response
+//! consumption behind the client-side ODP gate, and NAK handling.
+//!
+//! Split from the transmit-side machinery in the parent module purely by
+//! direction of flow; both halves operate on the same [`Requester`]
+//! state and emit into the same [`Effects`] pipeline.
+
+use crate::mem::MrMode;
+use crate::packet::{NakKind, Packet, PacketKind};
+use crate::types::Psn;
+use crate::wr::{Completion, WcStatus, WrOp};
+
+use super::super::effects::Effects;
+use super::super::fault::{self, FaultTracker, OdpStall, RnrWait};
+use super::super::state::Lifecycle;
+use super::super::{QpCtx, QpEnv};
+use super::Requester;
+
+impl Requester {
+    /// Marks every fully-covered message up to `psn` as acknowledged.
+    fn advance_acked(
+        &mut self,
+        ctx: &QpCtx,
+        life: &Lifecycle,
+        psn: Psn,
+        fx: &mut Effects,
+        env: &QpEnv<'_>,
+    ) {
+        let mut progressed = false;
+        for wqe in self.sq.iter_mut() {
+            if wqe.psn_last.at_or_before(psn) && !wqe.acked {
+                wqe.acked = true;
+                progressed = true;
+            }
+        }
+        if progressed {
+            self.retire(ctx, fx, env);
+            self.note_progress(ctx, life, fx);
+        }
+    }
+
+    /// Retires contiguously finished WQEs from the SQ head (CQEs are
+    /// delivered in posting order, like hardware).
+    fn retire(&mut self, ctx: &QpCtx, fx: &mut Effects, env: &QpEnv<'_>) {
+        while let Some(front) = self.sq.front() {
+            if !front.is_done() {
+                break;
+            }
+            let wqe = self.sq.pop_front().expect("checked front");
+            if self.recovery.stalls.iter().any(|s| s.psn == wqe.psn_first) {
+                // The stalled message completed: take its pending blind
+                // retransmit tick out of the event heap instead of leaving
+                // it to fire as a no-op up to 0.5 ms later.
+                fx.timers.cancel_stalls.push(wqe.psn_first);
+                self.recovery.stalls.retain(|s| s.psn != wqe.psn_first);
+            }
+            fx.completions.push(Completion {
+                wr_id: wqe.id,
+                qpn: ctx.qpn,
+                status: WcStatus::Success,
+                opcode: wqe.wc_opcode(),
+                bytes: wqe.op.len(),
+                at: env.now,
+            });
+        }
+    }
+
+    /// Handles a bare transport ACK.
+    pub(in crate::qp) fn on_ack(
+        &mut self,
+        ctx: &QpCtx,
+        life: &Lifecycle,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+        psn: Psn,
+    ) {
+        self.advance_acked(ctx, life, psn, fx, env);
+        self.rearm_timer_if_needed(ctx, life, fx);
+        self.pump_after_progress(ctx, life, env, fx);
+    }
+
+    /// Registers a client-side ODP stall for `msg_psn`, or counts the
+    /// interrupt work of a discarded duplicate if already stalled — the
+    /// per-response cost that feeds the packet flood.
+    fn stall_or_irq(&mut self, env: &QpEnv<'_>, fx: &mut Effects, msg_psn: Psn) {
+        if self.recovery.stalls.iter().any(|s| s.psn == msg_psn) {
+            fx.irqs += 1;
+        } else {
+            let gen = self.next_gen();
+            let delay = env.profile.odp_client_retx;
+            self.recovery.stalls.push(OdpStall {
+                psn: msg_psn,
+                ghost_until: env.now + delay,
+                gen,
+            });
+            fx.timers.arm_stalls.push((msg_psn, delay, gen));
+        }
+    }
+
+    /// Consumes one READ response segment, or discards it behind the
+    /// client-side ODP gate.
+    pub(in crate::qp) fn on_read_response(
+        &mut self,
+        ctx: &QpCtx,
+        life: &Lifecycle,
+        tracker: &FaultTracker,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+        pkt: &Packet,
+    ) {
+        let PacketKind::ReadResponse {
+            seg, data, offset, ..
+        } = &pkt.kind
+        else {
+            unreachable!("dispatch guarantees a read response");
+        };
+        // ConnectX-4 discards responses arriving during an RNR wait
+        // ("while discarding responses sent back during the waiting
+        // time", §IV-A).
+        if env.profile.damming && self.recovery.rnr_wait.is_some() {
+            self.stats.responses_discarded += 1;
+            return;
+        }
+        let Some(wqe_idx) = self
+            .sq
+            .iter()
+            .position(|w| w.covers(pkt.psn) && matches!(w.op, WrOp::Read { .. }) && !w.is_done())
+        else {
+            // Stale duplicate of an already-completed message.
+            self.stats.responses_discarded += 1;
+            return;
+        };
+        let (expected_psn, local_mr, local_off, seg_done_bytes) = {
+            let w = &self.sq[wqe_idx];
+            let WrOp::Read {
+                local_mr,
+                local_off,
+                ..
+            } = w.op
+            else {
+                unreachable!()
+            };
+            (
+                w.psn_first.add(w.recv_segments),
+                local_mr,
+                local_off,
+                w.recv_segments * ctx.cfg.mtu,
+            )
+        };
+        if pkt.psn != expected_psn {
+            // Duplicate of an already-consumed segment, or a gap left by a
+            // drop; recovery retransmission will resolve either.
+            self.stats.responses_discarded += 1;
+            return;
+        }
+        debug_assert_eq!(*offset, seg_done_bytes, "segment offset mismatch");
+
+        // Client-side ODP gate: destination pages must be NIC-mapped AND
+        // propagated to this QP.
+        let dest_off = local_off + *offset as u64;
+        let dest_len = (data.len() as u32).max(1);
+        let mr = env
+            .mrs
+            .get_mut(&local_mr)
+            .expect("READ posted with invalid lkey");
+        let mut usable = true;
+        if mr.mode() == MrMode::Odp {
+            let gate = fault::gate_dest_pages(tracker, mr, local_mr, dest_off, dest_len, fx);
+            usable = gate.usable;
+            if gate.newly_faulted {
+                self.stats.faults_raised += 1;
+            }
+        }
+        if !usable {
+            self.stats.responses_discarded += 1;
+            let msg_psn = self.sq[wqe_idx].psn_first;
+            self.stall_or_irq(env, fx, msg_psn);
+            return;
+        }
+
+        // Accept the segment.
+        let base = mr.base();
+        env.mem.write(base + dest_off, data);
+        let w = &mut self.sq[wqe_idx];
+        w.recv_segments += 1;
+        if seg.is_final() {
+            debug_assert_eq!(w.recv_segments, w.resp_packets, "final segment count");
+        }
+        let done_psn = pkt.psn;
+        // A response implicitly acknowledges all earlier requests.
+        self.advance_acked(ctx, life, done_psn, fx, env);
+        self.retire(ctx, fx, env);
+        self.note_progress(ctx, life, fx);
+        self.pump_after_progress(ctx, life, env, fx);
+    }
+
+    /// Consumes the original value returned by an atomic. Same client-side
+    /// ODP gate as READ responses: the 8-byte landing pad must be usable.
+    pub(in crate::qp) fn on_atomic_response(
+        &mut self,
+        ctx: &QpCtx,
+        life: &Lifecycle,
+        tracker: &FaultTracker,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+        pkt: &Packet,
+    ) {
+        let PacketKind::AtomicResponse { original, .. } = &pkt.kind else {
+            unreachable!("dispatch guarantees an atomic response");
+        };
+        if env.profile.damming && self.recovery.rnr_wait.is_some() {
+            self.stats.responses_discarded += 1;
+            return;
+        }
+        let Some(wqe_idx) = self
+            .sq
+            .iter()
+            .position(|w| w.covers(pkt.psn) && matches!(w.op, WrOp::Atomic { .. }) && !w.is_done())
+        else {
+            self.stats.responses_discarded += 1;
+            return;
+        };
+        let (local_mr, local_off) = {
+            let WrOp::Atomic {
+                local_mr,
+                local_off,
+                ..
+            } = self.sq[wqe_idx].op
+            else {
+                unreachable!()
+            };
+            (local_mr, local_off)
+        };
+        let mr = env
+            .mrs
+            .get_mut(&local_mr)
+            .expect("atomic posted with invalid lkey");
+        let mut usable = true;
+        if mr.mode() == MrMode::Odp {
+            let gate = fault::gate_dest_pages(tracker, mr, local_mr, local_off, 8, fx);
+            usable = gate.usable;
+            if gate.newly_faulted {
+                self.stats.faults_raised += 1;
+            }
+        }
+        if !usable {
+            self.stats.responses_discarded += 1;
+            let msg_psn = self.sq[wqe_idx].psn_first;
+            self.stall_or_irq(env, fx, msg_psn);
+            return;
+        }
+        let base = mr.base();
+        env.mem.write(base + local_off, &original.to_le_bytes());
+        self.sq[wqe_idx].recv_segments = 1;
+        let done_psn = pkt.psn;
+        self.advance_acked(ctx, life, done_psn, fx, env);
+        self.retire(ctx, fx, env);
+        self.note_progress(ctx, life, fx);
+        self.pump_after_progress(ctx, life, env, fx);
+    }
+
+    /// Handles a NAK addressed to this requester.
+    pub(in crate::qp) fn on_nak(
+        &mut self,
+        ctx: &QpCtx,
+        life: &mut Lifecycle,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+        psn: Psn,
+        kind: NakKind,
+    ) {
+        match kind {
+            NakKind::Rnr { delay } => {
+                self.stats.rnr_naks_received += 1;
+                // Ignore stale RNR NAKs for finished messages.
+                if !self.sq.iter().any(|w| w.covers(psn) && !w.is_done()) {
+                    return;
+                }
+                if ctx.cfg.rnr_retry != 7 {
+                    if self.rnr_budget == 0 {
+                        self.error_out(ctx, life, env, fx, WcStatus::RnrRetryExcErr);
+                        return;
+                    }
+                    self.rnr_budget -= 1;
+                }
+                let gen = self.next_gen();
+                self.recovery.rnr_wait = Some(RnrWait { psn, gen });
+                fx.timers.arm_rnr = Some((env.profile.rnr_actual(delay), gen));
+                if self.ack_gen != 0 {
+                    self.ack_gen = 0;
+                    fx.timers.cancel_ack = true;
+                }
+                // Doorbell latency: requests that left the pipeline just
+                // before this NAK were still queued behind it in hardware;
+                // the flawed recovery forgets them too (they are dropped
+                // at the responder's fault pendency either way).
+                if env.profile.damming {
+                    let lookback = env.profile.ghost_lookback;
+                    for wqe in self.sq.iter_mut() {
+                        if wqe.sent_segments > 0 && !wqe.is_done() && psn.precedes(wqe.psn_first) {
+                            if let Some(tx) = wqe.first_tx {
+                                if env.now.saturating_sub(tx) <= lookback {
+                                    wqe.ghosted = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            NakKind::SequenceError { epsn } => {
+                // The rescue path of Fig. 8: retransmit everything from
+                // the responder's expected PSN.
+                if self.recovery.rnr_wait.take().is_some() {
+                    fx.timers.cancel_rnr = true;
+                }
+                self.go_back_n(ctx, env, fx, epsn);
+                self.rearm_timer_if_needed(ctx, life, fx);
+            }
+            NakKind::RemoteAccess => {
+                self.error_out(ctx, life, env, fx, WcStatus::RemoteAccessErr);
+            }
+        }
+    }
+}

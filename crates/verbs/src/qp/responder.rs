@@ -1,0 +1,532 @@
+//! The responder engine: ePSN tracking, duplicate and out-of-sequence
+//! handling, RNR NAK generation, and ODP fault pendency.
+//!
+//! Everything here runs on the *target* side of a connection. The engine
+//! owns no requester state; fault pendency (§III-B) — silently dropping
+//! every packet on the QP until the faulted request is served again — is
+//! the responder-side half of packet damming.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::mem::{MemRegion, MrMode};
+use crate::packet::{NakKind, Packet, PacketKind, SegPos};
+use crate::types::{MrKey, Psn};
+use crate::wr::{Completion, RecvWr, WcOpcode, WcStatus};
+
+use super::effects::Effects;
+use super::fault;
+use super::{QpCtx, QpEnv};
+
+/// Responder-side protocol counters (merged into the public
+/// [`QpStats`](super::QpStats) by the facade).
+#[derive(Debug, Clone, Copy, Default)]
+pub(super) struct RespStats {
+    /// RNR NAKs sent.
+    pub(super) rnr_naks_sent: u64,
+    /// Sequence-error NAKs sent.
+    pub(super) seq_naks_sent: u64,
+    /// Request packets silently dropped by fault pendency.
+    pub(super) pendency_drops: u64,
+    /// Network page faults raised on this side.
+    pub(super) faults_raised: u64,
+}
+
+/// Responder-side reason for dropping everything on the floor.
+#[derive(Debug, Clone)]
+enum RespPend {
+    /// An ODP fault on these pages is in flight; `psn` is the faulted
+    /// request so its retransmission can be RNR-NAKed again if early.
+    Fault {
+        psn: Psn,
+        pages: Vec<(MrKey, usize)>,
+    },
+    /// No receive was posted for an incoming SEND.
+    NoRecv { psn: Psn },
+}
+
+/// The responder half of an RC queue pair.
+#[derive(Debug)]
+pub(super) struct Responder {
+    epsn: Psn,
+    nak_seq_sent: bool,
+    resp_pend: Option<RespPend>,
+    rq: VecDeque<RecvWr>,
+    rq_written: u32,
+    /// Results of recently executed atomics, keyed by PSN: duplicates
+    /// must be *replayed*, never re-executed (atomics are not idempotent;
+    /// the spec's atomic response resources, §9.4.5).
+    atomic_replay: VecDeque<(Psn, u64)>,
+    /// Protocol counters.
+    pub(super) stats: RespStats,
+}
+
+impl Responder {
+    /// A fresh responder expecting PSN 0.
+    pub(super) fn new() -> Self {
+        Responder {
+            epsn: Psn::new(0),
+            nak_seq_sent: false,
+            resp_pend: None,
+            rq: VecDeque::new(),
+            rq_written: 0,
+            atomic_replay: VecDeque::new(),
+            stats: RespStats::default(),
+        }
+    }
+
+    /// Expected PSN (for debugging).
+    pub(super) fn epsn(&self) -> Psn {
+        self.epsn
+    }
+
+    /// Posts a receive buffer for an incoming SEND.
+    pub(super) fn post_recv(&mut self, recv: RecvWr) {
+        self.rq.push_back(recv);
+        if matches!(self.resp_pend, Some(RespPend::NoRecv { .. })) {
+            self.resp_pend = None;
+        }
+    }
+
+    /// Handles an incoming request packet.
+    pub(super) fn on_request(
+        &mut self,
+        ctx: &QpCtx,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+        pkt: &Packet,
+    ) {
+        // Fault pendency: drop everything; re-RNR-NAK the faulted PSN
+        // itself so an early retransmission keeps the requester waiting.
+        if let Some(pend) = &self.resp_pend {
+            let pend_psn = match pend {
+                RespPend::Fault { psn, .. } | RespPend::NoRecv { psn } => *psn,
+            };
+            if pkt.psn == pend_psn {
+                self.send_rnr_nak(ctx, fx, pkt.psn);
+            } else {
+                self.stats.pendency_drops += 1;
+                // The NIC still queues page faults for the dropped
+                // packets' target pages — by the time the requester works
+                // its way back here, later pages are already resolving.
+                self.queue_faults_for(env, fx, pkt);
+            }
+            return;
+        }
+        if pkt.psn == self.epsn {
+            self.nak_seq_sent = false;
+            self.execute_request(ctx, env, fx, pkt);
+        } else if pkt.psn.precedes(self.epsn) {
+            self.handle_duplicate(ctx, env, fx, pkt);
+        } else {
+            // Future PSN: something was lost in between.
+            if !self.nak_seq_sent {
+                self.nak_seq_sent = true;
+                self.stats.seq_naks_sent += 1;
+                let (peer_lid, peer_qpn) = ctx.peer_or_panic();
+                fx.packets.push(Packet {
+                    src: ctx.lid,
+                    dst: peer_lid,
+                    dst_qp: peer_qpn,
+                    src_qp: ctx.qpn,
+                    psn: pkt.psn,
+                    kind: PacketKind::Nak(NakKind::SequenceError { epsn: self.epsn }),
+                    ghost: false,
+                    retransmit: false,
+                });
+            }
+        }
+    }
+
+    fn send_rnr_nak(&mut self, ctx: &QpCtx, fx: &mut Effects, psn: Psn) {
+        self.stats.rnr_naks_sent += 1;
+        let (peer_lid, peer_qpn) = ctx.peer_or_panic();
+        fx.packets.push(Packet {
+            src: ctx.lid,
+            dst: peer_lid,
+            dst_qp: peer_qpn,
+            src_qp: ctx.qpn,
+            psn,
+            kind: PacketKind::Nak(NakKind::Rnr {
+                delay: ctx.cfg.min_rnr_delay,
+            }),
+            ghost: false,
+            retransmit: false,
+        });
+    }
+
+    /// Starts page faults for the pages a dropped request targets, without
+    /// processing the request itself.
+    fn queue_faults_for(&mut self, env: &mut QpEnv<'_>, fx: &mut Effects, pkt: &Packet) {
+        let (rkey, addr, len) = match &pkt.kind {
+            PacketKind::ReadRequest {
+                rkey, addr, len, ..
+            } => (*rkey, *addr, (*len).max(1)),
+            PacketKind::WriteRequest {
+                rkey, addr, data, ..
+            } => (*rkey, *addr, (data.len() as u32).max(1)),
+            PacketKind::AtomicRequest { rkey, addr, .. } => (*rkey, *addr, 8),
+            _ => return,
+        };
+        let Some(mr) = env.mrs.get_mut(&rkey) else {
+            return;
+        };
+        if mr.mode() != MrMode::Odp || !mr.contains(addr, len) {
+            return;
+        }
+        if fault::raise_unmapped(mr, rkey, addr, len, fx) {
+            self.stats.faults_raised += 1;
+        }
+    }
+
+    fn send_ack(&mut self, ctx: &QpCtx, fx: &mut Effects, psn: Psn) {
+        let (peer_lid, peer_qpn) = ctx.peer_or_panic();
+        fx.packets.push(Packet {
+            src: ctx.lid,
+            dst: peer_lid,
+            dst_qp: peer_qpn,
+            src_qp: ctx.qpn,
+            psn,
+            kind: PacketKind::Ack,
+            ghost: false,
+            retransmit: false,
+        });
+    }
+
+    /// Begins ODP fault pendency for the `(mr_key, offset, len)` span
+    /// (server-side ODP, §III-B): RNR-NAK the requester and drop
+    /// everything until resolved.
+    fn begin_fault_pendency(
+        &mut self,
+        ctx: &QpCtx,
+        fx: &mut Effects,
+        mrs: &mut HashMap<MrKey, MemRegion>,
+        span: (MrKey, u64, u32),
+        psn: Psn,
+    ) {
+        let (mr_key, offset, len) = span;
+        let mr = mrs.get_mut(&mr_key).expect("validated");
+        let (pages, newly_faulted) = fault::collect_pendency_pages(mr, mr_key, offset, len, fx);
+        if newly_faulted {
+            self.stats.faults_raised += 1;
+        }
+        self.resp_pend = Some(RespPend::Fault { psn, pages });
+        self.send_rnr_nak(ctx, fx, psn);
+    }
+
+    /// Executes the in-sequence request `pkt`, dispatching by opcode.
+    fn execute_request(
+        &mut self,
+        ctx: &QpCtx,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+        pkt: &Packet,
+    ) {
+        match &pkt.kind {
+            PacketKind::ReadRequest { .. } => self.execute_read(ctx, env, fx, pkt),
+            PacketKind::WriteRequest { .. } => self.execute_write(ctx, env, fx, pkt),
+            PacketKind::Send { .. } => self.execute_send(ctx, env, fx, pkt),
+            PacketKind::AtomicRequest { .. } => self.execute_atomic(ctx, env, fx, pkt),
+            _ => unreachable!("responder only sees requests"),
+        }
+    }
+
+    fn execute_read(&mut self, ctx: &QpCtx, env: &mut QpEnv<'_>, fx: &mut Effects, pkt: &Packet) {
+        let PacketKind::ReadRequest {
+            rkey,
+            addr,
+            len,
+            resp_packets,
+        } = &pkt.kind
+        else {
+            unreachable!("dispatched on kind");
+        };
+        let (peer_lid, peer_qpn) = ctx.peer_or_panic();
+        let Some(mr) = env.mrs.get(rkey) else {
+            self.nak_remote_access(ctx, fx, pkt.psn);
+            return;
+        };
+        if !mr.contains(*addr, *len) {
+            self.nak_remote_access(ctx, fx, pkt.psn);
+            return;
+        }
+        if mr.mode() == MrMode::Odp && mr.first_unmapped(*addr, (*len).max(1)).is_some() {
+            self.begin_fault_pendency(ctx, fx, env.mrs, (*rkey, *addr, *len), pkt.psn);
+            return;
+        }
+        let base = env.mrs.get(rkey).expect("checked").base();
+        let data = env.mem.read(base + addr, *len as usize);
+        let mtu = ctx.cfg.mtu as usize;
+        let total = *resp_packets;
+        for i in 0..total {
+            let lo = i as usize * mtu;
+            let hi = ((i as usize + 1) * mtu).min(data.len());
+            fx.packets.push(Packet {
+                src: ctx.lid,
+                dst: peer_lid,
+                dst_qp: peer_qpn,
+                src_qp: ctx.qpn,
+                psn: pkt.psn.add(i),
+                kind: PacketKind::ReadResponse {
+                    seg: SegPos::of(i, total),
+                    data: data[lo.min(data.len())..hi].to_vec(),
+                    req_psn: pkt.psn,
+                    offset: lo as u32,
+                },
+                ghost: false,
+                retransmit: false,
+            });
+        }
+        self.epsn = pkt.psn.add(total);
+    }
+
+    fn execute_write(&mut self, ctx: &QpCtx, env: &mut QpEnv<'_>, fx: &mut Effects, pkt: &Packet) {
+        let PacketKind::WriteRequest {
+            seg,
+            rkey,
+            addr,
+            data,
+        } = &pkt.kind
+        else {
+            unreachable!("dispatched on kind");
+        };
+        let Some(mr) = env.mrs.get(rkey) else {
+            self.nak_remote_access(ctx, fx, pkt.psn);
+            return;
+        };
+        if !mr.contains(*addr, data.len() as u32) {
+            self.nak_remote_access(ctx, fx, pkt.psn);
+            return;
+        }
+        if mr.mode() == MrMode::Odp
+            && mr
+                .first_unmapped(*addr, (data.len() as u32).max(1))
+                .is_some()
+        {
+            self.begin_fault_pendency(ctx, fx, env.mrs, (*rkey, *addr, data.len() as u32), pkt.psn);
+            return;
+        }
+        let base = env.mrs.get(rkey).expect("checked").base();
+        env.mem.write(base + addr, data);
+        self.epsn = self.epsn.next();
+        if seg.is_final() {
+            self.send_ack(ctx, fx, pkt.psn);
+        }
+    }
+
+    fn execute_send(&mut self, ctx: &QpCtx, env: &mut QpEnv<'_>, fx: &mut Effects, pkt: &Packet) {
+        let PacketKind::Send { seg, data } = &pkt.kind else {
+            unreachable!("dispatched on kind");
+        };
+        let Some(recv) = self.rq.front().cloned() else {
+            self.resp_pend = Some(RespPend::NoRecv { psn: pkt.psn });
+            self.send_rnr_nak(ctx, fx, pkt.psn);
+            return;
+        };
+        if self.rq_written + data.len() as u32 > recv.max_len {
+            self.nak_remote_access(ctx, fx, pkt.psn);
+            return;
+        }
+        let mr = env.mrs.get(&recv.mr).expect("posted recv with bad lkey");
+        let dst_off = recv.offset + self.rq_written as u64;
+        if mr.mode() == MrMode::Odp
+            && mr
+                .first_unmapped(dst_off, (data.len() as u32).max(1))
+                .is_some()
+        {
+            self.begin_fault_pendency(
+                ctx,
+                fx,
+                env.mrs,
+                (recv.mr, dst_off, data.len() as u32),
+                pkt.psn,
+            );
+            return;
+        }
+        let base = env.mrs.get(&recv.mr).expect("checked").base();
+        env.mem.write(base + dst_off, data);
+        self.rq_written += data.len() as u32;
+        self.epsn = self.epsn.next();
+        if seg.is_final() {
+            self.send_ack(ctx, fx, pkt.psn);
+            let recv = self.rq.pop_front().expect("front cloned above");
+            fx.completions.push(Completion {
+                wr_id: recv.id,
+                qpn: ctx.qpn,
+                status: WcStatus::Success,
+                opcode: WcOpcode::Recv,
+                bytes: self.rq_written,
+                at: env.now,
+            });
+            self.rq_written = 0;
+        }
+    }
+
+    fn execute_atomic(&mut self, ctx: &QpCtx, env: &mut QpEnv<'_>, fx: &mut Effects, pkt: &Packet) {
+        let PacketKind::AtomicRequest { op, rkey, addr } = &pkt.kind else {
+            unreachable!("dispatched on kind");
+        };
+        let Some(mr) = env.mrs.get(rkey) else {
+            self.nak_remote_access(ctx, fx, pkt.psn);
+            return;
+        };
+        if !mr.contains(*addr, 8) || addr % 8 != 0 {
+            self.nak_remote_access(ctx, fx, pkt.psn);
+            return;
+        }
+        if mr.mode() == MrMode::Odp && mr.first_unmapped(*addr, 8).is_some() {
+            self.begin_fault_pendency(ctx, fx, env.mrs, (*rkey, *addr, 8), pkt.psn);
+            return;
+        }
+        let base = env.mrs.get(rkey).expect("checked").base();
+        let bytes = env.mem.read(base + addr, 8);
+        let original = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+        let new = match op {
+            crate::packet::AtomicOp::FetchAdd { add } => original.wrapping_add(*add),
+            crate::packet::AtomicOp::CompareSwap { compare, swap } => {
+                if original == *compare {
+                    *swap
+                } else {
+                    original
+                }
+            }
+        };
+        env.mem.write(base + addr, &new.to_le_bytes());
+        self.atomic_replay.push_back((pkt.psn, original));
+        if self.atomic_replay.len() > 16 {
+            self.atomic_replay.pop_front();
+        }
+        self.epsn = self.epsn.next();
+        let (peer_lid, peer_qpn) = ctx.peer_or_panic();
+        fx.packets.push(Packet {
+            src: ctx.lid,
+            dst: peer_lid,
+            dst_qp: peer_qpn,
+            src_qp: ctx.qpn,
+            psn: pkt.psn,
+            kind: PacketKind::AtomicResponse {
+                original,
+                req_psn: pkt.psn,
+            },
+            ghost: false,
+            retransmit: false,
+        });
+    }
+
+    fn nak_remote_access(&mut self, ctx: &QpCtx, fx: &mut Effects, psn: Psn) {
+        let (peer_lid, peer_qpn) = ctx.peer_or_panic();
+        fx.packets.push(Packet {
+            src: ctx.lid,
+            dst: peer_lid,
+            dst_qp: peer_qpn,
+            src_qp: ctx.qpn,
+            psn,
+            kind: PacketKind::Nak(NakKind::RemoteAccess),
+            ghost: false,
+            retransmit: false,
+        });
+    }
+
+    /// Duplicate requests: re-execute READs (the blind-retransmission path
+    /// of client-side ODP relies on this), replay ATOMICs, re-ACK final
+    /// WRITE/SEND segments.
+    fn handle_duplicate(
+        &mut self,
+        ctx: &QpCtx,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+        pkt: &Packet,
+    ) {
+        match &pkt.kind {
+            PacketKind::ReadRequest { .. } => self.duplicate_read(ctx, env, fx, pkt),
+            PacketKind::AtomicRequest { .. } => self.duplicate_atomic(ctx, fx, pkt),
+            PacketKind::WriteRequest { seg, .. } | PacketKind::Send { seg, .. }
+                if seg.is_final() =>
+            {
+                // Idempotent re-ACK; data is not re-applied.
+                self.send_ack(ctx, fx, pkt.psn);
+            }
+            _ => {}
+        }
+    }
+
+    fn duplicate_read(&mut self, ctx: &QpCtx, env: &mut QpEnv<'_>, fx: &mut Effects, pkt: &Packet) {
+        let PacketKind::ReadRequest {
+            rkey,
+            addr,
+            len,
+            resp_packets,
+        } = &pkt.kind
+        else {
+            unreachable!("dispatched on kind");
+        };
+        let (peer_lid, peer_qpn) = ctx.peer_or_panic();
+        let Some(mr) = env.mrs.get(rkey) else { return };
+        if !mr.contains(*addr, *len)
+            || (mr.mode() == MrMode::Odp && mr.first_unmapped(*addr, (*len).max(1)).is_some())
+        {
+            // Rare: page got invalidated again. Drop; the requester's
+            // timeout will re-drive it in order.
+            return;
+        }
+        let base = mr.base();
+        let data = env.mem.read(base + addr, *len as usize);
+        let mtu = ctx.cfg.mtu as usize;
+        for i in 0..*resp_packets {
+            let lo = i as usize * mtu;
+            let hi = ((i as usize + 1) * mtu).min(data.len());
+            fx.packets.push(Packet {
+                src: ctx.lid,
+                dst: peer_lid,
+                dst_qp: peer_qpn,
+                src_qp: ctx.qpn,
+                psn: pkt.psn.add(i),
+                kind: PacketKind::ReadResponse {
+                    seg: SegPos::of(i, *resp_packets),
+                    data: data[lo.min(data.len())..hi].to_vec(),
+                    req_psn: pkt.psn,
+                    offset: lo as u32,
+                },
+                ghost: false,
+                retransmit: true,
+            });
+        }
+    }
+
+    fn duplicate_atomic(&mut self, ctx: &QpCtx, fx: &mut Effects, pkt: &Packet) {
+        // Never re-execute: replay the stored result if still in the
+        // replay window; otherwise drop (the requester's timeout will
+        // surface the loss).
+        let replay = self
+            .atomic_replay
+            .iter()
+            .find(|(p, _)| *p == pkt.psn)
+            .map(|&(_, original)| original);
+        if let Some(original) = replay {
+            let (peer_lid, peer_qpn) = ctx.peer_or_panic();
+            fx.packets.push(Packet {
+                src: ctx.lid,
+                dst: peer_lid,
+                dst_qp: peer_qpn,
+                src_qp: ctx.qpn,
+                psn: pkt.psn,
+                kind: PacketKind::AtomicResponse {
+                    original,
+                    req_psn: pkt.psn,
+                },
+                ghost: false,
+                retransmit: true,
+            });
+        }
+    }
+
+    /// A page became usable: clear it from any fault pendency; the last
+    /// page resolving lifts the pendency.
+    pub(super) fn page_ready(&mut self, mr: MrKey, page: usize) {
+        if let Some(RespPend::Fault { pages, .. }) = &mut self.resp_pend {
+            pages.retain(|&(m, p)| !(m == mr && p == page));
+            if pages.is_empty() {
+                self.resp_pend = None;
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Request-packet construction: turning a send WQE segment into wire
+//! format. Pure functions shared by the first-transmission and
+//! retransmission paths of the requester engine.
+
+use ibsim_fabric::Lid;
+
+use crate::packet::{Packet, PacketKind, SegPos};
+use crate::types::{MrKey, Qpn};
+use crate::wr::{SendWqe, WrOp};
+
+use super::QpEnv;
+
+/// For WRITE/SEND WQEs, the local source range of segment `seg`:
+/// `(mr, base_offset, seg_len, seg_offset)`. READs return `None` (their
+/// requests carry no payload).
+pub(super) fn source_segment(wqe: &SendWqe, seg: u32, mtu: u32) -> Option<(MrKey, u64, u32, u64)> {
+    match wqe.op {
+        WrOp::Read { .. } | WrOp::Atomic { .. } => None,
+        WrOp::Write {
+            local_mr,
+            local_off,
+            len,
+            ..
+        }
+        | WrOp::Send {
+            local_mr,
+            local_off,
+            len,
+        } => {
+            let seg_off = (seg * mtu) as u64;
+            let seg_len = len.saturating_sub(seg * mtu).min(mtu);
+            Some((local_mr, local_off, seg_len, seg_off))
+        }
+    }
+}
+
+/// Builds the request packet for segment `seg` of `wqe`.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn build_request_packet(
+    env: &mut QpEnv<'_>,
+    lid: Lid,
+    qpn: Qpn,
+    peer_lid: Lid,
+    peer_qpn: Qpn,
+    wqe: &SendWqe,
+    seg: u32,
+    mtu: u32,
+    retransmit: bool,
+) -> Packet {
+    let kind = match &wqe.op {
+        WrOp::Read {
+            rkey,
+            remote_off,
+            len,
+            ..
+        } => PacketKind::ReadRequest {
+            rkey: *rkey,
+            addr: *remote_off,
+            len: *len,
+            resp_packets: wqe.resp_packets,
+        },
+        WrOp::Write {
+            local_mr,
+            local_off,
+            rkey,
+            remote_off,
+            len,
+        } => {
+            let lo = seg * mtu;
+            let seg_len = len.saturating_sub(lo).min(mtu);
+            let base = env.mrs.get(local_mr).expect("posted with bad lkey").base();
+            let data = env.mem.read(base + local_off + lo as u64, seg_len as usize);
+            PacketKind::WriteRequest {
+                seg: SegPos::of(seg, wqe.req_packets),
+                rkey: *rkey,
+                addr: *remote_off + lo as u64,
+                data,
+            }
+        }
+        WrOp::Send {
+            local_mr,
+            local_off,
+            len,
+        } => {
+            let lo = seg * mtu;
+            let seg_len = len.saturating_sub(lo).min(mtu);
+            let base = env.mrs.get(local_mr).expect("posted with bad lkey").base();
+            let data = env.mem.read(base + local_off + lo as u64, seg_len as usize);
+            PacketKind::Send {
+                seg: SegPos::of(seg, wqe.req_packets),
+                data,
+            }
+        }
+        WrOp::Atomic {
+            rkey,
+            remote_off,
+            op,
+            ..
+        } => PacketKind::AtomicRequest {
+            op: *op,
+            rkey: *rkey,
+            addr: *remote_off,
+        },
+    };
+    Packet {
+        src: lid,
+        dst: peer_lid,
+        dst_qp: peer_qpn,
+        src_qp: qpn,
+        psn: wqe.psn_first.add(seg),
+        kind,
+        ghost: wqe.ghosted,
+        retransmit,
+    }
+}

@@ -42,11 +42,11 @@ fn reconnecting_a_live_qp_is_one_illegal_transition() {
     assert_eq!(qp.state(), QpState::Reset);
     qp.connect(Lid(2), Qpn(20));
     assert_eq!(qp.state(), QpState::Rts);
-    assert_eq!(qp.stats.invariant_violations, 0);
+    assert_eq!(qp.stats().invariant_violations, 0);
 
     qp.connect(Lid(2), Qpn(20));
     assert_eq!(qp.state(), QpState::Rts);
-    assert_eq!(qp.stats.invariant_violations, 1);
+    assert_eq!(qp.stats().invariant_violations, 1);
 }
 
 #[test]

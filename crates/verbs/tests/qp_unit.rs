@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use ibsim_event::SimTime;
 use ibsim_fabric::{Lid, LinkSpec};
 use ibsim_verbs::{
-    DeviceProfile, MemRegion, Memory, MrKey, MrMode, NakKind, Outbox, PacketKind, Psn, Qp,
+    DeviceProfile, Effects, MemRegion, Memory, MrKey, MrMode, NakKind, PacketKind, Psn, Qp,
     QpConfig, QpEnv, Qpn, RecvWr, SegPos, WcStatus, WorkRequest, WrId, WrOp,
 };
 
@@ -65,7 +65,7 @@ fn post_read_emits_request_and_arms_timer() {
     let local = host.add_mr(1, 4096, MrMode::Pinned);
     let mut qp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
     qp.connect(Lid(2), Qpn(9));
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     qp.post(
         &mut host.env(SimTime::ZERO),
         &mut out,
@@ -77,7 +77,7 @@ fn post_read_emits_request_and_arms_timer() {
     assert_eq!(pkt.dst_qp, Qpn(9));
     assert_eq!(pkt.psn, Psn::new(0));
     assert!(matches!(pkt.kind, PacketKind::ReadRequest { len: 100, .. }));
-    assert!(out.arm_ack_timer.is_some(), "timeout armed");
+    assert!(out.timers.arm_ack.is_some(), "timeout armed");
     assert_eq!(qp.pending_sends(), 1);
     assert!(qp.is_wr_pending(WrId(1)));
 }
@@ -93,7 +93,7 @@ fn responder_executes_in_order_and_advances_epsn() {
     cqp.connect(Lid(2), Qpn(2));
     sqp.connect(Lid(1), Qpn(1));
 
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     cqp.post(
         &mut client.env(SimTime::ZERO),
         &mut out,
@@ -101,7 +101,7 @@ fn responder_executes_in_order_and_advances_epsn() {
     );
     let req = out.packets.remove(0);
 
-    let mut sout = Outbox::new();
+    let mut sout = Effects::new();
     sqp.on_packet(&mut server.env(SimTime::from_us(1)), &mut sout, &req);
     assert_eq!(sout.packets.len(), 1);
     assert!(matches!(
@@ -114,7 +114,7 @@ fn responder_executes_in_order_and_advances_epsn() {
 
     // Client consumes the response: completion + data.
     let resp = sout.packets.remove(0);
-    let mut cout = Outbox::new();
+    let mut cout = Effects::new();
     cqp.on_packet(&mut client.env(SimTime::from_us(2)), &mut cout, &resp);
     assert_eq!(cout.completions.len(), 1);
     assert_eq!(cout.completions[0].status, WcStatus::Success);
@@ -137,7 +137,7 @@ fn responder_naks_future_psn_once() {
     sqp.connect(Lid(1), Qpn(1));
 
     // Post two READs but deliver only the second to the server.
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     cqp.post(
         &mut client.env(SimTime::ZERO),
         &mut out,
@@ -151,17 +151,17 @@ fn responder_naks_future_psn_once() {
     assert_eq!(out.packets.len(), 2);
     let second = out.packets.remove(1);
 
-    let mut sout = Outbox::new();
+    let mut sout = Effects::new();
     sqp.on_packet(&mut server.env(SimTime::from_us(1)), &mut sout, &second);
     assert_eq!(sout.packets.len(), 1);
     assert!(matches!(
         sout.packets[0].kind,
         PacketKind::Nak(NakKind::SequenceError { epsn }) if epsn == Psn::new(0)
     ));
-    assert_eq!(sqp.stats.seq_naks_sent, 1);
+    assert_eq!(sqp.stats().seq_naks_sent, 1);
 
     // A second out-of-order packet does not produce another NAK.
-    let mut sout2 = Outbox::new();
+    let mut sout2 = Effects::new();
     sqp.on_packet(&mut server.env(SimTime::from_us(2)), &mut sout2, &second);
     assert!(sout2.packets.is_empty(), "NAK already outstanding");
 }
@@ -172,7 +172,7 @@ fn nak_seq_error_triggers_go_back_n() {
     let local = client.add_mr(1, 4096, MrMode::Pinned);
     let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
     cqp.connect(Lid(2), Qpn(2));
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     for i in 0..3 {
         cqp.post(
             &mut client.env(SimTime::ZERO),
@@ -193,12 +193,12 @@ fn nak_seq_error_triggers_go_back_n() {
         ghost: false,
         retransmit: false,
     };
-    let mut out2 = Outbox::new();
+    let mut out2 = Effects::new();
     cqp.on_packet(&mut client.env(SimTime::from_us(5)), &mut out2, &nak);
     let psns: Vec<u32> = out2.packets.iter().map(|p| p.psn.value()).collect();
     assert_eq!(psns, vec![1, 2]);
     assert!(out2.packets.iter().all(|p| p.retransmit));
-    assert_eq!(cqp.stats.retransmissions, 2);
+    assert_eq!(cqp.stats().retransmissions, 2);
 }
 
 #[test]
@@ -220,7 +220,7 @@ fn responder_rnr_naks_send_without_recv_and_recovers() {
         ghost: false,
         retransmit: false,
     };
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     sqp.on_packet(&mut server.env(SimTime::ZERO), &mut out, &send_pkt);
     assert!(matches!(
         out.packets[0].kind,
@@ -233,7 +233,7 @@ fn responder_rnr_naks_send_without_recv_and_recovers() {
         offset: 0,
         max_len: 4096,
     });
-    let mut out2 = Outbox::new();
+    let mut out2 = Effects::new();
     sqp.on_packet(&mut server.env(SimTime::from_ms(1)), &mut out2, &send_pkt);
     assert!(matches!(out2.packets[0].kind, PacketKind::Ack));
     assert_eq!(out2.completions.len(), 1);
@@ -262,25 +262,25 @@ fn odp_responder_faults_and_enters_pendency() {
         ghost: false,
         retransmit: false,
     };
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     sqp.on_packet(&mut server.env(SimTime::ZERO), &mut out, &req);
     assert!(matches!(
         out.packets[0].kind,
         PacketKind::Nak(NakKind::Rnr { .. })
     ));
     assert_eq!(out.faults, vec![(remote, 0)]);
-    assert_eq!(sqp.stats.rnr_naks_sent, 1);
+    assert_eq!(sqp.stats().rnr_naks_sent, 1);
 
     // During pendency other packets are silently dropped...
     let mut later = req.clone();
     later.psn = Psn::new(1);
-    let mut out2 = Outbox::new();
+    let mut out2 = Effects::new();
     sqp.on_packet(&mut server.env(SimTime::from_us(10)), &mut out2, &later);
     assert!(out2.is_quiet());
-    assert_eq!(sqp.stats.pendency_drops, 1);
+    assert_eq!(sqp.stats().pendency_drops, 1);
 
     // ...while the faulted PSN itself is re-RNR-NAKed.
-    let mut out3 = Outbox::new();
+    let mut out3 = Effects::new();
     sqp.on_packet(&mut server.env(SimTime::from_us(20)), &mut out3, &req);
     assert!(matches!(
         out3.packets[0].kind,
@@ -294,10 +294,10 @@ fn odp_responder_faults_and_enters_pendency() {
             .get_mut(&remote)
             .expect("mr")
             .set_page_state(0, ibsim_verbs::PageState::Mapped);
-        let mut out4 = Outbox::new();
+        let mut out4 = Effects::new();
         sqp.on_page_ready(&mut env, &mut out4, remote, 0);
     }
-    let mut out5 = Outbox::new();
+    let mut out5 = Effects::new();
     sqp.on_packet(&mut server.env(SimTime::from_ms(2)), &mut out5, &req);
     assert!(matches!(
         out5.packets[0].kind,
@@ -311,7 +311,7 @@ fn damming_device_ghosts_posts_inside_rnr_wait() {
     let local = client.add_mr(1, 8192, MrMode::Pinned);
     let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
     cqp.connect(Lid(2), Qpn(2));
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     cqp.post(
         &mut client.env(SimTime::ZERO),
         &mut out,
@@ -331,13 +331,13 @@ fn damming_device_ghosts_posts_inside_rnr_wait() {
         ghost: false,
         retransmit: false,
     };
-    let mut out2 = Outbox::new();
+    let mut out2 = Effects::new();
     cqp.on_packet(&mut client.env(SimTime::from_us(5)), &mut out2, &nak);
-    assert!(out2.arm_rnr_timer.is_some());
+    assert!(out2.timers.arm_rnr.is_some());
     assert!(cqp.in_recovery_window(SimTime::from_ms(1)));
 
     // A request posted during the window is transmitted as a ghost.
-    let mut out3 = Outbox::new();
+    let mut out3 = Effects::new();
     cqp.post(
         &mut client.env(SimTime::from_ms(1)),
         &mut out3,
@@ -353,7 +353,7 @@ fn healthy_device_does_not_ghost() {
     let local = client.add_mr(1, 8192, MrMode::Pinned);
     let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
     cqp.connect(Lid(2), Qpn(2));
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     cqp.post(
         &mut client.env(SimTime::ZERO),
         &mut out,
@@ -371,9 +371,9 @@ fn healthy_device_does_not_ghost() {
         ghost: false,
         retransmit: false,
     };
-    let mut out2 = Outbox::new();
+    let mut out2 = Effects::new();
     cqp.on_packet(&mut client.env(SimTime::from_us(5)), &mut out2, &nak);
-    let mut out3 = Outbox::new();
+    let mut out3 = Effects::new();
     cqp.post(
         &mut client.env(SimTime::from_ms(1)),
         &mut out3,
@@ -388,7 +388,7 @@ fn rnr_fire_retransmits_only_faulted_message_on_damming_device() {
     let local = client.add_mr(1, 8192, MrMode::Pinned);
     let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
     cqp.connect(Lid(2), Qpn(2));
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     cqp.post(
         &mut client.env(SimTime::ZERO),
         &mut out,
@@ -406,18 +406,18 @@ fn rnr_fire_retransmits_only_faulted_message_on_damming_device() {
         ghost: false,
         retransmit: false,
     };
-    let mut out2 = Outbox::new();
+    let mut out2 = Effects::new();
     cqp.on_packet(&mut client.env(SimTime::from_us(5)), &mut out2, &nak);
-    let (_, gen) = out2.arm_rnr_timer.expect("rnr armed");
+    let (_, gen) = out2.timers.arm_rnr.expect("rnr armed");
     // Post a second message inside the window (ghosted).
-    let mut out3 = Outbox::new();
+    let mut out3 = Effects::new();
     cqp.post(
         &mut client.env(SimTime::from_ms(1)),
         &mut out3,
         read_wr(2, local, MrKey(7), 32),
     );
     // Fire the RNR timer: only the faulted message (psn0) retransmits.
-    let mut out4 = Outbox::new();
+    let mut out4 = Effects::new();
     cqp.on_rnr_fire(&mut client.env(SimTime::from_ms(5)), &mut out4, gen);
     let psns: Vec<u32> = out4.packets.iter().map(|p| p.psn.value()).collect();
     assert_eq!(psns, vec![0], "ConnectX-4 forgets the successor");
@@ -429,22 +429,22 @@ fn stale_timer_generations_are_ignored() {
     let local = client.add_mr(1, 4096, MrMode::Pinned);
     let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
     cqp.connect(Lid(2), Qpn(2));
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     cqp.post(
         &mut client.env(SimTime::ZERO),
         &mut out,
         read_wr(1, local, MrKey(7), 32),
     );
-    let gen = out.arm_ack_timer.expect("armed");
+    let gen = out.timers.arm_ack.expect("armed");
     // A later event re-arms with a new generation; the old one is stale.
-    let mut out2 = Outbox::new();
+    let mut out2 = Effects::new();
     cqp.on_ack_timeout(&mut client.env(SimTime::from_secs(1)), &mut out2, gen + 999);
     assert!(out2.is_quiet(), "stale generation ignored");
-    assert_eq!(cqp.stats.timeouts, 0);
+    assert_eq!(cqp.stats().timeouts, 0);
     // The genuine generation fires.
-    let mut out3 = Outbox::new();
+    let mut out3 = Effects::new();
     cqp.on_ack_timeout(&mut client.env(SimTime::from_secs(1)), &mut out3, gen);
-    assert_eq!(cqp.stats.timeouts, 1);
+    assert_eq!(cqp.stats().timeouts, 1);
     assert_eq!(out3.packets.len(), 1, "go-back-N retransmission");
 }
 
@@ -458,7 +458,7 @@ fn retry_exhaustion_errors_out_and_flushes() {
     };
     let mut cqp = Qp::new(Qpn(1), Lid(1), cfg);
     cqp.connect(Lid(2), Qpn(2));
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     cqp.post(
         &mut client.env(SimTime::ZERO),
         &mut out,
@@ -469,20 +469,20 @@ fn retry_exhaustion_errors_out_and_flushes() {
         &mut out,
         read_wr(2, local, MrKey(7), 32),
     );
-    let mut gen = out.arm_ack_timer.expect("armed");
+    let mut gen = out.timers.arm_ack.expect("armed");
     // First timeout: retries once and re-arms.
-    let mut out2 = Outbox::new();
+    let mut out2 = Effects::new();
     cqp.on_ack_timeout(&mut client.env(SimTime::from_secs(1)), &mut out2, gen);
-    gen = out2.arm_ack_timer.expect("re-armed");
+    gen = out2.timers.arm_ack.expect("re-armed");
     // Second timeout: budget exhausted.
-    let mut out3 = Outbox::new();
+    let mut out3 = Effects::new();
     cqp.on_ack_timeout(&mut client.env(SimTime::from_secs(2)), &mut out3, gen);
     assert_eq!(out3.completions.len(), 2);
     assert_eq!(out3.completions[0].status, WcStatus::RetryExcErr);
     assert_eq!(out3.completions[1].status, WcStatus::WrFlushErr);
     assert_eq!(cqp.state(), ibsim_verbs::QpState::Error);
     // Posting afterwards flushes immediately.
-    let mut out4 = Outbox::new();
+    let mut out4 = Effects::new();
     cqp.post(
         &mut client.env(SimTime::from_secs(3)),
         &mut out4,
@@ -504,7 +504,7 @@ fn write_segments_carry_correct_slices() {
     }
     let mut cqp = Qp::new(Qpn(1), Lid(1), QpConfig::default());
     cqp.connect(Lid(2), Qpn(2));
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     cqp.post(
         &mut client.env(SimTime::ZERO),
         &mut out,
