@@ -10,8 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> custom source lint (no unwrap / no wall-clock in simulator crates)"
-cargo run -q --offline -p ibsim-bench --bin lint -- --src
+echo "==> ibsim-lint determinism analyzer (workspace + self-check,"
+echo "    unused suppressions are errors)"
+cargo run -q --offline -p ibsim-lint -- --workspace --deny-unused-allows
 
 echo "==> cargo build --release"
 cargo build --release --offline

@@ -7,7 +7,7 @@
 //! packets between the two observation points — the transport layer can
 //! never legitimately do either.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use ibsim_fabric::{Capture, Captured, Direction, Lid};
 use ibsim_verbs::Packet;
@@ -34,7 +34,7 @@ fn key(r: &Captured<Packet>) -> FrameKey {
 
 /// LIDs a capture shows as local to its host: sources of its Tx frames
 /// and destinations of its Rx frames.
-fn local_lids(cap: &Capture<Packet>) -> HashSet<Lid> {
+fn local_lids(cap: &Capture<Packet>) -> BTreeSet<Lid> {
     cap.iter()
         .map(|r| match r.direction {
             Direction::Tx => r.payload.src,
@@ -56,7 +56,7 @@ fn one_direction(tx_cap: &Capture<Packet>, rx_cap: &Capture<Packet>) -> LintRepo
 
     // Multiset of expected arrivals: transmitted toward the peer and not
     // dropped in the fabric (ghosts are recorded with `dropped` set).
-    let mut expected: HashMap<FrameKey, (u64, ibsim_event::SimTime)> = HashMap::new();
+    let mut expected: BTreeMap<FrameKey, (u64, ibsim_event::SimTime)> = BTreeMap::new();
     for r in tx_cap {
         if r.direction == Direction::Tx && !r.dropped && rx_lids.contains(&r.payload.dst) {
             let e = expected.entry(key(r)).or_insert((0, r.time));

@@ -20,7 +20,7 @@
 //! ACKs) is covered by running the linter on the peer's capture and by
 //! [`crate::conservation`].
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use ibsim_event::SimTime;
 use ibsim_fabric::{Capture, Direction};
@@ -66,13 +66,13 @@ struct FlowState {
     /// Next expected fresh request PSN; `None` until the first request.
     expected: Option<Psn>,
     /// Every PSN value consumed by a fresh request (window membership).
-    consumed: HashSet<u32>,
+    consumed: BTreeSet<u32>,
     /// PSNs of transmitted READ requests (fresh or retransmitted).
-    read_psns: HashSet<u32>,
+    read_psns: BTreeSet<u32>,
     /// PSNs of transmitted ATOMIC requests.
-    atomic_psns: HashSet<u32>,
+    atomic_psns: BTreeSet<u32>,
     /// Last transmission time per request PSN.
-    last_tx: HashMap<u32, SimTime>,
+    last_tx: BTreeMap<u32, SimTime>,
     /// Time of the most recent NAK received on this flow.
     last_nak_rx: Option<SimTime>,
     /// Time of the most recent silently lost (dropped/ghost) request Tx.
@@ -81,7 +81,7 @@ struct FlowState {
     /// was delivered but *refused* (RNR) or rejected out-of-order, so
     /// the responder still expects it — which justifies a later
     /// sequence-error NAK naming that PSN without any packet loss.
-    nak_psns: HashSet<u32>,
+    nak_psns: BTreeSet<u32>,
     /// Time of the most recent *justified* retransmission on this flow.
     /// Go-back-N emits its whole batch at one instant in ascending PSN
     /// order; trailing members inherit the head's justification even
@@ -95,7 +95,15 @@ fn psn_span(kind: &PacketKind) -> u32 {
         // A READ reserves one PSN per response segment.
         PacketKind::ReadRequest { resp_packets, .. } => (*resp_packets).max(1),
         // WRITE/SEND segments and ATOMICs each carry exactly one PSN.
-        _ => 1,
+        PacketKind::WriteRequest { .. }
+        | PacketKind::Send { .. }
+        | PacketKind::AtomicRequest { .. } => 1,
+        // Responses and (N)ACKs consume no requester PSN space; callers
+        // only pass requests here, and one is the safe identity.
+        PacketKind::ReadResponse { .. }
+        | PacketKind::AtomicResponse { .. }
+        | PacketKind::Ack
+        | PacketKind::Nak(_) => 1,
     }
 }
 
@@ -117,7 +125,7 @@ fn psn_span(kind: &PacketKind) -> u32 {
 /// ```
 pub fn lint_capture(cap: &Capture<Packet>, cfg: &LintConfig) -> LintReport {
     let mut report = LintReport::default();
-    let mut flows: HashMap<(Qpn, Qpn), FlowState> = HashMap::new();
+    let mut flows: BTreeMap<(Qpn, Qpn), FlowState> = BTreeMap::new();
 
     for r in cap {
         let p = &r.payload;
@@ -137,7 +145,14 @@ pub fn lint_capture(cap: &Capture<Packet>, cfg: &LintConfig) -> LintReport {
                     PacketKind::AtomicRequest { .. } => {
                         flow.atomic_psns.insert(p.psn.value());
                     }
-                    _ => {}
+                    // WRITE/SEND draw no tracked responses; the rest are
+                    // excluded by the `is_request()` guard on this arm.
+                    PacketKind::WriteRequest { .. }
+                    | PacketKind::Send { .. }
+                    | PacketKind::ReadResponse { .. }
+                    | PacketKind::AtomicResponse { .. }
+                    | PacketKind::Ack
+                    | PacketKind::Nak(_) => {}
                 }
                 if r.dropped || p.ghost {
                     flow.last_silent_loss = Some(r.time);
@@ -338,7 +353,15 @@ fn check_response(
             flow.last_nak_rx = Some(at);
             flow.nak_psns.insert(p.psn.value());
         }
-        _ => {} // inbound requests: this host is the responder for those
+        // ACKs and responses whose guards above matched nothing are
+        // conformant; inbound requests are the responder's business.
+        PacketKind::Ack
+        | PacketKind::ReadResponse { .. }
+        | PacketKind::AtomicResponse { .. }
+        | PacketKind::ReadRequest { .. }
+        | PacketKind::WriteRequest { .. }
+        | PacketKind::Send { .. }
+        | PacketKind::AtomicRequest { .. } => {}
     }
 }
 

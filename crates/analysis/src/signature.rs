@@ -13,7 +13,7 @@
 //!   and over at the blind ODP retry cadence (~0.5 ms) while the
 //!   responses keep arriving and being discarded.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ibsim_event::SimTime;
 use ibsim_fabric::{Capture, Direction};
@@ -35,8 +35,8 @@ struct Attempt {
 /// next attempt (or the end of the capture, if it never recovered).
 pub fn detect_damming_signature(cap: &Capture<Packet>, cfg: &LintConfig) -> LintReport {
     let mut report = LintReport::default();
-    let mut attempts: HashMap<(Qpn, Qpn, u32), Vec<Attempt>> = HashMap::new();
-    let mut naks: HashMap<(Qpn, Qpn), Vec<SimTime>> = HashMap::new();
+    let mut attempts: BTreeMap<(Qpn, Qpn, u32), Vec<Attempt>> = BTreeMap::new();
+    let mut naks: BTreeMap<(Qpn, Qpn), Vec<SimTime>> = BTreeMap::new();
     let mut order: Vec<(Qpn, Qpn, u32)> = Vec::new();
     let mut horizon = SimTime::ZERO;
 
@@ -115,8 +115,8 @@ pub fn detect_damming_signature(cap: &Capture<Packet>, cfg: &LintConfig) -> Lint
 /// discarded all the while.
 pub fn detect_flood_signature(cap: &Capture<Packet>, cfg: &LintConfig) -> LintReport {
     let mut report = LintReport::default();
-    let mut attempts: HashMap<(Qpn, Qpn, u32), Vec<SimTime>> = HashMap::new();
-    let mut responses: HashMap<(Qpn, Qpn, u32), u64> = HashMap::new();
+    let mut attempts: BTreeMap<(Qpn, Qpn, u32), Vec<SimTime>> = BTreeMap::new();
+    let mut responses: BTreeMap<(Qpn, Qpn, u32), u64> = BTreeMap::new();
     let mut order: Vec<(Qpn, Qpn, u32)> = Vec::new();
 
     for r in cap {

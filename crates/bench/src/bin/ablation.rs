@@ -158,9 +158,9 @@ fn part2() {
     );
 
     // RNR stretch governs the Fig. 6a window width.
-    for stretch in [1.0, 3.5] {
+    for stretch_pm in [1000u64, 3500] {
         let device = DeviceProfile {
-            rnr_stretch: stretch,
+            rnr_stretch_pm: stretch_pm,
             ..cx4.clone()
         };
         let run = run_microbench(&MicrobenchConfig {
@@ -170,7 +170,8 @@ fn part2() {
             ..Default::default()
         });
         println!(
-            "rnr_stretch {stretch:>3}: 2 ms interval -> {} ({} timeouts; window = stretch x 1.28 ms)",
+            "rnr_stretch {:>4} permille: 2 ms interval -> {} ({} timeouts; window = stretch x 1.28 ms)",
+            stretch_pm,
             secs(run.execution_time),
             run.timeouts
         );

@@ -10,40 +10,18 @@
 //!
 //! 1. `cargo fmt --all -- --check`
 //! 2. `cargo clippy --workspace --all-targets -- -D warnings`
-//! 3. A custom source lint over every crate's `src/` tree:
-//!    * no `unwrap` calls outside `#[cfg(test)]` modules — simulation code
-//!      must degrade into counters, not panics;
-//!    * no wall-clock reads (`Instant::now` / `SystemTime::now`) in
-//!      simulator crates — determinism depends on all time coming from
-//!      the event engine. The `bench` crate is exempt from this rule
-//!      only: its harness legitimately measures host time.
+//! 3. The `ibsim-lint` token-level determinism analyzer over every
+//!    crate's `src/` tree (no-unwrap, no-wall-clock,
+//!    no-std-hash-collections, no-float-in-sim-path,
+//!    no-wildcard-match-on-protocol-enums), in `--deny-unused-allows`
+//!    mode. This stage is a thin delegation to the `ibsim-lint`
+//!    library — see `crates/lint` for the lexer, the rule catalog, and
+//!    the per-crate scoping policy.
 //!
 //! Exits non-zero if any stage fails, printing every violation first.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
-
-/// The forbidden-call needle, split so this file does not flag itself.
-const UNWRAP: &str = concat!("unw", "rap()");
-
-/// Crates whose `src/` trees the source lint walks, with the wall-clock
-/// rule flag (false = exempt).
-const SRC_ROOTS: &[(&str, bool)] = &[
-    ("crates/analysis", true),
-    ("crates/core", true),
-    ("crates/dsm", true),
-    ("crates/event", true),
-    ("crates/fabric", true),
-    ("crates/odp", true),
-    ("crates/perftest", true),
-    ("crates/scenario", true),
-    ("crates/shuffle", true),
-    ("crates/telemetry", true),
-    ("crates/ucp", true),
-    ("crates/verbs", true),
-    ("crates/bench", false),
-    ("src", true),
-];
 
 fn main() {
     let root = workspace_root();
@@ -71,15 +49,21 @@ fn main() {
         );
     }
 
-    let violations = source_lint(&root);
-    if violations.is_empty() {
-        println!("[lint] source lint: ok");
-    } else {
-        for v in &violations {
-            println!("{v}");
+    match ibsim_lint::lint_workspace(&root) {
+        Ok(report) if report.is_clean() => {
+            println!(
+                "[lint] ibsim-lint: ok ({} file(s) scanned)",
+                report.files_scanned
+            );
         }
-        println!("[lint] source lint: {} violation(s)", violations.len());
-        failed = true;
+        Ok(report) => {
+            print!("{}", ibsim_lint::render_human(&report));
+            failed = true;
+        }
+        Err(e) => {
+            println!("[lint] FAILED (ibsim-lint could not walk the workspace: {e})");
+            failed = true;
+        }
     }
 
     if failed {
@@ -111,129 +95,5 @@ fn run_stage(root: &Path, label: &str, args: &[&str]) -> bool {
             println!("[lint] FAILED (could not spawn cargo: {e}): {label}");
             false
         }
-    }
-}
-
-/// Walks every configured `src/` tree and returns the violations found.
-fn source_lint(root: &Path) -> Vec<String> {
-    let mut violations = Vec::new();
-    for &(crate_dir, wall_clock_rule) in SRC_ROOTS {
-        let src = if crate_dir == "src" {
-            root.join("src")
-        } else {
-            root.join(crate_dir).join("src")
-        };
-        let mut files = Vec::new();
-        collect_rs(&src, &mut files);
-        files.sort();
-        for file in files {
-            let Ok(text) = std::fs::read_to_string(&file) else {
-                continue;
-            };
-            let rel = file
-                .strip_prefix(root)
-                .unwrap_or(&file)
-                .display()
-                .to_string();
-            lint_file(&rel, &text, wall_clock_rule, &mut violations);
-        }
-    }
-    violations
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Lints one file. Lines inside a trailing `#[cfg(test)] mod …` block
-/// are skipped: tests may unwrap freely. The cutoff requires the
-/// attribute to sit directly above a `mod` item so that `#[cfg(test)]`
-/// on imports (as in `core/src/systems.rs`) does not end linting early.
-fn lint_file(rel: &str, text: &str, wall_clock_rule: bool, out: &mut Vec<String>) {
-    let lines: Vec<&str> = text.lines().collect();
-    let mut cutoff = lines.len();
-    for i in 0..lines.len().saturating_sub(1) {
-        if lines[i].trim() == "#[cfg(test)]" && lines[i + 1].trim_start().starts_with("mod ") {
-            cutoff = i;
-            break;
-        }
-    }
-    for (i, line) in lines[..cutoff].iter().enumerate() {
-        if line.contains(UNWRAP) {
-            out.push(format!(
-                "{rel}:{}: {UNWRAP} in simulator code (count a failure or return an error)",
-                i + 1
-            ));
-        }
-        if wall_clock_rule && (line.contains("Instant::now") || line.contains("SystemTime::now")) {
-            out.push(format!(
-                "{rel}:{}: wall-clock read in simulator code (all time must come from the \
-                 event engine)",
-                i + 1
-            ));
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::lint_file;
-
-    #[test]
-    fn flags_unwrap_and_wall_clock() {
-        let mut out = Vec::new();
-        lint_file(
-            "x.rs",
-            "let a = b.unwrap();\nlet t = std::time::Instant::now();\n",
-            true,
-            &mut out,
-        );
-        assert_eq!(out.len(), 2, "{out:?}");
-    }
-
-    #[test]
-    fn test_modules_are_exempt() {
-        let mut out = Vec::new();
-        lint_file(
-            "x.rs",
-            "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n",
-            true,
-            &mut out,
-        );
-        assert!(out.is_empty(), "{out:?}");
-    }
-
-    #[test]
-    fn cfg_test_on_imports_does_not_end_linting() {
-        let mut out = Vec::new();
-        lint_file(
-            "x.rs",
-            "#[cfg(test)]\nuse foo::bar;\nfn bad() { x.unwrap(); }\n",
-            true,
-            &mut out,
-        );
-        assert_eq!(out.len(), 1, "{out:?}");
-    }
-
-    #[test]
-    fn wall_clock_exemption() {
-        let mut out = Vec::new();
-        lint_file(
-            "x.rs",
-            "let t = std::time::Instant::now();\n",
-            false,
-            &mut out,
-        );
-        assert!(out.is_empty(), "{out:?}");
     }
 }

@@ -7,7 +7,7 @@
 //! the simulator (or, conceptually, a real fabric) can be screened
 //! automatically.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use ibsim_event::SimTime;
@@ -119,10 +119,10 @@ pub struct DammingIncident {
 /// `min_stall` of ~20 ms cleanly separates them from RNR waits.
 pub fn detect_damming(cap: &Capture<Packet>, min_stall: SimTime) -> Vec<DammingIncident> {
     // Last transmission time per (qp, psn) of request packets.
-    let mut last_tx: HashMap<(Qpn, u32), SimTime> = HashMap::new();
+    let mut last_tx: BTreeMap<(Qpn, u32), SimTime> = BTreeMap::new();
     // RNR NAK times per (qp, psn): a gap ending at an RNR-retransmission
     // is legitimate waiting, not damming.
-    let mut rnr_for: HashMap<(Qpn, u32), SimTime> = HashMap::new();
+    let mut rnr_for: BTreeMap<(Qpn, u32), SimTime> = BTreeMap::new();
     // Last observed sequence-error NAK time (received by the client).
     let mut last_seq_nak: Option<SimTime> = None;
     let mut incidents = Vec::new();
@@ -183,7 +183,7 @@ pub struct FloodIncident {
 /// transmitted at least `min_transmissions` times (the paper observed
 /// "hundreds of times" per message; ≥5 is already anomalous).
 pub fn detect_flood(cap: &Capture<Packet>, min_transmissions: u64) -> Vec<FloodIncident> {
-    let mut seen: HashMap<(Qpn, u32), (u64, SimTime, SimTime)> = HashMap::new();
+    let mut seen: BTreeMap<(Qpn, u32), (u64, SimTime, SimTime)> = BTreeMap::new();
     for r in cap {
         if r.direction == Direction::Tx && r.payload.kind.is_request() {
             let key = (r.payload.src_qp, r.payload.psn.value());

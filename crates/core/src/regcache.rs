@@ -12,7 +12,7 @@
 //! Mietke et al. \[13\] and Frey & Alonso \[11\], we charge a fixed syscall
 //! cost plus a per-page cost, and ~40% of that for deregistration.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ibsim_event::SimTime;
 use ibsim_verbs::{Cluster, HostId, MrKey, MrMode, Sim, PAGE_SIZE};
@@ -85,7 +85,7 @@ pub struct PinDownCache {
     host: HostId,
     capacity: u64,
     /// base → (key, len, last-use tick, ready time).
-    entries: HashMap<u64, Entry>,
+    entries: BTreeMap<u64, Entry>,
     tick: u64,
     /// The cache serializes (de)registration work on the host CPU.
     busy_until: SimTime,
@@ -106,7 +106,7 @@ impl PinDownCache {
         PinDownCache {
             host,
             capacity,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             tick: 0,
             busy_until: SimTime::ZERO,
             stats: RegCacheStats::default(),

@@ -14,7 +14,7 @@
 //! packet-damming trigger the paper captured on KNL.
 
 use std::cell::RefCell;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::rc::Rc;
 
 use ibsim_event::{SimTime, SplitMix64};
@@ -75,7 +75,7 @@ struct Inner {
     rng: SplitMix64,
     seq: u64,
     /// Pages currently valid in each node's cache.
-    cache_valid: HashSet<(usize, u64)>,
+    cache_valid: BTreeSet<(usize, u64)>,
     /// App-level global lock state (served by node 0).
     lock_held: bool,
     lock_queue: VecDeque<usize>,
@@ -170,7 +170,7 @@ impl Dsm {
                 nodes,
                 rng,
                 seq: 0,
-                cache_valid: HashSet::new(),
+                cache_valid: BTreeSet::new(),
                 lock_held: false,
                 lock_queue: VecDeque::new(),
                 stats: DsmStats::default(),

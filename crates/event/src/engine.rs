@@ -32,7 +32,7 @@
 //! key, and arming a key that is already armed cancels the old event in
 //! the same call.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::time::SimTime;
@@ -51,7 +51,7 @@ impl fmt::Display for EventId {
 /// key (see [`Engine::schedule_keyed_in`]). The two words are free-form;
 /// `ibsim-verbs` packs (timer family, host) and (QP number, PSN) into
 /// them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TimerKey(pub u64, pub u64);
 
 impl fmt::Display for TimerKey {
@@ -146,9 +146,9 @@ pub struct Engine<W> {
     heap: Vec<Entry<W>>,
     /// `seq → heap slot` for every live event; the heap invariantly
     /// contains exactly the live events (cancellation removes).
-    pos: HashMap<u64, usize>,
+    pos: BTreeMap<u64, usize>,
     /// `key → seq` of the single live event armed under each timer key.
-    keyed: HashMap<TimerKey, u64>,
+    keyed: BTreeMap<TimerKey, u64>,
     next_seq: u64,
     executed: u64,
     scheduled_total: u64,
@@ -189,8 +189,8 @@ impl<W> Engine<W> {
         Engine {
             now: SimTime::ZERO,
             heap: Vec::new(),
-            pos: HashMap::new(),
-            keyed: HashMap::new(),
+            pos: BTreeMap::new(),
+            keyed: BTreeMap::new(),
             next_seq: 0,
             executed: 0,
             scheduled_total: 0,

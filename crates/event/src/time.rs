@@ -115,6 +115,17 @@ impl SimTime {
         SimTime((self.0 as f64 * factor).round().max(0.0) as u64)
     }
 
+    /// Multiplies a duration by a per-mille factor in pure integer
+    /// arithmetic, rounding half up to the nearest nanosecond:
+    /// `mul_permille(1870)` scales by 1.87. This is the sanctioned
+    /// sim-path alternative to [`SimTime::mul_f64`] (see the
+    /// no-float-in-sim-path lint rule): it is exact, platform-independent,
+    /// and cannot drift.
+    #[inline]
+    pub fn mul_permille(self, permille: u64) -> SimTime {
+        SimTime((self.0.saturating_mul(permille).saturating_add(500)) / 1000)
+    }
+
     /// Returns the larger of two times.
     #[inline]
     pub fn max(self, other: SimTime) -> SimTime {
@@ -240,6 +251,40 @@ mod tests {
         assert_eq!(a / 2, SimTime::from_us(5));
         assert_eq!(b.saturating_sub(a), SimTime::ZERO);
         assert_eq!(a.mul_f64(1.5), SimTime::from_us(15));
+    }
+
+    #[test]
+    fn mul_permille_matches_mul_f64_on_sim_factors() {
+        // The factors actually used in sim paths: timeout stretches
+        // (1.87 / 1.79), the RNR stretch (3.5), and timer-load scaling.
+        for (pm, f) in [
+            (1870u64, 1.87f64),
+            (1790, 1.79),
+            (3500, 3.5),
+            (1000, 1.0),
+            (1002, 1.002),
+        ] {
+            for ns in [
+                0u64,
+                1,
+                999,
+                4_096,
+                16_384,
+                1_280_000,
+                4_096 << 18,
+                655_360_000,
+            ] {
+                let t = SimTime::from_ns(ns);
+                assert_eq!(t.mul_permille(pm), t.mul_f64(f), "ns={ns} pm={pm} f={f}");
+            }
+        }
+        // Half-up rounding: 1ns * 1.5 rounds to 2ns.
+        assert_eq!(SimTime::from_ns(1).mul_permille(1500), SimTime::from_ns(2));
+        // Saturates instead of overflowing.
+        assert_eq!(
+            SimTime::MAX.mul_permille(3500),
+            SimTime::from_ns(u64::MAX / 1000)
+        );
     }
 
     #[test]

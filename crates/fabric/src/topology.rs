@@ -1,6 +1,6 @@
 //! Hosts, links and the crossbar switch.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use ibsim_event::SimTime;
@@ -30,12 +30,15 @@ impl fmt::Display for Lid {
 }
 
 /// Physical characteristics of one host↔switch link.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkSpec {
     /// One-way propagation + PHY latency of the cable.
     pub latency: SimTime,
-    /// Signalling rate in gigabits per second.
-    pub bandwidth_gbps: f64,
+    /// Signalling rate in whole gigabits per second. Integral so that
+    /// serialization times are exact integer arithmetic (the
+    /// no-float-in-sim-path rule); every IB speed grade is a whole
+    /// number of Gb/s.
+    pub bandwidth_gbps: u64,
 }
 
 impl LinkSpec {
@@ -43,7 +46,7 @@ impl LinkSpec {
     pub fn fdr() -> Self {
         LinkSpec {
             latency: SimTime::from_ns(300),
-            bandwidth_gbps: 56.0,
+            bandwidth_gbps: 56,
         }
     }
 
@@ -51,7 +54,7 @@ impl LinkSpec {
     pub fn edr() -> Self {
         LinkSpec {
             latency: SimTime::from_ns(300),
-            bandwidth_gbps: 100.0,
+            bandwidth_gbps: 100,
         }
     }
 
@@ -59,14 +62,16 @@ impl LinkSpec {
     pub fn hdr() -> Self {
         LinkSpec {
             latency: SimTime::from_ns(300),
-            bandwidth_gbps: 200.0,
+            bandwidth_gbps: 200,
         }
     }
 
-    /// Time to serialize `bytes` onto the wire.
+    /// Time to serialize `bytes` onto the wire: `⌈8·bytes / gbps⌉` ns,
+    /// in pure integer arithmetic (Gb/s over nanoseconds is bits per
+    /// nanosecond, so no unit conversion factor survives).
     pub fn serialization(&self, bytes: u32) -> SimTime {
-        let ns = (bytes as f64 * 8.0) / self.bandwidth_gbps;
-        SimTime::from_ns(ns.ceil() as u64)
+        let bits = bytes as u64 * 8;
+        SimTime::from_ns(bits.div_ceil(self.bandwidth_gbps.max(1)))
     }
 }
 
@@ -157,7 +162,7 @@ struct Port {
 pub struct Fabric {
     default_spec: LinkSpec,
     switch_latency: SimTime,
-    ports: HashMap<Lid, Port>,
+    ports: BTreeMap<Lid, Port>,
     next_lid: u16,
     loss: LossModel,
     total_frames: u64,
@@ -170,7 +175,7 @@ impl Fabric {
         Fabric {
             default_spec,
             switch_latency: SimTime::from_ns(200),
-            ports: HashMap::new(),
+            ports: BTreeMap::new(),
             next_lid: 1,
             loss: LossModel::None,
             total_frames: 0,

@@ -1,0 +1,201 @@
+//! The workspace rule-scoping table: which rules apply to which files.
+//!
+//! The scoping policy, in one place so DESIGN 8.7 and the engine cannot
+//! drift apart:
+//!
+//! * **no-unwrap** and **no-std-hash-collections** apply to every crate
+//!   in the workspace, including `bench` and this lint crate itself
+//!   (the self-check).
+//! * **no-wall-clock** applies everywhere except `crates/bench`, whose
+//!   harness legitimately measures host time (qpsweep wall-ratio
+//!   budgets).
+//! * **no-float-in-sim-path** applies to the sim-time crates `event`,
+//!   `verbs`, `fabric`, and `core` (the ODP crate), minus the
+//!   documented float-boundary files listed in
+//!   [`FLOAT_BOUNDARY_FILES`].
+//! * **no-wildcard-match-on-protocol-enums** applies to `verbs` and
+//!   `analysis`, where protocol-enum matches encode the RC state
+//!   machine and the trace linter's opcode accounting.
+
+use crate::rules::Policy;
+
+/// One linted source root and its rule flags.
+#[derive(Debug, Clone, Copy)]
+pub struct RootConfig {
+    /// Workspace-relative directory whose `src/` tree is walked
+    /// (`"src"` means the workspace root crate).
+    pub dir: &'static str,
+    /// Enforce no-wall-clock here.
+    pub wall_clock: bool,
+    /// Enforce no-float-in-sim-path here.
+    pub float_path: bool,
+    /// Enforce no-wildcard-match-on-protocol-enums here.
+    pub wildcard: bool,
+}
+
+/// Every linted source root, in walk order.
+pub const ROOTS: &[RootConfig] = &[
+    RootConfig {
+        dir: "crates/analysis",
+        wall_clock: true,
+        float_path: false,
+        wildcard: true,
+    },
+    RootConfig {
+        dir: "crates/bench",
+        wall_clock: false,
+        float_path: false,
+        wildcard: false,
+    },
+    RootConfig {
+        dir: "crates/core",
+        wall_clock: true,
+        float_path: true,
+        wildcard: false,
+    },
+    RootConfig {
+        dir: "crates/dsm",
+        wall_clock: true,
+        float_path: false,
+        wildcard: false,
+    },
+    RootConfig {
+        dir: "crates/event",
+        wall_clock: true,
+        float_path: true,
+        wildcard: false,
+    },
+    RootConfig {
+        dir: "crates/fabric",
+        wall_clock: true,
+        float_path: true,
+        wildcard: false,
+    },
+    RootConfig {
+        dir: "crates/lint",
+        wall_clock: true,
+        float_path: false,
+        wildcard: false,
+    },
+    RootConfig {
+        dir: "crates/perftest",
+        wall_clock: true,
+        float_path: false,
+        wildcard: false,
+    },
+    RootConfig {
+        dir: "crates/scenario",
+        wall_clock: true,
+        float_path: false,
+        wildcard: false,
+    },
+    RootConfig {
+        dir: "crates/shuffle",
+        wall_clock: true,
+        float_path: false,
+        wildcard: false,
+    },
+    RootConfig {
+        dir: "crates/telemetry",
+        wall_clock: true,
+        float_path: false,
+        wildcard: false,
+    },
+    RootConfig {
+        dir: "crates/ucp",
+        wall_clock: true,
+        float_path: false,
+        wildcard: false,
+    },
+    RootConfig {
+        dir: "crates/verbs",
+        wall_clock: true,
+        float_path: true,
+        wildcard: true,
+    },
+    RootConfig {
+        dir: "src",
+        wall_clock: true,
+        float_path: false,
+        wildcard: false,
+    },
+];
+
+/// Files where floats are sanctioned by design even inside float-path
+/// crates. Each is a conversion or randomness boundary, not sim-time
+/// arithmetic:
+///
+/// * `event/src/time.rs` — the `SimTime` float constructors/accessors
+///   themselves (every other crate goes through them);
+/// * `event/src/rng.rs` and `fabric/src/loss.rs` — `next_f64` uniform
+///   draws; converting the loss models to fixed-point would change the
+///   RNG stream and re-pin every golden hash;
+/// * `core/src/experiment.rs` and `core/src/microbench.rs` — paper
+///   figure reporting (ratios, probabilities), not event scheduling.
+pub const FLOAT_BOUNDARY_FILES: &[&str] = &[
+    "crates/event/src/time.rs",
+    "crates/event/src/rng.rs",
+    "crates/fabric/src/loss.rs",
+    "crates/core/src/experiment.rs",
+    "crates/core/src/microbench.rs",
+];
+
+/// Derives the rule set for one workspace-relative file path. Returns
+/// `None` for files outside every configured root (e.g. `tests/`
+/// trees, fixtures), which are not linted.
+pub fn policy_for(rel: &str) -> Option<Policy> {
+    let root = ROOTS.iter().find(|r| {
+        if r.dir == "src" {
+            rel.starts_with("src/")
+        } else {
+            rel.strip_prefix(r.dir)
+                .is_some_and(|rest| rest.starts_with("/src/"))
+        }
+    })?;
+    let boundary = FLOAT_BOUNDARY_FILES.contains(&rel);
+    Some(Policy {
+        no_unwrap: true,
+        no_wall_clock: root.wall_clock,
+        no_std_hash_collections: true,
+        no_float_in_sim_path: root.float_path && !boundary,
+        no_wildcard_match: root.wildcard,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping_matches_the_documented_policy() {
+        let verbs = policy_for("crates/verbs/src/device.rs").expect("verbs is linted");
+        assert!(verbs.no_float_in_sim_path && verbs.no_wildcard_match);
+
+        let bench = policy_for("crates/bench/src/bin/qpsweep.rs").expect("bench is linted");
+        assert!(bench.no_unwrap && !bench.no_wall_clock && !bench.no_float_in_sim_path);
+
+        let boundary = policy_for("crates/event/src/time.rs").expect("time.rs is linted");
+        assert!(!boundary.no_float_in_sim_path && boundary.no_wall_clock);
+
+        let root = policy_for("src/lib.rs").expect("root crate is linted");
+        assert!(root.no_unwrap && !root.no_wildcard_match);
+
+        assert!(policy_for("crates/verbs/tests/transport.rs").is_none());
+        assert!(policy_for("crates/lint/tests/fixtures/bad_unwrap.rs").is_none());
+        // A crate name that merely prefixes another must not match.
+        assert!(policy_for("crates/eventual/src/x.rs").is_none());
+    }
+
+    #[test]
+    fn every_root_lints_unwrap_and_hash_collections() {
+        for r in ROOTS {
+            let rel = if r.dir == "src" {
+                "src/probe.rs".to_owned()
+            } else {
+                format!("{}/src/probe.rs", r.dir)
+            };
+            let p = policy_for(&rel).expect("configured root must be linted");
+            assert!(p.no_unwrap && p.no_std_hash_collections, "{rel}");
+        }
+    }
+}

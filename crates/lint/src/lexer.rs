@@ -1,0 +1,491 @@
+//! A minimal, span-accurate Rust lexer.
+//!
+//! The lexer turns source text into a flat stream of [`Token`]s tagged
+//! with 1-based `line:col` positions. It exists so the lint rules can
+//! reason about *code* rather than raw bytes: string literals, char
+//! literals, raw strings, and (nested) comments are each one token, so a
+//! rule looking for the identifier `HashMap` can never be fooled by a
+//! doc comment or a format string that merely mentions it.
+//!
+//! The lexer is deliberately smaller than a real Rust front end — it has
+//! no keyword table and performs no parsing — but it is exact about the
+//! things that matter for token-level linting:
+//!
+//! * line (`//…`) and nested block (`/* /* … */ */`) comments,
+//! * string-ish literals: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+//! * char literals vs. lifetimes (`'a'` vs. `'a`),
+//! * numeric literals, including float detection (`1.0`, `2e9`, `3f64`)
+//!   that does not misfire on ranges (`0..n`), method calls (`1.max(x)`),
+//!   or tuple indexing (`pair.0`).
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish them).
+    Ident,
+    /// A lifetime such as `'a` (including the leading quote).
+    Lifetime,
+    /// Integer literal, including any non-float suffix.
+    Int,
+    /// Float literal: has a fractional part, an exponent, or an `f32`/
+    /// `f64` suffix.
+    Float,
+    /// Any string-ish literal: `"…"`, raw, byte, or byte-raw strings.
+    Str,
+    /// A char or byte-char literal such as `'x'` or `b'\n'`.
+    Char,
+    /// A single punctuation character (`.`, `:`, `{`, `=`, …).
+    Punct,
+    /// A `//…` comment, including doc comments, up to the newline.
+    LineComment,
+    /// A `/* … */` comment, including doc comments, nesting respected.
+    BlockComment,
+}
+
+/// One token with its source text and 1-based position.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The exact source slice of the token.
+    pub text: &'a str,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte within its line.
+    pub col: u32,
+}
+
+impl Token<'_> {
+    /// True for line and block comments.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// True if this is a punctuation token consisting of exactly `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True if this is an identifier token with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+/// Lexes `src` into tokens. Invalid input never panics: unterminated
+/// literals simply extend to the end of the file, and any byte the lexer
+/// does not understand becomes a one-byte [`TokenKind::Punct`].
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    /// Current byte offset.
+    i: usize,
+    /// 1-based current line.
+    line: u32,
+    /// Byte offset of the first byte of the current line.
+    line_start: usize,
+    out: Vec<Token<'a>>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            i: 0,
+            line: 1,
+            line_start: 0,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.i + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, maintaining the line accounting.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+            self.line_start = self.i + 1;
+        }
+        self.i += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            text: &self.src[start..self.i],
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token<'a>> {
+        while self.i < self.bytes.len() {
+            let b = self.peek(0);
+            if b.is_ascii_whitespace() {
+                self.bump();
+                continue;
+            }
+            let start = self.i;
+            let line = self.line;
+            let col = (self.i - self.line_start + 1) as u32;
+            match b {
+                b'/' if self.peek(1) == b'/' => {
+                    while self.i < self.bytes.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.push(TokenKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.block_comment();
+                    self.push(TokenKind::BlockComment, start, line, col);
+                }
+                b'"' => {
+                    self.quoted_string();
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'\'' => {
+                    let kind = self.lifetime_or_char();
+                    self.push(kind, start, line, col);
+                }
+                _ if b.is_ascii_digit() => {
+                    let kind = self.number();
+                    self.push(kind, start, line, col);
+                }
+                _ if is_ident_start(b) => {
+                    if let Some(kind) = self.string_prefix() {
+                        self.push(kind, start, line, col);
+                    } else {
+                        while is_ident_continue(self.peek(0)) {
+                            self.bump();
+                        }
+                        self.push(TokenKind::Ident, start, line, col);
+                    }
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Consumes a nested block comment starting at `/*`.
+    fn block_comment(&mut self) {
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while self.i < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a `"…"` string body with escapes; the opening quote is at
+    /// the current position.
+    fn quoted_string(&mut self) {
+        self.bump(); // opening quote
+        while self.i < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a raw string `r#*"…"#*`; the current position is at the
+    /// first `#` or the opening quote.
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != b'"' {
+            return; // not actually a raw string; treated as lexed-so-far
+        }
+        self.bump();
+        while self.i < self.bytes.len() {
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.bump_n(1 + hashes);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Detects `r"…"`, `r#"…"#`, `b"…"`, `br"…"`, `br#"…"#`, and `b'…'`
+    /// at an identifier-start position. Returns the token kind if one was
+    /// consumed.
+    fn string_prefix(&mut self) -> Option<TokenKind> {
+        let (prefix_len, raw, is_char) = match (self.peek(0), self.peek(1), self.peek(2)) {
+            (b'r', b'"', _) | (b'r', b'#', _) => (1, true, false),
+            (b'b', b'r', b'"') | (b'b', b'r', b'#') => (2, true, false),
+            (b'b', b'"', _) => (1, false, false),
+            (b'b', b'\'', _) => (1, false, true),
+            _ => return None,
+        };
+        // `r#foo` is a raw identifier, not a raw string: require a quote
+        // after the hashes.
+        if raw {
+            let mut k = prefix_len;
+            while self.peek(k) == b'#' {
+                k += 1;
+            }
+            if self.peek(k) != b'"' {
+                return None;
+            }
+        }
+        self.bump_n(prefix_len);
+        if raw {
+            self.raw_string();
+            Some(TokenKind::Str)
+        } else if is_char {
+            self.char_body();
+            Some(TokenKind::Char)
+        } else {
+            self.quoted_string();
+            Some(TokenKind::Str)
+        }
+    }
+
+    /// Consumes a char literal starting at the opening `'`.
+    fn char_body(&mut self) {
+        self.bump(); // opening quote
+        if self.peek(0) == b'\\' {
+            self.bump_n(2);
+            // `\x41`, `\u{…}`: consume until the closing quote below.
+        } else {
+            self.bump();
+        }
+        while self.i < self.bytes.len() && self.peek(0) != b'\'' {
+            self.bump();
+        }
+        self.bump(); // closing quote
+    }
+
+    /// Disambiguates a lifetime from a char literal at a `'`.
+    fn lifetime_or_char(&mut self) -> TokenKind {
+        // `'a` followed by anything but another quote is a lifetime;
+        // `'a'` is a char.
+        if is_ident_start(self.peek(1)) {
+            let mut k = 2;
+            while is_ident_continue(self.peek(k)) {
+                k += 1;
+            }
+            if self.peek(k) != b'\'' {
+                self.bump_n(k);
+                return TokenKind::Lifetime;
+            }
+        }
+        self.char_body();
+        TokenKind::Char
+    }
+
+    /// Consumes a numeric literal; classifies float vs. integer.
+    fn number(&mut self) -> TokenKind {
+        let mut float = false;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            // Radix literal: digits, underscores, and (for hex) letters.
+            // The suffix, if any, is consumed by the same loop.
+            self.bump_n(2);
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            return TokenKind::Int;
+        }
+        while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        // A `.` makes this a float unless it introduces a range (`0..n`),
+        // a method call (`1.max(2)`), or a field access.
+        if self.peek(0) == b'.' && self.peek(1) != b'.' && !is_ident_start(self.peek(1)) {
+            float = true;
+            self.bump();
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        // Exponent: `1e9`, `1.5e-3`.
+        if matches!(self.peek(0), b'e' | b'E') {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            if sign.is_ascii_digit() || (matches!(sign, b'+' | b'-') && digit.is_ascii_digit()) {
+                float = true;
+                self.bump();
+                if matches!(self.peek(0), b'+' | b'-') {
+                    self.bump();
+                }
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.bump();
+                }
+            }
+        }
+        // Suffix: `u32`, `f64`, …
+        let suffix_start = self.i;
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        let suffix = &self.src[suffix_start..self.i];
+        if suffix == "f32" || suffix == "f64" {
+            float = true;
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.b();");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "="),
+                (TokenKind::Ident, "a"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "b"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Punct, ")"),
+                (TokenKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_one_based_line_col() {
+        let toks = lex("a\n  bb\n");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn comments_are_single_tokens() {
+        let toks = kinds("x // trailing HashMap\n/* block /* nested */ f64 */ y");
+        assert_eq!(toks[0], (TokenKind::Ident, "x"));
+        assert_eq!(toks[1].0, TokenKind::LineComment);
+        assert_eq!(toks[2].0, TokenKind::BlockComment);
+        assert_eq!(toks[3], (TokenKind::Ident, "y"));
+    }
+
+    #[test]
+    fn strings_swallow_their_contents() {
+        let toks = kinds(r#"let s = "HashMap::new() /* not a comment */";"#);
+        assert!(toks.iter().all(|t| t.0 != TokenKind::LineComment));
+        assert_eq!(toks[3].0, TokenKind::Str);
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Ident).count(), 2);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r##"let a = r#"quote " inside"#; let b = br"raw"; let c = b"bytes";"##);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 3);
+        assert!(strs[0].1.starts_with("r#\""));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a u8, c: char) { let y = 'z'; let e = '\\''; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'z'");
+    }
+
+    #[test]
+    fn float_detection() {
+        for (src, kind) in [
+            ("1.0", TokenKind::Float),
+            ("2e9", TokenKind::Float),
+            ("1.5e-3", TokenKind::Float),
+            ("3f64", TokenKind::Float),
+            ("7f32", TokenKind::Float),
+            ("42", TokenKind::Int),
+            ("42u64", TokenKind::Int),
+            ("0xff", TokenKind::Int),
+            ("1_000_000", TokenKind::Int),
+        ] {
+            assert_eq!(lex(src)[0].kind, kind, "{src}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_methods_are_not_floats() {
+        let toks = kinds("for i in 0..10 { let m = 1.max(i); let f = pair.0; }");
+        assert!(toks.iter().all(|t| t.0 != TokenKind::Float), "{toks:?}");
+    }
+
+    #[test]
+    fn byte_char_is_char() {
+        assert_eq!(lex("b'x'")[0].kind, TokenKind::Char);
+    }
+
+    #[test]
+    fn raw_ident_is_ident() {
+        let toks = kinds("r#match");
+        // `r` then `#` then `match` is acceptable (we only must not lex it
+        // as a string); the exact split is unimportant for the rules.
+        assert!(toks.iter().all(|t| t.0 != TokenKind::Str));
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let toks = lex("let s = \"a\nb\";\nnext");
+        let next = toks.iter().find(|t| t.text == "next").expect("next token");
+        assert_eq!(next.line, 3);
+    }
+}

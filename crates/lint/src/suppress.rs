@@ -1,0 +1,197 @@
+//! `// lint: allow(<rule>)` suppression comments.
+//!
+//! A suppression comment silences one rule on the line it sits on and
+//! on the line directly below it, so both trailing and preceding-line
+//! placement work:
+//!
+//! ```text
+//! let t = host_clock();          // lint: allow(no-wall-clock)
+//!
+//! // lint: allow(no-unwrap)
+//! let v = table.get(&k).unw…();
+//! ```
+//!
+//! Several rules may share one comment: `lint: allow(a, b)`. Every
+//! suppression must actually silence something — unused allows are
+//! reported, and `--deny-unused-allows` (the CI mode) makes them fail
+//! the run, so stale suppressions cannot outlive the code they excuse.
+
+use crate::lexer::Token;
+use crate::rules::{RawDiagnostic, Rule};
+
+/// One parsed suppression.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The silenced rule.
+    pub rule: Rule,
+    /// 1-based line of the suppression comment.
+    pub line: u32,
+    /// 1-based column of the comment token.
+    pub col: u32,
+    /// Set once the suppression silences at least one diagnostic.
+    pub used: bool,
+}
+
+/// A suppression that names no known rule — always an error, so a typo
+/// cannot silently disable nothing.
+#[derive(Debug, Clone)]
+pub struct BadAllow {
+    /// The unrecognized rule name.
+    pub name: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// 1-based column of the comment token.
+    pub col: u32,
+}
+
+/// Extracts every `lint: allow(…)` suppression from the full token
+/// stream (comments included). The directive must be the *start* of
+/// the comment body (`// lint: allow(x)`), so prose or doc examples
+/// that merely mention the syntax mid-sentence are never parsed as
+/// suppressions.
+pub fn collect_allows(toks: &[Token<'_>]) -> (Vec<Allow>, Vec<BadAllow>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for t in toks.iter().filter(|t| t.is_comment()) {
+        let body = t.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            bad.push(BadAllow {
+                name: args.trim().to_owned(),
+                line: t.line,
+                col: t.col,
+            });
+            continue;
+        };
+        for name in args[..close].split(',') {
+            let name = name.trim();
+            match Rule::from_id(name) {
+                Some(rule) => allows.push(Allow {
+                    rule,
+                    line: t.line,
+                    col: t.col,
+                    used: false,
+                }),
+                None => bad.push(BadAllow {
+                    name: name.to_owned(),
+                    line: t.line,
+                    col: t.col,
+                }),
+            }
+        }
+    }
+    (allows, bad)
+}
+
+/// Filters `diags` through the suppressions, marking each allow that
+/// fired. Returns the surviving diagnostics.
+pub fn apply_allows(diags: Vec<RawDiagnostic>, allows: &mut [Allow]) -> Vec<RawDiagnostic> {
+    diags
+        .into_iter()
+        .filter(|d| {
+            let mut suppressed = false;
+            for a in allows.iter_mut() {
+                if a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line) {
+                    a.used = true;
+                    suppressed = true;
+                }
+            }
+            !suppressed
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::{run_rules, test_mod_mask, Policy};
+
+    fn lint(src: &str) -> (Vec<RawDiagnostic>, Vec<Allow>, Vec<BadAllow>) {
+        let all = lex(src);
+        let (mut allows, bad) = collect_allows(&all);
+        let toks: Vec<_> = all.into_iter().filter(|t| !t.is_comment()).collect();
+        let mask = test_mod_mask(&toks);
+        let diags = run_rules(&toks, &mask, &Policy::all());
+        let kept = apply_allows(diags, &mut allows);
+        (kept, allows, bad)
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_same_line() {
+        let (kept, allows, bad) = lint("fn f() { x.unwrap(); } // lint: allow(no-unwrap)\n");
+        assert!(kept.is_empty(), "{kept:?}");
+        assert!(allows[0].used);
+        assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn preceding_line_allow_suppresses_next_line() {
+        let (kept, allows, _) = lint("// lint: allow(no-unwrap)\nfn f() { x.unwrap(); }\n");
+        assert!(kept.is_empty(), "{kept:?}");
+        assert!(allows[0].used);
+    }
+
+    #[test]
+    fn allow_does_not_reach_two_lines_down() {
+        let (kept, allows, _) = lint("// lint: allow(no-unwrap)\n\nfn f() { x.unwrap(); }\n");
+        assert_eq!(kept.len(), 1);
+        assert!(!allows[0].used);
+    }
+
+    #[test]
+    fn allow_is_rule_specific() {
+        let (kept, allows, _) = lint("// lint: allow(no-wall-clock)\nfn f() { x.unwrap(); }\n");
+        assert_eq!(kept.len(), 1, "{kept:?}");
+        assert!(!allows[0].used);
+    }
+
+    #[test]
+    fn one_comment_may_allow_several_rules() {
+        let (kept, allows, _) = lint(
+            "// lint: allow(no-unwrap, no-std-hash-collections)\n\
+             fn f(h: HashMap<u32, u32>) { h.get(&0).unwrap(); }\n",
+        );
+        assert!(kept.is_empty(), "{kept:?}");
+        assert_eq!(allows.len(), 2);
+        assert!(allows.iter().all(|a| a.used));
+    }
+
+    #[test]
+    fn unknown_rule_is_reported() {
+        let (_, _, bad) = lint("// lint: allow(no-such-rule)\nfn f() {}\n");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, "no-such-rule");
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let (kept, allows, bad) = lint("// plain comment about allow lists\nfn f() {}\n");
+        assert!(kept.is_empty() && allows.is_empty() && bad.is_empty());
+    }
+
+    #[test]
+    fn mid_comment_mentions_are_not_directives() {
+        // Prose documenting the syntax (as this crate's own docs do)
+        // must not parse as a suppression.
+        let (kept, allows, bad) = lint(
+            "//! The `// lint: allow(no-unwrap)` escape hatch.\n\
+             fn f() { x.unwrap(); }\n",
+        );
+        assert_eq!(kept.len(), 1, "{kept:?}");
+        assert!(allows.is_empty() && bad.is_empty());
+    }
+
+    #[test]
+    fn block_comment_directive_works() {
+        let (kept, allows, bad) = lint("/* lint: allow(no-unwrap) */\nfn f() { x.unwrap(); }\n");
+        assert!(kept.is_empty(), "{kept:?}");
+        assert!(allows[0].used && bad.is_empty());
+    }
+}

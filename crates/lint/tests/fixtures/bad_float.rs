@@ -1,0 +1,6 @@
+//! Known-bad fixture for no-float-in-sim-path: violations at 4:20
+//! (f64 type), 5:11 (float literal), and 5:20 (f64 cast target).
+
+pub fn stretch(ns: f64) -> u64 {
+    (ns * 1.87) as f64 as u64
+}

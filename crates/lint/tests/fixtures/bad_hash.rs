@@ -1,0 +1,9 @@
+//! Known-bad fixture for no-std-hash-collections: violations at
+//! 4:24, 4:33, 7:15, and 8:14.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct State {
+    pub seen: HashSet<u32>,
+    pub map: HashMap<u32, u32>,
+}

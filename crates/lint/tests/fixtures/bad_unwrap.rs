@@ -1,0 +1,6 @@
+//! Known-bad fixture for no-unwrap: one violation at 4:25.
+
+pub fn lookup(v: Option<u32>) -> u32 {
+    let inner = Some(v).unwrap();
+    inner.unwrap_or(0)
+}

@@ -1,0 +1,9 @@
+//! Known-bad fixture for no-wall-clock: violations at 6:13 and 7:13.
+
+use std::time::{Instant, SystemTime};
+
+pub fn now() -> (Instant, SystemTime) {
+    let a = Instant::now();
+    let b = SystemTime::now();
+    (a, b)
+}

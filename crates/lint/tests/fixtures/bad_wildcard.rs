@@ -1,0 +1,14 @@
+//! Known-bad fixture for no-wildcard-match-on-protocol-enums: one
+//! violation at 12:9 (the `_ =>` arm of a QpState match).
+
+pub enum QpState {
+    Rts,
+    Error,
+}
+
+pub fn is_usable(s: QpState) -> bool {
+    match s {
+        QpState::Rts => true,
+        _ => false,
+    }
+}

@@ -1,0 +1,16 @@
+//! Known-clean fixture for no-float-in-sim-path: integer per-mille
+//! arithmetic, ranges (not float literals), and idents that merely
+//! contain "f64".
+
+pub fn stretch_permille(ns: u64) -> u64 {
+    (ns * 1870 + 500) / 1000
+}
+
+pub fn sum_to_ten() -> u64 {
+    // `0..10` must lex as a range, not the float `0.`.
+    (0..10).sum()
+}
+
+pub fn as_secs_f64_name_is_fine(ns: u64) -> u64 {
+    ns
+}

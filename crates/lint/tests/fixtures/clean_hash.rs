@@ -1,0 +1,10 @@
+//! Known-clean fixture for no-std-hash-collections: the sanctioned
+//! ordered collections, plus a comment mentioning HashMap.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct State {
+    // Deliberately not a HashMap: iteration order must be stable.
+    pub seen: BTreeSet<u32>,
+    pub map: BTreeMap<u32, u32>,
+}

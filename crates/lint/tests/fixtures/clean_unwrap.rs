@@ -1,0 +1,17 @@
+//! Known-clean fixture for no-unwrap: mentions of the needle in
+//! comments, strings, and `unwrap_or`-family calls must not fire.
+
+pub fn lookup(v: Option<u32>) -> u32 {
+    // A comment may say x.unwrap() freely.
+    let doc = "strings may say x.unwrap() too";
+    v.unwrap_or(doc.len() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

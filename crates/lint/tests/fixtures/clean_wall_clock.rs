@@ -1,0 +1,11 @@
+//! Known-clean fixture for no-wall-clock: a local `now` function and
+//! prose mentions are fine; only `Instant::now`/`SystemTime::now`
+//! token sequences fire.
+
+pub fn now() -> u64 {
+    42 // sim time comes from the event engine, not the host clock
+}
+
+pub fn later() -> u64 {
+    now() + 1
+}

@@ -1,0 +1,30 @@
+//! Known-clean fixture for no-wildcard-match-on-protocol-enums:
+//! exhaustive protocol matches, wildcard matches over non-protocol
+//! types, and nested `_` inside tuple patterns.
+
+pub enum QpState {
+    Rts,
+    Error,
+}
+
+pub fn is_usable(s: QpState) -> bool {
+    match s {
+        QpState::Rts => true,
+        QpState::Error => false,
+    }
+}
+
+pub fn wildcard_on_plain_enums_is_fine(v: Option<u32>) -> u32 {
+    match v {
+        Some(x) => x,
+        _ => 0,
+    }
+}
+
+pub fn nested_underscore_is_fine(s: QpState, flag: bool) -> u32 {
+    match (s, flag) {
+        (QpState::Rts, _) => 1,
+        (QpState::Error, true) => 2,
+        (QpState::Error, false) => 3,
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture for suppression handling: a used trailing allow (line 5), a
+//! used preceding-line allow (lines 7–8), and an unused allow (line 11).
+
+pub fn escape_hatches(v: Option<u32>) -> u32 {
+    let a = Some(v).unwrap(); // lint: allow(no-unwrap)
+
+    // lint: allow(no-unwrap)
+    let b = a.unwrap();
+
+    // lint: allow(no-wall-clock)
+    a.unwrap_or(0) + b
+}

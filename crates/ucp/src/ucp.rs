@@ -11,7 +11,7 @@
 //! RNR NAK delay of 0.96 ms and `C_ack = 18` (§VII).
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use ibsim_event::SimTime;
@@ -50,7 +50,7 @@ impl Default for UcpConfig {
         UcpConfig {
             odp: true,
             cack: 18,
-            min_rnr_delay: SimTime::from_ms_f64(0.96),
+            min_rnr_delay: SimTime::from_us(960),
             rndv_threshold: 4096,
             eager_slots: 32,
             eager_slot_bytes: 4096,
@@ -61,7 +61,7 @@ impl Default for UcpConfig {
 }
 
 /// Message direction within an endpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 enum Dir {
     AToB,
     BToA,
@@ -177,16 +177,16 @@ struct Inner {
     eps: Vec<EpState>,
     next_wr: u64,
     next_req: u64,
-    wr_roles: HashMap<(HostId, WrId), WrRole>,
+    wr_roles: BTreeMap<(HostId, WrId), WrRole>,
     /// Out-of-band message headers, in per-(ep, dir) send order.
-    meta_q: HashMap<(EpId, Dir), VecDeque<MsgMeta>>,
-    posted_recvs: HashMap<HostId, Vec<PostedRecv>>,
-    unexpected: HashMap<(HostId, Tag), VecDeque<Unexpected>>,
-    completed: HashMap<HostId, Vec<UcpCompletion>>,
+    meta_q: BTreeMap<(EpId, Dir), VecDeque<MsgMeta>>,
+    posted_recvs: BTreeMap<HostId, Vec<PostedRecv>>,
+    unexpected: BTreeMap<(HostId, Tag), VecDeque<Unexpected>>,
+    completed: BTreeMap<HostId, Vec<UcpCompletion>>,
     /// Continuations to invoke when a request completes.
-    callbacks: HashMap<ReqId, Callback>,
+    callbacks: BTreeMap<ReqId, Callback>,
     /// Requests that already completed (for late `when_done` registration).
-    done: HashMap<ReqId, UcpCompletion>,
+    done: BTreeMap<ReqId, UcpCompletion>,
     /// Completions whose callbacks must fire once borrows are released.
     fired: Vec<(Callback, UcpCompletion)>,
     open_reqs: u64,
@@ -289,13 +289,13 @@ impl Ucp {
                 eps: Vec::new(),
                 next_wr: 0,
                 next_req: 0,
-                wr_roles: HashMap::new(),
-                meta_q: HashMap::new(),
-                posted_recvs: HashMap::new(),
-                unexpected: HashMap::new(),
-                completed: HashMap::new(),
-                callbacks: HashMap::new(),
-                done: HashMap::new(),
+                wr_roles: BTreeMap::new(),
+                meta_q: BTreeMap::new(),
+                posted_recvs: BTreeMap::new(),
+                unexpected: BTreeMap::new(),
+                completed: BTreeMap::new(),
+                callbacks: BTreeMap::new(),
+                done: BTreeMap::new(),
                 fired: Vec::new(),
                 open_reqs: 0,
                 tick_scheduled: false,

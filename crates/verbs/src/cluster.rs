@@ -1,7 +1,7 @@
 //! The cluster: hosts, NICs, drivers and the fabric, glued to the event
 //! engine. This is the user-facing verbs API of the simulator.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ibsim_event::{Engine, SimTime};
 use ibsim_fabric::{Capture, Delivery, Direction, Fabric, Lid, LinkSpec, Xorshift64Star};
@@ -104,7 +104,7 @@ pub struct Cluster {
     mems: Vec<Memory>,
     drivers: Vec<Driver>,
     captures: Vec<Capture<Packet>>,
-    lid_to_host: HashMap<Lid, HostId>,
+    lid_to_host: BTreeMap<Lid, HostId>,
     rng: Xorshift64Star,
     /// Invoked (with the engine) whenever completions are pushed to any
     /// CQ; upper layers use it to schedule their progress.
@@ -136,7 +136,7 @@ impl Cluster {
             mems: Vec::new(),
             drivers: Vec::new(),
             captures: Vec::new(),
-            lid_to_host: HashMap::new(),
+            lid_to_host: BTreeMap::new(),
             rng: Xorshift64Star::new(seed),
             cq_waker: None,
             stats: ClusterStats::default(),
@@ -567,8 +567,9 @@ impl Cluster {
                 // timer armed before a recovery storm still observes the
                 // lengthened delay. Arming through the keyed slot replaces
                 // any pending timeout event in place.
-                let load = nic.recovery_count().saturating_sub(1) as f64;
-                let delay = t_o.mul_f64(1.0 + nic.profile.timer_load_coeff * load);
+                let load = nic.recovery_count().saturating_sub(1) as u64;
+                let delay =
+                    t_o.mul_permille(1000 + nic.profile.timer_load_coeff_pm.saturating_mul(load));
                 let armed_at = eng.now();
                 eng.schedule_keyed_in(
                     TimerFamily::Ack.key(host, qpn, 0),
@@ -661,8 +662,9 @@ impl Cluster {
         t_o: SimTime,
     ) {
         let nic = &self.nics[host.0];
-        let load = nic.recovery_count().saturating_sub(1) as f64;
-        let due = armed_at + t_o.mul_f64(1.0 + nic.profile.timer_load_coeff * load);
+        let load = nic.recovery_count().saturating_sub(1) as u64;
+        let due = armed_at
+            + t_o.mul_permille(1000 + nic.profile.timer_load_coeff_pm.saturating_mul(load));
         if eng.now() < due {
             self.telemetry.counter_add(
                 "timer.ack_deferred",

@@ -121,12 +121,14 @@ pub struct DeviceProfile {
     /// `c0`: the vendor-defined minimum acceptable Local ACK Timeout
     /// (§II-C). Fig. 2 estimates 12 for ConnectX-5, 16 for all others.
     pub min_cack: u8,
-    /// Actual timeout over timer interval: `T_o = timeout_stretch · T_tr`.
-    /// The spec allows `T_tr ≤ T_o < 4·T_tr`; Fig. 2 shows ≈1.8–1.9.
-    pub timeout_stretch: f64,
-    /// Actual RNR wait over the advertised minimal RNR NAK delay. Fig. 1
-    /// measures ≈4.5 ms of real wait for a 1.28 ms advertised delay.
-    pub rnr_stretch: f64,
+    /// Actual timeout over timer interval, in per-mille:
+    /// `T_o = (timeout_stretch_pm / 1000) · T_tr`. The spec allows
+    /// `T_tr ≤ T_o < 4·T_tr`; Fig. 2 shows ≈1.8–1.9 (1800–1900 ‰).
+    pub timeout_stretch_pm: u64,
+    /// Actual RNR wait over the advertised minimal RNR NAK delay, in
+    /// per-mille. Fig. 1 measures ≈4.5 ms of real wait for a 1.28 ms
+    /// advertised delay (3500 ‰ of the advertised value plus scheduling).
+    pub rnr_stretch_pm: u64,
     /// The packet-damming hardware flaw (§V): ConnectX-4 recovery forgets
     /// successor requests first transmitted during a fault-recovery
     /// window. Vendor feedback says it is CX-4-specific and "vanishes in
@@ -165,9 +167,9 @@ pub struct DeviceProfile {
     /// Per-packet NIC receive-side processing overhead.
     pub recv_overhead: SimTime,
     /// Extra relative lengthening of the ACK timeout per QP concurrently
-    /// in fault recovery, modeling the client-side timer-management load
-    /// the paper observed with many QPs (§VI-C).
-    pub timer_load_coeff: f64,
+    /// in fault recovery, in per-mille per QP, modeling the client-side
+    /// timer-management load the paper observed with many QPs (§VI-C).
+    pub timer_load_coeff_pm: u64,
 }
 
 impl DeviceProfile {
@@ -178,8 +180,8 @@ impl DeviceProfile {
             model,
             link,
             min_cack: 16,
-            timeout_stretch: 1.87,
-            rnr_stretch: 3.5,
+            timeout_stretch_pm: 1870,
+            rnr_stretch_pm: 3500,
             damming: false,
             ghost_lookback: SimTime::from_us(2),
             odp_client_retx: SimTime::from_us(500),
@@ -191,7 +193,7 @@ impl DeviceProfile {
             irq_burst: 512,
             send_overhead: SimTime::from_ns(150),
             recv_overhead: SimTime::from_ns(150),
-            timer_load_coeff: 0.002,
+            timer_load_coeff_pm: 2,
         }
     }
 
@@ -217,7 +219,7 @@ impl DeviceProfile {
     pub fn connectx5() -> Self {
         DeviceProfile {
             min_cack: 12,
-            timeout_stretch: 1.79,
+            timeout_stretch_pm: 1790,
             damming: false,
             ..Self::base(DeviceModel::ConnectX5, LinkSpec::edr())
         }
@@ -249,13 +251,14 @@ impl DeviceProfile {
 
     /// The actual time-to-timeout `T_o` (what Fig. 2 measures).
     pub fn t_o(&self, cack: u8) -> Option<SimTime> {
-        self.t_tr(cack).map(|t| t.mul_f64(self.timeout_stretch))
+        self.t_tr(cack)
+            .map(|t| t.mul_permille(self.timeout_stretch_pm))
     }
 
     /// The real wait a requester performs after receiving an RNR NAK
     /// advertising `delay` (Fig. 1: ≈4.5 ms for 1.28 ms advertised).
     pub fn rnr_actual(&self, delay: SimTime) -> SimTime {
-        delay.mul_f64(self.rnr_stretch)
+        delay.mul_permille(self.rnr_stretch_pm)
     }
 }
 

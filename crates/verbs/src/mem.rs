@@ -6,7 +6,7 @@
 //! registration time) or *ODP* (pages start unmapped; access triggers
 //! network page faults, §III).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::types::{MrKey, PAGE_SIZE};
@@ -30,7 +30,7 @@ use crate::types::{MrKey, PAGE_SIZE};
 /// ```
 #[derive(Debug, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8]>>,
+    pages: BTreeMap<u64, Box<[u8]>>,
     next_alloc: u64,
 }
 
@@ -38,7 +38,7 @@ impl Memory {
     /// Creates an empty memory.
     pub fn new() -> Self {
         Memory {
-            pages: HashMap::new(),
+            pages: BTreeMap::new(),
             // Start allocations away from address zero so that a zero
             // address is always a bug, never a valid buffer.
             next_alloc: 0x1000,

@@ -1,7 +1,7 @@
 //! The RNIC: QPs, memory regions, completion queue and flood bookkeeping
 //! for one host.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use ibsim_fabric::Lid;
 
@@ -21,17 +21,17 @@ pub struct Nic {
     /// Hardware/driver model.
     pub profile: DeviceProfile,
     /// Registered memory regions, keyed by lkey/rkey.
-    pub mrs: HashMap<MrKey, MemRegion>,
-    qps: HashMap<Qpn, Qp>,
+    pub mrs: BTreeMap<MrKey, MemRegion>,
+    qps: BTreeMap<Qpn, Qp>,
     /// QPs in creation order, for deterministic iteration.
     qp_order: Vec<Qpn>,
     next_qpn: u32,
     next_mr: u32,
     cq: VecDeque<Completion>,
     /// Requester-side QPs waiting for a page fault, in stall order.
-    fault_waiters: HashMap<(MrKey, usize), Vec<Qpn>>,
+    fault_waiters: BTreeMap<(MrKey, usize), Vec<Qpn>>,
     /// Number of QPs currently in fault recovery (timer-load model).
-    recovery_members: std::collections::HashSet<Qpn>,
+    recovery_members: std::collections::BTreeSet<Qpn>,
 }
 
 impl Nic {
@@ -41,14 +41,14 @@ impl Nic {
             host,
             lid,
             profile,
-            mrs: HashMap::new(),
-            qps: HashMap::new(),
+            mrs: BTreeMap::new(),
+            qps: BTreeMap::new(),
             qp_order: Vec::new(),
             next_qpn: 1,
             next_mr: 1,
             cq: VecDeque::new(),
-            fault_waiters: HashMap::new(),
-            recovery_members: std::collections::HashSet::new(),
+            fault_waiters: BTreeMap::new(),
+            recovery_members: std::collections::BTreeSet::new(),
         }
     }
 
@@ -89,7 +89,7 @@ impl Nic {
     pub fn split_mut(
         &mut self,
         qpn: Qpn,
-    ) -> Option<(&mut Qp, &mut HashMap<MrKey, MemRegion>, &DeviceProfile)> {
+    ) -> Option<(&mut Qp, &mut BTreeMap<MrKey, MemRegion>, &DeviceProfile)> {
         let qp = self.qps.get_mut(&qpn)?;
         Some((qp, &mut self.mrs, &self.profile))
     }

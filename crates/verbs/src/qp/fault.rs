@@ -8,7 +8,7 @@
 //! page states and emit fault effects with the exact push order the
 //! golden traces pin.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use ibsim_event::SimTime;
 
@@ -23,7 +23,7 @@ use super::effects::Effects;
 /// write it.
 #[derive(Debug, Default)]
 pub(super) struct FaultTracker {
-    stale_pages: HashSet<(MrKey, usize)>,
+    stale_pages: BTreeSet<(MrKey, usize)>,
 }
 
 impl FaultTracker {

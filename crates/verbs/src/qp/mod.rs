@@ -45,7 +45,7 @@ mod wire;
 pub use effects::{Effects, TimerEffects, TimerFamily};
 pub use state::QpState;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use ibsim_event::SimTime;
@@ -89,7 +89,7 @@ impl Default for QpConfig {
             cack: 1,
             retry_count: 7,
             rnr_retry: 7,
-            min_rnr_delay: SimTime::from_ms_f64(1.28),
+            min_rnr_delay: SimTime::from_us(1_280),
             mtu: crate::types::DEFAULT_MTU,
             max_rd_atomic: 16,
         }
@@ -130,7 +130,7 @@ pub struct QpEnv<'a> {
     /// Host memory.
     pub mem: &'a mut Memory,
     /// This NIC's registered memory regions.
-    pub mrs: &'a mut HashMap<MrKey, MemRegion>,
+    pub mrs: &'a mut BTreeMap<MrKey, MemRegion>,
     /// This NIC's device profile.
     pub profile: &'a DeviceProfile,
 }

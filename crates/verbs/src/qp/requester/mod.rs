@@ -10,7 +10,7 @@
 
 mod response;
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use ibsim_event::SimTime;
 
@@ -51,7 +51,7 @@ pub(super) struct Requester {
     ack_gen: u64,
     recovery: Recovery,
     /// Local source pages whose faults block further transmission.
-    tx_blocked: HashSet<(MrKey, usize)>,
+    tx_blocked: BTreeSet<(MrKey, usize)>,
     /// Protocol counters.
     pub(super) stats: ReqStats,
 }
@@ -67,7 +67,7 @@ impl Requester {
             timer_gen: 0,
             ack_gen: 0,
             recovery: Recovery::default(),
-            tx_blocked: HashSet::new(),
+            tx_blocked: BTreeSet::new(),
             stats: ReqStats::default(),
         }
     }
@@ -149,7 +149,7 @@ impl Requester {
         let resp_packets = match wr.op {
             WrOp::Read { len, .. } => crate::types::packets_for(len, ctx.cfg.mtu),
             WrOp::Atomic { .. } => 1,
-            _ => 0,
+            WrOp::Write { .. } | WrOp::Send { .. } => 0,
         };
         let wqe = SendWqe {
             id: wr.id,

@@ -6,7 +6,7 @@
 //! every packet on the QP until the faulted request is served again — is
 //! the responder-side half of packet damming.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::mem::{MemRegion, MrMode};
 use crate::packet::{NakKind, Packet, PacketKind, SegPos};
@@ -165,7 +165,13 @@ impl Responder {
                 rkey, addr, data, ..
             } => (*rkey, *addr, (data.len() as u32).max(1)),
             PacketKind::AtomicRequest { rkey, addr, .. } => (*rkey, *addr, 8),
-            _ => return,
+            // SENDs fault through posted-receive buffers, not rkeys;
+            // responses and (N)ACKs never carry a memory target.
+            PacketKind::Send { .. }
+            | PacketKind::ReadResponse { .. }
+            | PacketKind::AtomicResponse { .. }
+            | PacketKind::Ack
+            | PacketKind::Nak(_) => return,
         };
         let Some(mr) = env.mrs.get_mut(&rkey) else {
             return;
@@ -199,7 +205,7 @@ impl Responder {
         &mut self,
         ctx: &QpCtx,
         fx: &mut Effects,
-        mrs: &mut HashMap<MrKey, MemRegion>,
+        mrs: &mut BTreeMap<MrKey, MemRegion>,
         span: (MrKey, u64, u32),
         psn: Psn,
     ) {
@@ -226,7 +232,12 @@ impl Responder {
             PacketKind::WriteRequest { .. } => self.execute_write(ctx, env, fx, pkt),
             PacketKind::Send { .. } => self.execute_send(ctx, env, fx, pkt),
             PacketKind::AtomicRequest { .. } => self.execute_atomic(ctx, env, fx, pkt),
-            _ => unreachable!("responder only sees requests"),
+            PacketKind::ReadResponse { .. }
+            | PacketKind::AtomicResponse { .. }
+            | PacketKind::Ack
+            | PacketKind::Nak(_) => {
+                unreachable!("responder only sees requests")
+            }
         }
     }
 
@@ -445,7 +456,14 @@ impl Responder {
                 // Idempotent re-ACK; data is not re-applied.
                 self.send_ack(ctx, fx, pkt.psn);
             }
-            _ => {}
+            // Duplicate non-final WRITE/SEND segments are absorbed
+            // silently; responses and (N)ACKs are not requests.
+            PacketKind::WriteRequest { .. }
+            | PacketKind::Send { .. }
+            | PacketKind::ReadResponse { .. }
+            | PacketKind::AtomicResponse { .. }
+            | PacketKind::Ack
+            | PacketKind::Nak(_) => {}
         }
     }
 

@@ -538,7 +538,7 @@ impl SendWqe {
     pub(crate) fn is_done(&self) -> bool {
         match self.op {
             WrOp::Read { .. } | WrOp::Atomic { .. } => self.recv_segments == self.resp_packets,
-            _ => self.acked,
+            WrOp::Write { .. } | WrOp::Send { .. } => self.acked,
         }
     }
 

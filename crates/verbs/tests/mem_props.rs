@@ -21,7 +21,7 @@ fn sparse_memory_roundtrips() {
             })
             .collect();
         let mut mem = Memory::new();
-        let mut model: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        let mut model: std::collections::BTreeMap<u64, u8> = std::collections::BTreeMap::new();
         for (addr, data) in &writes {
             mem.write(*addr, data);
             for (i, b) in data.iter().enumerate() {

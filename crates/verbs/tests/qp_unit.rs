@@ -1,7 +1,7 @@
 //! Direct unit tests of the QP state machine through the outbox
 //! interface, without the event engine: protocol rules in isolation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ibsim_event::SimTime;
 use ibsim_fabric::{Lid, LinkSpec};
@@ -12,7 +12,7 @@ use ibsim_verbs::{
 
 struct Host {
     mem: Memory,
-    mrs: HashMap<MrKey, MemRegion>,
+    mrs: BTreeMap<MrKey, MemRegion>,
     profile: DeviceProfile,
 }
 
@@ -20,7 +20,7 @@ impl Host {
     fn new(profile: DeviceProfile) -> Host {
         Host {
             mem: Memory::new(),
-            mrs: HashMap::new(),
+            mrs: BTreeMap::new(),
             profile,
         }
     }

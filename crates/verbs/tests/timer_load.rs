@@ -13,9 +13,9 @@ use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, Qpn, ReadWr};
 /// one storm visibly stretches `T_o`).
 fn test_device() -> DeviceProfile {
     DeviceProfile {
-        min_cack: 5,          // T_tr = 4.096 µs · 2^5 ≈ 131 µs
-        timeout_stretch: 1.0, // keep the arithmetic legible: T_o = T_tr
-        timer_load_coeff: 1.0,
+        min_cack: 5,              // T_tr = 4.096 µs · 2^5 ≈ 131 µs
+        timeout_stretch_pm: 1000, // keep the arithmetic legible: T_o = T_tr
+        timer_load_coeff_pm: 1000,
         ..DeviceProfile::connectx4(LinkSpec::fdr())
     }
 }
