@@ -35,6 +35,14 @@ cargo run -q --offline --release --example flood_probe
 echo "==> qpsweep smoke (dead-event pops must stay under 5% of executed)"
 cargo run -q --offline --release -p ibsim-bench --bin qpsweep -- --quick
 
+echo "==> perfsuite smoke (schema-valid artifact + non-zero throughput;"
+echo "    deliberately no wall-time gate so shared hardware cannot flake)"
+cargo run -q --offline --release -p ibsim-bench --bin perfsuite -- --quick --out target/BENCH_smoke.json
+grep -q '"schema": "ibsim-perfsuite/v1"' target/BENCH_smoke.json
+for key in engine fabric scenario_corpus qpsweep; do
+    grep -q "\"$key\"" target/BENCH_smoke.json
+done
+
 echo "==> scenario conformance (paper corpus + 256-seed fuzz through the"
 echo "    differential oracle, 1-vs-4-worker hash identity, minimizer demo)"
 cargo run -q --offline --release -p ibsim-bench --bin scenario -- --workers 4 --fuzz 256 --minimize-demo

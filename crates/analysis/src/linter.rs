@@ -428,6 +428,63 @@ mod tests {
     }
 
     #[test]
+    fn go_back_n_across_psn_wrap_is_clean() {
+        // The fresh-request window walks across the 24-bit boundary
+        // (…, 0xFF_FFFE, 0xFF_FFFF, 0, 1). The packet at the boundary is
+        // dropped, the responder NAKs naming it, and go-back-N replays
+        // the whole straddling window at one instant. None of that may
+        // trip the monotonicity, contiguity or retransmit rules: the
+        // wrap is ordinary PSN arithmetic, not a protocol event.
+        let m = Psn::MODULUS;
+        let mut cap = Capture::new();
+        cap.enable();
+        tx(&mut cap, 1_000, read_req(m - 2, 1));
+        tx_dropped(&mut cap, 2_000, read_req(m - 1, 1));
+        tx(&mut cap, 3_000, read_req(0, 1)); // fresh wrap: no hole, no reuse
+        tx(&mut cap, 4_000, read_req(1, 1));
+        rx(&mut cap, 6_000, nak_seq(m - 1));
+        tx_retx(&mut cap, 7_000, read_req(m - 1, 1));
+        tx_retx(&mut cap, 7_000, read_req(0, 1));
+        tx_retx(&mut cap, 7_000, read_req(1, 1));
+        rx(&mut cap, 9_000, ack(1));
+        let report = lint(&cap);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn multi_packet_read_span_across_psn_wrap_is_clean() {
+        // One READ whose response segments reserve PSNs straddling the
+        // boundary: 0xFF_FFFE, 0xFF_FFFF, 0, 1 — the next fresh request
+        // must pick up at 2 without a contiguity finding.
+        let m = Psn::MODULUS;
+        let mut cap = Capture::new();
+        cap.enable();
+        tx(&mut cap, 1_000, read_req(m - 2, 4));
+        tx(&mut cap, 2_000, read_req(2, 1));
+        assert!(lint(&cap).is_clean());
+    }
+
+    #[test]
+    fn psn_hole_across_wrap_is_still_flagged() {
+        // Wraparound must not excuse real holes: jumping 0xFF_FFFF → 3
+        // skips 0..=2 and is a contiguity violation like any other.
+        let m = Psn::MODULUS;
+        let mut cap = Capture::new();
+        cap.enable();
+        tx(&mut cap, 1_000, read_req(m - 1, 1));
+        tx(&mut cap, 2_000, read_req(3, 1));
+        let report = lint(&cap);
+        assert_eq!(report.count(RuleId::PsnContiguity), 1, "{report}");
+        let f = report.by_rule(RuleId::PsnContiguity).next().unwrap();
+        assert_eq!(f.psn, Some(3));
+        // ...and stale pre-wrap PSNs reappearing as fresh requests are
+        // monotonicity violations, not fresh window members.
+        tx(&mut cap, 3_000, read_req(m - 1, 1));
+        let report = lint(&cap);
+        assert_eq!(report.count(RuleId::PsnMonotonicity), 1, "{report}");
+    }
+
+    #[test]
     fn seq_nak_without_loss_is_flagged() {
         let mut cap = Capture::new();
         cap.enable();

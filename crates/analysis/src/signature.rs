@@ -156,7 +156,10 @@ pub fn detect_flood_signature(cap: &Capture<Packet>, cfg: &LintConfig) -> LintRe
         }
         let (src_qp, dst_qp, psn) = key;
         let resp = responses.get(&key).copied().unwrap_or(0);
-        let span = *times.last().expect("non-empty") - times[0];
+        let span = *times
+            .last()
+            .expect("invariant: times non-empty, key has at least one event")
+            - times[0];
         report.findings.push(Finding {
             rule: RuleId::FloodSignature,
             severity: Severity::Violation,

@@ -10,8 +10,10 @@ fn main() {
         "table1", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig12",
         "table13", "ablation", "ibperf",
     ];
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
+    let exe = std::env::current_exe().expect("invariant: a running binary knows its own path");
+    let dir = exe
+        .parent()
+        .expect("invariant: a binary path has a parent directory");
     for bin in bins {
         println!("\n############ {bin} ############");
         let mut cmd = Command::new(dir.join(bin));

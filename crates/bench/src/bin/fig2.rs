@@ -29,7 +29,9 @@ fn main() {
         for c in &curves {
             print!(",{:.4}", c[i].t_o.as_secs_f64());
         }
-        let t_tr = ibsim_verbs::t_tr(cack).expect("cack >= 1").as_secs_f64();
+        let t_tr = ibsim_verbs::t_tr(cack)
+            .expect("invariant: sweep range keeps cack >= 1")
+            .as_secs_f64();
         println!(",{t_tr:.6},{:.6}", 4.0 * t_tr);
     }
 

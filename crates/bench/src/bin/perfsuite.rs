@@ -1,0 +1,305 @@
+//! The perf trajectory suite: a fixed, seeded workload matrix whose
+//! wall-clock results are pinned in `BENCH_<pr>.json` so every later PR
+//! has a baseline to beat (ROADMAP "Raw speed").
+//!
+//! ```text
+//! cargo run --release -p ibsim-bench --bin perfsuite             # full, writes BENCH_7.json
+//! cargo run --release -p ibsim-bench --bin perfsuite -- --quick  # smoke, writes target/BENCH_quick.json
+//! cargo run --release -p ibsim-bench --bin perfsuite -- --out path.json
+//! ```
+//!
+//! Four metric families, every workload seeded and deterministic (only
+//! the wall-clock readings vary run to run):
+//!
+//! 1. **engine**: raw event churn through one `Engine` — 64 synthetic
+//!    flows, each tick re-scheduling itself, re-arming a keyed timer
+//!    (replace churn) and cancelling a decoy event (physical-removal
+//!    churn). Reports events/sec.
+//! 2. **fabric**: packets/sec through `Fabric::transit` — 8 hosts, a
+//!    cycling src/dst pattern, 256 B frames, advancing simulated time so
+//!    per-port serialization stays in steady state.
+//! 3. **scenario_corpus**: single-worker wall time of the paper-derived
+//!    differential-oracle corpus, plus a combined trace-hash so the
+//!    artifact also witnesses determinism.
+//! 4. **qpsweep**: the §VI flood rungs 64 → 4096 QPs (quick: 64 → 256)
+//!    via the same [`ibsim_bench::flood`] workload the `qpsweep` CI gate
+//!    runs, reporting per-QP wall time per rung.
+//!
+//! The suite validates its own output — schema fields present, non-zero
+//! throughput everywhere, zero oracle violations, zero dead pops, full
+//! completion counts — and exits non-zero on any miss, so CI can run
+//! `perfsuite --quick` as a smoke stage with no wall-time gate.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ibsim_bench::flood::{run_flood_rung, FloodRung, SHARD_QPS};
+use ibsim_bench::json::JsonValue;
+use ibsim_bench::{header, quick_mode, row};
+use ibsim_event::{Engine, SimTime, TimerKey};
+use ibsim_fabric::{Delivery, Fabric, LinkSpec};
+use ibsim_scenario::{paper_corpus, run_corpus};
+
+/// The PR number this artifact pins; also names the default output file.
+const PR: u64 = 7;
+
+/// Synthetic world for the engine-churn workload: a shared tick budget.
+struct ChurnWorld {
+    budget: u64,
+}
+
+/// One churn tick: consume budget, re-arm this flow's keyed timer
+/// (replacing the previous arm), schedule-and-cancel a decoy, and
+/// re-schedule the tick. Mirrors the schedule/replace/cancel mix a
+/// protocol QP puts on the engine, without any transport logic.
+fn churn_tick(eng: &mut Engine<ChurnWorld>, flow: u64) {
+    eng.schedule_in(SimTime::from_ns(100 + flow), move |w, eng| {
+        if w.budget == 0 {
+            return;
+        }
+        w.budget -= 1;
+        eng.schedule_keyed_in(TimerKey(flow, 0), SimTime::from_us(100), |_, _| {});
+        let decoy = eng.schedule_in(SimTime::from_us(50), |_, _| {});
+        eng.cancel(decoy);
+        churn_tick(eng, flow);
+    });
+}
+
+/// Family 1: events/sec through the engine. Returns (executed, wall s).
+fn engine_churn(ticks: u64) -> (u64, f64) {
+    let started = Instant::now();
+    let mut eng: Engine<ChurnWorld> = Engine::new();
+    let mut world = ChurnWorld { budget: ticks };
+    for flow in 0..64 {
+        churn_tick(&mut eng, flow);
+    }
+    eng.run(&mut world);
+    (eng.executed_events(), started.elapsed().as_secs_f64())
+}
+
+/// Family 2: packets/sec through the fabric. Returns (delivered, wall s).
+fn fabric_packets(frames: u64) -> (u64, f64) {
+    let started = Instant::now();
+    let mut fabric = Fabric::new(LinkSpec::fdr());
+    let hosts: Vec<_> = (0..8).map(|i| fabric.add_host(&format!("h{i}"))).collect();
+    let mut delivered = 0u64;
+    for i in 0..frames {
+        let src = hosts[(i % 8) as usize];
+        let dst = hosts[((i + 3) % 8) as usize];
+        // 50 ns per frame keeps each port's serialization queue in
+        // steady state (a 256 B FDR frame serializes in ~38 ns and each
+        // port sources every 8th frame).
+        match fabric.transit(SimTime::from_ns(i * 50), src, dst, 256) {
+            Delivery::Deliver { .. } => delivered += 1,
+            Delivery::Dropped(_) => {}
+        }
+    }
+    (delivered, started.elapsed().as_secs_f64())
+}
+
+/// Combined FNV-1a over the corpus trace hashes, in input order.
+fn combine_hashes(hashes: impl IntoIterator<Item = u64>) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for h in hashes {
+        for b in h.to_le_bytes() {
+            acc ^= b as u64;
+            acc = acc.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    acc
+}
+
+fn arg_out() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let quick = quick_mode();
+    let out_path = arg_out().unwrap_or_else(|| {
+        if quick {
+            "target/BENCH_quick.json".to_owned()
+        } else {
+            format!("BENCH_{PR}.json")
+        }
+    });
+    let mut failed = false;
+    fn fail(msg: String) {
+        eprintln!("FAIL: {msg}");
+    }
+
+    header("perfsuite: pinned perf trajectory");
+
+    // 1. Engine event churn.
+    let ticks = if quick { 50_000 } else { 500_000 };
+    let (engine_events, engine_wall) = engine_churn(ticks);
+    let engine_rate = engine_events as f64 / engine_wall.max(1e-9);
+    println!(
+        "engine:   {engine_events} events in {:.1} ms ({:.2} Mev/s)",
+        engine_wall * 1e3,
+        engine_rate / 1e6
+    );
+
+    // 2. Fabric packet transit.
+    let frames = if quick { 200_000 } else { 2_000_000 };
+    let (fabric_delivered, fabric_wall) = fabric_packets(frames);
+    let fabric_rate = fabric_delivered as f64 / fabric_wall.max(1e-9);
+    println!(
+        "fabric:   {fabric_delivered} packets in {:.1} ms ({:.2} Mpkt/s)",
+        fabric_wall * 1e3,
+        fabric_rate / 1e6
+    );
+    if fabric_delivered != frames {
+        fail(format!(
+            "fabric dropped {} of {frames} frames on a loss-free crossbar",
+            frames - fabric_delivered
+        ));
+        failed = true;
+    }
+
+    // 3. Scenario corpus (single worker; the scenario CI stage owns the
+    // multi-worker hash-identity gate).
+    let corpus = paper_corpus();
+    let started = Instant::now();
+    let outcomes = run_corpus(&corpus, 1);
+    let corpus_wall = started.elapsed().as_secs_f64();
+    let violations: usize = outcomes.iter().map(|o| o.violations).sum();
+    let corpus_hash = combine_hashes(outcomes.iter().map(|o| o.hash));
+    println!(
+        "corpus:   {} scenarios in {:.1} ms, {} violation(s), hash {corpus_hash:#018x}",
+        outcomes.len(),
+        corpus_wall * 1e3,
+        violations
+    );
+    if violations != 0 {
+        fail(format!(
+            "{violations} oracle violation(s) in the paper corpus"
+        ));
+        failed = true;
+    }
+
+    // 4. qpsweep flood rungs.
+    let sweep: &[usize] = if quick {
+        &[64, 128, 256]
+    } else {
+        &[64, 128, 256, 512, 1024, 2048, 4096]
+    };
+    let widths = [5, 10, 9, 10, 9];
+    println!(
+        "{}",
+        row(
+            &["QPs", "events", "wall", "perQP", "deadpop"].map(str::to_owned),
+            &widths
+        )
+    );
+    let mut rungs: Vec<FloodRung> = Vec::new();
+    for &qps in sweep {
+        let r = run_flood_rung(qps);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{}", r.qps),
+                    format!("{}", r.stats.executed),
+                    format!("{:.0}ms", r.wall_secs * 1e3),
+                    format!("{:.0}us", r.wall_secs / r.qps as f64 * 1e6),
+                    format!("{}", r.stats.dead_pops),
+                ],
+                &widths
+            )
+        );
+        if r.completions != r.qps {
+            fail(format!(
+                "{} QPs but {} completions — the flood did not drain",
+                r.qps, r.completions
+            ));
+            failed = true;
+        }
+        if r.spans != r.qps / SHARD_QPS {
+            fail(format!(
+                "expected {} fault spans at {} QPs, saw {}",
+                r.qps / SHARD_QPS,
+                r.qps,
+                r.spans
+            ));
+            failed = true;
+        }
+        if r.stats.dead_pops != 0 {
+            fail(format!("{} dead pops at {} QPs", r.stats.dead_pops, r.qps));
+            failed = true;
+        }
+        rungs.push(r);
+    }
+
+    // Emit the artifact. Schema changes require a version bump here and
+    // in DESIGN 8.8.
+    let doc = JsonValue::obj()
+        .field("schema", "ibsim-perfsuite/v1")
+        .field("pr", PR)
+        .field("quick", quick)
+        .field(
+            "engine",
+            JsonValue::obj()
+                .field("events", engine_events)
+                .field("wall_ms", engine_wall * 1e3)
+                .field("events_per_sec", engine_rate),
+        )
+        .field(
+            "fabric",
+            JsonValue::obj()
+                .field("packets", fabric_delivered)
+                .field("wall_ms", fabric_wall * 1e3)
+                .field("packets_per_sec", fabric_rate),
+        )
+        .field(
+            "scenario_corpus",
+            JsonValue::obj()
+                .field("scenarios", outcomes.len())
+                .field("violations", violations)
+                .field("wall_ms", corpus_wall * 1e3)
+                .field("corpus_hash", format!("{corpus_hash:#018x}")),
+        )
+        .field(
+            "qpsweep",
+            JsonValue::arr(rungs.iter().map(|r| {
+                JsonValue::obj()
+                    .field("qps", r.qps)
+                    .field("events", r.stats.executed)
+                    .field("wall_ms", r.wall_secs * 1e3)
+                    .field("per_qp_us", r.wall_secs / r.qps as f64 * 1e6)
+                    .field("dead_pops", r.stats.dead_pops)
+            })),
+        );
+    let text = doc.pretty();
+
+    // Non-zero-throughput gate (the CI smoke contract): every family
+    // must have done real work in measurable time.
+    for (name, rate) in [("engine", engine_rate), ("fabric", fabric_rate)] {
+        if !(rate.is_finite() && rate > 0.0) {
+            fail(format!("{name} throughput is not positive: {rate}"));
+            failed = true;
+        }
+    }
+    if outcomes.is_empty() || rungs.is_empty() {
+        fail("empty corpus or empty sweep".to_owned());
+        failed = true;
+    }
+
+    if let Err(e) = std::fs::write(&out_path, &text) {
+        fail(format!("cannot write {out_path}: {e}"));
+        failed = true;
+    } else {
+        println!("\nwrote {out_path}");
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -7,7 +7,9 @@
 //! (ACK timeouts, RNR waits, 0.5 ms stall ticks). This is the workload
 //! that melted the old tombstone queue: every retransmit cancels and
 //! re-arms, and cancelled entries used to pile up until the heap was
-//! mostly corpses.
+//! mostly corpses. The rung itself lives in [`ibsim_bench::flood`], shared
+//! with the `perfsuite` trajectory artifact so the gate and the pinned
+//! numbers can never measure different workloads.
 //!
 //! ```text
 //! cargo run --release -p ibsim-bench --bin qpsweep [-- --quick]
@@ -21,77 +23,15 @@
 //!   noise at tiny scales is not a meaningful gate).
 
 use std::process::ExitCode;
-use std::time::Instant;
 
+use ibsim_bench::flood::{run_flood_rung, SHARD_QPS};
 use ibsim_bench::{header, quick_mode, row};
-use ibsim_event::{QueueStats, SimTime};
-use ibsim_fabric::LinkSpec;
-use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, ReadWr, Sim};
-
-/// QPs per client/server host pair — the paper's §VI flood scale.
-const SHARD_QPS: usize = 64;
 
 /// Dead pops may not exceed this fraction of executed events.
 const DEAD_POP_BUDGET: f64 = 0.05;
 
 /// Per-QP wall time may not exceed this multiple of the 64-QP rung's.
 const WALL_RATIO_BUDGET: f64 = 2.0;
-
-struct Rung {
-    qps: usize,
-    exec: SimTime,
-    wall_secs: f64,
-    completions: usize,
-    stats: QueueStats,
-    spans: usize,
-}
-
-/// Runs one rung: `qps / SHARD_QPS` independent 64-QP floods in one
-/// engine, every QP posting a single 32 B READ against the shard's cold
-/// ODP page at t = 0.
-fn run_rung(qps: usize) -> Rung {
-    let started = Instant::now();
-    let mut eng = Sim::new();
-    let mut cl = Cluster::new(qps as u64);
-    cl.telemetry_enable();
-    let device = DeviceProfile::connectx4(LinkSpec::fdr());
-    let qp_cfg = QpConfig {
-        cack: 18,
-        ..QpConfig::default()
-    };
-
-    let mut clients = Vec::new();
-    for s in 0..qps / SHARD_QPS {
-        let a = cl.add_host(&format!("client{s}"), device.clone());
-        let b = cl.add_host(&format!("server{s}"), device.clone());
-        let remote = cl.alloc_mr(b, 4096, MrMode::Pinned);
-        let local = cl.alloc_mr(a, 4096, MrMode::Odp);
-        for i in 0..SHARD_QPS {
-            let qp = cl.connect_pair(&mut eng, a, b, qp_cfg.clone()).0;
-            cl.post(
-                &mut eng,
-                a,
-                qp,
-                ReadWr::new((local.key, (i * 32) as u64), remote.key)
-                    .len(32)
-                    .id(i as u64),
-            );
-        }
-        clients.push(a);
-    }
-
-    eng.run(&mut cl);
-    cl.sync_telemetry(&eng);
-    let completions = clients.iter().map(|&a| cl.poll_cq(a).len()).sum();
-    Rung {
-        qps,
-        exec: eng.now(),
-        wall_secs: started.elapsed().as_secs_f64(),
-        completions,
-        stats: eng.queue_stats(),
-        spans: cl.telemetry().spans().len(),
-    }
-}
 
 fn main() -> ExitCode {
     let quick = quick_mode();
@@ -118,7 +58,7 @@ fn main() -> ExitCode {
     let mut failed = false;
     let mut base_per_qp = f64::NAN;
     for &qps in sweep {
-        let r = run_rung(qps);
+        let r = run_flood_rung(qps);
         let s = &r.stats;
         // Guard against timer jitter on a sub-millisecond baseline: a
         // 64-QP rung runs in a few ms, so a 10 µs floor never binds but

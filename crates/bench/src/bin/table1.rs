@@ -89,7 +89,12 @@ fn main() {
                 &[
                     s.name.into(),
                     s.device.min_cack.to_string(),
-                    format!("{}", s.device.t_o(1).expect("timer enabled")),
+                    format!(
+                        "{}",
+                        s.device
+                            .t_o(1)
+                            .expect("invariant: every Table I device defines t_o(1)")
+                    ),
                     s.device.damming.to_string(),
                 ],
                 &[22, 10, 12, 8]

@@ -1,0 +1,86 @@
+//! The shared §VI flood rung: the workload behind both the `qpsweep`
+//! scaling gate and the `perfsuite` trajectory artifact.
+//!
+//! Each rung shards its QPs across independent client/server host pairs
+//! of [`SHARD_QPS`] QPs each — one §VI flood per shard (all READs
+//! landing on one cold client-side ODP page) — inside a *single*
+//! engine, so one shared event heap carries thousands of concurrently
+//! armed keyed timers (ACK timeouts, RNR waits, 0.5 ms stall ticks).
+//! Keeping the workload in one place guarantees the perf numbers in
+//! `BENCH_<pr>.json` measure exactly what the qpsweep gate enforces.
+
+use std::time::Instant;
+
+use ibsim_event::{QueueStats, SimTime};
+use ibsim_fabric::LinkSpec;
+use ibsim_verbs::{Cluster, DeviceProfile, MrMode, QpConfig, ReadWr, Sim};
+
+/// QPs per client/server host pair — the paper's §VI flood scale.
+pub const SHARD_QPS: usize = 64;
+
+/// Measured outcome of one flood rung.
+#[derive(Debug, Clone)]
+pub struct FloodRung {
+    /// Total QPs in the rung (a multiple of [`SHARD_QPS`]).
+    pub qps: usize,
+    /// Simulated completion time of the whole rung.
+    pub exec: SimTime,
+    /// Host wall-clock seconds the rung took, setup included.
+    pub wall_secs: f64,
+    /// Completions drained across every client CQ (one per QP when the
+    /// flood fully drains).
+    pub completions: usize,
+    /// Engine queue statistics after the drain.
+    pub stats: QueueStats,
+    /// Telemetry fault spans recorded (one per shard: each shard has
+    /// exactly one cold ODP page).
+    pub spans: usize,
+}
+
+/// Runs one rung: `qps / SHARD_QPS` independent 64-QP floods in one
+/// engine, every QP posting a single 32 B READ against the shard's cold
+/// ODP page at t = 0. The rung seed is `qps`, so every invocation of a
+/// given rung replays the identical simulation.
+pub fn run_flood_rung(qps: usize) -> FloodRung {
+    let started = Instant::now();
+    let mut eng = Sim::new();
+    let mut cl = Cluster::new(qps as u64);
+    cl.telemetry_enable();
+    let device = DeviceProfile::connectx4(LinkSpec::fdr());
+    let qp_cfg = QpConfig {
+        cack: 18,
+        ..QpConfig::default()
+    };
+
+    let mut clients = Vec::new();
+    for s in 0..qps / SHARD_QPS {
+        let a = cl.add_host(&format!("client{s}"), device.clone());
+        let b = cl.add_host(&format!("server{s}"), device.clone());
+        let remote = cl.alloc_mr(b, 4096, MrMode::Pinned);
+        let local = cl.alloc_mr(a, 4096, MrMode::Odp);
+        for i in 0..SHARD_QPS {
+            let qp = cl.connect_pair(&mut eng, a, b, qp_cfg.clone()).0;
+            cl.post(
+                &mut eng,
+                a,
+                qp,
+                ReadWr::new((local.key, (i * 32) as u64), remote.key)
+                    .len(32)
+                    .id(i as u64),
+            );
+        }
+        clients.push(a);
+    }
+
+    eng.run(&mut cl);
+    cl.sync_telemetry(&eng);
+    let completions = clients.iter().map(|&a| cl.poll_cq(a).len()).sum();
+    FloodRung {
+        qps,
+        exec: eng.now(),
+        wall_secs: started.elapsed().as_secs_f64(),
+        completions,
+        stats: eng.queue_stats(),
+        spans: cl.telemetry().spans().len(),
+    }
+}

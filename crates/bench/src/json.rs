@@ -1,0 +1,192 @@
+//! A minimal hand-rolled JSON emitter for the `BENCH_<pr>.json` perf
+//! trajectory artifact.
+//!
+//! The workspace is offline and dependency-free, so rather than pull in
+//! a serializer for one flat artifact, [`JsonValue`] covers exactly the
+//! shapes `perfsuite` emits: objects with ordered keys, arrays, strings,
+//! integers and finite floats. Output is deterministic — keys render in
+//! insertion order and floats with a fixed number of decimals — so two
+//! runs of the same build differ only where the measurements differ.
+
+use std::fmt;
+
+/// A JSON value. Construct with the `From` impls and [`JsonValue::obj`] /
+/// [`JsonValue::arr`], render with `Display`.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// A string (escaped on render).
+    Str(String),
+    /// An integer.
+    Int(u64),
+    /// A boolean.
+    Bool(bool),
+    /// A finite float, rendered with three decimals.
+    Num(f64),
+    /// An ordered list of values.
+    Arr(Vec<JsonValue>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object builder.
+    pub fn obj() -> JsonValue {
+        JsonValue::Obj(Vec::new())
+    }
+
+    /// An array from any iterator of values.
+    pub fn arr(items: impl IntoIterator<Item = JsonValue>) -> JsonValue {
+        JsonValue::Arr(items.into_iter().collect())
+    }
+
+    /// Appends `key: value` to an object (panics on non-objects: the
+    /// builder is only ever chained off [`JsonValue::obj`]).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> JsonValue {
+        match &mut self {
+            JsonValue::Obj(fields) => fields.push((key.to_owned(), value.into())),
+            other => panic!("field() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders with two-space indentation and a trailing newline, the
+    /// layout `BENCH_<pr>.json` is committed in.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth + 1);
+        let close = "  ".repeat(depth);
+        match self {
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Int(v) => out.push_str(&v.to_string()),
+            JsonValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            JsonValue::Num(v) => {
+                assert!(v.is_finite(), "non-finite float in JSON artifact: {v}");
+                out.push_str(&format!("{v:.3}"));
+            }
+            JsonValue::Arr(items) if items.is_empty() => out.push_str("[]"),
+            JsonValue::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            JsonValue::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            JsonValue::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    out.push('"');
+                    out.push_str(k);
+                    out.push_str("\": ");
+                    v.write(out, depth + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pretty())
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Int(v as u64)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_artifact_shape() {
+        let doc = JsonValue::obj()
+            .field("schema", "ibsim-perfsuite/v1")
+            .field("events", 1234u64)
+            .field("wall_ms", 1.5f64)
+            .field(
+                "rungs",
+                JsonValue::arr([JsonValue::obj().field("qps", 64usize)]),
+            );
+        let text = doc.pretty();
+        assert_eq!(
+            text,
+            "{\n  \"schema\": \"ibsim-perfsuite/v1\",\n  \"events\": 1234,\n  \
+             \"wall_ms\": 1.500,\n  \"rungs\": [\n    {\n      \"qps\": 64\n    }\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let doc = JsonValue::obj().field("msg", "a\"b\\c\nd");
+        assert!(doc.pretty().contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite float")]
+    fn non_finite_floats_are_rejected() {
+        let _ = JsonValue::obj().field("x", f64::NAN).pretty();
+    }
+}

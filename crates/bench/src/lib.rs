@@ -21,10 +21,14 @@
 //! | `fig12` | Fig. 12 ArgoDSM init/finalize histograms |
 //! | `table13` | Fig. 13 SparkUCX table |
 //! | `all` | everything above, in sequence |
+//! | `perfsuite` | perf trajectory artifact (`BENCH_<pr>.json`) |
 //!
 //! This library hosts the shared formatting and statistics helpers.
 
 #![warn(missing_docs)]
+
+pub mod flood;
+pub mod json;
 
 use ibsim_event::SimTime;
 

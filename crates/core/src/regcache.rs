@@ -160,7 +160,7 @@ impl PinDownCache {
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_use)
-                .expect("over budget implies entries exist");
+                .expect("invariant: over budget implies entries exist");
             self.entries.remove(&victim_base);
             let cost = deregistration_cost(victim.len);
             self.stats.dereg_time += cost;

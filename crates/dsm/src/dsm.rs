@@ -99,7 +99,7 @@ impl Inner {
     }
 
     fn ep(&self, from: usize, to: usize) -> EpId {
-        self.nodes[from].eps[to].expect("no self endpoints")
+        self.nodes[from].eps[to].expect("invariant: no self endpoints (from != to)")
     }
 }
 
@@ -216,7 +216,7 @@ impl Dsm {
                 let mut p = pending.borrow_mut();
                 p.0 -= 1;
                 if p.0 == 0 {
-                    let cb = p.1.take().expect("barrier callback fires once");
+                    let cb = p.1.take().expect("invariant: barrier callback fires once");
                     drop(p);
                     cb(eng, cl);
                 }
@@ -304,7 +304,7 @@ impl Dsm {
             let mut r = ready.borrow_mut();
             r.0 -= 1;
             if r.0 == 0 {
-                let cb = r.1.take().expect("init finishes once");
+                let cb = r.1.take().expect("invariant: init finishes once");
                 drop(r);
                 dsm.barrier(eng, cl, move |eng, cl| {
                     let now = eng.now();

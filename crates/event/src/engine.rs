@@ -13,13 +13,22 @@
 //! exactly where a plain `BinaryHeap` with tombstone cancellation falls
 //! over: cancelled events linger until popped (dead pops burn time and
 //! skew queue-depth reports) and finding the next live event degenerates
-//! to an O(n) scan. The indexed heap keeps a `seq → heap slot` map so
+//! to an O(n) scan. The indexed heap keeps a slot arena mapping each
+//! live [`EventId`] to its heap index in O(1), so
 //! [`cancel`](Engine::cancel) *physically removes* the entry in O(log n),
 //! [`next_event_time`](Engine::next_event_time) is a O(1) peek, and heap
 //! occupancy is observable through counters
 //! ([`pending_events`](Engine::pending_events),
 //! [`peak_heap_depth`](Engine::peak_heap_depth),
 //! [`dead_event_pops`](Engine::dead_event_pops)).
+//!
+//! The arena is the scheduling hot path: an [`EventId`] packs a slot
+//! index and a generation counter, sift swaps update a `Vec` entry
+//! instead of a search-tree node, and freed slots are recycled through a
+//! LIFO free list. Both the slot assignment order and the free-list
+//! discipline are deterministic, and event *ordering* never consults
+//! them — the heap ranks strictly by `(time, insertion seq)` — so the
+//! arena cannot perturb a run.
 //!
 //! ## Keyed timers
 //!
@@ -38,12 +47,35 @@ use std::fmt;
 use crate::time::SimTime;
 
 /// Handle to a scheduled event, usable to [cancel](Engine::cancel) it.
+///
+/// Internally packs an arena slot index (low 32 bits) and that slot's
+/// generation at scheduling time (high 32 bits); a stale handle — the
+/// event fired, was cancelled, or its slot was recycled — simply fails
+/// to resolve. The handle is opaque: only its `Eq`/`Ord`/`Hash` identity
+/// is meaningful, never the packed value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
+impl EventId {
+    #[inline]
+    fn slot(self) -> usize {
+        (self.0 & u32::MAX as u64) as usize
+    }
+
+    #[inline]
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    #[inline]
+    fn pack(slot: u32, generation: u32) -> Self {
+        EventId(((generation as u64) << 32) | slot as u64)
+    }
+}
+
 impl fmt::Display for EventId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ev#{}", self.0)
+        write!(f, "ev#{}.{}", self.slot(), self.generation())
     }
 }
 
@@ -64,9 +96,26 @@ type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
 
 struct Entry<W> {
     at: SimTime,
+    /// Global insertion order — the determinism tiebreak. Never reused.
     seq: u64,
+    /// This entry's packed (slot, generation) identity.
+    id: EventId,
     key: Option<TimerKey>,
     run: EventFn<W>,
+}
+
+/// One arena slot: where its live event currently sits in the heap, and
+/// a generation counter bumped on every free so stale [`EventId`]s from
+/// earlier occupants cannot alias the current one.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    generation: u32,
+    /// Heap index of the occupying event, or [`Slot::FREE`].
+    idx: usize,
+}
+
+impl Slot {
+    const FREE: usize = usize::MAX;
 }
 
 impl<W> Entry<W> {
@@ -144,11 +193,15 @@ pub struct Engine<W> {
     now: SimTime,
     /// Indexed binary min-heap on `(at, seq)`.
     heap: Vec<Entry<W>>,
-    /// `seq → heap slot` for every live event; the heap invariantly
-    /// contains exactly the live events (cancellation removes).
-    pos: BTreeMap<u64, usize>,
-    /// `key → seq` of the single live event armed under each timer key.
-    keyed: BTreeMap<TimerKey, u64>,
+    /// The slot arena: `id.slot() → heap index` for every live event;
+    /// the heap invariantly contains exactly the live events
+    /// (cancellation removes). A `Vec` rather than a search tree because
+    /// sift swaps update it once per level — this is the hot path.
+    slots: Vec<Slot>,
+    /// Freed slot indices, recycled LIFO (deterministic, cache-warm).
+    free: Vec<u32>,
+    /// `key → id` of the single live event armed under each timer key.
+    keyed: BTreeMap<TimerKey, EventId>,
     next_seq: u64,
     executed: u64,
     scheduled_total: u64,
@@ -189,7 +242,8 @@ impl<W> Engine<W> {
         Engine {
             now: SimTime::ZERO,
             heap: Vec::new(),
-            pos: BTreeMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             keyed: BTreeMap::new(),
             next_seq: 0,
             executed: 0,
@@ -305,9 +359,21 @@ impl<W> Engine<W> {
     // Indexed-heap plumbing
     // ------------------------------------------------------------------
 
+    /// Resolves an id to the heap index of its live event, or `None` if
+    /// the event already fired, was cancelled, or the slot was recycled.
+    #[inline]
+    fn live_idx(&self, id: EventId) -> Option<usize> {
+        let slot = self.slots.get(id.slot())?;
+        if slot.generation == id.generation() && slot.idx != Slot::FREE {
+            Some(slot.idx)
+        } else {
+            None
+        }
+    }
+
     #[inline]
     fn set_pos(&mut self, idx: usize) {
-        self.pos.insert(self.heap[idx].seq, idx);
+        self.slots[self.heap[idx].id.slot()].idx = idx;
     }
 
     fn sift_up(&mut self, mut idx: usize) {
@@ -348,33 +414,39 @@ impl<W> Engine<W> {
         self.set_pos(idx);
     }
 
-    /// Physically removes the entry at heap slot `idx` and restores the
-    /// heap property; returns the removed entry.
+    /// Physically removes the entry at heap index `idx`, frees its arena
+    /// slot and restores the heap property; returns the removed entry.
     fn remove_at(&mut self, idx: usize) -> Entry<W> {
         let last = self.heap.len() - 1;
         self.heap.swap(idx, last);
-        let entry = self.heap.pop().expect("non-empty: just swapped");
-        self.pos.remove(&entry.seq);
+        let entry = self
+            .heap
+            .pop()
+            .expect("invariant: heap non-empty, just swapped idx with last");
+        let slot = entry.id.slot();
+        self.slots[slot].generation = self.slots[slot].generation.wrapping_add(1);
+        self.slots[slot].idx = Slot::FREE;
+        self.free.push(slot as u32);
         if idx < self.heap.len() {
             // The displaced tail entry may need to move either way. If
             // sift_up moves it, it became smaller than its old parent and
             // therefore than everything below its new slot, so the
             // follow-up sift_down is a no-op; the two calls together
             // restore the heap property from any single displacement.
-            let moved_seq = self.heap[idx].seq;
+            let moved = self.heap[idx].id.slot();
             self.set_pos(idx);
             self.sift_up(idx);
-            let cur = *self.pos.get(&moved_seq).expect("just repositioned");
+            let cur = self.slots[moved].idx;
             self.sift_down(cur);
         }
         entry
     }
 
-    /// Detaches an entry's keyed-slot registration (if this seq is still
+    /// Detaches an entry's keyed-slot registration (if this id is still
     /// the one the key maps to).
-    fn unlink_key(&mut self, entry_key: Option<TimerKey>, seq: u64) {
+    fn unlink_key(&mut self, entry_key: Option<TimerKey>, id: EventId) {
         if let Some(key) = entry_key {
-            if self.keyed.get(&key) == Some(&seq) {
+            if self.keyed.get(&key) == Some(&id) {
                 self.keyed.remove(&key);
             }
         }
@@ -394,17 +466,29 @@ impl<W> Engine<W> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    idx: Slot::FREE,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let id = EventId::pack(slot, self.slots[slot as usize].generation);
         self.heap.push(Entry {
             at,
             seq,
+            id,
             key,
             run: Box::new(f),
         });
         let idx = self.heap.len() - 1;
-        self.pos.insert(seq, idx);
+        self.slots[slot as usize].idx = idx;
         self.sift_up(idx);
         self.peak_depth = self.peak_depth.max(self.heap.len());
-        EventId(seq)
+        id
     }
 
     fn pop(&mut self) -> Option<Entry<W>> {
@@ -412,7 +496,7 @@ impl<W> Engine<W> {
             return None;
         }
         let entry = self.remove_at(0);
-        self.unlink_key(entry.key, entry.seq);
+        self.unlink_key(entry.key, entry.id);
         Some(entry)
     }
 
@@ -454,15 +538,15 @@ impl<W> Engine<W> {
         at: SimTime,
         f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
     ) -> EventId {
-        if let Some(&old_seq) = self.keyed.get(&key) {
-            if let Some(idx) = self.pos.get(&old_seq).copied() {
+        if let Some(&old_id) = self.keyed.get(&key) {
+            if let Some(idx) = self.live_idx(old_id) {
                 self.remove_at(idx);
                 self.replaced_total += 1;
             }
             self.keyed.remove(&key);
         }
         let id = self.insert(at, Some(key), f);
-        self.keyed.insert(key, id.0);
+        self.keyed.insert(key, id);
         id
     }
 
@@ -484,18 +568,18 @@ impl<W> Engine<W> {
 
     /// Fire time of the event armed under `key`, if any.
     pub fn key_deadline(&self, key: TimerKey) -> Option<SimTime> {
-        let seq = self.keyed.get(&key)?;
-        let idx = self.pos.get(seq)?;
-        Some(self.heap[*idx].at)
+        let id = self.keyed.get(&key)?;
+        let idx = self.live_idx(*id)?;
+        Some(self.heap[idx].at)
     }
 
     /// Cancels the event armed under timer slot `key`, physically
     /// removing it from the heap. Returns `true` if one was armed.
     pub fn cancel_key(&mut self, key: TimerKey) -> bool {
-        let Some(seq) = self.keyed.remove(&key) else {
+        let Some(id) = self.keyed.remove(&key) else {
             return false;
         };
-        if let Some(idx) = self.pos.get(&seq).copied() {
+        if let Some(idx) = self.live_idx(id) {
             self.remove_at(idx);
             self.cancelled_total += 1;
             true
@@ -511,11 +595,11 @@ impl<W> Engine<W> {
     /// not fire). Cancelling an already-executed or already-cancelled event
     /// returns `false` and is harmless.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        let Some(idx) = self.pos.get(&id.0).copied() else {
+        let Some(idx) = self.live_idx(id) else {
             return false;
         };
         let entry = self.remove_at(idx);
-        self.unlink_key(entry.key, entry.seq);
+        self.unlink_key(entry.key, entry.id);
         self.cancelled_total += 1;
         true
     }
@@ -534,14 +618,17 @@ impl<W> Engine<W> {
     /// The clock is left at the time of the last executed event (or moved to
     /// `deadline` if that is later and the queue still holds future events).
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
-        while let Some(head_at) = self.next_event_time() {
-            if head_at > deadline {
-                if deadline != SimTime::MAX && self.now < deadline {
-                    self.now = deadline;
+        loop {
+            if let Some(head_at) = self.next_event_time() {
+                if head_at > deadline {
+                    break;
                 }
-                return;
             }
-            let ev = self.pop().expect("peeked entry vanished");
+            // Pop rather than peek-then-pop: the head observed above is
+            // whatever `pop` returns, with no window for it to vanish.
+            let Some(ev) = self.pop() else {
+                break;
+            };
             self.check_pop_monotone(ev.at);
             self.now = ev.at;
             self.executed += 1;
@@ -779,6 +866,62 @@ mod tests {
         assert_eq!(w, 1);
         assert!(!eng.key_armed(key), "slot is free after the event fires");
         assert_eq!(eng.keyed_timers(), 0);
+    }
+
+    #[test]
+    fn stale_ids_do_not_alias_recycled_slots() {
+        let mut eng: Engine<u32> = Engine::new();
+        let a = eng.schedule_at(SimTime::from_us(1), |w, _| *w += 1);
+        assert!(eng.cancel(a));
+        // The freed slot is recycled for the next event; the stale handle
+        // must not resolve to (and cancel) the new occupant.
+        let b = eng.schedule_at(SimTime::from_us(2), |w, _| *w += 10);
+        assert_ne!(a, b);
+        assert!(!eng.cancel(a), "stale id after recycle is inert");
+        let mut w = 0;
+        eng.run(&mut w);
+        assert_eq!(w, 10);
+        assert!(!eng.cancel(b), "fired id is inert");
+    }
+
+    #[test]
+    fn heavy_churn_keeps_physical_cancellation_invariants() {
+        // Schedule/cancel storm across interleaved times: the arena must
+        // keep ids straight while slots recycle constantly.
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut live = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..20u64 {
+                let tag = round * 100 + i;
+                let id =
+                    eng.schedule_at(SimTime::from_us(1000 + (tag % 37)), move |w, _| w.push(tag));
+                live.push((tag, id));
+            }
+            // Cancel every third outstanding event.
+            let mut idx = 0;
+            live.retain(|&(_, id)| {
+                idx += 1;
+                if idx % 3 == 0 {
+                    assert!(eng.cancel(id));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let expect: Vec<u64> = {
+            let mut v: Vec<(u64, EventId)> = live.clone();
+            // Equal times fire in insertion order; sort by (time, tag)
+            // since tags are assigned in insertion order per time bucket.
+            v.sort_by_key(|&(tag, _)| (1000 + (tag % 37), tag));
+            v.into_iter().map(|(tag, _)| tag).collect()
+        };
+        let mut out = Vec::new();
+        eng.run(&mut out);
+        assert_eq!(out, expect);
+        assert_eq!(eng.dead_event_pops(), 0);
+        assert_eq!(eng.dead_pending(), 0);
+        assert_eq!(eng.pending_events(), 0);
     }
 
     #[test]

@@ -85,7 +85,12 @@ impl<P> Default for Capture<P> {
 }
 
 impl<P> Capture<P> {
-    /// Creates a disabled capture (recording costs nothing until enabled).
+    /// Creates a disabled capture.
+    ///
+    /// Recording costs nothing until enabled *provided the caller uses
+    /// [`Capture::record_with`]*, which builds the payload lazily. The
+    /// eager [`Capture::record`] takes the payload by value, so any
+    /// clone made to produce that value is paid even while disabled.
     pub fn new() -> Self {
         Self::default()
     }
@@ -105,7 +110,13 @@ impl<P> Capture<P> {
         self.enabled
     }
 
-    /// Records a frame if enabled.
+    /// Records a frame if enabled, taking the payload by value.
+    ///
+    /// Prefer [`Capture::record_with`] on hot paths where producing the
+    /// payload costs something (e.g. cloning a packet with a data
+    /// buffer): this eager form forces the caller to materialize the
+    /// payload even when the capture is disabled and the value is
+    /// immediately thrown away.
     #[allow(clippy::too_many_arguments)]
     pub fn record(
         &mut self,
@@ -117,6 +128,47 @@ impl<P> Capture<P> {
         dropped: bool,
         payload: P,
     ) {
+        self.record_with(time, direction, src, dst, bytes, dropped, || payload);
+    }
+
+    /// Records a frame if enabled, building the payload lazily.
+    ///
+    /// The closure runs only when the capture is enabled, so a disabled
+    /// capture never materializes (or clones) the payload — this is what
+    /// makes disabled captures genuinely free on the fabric hot path.
+    ///
+    /// ```
+    /// use std::cell::Cell;
+    /// use ibsim_event::SimTime;
+    /// use ibsim_fabric::{Capture, Direction, Lid};
+    ///
+    /// let built = Cell::new(0u32);
+    /// let payload = || {
+    ///     built.set(built.get() + 1);
+    ///     String::from("READ req psn=0")
+    /// };
+    /// let mut cap: Capture<String> = Capture::new();
+    ///
+    /// // Disabled: the payload closure never runs.
+    /// cap.record_with(SimTime::ZERO, Direction::Tx, Lid(1), Lid(2), 64, false, payload);
+    /// assert_eq!((built.get(), cap.len()), (0, 0));
+    ///
+    /// // Enabled: the closure runs exactly once per recorded frame.
+    /// cap.enable();
+    /// cap.record_with(SimTime::ZERO, Direction::Tx, Lid(1), Lid(2), 64, false, payload);
+    /// assert_eq!((built.get(), cap.len()), (1, 1));
+    /// ```
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_with(
+        &mut self,
+        time: SimTime,
+        direction: Direction,
+        src: Lid,
+        dst: Lid,
+        bytes: u32,
+        dropped: bool,
+        payload: impl FnOnce() -> P,
+    ) {
         if self.enabled {
             self.records.push(Captured {
                 time,
@@ -125,7 +177,7 @@ impl<P> Capture<P> {
                 dst,
                 bytes,
                 dropped,
-                payload,
+                payload: payload(),
             });
         }
     }
@@ -265,6 +317,75 @@ mod tests {
         assert!(text.contains("LOST IN FABRIC"));
         assert!(text.contains("READ req psn=0"));
         assert!(text.contains("lid1 -> lid2"));
+    }
+
+    /// A payload whose clones are counted, so tests can prove the
+    /// disabled path never touches it.
+    #[derive(Debug)]
+    struct CloneCounter(std::rc::Rc<Cell<u32>>);
+
+    use std::cell::Cell;
+
+    impl Clone for CloneCounter {
+        fn clone(&self) -> Self {
+            self.0.set(self.0.get() + 1);
+            CloneCounter(std::rc::Rc::clone(&self.0))
+        }
+    }
+
+    #[test]
+    fn disabled_record_with_performs_zero_clones() {
+        let clones = std::rc::Rc::new(Cell::new(0u32));
+        let payload = CloneCounter(std::rc::Rc::clone(&clones));
+        let mut cap: Capture<CloneCounter> = Capture::new();
+        for t in 0..16 {
+            cap.record_with(
+                SimTime::from_ns(t),
+                Direction::Tx,
+                Lid(1),
+                Lid(2),
+                64,
+                false,
+                || payload.clone(),
+            );
+        }
+        // Disabled capture: the closure never ran, so zero clones.
+        assert_eq!(clones.get(), 0);
+        assert!(cap.is_empty());
+
+        cap.enable();
+        cap.record_with(
+            SimTime::from_ns(99),
+            Direction::Rx,
+            Lid(2),
+            Lid(1),
+            64,
+            false,
+            || payload.clone(),
+        );
+        // Enabled capture: exactly one clone per recorded frame.
+        assert_eq!(clones.get(), 1);
+        assert_eq!(cap.len(), 1);
+    }
+
+    #[test]
+    fn eager_record_still_respects_enable_flag() {
+        let clones = std::rc::Rc::new(Cell::new(0u32));
+        let payload = CloneCounter(std::rc::Rc::clone(&clones));
+        let mut cap: Capture<CloneCounter> = Capture::new();
+        // The eager form clones at the call site by construction; the
+        // record itself must still be suppressed while disabled.
+        cap.record(
+            SimTime::ZERO,
+            Direction::Tx,
+            Lid(1),
+            Lid(2),
+            64,
+            false,
+            payload.clone(),
+        );
+        assert!(cap.is_empty());
+        assert_eq!(clones.get(), 1);
     }
 
     #[test]

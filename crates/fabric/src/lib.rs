@@ -34,4 +34,4 @@ mod topology;
 
 pub use capture::{Capture, Captured, Direction};
 pub use loss::{LossModel, Xorshift64Star};
-pub use topology::{Delivery, DropReason, Fabric, Lid, LinkSpec, LinkStats};
+pub use topology::{Delivery, DropReason, Fabric, Lid, LinkSpec, LinkSpecError, LinkStats};

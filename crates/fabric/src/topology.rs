@@ -41,7 +41,49 @@ pub struct LinkSpec {
     pub bandwidth_gbps: u64,
 }
 
+/// Error returned by [`LinkSpec::new`] / [`LinkSpec::validate`] for a
+/// physically meaningless link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSpecError {
+    /// `bandwidth_gbps` was zero: a link that can never serialize a
+    /// frame has no defined serialization time.
+    ZeroBandwidth,
+}
+
+impl fmt::Display for LinkSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkSpecError::ZeroBandwidth => {
+                write!(f, "link bandwidth must be a nonzero number of Gb/s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkSpecError {}
+
 impl LinkSpec {
+    /// Checked constructor: rejects a zero signalling rate instead of
+    /// silently clamping it later (a zero-bandwidth link is a config
+    /// bug, not a 1 Gb/s link).
+    pub fn new(latency: SimTime, bandwidth_gbps: u64) -> Result<Self, LinkSpecError> {
+        let spec = LinkSpec {
+            latency,
+            bandwidth_gbps,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Validates a spec built via struct literal (the fields are public
+    /// so the speed-grade constants stay ergonomic).
+    pub fn validate(&self) -> Result<(), LinkSpecError> {
+        if self.bandwidth_gbps == 0 {
+            return Err(LinkSpecError::ZeroBandwidth);
+        }
+        Ok(())
+    }
+
     /// 56 Gb/s FDR (ConnectX-3/4 FDR systems in Table I).
     pub fn fdr() -> Self {
         LinkSpec {
@@ -69,9 +111,20 @@ impl LinkSpec {
     /// Time to serialize `bytes` onto the wire: `⌈8·bytes / gbps⌉` ns,
     /// in pure integer arithmetic (Gb/s over nanoseconds is bits per
     /// nanosecond, so no unit conversion factor survives).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-bandwidth spec, which [`LinkSpec::new`] and
+    /// [`Fabric::add_host_with`] reject up front — an invalid link must
+    /// fail loudly, not masquerade as a 1 Gb/s one.
     pub fn serialization(&self, bytes: u32) -> SimTime {
+        assert!(
+            self.bandwidth_gbps != 0,
+            "invalid LinkSpec: {}",
+            LinkSpecError::ZeroBandwidth
+        );
         let bits = bytes as u64 * 8;
-        SimTime::from_ns(bits.div_ceil(self.bandwidth_gbps.max(1)))
+        SimTime::from_ns(bits.div_ceil(self.bandwidth_gbps))
     }
 }
 
@@ -189,7 +242,16 @@ impl Fabric {
     }
 
     /// Adds a host with an explicit link spec; returns its assigned LID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails [`LinkSpec::validate`] (e.g. zero
+    /// bandwidth): an invalid link is a configuration bug and must not
+    /// enter the fabric.
     pub fn add_host_with(&mut self, name: &str, spec: LinkSpec) -> Lid {
+        if let Err(e) = spec.validate() {
+            panic!("fabric: cannot attach host {name:?}: {e}");
+        }
         let lid = Lid(self.next_lid);
         self.next_lid += 1;
         self.ports.insert(
@@ -280,22 +342,21 @@ impl Fabric {
 
         // Routing: unknown LIDs die at the switch.
         if !dst.is_valid() || !self.ports.contains_key(&dst) {
-            self.total_drops += 1;
-            let sport = self.ports.get_mut(&src).expect("source vanished");
-            sport.stats.dropped += 1;
-            return Delivery::Dropped(DropReason::UnknownDestination);
+            return self.drop_frame(src, DropReason::UnknownDestination);
         }
 
         // Injected loss (applied post-routing, i.e. in the fabric).
         if self.loss.drop(now, src, dst) {
-            self.total_drops += 1;
-            let sport = self.ports.get_mut(&src).expect("source vanished");
-            sport.stats.dropped += 1;
-            return Delivery::Dropped(DropReason::Injected);
+            return self.drop_frame(src, DropReason::Injected);
         }
 
-        // Switch-egress serialization toward the destination.
-        let dport = self.ports.get_mut(&dst).expect("routing checked above");
+        // Switch-egress serialization toward the destination. Routing
+        // above guarantees the port exists; if the map nevertheless has
+        // no entry, fold it into the structured drop path rather than
+        // panicking mid-simulation.
+        let Some(dport) = self.ports.get_mut(&dst) else {
+            return self.drop_frame(src, DropReason::UnknownDestination);
+        };
         let start = at_switch.max(dport.ingress_busy_until);
         let ser = dport.spec.serialization(bytes);
         dport.ingress_busy_until = start + ser;
@@ -304,6 +365,19 @@ impl Fabric {
         Delivery::Deliver {
             at: start + ser + dport.spec.latency,
         }
+    }
+
+    /// Accounts one dropped frame against `src` and the fabric totals.
+    ///
+    /// `src` was validated at the top of [`Fabric::transit`]; an absent
+    /// source port here simply loses its per-link attribution rather
+    /// than aborting the run.
+    fn drop_frame(&mut self, src: Lid, reason: DropReason) -> Delivery {
+        self.total_drops += 1;
+        if let Some(sport) = self.ports.get_mut(&src) {
+            sport.stats.dropped += 1;
+        }
+        Delivery::Dropped(reason)
     }
 }
 
@@ -404,6 +478,50 @@ mod tests {
     fn transmit_from_unknown_port_panics() {
         let mut f = Fabric::new(LinkSpec::fdr());
         f.transit(SimTime::ZERO, Lid(7), Lid(1), 10);
+    }
+
+    #[test]
+    fn zero_bandwidth_link_is_rejected() {
+        assert_eq!(
+            LinkSpec::new(SimTime::from_ns(300), 0),
+            Err(LinkSpecError::ZeroBandwidth)
+        );
+        let bad = LinkSpec {
+            latency: SimTime::from_ns(300),
+            bandwidth_gbps: 0,
+        };
+        assert_eq!(bad.validate(), Err(LinkSpecError::ZeroBandwidth));
+        // Valid specs round-trip through the checked constructor.
+        assert_eq!(
+            LinkSpec::new(SimTime::from_ns(300), 56),
+            Ok(LinkSpec::fdr())
+        );
+        assert!(LinkSpec::hdr().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero number of Gb/s")]
+    fn zero_bandwidth_host_cannot_join_fabric() {
+        let mut f = Fabric::new(LinkSpec::fdr());
+        f.add_host_with(
+            "broken",
+            LinkSpec {
+                latency: SimTime::from_ns(300),
+                bandwidth_gbps: 0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero number of Gb/s")]
+    fn zero_bandwidth_serialization_panics_not_clamps() {
+        // Before this was fixed, bandwidth 0 was silently treated as
+        // 1 Gb/s; now it fails loudly.
+        let bad = LinkSpec {
+            latency: SimTime::ZERO,
+            bandwidth_gbps: 0,
+        };
+        let _ = bad.serialization(4096);
     }
 
     #[test]

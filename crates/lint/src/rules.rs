@@ -12,7 +12,8 @@ use crate::lexer::{Token, TokenKind};
 /// Identifier of one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
-    /// `.unwrap()` calls in simulator code.
+    /// `.unwrap()` calls — and `.expect(…)` calls whose message does not
+    /// document a checked invariant — in simulator code.
     NoUnwrap,
     /// `Instant::now` / `SystemTime::now` reads in simulator crates.
     NoWallClock,
@@ -60,7 +61,11 @@ impl Rule {
     /// One-line description of what the rule enforces and why.
     pub fn rationale(self) -> &'static str {
         match self {
-            Rule::NoUnwrap => "simulation code must degrade into counters or errors, not panics",
+            Rule::NoUnwrap => {
+                "simulation code must degrade into counters or errors, not panics; \
+                 a bare `.expect(…)` is an unwrap with a nicer epitaph — only a \
+                 documented invariant check (message starting `invariant: `) may stay"
+            }
             Rule::NoWallClock => {
                 "all time must come from the event engine; wall-clock reads break determinism"
             }
@@ -233,6 +238,22 @@ fn cfg_test_mod_start(toks: &[Token<'_>], i: usize) -> Option<usize> {
     }
 }
 
+/// True for a string literal whose content starts with `invariant: ` —
+/// the marker that turns an `.expect(…)` into a *documented* invariant
+/// check the no-unwrap rule accepts. Handles plain, byte and raw string
+/// forms (`"…"`, `b"…"`, `r"…"`, `r#"…"#`).
+fn is_invariant_message(t: &Token<'_>) -> bool {
+    if t.kind != TokenKind::Str {
+        return false;
+    }
+    let body = t
+        .text
+        .trim_start_matches(['b', 'r'])
+        .trim_start_matches('#');
+    body.strip_prefix('"')
+        .is_some_and(|rest| rest.starts_with("invariant: "))
+}
+
 fn check_unwrap(toks: &[Token<'_>], i: usize, t: &Token<'_>, out: &mut Vec<RawDiagnostic>) {
     if t.is_ident("unwrap")
         && i > 0
@@ -245,6 +266,23 @@ fn check_unwrap(toks: &[Token<'_>], i: usize, t: &Token<'_>, out: &mut Vec<RawDi
             line: t.line,
             col: t.col,
             message: "`.unwrap()` in simulator code (count a failure or return an error)"
+                .to_owned(),
+        });
+    }
+    // `.expect(…)` is an unwrap in disguise unless its message documents
+    // a checked invariant (a string literal starting `invariant: `).
+    if t.is_ident("expect")
+        && i > 0
+        && toks[i - 1].is_punct('.')
+        && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        && !toks.get(i + 2).is_some_and(is_invariant_message)
+    {
+        out.push(RawDiagnostic {
+            rule: Rule::NoUnwrap,
+            line: t.line,
+            col: t.col,
+            message: "`.expect(…)` in simulator code (return an error, or document a \
+                      checked invariant with a message starting `invariant: `)"
                 .to_owned(),
         });
     }
@@ -503,6 +541,41 @@ mod tests {
         assert!(clean.is_empty(), "{clean:?}");
         // unwrap_or is not unwrap.
         assert!(run("fn f() { x.unwrap_or(0); }", Policy::all()).is_empty());
+    }
+
+    #[test]
+    fn bare_expect_is_flagged_like_unwrap() {
+        let diags = run("fn f() { x.expect(\"oops\"); }", Policy::all());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, Rule::NoUnwrap);
+        // Non-literal messages are also flagged: they cannot be audited
+        // as invariant documentation.
+        let dynamic = run("fn f() { x.expect(msg); }", Policy::all());
+        assert_eq!(dynamic.len(), 1, "{dynamic:?}");
+        // expect_err and similar are different methods.
+        assert!(run("fn f() { x.expect_err(\"e\"); }", Policy::all()).is_empty());
+        // Mentions in strings/comments stay clean.
+        assert!(run("// x.expect(\"e\")\nfn f() {}", Policy::all()).is_empty());
+    }
+
+    #[test]
+    fn documented_invariant_expect_is_accepted() {
+        let ok = run(
+            "fn f() { x.expect(\"invariant: heap non-empty, just pushed\"); }",
+            Policy::all(),
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let raw = run(
+            "fn f() { x.expect(r\"invariant: checked above\"); }",
+            Policy::all(),
+        );
+        assert!(raw.is_empty(), "{raw:?}");
+        // The marker must be a prefix, not buried mid-message.
+        let buried = run(
+            "fn f() { x.expect(\"broke an invariant: bad\"); }",
+            Policy::all(),
+        );
+        assert_eq!(buried.len(), 1, "{buried:?}");
     }
 
     #[test]

@@ -52,6 +52,25 @@ fn clean_unwrap_is_clean() {
 }
 
 #[test]
+fn bad_expect_spans() {
+    let report = lint_fixture("bad_expect.rs");
+    assert_eq!(
+        spans(&report),
+        vec![
+            ("no-unwrap".to_owned(), 4, 25),
+            ("no-unwrap".to_owned(), 5, 23),
+        ],
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn clean_expect_is_clean() {
+    assert_clean("clean_expect.rs");
+}
+
+#[test]
 fn bad_wall_clock_spans() {
     let report = lint_fixture("bad_wall_clock.rs");
     assert_eq!(

@@ -1,0 +1,7 @@
+//! Known-bad fixture for no-unwrap's `.expect(…)` arm: two violations.
+
+pub fn lookup(v: Option<u32>) -> u32 {
+    let inner = Some(v).expect("should not happen");
+    let twice = inner.expect("checked");
+    twice * 2
+}

@@ -1,0 +1,23 @@
+//! Known-clean fixture for no-unwrap's `.expect(…)` arm: documented
+//! invariant messages, `expect_err`-family names, comments, strings
+//! and test modules must not fire.
+
+pub fn lookup(v: Option<u32>) -> u32 {
+    // A comment may say x.expect("anything") freely.
+    let doc = "strings may say x.expect(\"whatever\") too";
+    let inner = v.expect("invariant: caller validated v above");
+    inner + doc.len() as u32
+}
+
+pub fn errs(r: Result<u32, u32>) -> u32 {
+    r.expect_err("expect_err is a different method")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_expect() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.expect("anything goes in tests"), 3);
+    }
+}

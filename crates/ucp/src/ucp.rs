@@ -802,7 +802,7 @@ impl Ucp {
             .meta_q
             .get_mut(&(ep, dir))
             .and_then(|q| q.pop_front())
-            .expect("RC in-order delivery keeps header and wire aligned");
+            .expect("invariant: RC in-order delivery keeps header and wire aligned");
         let (rcv_host, _) = inner.eps[ep.0].receiver(dir);
         match meta {
             MsgMeta::Eager { tag, len, .. } => {
@@ -821,7 +821,7 @@ impl Ucp {
                     let recv = inner
                         .posted_recvs
                         .get_mut(&rcv_host)
-                        .expect("checked")
+                        .expect("invariant: receiver entry checked above")
                         .swap_remove(pos);
                     let base = cl.mr_base(rcv_host, recv.dst.mr);
                     let n = data.len().min(recv.dst.len as usize);
@@ -844,7 +844,7 @@ impl Ucp {
                     let recv = inner
                         .posted_recvs
                         .get_mut(&rcv_host)
-                        .expect("checked")
+                        .expect("invariant: receiver entry checked above")
                         .swap_remove(pos);
                     start_rndv_get(inner, eng, cl, ep, dir, recv.req, send_req, src, recv.dst);
                 } else {
@@ -872,7 +872,7 @@ fn worker_scratch(inner: &Inner, host: HostId) -> MrDesc {
         .workers
         .iter()
         .find(|w| w.host == host)
-        .expect("unknown worker")
+        .expect("invariant: host registered a worker at create_worker")
         .scratch
 }
 

@@ -115,6 +115,11 @@ pub struct Cluster {
     /// [`Cluster::telemetry_enable`]). Recording never schedules events
     /// or draws randomness, so enabling it cannot perturb a run.
     telemetry: Telemetry,
+    /// Drained [`Effects`] values kept warm for reuse: `with_qp` pops
+    /// one per handler turn and pushes it back after `apply_effects`,
+    /// so steady-state turns allocate nothing. Pool contents never
+    /// influence behavior (values are reset before reuse).
+    fx_pool: Vec<Effects>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -141,6 +146,7 @@ impl Cluster {
             cq_waker: None,
             stats: ClusterStats::default(),
             telemetry: Telemetry::new(),
+            fx_pool: Vec::new(),
         }
     }
 
@@ -185,7 +191,7 @@ impl Cluster {
         let nic = &self.nics[host.0];
         let mut total = QpStats::default();
         for &qpn in nic.qpns() {
-            let s = nic.qp(qpn).expect("listed qp exists").stats();
+            let s = nic.qp(qpn).expect("invariant: listed qp exists").stats();
             total.retransmissions += s.retransmissions;
             total.timeouts += s.timeouts;
             total.rnr_naks_received += s.rnr_naks_received;
@@ -328,21 +334,27 @@ impl Cluster {
         let (la, lb) = (self.nics[a.0].lid, self.nics[b.0].lid);
         self.nics[a.0]
             .qp_mut(qa)
-            .expect("just created")
+            .expect("invariant: qp just created")
             .connect(lb, qb);
         self.nics[b.0]
             .qp_mut(qb)
-            .expect("just created")
+            .expect("invariant: qp just created")
             .connect(la, qa);
         (qa, qb)
     }
 
     /// Points a QP at an explicit (possibly wrong) LID, reproducing the
     /// deliberate mis-addressing of the paper's Fig. 2 experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qpn` does not name a QP on `host` — mis-addressing the
+    /// *wire* is a supported experiment, mis-addressing the API is a bug
+    /// in the caller's setup code.
     pub fn connect_to_lid(&mut self, host: HostId, qpn: Qpn, peer: Lid, peer_qpn: Qpn) {
         self.nics[host.0]
             .qp_mut(qpn)
-            .expect("unknown qp")
+            .unwrap_or_else(|| panic!("connect_to_lid: host {host:?} has no qp {qpn:?}"))
             .connect(peer, peer_qpn);
     }
 
@@ -511,11 +523,12 @@ impl Cluster {
     where
         F: FnOnce(&mut crate::qp::Qp, &mut QpEnv<'_>, &mut Effects),
     {
-        let mut fx = Effects::new();
+        let mut fx = self.fx_pool.pop().unwrap_or_default();
         {
             let nic = &mut self.nics[host.0];
             let mem = &mut self.mems[host.0];
             let Some((qp, mrs, profile)) = nic.split_mut(qpn) else {
+                self.fx_pool.push(fx);
                 return;
             };
             let mut env = QpEnv {
@@ -533,18 +546,23 @@ impl Cluster {
                     .qp_state_sample(host.0 as u64, qpn.0, state.name(), eng.now());
             }
         }
-        self.apply_effects(eng, host, qpn, fx);
+        self.apply_effects(eng, host, qpn, &mut fx);
+        fx.reset();
+        self.fx_pool.push(fx);
     }
 
     /// Drains one [`Effects`] value into the engine and peripherals, in a
     /// fixed order: packets, completions, timer ops (ack, rnr, stall),
     /// faults, fault waiters, IRQs, then at most one driver kick.
-    fn apply_effects(&mut self, eng: &mut Sim, host: HostId, qpn: Qpn, fx: Effects) {
-        for pkt in fx.packets {
+    ///
+    /// Takes the value by `&mut` and leaves it drained (but not reset),
+    /// so `with_qp` can return it to the warm pool.
+    fn apply_effects(&mut self, eng: &mut Sim, host: HostId, qpn: Qpn, fx: &mut Effects) {
+        for pkt in fx.packets.drain(..) {
             self.transmit(eng, host, pkt);
         }
         let had_completions = !fx.completions.is_empty();
-        for c in fx.completions {
+        for c in fx.completions.drain(..) {
             self.telemetry
                 .wr_completed(host.0 as u64, c.qpn.0, c.wr_id.0, c.at);
             self.nics[host.0].push_completion(c);
@@ -599,10 +617,10 @@ impl Cluster {
                 },
             );
         }
-        for psn in fx.timers.cancel_stalls {
+        for psn in fx.timers.cancel_stalls.drain(..) {
             eng.cancel_key(TimerFamily::Stall.key(host, qpn, psn.value()));
         }
-        for (psn, delay, gen) in fx.timers.arm_stalls {
+        for (psn, delay, gen) in fx.timers.arm_stalls.drain(..) {
             eng.schedule_keyed_in(
                 TimerFamily::Stall.key(host, qpn, psn.value()),
                 delay,
@@ -619,7 +637,7 @@ impl Cluster {
             );
         }
         let mut kick = false;
-        for (mr, page) in fx.faults {
+        for (mr, page) in fx.faults.drain(..) {
             let lo = self.nics[host.0].profile.fault_latency_min.as_ns();
             let hi = self.nics[host.0].profile.fault_latency_max.as_ns();
             let latency = SimTime::from_ns(lo + self.rng.next_below((hi - lo).max(1)));
@@ -633,7 +651,7 @@ impl Cluster {
             self.drivers[host.0].push_fault(mr, page, latency);
             kick = true;
         }
-        for (mr, page) in fx.fault_waits {
+        for (mr, page) in fx.fault_waits.drain(..) {
             self.nics[host.0].register_fault_waiter(qpn, mr, page);
         }
         for _ in 0..fx.irqs {
@@ -729,14 +747,14 @@ impl Cluster {
             self.stats.ghost_packets += 1;
             self.telemetry
                 .counter_add("packets.ghost", Labels::host(host.0 as u64), 1);
-            self.captures[host.0].record(
+            self.captures[host.0].record_with(
                 eng.now(),
                 Direction::Tx,
                 src_lid,
                 dst_lid,
                 bytes,
                 true,
-                pkt,
+                || pkt,
             );
             return;
         }
@@ -749,14 +767,16 @@ impl Cluster {
             self.telemetry
                 .counter_add("packets.fabric_drops", Labels::host(host.0 as u64), 1);
         }
-        self.captures[host.0].record(
+        // Lazy payload: a disabled capture must not pay the deep clone
+        // of the packet (its data `Vec` included) on every frame.
+        self.captures[host.0].record_with(
             eng.now(),
             Direction::Tx,
             src_lid,
             dst_lid,
             bytes,
             dropped,
-            pkt.clone(),
+            || pkt.clone(),
         );
         if let Delivery::Deliver { at } = delivery {
             let Some(&dst_host) = self.lid_to_host.get(&dst_lid) else {
@@ -770,14 +790,14 @@ impl Cluster {
     }
 
     fn deliver(&mut self, eng: &mut Sim, host: HostId, pkt: Packet) {
-        self.captures[host.0].record(
+        self.captures[host.0].record_with(
             eng.now(),
             Direction::Rx,
             pkt.src,
             pkt.dst,
             pkt.wire_bytes(),
             false,
-            pkt.clone(),
+            || pkt.clone(),
         );
         let qpn = pkt.dst_qp;
         self.with_qp(eng, host, qpn, move |qp, env, fx| {

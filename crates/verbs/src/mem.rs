@@ -80,7 +80,10 @@ impl Memory {
             let base = Self::page_base(a);
             let off = (a - base) as usize;
             let take = remaining.min(PAGE_SIZE as usize - off);
-            let page = self.pages.get(&base).expect("touched above");
+            let page = self
+                .pages
+                .get(&base)
+                .expect("invariant: page touched above");
             out.extend_from_slice(&page[off..off + take]);
             a += take as u64;
             remaining -= take;
@@ -97,7 +100,10 @@ impl Memory {
             let base = Self::page_base(a);
             let off = (a - base) as usize;
             let take = src.len().min(PAGE_SIZE as usize - off);
-            let page = self.pages.get_mut(&base).expect("touched above");
+            let page = self
+                .pages
+                .get_mut(&base)
+                .expect("invariant: page touched above");
             page[off..off + take].copy_from_slice(&src[..take]);
             a += take as u64;
             src = &src[take..];

@@ -78,6 +78,17 @@ pub struct TimerEffects {
 }
 
 impl TimerEffects {
+    /// Clears every slot while keeping the stall vectors' capacity, so a
+    /// pooled [`Effects`] value re-arms without reallocating.
+    pub fn reset(&mut self) {
+        self.arm_ack = None;
+        self.cancel_ack = false;
+        self.arm_rnr = None;
+        self.cancel_rnr = false;
+        self.arm_stalls.clear();
+        self.cancel_stalls.clear();
+    }
+
     /// True if no timer operation was emitted.
     pub fn is_quiet(&self) -> bool {
         self.arm_ack.is_none()
@@ -112,6 +123,21 @@ impl Effects {
     /// Creates an empty effects value.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clears every field while keeping the vectors' capacity.
+    ///
+    /// The cluster router pools `Effects` values across handler turns
+    /// (one turn previously built six fresh `Vec`s); after draining, a
+    /// `reset` returns the value to the pool warm, so steady-state turns
+    /// perform no allocation at all.
+    pub fn reset(&mut self) {
+        self.packets.clear();
+        self.completions.clear();
+        self.timers.reset();
+        self.faults.clear();
+        self.fault_waits.clear();
+        self.irqs = 0;
     }
 
     /// True if the handler produced no effects.
@@ -150,6 +176,25 @@ mod tests {
         let mut fx = Effects::new();
         fx.faults.push((MrKey(1), 0));
         assert!(!fx.is_quiet());
+    }
+
+    #[test]
+    fn reset_clears_everything_and_keeps_capacity() {
+        let mut fx = Effects::new();
+        fx.completions.reserve(8);
+        fx.timers.arm_ack = Some(4);
+        fx.timers.cancel_rnr = true;
+        fx.timers.arm_stalls.push((Psn::new(3), SimTime::ZERO, 1));
+        fx.timers.cancel_stalls.push(Psn::new(9));
+        fx.faults.push((MrKey(1), 0));
+        fx.fault_waits.push((MrKey(1), 1));
+        fx.irqs = 2;
+        assert!(!fx.is_quiet());
+        let cap = fx.completions.capacity();
+        fx.reset();
+        assert!(fx.is_quiet());
+        assert!(fx.timers.is_quiet());
+        assert_eq!(fx.completions.capacity(), cap);
     }
 
     #[test]

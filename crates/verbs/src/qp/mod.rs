@@ -145,7 +145,8 @@ struct QpCtx {
 
 impl QpCtx {
     fn peer_or_panic(&self) -> (Lid, Qpn) {
-        self.peer.expect("QP used before connect()")
+        self.peer
+            .expect("invariant: QP connected before carrying traffic")
     }
 }
 

@@ -208,7 +208,10 @@ impl Requester {
                 if let Some((mr_key, local_off, seg_len, seg_off)) =
                     source_segment(wqe, wqe.sent_segments, mtu)
                 {
-                    let mr = env.mrs.get_mut(&mr_key).expect("posted with bad lkey");
+                    let mr = env
+                        .mrs
+                        .get_mut(&mr_key)
+                        .expect("invariant: WQE admitted with a valid lkey");
                     if mr.mode() == MrMode::Odp
                         && seg_len > 0
                         && mr.first_unmapped(local_off + seg_off, seg_len).is_some()

@@ -46,7 +46,10 @@ impl Requester {
             if !front.is_done() {
                 break;
             }
-            let wqe = self.sq.pop_front().expect("checked front");
+            let wqe = self
+                .sq
+                .pop_front()
+                .expect("invariant: front checked non-empty above");
             if self.recovery.stalls.iter().any(|s| s.psn == wqe.psn_first) {
                 // The stalled message completed: take its pending blind
                 // retransmit tick out of the event heap instead of leaving
@@ -162,7 +165,7 @@ impl Requester {
         let mr = env
             .mrs
             .get_mut(&local_mr)
-            .expect("READ posted with invalid lkey");
+            .expect("invariant: READ admitted with a valid lkey");
         let mut usable = true;
         if mr.mode() == MrMode::Odp {
             let gate = fault::gate_dest_pages(tracker, mr, local_mr, dest_off, dest_len, fx);
@@ -234,7 +237,7 @@ impl Requester {
         let mr = env
             .mrs
             .get_mut(&local_mr)
-            .expect("atomic posted with invalid lkey");
+            .expect("invariant: atomic admitted with a valid lkey");
         let mut usable = true;
         if mr.mode() == MrMode::Odp {
             let gate = fault::gate_dest_pages(tracker, mr, local_mr, local_off, 8, fx);

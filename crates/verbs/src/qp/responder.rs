@@ -210,7 +210,9 @@ impl Responder {
         psn: Psn,
     ) {
         let (mr_key, offset, len) = span;
-        let mr = mrs.get_mut(&mr_key).expect("validated");
+        let mr = mrs
+            .get_mut(&mr_key)
+            .expect("invariant: span validated by caller");
         let (pages, newly_faulted) = fault::collect_pendency_pages(mr, mr_key, offset, len, fx);
         if newly_faulted {
             self.stats.faults_raised += 1;
@@ -264,7 +266,11 @@ impl Responder {
             self.begin_fault_pendency(ctx, fx, env.mrs, (*rkey, *addr, *len), pkt.psn);
             return;
         }
-        let base = env.mrs.get(rkey).expect("checked").base();
+        let base = env
+            .mrs
+            .get(rkey)
+            .expect("invariant: rkey checked above")
+            .base();
         let data = env.mem.read(base + addr, *len as usize);
         let mtu = ctx.cfg.mtu as usize;
         let total = *resp_packets;
@@ -316,7 +322,11 @@ impl Responder {
             self.begin_fault_pendency(ctx, fx, env.mrs, (*rkey, *addr, data.len() as u32), pkt.psn);
             return;
         }
-        let base = env.mrs.get(rkey).expect("checked").base();
+        let base = env
+            .mrs
+            .get(rkey)
+            .expect("invariant: rkey checked above")
+            .base();
         env.mem.write(base + addr, data);
         self.epsn = self.epsn.next();
         if seg.is_final() {
@@ -337,7 +347,10 @@ impl Responder {
             self.nak_remote_access(ctx, fx, pkt.psn);
             return;
         }
-        let mr = env.mrs.get(&recv.mr).expect("posted recv with bad lkey");
+        let mr = env
+            .mrs
+            .get(&recv.mr)
+            .expect("invariant: recv posted with a valid lkey");
         let dst_off = recv.offset + self.rq_written as u64;
         if mr.mode() == MrMode::Odp
             && mr
@@ -353,13 +366,20 @@ impl Responder {
             );
             return;
         }
-        let base = env.mrs.get(&recv.mr).expect("checked").base();
+        let base = env
+            .mrs
+            .get(&recv.mr)
+            .expect("invariant: recv lkey checked above")
+            .base();
         env.mem.write(base + dst_off, data);
         self.rq_written += data.len() as u32;
         self.epsn = self.epsn.next();
         if seg.is_final() {
             self.send_ack(ctx, fx, pkt.psn);
-            let recv = self.rq.pop_front().expect("front cloned above");
+            let recv = self
+                .rq
+                .pop_front()
+                .expect("invariant: rq front cloned above");
             fx.completions.push(Completion {
                 wr_id: recv.id,
                 qpn: ctx.qpn,
@@ -388,9 +408,17 @@ impl Responder {
             self.begin_fault_pendency(ctx, fx, env.mrs, (*rkey, *addr, 8), pkt.psn);
             return;
         }
-        let base = env.mrs.get(rkey).expect("checked").base();
+        let base = env
+            .mrs
+            .get(rkey)
+            .expect("invariant: rkey checked above")
+            .base();
         let bytes = env.mem.read(base + addr, 8);
-        let original = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+        let original = u64::from_le_bytes(
+            bytes
+                .try_into()
+                .expect("invariant: an 8-byte read yields 8 bytes"),
+        );
         let new = match op {
             crate::packet::AtomicOp::FetchAdd { add } => original.wrapping_add(*add),
             crate::packet::AtomicOp::CompareSwap { compare, swap } => {

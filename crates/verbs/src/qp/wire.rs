@@ -68,7 +68,11 @@ pub(super) fn build_request_packet(
         } => {
             let lo = seg * mtu;
             let seg_len = len.saturating_sub(lo).min(mtu);
-            let base = env.mrs.get(local_mr).expect("posted with bad lkey").base();
+            let base = env
+                .mrs
+                .get(local_mr)
+                .expect("invariant: WQE admitted with a valid lkey")
+                .base();
             let data = env.mem.read(base + local_off + lo as u64, seg_len as usize);
             PacketKind::WriteRequest {
                 seg: SegPos::of(seg, wqe.req_packets),
@@ -84,7 +88,11 @@ pub(super) fn build_request_packet(
         } => {
             let lo = seg * mtu;
             let seg_len = len.saturating_sub(lo).min(mtu);
-            let base = env.mrs.get(local_mr).expect("posted with bad lkey").base();
+            let base = env
+                .mrs
+                .get(local_mr)
+                .expect("invariant: WQE admitted with a valid lkey")
+                .base();
             let data = env.mem.read(base + local_off + lo as u64, seg_len as usize);
             PacketKind::Send {
                 seg: SegPos::of(seg, wqe.req_packets),

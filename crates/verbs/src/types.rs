@@ -167,6 +167,32 @@ mod tests {
     }
 
     #[test]
+    fn psn_add_and_distance_are_inverse_across_wrap() {
+        // A go-back-N window straddling the 24-bit boundary: walk a
+        // 32-PSN window whose head sits just below 0xFF_FFFF and whose
+        // tail wraps to small values. `add` and `distance_from` must
+        // stay exact inverses, and ordering must hold member to member.
+        let base = Psn::new(0xFF_FFF8);
+        for n in 0..32 {
+            let p = base.add(n);
+            assert_eq!(p.distance_from(base), n);
+            assert_eq!(p.value(), (0xFF_FFF8 + n) & (Psn::MODULUS - 1));
+            assert!(base.at_or_before(p));
+            if n > 0 {
+                assert!(base.add(n - 1).precedes(p));
+            }
+        }
+        // The exact boundary pair.
+        assert_eq!(Psn::new(0xFF_FFFF).add(1), Psn::new(0));
+        assert_eq!(Psn::new(0).distance_from(Psn::new(0xFF_FFFF)), 1);
+        // Going the long way round is the modulus complement, not -1.
+        assert_eq!(
+            Psn::new(0xFF_FFFF).distance_from(Psn::new(0)),
+            Psn::MODULUS - 1
+        );
+    }
+
+    #[test]
     fn psn_half_range_horizon() {
         let a = Psn::new(0);
         let far = Psn::new(1 << 23);
