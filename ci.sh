@@ -43,6 +43,11 @@ for key in engine fabric scenario_corpus qpsweep; do
     grep -q "\"$key\"" target/BENCH_smoke.json
 done
 
+echo "==> recovery-backend ablation (go-back-N timelines must match the"
+echo "    pinned goldens; IRN must cut the flood's retransmissions; pinning"
+echo "    must never fault)"
+cargo run -q --offline --release -p ibsim-bench --bin recovery
+
 echo "==> scenario conformance (paper corpus + 256-seed fuzz through the"
 echo "    differential oracle, 1-vs-4-worker hash identity, minimizer demo)"
 cargo run -q --offline --release -p ibsim-bench --bin scenario -- --workers 4 --fuzz 256 --minimize-demo

@@ -39,11 +39,15 @@ pub enum RuleId {
     /// §VI packet-flood signature: repeated identical retransmissions at
     /// the blind ODP retry cadence with responses discarded.
     FloodSignature,
+    /// A damming ghost packet under a recovery backend whose rule set
+    /// says the ghost quirk cannot occur (selective repeat, on-demand
+    /// pinning).
+    UnexpectedGhost,
 }
 
 impl RuleId {
     /// Every rule the analyses implement, in reporting order.
-    pub const ALL: [RuleId; 10] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::PsnMonotonicity,
         RuleId::PsnContiguity,
         RuleId::UnjustifiedSeqNak,
@@ -54,6 +58,7 @@ impl RuleId {
         RuleId::RxWithoutTx,
         RuleId::DammingSignature,
         RuleId::FloodSignature,
+        RuleId::UnexpectedGhost,
     ];
 
     /// True for the §V/§VI pitfall *signature* rules. Signature findings
@@ -79,6 +84,7 @@ impl RuleId {
             RuleId::RxWithoutTx => "RX_WITHOUT_TX",
             RuleId::DammingSignature => "DAMMING_SIGNATURE",
             RuleId::FloodSignature => "FLOOD_SIGNATURE",
+            RuleId::UnexpectedGhost => "UNEXPECTED_GHOST",
         }
     }
 }

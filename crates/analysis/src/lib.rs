@@ -47,4 +47,4 @@ pub(crate) mod testutil;
 pub use conservation::check_conservation;
 pub use finding::{Finding, LintReport, RuleId, Severity};
 pub use invariants::{InvariantId, InvariantSnapshot};
-pub use linter::{lint_capture, LintConfig};
+pub use linter::{lint_capture, LintConfig, RecoveryRules};

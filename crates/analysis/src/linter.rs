@@ -24,10 +24,95 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use ibsim_event::SimTime;
 use ibsim_fabric::{Capture, Direction};
-use ibsim_verbs::{NakKind, Packet, PacketKind, Psn, Qpn};
+use ibsim_verbs::{NakKind, Packet, PacketKind, Psn, Qpn, RecoveryKind};
 
 use crate::finding::{Finding, LintReport, RuleId, Severity};
 use crate::signature;
+
+/// The conformance rule set one recovery backend earns.
+///
+/// What counts as legal recovery behaviour is a property of the
+/// loss-recovery policy driving the requester, not of RC itself, so the
+/// linter takes its rule set from the backend under test instead of
+/// hard-coding the paper's go-back-N hardware. Two rules differ:
+///
+/// * **Ghosts.** The damming ghost (a request swallowed inside the
+///   engine's fault-recovery window, §V) is a go-back-N engine quirk.
+///   Selective repeat and on-demand pinning never open that window, so
+///   a ghost-flagged transmission under their rule sets is a violation.
+/// * **Event-driven stall resume.** Selective repeat resumes a stalled
+///   message when its fault resolves, which can legally retransmit
+///   well under the ACK-timeout hint. The trace evidence is the
+///   response that arrived since the last attempt yet left the message
+///   unfinished — it must have been discarded at the ODP landing gate.
+///   Go-back-N resumes on a blind ≥ 0.5 ms cadence that always clears
+///   the timeout hint, so it needs (and earns) no such justification.
+///
+/// Same-instant batch inheritance stays on for every backend: all
+/// three retransmit recovery batches at one instant (go-back-N rolls
+/// back its window; selective repeat resends the refused message plus
+/// the undelivered successors a fault pendency silently dropped), and
+/// a batch tail first transmitted after the triggering NAK inherits
+/// the head's justification either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryRules {
+    /// Backend label used in findings and reports.
+    pub backend: &'static str,
+    /// Whether damming ghost packets are an expected engine quirk.
+    /// When false, any ghost-flagged transmission is a violation.
+    pub ghosts_expected: bool,
+    /// Whether a retransmission is additionally justified by a response
+    /// for the same PSN arriving since the last attempt (event-driven
+    /// resume after an ODP landing-gate discard).
+    pub event_driven_resume: bool,
+}
+
+impl RecoveryRules {
+    /// The paper's hardware: ghost quirks on damming devices, blind
+    /// cadence-based stall resume.
+    pub fn go_back_n() -> Self {
+        RecoveryRules {
+            backend: "gbn",
+            ghosts_expected: true,
+            event_driven_resume: false,
+        }
+    }
+
+    /// IRN-style selective repeat: no ghost window, fault-resolution
+    /// events resume stalled messages.
+    pub fn selective_repeat() -> Self {
+        RecoveryRules {
+            backend: "irn",
+            ghosts_expected: false,
+            event_driven_resume: true,
+        }
+    }
+
+    /// NP-RDMA on-demand pinning: pages pin on first touch, so neither
+    /// the ghost window nor client-side stalls ever open.
+    pub fn on_demand_pin() -> Self {
+        RecoveryRules {
+            backend: "pin",
+            ghosts_expected: false,
+            event_driven_resume: false,
+        }
+    }
+
+    /// The rule set for a simulator recovery backend.
+    pub fn for_kind(kind: RecoveryKind) -> Self {
+        match kind {
+            RecoveryKind::GoBackN => RecoveryRules::go_back_n(),
+            RecoveryKind::SelectiveRepeat => RecoveryRules::selective_repeat(),
+            RecoveryKind::OnDemandPin => RecoveryRules::on_demand_pin(),
+        }
+    }
+}
+
+impl Default for RecoveryRules {
+    fn default() -> Self {
+        RecoveryRules::go_back_n()
+    }
+}
 
 /// Tunables for the linter and the signature detectors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +132,10 @@ pub struct LintConfig {
     /// Inclusive band of retransmit cadences treated as the blind ODP
     /// retry timer (~0.5 ms on ConnectX-4, Fig. 1 right).
     pub flood_cadence: (SimTime, SimTime),
+    /// Justification rule set supplied by the recovery backend under
+    /// test (see [`RecoveryRules`]). Defaults to go-back-N, the paper's
+    /// hardware.
+    pub rules: RecoveryRules,
 }
 
 impl Default for LintConfig {
@@ -56,6 +145,7 @@ impl Default for LintConfig {
             damming_min_stall: SimTime::from_ms(20),
             flood_min_transmissions: 5,
             flood_cadence: (SimTime::from_us(100), SimTime::from_ms(2)),
+            rules: RecoveryRules::go_back_n(),
         }
     }
 }
@@ -83,10 +173,15 @@ struct FlowState {
     /// sequence-error NAK naming that PSN without any packet loss.
     nak_psns: BTreeSet<u32>,
     /// Time of the most recent *justified* retransmission on this flow.
-    /// Go-back-N emits its whole batch at one instant in ascending PSN
+    /// Recovery batches are emitted at one instant in ascending PSN
     /// order; trailing members inherit the head's justification even
     /// when their own first transmission postdates the triggering NAK.
     last_justified_retx: Option<SimTime>,
+    /// Last time a response or acknowledgment was received per PSN.
+    /// Under an event-driven-resume rule set, a response that arrived
+    /// since a request's last attempt yet left it needing retransmission
+    /// evidences an ODP landing-gate discard.
+    last_response_rx: BTreeMap<u32, SimTime>,
 }
 
 /// How many consecutive PSNs a fresh request packet consumes.
@@ -153,6 +248,24 @@ pub fn lint_capture(cap: &Capture<Packet>, cfg: &LintConfig) -> LintReport {
                     | PacketKind::AtomicResponse { .. }
                     | PacketKind::Ack
                     | PacketKind::Nak(_) => {}
+                }
+                if p.ghost && !cfg.rules.ghosts_expected {
+                    // The damming ghost window is a go-back-N engine
+                    // quirk; the backend under test claims it never
+                    // opens.
+                    report.findings.push(Finding {
+                        rule: RuleId::UnexpectedGhost,
+                        severity: Severity::Violation,
+                        at: r.time,
+                        flow: Some(key),
+                        psn: Some(p.psn.value()),
+                        message: format!(
+                            "{} ghosted at transmission under the `{}` backend, \
+                             which never opens the ghost window",
+                            p.kind.opcode(),
+                            cfg.rules.backend
+                        ),
+                    });
                 }
                 if r.dropped || p.ghost {
                     flow.last_silent_loss = Some(r.time);
@@ -262,10 +375,20 @@ fn check_retransmit(
     let loss_explains = flow.last_silent_loss.is_some_and(|t| t >= prev && t <= at);
     let timeout_plausible = at - prev >= cfg.ack_timeout_hint;
     let batch_explains = flow.last_justified_retx == Some(at);
-    if nak_explains || loss_explains || timeout_plausible {
+    // Event-driven resume (selective repeat): a response for this very
+    // PSN arrived since the last attempt, yet here is its
+    // retransmission — the response must have been discarded at the
+    // ODP landing gate, and the fault resolution resumed the request.
+    let resume_explains = cfg.rules.event_driven_resume
+        && flow
+            .last_response_rx
+            .get(&psn)
+            .is_some_and(|&t| t >= prev && t <= at);
+    if nak_explains || loss_explains || timeout_plausible || resume_explains {
         flow.last_justified_retx = Some(at);
     }
-    if !nak_explains && !loss_explains && !timeout_plausible && !batch_explains {
+    if !nak_explains && !loss_explains && !timeout_plausible && !batch_explains && !resume_explains
+    {
         report.findings.push(Finding {
             rule: RuleId::UnjustifiedRetransmit,
             severity: Severity::Violation,
@@ -363,13 +486,30 @@ fn check_response(
         | PacketKind::Send { .. }
         | PacketKind::AtomicRequest { .. } => {}
     }
+    // Record the landing time of every acknowledgment and response
+    // segment for the event-driven-resume justification: an arrived
+    // response that still left the request pending was discarded at the
+    // ODP landing gate.
+    match &p.kind {
+        PacketKind::Ack => {
+            flow.last_response_rx.insert(p.psn.value(), at);
+        }
+        PacketKind::ReadResponse { .. } | PacketKind::AtomicResponse { .. } => {
+            flow.last_response_rx.insert(p.psn.value(), at);
+        }
+        PacketKind::Nak(_)
+        | PacketKind::ReadRequest { .. }
+        | PacketKind::WriteRequest { .. }
+        | PacketKind::Send { .. }
+        | PacketKind::AtomicRequest { .. } => {}
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::{
-        ack, nak_rnr, nak_seq, read_req, read_resp, rx, tx, tx_dropped, tx_retx,
+        ack, nak_rnr, nak_seq, read_req, read_resp, rx, tx, tx_dropped, tx_ghost, tx_retx,
     };
 
     fn lint(cap: &Capture<Packet>) -> LintReport {
@@ -567,6 +707,124 @@ mod tests {
         tx_retx(&mut cap, 40_000, read_req(1, 1)); // same-instant batch tail
         let report = lint(&cap);
         assert_eq!(report.count(RuleId::UnjustifiedRetransmit), 0, "{report}");
+    }
+
+    #[test]
+    fn event_driven_resume_justifies_landing_discard_retransmit() {
+        // A READ response arrives 30 µs after the request — but the
+        // landing page is unmapped, the NIC discards it, and the fault
+        // resolution resumes the request well under the timeout hint.
+        let mut cap = Capture::new();
+        cap.enable();
+        tx(&mut cap, 1_000, read_req(0, 1));
+        rx(&mut cap, 31_000, read_resp(0, 0));
+        tx_retx(&mut cap, 38_000, read_req(0, 1));
+        let irn = LintConfig {
+            rules: RecoveryRules::selective_repeat(),
+            ..LintConfig::default()
+        };
+        let report = lint_capture(&cap, &irn);
+        assert_eq!(report.count(RuleId::UnjustifiedRetransmit), 0, "{report}");
+        // Go-back-N earns no such justification: its stall resume is a
+        // blind cadence that always clears the timeout hint, so the
+        // same capture is a violation under its rules.
+        let report = lint(&cap);
+        assert_eq!(report.count(RuleId::UnjustifiedRetransmit), 1, "{report}");
+    }
+
+    #[test]
+    fn resume_needs_a_response_since_the_last_attempt() {
+        // The response predates the previous attempt: it cannot explain
+        // the second retransmission even under event-driven resume.
+        let mut cap = Capture::new();
+        cap.enable();
+        tx(&mut cap, 1_000, read_req(0, 1));
+        rx(&mut cap, 31_000, read_resp(0, 0));
+        tx_retx(&mut cap, 38_000, read_req(0, 1));
+        tx_retx(&mut cap, 45_000, read_req(0, 1));
+        let irn = LintConfig {
+            rules: RecoveryRules::selective_repeat(),
+            ..LintConfig::default()
+        };
+        let report = lint_capture(&cap, &irn);
+        assert_eq!(report.count(RuleId::UnjustifiedRetransmit), 1, "{report}");
+    }
+
+    #[test]
+    fn batch_tail_inheritance_holds_for_every_backend() {
+        // Selective repeat also batches: an RNR expiry resends the
+        // refused message plus the pendency-dropped successors at one
+        // instant, so the tail inherits the head's NAK justification
+        // under every rule set.
+        for rules in [
+            RecoveryRules::go_back_n(),
+            RecoveryRules::selective_repeat(),
+            RecoveryRules::on_demand_pin(),
+        ] {
+            let mut cap = Capture::new();
+            cap.enable();
+            tx(&mut cap, 1_000, read_req(0, 1));
+            rx(&mut cap, 2_000, nak_rnr());
+            tx(&mut cap, 3_000, read_req(1, 1));
+            tx_retx(&mut cap, 40_000, read_req(0, 1));
+            tx_retx(&mut cap, 40_000, read_req(1, 1));
+            let cfg = LintConfig {
+                rules,
+                ..LintConfig::default()
+            };
+            let report = lint_capture(&cap, &cfg);
+            assert_eq!(
+                report.count(RuleId::UnjustifiedRetransmit),
+                0,
+                "{}: {report}",
+                rules.backend
+            );
+        }
+    }
+
+    #[test]
+    fn ghosts_are_violations_under_non_quirk_backends() {
+        let mut cap = Capture::new();
+        cap.enable();
+        tx_ghost(&mut cap, 1_000, read_req(0, 1));
+        assert_eq!(lint(&cap).count(RuleId::UnexpectedGhost), 0);
+        for rules in [
+            RecoveryRules::selective_repeat(),
+            RecoveryRules::on_demand_pin(),
+        ] {
+            let cfg = LintConfig {
+                rules,
+                ..LintConfig::default()
+            };
+            let report = lint_capture(&cap, &cfg);
+            assert_eq!(
+                report.count(RuleId::UnexpectedGhost),
+                1,
+                "{}",
+                rules.backend
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_rules_follow_the_backend_kind() {
+        assert_eq!(
+            RecoveryRules::for_kind(RecoveryKind::GoBackN),
+            RecoveryRules::go_back_n()
+        );
+        assert_eq!(
+            RecoveryRules::for_kind(RecoveryKind::SelectiveRepeat),
+            RecoveryRules::selective_repeat()
+        );
+        assert_eq!(
+            RecoveryRules::for_kind(RecoveryKind::OnDemandPin),
+            RecoveryRules::on_demand_pin()
+        );
+        assert!(RecoveryRules::go_back_n().ghosts_expected);
+        assert!(!RecoveryRules::selective_repeat().ghosts_expected);
+        assert!(RecoveryRules::selective_repeat().event_driven_resume);
+        assert!(!RecoveryRules::on_demand_pin().event_driven_resume);
+        assert_eq!(RecoveryRules::default(), RecoveryRules::go_back_n());
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Recovery-backend ablation: the §V damming and §VI flood
+//! micro-benchmarks re-run under each loss-recovery backend.
+//!
+//! Go-back-N is the hardware the paper measured, so its runs double as
+//! golden gates: the client packet timelines must hash to the pinned
+//! FNV values, proving the `RecoveryPolicy` extraction left the modeled
+//! ConnectX-4 behavior bit-identical. Selective repeat (IRN) and
+//! on-demand pinning (NP-RDMA) are the counterfactuals: the run asserts
+//! the structural claims (IRN retransmits strictly less under the
+//! flood; pinning never opens the fault window) and prints the ablation
+//! table README quotes.
+//!
+//! ```text
+//! cargo run --release -p ibsim-bench --bin recovery
+//! ```
+
+use ibsim_bench::{header, row, secs};
+use ibsim_event::SimTime;
+use ibsim_fabric::LinkSpec;
+use ibsim_odp::{fnv1a_str, run_microbench, MicrobenchConfig, MicrobenchRun, OdpMode};
+use ibsim_verbs::{DeviceProfile, RecoveryKind};
+
+/// Every backend, in ablation order (the paper's hardware first).
+const KINDS: [RecoveryKind; 3] = [
+    RecoveryKind::GoBackN,
+    RecoveryKind::SelectiveRepeat,
+    RecoveryKind::OnDemandPin,
+];
+
+/// Pinned FNV-1a hash of the go-back-N §V damming client timeline.
+const GBN_DAMMING_GOLDEN: u64 = 0x4807_1338_d6e8_def4;
+/// Pinned FNV-1a hash of the go-back-N §VI flood client timeline.
+const GBN_FLOOD_GOLDEN: u64 = 0x6ee9_7c4d_3a1f_eb25;
+
+/// The §V two-READ packet-damming micro-benchmark (server-side ODP,
+/// 1 ms posting interval) under one backend.
+fn damming(kind: RecoveryKind) -> MicrobenchRun {
+    run_microbench(&MicrobenchConfig {
+        device: DeviceProfile::connectx4(LinkSpec::fdr()),
+        interval: SimTime::from_ms(1),
+        odp: OdpMode::ServerSide,
+        capture: true,
+        recovery: kind,
+        ..Default::default()
+    })
+}
+
+/// The §VI 128-QP packet-flood micro-benchmark (client-side ODP,
+/// `C_ack = 18`) under one backend.
+fn flood(kind: RecoveryKind) -> MicrobenchRun {
+    run_microbench(&MicrobenchConfig {
+        device: DeviceProfile::connectx4(LinkSpec::fdr()),
+        size: 32,
+        num_ops: 512,
+        num_qps: 128,
+        odp: OdpMode::ClientSide,
+        cack: 18,
+        capture: true,
+        recovery: kind,
+        ..Default::default()
+    })
+}
+
+fn table(title: &str, runs: &[(RecoveryKind, MicrobenchRun)]) {
+    header(title);
+    let widths = [16, 14, 10, 8, 11, 8, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "backend".into(),
+                "exec time".into(),
+                "timeouts".into(),
+                "retx".into(),
+                "discarded".into(),
+                "faults".into(),
+                "pinned".into(),
+            ],
+            &widths
+        )
+    );
+    for (kind, run) in runs {
+        println!(
+            "{}",
+            row(
+                &[
+                    kind.to_string(),
+                    secs(run.execution_time),
+                    run.timeouts.to_string(),
+                    run.retransmissions.to_string(),
+                    run.responses_discarded.to_string(),
+                    run.faults.to_string(),
+                    run.pages_pinned.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+fn main() {
+    let damming_runs: Vec<_> = KINDS.into_iter().map(|k| (k, damming(k))).collect();
+    let flood_runs: Vec<_> = KINDS.into_iter().map(|k| (k, flood(k))).collect();
+    for (_, run) in damming_runs.iter().chain(&flood_runs) {
+        assert_eq!(run.errors, 0, "every op must complete");
+        assert!(run.data_ok, "every READ must return the right bytes");
+    }
+
+    table(
+        "Recovery ablation 1: §V packet damming (two READs, 1 ms apart, server ODP)",
+        &damming_runs,
+    );
+    table(
+        "Recovery ablation 2: §VI packet flood (128 QPs x 512 READs, client ODP)",
+        &flood_runs,
+    );
+
+    // --- Golden gates: go-back-N is bit-identical to the pre-trait model.
+    let gbn_damming = fnv1a_str(&damming_runs[0].1.client_timeline());
+    let gbn_flood = fnv1a_str(&flood_runs[0].1.client_timeline());
+    assert_eq!(
+        gbn_damming, GBN_DAMMING_GOLDEN,
+        "go-back-N damming timeline drifted (hash {gbn_damming:#018x})"
+    );
+    assert_eq!(
+        gbn_flood, GBN_FLOOD_GOLDEN,
+        "go-back-N flood timeline drifted (hash {gbn_flood:#018x})"
+    );
+
+    // --- Structural claims per backend (runs follow `KINDS` order).
+    let [gbn_d, irn_d, pin_d] = [&damming_runs[0].1, &damming_runs[1].1, &damming_runs[2].1];
+    let [gbn_f, irn_f, pin_f] = [&flood_runs[0].1, &flood_runs[1].1, &flood_runs[2].1];
+
+    // Only pinning pins; everything else leaves ODP demand-paged.
+    for run in [gbn_d, irn_d, gbn_f, irn_f] {
+        assert_eq!(run.pages_pinned, 0, "only on-demand pinning may pin");
+    }
+    assert!(pin_d.pages_pinned > 0 && pin_f.pages_pinned > 0);
+
+    // IRN removes the flood's retransmit amplification outright.
+    assert!(
+        irn_f.retransmissions < gbn_f.retransmissions,
+        "selective repeat must retransmit strictly less than go-back-N \
+         under the flood ({} vs {})",
+        irn_f.retransmissions,
+        gbn_f.retransmissions
+    );
+
+    // Pinning closes the fault window before it opens: no faults, no
+    // timeouts, and the damming incident disappears entirely.
+    for run in [pin_d, pin_f] {
+        assert_eq!(run.faults, 0, "pinning must not fault");
+        assert_eq!(run.timeouts, 0, "pinning must not time out");
+        assert_eq!(run.responses_discarded, 0);
+    }
+    assert!(
+        pin_d.execution_time < gbn_d.execution_time,
+        "pinning must beat go-back-N through the damming window"
+    );
+
+    println!();
+    println!("golden gbn damming hash {gbn_damming:#018x}, flood hash {gbn_flood:#018x}");
+    println!("recovery ablation: all gates passed");
+}

@@ -16,8 +16,8 @@
 
 use ibsim_event::{Engine, SimTime};
 use ibsim_verbs::{
-    Cluster, DeviceProfile, HostId, MrBuilder, MrDesc, MrMode, QpConfig, Qpn, ReadWr, WcStatus,
-    PAGE_SIZE,
+    Cluster, DeviceProfile, HostId, MrBuilder, MrDesc, MrMode, QpConfig, Qpn, ReadWr, RecoveryKind,
+    WcStatus, PAGE_SIZE,
 };
 
 /// Which side(s) register their buffers with On-Demand Paging (§IV-A).
@@ -103,6 +103,9 @@ pub struct MicrobenchConfig {
     /// spans) during the run; read it back via
     /// [`Cluster::telemetry`] on [`MicrobenchRun::cluster`].
     pub telemetry: bool,
+    /// Loss-recovery backend on every QP (the ablation knob). Defaults
+    /// to [`RecoveryKind::GoBackN`], the hardware the paper measured.
+    pub recovery: RecoveryKind,
 }
 
 impl Default for MicrobenchConfig {
@@ -125,6 +128,7 @@ impl Default for MicrobenchConfig {
             capture: false,
             touch_all_but_first: false,
             telemetry: false,
+            recovery: RecoveryKind::GoBackN,
         }
     }
 }
@@ -161,6 +165,9 @@ pub struct MicrobenchRun {
     pub responses_discarded: u64,
     /// Network page faults (both sides).
     pub faults: u64,
+    /// Pages pinned on first touch (both sides); nonzero only under
+    /// [`RecoveryKind::OnDemandPin`].
+    pub pages_pinned: u64,
     /// Every packet submitted, as `ibdump` would count them.
     pub total_packets: u64,
     /// Ops that completed with an error status.
@@ -243,6 +250,7 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> MicrobenchRun {
         cack: cfg.cack,
         retry_count: cfg.retry_count,
         min_rnr_delay: cfg.min_rnr_delay,
+        recovery: cfg.recovery,
         ..QpConfig::default()
     };
     let qps: Vec<(Qpn, Qpn)> = (0..cfg.num_qps)
@@ -294,7 +302,8 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> MicrobenchRun {
     }
 
     let client_stats = cl.qp_stats_sum(client);
-    let faults = cl.qp_stats_sum(server).faults_raised + client_stats.faults_raised;
+    let server_stats = cl.qp_stats_sum(server);
+    let faults = server_stats.faults_raised + client_stats.faults_raised;
     MicrobenchRun {
         op_completions,
         execution_time: last,
@@ -302,6 +311,7 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> MicrobenchRun {
         retransmissions: client_stats.retransmissions,
         responses_discarded: client_stats.responses_discarded,
         faults,
+        pages_pinned: server_stats.pages_pinned + client_stats.pages_pinned,
         total_packets: cl.stats.total_packets,
         errors,
         data_ok,

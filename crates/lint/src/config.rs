@@ -16,6 +16,10 @@
 //! * **no-wildcard-match-on-protocol-enums** applies to `verbs` and
 //!   `analysis`, where protocol-enum matches encode the RC state
 //!   machine and the trace linter's opcode accounting.
+//! * **no-direct-retransmit** applies to `verbs`, where every packet is
+//!   built: retransmissions must come out of a `RecoveryPolicy` plan,
+//!   not a hard-coded `retransmit: true`, minus the sanctioned sites in
+//!   [`RETRANSMIT_SANCTIONED_FILES`].
 
 use crate::rules::Policy;
 
@@ -31,6 +35,8 @@ pub struct RootConfig {
     pub float_path: bool,
     /// Enforce no-wildcard-match-on-protocol-enums here.
     pub wildcard: bool,
+    /// Enforce no-direct-retransmit here.
+    pub retransmit: bool,
 }
 
 /// Every linted source root, in walk order.
@@ -40,84 +46,98 @@ pub const ROOTS: &[RootConfig] = &[
         wall_clock: true,
         float_path: false,
         wildcard: true,
+        retransmit: false,
     },
     RootConfig {
         dir: "crates/bench",
         wall_clock: false,
         float_path: false,
         wildcard: false,
+        retransmit: false,
     },
     RootConfig {
         dir: "crates/core",
         wall_clock: true,
         float_path: true,
         wildcard: false,
+        retransmit: false,
     },
     RootConfig {
         dir: "crates/dsm",
         wall_clock: true,
         float_path: false,
         wildcard: false,
+        retransmit: false,
     },
     RootConfig {
         dir: "crates/event",
         wall_clock: true,
         float_path: true,
         wildcard: false,
+        retransmit: false,
     },
     RootConfig {
         dir: "crates/fabric",
         wall_clock: true,
         float_path: true,
         wildcard: false,
+        retransmit: false,
     },
     RootConfig {
         dir: "crates/lint",
         wall_clock: true,
         float_path: false,
         wildcard: false,
+        retransmit: false,
     },
     RootConfig {
         dir: "crates/perftest",
         wall_clock: true,
         float_path: false,
         wildcard: false,
+        retransmit: false,
     },
     RootConfig {
         dir: "crates/scenario",
         wall_clock: true,
         float_path: false,
         wildcard: false,
+        retransmit: false,
     },
     RootConfig {
         dir: "crates/shuffle",
         wall_clock: true,
         float_path: false,
         wildcard: false,
+        retransmit: false,
     },
     RootConfig {
         dir: "crates/telemetry",
         wall_clock: true,
         float_path: false,
         wildcard: false,
+        retransmit: false,
     },
     RootConfig {
         dir: "crates/ucp",
         wall_clock: true,
         float_path: false,
         wildcard: false,
+        retransmit: false,
     },
     RootConfig {
         dir: "crates/verbs",
         wall_clock: true,
         float_path: true,
         wildcard: true,
+        retransmit: true,
     },
     RootConfig {
         dir: "src",
         wall_clock: true,
         float_path: false,
         wildcard: false,
+        retransmit: false,
     },
 ];
 
@@ -140,6 +160,24 @@ pub const FLOAT_BOUNDARY_FILES: &[&str] = &[
     "crates/core/src/microbench.rs",
 ];
 
+/// Files where a literal `retransmit: true` is sanctioned even inside
+/// the retransmit-linted `verbs` crate:
+///
+/// * `verbs/src/qp/recovery.rs` — the `RecoveryPolicy` backends
+///   themselves; this is where retransmission *decisions* are made, so
+///   the flag originates here by definition;
+/// * `verbs/src/qp/responder.rs` — duplicate READ/ATOMIC replay. A
+///   responder re-answering a duplicate request is wire-mandated replay
+///   (IBTA §9.7.5.1.5), not loss recovery, and never consults the
+///   requester's backend.
+///
+/// Everywhere else the flag must flow out of a plan: the requester's
+/// executor threads it positionally through `build_request_packet`.
+pub const RETRANSMIT_SANCTIONED_FILES: &[&str] = &[
+    "crates/verbs/src/qp/recovery.rs",
+    "crates/verbs/src/qp/responder.rs",
+];
+
 /// Derives the rule set for one workspace-relative file path. Returns
 /// `None` for files outside every configured root (e.g. `tests/`
 /// trees, fixtures), which are not linted.
@@ -153,12 +191,14 @@ pub fn policy_for(rel: &str) -> Option<Policy> {
         }
     })?;
     let boundary = FLOAT_BOUNDARY_FILES.contains(&rel);
+    let sanctioned = RETRANSMIT_SANCTIONED_FILES.contains(&rel);
     Some(Policy {
         no_unwrap: true,
         no_wall_clock: root.wall_clock,
         no_std_hash_collections: true,
         no_float_in_sim_path: root.float_path && !boundary,
         no_wildcard_match: root.wildcard,
+        no_direct_retransmit: root.retransmit && !sanctioned,
     })
 }
 
@@ -170,6 +210,15 @@ mod tests {
     fn scoping_matches_the_documented_policy() {
         let verbs = policy_for("crates/verbs/src/device.rs").expect("verbs is linted");
         assert!(verbs.no_float_in_sim_path && verbs.no_wildcard_match);
+        assert!(verbs.no_direct_retransmit);
+
+        let backends = policy_for("crates/verbs/src/qp/recovery.rs").expect("linted");
+        assert!(!backends.no_direct_retransmit && backends.no_wildcard_match);
+        let replay = policy_for("crates/verbs/src/qp/responder.rs").expect("linted");
+        assert!(!replay.no_direct_retransmit && replay.no_unwrap);
+
+        let analysis = policy_for("crates/analysis/src/linter.rs").expect("linted");
+        assert!(!analysis.no_direct_retransmit, "only verbs builds packets");
 
         let bench = policy_for("crates/bench/src/bin/qpsweep.rs").expect("bench is linted");
         assert!(bench.no_unwrap && !bench.no_wall_clock && !bench.no_float_in_sim_path);

@@ -23,15 +23,19 @@ pub enum Rule {
     NoFloatInSimPath,
     /// `_ =>` arms in matches over protocol enums.
     NoWildcardMatchOnProtocolEnums,
+    /// `retransmit: true` struct-literal initializers outside the
+    /// recovery backends and the responder's duplicate-replay path.
+    NoDirectRetransmit,
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [Rule; 5] = [
+pub const ALL_RULES: [Rule; 6] = [
     Rule::NoUnwrap,
     Rule::NoWallClock,
     Rule::NoStdHashCollections,
     Rule::NoFloatInSimPath,
     Rule::NoWildcardMatchOnProtocolEnums,
+    Rule::NoDirectRetransmit,
 ];
 
 /// The enum types whose matches must stay wildcard-free: adding a
@@ -50,6 +54,7 @@ impl Rule {
             Rule::NoStdHashCollections => "no-std-hash-collections",
             Rule::NoFloatInSimPath => "no-float-in-sim-path",
             Rule::NoWildcardMatchOnProtocolEnums => "no-wildcard-match-on-protocol-enums",
+            Rule::NoDirectRetransmit => "no-direct-retransmit",
         }
     }
 
@@ -81,6 +86,11 @@ impl Rule {
                 "a `_ =>` arm lets a new protocol variant slip through silently; spell \
                  every variant so additions force explicit handling"
             }
+            Rule::NoDirectRetransmit => {
+                "retransmissions must be planned by a RecoveryPolicy backend and executed \
+                 through the requester's plan executor; a literal `retransmit: true` \
+                 anywhere else forges recovery traffic the trace linter cannot justify"
+            }
         }
     }
 }
@@ -99,6 +109,8 @@ pub struct Policy {
     pub no_float_in_sim_path: bool,
     /// Enforce [`Rule::NoWildcardMatchOnProtocolEnums`].
     pub no_wildcard_match: bool,
+    /// Enforce [`Rule::NoDirectRetransmit`].
+    pub no_direct_retransmit: bool,
 }
 
 impl Policy {
@@ -110,6 +122,7 @@ impl Policy {
             no_std_hash_collections: true,
             no_float_in_sim_path: true,
             no_wildcard_match: true,
+            no_direct_retransmit: true,
         }
     }
 }
@@ -147,6 +160,9 @@ pub fn run_rules(toks: &[Token<'_>], masked: &[bool], policy: &Policy) -> Vec<Ra
         }
         if policy.no_float_in_sim_path {
             check_float(t, &mut out);
+        }
+        if policy.no_direct_retransmit {
+            check_direct_retransmit(toks, i, t, &mut out);
         }
     }
     if policy.no_wildcard_match {
@@ -339,6 +355,35 @@ fn check_float(t: &Token<'_>, out: &mut Vec<RawDiagnostic>) {
                 "{what} in sim-time code (use integer arithmetic, e.g. \
                  SimTime::mul_permille; floats stay in reporting)"
             ),
+        });
+    }
+}
+
+fn check_direct_retransmit(
+    toks: &[Token<'_>],
+    i: usize,
+    t: &Token<'_>,
+    out: &mut Vec<RawDiagnostic>,
+) {
+    // The needle is the struct-literal initializer `retransmit: true`.
+    // Field shorthand (`retransmit,`), variable initializers
+    // (`retransmit: is_retx`), and the field declaration
+    // (`retransmit: bool`) all stay legal: only hard-coding the flag on
+    // forges a retransmission outside the recovery plan. The preceding
+    // token must not be a second `:` so paths never match.
+    if t.is_ident("retransmit")
+        && !(i > 0 && toks[i - 1].is_punct(':'))
+        && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|n| n.is_ident("true"))
+    {
+        out.push(RawDiagnostic {
+            rule: Rule::NoDirectRetransmit,
+            line: t.line,
+            col: t.col,
+            message: "`retransmit: true` outside the recovery backends (retransmissions \
+                      must come from a RecoveryPolicy plan; see the sanctioned-file list \
+                      in the lint config)"
+                .to_owned(),
         });
     }
 }
@@ -655,6 +700,42 @@ mod tests {
                    TimerFamily::Ack => 1,\n        _ if n > 0 => 2,\n        _ => 0,\n    }\n}\n";
         let diags = run(src, Policy::all());
         assert_eq!(diags.len(), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn direct_retransmit_literal_is_flagged() {
+        let diags = run(
+            "fn f() { let p = Packet { psn, retransmit: true }; }",
+            Policy::all(),
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, Rule::NoDirectRetransmit);
+    }
+
+    #[test]
+    fn lawful_retransmit_spellings_stay_clean() {
+        // Field shorthand: the value came from somewhere with authority.
+        assert!(run("fn f() { let p = Packet { retransmit }; }", Policy::all()).is_empty());
+        // A computed flag is a plan decision, not a forged one.
+        assert!(run(
+            "fn f() { let p = Packet { retransmit: is_retx }; }",
+            Policy::all()
+        )
+        .is_empty());
+        // The field declaration itself.
+        assert!(run("struct Packet { retransmit: bool }", Policy::all()).is_empty());
+        // Turning the flag *off* is always fine.
+        assert!(run(
+            "fn f() { let p = Packet { retransmit: false }; }",
+            Policy::all()
+        )
+        .is_empty());
+        // Mentions in comments and strings never fire.
+        assert!(run(
+            "// retransmit: true\nfn f() { let s = \"retransmit: true\"; }",
+            Policy::all()
+        )
+        .is_empty());
     }
 
     #[test]

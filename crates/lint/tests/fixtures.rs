@@ -147,6 +147,33 @@ fn clean_wildcard_is_clean() {
 }
 
 #[test]
+fn bad_retransmit_spans() {
+    let report = lint_fixture("bad_retransmit.rs");
+    assert_eq!(
+        spans(&report),
+        vec![("no-direct-retransmit".to_owned(), 5, 9)],
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn clean_retransmit_is_clean() {
+    assert_clean("clean_retransmit.rs");
+}
+
+#[test]
+fn sanctioned_retransmit_files_are_exempt() {
+    // The recovery backends and the responder's duplicate-replay path
+    // are the two sanctioned homes of a literal `retransmit: true`.
+    for rel in ibsim_lint::config::RETRANSMIT_SANCTIONED_FILES {
+        let p = ibsim_lint::config::policy_for(rel).expect("sanctioned file must still be linted");
+        assert!(!p.no_direct_retransmit, "{rel}");
+        assert!(p.no_unwrap, "{rel} keeps every other rule");
+    }
+}
+
+#[test]
 fn suppression_and_unused_suppression() {
     let report = lint_fixture("suppressed.rs");
     // Both unwrap violations are suppressed (trailing + preceding-line).

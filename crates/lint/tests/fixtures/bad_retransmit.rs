@@ -1,0 +1,8 @@
+//! Known-bad fixture for no-direct-retransmit: one violation at 5:9.
+
+pub fn forge(psn: u32) -> Packet {
+    Packet {
+        retransmit: true,
+        psn,
+    }
+}

@@ -4,7 +4,9 @@
 //! the oracle checks — completions, memory images, the merged lint
 //! report, runtime invariant counts, fault spans and a trace hash.
 
-use ibsim_analysis::{check_conservation, lint_capture, InvariantSnapshot, LintConfig, LintReport};
+use ibsim_analysis::{
+    check_conservation, lint_capture, InvariantSnapshot, LintConfig, LintReport, RecoveryRules,
+};
 use ibsim_event::SimTime;
 use ibsim_fabric::{LinkSpec, LossModel};
 use ibsim_telemetry::FaultSpan;
@@ -68,6 +70,10 @@ pub struct ScenarioRun {
     /// the final memory images — the run's identity for determinism
     /// comparisons across worker counts.
     pub trace_hash: u64,
+    /// The textual part of the hash preimage (both packet timelines and
+    /// the completion log), kept so a divergence or lint finding can be
+    /// read instead of re-instrumented.
+    pub timeline: String,
 }
 
 /// Runs one scenario to completion. Deterministic: the same scenario
@@ -104,6 +110,7 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioRun {
         cack: sc.cack,
         retry_count: sc.retry_count,
         min_rnr_delay: SimTime::from_ns(sc.min_rnr_delay_ns),
+        recovery: sc.recovery,
         ..QpConfig::default()
     };
     let mut client_qpns = Vec::with_capacity(sc.qps);
@@ -245,7 +252,12 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioRun {
     let client_mem = cl.mem_read(client, cmr.base, len as usize);
     let server_mem = cl.mem_read(server, smr.base, len as usize);
 
-    let lint_cfg = LintConfig::default();
+    // The justification rules come from the backend under test: batch
+    // inheritance is a go-back-N rollback property (see RecoveryRules).
+    let lint_cfg = LintConfig {
+        rules: RecoveryRules::for_kind(sc.recovery),
+        ..LintConfig::default()
+    };
     let mut lint = lint_capture(cl.capture(client), &lint_cfg);
     lint.merge(lint_capture(cl.capture(server), &lint_cfg));
     lint.merge(check_conservation(cl.capture(client), cl.capture(server)));
@@ -255,13 +267,13 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioRun {
     let spans: Vec<FaultSpan> = cl.telemetry().spans().to_vec();
     let stage_sum_violations = cl.telemetry().stage_sum_violations();
 
-    let mut ident = String::new();
-    ident.push_str(&cl.capture(client).timeline());
-    ident.push('\n');
-    ident.push_str(&cl.capture(server).timeline());
-    ident.push('\n');
-    ident.push_str(&comp_log);
-    let mut ident = ident.into_bytes();
+    let mut timeline = String::new();
+    timeline.push_str(&cl.capture(client).timeline());
+    timeline.push('\n');
+    timeline.push_str(&cl.capture(server).timeline());
+    timeline.push('\n');
+    timeline.push_str(&comp_log);
+    let mut ident = timeline.clone().into_bytes();
     ident.extend_from_slice(&client_mem);
     ident.extend_from_slice(&server_mem);
 
@@ -278,6 +290,7 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioRun {
         stalled,
         end_ns,
         trace_hash: fnv1a(&ident),
+        timeline,
     }
 }
 

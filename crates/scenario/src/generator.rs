@@ -9,6 +9,7 @@
 //! negligible probability even across thousands of fuzz seeds.
 
 use ibsim_fabric::Xorshift64Star;
+use ibsim_verbs::RecoveryKind;
 
 use crate::spec::{DeviceKind, FaultEvent, LossPhase, LossSpec, Scenario, Side, WrSpec};
 
@@ -36,7 +37,27 @@ pub fn random_scenario(seed: u64) -> Scenario {
         sc.min_rnr_delay_ns = 10_000;
     }
     sc.post_interval_ns = 500 + rng.next_below(4_500);
+    // Fuzz the recovery backend: half the seeds stay on the paper's
+    // go-back-N hardware, the rest split between the two ablations.
+    sc.recovery = match rng.next_below(4) {
+        0 => RecoveryKind::SelectiveRepeat,
+        1 => RecoveryKind::OnDemandPin,
+        _ => RecoveryKind::GoBackN,
+    };
 
+    // The pairwise race predicate for rejection sampling matches the
+    // backend's validate() rule: selective repeat executes out of order
+    // and acks non-cumulatively, so everything overlapping except
+    // READ/READ is racy there (see `Scenario::validate`).
+    let recovery = sc.recovery;
+    let racy = move |a: WrSpec, b: WrSpec| {
+        if recovery == RecoveryKind::SelectiveRepeat {
+            let both_reads = matches!(a, WrSpec::Read { .. }) && matches!(b, WrSpec::Read { .. });
+            a.overlaps(b) && !both_reads
+        } else {
+            a.races_with_later(b) || b.races_with_later(a)
+        }
+    };
     for qp in 0..sc.qps {
         let n = 1 + rng.next_below(5);
         let mut mine: Vec<WrSpec> = Vec::new();
@@ -44,15 +65,11 @@ pub fn random_scenario(seed: u64) -> Scenario {
             // Rejection-sample until the candidate cannot race any other
             // request on this QP in *either* posting order (the global
             // shuffle below may put it before or after its peers) — the
-            // oracle's soundness precondition, see
-            // `WrSpec::races_with_later`. The first request always
+            // oracle's soundness precondition. The first request always
             // lands, so every QP keeps at least one.
             for _ in 0..16 {
                 let wr = random_wr(&mut rng, sc.slot);
-                if mine
-                    .iter()
-                    .all(|&prev| !prev.races_with_later(wr) && !wr.races_with_later(prev))
-                {
+                if mine.iter().all(|&prev| !racy(prev, wr)) {
                     mine.push(wr);
                     break;
                 }
@@ -169,6 +186,17 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         assert_ne!(random_scenario(1), random_scenario(2));
+    }
+
+    #[test]
+    fn fuzz_covers_every_recovery_backend() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..200 {
+            seen.insert(random_scenario(seed).recovery);
+        }
+        for kind in RecoveryKind::ALL {
+            assert!(seen.contains(&kind), "{kind} never generated");
+        }
     }
 
     #[test]

@@ -20,6 +20,8 @@
 
 use std::fmt;
 
+use ibsim_verbs::RecoveryKind;
+
 /// Which NIC model both hosts use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeviceKind {
@@ -128,6 +130,13 @@ impl WrSpec {
         }
     }
 
+    /// True if the two footprints share at least one byte.
+    pub fn overlaps(self, other: WrSpec) -> bool {
+        let (a_off, a_len) = self.footprint();
+        let (b_off, b_len) = other.footprint();
+        !(a_off + a_len <= b_off || b_off + b_len <= a_off)
+    }
+
     /// True if posting `later` after `self` on the *same QP* with
     /// overlapping footprints is an unsequenced buffer race — the
     /// differential oracle's soundness precondition
@@ -153,10 +162,13 @@ impl WrSpec {
     /// always fine: responder execution is PSN-ordered, duplicate
     /// WRITE/SENDs are re-ACKed without re-applying data, and duplicate
     /// atomics are replayed from the responder's replay cache.
+    ///
+    /// This rule set is the go-back-N one. Selective repeat executes
+    /// overlapping requests out of order and acks non-cumulatively, so
+    /// [`Scenario::validate`] tightens the precondition there to "any
+    /// overlap except READ/READ" using [`WrSpec::overlaps`] directly.
     pub fn races_with_later(self, later: WrSpec) -> bool {
-        let (a_off, a_len) = self.footprint();
-        let (b_off, b_len) = later.footprint();
-        if a_off + a_len <= b_off || b_off + b_len <= a_off {
+        if !self.overlaps(later) {
             return false; // disjoint footprints never race
         }
         let later_mutates = !matches!(later, WrSpec::Read { .. });
@@ -272,6 +284,10 @@ pub struct Scenario {
     /// Gap between consecutive posts of the workload loop, in
     /// nanoseconds (the Fig. 3 `usleep(interval)`).
     pub post_interval_ns: u64,
+    /// Loss-recovery backend on every QP. Defaults to go-back-N (the
+    /// hardware the paper measured); specs without a `recovery=` line
+    /// parse to that default, so pre-facet reproducers stay valid.
+    pub recovery: RecoveryKind,
     /// The workload: `(qp index, request)`, posted in list order with
     /// the global list position as the work-request id.
     pub wrs: Vec<(usize, WrSpec)>,
@@ -298,6 +314,7 @@ impl Scenario {
             retry_count: 7,
             min_rnr_delay_ns: 1_280_000,
             post_interval_ns: 1_000,
+            recovery: RecoveryKind::GoBackN,
             wrs: Vec::new(),
             faults: Vec::new(),
             loss: Vec::new(),
@@ -341,13 +358,32 @@ impl Scenario {
         }
         // Oracle soundness precondition: no unsequenced buffer races
         // between same-QP requests (see `WrSpec::races_with_later`).
+        //
+        // Selective repeat weakens both ordering guarantees the go-back-N
+        // rule leans on: the responder executes future READ/WRITEs out of
+        // order, and acking is no longer cumulative (so an unacked
+        // WRITE/SEND can be re-gathered after a later response landed in
+        // its source bytes). Under that backend any overlapping same-QP
+        // pair except READ/READ is an unsequenced race.
         for (j, &(qp_j, wr_j)) in self.wrs.iter().enumerate() {
             for &(qp_i, wr_i) in &self.wrs[..j] {
-                if qp_i == qp_j && wr_i.races_with_later(wr_j) {
+                if qp_i != qp_j {
+                    continue;
+                }
+                let racy = if self.recovery == RecoveryKind::SelectiveRepeat {
+                    let both_reads =
+                        matches!(wr_i, WrSpec::Read { .. }) && matches!(wr_j, WrSpec::Read { .. });
+                    wr_i.overlaps(wr_j) && !both_reads
+                } else {
+                    wr_i.races_with_later(wr_j)
+                };
+                if racy {
                     return Err(format!(
                         "wr {j} ({wr_j:?}) overlaps the landing range of an earlier \
                          outstanding {wr_i:?} on QP {qp_j}: unsequenced buffer race \
-                         (the reference model assumes sequential buffer evolution)"
+                         under {} recovery (the reference model assumes sequential \
+                         buffer evolution)",
+                        self.recovery
                     ));
                 }
             }
@@ -402,6 +438,7 @@ impl Scenario {
         s.push_str(&format!("retry={}\n", self.retry_count));
         s.push_str(&format!("rnr_ns={}\n", self.min_rnr_delay_ns));
         s.push_str(&format!("interval_ns={}\n", self.post_interval_ns));
+        s.push_str(&format!("recovery={}\n", self.recovery));
         for &(qp, wr) in &self.wrs {
             match wr {
                 WrSpec::Read { off, len } => s.push_str(&format!("wr={qp} read {off} {len}\n")),
@@ -478,6 +515,7 @@ impl Scenario {
                 "retry" => sc.retry_count = parse_num::<u64>(value)? as u8,
                 "rnr_ns" => sc.min_rnr_delay_ns = parse_num(value)?,
                 "interval_ns" => sc.post_interval_ns = parse_num(value)?,
+                "recovery" => sc.recovery = value.parse()?,
                 "wr" => {
                     let parts: Vec<&str> = value.split_whitespace().collect();
                     if parts.len() < 3 {
@@ -659,6 +697,78 @@ mod tests {
         assert_eq!(sc, back);
         // And the re-rendered text is byte-identical.
         assert_eq!(text, back.to_spec_string());
+    }
+
+    #[test]
+    fn recovery_facet_round_trips_every_backend() {
+        for kind in RecoveryKind::ALL {
+            let mut sc = sample();
+            sc.recovery = kind;
+            sc.validate().expect("sample is valid under every backend");
+            let text = sc.to_spec_string();
+            assert!(
+                text.contains(&format!("recovery={kind}\n")),
+                "facet always emitted"
+            );
+            let back = Scenario::parse(&text).expect("parse back");
+            assert_eq!(sc, back);
+            assert_eq!(text, back.to_spec_string());
+        }
+        // Pre-facet specs (no recovery line) parse to go-back-N.
+        let legacy = "ibsim-scenario v1\nname=old\n";
+        let sc = Scenario::parse(legacy).expect("parse legacy spec");
+        assert_eq!(sc.recovery, RecoveryKind::GoBackN);
+        // Unknown tokens are rejected with the kind parser's message.
+        let bad = "ibsim-scenario v1\nname=x\nrecovery=tcp\n";
+        let err = Scenario::parse(bad).expect_err("unknown backend");
+        assert!(err.contains("unknown recovery kind"), "{err}");
+    }
+
+    #[test]
+    fn selective_repeat_tightens_the_race_precondition() {
+        // WRITE-WRITE overlap: PSN-ordered (safe) under go-back-N,
+        // reorderable under out-of-order execution.
+        let mut sc = Scenario::base("ww-overlap");
+        sc.wrs = vec![
+            (0, WrSpec::Write { off: 0, len: 32 }),
+            (0, WrSpec::Write { off: 16, len: 32 }),
+        ];
+        sc.validate().expect("write-write overlap fine under gbn");
+        sc.recovery = RecoveryKind::SelectiveRepeat;
+        let err = sc.validate().expect_err("rejected under irn");
+        assert!(err.contains("unsequenced buffer race"), "{err}");
+
+        // WRITE-then-READ overlap: cumulative acking makes it safe under
+        // go-back-N; non-cumulative acking plus out-of-order READ service
+        // does not.
+        let mut sc = Scenario::base("wr-overlap");
+        sc.wrs = vec![
+            (0, WrSpec::Write { off: 0, len: 32 }),
+            (0, WrSpec::Read { off: 0, len: 32 }),
+        ];
+        sc.validate().expect("write-read overlap fine under gbn");
+        sc.recovery = RecoveryKind::SelectiveRepeat;
+        assert!(sc.validate().is_err(), "rejected under irn");
+
+        // READ-READ overlap and disjoint mutators stay valid everywhere.
+        let mut sc = Scenario::base("irn-safe");
+        sc.recovery = RecoveryKind::SelectiveRepeat;
+        sc.wrs = vec![
+            (0, WrSpec::Read { off: 0, len: 32 }),
+            (0, WrSpec::Read { off: 16, len: 32 }),
+            (0, WrSpec::Write { off: 64, len: 32 }),
+            (0, WrSpec::Send { off: 128, len: 16 }),
+        ];
+        sc.validate().expect("read-read overlap fine under irn");
+        // On-demand pinning keeps go-back-N ordering, so the go-back-N
+        // rule applies unchanged.
+        let mut sc = Scenario::base("pin-keeps-gbn-rule");
+        sc.recovery = RecoveryKind::OnDemandPin;
+        sc.wrs = vec![
+            (0, WrSpec::Write { off: 0, len: 32 }),
+            (0, WrSpec::Write { off: 16, len: 32 }),
+        ];
+        sc.validate().expect("write-write overlap fine under pin");
     }
 
     #[test]

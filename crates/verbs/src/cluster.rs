@@ -12,7 +12,7 @@ use crate::driver::{Driver, DriverStats, DriverWork};
 use crate::mem::{Memory, MrMode};
 use crate::nic::Nic;
 use crate::packet::{Packet, PacketKind};
-use crate::qp::{Effects, QpConfig, QpEnv, QpStats, TimerFamily};
+use crate::qp::{Effects, QpConfig, QpEnv, QpStats, RecoveryKind, TimerFamily};
 use crate::types::{HostId, MrKey, Qpn, WrId};
 use crate::wr::{Completion, RecvWr, WorkRequest};
 
@@ -120,6 +120,11 @@ pub struct Cluster {
     /// so steady-state turns allocate nothing. Pool contents never
     /// influence behavior (values are reset before reuse).
     fx_pool: Vec<Effects>,
+    /// Cluster-wide recovery backend applied to every QP created after
+    /// [`Cluster::set_default_recovery`] (ablation harnesses flip one
+    /// knob instead of threading a config through every `connect_pair`).
+    /// `None` leaves each [`QpConfig::recovery`] as passed.
+    default_recovery: Option<RecoveryKind>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -147,7 +152,14 @@ impl Cluster {
             stats: ClusterStats::default(),
             telemetry: Telemetry::new(),
             fx_pool: Vec::new(),
+            default_recovery: None,
         }
+    }
+
+    /// Overrides the recovery backend of every QP created from now on;
+    /// existing QPs are untouched.
+    pub fn set_default_recovery(&mut self, kind: RecoveryKind) {
+        self.default_recovery = Some(kind);
     }
 
     /// Adds a host with the given NIC profile; returns its id.
@@ -200,6 +212,7 @@ impl Cluster {
             total.responses_discarded += s.responses_discarded;
             total.faults_raised += s.faults_raised;
             total.pendency_drops += s.pendency_drops;
+            total.pages_pinned += s.pages_pinned;
             total.invariant_violations += s.invariant_violations;
         }
         total
@@ -316,7 +329,10 @@ impl Cluster {
     // ------------------------------------------------------------------
 
     /// Creates an RC QP on `host`.
-    pub fn create_qp(&mut self, host: HostId, cfg: QpConfig) -> Qpn {
+    pub fn create_qp(&mut self, host: HostId, mut cfg: QpConfig) -> Qpn {
+        if let Some(kind) = self.default_recovery {
+            cfg.recovery = kind;
+        }
         self.nics[host.0].create_qp(cfg)
     }
 
@@ -327,8 +343,11 @@ impl Cluster {
         _eng: &mut Sim,
         a: HostId,
         b: HostId,
-        cfg: QpConfig,
+        mut cfg: QpConfig,
     ) -> (Qpn, Qpn) {
+        if let Some(kind) = self.default_recovery {
+            cfg.recovery = kind;
+        }
         let qa = self.nics[a.0].create_qp(cfg.clone());
         let qb = self.nics[b.0].create_qp(cfg);
         let (la, lb) = (self.nics[a.0].lid, self.nics[b.0].lid);
@@ -920,6 +939,7 @@ pub struct ClusterBuilder {
     hosts: Vec<(String, DeviceProfile)>,
     capture: bool,
     telemetry: bool,
+    recovery: Option<RecoveryKind>,
 }
 
 impl ClusterBuilder {
@@ -954,6 +974,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Runs every QP of the cluster on this recovery backend (the
+    /// ablation knob). Unset, each QP keeps its own
+    /// [`QpConfig::recovery`], which defaults to go-back-N.
+    pub fn recovery(mut self, kind: RecoveryKind) -> Self {
+        self.recovery = Some(kind);
+        self
+    }
+
     /// Builds the engine and cluster; returns them with the host ids in
     /// the order the hosts were added.
     pub fn build(self) -> (Sim, Cluster, Vec<HostId>) {
@@ -961,6 +989,9 @@ impl ClusterBuilder {
         let mut cl = Cluster::new(self.seed);
         if self.telemetry {
             cl.telemetry_enable();
+        }
+        if let Some(kind) = self.recovery {
+            cl.set_default_recovery(kind);
         }
         let mut ids = Vec::with_capacity(self.hosts.len());
         for (name, profile) in self.hosts {

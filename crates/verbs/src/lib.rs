@@ -31,7 +31,11 @@ pub use driver::{Driver, DriverStats, DriverWork};
 pub use mem::{MemRegion, Memory, MrMode, PageState};
 pub use nic::Nic;
 pub use packet::{AtomicOp, NakKind, Packet, PacketKind, SegPos};
-pub use qp::{Effects, Qp, QpConfig, QpEnv, QpState, QpStats, TimerEffects, TimerFamily};
+pub use qp::{
+    policy_for, Effects, GoBackN, OnDemandPin, Qp, QpConfig, QpEnv, QpState, QpStats, RecoveryKind,
+    RecoveryPlan, RecoveryPolicy, RetransmitCtx, SackBitmap, SelectiveRepeat, StallVerdict,
+    TimerEffects, TimerFamily, WrView,
+};
 pub use types::{
     packets_for, HostId, MrKey, Psn, Qpn, WrId, AETH_BYTES, BASE_HEADER_BYTES, DEFAULT_MTU,
     PAGE_SIZE, RETH_BYTES,

@@ -117,6 +117,10 @@ pub struct Effects {
     pub fault_waits: Vec<(MrKey, usize)>,
     /// Driver interrupt work units generated (discarded duplicates).
     pub irqs: u32,
+    /// Pages pinned on first touch by the `OnDemandPin` recovery
+    /// backend's gates. Zero under every other backend, so the router's
+    /// lazily-created pin counter never perturbs golden telemetry.
+    pub pins: u32,
 }
 
 impl Effects {
@@ -138,6 +142,7 @@ impl Effects {
         self.faults.clear();
         self.fault_waits.clear();
         self.irqs = 0;
+        self.pins = 0;
     }
 
     /// True if the handler produced no effects.
@@ -148,6 +153,7 @@ impl Effects {
             && self.faults.is_empty()
             && self.fault_waits.is_empty()
             && self.irqs == 0
+            && self.pins == 0
     }
 }
 

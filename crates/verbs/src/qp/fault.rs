@@ -63,6 +63,11 @@ pub(super) struct OdpStall {
     pub(super) ghost_until: SimTime,
     /// Timer generation guarding this stall's ticks.
     pub(super) gen: u64,
+    /// The page whose fault blocked the response, when the gate knows
+    /// it. Event-driven backends resume a stall only when *its* page
+    /// resolves, so one page's resolution never triggers retransmissions
+    /// that the still-faulting pages would discard again.
+    pub(super) blocked_on: Option<(MrKey, usize)>,
 }
 
 /// Requester-side RNR wait state.
@@ -106,6 +111,9 @@ pub(super) struct GateOutcome {
     pub(super) usable: bool,
     /// At least one page moved `Unmapped → Faulting` (one fault event).
     pub(super) newly_faulted: bool,
+    /// The first page that made the response unusable (faulting or
+    /// stale), if any — what an event-driven resume waits on.
+    pub(super) blocking: Option<(MrKey, usize)>,
 }
 
 /// Client-side ODP gate (requester): destination pages of a READ/ATOMIC
@@ -123,6 +131,7 @@ pub(super) fn gate_dest_pages(
 ) -> GateOutcome {
     let mut usable = true;
     let mut newly_faulted = false;
+    let mut blocking = None;
     for p in mr.pages_spanned(off, len) {
         match mr.page_state(p) {
             PageState::Unmapped => {
@@ -132,14 +141,17 @@ pub(super) fn gate_dest_pages(
                 fx.fault_waits.push((mr_key, p));
                 newly_faulted = true;
                 usable = false;
+                blocking.get_or_insert((mr_key, p));
             }
             PageState::Faulting => {
                 fx.fault_waits.push((mr_key, p));
                 usable = false;
+                blocking.get_or_insert((mr_key, p));
             }
             PageState::Mapped => {
                 if tracker.is_stale(mr_key, p) {
                     usable = false;
+                    blocking.get_or_insert((mr_key, p));
                 }
             }
         }
@@ -147,6 +159,7 @@ pub(super) fn gate_dest_pages(
     GateOutcome {
         usable,
         newly_faulted,
+        blocking,
     }
 }
 
@@ -175,6 +188,25 @@ pub(super) fn fault_source_pages(
         }
     }
     (blocked, faulted)
+}
+
+/// NP-RDMA-style on-demand pin (the [`RecoveryKind::OnDemandPin`]
+/// fault model, see [`super::recovery`]): every spanned page that is not
+/// yet mapped is pinned — mapped synchronously, with no fault event, no
+/// fault wait and no pendency — so the fault window never opens. Returns
+/// the number of pages newly pinned; the caller accounts them into
+/// [`Effects::pins`] and the per-engine `pages_pinned` counter.
+///
+/// [`RecoveryKind::OnDemandPin`]: super::recovery::RecoveryKind::OnDemandPin
+pub(super) fn pin_pages(mr: &mut MemRegion, off: u64, len: u32) -> u32 {
+    let mut pinned = 0;
+    for p in mr.pages_spanned(off, len.max(1)) {
+        if mr.page_state(p) != PageState::Mapped {
+            mr.set_page_state(p, PageState::Mapped);
+            pinned += 1;
+        }
+    }
+    pinned
 }
 
 /// Responder drop-path fault priming: starts faults for the unmapped
@@ -254,6 +286,7 @@ mod tests {
             psn: Psn::new(5),
             ghost_until: SimTime::from_us(10),
             gen: 1,
+            blocked_on: None,
         });
         assert!(r.active());
         assert!(r.in_window(SimTime::from_us(9)));

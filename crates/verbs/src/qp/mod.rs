@@ -37,12 +37,17 @@
 
 mod effects;
 mod fault;
+mod recovery;
 mod requester;
 mod responder;
 mod state;
 mod wire;
 
 pub use effects::{Effects, TimerEffects, TimerFamily};
+pub use recovery::{
+    policy_for, GoBackN, OnDemandPin, RecoveryKind, RecoveryPlan, RecoveryPolicy, RetransmitCtx,
+    SackBitmap, SelectiveRepeat, StallVerdict, WrView,
+};
 pub use state::QpState;
 
 use std::collections::BTreeMap;
@@ -79,6 +84,8 @@ pub struct QpConfig {
     /// Maximum outstanding READ/ATOMIC requests (`max_rd_atomic`); the
     /// usual hardware limit is 16.
     pub max_rd_atomic: usize,
+    /// Loss-recovery backend this QP runs (see [`RecoveryKind`]).
+    pub recovery: RecoveryKind,
 }
 
 impl Default for QpConfig {
@@ -92,6 +99,7 @@ impl Default for QpConfig {
             min_rnr_delay: SimTime::from_us(1_280),
             mtu: crate::types::DEFAULT_MTU,
             max_rd_atomic: 16,
+            recovery: RecoveryKind::GoBackN,
         }
     }
 }
@@ -116,6 +124,10 @@ pub struct QpStats {
     pub faults_raised: u64,
     /// Request packets silently dropped by responder fault pendency.
     pub pendency_drops: u64,
+    /// Pages pinned on first touch (either side); only the
+    /// [`RecoveryKind::OnDemandPin`] backend ever pins, so this stays
+    /// zero under go-back-N and selective repeat.
+    pub pages_pinned: u64,
     /// Protocol-invariant violations detected at runtime (only counted
     /// when the `checks` feature is enabled; always zero otherwise).
     /// Currently covers illegal QP state transitions per
@@ -177,7 +189,7 @@ impl Qp {
     /// Creates a QP owned by the port `lid` with number `qpn`.
     pub fn new(qpn: Qpn, lid: Lid, cfg: QpConfig) -> Self {
         Qp {
-            req: Requester::new(cfg.retry_count, cfg.rnr_retry),
+            req: Requester::new(cfg.retry_count, cfg.rnr_retry, cfg.recovery),
             resp: Responder::new(),
             fault: FaultTracker::new(),
             life: Lifecycle::new(),
@@ -257,6 +269,7 @@ impl Qp {
             responses_discarded: self.req.stats.responses_discarded,
             faults_raised: self.req.stats.faults_raised + self.resp.stats.faults_raised,
             pendency_drops: self.resp.stats.pendency_drops,
+            pages_pinned: self.req.stats.pages_pinned + self.resp.stats.pages_pinned,
             invariant_violations: self.life.violations(),
         }
     }

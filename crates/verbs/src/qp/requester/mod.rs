@@ -1,5 +1,5 @@
 //! The requester engine: send queue, PSN assignment, ACK timeout, RNR
-//! wait, ODP response stalls, and go-back-N retransmission.
+//! wait, ODP response stalls, and plan-driven loss recovery.
 //!
 //! Everything here runs on the *initiating* side of a connection. The
 //! engine owns no responder state; the only cross-role input is a
@@ -7,6 +7,13 @@
 //! page map, consulted by the client-side ODP gate. This file holds the
 //! transmit-side machinery; [`response`] holds the ACK/response/NAK
 //! receive path.
+//!
+//! Loss recovery is not decided here: on every timeout / RNR expiry /
+//! NAK / stall tick / fault resolution the engine builds a [`WrView`]
+//! snapshot of the send queue, asks its [`RecoveryPolicy`] backend for a
+//! [`RecoveryPlan`], and executes that plan against the live queue in
+//! send-queue order (see [`Requester::execute_plan`]). The go-back-N
+//! backend reproduces the pre-trait behavior bit-identically.
 
 mod response;
 
@@ -20,6 +27,9 @@ use crate::wr::{Completion, SendWqe, WcOpcode, WcStatus, WorkRequest, WrOp};
 
 use super::effects::Effects;
 use super::fault::{self, Recovery};
+use super::recovery::{
+    policy_for, RecoveryKind, RecoveryPlan, RecoveryPolicy, RetransmitCtx, WrView,
+};
 use super::state::{Lifecycle, QpState};
 use super::wire::{build_request_packet, source_segment};
 use super::{QpCtx, QpEnv};
@@ -38,6 +48,8 @@ pub(super) struct ReqStats {
     pub(super) responses_discarded: u64,
     /// Network page faults raised on this side.
     pub(super) faults_raised: u64,
+    /// Pages pinned on first touch (`OnDemandPin` backend only).
+    pub(super) pages_pinned: u64,
 }
 
 /// The requester half of an RC queue pair.
@@ -50,6 +62,9 @@ pub(super) struct Requester {
     timer_gen: u64,
     ack_gen: u64,
     recovery: Recovery,
+    /// The pluggable loss-recovery backend: decision logic only; this
+    /// engine snapshots the queue, asks for a plan, and executes it.
+    policy: Box<dyn RecoveryPolicy>,
     /// Local source pages whose faults block further transmission.
     tx_blocked: BTreeSet<(MrKey, usize)>,
     /// Protocol counters.
@@ -57,8 +72,9 @@ pub(super) struct Requester {
 }
 
 impl Requester {
-    /// A fresh requester with full retry budgets.
-    pub(super) fn new(retry_count: u8, rnr_retry: u8) -> Self {
+    /// A fresh requester with full retry budgets running the `kind`
+    /// loss-recovery backend.
+    pub(super) fn new(retry_count: u8, rnr_retry: u8, kind: RecoveryKind) -> Self {
         Requester {
             sq: VecDeque::new(),
             next_psn: Psn::new(0),
@@ -67,6 +83,7 @@ impl Requester {
             timer_gen: 0,
             ack_gen: 0,
             recovery: Recovery::default(),
+            policy: policy_for(kind),
             tx_blocked: BTreeSet::new(),
             stats: ReqStats::default(),
         }
@@ -182,7 +199,8 @@ impl Requester {
             return;
         }
         let (peer_lid, peer_qpn) = ctx.peer_or_panic();
-        let ghost_window = env.profile.damming && self.recovery.in_window(env.now);
+        let ghost_window =
+            env.profile.damming && self.policy.ghost_quirks() && self.recovery.in_window(env.now);
         let mtu = ctx.cfg.mtu;
         let mut outstanding_rd = self
             .sq
@@ -212,19 +230,32 @@ impl Requester {
                         .mrs
                         .get_mut(&mr_key)
                         .expect("invariant: WQE admitted with a valid lkey");
-                    if mr.mode() == MrMode::Odp
-                        && seg_len > 0
-                        && mr.first_unmapped(local_off + seg_off, seg_len).is_some()
-                    {
-                        let (blocked, faulted) =
-                            fault::fault_source_pages(mr, mr_key, local_off + seg_off, seg_len, fx);
-                        for b in blocked {
-                            self.tx_blocked.insert(b);
+                    if mr.mode() == MrMode::Odp && seg_len > 0 {
+                        if ctx.cfg.recovery == RecoveryKind::OnDemandPin {
+                            // NP-RDMA model: pin the source pages on
+                            // first touch and keep transmitting — no
+                            // fault, no head-of-line block.
+                            let pinned = fault::pin_pages(mr, local_off + seg_off, seg_len);
+                            if pinned > 0 {
+                                self.stats.pages_pinned += pinned as u64;
+                                fx.pins += pinned;
+                            }
+                        } else if mr.first_unmapped(local_off + seg_off, seg_len).is_some() {
+                            let (blocked, faulted) = fault::fault_source_pages(
+                                mr,
+                                mr_key,
+                                local_off + seg_off,
+                                seg_len,
+                                fx,
+                            );
+                            for b in blocked {
+                                self.tx_blocked.insert(b);
+                            }
+                            if faulted {
+                                self.stats.faults_raised += 1;
+                            }
+                            return; // head-of-line blocked
                         }
-                        if faulted {
-                            self.stats.faults_raised += 1;
-                        }
-                        return; // head-of-line blocked
                     }
                 }
                 let seg = wqe.sent_segments;
@@ -328,7 +359,15 @@ impl Requester {
         }
         self.retry_budget -= 1;
         let from = self.lowest_pending_psn();
-        self.go_back_n(ctx, env, fx, from);
+        let views = self.wr_views();
+        let plan = self.policy.on_timeout(
+            &RetransmitCtx {
+                wrs: &views,
+                now: env.now,
+            },
+            from,
+        );
+        self.execute_plan(ctx, env, fx, &plan);
         self.rearm_timer_if_needed(ctx, life, fx);
     }
 
@@ -348,17 +387,23 @@ impl Requester {
             return;
         }
         self.recovery.rnr_wait = None;
-        if env.profile.damming {
-            // The ConnectX-4 flaw: recovery retransmits the requests that
-            // were in flight when the RNR NAK arrived, but *forgets* the
-            // ghosts — successors first transmitted during the wait
-            // (→ packet damming). Back-to-back posts that beat the NAK
-            // onto the wire are recovered fine, which is why Fig. 6a's
-            // timeout probability is zero at near-zero intervals.
-            self.go_back_n_impl(ctx, env, fx, wait.psn, true);
-        } else {
-            self.go_back_n(ctx, env, fx, wait.psn);
-        }
+        // On damming devices the go-back-N backend reproduces the
+        // ConnectX-4 flaw here: recovery retransmits the requests that
+        // were in flight when the RNR NAK arrived, but *forgets* the
+        // ghosts — successors first transmitted during the wait
+        // (→ packet damming). Back-to-back posts that beat the NAK onto
+        // the wire are recovered fine, which is why Fig. 6a's timeout
+        // probability is zero at near-zero intervals.
+        let views = self.wr_views();
+        let plan = self.policy.on_rnr_expire(
+            &RetransmitCtx {
+                wrs: &views,
+                now: env.now,
+            },
+            wait.psn,
+            env.profile.damming,
+        );
+        self.execute_plan(ctx, env, fx, &plan);
         self.rearm_timer_if_needed(ctx, life, fx);
     }
 
@@ -389,12 +434,28 @@ impl Requester {
             self.recovery.stalls.swap_remove(idx);
             return;
         }
-        // Blind retransmission "regardless of the resolution of the page
-        // fault" (§IV-A): resend the request and re-tick.
-        self.retransmit_message(ctx, env, fx, psn);
-        let delay = env.profile.odp_client_retx;
-        let gen = self.recovery.stalls[idx].gen; // unchanged generation keeps ticking
-        fx.timers.arm_stalls.push((psn, delay, gen));
+        // Go-back-N: blind retransmission "regardless of the resolution
+        // of the page fault" (§IV-A) — resend the request and re-tick.
+        // Selective repeat never arms these ticks; a stray one neither
+        // resends nor re-arms.
+        let verdict = {
+            let views = self.wr_views();
+            self.policy.on_stall_tick(
+                &RetransmitCtx {
+                    wrs: &views,
+                    now: env.now,
+                },
+                psn,
+            )
+        };
+        if verdict.retransmit {
+            self.execute_plan(ctx, env, fx, &RecoveryPlan::messages(vec![psn]));
+        }
+        if verdict.rearm {
+            let delay = env.profile.odp_client_retx;
+            let gen = self.recovery.stalls[idx].gen; // unchanged generation keeps ticking
+            fx.timers.arm_stalls.push((psn, delay, gen));
+        }
     }
 
     // ------------------------------------------------------------------
@@ -410,24 +471,38 @@ impl Requester {
             .unwrap_or(self.next_psn)
     }
 
-    /// Go-back-N: retransmits every transmitted, unfinished message whose
-    /// span reaches `from` or beyond. Clears damming ghosts — a recovery
-    /// retransmission really goes on the wire.
-    fn go_back_n(&mut self, ctx: &QpCtx, env: &mut QpEnv<'_>, fx: &mut Effects, from: Psn) {
-        self.go_back_n_impl(ctx, env, fx, from, false);
+    /// The narrow send-queue snapshot a [`RecoveryPolicy`] decides over.
+    fn wr_views(&self) -> Vec<WrView> {
+        self.sq
+            .iter()
+            .map(|w| WrView {
+                psn_first: w.psn_first,
+                psn_last: w.psn_last,
+                sent: w.sent_segments > 0,
+                done: w.is_done(),
+                acked: w.acked,
+                ghosted: w.ghosted,
+            })
+            .collect()
     }
 
-    /// Go-back-N with the ConnectX-4 quirk knob: when `skip_ghosts` is
-    /// set, messages first transmitted inside a recovery window stay
-    /// forgotten (only a later NAK or the transport timeout saves them).
-    fn go_back_n_impl(
+    /// Executes a [`RecoveryPlan`] against the live send queue: walks the
+    /// queue in posting order, resends every transmitted segment of each
+    /// planned message (clearing its damming ghost flag — a recovery
+    /// retransmission really goes on the wire), and accounts the
+    /// retransmissions. Because plans are built from a send-queue-order
+    /// view and executed in send-queue order, the go-back-N backend's
+    /// packet stream is bit-identical to the pre-trait inlined loop.
+    fn execute_plan(
         &mut self,
         ctx: &QpCtx,
         env: &mut QpEnv<'_>,
         fx: &mut Effects,
-        from: Psn,
-        skip_ghosts: bool,
+        plan: &RecoveryPlan,
     ) {
+        if plan.is_empty() {
+            return;
+        }
         let (peer_lid, peer_qpn) = ctx.peer_or_panic();
         let mtu = ctx.cfg.mtu;
         let mut retx = 0;
@@ -435,10 +510,7 @@ impl Requester {
             if wqe.is_done() || wqe.sent_segments == 0 {
                 continue;
             }
-            if wqe.psn_last.precedes(from) {
-                continue;
-            }
-            if skip_ghosts && wqe.ghosted {
+            if !plan.retransmit.contains(&wqe.psn_first) {
                 continue;
             }
             wqe.ghosted = false;
@@ -448,27 +520,6 @@ impl Requester {
                 );
                 fx.packets.push(pkt);
                 retx += 1;
-            }
-        }
-        self.stats.retransmissions += retx;
-    }
-
-    /// Retransmits exactly the message whose first PSN is `psn`.
-    fn retransmit_message(&mut self, ctx: &QpCtx, env: &mut QpEnv<'_>, fx: &mut Effects, psn: Psn) {
-        let (peer_lid, peer_qpn) = ctx.peer_or_panic();
-        let mtu = ctx.cfg.mtu;
-        let mut retx = 0;
-        for wqe in self.sq.iter_mut() {
-            if wqe.psn_first == psn && !wqe.is_done() && wqe.sent_segments > 0 {
-                wqe.ghosted = false;
-                for seg in 0..wqe.sent_segments {
-                    let pkt = build_request_packet(
-                        env, ctx.lid, ctx.qpn, peer_lid, peer_qpn, wqe, seg, mtu, true,
-                    );
-                    fx.packets.push(pkt);
-                    retx += 1;
-                }
-                break;
             }
         }
         self.stats.retransmissions += retx;
@@ -528,7 +579,13 @@ impl Requester {
     // ------------------------------------------------------------------
 
     /// A local source page became usable: unblock transmission if this
-    /// was the last blocking page.
+    /// was the last blocking page, then offer the recovery backend its
+    /// fault-resolution event for any active ODP stalls. Go-back-N
+    /// returns the empty plan (its hardware is deaf to resolution — the
+    /// blind tick is the only resume path), so this stays a no-op on the
+    /// golden traces; selective repeat resumes stalled messages here,
+    /// event-driven, which is what removes the flood's blind-retransmit
+    /// amplification.
     pub(super) fn page_ready(
         &mut self,
         ctx: &QpCtx,
@@ -541,5 +598,40 @@ impl Requester {
         if self.tx_blocked.remove(&(mr, page)) && self.tx_blocked.is_empty() {
             self.pump(ctx, life, env, fx);
         }
+        if self.recovery.stalls.is_empty() {
+            return;
+        }
+        // Offer only the stalls this resolution actually unblocks: a
+        // stall waiting on a different page would just be discarded and
+        // re-stalled if resent now. Stalls with no recorded page (the
+        // gate could not tell) are always offered.
+        let stalled: Vec<Psn> = self
+            .recovery
+            .stalls
+            .iter()
+            .filter(|s| s.blocked_on.is_none_or(|b| b == (mr, page)))
+            .map(|s| s.psn)
+            .collect();
+        if stalled.is_empty() {
+            return;
+        }
+        let plan = {
+            let views = self.wr_views();
+            self.policy.on_fault_resolved(
+                &RetransmitCtx {
+                    wrs: &views,
+                    now: env.now,
+                },
+                &stalled,
+            )
+        };
+        if plan.is_empty() {
+            return;
+        }
+        self.recovery
+            .stalls
+            .retain(|s| !plan.retransmit.contains(&s.psn));
+        self.execute_plan(ctx, env, fx, &plan);
+        self.rearm_timer_if_needed(ctx, life, fx);
     }
 }

@@ -7,17 +7,22 @@
 
 use crate::mem::MrMode;
 use crate::packet::{NakKind, Packet, PacketKind};
-use crate::types::Psn;
+use crate::types::{MrKey, Psn};
 use crate::wr::{Completion, WcStatus, WrOp};
 
 use super::super::effects::Effects;
 use super::super::fault::{self, FaultTracker, OdpStall, RnrWait};
+use super::super::recovery::{RecoveryKind, RetransmitCtx};
 use super::super::state::Lifecycle;
 use super::super::{QpCtx, QpEnv};
 use super::Requester;
 
 impl Requester {
-    /// Marks every fully-covered message up to `psn` as acknowledged.
+    /// Marks acknowledged messages. Under a cumulative backend
+    /// (go-back-N semantics) every fully-covered message up to `psn` is
+    /// acknowledged; under selective repeat only the message whose final
+    /// PSN is exactly `psn` — earlier losses are repaired by their own
+    /// retransmissions, not implied by later acknowledgments.
     fn advance_acked(
         &mut self,
         ctx: &QpCtx,
@@ -26,10 +31,18 @@ impl Requester {
         fx: &mut Effects,
         env: &QpEnv<'_>,
     ) {
+        let cumulative = self.policy.cumulative_ack();
         let mut progressed = false;
         for wqe in self.sq.iter_mut() {
-            if wqe.psn_last.at_or_before(psn) && !wqe.acked {
+            let covered = if cumulative {
+                wqe.psn_last.at_or_before(psn)
+            } else {
+                wqe.psn_last == psn
+            };
+            if covered && !wqe.acked {
                 wqe.acked = true;
+                self.policy
+                    .note_message_delivered(wqe.psn_first, wqe.psn_last);
                 progressed = true;
             }
         }
@@ -66,6 +79,15 @@ impl Requester {
                 at: env.now,
             });
         }
+        // Everything before the new head is retired: the backend may
+        // prune its loss-tracking state (the SACK bitmap stays bounded
+        // by the outstanding window).
+        let up_to = self
+            .sq
+            .front()
+            .map(|w| w.psn_first)
+            .unwrap_or(self.next_psn);
+        self.policy.note_retired(up_to);
     }
 
     /// Handles a bare transport ACK.
@@ -77,6 +99,7 @@ impl Requester {
         fx: &mut Effects,
         psn: Psn,
     ) {
+        self.policy.note_delivered(psn);
         self.advance_acked(ctx, life, psn, fx, env);
         self.rearm_timer_if_needed(ctx, life, fx);
         self.pump_after_progress(ctx, life, env, fx);
@@ -84,10 +107,23 @@ impl Requester {
 
     /// Registers a client-side ODP stall for `msg_psn`, or counts the
     /// interrupt work of a discarded duplicate if already stalled — the
-    /// per-response cost that feeds the packet flood.
-    fn stall_or_irq(&mut self, env: &QpEnv<'_>, fx: &mut Effects, msg_psn: Psn) {
-        if self.recovery.stalls.iter().any(|s| s.psn == msg_psn) {
+    /// per-response cost that feeds the packet flood. Whether the stall
+    /// gets a blind 0.5 ms retransmit tick is the backend's call:
+    /// go-back-N arms it (§IV-A); selective repeat leaves the stall
+    /// quiescent until the fault-resolution event resumes it.
+    fn stall_or_irq(
+        &mut self,
+        env: &QpEnv<'_>,
+        fx: &mut Effects,
+        msg_psn: Psn,
+        blocked_on: Option<(MrKey, usize)>,
+    ) {
+        if let Some(stall) = self.recovery.stalls.iter_mut().find(|s| s.psn == msg_psn) {
             fx.irqs += 1;
+            // A re-discard after a resume means a *different* page now
+            // blocks the message; track the fresh one so the next
+            // event-driven resume waits for the right resolution.
+            stall.blocked_on = blocked_on;
         } else {
             let gen = self.next_gen();
             let delay = env.profile.odp_client_retx;
@@ -95,8 +131,11 @@ impl Requester {
                 psn: msg_psn,
                 ghost_until: env.now + delay,
                 gen,
+                blocked_on,
             });
-            fx.timers.arm_stalls.push((msg_psn, delay, gen));
+            if self.policy.arms_blind_stall() {
+                fx.timers.arm_stalls.push((msg_psn, delay, gen));
+            }
         }
     }
 
@@ -119,8 +158,8 @@ impl Requester {
         };
         // ConnectX-4 discards responses arriving during an RNR wait
         // ("while discarding responses sent back during the waiting
-        // time", §IV-A).
-        if env.profile.damming && self.recovery.rnr_wait.is_some() {
+        // time", §IV-A) — a quirk of the go-back-N recovery engine.
+        if env.profile.damming && self.policy.ghost_quirks() && self.recovery.rnr_wait.is_some() {
             self.stats.responses_discarded += 1;
             return;
         }
@@ -167,17 +206,30 @@ impl Requester {
             .get_mut(&local_mr)
             .expect("invariant: READ admitted with a valid lkey");
         let mut usable = true;
+        let mut blocking = None;
         if mr.mode() == MrMode::Odp {
-            let gate = fault::gate_dest_pages(tracker, mr, local_mr, dest_off, dest_len, fx);
-            usable = gate.usable;
-            if gate.newly_faulted {
-                self.stats.faults_raised += 1;
+            if ctx.cfg.recovery == RecoveryKind::OnDemandPin {
+                // NP-RDMA model: pin the landing pages on first touch —
+                // the response is always usable, so neither the stall
+                // nor the per-QP staleness machinery ever engages.
+                let pinned = fault::pin_pages(mr, dest_off, dest_len);
+                if pinned > 0 {
+                    self.stats.pages_pinned += pinned as u64;
+                    fx.pins += pinned;
+                }
+            } else {
+                let gate = fault::gate_dest_pages(tracker, mr, local_mr, dest_off, dest_len, fx);
+                usable = gate.usable;
+                blocking = gate.blocking;
+                if gate.newly_faulted {
+                    self.stats.faults_raised += 1;
+                }
             }
         }
         if !usable {
             self.stats.responses_discarded += 1;
             let msg_psn = self.sq[wqe_idx].psn_first;
-            self.stall_or_irq(env, fx, msg_psn);
+            self.stall_or_irq(env, fx, msg_psn, blocking);
             return;
         }
 
@@ -190,7 +242,9 @@ impl Requester {
             debug_assert_eq!(w.recv_segments, w.resp_packets, "final segment count");
         }
         let done_psn = pkt.psn;
-        // A response implicitly acknowledges all earlier requests.
+        self.policy.note_delivered(done_psn);
+        // A response implicitly acknowledges all earlier requests (only
+        // under cumulative backends; see advance_acked).
         self.advance_acked(ctx, life, done_psn, fx, env);
         self.retire(ctx, fx, env);
         self.note_progress(ctx, life, fx);
@@ -211,7 +265,7 @@ impl Requester {
         let PacketKind::AtomicResponse { original, .. } = &pkt.kind else {
             unreachable!("dispatch guarantees an atomic response");
         };
-        if env.profile.damming && self.recovery.rnr_wait.is_some() {
+        if env.profile.damming && self.policy.ghost_quirks() && self.recovery.rnr_wait.is_some() {
             self.stats.responses_discarded += 1;
             return;
         }
@@ -239,23 +293,34 @@ impl Requester {
             .get_mut(&local_mr)
             .expect("invariant: atomic admitted with a valid lkey");
         let mut usable = true;
+        let mut blocking = None;
         if mr.mode() == MrMode::Odp {
-            let gate = fault::gate_dest_pages(tracker, mr, local_mr, local_off, 8, fx);
-            usable = gate.usable;
-            if gate.newly_faulted {
-                self.stats.faults_raised += 1;
+            if ctx.cfg.recovery == RecoveryKind::OnDemandPin {
+                let pinned = fault::pin_pages(mr, local_off, 8);
+                if pinned > 0 {
+                    self.stats.pages_pinned += pinned as u64;
+                    fx.pins += pinned;
+                }
+            } else {
+                let gate = fault::gate_dest_pages(tracker, mr, local_mr, local_off, 8, fx);
+                usable = gate.usable;
+                blocking = gate.blocking;
+                if gate.newly_faulted {
+                    self.stats.faults_raised += 1;
+                }
             }
         }
         if !usable {
             self.stats.responses_discarded += 1;
             let msg_psn = self.sq[wqe_idx].psn_first;
-            self.stall_or_irq(env, fx, msg_psn);
+            self.stall_or_irq(env, fx, msg_psn, blocking);
             return;
         }
         let base = mr.base();
         env.mem.write(base + local_off, &original.to_le_bytes());
         self.sq[wqe_idx].recv_segments = 1;
         let done_psn = pkt.psn;
+        self.policy.note_delivered(done_psn);
         self.advance_acked(ctx, life, done_psn, fx, env);
         self.retire(ctx, fx, env);
         self.note_progress(ctx, life, fx);
@@ -296,8 +361,9 @@ impl Requester {
                 // Doorbell latency: requests that left the pipeline just
                 // before this NAK were still queued behind it in hardware;
                 // the flawed recovery forgets them too (they are dropped
-                // at the responder's fault pendency either way).
-                if env.profile.damming {
+                // at the responder's fault pendency either way). Another
+                // go-back-N engine quirk.
+                if env.profile.damming && self.policy.ghost_quirks() {
                     let lookback = env.profile.ghost_lookback;
                     for wqe in self.sq.iter_mut() {
                         if wqe.sent_segments > 0 && !wqe.is_done() && psn.precedes(wqe.psn_first) {
@@ -311,12 +377,23 @@ impl Requester {
                 }
             }
             NakKind::SequenceError { epsn } => {
-                // The rescue path of Fig. 8: retransmit everything from
-                // the responder's expected PSN.
+                // The rescue path of Fig. 8: the backend decides what the
+                // hole [epsn, psn] costs — go-back-N retransmits
+                // everything from the responder's expected PSN; selective
+                // repeat only the undelivered messages inside the hole.
                 if self.recovery.rnr_wait.take().is_some() {
                     fx.timers.cancel_rnr = true;
                 }
-                self.go_back_n(ctx, env, fx, epsn);
+                let views = self.wr_views();
+                let plan = self.policy.on_seq_nak(
+                    &RetransmitCtx {
+                        wrs: &views,
+                        now: env.now,
+                    },
+                    epsn,
+                    psn,
+                );
+                self.execute_plan(ctx, env, fx, &plan);
                 self.rearm_timer_if_needed(ctx, life, fx);
             }
             NakKind::RemoteAccess => {

@@ -15,6 +15,7 @@ use crate::wr::{Completion, RecvWr, WcOpcode, WcStatus};
 
 use super::effects::Effects;
 use super::fault;
+use super::recovery::RecoveryKind;
 use super::{QpCtx, QpEnv};
 
 /// Responder-side protocol counters (merged into the public
@@ -29,6 +30,10 @@ pub(super) struct RespStats {
     pub(super) pendency_drops: u64,
     /// Network page faults raised on this side.
     pub(super) faults_raised: u64,
+    /// Pages pinned on first touch (`OnDemandPin` backend only).
+    pub(super) pages_pinned: u64,
+    /// Future requests executed out of order (`SelectiveRepeat` only).
+    pub(super) ooo_executed: u64,
 }
 
 /// Responder-side reason for dropping everything on the floor.
@@ -56,6 +61,11 @@ pub(super) struct Responder {
     /// must be *replayed*, never re-executed (atomics are not idempotent;
     /// the spec's atomic response resources, §9.4.5).
     atomic_replay: VecDeque<(Psn, u64)>,
+    /// Selective repeat only: spans executed out of order, keyed by
+    /// their first PSN value → PSN span length. When the hole fills, the
+    /// ePSN jumps over every contiguous recorded span (see `drain_ooo`).
+    /// Always empty under go-back-N and on-demand pinning.
+    ooo_done: BTreeMap<u32, u32>,
     /// Protocol counters.
     pub(super) stats: RespStats,
 }
@@ -70,6 +80,7 @@ impl Responder {
             rq: VecDeque::new(),
             rq_written: 0,
             atomic_replay: VecDeque::new(),
+            ooo_done: BTreeMap::new(),
             stats: RespStats::default(),
         }
     }
@@ -114,7 +125,17 @@ impl Responder {
         }
         if pkt.psn == self.epsn {
             self.nak_seq_sent = false;
-            self.execute_request(ctx, env, fx, pkt);
+            if self.ooo_done.contains_key(&pkt.psn.value()) {
+                // The hole just filled with a duplicate of a span we
+                // already executed out of order: consume the recording
+                // instead of re-executing (re-applying an older WRITE
+                // payload over a newer out-of-order one would reorder
+                // memory).
+                self.drain_ooo();
+            } else {
+                self.execute_request(ctx, env, fx, pkt);
+                self.drain_ooo();
+            }
         } else if pkt.psn.precedes(self.epsn) {
             self.handle_duplicate(ctx, env, fx, pkt);
         } else {
@@ -134,6 +155,124 @@ impl Responder {
                     retransmit: false,
                 });
             }
+            if ctx.cfg.recovery == RecoveryKind::SelectiveRepeat {
+                self.execute_ooo(ctx, env, fx, pkt);
+            }
+        }
+    }
+
+    /// Advances the ePSN over every contiguous span recorded by
+    /// out-of-order execution. A no-op (empty map) under go-back-N and
+    /// on-demand pinning, keeping their traces byte-identical.
+    fn drain_ooo(&mut self) {
+        while let Some(len) = self.ooo_done.remove(&self.epsn.value()) {
+            self.epsn = self.epsn.add(len);
+        }
+    }
+
+    /// Selective repeat only: IRN-style out-of-order acceptance. A future
+    /// READ or WRITE that validates cleanly executes on arrival and its
+    /// span is recorded so the ePSN can jump over it once the hole fills.
+    /// Anything that fails validation (bad rkey/range, unmapped ODP pages)
+    /// drops silently — the in-order retransmission produces the proper
+    /// NAK or fault pendency. SENDs stay in order (receive buffers are
+    /// consumed in posting order) and atomics stay in order (reordering
+    /// same-address atomics across WQEs would change final memory; the
+    /// replay cache only guards re-execution, not cross-WQE order).
+    /// Out-of-order execution never emits ACKs: acking a final segment
+    /// while an earlier segment is still missing would retire the whole
+    /// message under the requester's message-level acking and lose the
+    /// hole. Liveness comes from the seq-NAK-driven message
+    /// retransmission, whose duplicate final segment is re-ACKed.
+    fn execute_ooo(&mut self, ctx: &QpCtx, env: &mut QpEnv<'_>, fx: &mut Effects, pkt: &Packet) {
+        if self.ooo_done.contains_key(&pkt.psn.value()) {
+            return; // duplicate of a span already executed out of order
+        }
+        match &pkt.kind {
+            PacketKind::ReadRequest {
+                rkey,
+                addr,
+                len,
+                resp_packets,
+            } => {
+                let Some(mr) = env.mrs.get(rkey) else { return };
+                if !mr.contains(*addr, *len)
+                    || (mr.mode() == MrMode::Odp
+                        && mr.first_unmapped(*addr, (*len).max(1)).is_some())
+                {
+                    return;
+                }
+                let base = mr.base();
+                let data = env.mem.read(base + addr, *len as usize);
+                let mtu = ctx.cfg.mtu as usize;
+                let total = *resp_packets;
+                let (peer_lid, peer_qpn) = ctx.peer_or_panic();
+                for i in 0..total {
+                    let lo = i as usize * mtu;
+                    let hi = ((i as usize + 1) * mtu).min(data.len());
+                    fx.packets.push(Packet {
+                        src: ctx.lid,
+                        dst: peer_lid,
+                        dst_qp: peer_qpn,
+                        src_qp: ctx.qpn,
+                        psn: pkt.psn.add(i),
+                        kind: PacketKind::ReadResponse {
+                            seg: SegPos::of(i, total),
+                            data: data[lo.min(data.len())..hi].to_vec(),
+                            req_psn: pkt.psn,
+                            offset: lo as u32,
+                        },
+                        ghost: false,
+                        retransmit: false,
+                    });
+                }
+                self.ooo_done.insert(pkt.psn.value(), total);
+                self.stats.ooo_executed += 1;
+            }
+            PacketKind::WriteRequest {
+                rkey, addr, data, ..
+            } => {
+                let Some(mr) = env.mrs.get(rkey) else { return };
+                if !mr.contains(*addr, data.len() as u32)
+                    || (mr.mode() == MrMode::Odp
+                        && mr
+                            .first_unmapped(*addr, (data.len() as u32).max(1))
+                            .is_some())
+                {
+                    return;
+                }
+                let base = mr.base();
+                env.mem.write(base + addr, data);
+                self.ooo_done.insert(pkt.psn.value(), 1);
+                self.stats.ooo_executed += 1;
+            }
+            PacketKind::Send { .. }
+            | PacketKind::AtomicRequest { .. }
+            | PacketKind::ReadResponse { .. }
+            | PacketKind::AtomicResponse { .. }
+            | PacketKind::Ack
+            | PacketKind::Nak(_) => {}
+        }
+    }
+
+    /// On-demand pinning: synchronously map the span's pages (NP-RDMA
+    /// style) and continue serving — the fault window never opens.
+    fn pin_span(
+        &mut self,
+        env: &mut QpEnv<'_>,
+        fx: &mut Effects,
+        mr_key: MrKey,
+        off: u64,
+        len: u32,
+    ) {
+        let mr = env
+            .mrs
+            .get_mut(&mr_key)
+            .expect("invariant: span validated by caller");
+        let pinned = fault::pin_pages(mr, off, len);
+        if pinned > 0 {
+            self.stats.pages_pinned += pinned as u64;
+            fx.pins += pinned;
         }
     }
 
@@ -263,8 +402,12 @@ impl Responder {
             return;
         }
         if mr.mode() == MrMode::Odp && mr.first_unmapped(*addr, (*len).max(1)).is_some() {
-            self.begin_fault_pendency(ctx, fx, env.mrs, (*rkey, *addr, *len), pkt.psn);
-            return;
+            if ctx.cfg.recovery == RecoveryKind::OnDemandPin {
+                self.pin_span(env, fx, *rkey, *addr, *len);
+            } else {
+                self.begin_fault_pendency(ctx, fx, env.mrs, (*rkey, *addr, *len), pkt.psn);
+                return;
+            }
         }
         let base = env
             .mrs
@@ -319,8 +462,18 @@ impl Responder {
                 .first_unmapped(*addr, (data.len() as u32).max(1))
                 .is_some()
         {
-            self.begin_fault_pendency(ctx, fx, env.mrs, (*rkey, *addr, data.len() as u32), pkt.psn);
-            return;
+            if ctx.cfg.recovery == RecoveryKind::OnDemandPin {
+                self.pin_span(env, fx, *rkey, *addr, data.len() as u32);
+            } else {
+                self.begin_fault_pendency(
+                    ctx,
+                    fx,
+                    env.mrs,
+                    (*rkey, *addr, data.len() as u32),
+                    pkt.psn,
+                );
+                return;
+            }
         }
         let base = env
             .mrs
@@ -357,14 +510,18 @@ impl Responder {
                 .first_unmapped(dst_off, (data.len() as u32).max(1))
                 .is_some()
         {
-            self.begin_fault_pendency(
-                ctx,
-                fx,
-                env.mrs,
-                (recv.mr, dst_off, data.len() as u32),
-                pkt.psn,
-            );
-            return;
+            if ctx.cfg.recovery == RecoveryKind::OnDemandPin {
+                self.pin_span(env, fx, recv.mr, dst_off, data.len() as u32);
+            } else {
+                self.begin_fault_pendency(
+                    ctx,
+                    fx,
+                    env.mrs,
+                    (recv.mr, dst_off, data.len() as u32),
+                    pkt.psn,
+                );
+                return;
+            }
         }
         let base = env
             .mrs
@@ -405,8 +562,12 @@ impl Responder {
             return;
         }
         if mr.mode() == MrMode::Odp && mr.first_unmapped(*addr, 8).is_some() {
-            self.begin_fault_pendency(ctx, fx, env.mrs, (*rkey, *addr, 8), pkt.psn);
-            return;
+            if ctx.cfg.recovery == RecoveryKind::OnDemandPin {
+                self.pin_span(env, fx, *rkey, *addr, 8);
+            } else {
+                self.begin_fault_pendency(ctx, fx, env.mrs, (*rkey, *addr, 8), pkt.psn);
+                return;
+            }
         }
         let base = env
             .mrs
