@@ -39,7 +39,7 @@ echo "==> perfsuite smoke (schema-valid artifact + non-zero throughput;"
 echo "    deliberately no wall-time gate so shared hardware cannot flake)"
 cargo run -q --offline --release -p ibsim-bench --bin perfsuite -- --quick --out target/BENCH_smoke.json
 grep -q '"schema": "ibsim-perfsuite/v1"' target/BENCH_smoke.json
-for key in engine fabric scenario_corpus qpsweep; do
+for key in engine fabric scenario_corpus qpsweep pdes; do
     grep -q "\"$key\"" target/BENCH_smoke.json
 done
 
@@ -51,5 +51,11 @@ cargo run -q --offline --release -p ibsim-bench --bin recovery
 echo "==> scenario conformance (paper corpus + 256-seed fuzz through the"
 echo "    differential oracle, 1-vs-4-worker hash identity, minimizer demo)"
 cargo run -q --offline --release -p ibsim-bench --bin scenario -- --workers 4 --fuzz 256 --minimize-demo
+
+echo "==> pdes conformance (corpus trace hashes must survive the move from"
+echo "    the sequential engine to 1 and 4 PDES shards byte for byte; the"
+echo "    qpsweep stage above already smoke-tests the sharded flood rung)"
+cargo run -q --offline --release -p ibsim-bench --bin scenario -- --workers 1 --shards 1
+cargo run -q --offline --release -p ibsim-bench --bin scenario -- --workers 4 --shards 4
 
 echo "==> ci: all green"

@@ -3,12 +3,12 @@
 //! has a baseline to beat (ROADMAP "Raw speed").
 //!
 //! ```text
-//! cargo run --release -p ibsim-bench --bin perfsuite             # full, writes BENCH_7.json
+//! cargo run --release -p ibsim-bench --bin perfsuite             # full, writes BENCH_9.json
 //! cargo run --release -p ibsim-bench --bin perfsuite -- --quick  # smoke, writes target/BENCH_quick.json
 //! cargo run --release -p ibsim-bench --bin perfsuite -- --out path.json
 //! ```
 //!
-//! Four metric families, every workload seeded and deterministic (only
+//! Five metric families, every workload seeded and deterministic (only
 //! the wall-clock readings vary run to run):
 //!
 //! 1. **engine**: raw event churn through one `Engine` — 64 synthetic
@@ -24,6 +24,17 @@
 //! 4. **qpsweep**: the §VI flood rungs 64 → 4096 QPs (quick: 64 → 256)
 //!    via the same [`ibsim_bench::flood`] workload the `qpsweep` CI gate
 //!    runs, reporting per-QP wall time per rung.
+//! 5. **pdes**: the largest flood rung again, on the conservative-
+//!    lookahead sharded executor at 1 shard and at 4 shards (best of
+//!    three runs each). Both sharded runs must reproduce the sequential
+//!    rung's simulated outcome exactly; the artifact records all three
+//!    wall times and the 4-shard-over-1-shard speedup, gated > 1× in
+//!    full mode when the host has ≥ 2 cores (a single-core host
+//!    serializes both runs onto one CPU, making the margin pure
+//!    scheduler noise — the gate degrades to a report there). The
+//!    1-shard run is the baseline because it carries the full
+//!    epoch/replica machinery on the full workload; conformance against
+//!    the sequential rung is enforced unconditionally.
 //!
 //! The suite validates its own output — schema fields present, non-zero
 //! throughput everywhere, zero oracle violations, zero dead pops, full
@@ -33,7 +44,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use ibsim_bench::flood::{run_flood_rung, FloodRung, SHARD_QPS};
+use ibsim_bench::flood::{run_flood_rung, run_flood_rung_sharded, FloodRung, SHARD_QPS};
 use ibsim_bench::json::JsonValue;
 use ibsim_bench::{header, quick_mode, row};
 use ibsim_event::{Engine, SimTime, TimerKey};
@@ -41,7 +52,10 @@ use ibsim_fabric::{Delivery, Fabric, LinkSpec};
 use ibsim_scenario::{paper_corpus, run_corpus};
 
 /// The PR number this artifact pins; also names the default output file.
-const PR: u64 = 7;
+const PR: u64 = 9;
+
+/// Shard count of the pdes family's sharded rung.
+const PDES_SHARDS: usize = 4;
 
 /// Synthetic world for the engine-churn workload: a shared tick budget.
 struct ChurnWorld {
@@ -236,6 +250,83 @@ fn main() -> ExitCode {
         rungs.push(r);
     }
 
+    // 5. The pdes family: the largest rung again on the sharded
+    // executor, 1 shard vs PDES_SHARDS shards, best of three runs each
+    // (single-run wall noise on a loaded host is larger than the margin
+    // under test). The 1-shard run is the speedup baseline; the
+    // sequential rung from the sweep anchors conformance.
+    let seq = rungs
+        .last()
+        .expect("invariant: sweep is never empty")
+        .clone();
+    let best_of = |shards: usize| {
+        let mut best: Option<FloodRung> = None;
+        for _ in 0..3 {
+            let r = run_flood_rung_sharded(seq.qps, shards);
+            if best.as_ref().is_none_or(|b| r.wall_secs < b.wall_secs) {
+                best = Some(r);
+            }
+        }
+        best.expect("invariant: three runs always produce a best")
+    };
+    let single = best_of(1);
+    let par = best_of(PDES_SHARDS);
+    let speedup = single.wall_secs / par.wall_secs.max(1e-9);
+    println!(
+        "pdes:     {} QPs: {:.0} ms on {PDES_SHARDS} shards vs {:.0} ms single-shard \
+         ({speedup:.2}x), {:.0} ms sequential",
+        par.qps,
+        par.wall_secs * 1e3,
+        single.wall_secs * 1e3,
+        seq.wall_secs * 1e3,
+    );
+    let mut conformant = true;
+    for (label, r) in [("single-shard", &single), ("sharded", &par)] {
+        if r.exec != seq.exec
+            || r.completions != seq.completions
+            || r.spans != seq.spans
+            || r.stats.executed != seq.stats.executed
+        {
+            conformant = false;
+            fail(format!(
+                "{label} rung diverged from sequential at {} QPs: exec {:?} vs {:?}, \
+                 completions {} vs {}, spans {} vs {}, executed {} vs {}",
+                seq.qps,
+                r.exec,
+                seq.exec,
+                r.completions,
+                seq.completions,
+                r.spans,
+                seq.spans,
+                r.stats.executed,
+                seq.stats.executed
+            ));
+            failed = true;
+        }
+    }
+    // The speedup gate needs real parallelism to be meaningful: on a
+    // single-core host both runs serialize onto one CPU and the margin
+    // under test is smaller than scheduler jitter, so asserting on it
+    // would gate on noise. Conformance is enforced unconditionally.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if !quick && speedup <= 1.0 {
+        if cores >= 2 {
+            fail(format!(
+                "sharded {}-QP rung on {PDES_SHARDS} shards is not faster than the \
+                 single-shard run ({speedup:.2}x)",
+                seq.qps
+            ));
+            failed = true;
+        } else {
+            println!(
+                "pdes:     speedup gate skipped: {cores} host core(s) — no real \
+                 parallelism to measure (conformance still enforced)"
+            );
+        }
+    }
+
     // Emit the artifact. Schema changes require a version bump here and
     // in DESIGN 8.8.
     let doc = JsonValue::obj()
@@ -274,6 +365,18 @@ fn main() -> ExitCode {
                     .field("per_qp_us", r.wall_secs / r.qps as f64 * 1e6)
                     .field("dead_pops", r.stats.dead_pops)
             })),
+        )
+        .field(
+            "pdes",
+            JsonValue::obj()
+                .field("qps", par.qps)
+                .field("shards", PDES_SHARDS)
+                .field("host_cores", cores)
+                .field("seq_wall_ms", seq.wall_secs * 1e3)
+                .field("single_shard_wall_ms", single.wall_secs * 1e3)
+                .field("sharded_wall_ms", par.wall_secs * 1e3)
+                .field("speedup", speedup)
+                .field("conformant", conformant),
         );
     let text = doc.pretty();
 

@@ -20,11 +20,14 @@
 //!   rung (with physical removal they are structurally zero);
 //! * per-QP wall time at every rung must stay within 2× of the 64-QP
 //!   rung (full sweep only — quick mode prints the ratio but timing
-//!   noise at tiny scales is not a meaningful gate).
+//!   noise at tiny scales is not a meaningful gate);
+//! * the largest rung re-run on the 4-shard PDES executor must
+//!   reproduce the sequential rung's simulated outcome exactly —
+//!   completions, fault spans, executed events and end time.
 
 use std::process::ExitCode;
 
-use ibsim_bench::flood::{run_flood_rung, SHARD_QPS};
+use ibsim_bench::flood::{run_flood_rung, run_flood_rung_sharded, FloodRung, SHARD_QPS};
 use ibsim_bench::{header, quick_mode, row};
 
 /// Dead pops may not exceed this fraction of executed events.
@@ -57,6 +60,7 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     let mut base_per_qp = f64::NAN;
+    let mut largest: Option<FloodRung> = None;
     for &qps in sweep {
         let r = run_flood_rung(qps);
         let s = &r.stats;
@@ -126,6 +130,45 @@ fn main() -> ExitCode {
             eprintln!(
                 "FAIL: residue after drain at {} QPs: {} live, {} keyed, {} dead",
                 r.qps, s.live, s.keyed_live, s.dead_pending
+            );
+            failed = true;
+        }
+        largest = Some(r);
+    }
+
+    // Sharded smoke: the largest rung again on the 4-shard PDES
+    // executor. The rung's host pairs are link-disjoint, so the shards
+    // run genuinely concurrently — and must still land on the identical
+    // simulated outcome.
+    if let Some(seq) = largest {
+        let par = run_flood_rung_sharded(seq.qps, 4);
+        println!(
+            "\npdes smoke: {} QPs on 4 shards: {:.0}ms vs {:.0}ms sequential ({:.2}x), \
+             {} completions, {} spans",
+            par.qps,
+            par.wall_secs * 1e3,
+            seq.wall_secs * 1e3,
+            seq.wall_secs / par.wall_secs.max(1e-9),
+            par.completions,
+            par.spans,
+        );
+        if par.exec != seq.exec
+            || par.completions != seq.completions
+            || par.spans != seq.spans
+            || par.stats.executed != seq.stats.executed
+        {
+            eprintln!(
+                "FAIL: 4-shard rung diverged from sequential at {} QPs: exec {:?} vs {:?}, \
+                 completions {} vs {}, spans {} vs {}, executed {} vs {}",
+                seq.qps,
+                par.exec,
+                seq.exec,
+                par.completions,
+                seq.completions,
+                par.spans,
+                seq.spans,
+                par.stats.executed,
+                seq.stats.executed
             );
             failed = true;
         }

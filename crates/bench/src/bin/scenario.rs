@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release --bin scenario                      # corpus only
 //! cargo run --release --bin scenario -- --workers 4 --fuzz 256 --minimize-demo
+//! cargo run --release --bin scenario -- --shards 4        # PDES conformance
 //! ```
 //!
 //! Stages (each optional flag adds one):
@@ -11,10 +12,12 @@
 //! 1. **Corpus**: runs the paper-derived corpus through the differential
 //!    oracle with 1 worker and with `--workers` workers, and fails on
 //!    any oracle violation *or* any per-scenario trace-hash divergence
-//!    between the two worker counts (thread-count independence is an
-//!    enforced invariant, not a hope).
+//!    between the two runs (thread-count independence is an enforced
+//!    invariant, not a hope). `--shards N` additionally moves the second
+//!    run onto N PDES shards, so the same diff enforces shard-count
+//!    conformance against the sequential baseline.
 //! 2. **Fuzz** (`--fuzz N`): generates N seeded random scenarios and
-//!    runs them through the oracle the same dual-worker-count way.
+//!    runs them through the oracle the same dual-run way.
 //! 3. **Minimizer demo** (`--minimize-demo`): plants a known divergence
 //!    into the reference model (`Injection::WriteCorruption`), shrinks
 //!    the failing mixed-verbs corpus scenario, and fails unless the
@@ -30,17 +33,18 @@ use ibsim_scenario::{
 
 fn main() {
     let workers = arg_value("--workers").unwrap_or(4).max(1);
+    let shards = arg_value("--shards").unwrap_or(1).max(1);
     let fuzz = arg_value("--fuzz").unwrap_or(0);
     let fuzz = if quick_mode() { fuzz.min(32) } else { fuzz };
     let minimize_demo = std::env::args().any(|a| a == "--minimize-demo");
     let mut failed = false;
 
     let corpus = paper_corpus();
-    failed |= !run_stage("paper corpus", &corpus, workers);
+    failed |= !run_stage("paper corpus", &corpus, workers, shards);
 
     if fuzz > 0 {
         let scenarios: Vec<Scenario> = (0..fuzz as u64).map(random_scenario).collect();
-        failed |= !run_stage(&format!("fuzz x{fuzz}"), &scenarios, workers);
+        failed |= !run_stage(&format!("fuzz x{fuzz}"), &scenarios, workers, shards);
     }
 
     if minimize_demo {
@@ -60,12 +64,33 @@ fn arg_value(flag: &str) -> Option<usize> {
     args.get(i + 1)?.parse().ok()
 }
 
-/// Runs one batch with 1 worker and with `workers` workers, prints the
-/// result table, and returns false on oracle violations or divergence.
-fn run_stage(label: &str, scenarios: &[Scenario], workers: usize) -> bool {
-    header(&format!("scenario conformance: {label}"));
-    let serial = run_corpus(scenarios, 1);
-    let parallel = run_corpus(scenarios, workers);
+/// Runs one batch twice — a sequential-engine baseline with 1 worker,
+/// then `workers` workers on `shards` PDES shards — prints the result
+/// table, and returns false on oracle violations or divergence. With
+/// `--shards 1` this is the classic thread-count-independence check;
+/// with `--shards N` the same diff additionally enforces shard-count
+/// conformance: every trace hash must survive the move to the sharded
+/// executor byte for byte.
+fn run_stage(label: &str, scenarios: &[Scenario], workers: usize, shards: usize) -> bool {
+    header(&format!("scenario conformance: {label} (shards {shards})"));
+    let baseline: Vec<Scenario> = scenarios
+        .iter()
+        .map(|sc| {
+            let mut sc = sc.clone();
+            sc.shards = 1;
+            sc
+        })
+        .collect();
+    let sharded: Vec<Scenario> = scenarios
+        .iter()
+        .map(|sc| {
+            let mut sc = sc.clone();
+            sc.shards = shards;
+            sc
+        })
+        .collect();
+    let serial = run_corpus(&baseline, 1);
+    let parallel = run_corpus(&sharded, workers);
     let mut ok = true;
     let mut any_diverged = false;
 
@@ -109,7 +134,8 @@ fn run_stage(label: &str, scenarios: &[Scenario], workers: usize) -> bool {
         }
         if diverged {
             println!(
-                "    workers=1 hash {:#018x} != workers={workers} hash {:#018x}",
+                "    workers=1/shards=1 hash {:#018x} != workers={workers}/shards={shards} \
+                 hash {:#018x}",
                 s.hash, p.hash
             );
             ok = false;
@@ -118,7 +144,8 @@ fn run_stage(label: &str, scenarios: &[Scenario], workers: usize) -> bool {
     }
     let total: usize = serial.iter().map(|o: &CorpusOutcome| o.violations).sum();
     println!(
-        "[scenario] {label}: {} scenario(s), {total} violation(s), workers 1 vs {workers}: {}",
+        "[scenario] {label}: {} scenario(s), {total} violation(s), \
+         workers 1 vs {workers} / shards 1 vs {shards}: {}",
         serial.len(),
         if any_diverged {
             "MISMATCH"

@@ -58,8 +58,9 @@ pub use experiment::{
 };
 pub use hash::{fnv1a, fnv1a_str};
 pub use microbench::{
-    average_execution, run_microbench, timeout_probability, MicrobenchConfig, MicrobenchRun,
-    OdpMode,
+    average_execution, run_microbench, run_microbench_digest, run_microbench_sharded,
+    run_microbench_sharded_with, timeout_probability, MicrobenchConfig, MicrobenchDigest,
+    MicrobenchRun, OdpMode,
 };
 pub use pitfall::{
     detect_damming, detect_flood, summarize, DammingIncident, FloodIncident, RescueKind,

@@ -14,10 +14,10 @@
 //! Every §V and §VI experiment is a parameterization of this loop; the
 //! figure-level sweeps live in [`crate::experiment`].
 
-use ibsim_event::{Engine, SimTime};
+use ibsim_event::{Engine, QueueStats, SimTime};
 use ibsim_verbs::{
-    Cluster, DeviceProfile, HostId, MrBuilder, MrDesc, MrMode, QpConfig, Qpn, ReadWr, RecoveryKind,
-    WcStatus, PAGE_SIZE,
+    merge_shard_telemetry, run_sharded, Cluster, DeviceProfile, HostId, Labels, MrBuilder, MrDesc,
+    MrMode, QpConfig, Qpn, ReadWr, RecoveryKind, ShardPlan, Sim, Telemetry, WcStatus, PAGE_SIZE,
 };
 
 /// Which side(s) register their buffers with On-Demand Paging (§IV-A).
@@ -209,12 +209,22 @@ impl MicrobenchRun {
     }
 }
 
-/// Runs the micro-benchmark once.
-///
-/// # Panics
-///
-/// Panics if `num_ops` or `num_qps` is zero, or `size` is zero.
-pub fn run_microbench(cfg: &MicrobenchConfig) -> MicrobenchRun {
+/// What `build_microbench` wires up besides the engine and cluster.
+struct Setup {
+    client: HostId,
+    server: HostId,
+    local: MrDesc,
+    pattern: Vec<u8>,
+}
+
+/// Builds the two-host micro-benchmark world and schedules the Fig. 3
+/// posting loop. With `shard` set, the replica is converted to that
+/// shard of a sharded run and the posts (the only build-time events) are
+/// gated on client ownership.
+fn build_microbench(
+    cfg: &MicrobenchConfig,
+    shard: Option<(usize, &[usize])>,
+) -> (Sim, Cluster, Setup) {
     assert!(cfg.num_ops > 0, "need at least one op");
     assert!(cfg.num_qps > 0, "need at least one QP");
     assert!(cfg.size > 0, "need a positive message size");
@@ -226,6 +236,9 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> MicrobenchRun {
     }
     let client = cl.add_host("client", cfg.device.clone());
     let server = cl.add_host("server", cfg.device.clone());
+    if let Some((id, owner)) = shard {
+        cl.enable_sharding(id, owner.to_vec());
+    }
 
     let buf_len = cfg.num_ops as u64 * cfg.size as u64;
     let remote = cl.mr(server, MrBuilder::new(buf_len, cfg.odp.server_mode()));
@@ -258,29 +271,42 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> MicrobenchRun {
         .collect();
 
     // The Fig. 3 loop: post op i at time i * interval on QP i % num_QPs.
-    for i in 0..cfg.num_ops {
-        let (qa, _) = qps[i % cfg.num_qps];
-        let off = i as u64 * cfg.size as u64;
-        let (lk, rk, size) = (local.key, remote.key, cfg.size);
-        let at = (cfg.interval + cfg.post_overhead) * i as u64;
-        eng.schedule_at(at, move |c: &mut Cluster, eng| {
-            c.post(
-                eng,
-                client,
-                qa,
-                ReadWr::new((lk, off), (rk, off)).len(size).id(i as u64),
-            );
-        });
+    // On a sharded replica only the client's owner executes the loop.
+    if cl.owns(client) {
+        for i in 0..cfg.num_ops {
+            let (qa, _) = qps[i % cfg.num_qps];
+            let off = i as u64 * cfg.size as u64;
+            let (lk, rk, size) = (local.key, remote.key, cfg.size);
+            let at = (cfg.interval + cfg.post_overhead) * i as u64;
+            eng.schedule_at(at, move |c: &mut Cluster, eng| {
+                c.post(
+                    eng,
+                    client,
+                    qa,
+                    ReadWr::new((lk, off), (rk, off)).len(size).id(i as u64),
+                );
+            });
+        }
     }
-    eng.run(&mut cl);
-    if cfg.telemetry {
-        cl.sync_telemetry(&eng);
-    }
+    let setup = Setup {
+        client,
+        server,
+        local,
+        pattern,
+    };
+    (eng, cl, setup)
+}
 
+/// Drains the client CQ and verifies the read-back data.
+fn collect_client(
+    cl: &mut Cluster,
+    setup: &Setup,
+    cfg: &MicrobenchConfig,
+) -> (Vec<Option<SimTime>>, SimTime, usize, bool) {
     let mut op_completions = vec![None; cfg.num_ops];
     let mut errors = 0;
     let mut last = SimTime::ZERO;
-    for c in cl.poll_cq(client) {
+    for c in cl.poll_cq(setup.client) {
         let idx = c.wr_id.0 as usize;
         if c.status == WcStatus::Success {
             op_completions[idx] = Some(c.at);
@@ -293,16 +319,30 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> MicrobenchRun {
     for (i, t) in op_completions.iter().enumerate() {
         if t.is_some() {
             let off = i as u64 * cfg.size as u64;
-            let got = cl.mem_read(client, local.base + off, cfg.size as usize);
-            let want = &pattern[off as usize..off as usize + cfg.size as usize];
+            let got = cl.mem_read(setup.client, setup.local.base + off, cfg.size as usize);
+            let want = &setup.pattern[off as usize..off as usize + cfg.size as usize];
             if got != want {
                 data_ok = false;
             }
         }
     }
+    (op_completions, last, errors, data_ok)
+}
 
-    let client_stats = cl.qp_stats_sum(client);
-    let server_stats = cl.qp_stats_sum(server);
+/// Runs the micro-benchmark once.
+///
+/// # Panics
+///
+/// Panics if `num_ops` or `num_qps` is zero, or `size` is zero.
+pub fn run_microbench(cfg: &MicrobenchConfig) -> MicrobenchRun {
+    let (mut eng, mut cl, setup) = build_microbench(cfg, None);
+    eng.run(&mut cl);
+    if cfg.telemetry {
+        cl.sync_telemetry(&eng);
+    }
+    let (op_completions, last, errors, data_ok) = collect_client(&mut cl, &setup, cfg);
+    let client_stats = cl.qp_stats_sum(setup.client);
+    let server_stats = cl.qp_stats_sum(setup.server);
     let faults = server_stats.faults_raised + client_stats.faults_raised;
     MicrobenchRun {
         op_completions,
@@ -316,8 +356,202 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> MicrobenchRun {
         errors,
         data_ok,
         cluster: cl,
-        client,
-        server,
+        client: setup.client,
+        server: setup.server,
+    }
+}
+
+/// The shard-count-invariant view of one micro-benchmark run: everything
+/// the cross-shard conformance battery compares between a sequential run
+/// and a sharded one. The telemetry hub is canonically ordered (spans
+/// sorted by completion, the non-mergeable `event.peak_depth` gauge
+/// dropped) so [`ibsim_telemetry::export_jsonl`] output is byte-equal
+/// across shard counts.
+#[derive(Debug)]
+pub struct MicrobenchDigest {
+    /// The client capture rendered as an `ibdump`-style timeline (the
+    /// string the golden FNV hashes pin).
+    pub client_timeline: String,
+    /// Completion time of each op, indexed by op number.
+    pub op_completions: Vec<Option<SimTime>>,
+    /// Time of the last successful completion.
+    pub execution_time: SimTime,
+    /// Transport timeouts on the client.
+    pub timeouts: u64,
+    /// Request retransmissions from the client.
+    pub retransmissions: u64,
+    /// READ responses discarded by client-side ODP.
+    pub responses_discarded: u64,
+    /// Network page faults (both sides).
+    pub faults: u64,
+    /// Pages pinned on first touch (both sides).
+    pub pages_pinned: u64,
+    /// Every packet submitted.
+    pub total_packets: u64,
+    /// Ops completing with an error status.
+    pub errors: usize,
+    /// True if every successful READ returned the expected bytes.
+    pub data_ok: bool,
+    /// The (merged, canonically ordered) telemetry hub.
+    pub telemetry: Telemetry,
+    /// The (merged) engine queue statistics; `peak_depth` is zeroed.
+    pub queue_stats: QueueStats,
+}
+
+/// Runs the micro-benchmark sequentially and reduces it to the
+/// shard-count-invariant digest (see [`run_microbench_sharded`]).
+pub fn run_microbench_digest(cfg: &MicrobenchConfig) -> MicrobenchDigest {
+    let (mut eng, mut cl, setup) = build_microbench(cfg, None);
+    eng.run(&mut cl);
+    if cfg.telemetry {
+        cl.sync_telemetry(&eng);
+    }
+    let (op_completions, last, errors, data_ok) = collect_client(&mut cl, &setup, cfg);
+    let client_stats = cl.qp_stats_sum(setup.client);
+    let server_stats = cl.qp_stats_sum(setup.server);
+    let mut telemetry = std::mem::take(cl.telemetry_mut());
+    telemetry.sort_spans_by_completion();
+    telemetry.remove_metric("event.peak_depth", Labels::NONE);
+    let mut queue_stats = eng.queue_stats();
+    queue_stats.peak_depth = 0;
+    MicrobenchDigest {
+        client_timeline: cl.capture(setup.client).timeline(),
+        op_completions,
+        execution_time: last,
+        timeouts: client_stats.timeouts,
+        retransmissions: client_stats.retransmissions,
+        responses_discarded: client_stats.responses_discarded,
+        faults: server_stats.faults_raised + client_stats.faults_raised,
+        pages_pinned: server_stats.pages_pinned + client_stats.pages_pinned,
+        total_packets: cl.stats.total_packets,
+        errors,
+        data_ok,
+        telemetry,
+        queue_stats,
+    }
+}
+
+/// Per-shard extraction handed back by the sharded run's finish closure
+/// ([`Cluster`] is not `Send`, so shards return data, not replicas).
+struct ShardReport {
+    /// Client-side collection; populated only by the client's owner.
+    client: Option<ClientReport>,
+    /// Server-side QP stat sums; populated only by the server's owner.
+    server: Option<(u64, u64)>,
+    total_packets: u64,
+    telemetry: Telemetry,
+    queue_stats: QueueStats,
+    globals: (u64, u64),
+}
+
+struct ClientReport {
+    timeline: String,
+    op_completions: Vec<Option<SimTime>>,
+    execution_time: SimTime,
+    errors: usize,
+    data_ok: bool,
+    timeouts: u64,
+    retransmissions: u64,
+    responses_discarded: u64,
+    faults_raised: u64,
+    pages_pinned: u64,
+}
+
+/// Runs the micro-benchmark split across `shards` conservative-lookahead
+/// shard threads (client on shard 0, server on shard `min(1, shards-1)`,
+/// further shards idle replicas) and reduces it to the same digest as
+/// [`run_microbench_digest`] — the cross-shard conformance battery
+/// asserts the two are identical at every shard count.
+///
+/// # Panics
+///
+/// Panics as [`run_sharded`] does (lookahead violation, plan mismatch),
+/// or if `num_ops`/`num_qps`/`size` is zero.
+pub fn run_microbench_sharded(cfg: &MicrobenchConfig, shards: usize) -> MicrobenchDigest {
+    run_microbench_sharded_with(cfg, ShardPlan::new(shards, vec![0, 1 % shards]))
+}
+
+/// [`run_microbench_sharded`] with an explicit [`ShardPlan`] (testing
+/// knob: custom owner maps and lookahead overrides).
+pub fn run_microbench_sharded_with(cfg: &MicrobenchConfig, plan: ShardPlan) -> MicrobenchDigest {
+    let reports: Vec<ShardReport> = run_sharded(
+        &plan,
+        None,
+        |id| {
+            let (eng, cl, _) = build_microbench(cfg, Some((id, &plan.owner)));
+            (eng, cl)
+        },
+        |_, eng, mut cl, canonical_end| {
+            if cfg.telemetry {
+                cl.sync_telemetry_at(&eng, canonical_end);
+            }
+            // Rebuild the setup handles: replicas are identical, so the
+            // MR layout and pattern are reproducible from the config.
+            let (_, _, setup) = build_microbench(cfg, None);
+            let client = if cl.owns(setup.client) {
+                let (op_completions, last, errors, data_ok) = collect_client(&mut cl, &setup, cfg);
+                let s = cl.qp_stats_sum(setup.client);
+                Some(ClientReport {
+                    timeline: cl.capture(setup.client).timeline(),
+                    op_completions,
+                    execution_time: last,
+                    errors,
+                    data_ok,
+                    timeouts: s.timeouts,
+                    retransmissions: s.retransmissions,
+                    responses_discarded: s.responses_discarded,
+                    faults_raised: s.faults_raised,
+                    pages_pinned: s.pages_pinned,
+                })
+            } else {
+                None
+            };
+            let server = if cl.owns(setup.server) {
+                let s = cl.qp_stats_sum(setup.server);
+                Some((s.faults_raised, s.pages_pinned))
+            } else {
+                None
+            };
+            ShardReport {
+                client,
+                server,
+                total_packets: cl.stats.total_packets,
+                telemetry: std::mem::take(cl.telemetry_mut()),
+                queue_stats: eng.queue_stats(),
+                globals: cl.shard_global_counters(),
+            }
+        },
+    );
+    let total_packets = reports.iter().map(|r| r.total_packets).sum();
+    let globals = reports[0].globals;
+    let mut client = None;
+    let mut server = None;
+    let mut hubs = Vec::new();
+    let mut qss = Vec::new();
+    for r in reports {
+        client = client.or(r.client);
+        server = server.or(r.server);
+        hubs.push(r.telemetry);
+        qss.push(r.queue_stats);
+    }
+    let (telemetry, queue_stats) = merge_shard_telemetry(&hubs, &qss, globals.0, globals.1);
+    let (Some(cr), Some((server_faults, server_pinned))) = (client, server) else {
+        unreachable!("invariant: exactly one shard owns each host");
+    };
+    MicrobenchDigest {
+        client_timeline: cr.timeline,
+        op_completions: cr.op_completions,
+        execution_time: cr.execution_time,
+        timeouts: cr.timeouts,
+        retransmissions: cr.retransmissions,
+        responses_discarded: cr.responses_discarded,
+        faults: cr.faults_raised + server_faults,
+        pages_pinned: cr.pages_pinned + server_pinned,
+        total_packets,
+        errors: cr.errors,
+        data_ok: cr.data_ok,
+        telemetry,
+        queue_stats,
     }
 }
 
@@ -438,6 +672,32 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(timeout_probability(&cfg, 5), 1.0);
+    }
+
+    #[test]
+    fn sharded_damming_matches_sequential() {
+        let cfg = MicrobenchConfig {
+            interval: SimTime::from_ms(1),
+            capture: true,
+            telemetry: true,
+            ..Default::default()
+        };
+        let seq = run_microbench_digest(&cfg);
+        assert!(seq.timeouts > 0, "damming config must dam");
+        for shards in [1, 2, 4] {
+            let sh = run_microbench_sharded(&cfg, shards);
+            assert_eq!(seq.client_timeline, sh.client_timeline, "shards={shards}");
+            assert_eq!(seq.op_completions, sh.op_completions, "shards={shards}");
+            assert_eq!(seq.execution_time, sh.execution_time, "shards={shards}");
+            assert_eq!(seq.total_packets, sh.total_packets, "shards={shards}");
+            assert_eq!(seq.faults, sh.faults, "shards={shards}");
+            assert_eq!(seq.queue_stats, sh.queue_stats, "shards={shards}");
+            assert_eq!(
+                ibsim_verbs::export_jsonl(&seq.telemetry),
+                ibsim_verbs::export_jsonl(&sh.telemetry),
+                "shards={shards}"
+            );
+        }
     }
 
     #[test]

@@ -217,6 +217,11 @@ pub struct Engine<W> {
     /// the `checks` feature; always zero otherwise). A non-zero value
     /// means the min-heap ordering invariant broke — causality is gone.
     monotonicity_violations: u64,
+    /// Timestamp of the last event actually executed. Unlike `now`, this
+    /// is *not* advanced by a `run_until` deadline, so a sharded run —
+    /// whose clocks park at epoch boundaries — can still recover the
+    /// sequential run's final event time (max over shards).
+    last_executed_at: SimTime,
 }
 
 impl<W> Default for Engine<W> {
@@ -253,6 +258,7 @@ impl<W> Engine<W> {
             dead_pops: 0,
             peak_depth: 0,
             monotonicity_violations: 0,
+            last_executed_at: SimTime::ZERO,
         }
     }
 
@@ -266,6 +272,15 @@ impl<W> Engine<W> {
     #[inline]
     pub fn executed_events(&self) -> u64 {
         self.executed
+    }
+
+    /// Timestamp of the last executed event ([`SimTime::ZERO`] before any
+    /// event ran). Unlike [`now`](Engine::now), a [`run_until`]
+    /// (Engine::run_until) deadline does not advance this, so it reports
+    /// where the *work* ended rather than where the clock was parked.
+    #[inline]
+    pub fn last_executed_at(&self) -> SimTime {
+        self.last_executed_at
     }
 
     /// Number of *live* events still pending. Cancelled events are
@@ -631,6 +646,7 @@ impl<W> Engine<W> {
             };
             self.check_pop_monotone(ev.at);
             self.now = ev.at;
+            self.last_executed_at = ev.at;
             self.executed += 1;
             (ev.run)(world, self);
         }
@@ -646,6 +662,7 @@ impl<W> Engine<W> {
         };
         self.check_pop_monotone(ev.at);
         self.now = ev.at;
+        self.last_executed_at = ev.at;
         self.executed += 1;
         (ev.run)(world, self);
         true
@@ -922,6 +939,21 @@ mod tests {
         assert_eq!(eng.dead_event_pops(), 0);
         assert_eq!(eng.dead_pending(), 0);
         assert_eq!(eng.pending_events(), 0);
+    }
+
+    #[test]
+    fn last_executed_at_ignores_deadline_parking() {
+        let mut eng: Engine<u32> = Engine::new();
+        assert_eq!(eng.last_executed_at(), SimTime::ZERO);
+        eng.schedule_at(SimTime::from_us(10), |w, _| *w += 1);
+        let mut w = 0;
+        eng.run_until(&mut w, SimTime::from_us(50));
+        // The clock parks at the deadline; the work ended at 10 µs.
+        assert_eq!(eng.now(), SimTime::from_us(50));
+        assert_eq!(eng.last_executed_at(), SimTime::from_us(10));
+        eng.schedule_at(SimTime::from_us(60), |w, _| *w += 1);
+        assert!(eng.step(&mut w));
+        assert_eq!(eng.last_executed_at(), SimTime::from_us(60));
     }
 
     #[test]

@@ -40,8 +40,10 @@
 
 mod engine;
 mod rng;
+mod shard;
 mod time;
 
 pub use engine::{Engine, EventId, QueueStats, TimerKey};
 pub use rng::SplitMix64;
+pub use shard::{epoch_end, injection_sort_key, EpochBarrier, PoisonGuard, POISON_PAYLOAD};
 pub use time::SimTime;

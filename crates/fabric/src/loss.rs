@@ -144,6 +144,20 @@ impl LossModel {
         }
     }
 
+    /// True when the model's verdict depends on the *global order* in
+    /// which frames reach it — a per-frame PRNG draw or a submission
+    /// counter. Order-dependent models are incompatible with sharded
+    /// execution, where each shard replica only sees its own hosts'
+    /// frames: the streams would diverge from the sequential reference.
+    /// Stateless models (`None`, `DropAll`, `ToDestination`) judge each
+    /// frame in isolation and shard safely.
+    pub fn is_order_dependent(&self) -> bool {
+        match self {
+            LossModel::None | LossModel::DropAll | LossModel::ToDestination(_) => false,
+            LossModel::Uniform { .. } | LossModel::Nth { .. } | LossModel::Burst { .. } => true,
+        }
+    }
+
     /// Decides whether the frame submitted at `now` from `src` to `dst`
     /// should be dropped. Stateful models advance their state.
     pub fn drop(&mut self, _now: SimTime, _src: Lid, dst: Lid) -> bool {

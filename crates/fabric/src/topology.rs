@@ -272,6 +272,13 @@ impl Fabric {
         self.loss = loss;
     }
 
+    /// Whether the installed loss model consumes per-frame global state
+    /// (see [`LossModel::is_order_dependent`]); sharded execution must
+    /// refuse to route cross-shard traffic through such a model.
+    pub fn loss_is_order_dependent(&self) -> bool {
+        self.loss.is_order_dependent()
+    }
+
     /// Sets the switch forwarding delay (default 200 ns).
     pub fn set_switch_latency(&mut self, latency: SimTime) {
         self.switch_latency = latency;
@@ -522,6 +529,22 @@ mod tests {
             bandwidth_gbps: 0,
         };
         let _ = bad.serialization(4096);
+    }
+
+    #[test]
+    fn loss_order_dependence_classification() {
+        let (mut f, _, b) = two_hosts();
+        assert!(!f.loss_is_order_dependent());
+        f.set_loss(LossModel::DropAll);
+        assert!(!f.loss_is_order_dependent());
+        f.set_loss(LossModel::ToDestination(b));
+        assert!(!f.loss_is_order_dependent());
+        f.set_loss(LossModel::uniform(0.5, 7));
+        assert!(f.loss_is_order_dependent());
+        f.set_loss(LossModel::nth(vec![3]));
+        assert!(f.loss_is_order_dependent());
+        f.set_loss(LossModel::burst(0.1, 0.5, 7));
+        assert!(f.loss_is_order_dependent());
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //!   built: retransmissions must come out of a `RecoveryPolicy` plan,
 //!   not a hard-coded `retransmit: true`, minus the sanctioned sites in
 //!   [`RETRANSMIT_SANCTIONED_FILES`].
+//!
+//! The sharded PDES executor (`verbs/src/sharded.rs`) needs no scoping
+//! of its own: it inherits the full `crates/verbs` rule set, and its
+//! determinism contract — bit-identical traces at every shard count —
+//! rests on exactly the properties these rules protect (no wall-clock
+//! reads, no floats in sim-time arithmetic, no iteration-order-dependent
+//! std hash collections anywhere near the epoch merge).
 
 use crate::rules::Policy;
 

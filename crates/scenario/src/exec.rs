@@ -3,16 +3,25 @@
 //! the simulation to completion and collects every observable artifact
 //! the oracle checks — completions, memory images, the merged lint
 //! report, runtime invariant counts, fault spans and a trace hash.
+//!
+//! Every scenario can run on either engine: [`run_scenario`] executes
+//! sequentially when [`Scenario::shards`] is 1 and dispatches to the
+//! conservative-lookahead PDES executor ([`run_scenario_sharded`])
+//! otherwise. The sharded path is required to reproduce the sequential
+//! [`ScenarioRun`] — including `trace_hash` — byte for byte; the
+//! conformance battery and the seeded shard-assignment fuzzer enforce
+//! that for every corpus entry and random partition.
 
 use ibsim_analysis::{
     check_conservation, lint_capture, InvariantSnapshot, LintConfig, LintReport, RecoveryRules,
 };
-use ibsim_event::SimTime;
-use ibsim_fabric::{LinkSpec, LossModel};
-use ibsim_telemetry::FaultSpan;
+use ibsim_event::{QueueStats, SimTime};
+use ibsim_fabric::{Capture, LinkSpec, LossModel};
+use ibsim_telemetry::{FaultSpan, Telemetry};
 use ibsim_verbs::{
-    Cluster, ClusterBuilder, CompareSwapWr, Completion, DeviceProfile, FetchAddWr, MrBuilder,
-    MrMode, QpConfig, ReadWr, RecvWr, SendWr, WrId, WriteWr, PAGE_SIZE,
+    merge_shard_telemetry, run_sharded, Cluster, ClusterBuilder, CompareSwapWr, Completion,
+    DeviceProfile, FetchAddWr, HostId, MrBuilder, MrDesc, MrMode, Packet, QpConfig, Qpn, ReadWr,
+    RecvWr, SendWr, ShardPlan, Sim, WrId, WriteWr, PAGE_SIZE,
 };
 
 use crate::reference::{client_init_byte, server_init_byte, RECV_ID_BASE};
@@ -57,7 +66,10 @@ pub struct ScenarioRun {
     /// Total runtime invariant violations counted across the cluster and
     /// engine (nonzero only when built with `--features checks`).
     pub invariant_violations: u64,
-    /// Closed fault-lifecycle spans recorded by telemetry.
+    /// Closed fault-lifecycle spans recorded by telemetry. Sequential
+    /// runs report them in close order; sharded runs in the canonical
+    /// `(completed, raised, host, mr, page)` order. Only order differs —
+    /// the oracle's stage-sum law is order-insensitive.
     pub spans: Vec<FaultSpan>,
     /// Telemetry closed spans whose stage durations do not sum to their
     /// end-to-end latency (see `Telemetry::stage_sum_violations`).
@@ -76,12 +88,36 @@ pub struct ScenarioRun {
     pub timeline: String,
 }
 
-/// Runs one scenario to completion. Deterministic: the same scenario
-/// always produces the same [`ScenarioRun`], including its `trace_hash`.
+/// Simulated drain deadline of a scenario: last post plus the budget.
+/// Both executors run exactly to this instant, so `end_ns` is identical
+/// whatever the shard count.
+fn scenario_deadline(sc: &Scenario) -> SimTime {
+    SimTime::from_ns(sc.wrs.len() as u64 * sc.post_interval_ns) + DRAIN_BUDGET
+}
+
+/// Handles into a built scenario world that collection needs after the
+/// run: host ids, region descriptors and the QP number maps.
+struct World {
+    client: HostId,
+    server: HostId,
+    cmr: MrDesc,
+    smr: MrDesc,
+    client_qpns: Vec<Qpn>,
+    server_qpns: Vec<Qpn>,
+    hosts: Vec<HostId>,
+}
+
+/// Builds the two-host cluster, registers regions, connects QPs and
+/// schedules the workload, fault and loss timelines.
 ///
-/// The scenario should satisfy [`Scenario::validate`]; out-of-range
-/// offsets would make the run itself meaningless.
-pub fn run_scenario(sc: &Scenario) -> ScenarioRun {
+/// `shard` is `None` for a sequential run; `Some((id, owner))` builds
+/// shard `id`'s replica of a sharded run. Replicas are construction-time
+/// identical (registration, memory init and QP connection schedule no
+/// events), but each replica only schedules events it will execute:
+/// workload posts on the client's owner, fault invalidations on the
+/// faulted host's owner, and loss-model swaps on every replica through
+/// [`Cluster::schedule_global`] (the fabric is replicated state).
+fn build_scenario_world(sc: &Scenario, shard: Option<(usize, &[usize])>) -> (Sim, Cluster, World) {
     let profile = match sc.device {
         DeviceKind::ConnectX4 => DeviceProfile::connectx4(LinkSpec::fdr()),
         DeviceKind::ConnectX6 => DeviceProfile::connectx6(),
@@ -94,6 +130,9 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioRun {
         .telemetry(true)
         .build();
     let (client, server) = (hosts[0], hosts[1]);
+    if let Some((id, owner)) = shard {
+        cl.enable_sharding(id, owner.to_vec());
+    }
 
     let len = sc.region_len();
     let mode = |odp: bool| if odp { MrMode::Odp } else { MrMode::Pinned };
@@ -124,7 +163,8 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioRun {
     // Receives are posted up front, at the same window offset as the
     // matching SEND: RC pairs sends with posted receives FIFO per QP, and
     // posting order follows the workload list, so the k-th SEND on a QP
-    // consumes the k-th receive posted on it.
+    // consumes the k-th receive posted on it. Posting is pure queue
+    // state, so every replica posts them (replica symmetry is free).
     for (k, &(qp, wr)) in sc.wrs.iter().enumerate() {
         if let WrSpec::Send { off, len } = wr {
             cl.post_recv(
@@ -142,64 +182,70 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioRun {
 
     // The workload loop: the k-th request is posted at k * interval (the
     // Fig. 3 `usleep` pacing), with the global list index as its id.
-    for (k, &(qp, wr)) in sc.wrs.iter().enumerate() {
-        let at = SimTime::from_ns(k as u64 * sc.post_interval_ns);
-        let qpn = client_qpns[qp];
-        let base = qp as u64 * sc.slot;
-        let id = k as u64;
-        eng.schedule_at(at, move |c: &mut Cluster, eng| match wr {
-            WrSpec::Read { off, len } => c.post(
-                eng,
-                client,
-                qpn,
-                ReadWr::new(cmr.at(base + off), smr.at(base + off))
-                    .len(len)
-                    .id(id),
-            ),
-            WrSpec::Write { off, len } => c.post(
-                eng,
-                client,
-                qpn,
-                WriteWr::new(cmr.at(base + off), smr.at(base + off))
-                    .len(len)
-                    .id(id),
-            ),
-            WrSpec::Send { off, len } => c.post(
-                eng,
-                client,
-                qpn,
-                SendWr::new(cmr.at(base + off)).len(len).id(id),
-            ),
-            WrSpec::FetchAdd { off, add } => c.post(
-                eng,
-                client,
-                qpn,
-                FetchAddWr::new(cmr.at(base + off), smr.at(base + off))
-                    .add(add)
-                    .id(id),
-            ),
-            WrSpec::CompareSwap { off, compare, swap } => c.post(
-                eng,
-                client,
-                qpn,
-                CompareSwapWr::new(cmr.at(base + off), smr.at(base + off))
-                    .compare(compare)
-                    .swap(swap)
-                    .id(id),
-            ),
-        });
+    // Posts execute on the client, so only the client's owner schedules
+    // them.
+    if cl.owns(client) {
+        for (k, &(qp, wr)) in sc.wrs.iter().enumerate() {
+            let at = SimTime::from_ns(k as u64 * sc.post_interval_ns);
+            let qpn = client_qpns[qp];
+            let base = qp as u64 * sc.slot;
+            let id = k as u64;
+            eng.schedule_at(at, move |c: &mut Cluster, eng| match wr {
+                WrSpec::Read { off, len } => c.post(
+                    eng,
+                    client,
+                    qpn,
+                    ReadWr::new(cmr.at(base + off), smr.at(base + off))
+                        .len(len)
+                        .id(id),
+                ),
+                WrSpec::Write { off, len } => c.post(
+                    eng,
+                    client,
+                    qpn,
+                    WriteWr::new(cmr.at(base + off), smr.at(base + off))
+                        .len(len)
+                        .id(id),
+                ),
+                WrSpec::Send { off, len } => c.post(
+                    eng,
+                    client,
+                    qpn,
+                    SendWr::new(cmr.at(base + off)).len(len).id(id),
+                ),
+                WrSpec::FetchAdd { off, add } => c.post(
+                    eng,
+                    client,
+                    qpn,
+                    FetchAddWr::new(cmr.at(base + off), smr.at(base + off))
+                        .add(add)
+                        .id(id),
+                ),
+                WrSpec::CompareSwap { off, compare, swap } => c.post(
+                    eng,
+                    client,
+                    qpn,
+                    CompareSwapWr::new(cmr.at(base + off), smr.at(base + off))
+                        .compare(compare)
+                        .swap(swap)
+                        .id(id),
+                ),
+            });
+        }
     }
 
     // The fault schedule. Invalidations only make sense on ODP regions:
     // pinned pages can never be reclaimed, so events against a pinned
     // side are skipped rather than simulating an impossible kernel.
+    // Each invalidation mutates one host, so only that host's owner
+    // schedules it.
     let pages = len.div_ceil(PAGE_SIZE) as usize;
     for f in &sc.faults {
         let (host, key, odp) = match f.side {
             Side::Client => (client, cmr.key, sc.client_odp),
             Side::Server => (server, smr.key, sc.server_odp),
         };
-        if !odp {
+        if !odp || !cl.owns(host) {
             continue;
         }
         let (first, count) = (f.page, f.count.min(pages.saturating_sub(f.page)));
@@ -210,81 +256,126 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioRun {
         });
     }
 
-    // The loss schedule: each phase swaps the fabric's loss model.
+    // The loss schedule: each phase swaps the fabric's loss model. The
+    // fabric is replicated per shard, so the swap is a global event —
+    // every replica executes it and the merged queue statistics discount
+    // the replication.
     for phase in &sc.loss {
         let model = phase.model.clone();
-        eng.schedule_at(SimTime::from_ns(phase.at_ns), move |c: &mut Cluster, _| {
-            c.fabric.set_loss(loss_model(&model));
-        });
+        cl.schedule_global(
+            &mut eng,
+            SimTime::from_ns(phase.at_ns),
+            move |c: &mut Cluster, _| {
+                c.fabric.set_loss(loss_model(&model));
+            },
+        );
     }
 
-    let deadline = SimTime::from_ns(sc.wrs.len() as u64 * sc.post_interval_ns) + DRAIN_BUDGET;
-    eng.run_until(&mut cl, deadline);
-    let stalled = eng.queue_stats().live > 0;
-    let end_ns = eng.now().as_ns();
+    let world = World {
+        client,
+        server,
+        cmr,
+        smr,
+        client_qpns,
+        server_qpns,
+        hosts,
+    };
+    (eng, cl, world)
+}
 
-    // ---- Collection ---------------------------------------------------
-    let mut client_comps = vec![Vec::new(); sc.qps];
-    let mut server_comps = vec![Vec::new(); sc.qps];
-    let mut stray_comps = 0usize;
+/// One host's post-run artifacts: grouped completions, the textual
+/// completion log, final memory image and the packet capture.
+struct HostCollect {
+    comps: Vec<Vec<Completion>>,
+    comp_log: String,
+    stray: usize,
+    mem: Vec<u8>,
+    capture: Capture<Packet>,
+}
+
+/// Drains one host's completion queue and snapshots its region and
+/// capture. Only meaningful on the replica that owns the host.
+fn collect_host(
+    cl: &mut Cluster,
+    sc: &Scenario,
+    tag: &str,
+    host: HostId,
+    qpns: &[Qpn],
+    mr: &MrDesc,
+) -> HostCollect {
+    let mut comps = vec![Vec::new(); sc.qps];
+    let mut stray = 0usize;
     let mut comp_log = String::new();
-    for (tag, host, qpns, grouped) in [
-        ("C", client, &client_qpns, &mut client_comps),
-        ("S", server, &server_qpns, &mut server_comps),
-    ] {
-        for comp in cl.poll_cq(host) {
-            comp_log.push_str(&format!(
-                "{tag} qp={} id={} st={} op={} b={} t={}\n",
-                comp.qpn.0,
-                comp.wr_id.0,
-                comp.status,
-                comp.opcode,
-                comp.bytes,
-                comp.at.as_ns()
-            ));
-            match qpns.iter().position(|&q| q == comp.qpn) {
-                Some(i) => grouped[i].push(comp),
-                None => stray_comps += 1,
-            }
+    for comp in cl.poll_cq(host) {
+        comp_log.push_str(&format!(
+            "{tag} qp={} id={} st={} op={} b={} t={}\n",
+            comp.qpn.0,
+            comp.wr_id.0,
+            comp.status,
+            comp.opcode,
+            comp.bytes,
+            comp.at.as_ns()
+        ));
+        match qpns.iter().position(|&q| q == comp.qpn) {
+            Some(i) => comps[i].push(comp),
+            None => stray += 1,
         }
     }
+    let mem = cl.mem_read(host, mr.base, sc.region_len() as usize);
+    HostCollect {
+        comps,
+        comp_log,
+        stray,
+        mem,
+        capture: cl.capture(host).clone(),
+    }
+}
 
-    let client_mem = cl.mem_read(client, cmr.base, len as usize);
-    let server_mem = cl.mem_read(server, smr.base, len as usize);
-
+/// Assembles the final [`ScenarioRun`] from both hosts' artifacts: the
+/// merged lint report, the concatenated timeline and the trace hash.
+/// Shared verbatim by the sequential and sharded executors, which is
+/// what makes "same `HostCollect`s in, same hash out" a structural
+/// guarantee.
+#[allow(clippy::too_many_arguments)]
+fn assemble_run(
+    sc: &Scenario,
+    ccol: HostCollect,
+    scol: HostCollect,
+    spans: Vec<FaultSpan>,
+    stage_sum_violations: usize,
+    invariant_violations: u64,
+    stalled: bool,
+    end_ns: u64,
+) -> ScenarioRun {
     // The justification rules come from the backend under test: batch
     // inheritance is a go-back-N rollback property (see RecoveryRules).
     let lint_cfg = LintConfig {
         rules: RecoveryRules::for_kind(sc.recovery),
         ..LintConfig::default()
     };
-    let mut lint = lint_capture(cl.capture(client), &lint_cfg);
-    lint.merge(lint_capture(cl.capture(server), &lint_cfg));
-    lint.merge(check_conservation(cl.capture(client), cl.capture(server)));
-
-    cl.sync_telemetry(&eng);
-    let snapshot = InvariantSnapshot::collect(&cl, &hosts, &eng);
-    let spans: Vec<FaultSpan> = cl.telemetry().spans().to_vec();
-    let stage_sum_violations = cl.telemetry().stage_sum_violations();
+    let mut lint = lint_capture(&ccol.capture, &lint_cfg);
+    lint.merge(lint_capture(&scol.capture, &lint_cfg));
+    lint.merge(check_conservation(&ccol.capture, &scol.capture));
 
     let mut timeline = String::new();
-    timeline.push_str(&cl.capture(client).timeline());
+    timeline.push_str(&ccol.capture.timeline());
     timeline.push('\n');
-    timeline.push_str(&cl.capture(server).timeline());
+    timeline.push_str(&scol.capture.timeline());
     timeline.push('\n');
-    timeline.push_str(&comp_log);
+    timeline.push_str(&ccol.comp_log);
+    timeline.push_str(&scol.comp_log);
     let mut ident = timeline.clone().into_bytes();
-    ident.extend_from_slice(&client_mem);
-    ident.extend_from_slice(&server_mem);
+    ident.extend_from_slice(&ccol.mem);
+    ident.extend_from_slice(&scol.mem);
 
     ScenarioRun {
-        client_comps,
-        server_comps,
-        stray_comps,
-        client_mem,
-        server_mem,
+        client_comps: ccol.comps,
+        server_comps: scol.comps,
+        stray_comps: ccol.stray + scol.stray,
+        client_mem: ccol.mem,
+        server_mem: scol.mem,
         lint,
-        invariant_violations: snapshot.total(),
+        invariant_violations,
         spans,
         stage_sum_violations,
         stalled,
@@ -292,6 +383,157 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioRun {
         trace_hash: fnv1a(&ident),
         timeline,
     }
+}
+
+/// Runs one scenario to completion. Deterministic: the same scenario
+/// always produces the same [`ScenarioRun`], including its `trace_hash`
+/// — whatever [`Scenario::shards`] says, because the sharded executor
+/// reproduces the sequential trace bit for bit.
+///
+/// The scenario should satisfy [`Scenario::validate`]; out-of-range
+/// offsets would make the run itself meaningless.
+pub fn run_scenario(sc: &Scenario) -> ScenarioRun {
+    if sc.shards > 1 {
+        return run_scenario_sharded(sc, sc.shards);
+    }
+    let deadline = scenario_deadline(sc);
+    let (mut eng, mut cl, w) = build_scenario_world(sc, None);
+    eng.run_until(&mut cl, deadline);
+    let stalled = eng.queue_stats().live > 0;
+    let end_ns = eng.now().as_ns();
+
+    let ccol = collect_host(&mut cl, sc, "C", w.client, &w.client_qpns, &w.cmr);
+    let scol = collect_host(&mut cl, sc, "S", w.server, &w.server_qpns, &w.smr);
+
+    cl.sync_telemetry(&eng);
+    let snapshot = InvariantSnapshot::collect(&cl, &w.hosts, &eng);
+    let spans: Vec<FaultSpan> = cl.telemetry().spans().to_vec();
+    let stage_sum_violations = cl.telemetry().stage_sum_violations();
+
+    assemble_run(
+        sc,
+        ccol,
+        scol,
+        spans,
+        stage_sum_violations,
+        snapshot.total(),
+        stalled,
+        end_ns,
+    )
+}
+
+/// Runs a scenario on `shards` PDES shards with the default host
+/// placement: client on shard 0, server on shard `1 % shards`. When any
+/// loss phase is order-dependent (its model consumes a PRNG or counter
+/// per inspected packet) both hosts are co-located on shard 0 instead —
+/// cross-shard traffic would consult replicated loss state in a
+/// shard-local order and diverge from the sequential drop pattern.
+pub fn run_scenario_sharded(sc: &Scenario, shards: usize) -> ScenarioRun {
+    run_scenario_sharded_with(sc, ShardPlan::new(shards, vec![0, 1 % shards]))
+}
+
+/// Runs a scenario under an explicit [`ShardPlan`] — the entry point for
+/// the shard-assignment fuzzer, which exercises arbitrary host→shard
+/// partitions. Plans that split the hosts are collapsed onto the
+/// client's shard when the loss schedule is order-dependent (see
+/// [`run_scenario_sharded`]).
+pub fn run_scenario_sharded_with(sc: &Scenario, mut plan: ShardPlan) -> ScenarioRun {
+    let order_dependent_loss = sc
+        .loss
+        .iter()
+        .any(|p| loss_model(&p.model).is_order_dependent());
+    if order_dependent_loss {
+        plan.owner = vec![plan.owner[0]; plan.owner.len()];
+    }
+    let deadline = scenario_deadline(sc);
+    let outs: Vec<ShardOut> = run_sharded(
+        &plan,
+        Some(deadline),
+        |id| {
+            let (eng, cl, _) = build_scenario_world(sc, Some((id, &plan.owner)));
+            (eng, cl)
+        },
+        |_, eng, mut cl, canonical_end| {
+            // Rebuild the collection handles: replicas are identical, so
+            // region descriptors and QP maps are reproducible from the
+            // spec alone.
+            let (_, _, w) = build_scenario_world(sc, None);
+            let client = if cl.owns(w.client) {
+                Some(collect_host(
+                    &mut cl,
+                    sc,
+                    "C",
+                    w.client,
+                    &w.client_qpns,
+                    &w.cmr,
+                ))
+            } else {
+                None
+            };
+            let server = if cl.owns(w.server) {
+                Some(collect_host(
+                    &mut cl,
+                    sc,
+                    "S",
+                    w.server,
+                    &w.server_qpns,
+                    &w.smr,
+                ))
+            } else {
+                None
+            };
+            cl.sync_telemetry_at(&eng, canonical_end);
+            let snapshot = InvariantSnapshot::collect(&cl, &w.hosts, &eng);
+            ShardOut {
+                client,
+                server,
+                invariants: snapshot.total(),
+                telemetry: std::mem::take(cl.telemetry_mut()),
+                queue_stats: eng.queue_stats(),
+                globals: cl.shard_global_counters(),
+            }
+        },
+    );
+
+    let globals = outs[0].globals;
+    let mut client = None;
+    let mut server = None;
+    let mut invariants = 0u64;
+    let mut hubs = Vec::new();
+    let mut qss = Vec::new();
+    for o in outs {
+        client = client.or(o.client);
+        server = server.or(o.server);
+        invariants += o.invariants;
+        hubs.push(o.telemetry);
+        qss.push(o.queue_stats);
+    }
+    let (telemetry, merged_qs) = merge_shard_telemetry(&hubs, &qss, globals.0, globals.1);
+    let (Some(ccol), Some(scol)) = (client, server) else {
+        unreachable!("every host has exactly one owning shard")
+    };
+    assemble_run(
+        sc,
+        ccol,
+        scol,
+        telemetry.spans().to_vec(),
+        telemetry.stage_sum_violations(),
+        invariants,
+        merged_qs.live > 0,
+        deadline.as_ns(),
+    )
+}
+
+/// One shard's contribution to a sharded [`ScenarioRun`]: the artifacts
+/// of the hosts it owns plus its telemetry hub and queue statistics for
+/// the deterministic merge.
+struct ShardOut {
+    client: Option<HostCollect>,
+    server: Option<HostCollect>,
+    invariants: u64,
+    telemetry: Telemetry,
+    queue_stats: QueueStats,
+    globals: (u64, u64),
 }
 
 /// Instantiates the fabric loss model a [`LossSpec`] describes.
@@ -385,5 +627,53 @@ mod tests {
         // The dropped first frame must be retransmitted and both writes
         // must still complete.
         assert_eq!(lossy.client_comps[0].len(), 2);
+    }
+
+    #[test]
+    fn shards_facet_dispatches_and_reproduces_the_sequential_hash() {
+        let mut sc = Scenario::base("dispatch");
+        sc.client_odp = true;
+        sc.slot = 64;
+        sc.wrs = vec![
+            (0, WrSpec::Write { off: 0, len: 32 }),
+            (0, WrSpec::Read { off: 0, len: 32 }),
+        ];
+        let seq = run_scenario(&sc);
+        sc.shards = 4;
+        let sharded = run_scenario(&sc);
+        assert_eq!(seq.trace_hash, sharded.trace_hash);
+        assert_eq!(seq.timeline, sharded.timeline);
+        assert_eq!(seq.end_ns, sharded.end_ns);
+        assert_eq!(seq.spans.len(), sharded.spans.len());
+        assert_eq!(seq.lint.findings.len(), sharded.lint.findings.len());
+    }
+
+    #[test]
+    fn order_dependent_loss_collapses_split_plans() {
+        // A uniform-loss scenario across a split plan must co-locate the
+        // hosts (cross-shard traffic would consult replicated PRNG state
+        // out of order) and still reproduce the sequential trace.
+        let mut sc = Scenario::base("lossy-sharded");
+        sc.slot = 64;
+        sc.wrs = vec![
+            (0, WrSpec::Write { off: 0, len: 32 }),
+            (0, WrSpec::Write { off: 32, len: 32 }),
+        ];
+        sc.loss = vec![
+            LossPhase {
+                at_ns: 0,
+                model: LossSpec::Uniform {
+                    prob_milli: 200,
+                    seed: 7,
+                },
+            },
+            LossPhase {
+                at_ns: 1_000_000,
+                model: LossSpec::None,
+            },
+        ];
+        let seq = run_scenario(&sc);
+        let sharded = run_scenario_sharded_with(&sc, ShardPlan::new(4, vec![0, 3]));
+        assert_eq!(seq.trace_hash, sharded.trace_hash);
     }
 }

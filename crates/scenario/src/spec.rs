@@ -295,6 +295,11 @@ pub struct Scenario {
     pub faults: Vec<FaultEvent>,
     /// The loss schedule (fabric loss model changes over time).
     pub loss: Vec<LossPhase>,
+    /// Number of PDES shards to execute on (1 = the sequential engine).
+    /// Any value must reproduce the shard-count-1 trace byte for byte;
+    /// the facet exists so the conformance battery and fuzzer can
+    /// exercise the sharded executor through the same spec pipeline.
+    pub shards: usize,
 }
 
 impl Scenario {
@@ -318,6 +323,7 @@ impl Scenario {
             wrs: Vec::new(),
             faults: Vec::new(),
             loss: Vec::new(),
+            shards: 1,
         }
     }
 
@@ -336,6 +342,9 @@ impl Scenario {
         }
         if self.slot == 0 {
             return Err("slot must be positive".into());
+        }
+        if self.shards == 0 || self.shards > 16 {
+            return Err(format!("shards {} outside 1..=16", self.shards));
         }
         for (i, &(qp, wr)) in self.wrs.iter().enumerate() {
             if qp >= self.qps {
@@ -439,6 +448,11 @@ impl Scenario {
         s.push_str(&format!("rnr_ns={}\n", self.min_rnr_delay_ns));
         s.push_str(&format!("interval_ns={}\n", self.post_interval_ns));
         s.push_str(&format!("recovery={}\n", self.recovery));
+        // Emitted only when non-default so every pre-facet spec string —
+        // and its pinned corpus hash — stays byte-identical.
+        if self.shards != 1 {
+            s.push_str(&format!("shards={}\n", self.shards));
+        }
         for &(qp, wr) in &self.wrs {
             match wr {
                 WrSpec::Read { off, len } => s.push_str(&format!("wr={qp} read {off} {len}\n")),
@@ -516,6 +530,7 @@ impl Scenario {
                 "rnr_ns" => sc.min_rnr_delay_ns = parse_num(value)?,
                 "interval_ns" => sc.post_interval_ns = parse_num(value)?,
                 "recovery" => sc.recovery = value.parse()?,
+                "shards" => sc.shards = parse_num::<u64>(value)? as usize,
                 "wr" => {
                     let parts: Vec<&str> = value.split_whitespace().collect();
                     if parts.len() < 3 {

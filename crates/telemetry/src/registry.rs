@@ -131,6 +131,22 @@ impl Histogram {
             .filter(|(_, &c)| c != 0)
             .map(|(i, &c)| (1u64 << i, c))
     }
+
+    /// Folds `other`'s samples into `self`. The result is identical to
+    /// having observed both sample streams into one histogram, in any
+    /// order — histograms are commutative, which is what lets sharded
+    /// runs merge per-shard hubs without replaying sample order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        // `min` uses u64::MAX as the empty sentinel, so a plain min is
+        // correct even when either side is empty.
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// One registered instrument.
@@ -255,6 +271,40 @@ impl Registry {
     /// Iterates every instrument in deterministic (name, labels) order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, Labels, &Instrument)> + '_ {
         self.metrics.iter().map(|(&(n, l), i)| (n, l, i))
+    }
+
+    /// Folds every instrument of `other` into `self`: counters add,
+    /// histograms merge bucket-wise, and gauges **add** too — a sharded
+    /// merge sums per-shard snapshots of disjoint state (each host's
+    /// gauges are written by exactly one shard), and cluster-wide gauges
+    /// that do not sum (queue depths) are recomputed by the caller after
+    /// absorbing.
+    pub fn absorb(&mut self, other: &Registry) {
+        for (&key, inst) in &other.metrics {
+            match inst {
+                Instrument::Counter(v) => self.counter_add(key.0, key.1, *v),
+                Instrument::Gauge(v) => {
+                    let e = self.metrics.entry(key).or_insert(Instrument::Gauge(0));
+                    if let Instrument::Gauge(g) = e {
+                        *g += v;
+                    }
+                }
+                Instrument::Histogram(h) => {
+                    let e = self
+                        .metrics
+                        .entry(key)
+                        .or_insert_with(|| Instrument::Histogram(Histogram::default()));
+                    if let Instrument::Histogram(mine) = e {
+                        mine.merge(h);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes one instrument slot; returns whether it existed.
+    pub fn remove(&mut self, name: &'static str, labels: Labels) -> bool {
+        self.metrics.remove(&(name, labels)).is_some()
     }
 }
 

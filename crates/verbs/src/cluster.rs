@@ -13,6 +13,7 @@ use crate::mem::{Memory, MrMode};
 use crate::nic::Nic;
 use crate::packet::{Packet, PacketKind};
 use crate::qp::{Effects, QpConfig, QpEnv, QpStats, RecoveryKind, TimerFamily};
+use crate::sharded::{Envelope, PendingDraw, ShardState};
 use crate::types::{HostId, MrKey, Qpn, WrId};
 use crate::wr::{Completion, RecvWr, WorkRequest};
 
@@ -125,6 +126,10 @@ pub struct Cluster {
     /// knob instead of threading a config through every `connect_pair`).
     /// `None` leaves each [`QpConfig::recovery`] as passed.
     default_recovery: Option<RecoveryKind>,
+    /// Sharded-execution state when this cluster is one replica of a
+    /// conservative-lookahead PDES run (see [`crate::sharded`]); `None`
+    /// on an ordinary sequential cluster.
+    shard: Option<Box<ShardState>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -153,6 +158,7 @@ impl Cluster {
             telemetry: Telemetry::new(),
             fx_pool: Vec::new(),
             default_recovery: None,
+            shard: None,
         }
     }
 
@@ -486,9 +492,32 @@ impl Cluster {
     /// Call once before exporting; the structs stay API-compatible and
     /// the registry holds a superset of what they expose.
     pub fn sync_telemetry(&mut self, eng: &Sim) {
+        let now = eng.now();
+        self.sync_telemetry_at(eng, now);
+    }
+
+    /// [`Cluster::sync_telemetry`] with an explicit dwell-flush instant.
+    ///
+    /// Sharded runs park each replica's clock at its last *owned* event,
+    /// so the per-shard `eng.now()` values differ from the sequential
+    /// clock; passing the canonical end-of-run time (handed to the
+    /// `finish` closure by [`crate::sharded::run_sharded`]) makes the
+    /// flushed QP dwell counters match the sequential run exactly.
+    pub fn sync_telemetry_at(&mut self, eng: &Sim, now: SimTime) {
         if !self.telemetry.is_enabled() {
             return;
         }
+        // On a sharded replica, only sync driver and QP instruments for
+        // the hosts this shard owns: a non-owner replica never runs a
+        // host's driver or QP machinery, so its values are all zero, and
+        // every host has exactly one owner — the union of per-shard hubs
+        // covers every slot once and the merged export stays
+        // byte-identical while each replica's O(QPs) sync cost drops to
+        // its ownership share. Fabric link counters are the exception:
+        // a cross-shard transit is performed by the *sender's* replica,
+        // which accrues the receiver's rx frames too, so those gauges
+        // must keep summing across every replica.
+        let owned: Vec<bool> = (0..self.nics.len()).map(|h| self.owns(HostId(h))).collect();
         let t = &mut self.telemetry;
         let qs = eng.queue_stats();
         t.gauge_set("event.live", Labels::NONE, qs.live as u64);
@@ -506,10 +535,6 @@ impl Cluster {
         t.gauge_set("cluster.fabric_drops", Labels::NONE, cs.fabric_drops);
         for (h, (nic, driver)) in self.nics.iter().zip(self.drivers.iter()).enumerate() {
             let labels = Labels::host(h as u64);
-            let ds = driver.stats();
-            t.gauge_set("driver.stats.faults_resolved", labels, ds.faults_resolved);
-            t.gauge_set("driver.stats.qp_resumes", labels, ds.qp_resumes);
-            t.gauge_set("driver.stats.irqs_processed", labels, ds.irqs_processed);
             if let Some(ls) = self.fabric.link_stats(nic.lid) {
                 t.gauge_set("fabric.tx_frames", labels, ls.tx_frames);
                 t.gauge_set("fabric.tx_bytes", labels, ls.tx_bytes);
@@ -517,6 +542,13 @@ impl Cluster {
                 t.gauge_set("fabric.rx_bytes", labels, ls.rx_bytes);
                 t.gauge_set("fabric.dropped", labels, ls.dropped);
             }
+            if !owned[h] {
+                continue;
+            }
+            let ds = driver.stats();
+            t.gauge_set("driver.stats.faults_resolved", labels, ds.faults_resolved);
+            t.gauge_set("driver.stats.qp_resumes", labels, ds.qp_resumes);
+            t.gauge_set("driver.stats.irqs_processed", labels, ds.irqs_processed);
             for &qpn in nic.qpns() {
                 let Some(qp) = nic.qp(qpn) else { continue };
                 let s = qp.stats();
@@ -531,7 +563,218 @@ impl Cluster {
                 t.gauge_set("qp.pendency_drops", ql, s.pendency_drops);
             }
         }
-        t.flush_dwell(eng.now());
+        t.flush_dwell(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded execution (conservative-lookahead PDES; see crate::sharded)
+    // ------------------------------------------------------------------
+
+    /// True if this replica executes events for `host`. Always true on
+    /// an unsharded cluster — the single predicate that lets one build
+    /// path serve both execution modes.
+    pub fn owns(&self, host: HostId) -> bool {
+        self.shard
+            .as_ref()
+            .is_none_or(|sh| sh.owner[host.0] == sh.id)
+    }
+
+    /// Converts this replica into shard `id` of a sharded run with the
+    /// given host → shard map. Call after every host has been added and
+    /// before any workload activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owner map does not cover every host.
+    pub fn enable_sharding(&mut self, id: usize, owner: Vec<usize>) {
+        assert_eq!(
+            owner.len(),
+            self.nics.len(),
+            "owner map must name a shard for every host"
+        );
+        self.shard = Some(Box::new(ShardState::new(id, owner)));
+    }
+
+    /// This replica's shard id, or `None` when unsharded.
+    pub fn shard_id(&self) -> Option<usize> {
+        self.shard.as_ref().map(|sh| sh.id)
+    }
+
+    /// Replicated-event counters `(scheduled, executed)` for merged
+    /// queue statistics (see [`crate::sharded::merge_queue_stats`]);
+    /// zeros when unsharded.
+    pub fn shard_global_counters(&self) -> (u64, u64) {
+        self.shard
+            .as_ref()
+            .map_or((0, 0), |sh| (sh.global_scheduled, sh.global_executed))
+    }
+
+    /// Schedules an event that must fire on **every replica** of a
+    /// sharded run (fabric-wide state changes like a loss-model swap).
+    /// On an unsharded cluster this is a plain `schedule_at`; sharded,
+    /// the event is counted so merged queue statistics discount the
+    /// replication.
+    pub fn schedule_global<F>(&mut self, eng: &mut Sim, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut Cluster, &mut Sim) + 'static,
+    {
+        if let Some(sh) = self.shard.as_mut() {
+            sh.global_scheduled += 1;
+            eng.schedule_at(at, move |c: &mut Cluster, eng| {
+                if let Some(sh) = c.shard.as_mut() {
+                    sh.global_executed += 1;
+                }
+                f(c, eng);
+            });
+        } else {
+            eng.schedule_at(at, f);
+        }
+    }
+
+    /// Draws one ODP fault-resolution latency in `[lo, lo + max(hi-lo,1))`
+    /// nanoseconds from the cluster RNG. Fault draws are the RNG's only
+    /// consumer, which is what lets a sharded run reproduce the
+    /// sequential stream: replicas defer their draws and the epoch
+    /// leader replays them, in global raise order, through its own
+    /// replica's RNG via this method.
+    pub fn draw_fault_latency(&mut self, lo: u64, hi: u64) -> SimTime {
+        SimTime::from_ns(lo + self.rng.next_below((hi - lo).max(1)))
+    }
+
+    /// The conservative cross-shard packet lookahead: the minimum
+    /// latency any packet between hosts on *different* shards can
+    /// experience (send overhead + unloaded zero-byte transit + receive
+    /// overhead, minimized over connected cross-shard QP pairs). `None`
+    /// when no QP crosses a shard boundary — or when unsharded.
+    pub fn cross_shard_lookahead(&self) -> Option<SimTime> {
+        let sh = self.shard.as_ref()?;
+        let mut best: Option<SimTime> = None;
+        for nic in &self.nics {
+            for &qpn in nic.qpns() {
+                let Some((peer_lid, _)) = nic.qp(qpn).and_then(|qp| qp.peer()) else {
+                    continue;
+                };
+                let Some(&dst) = self.lid_to_host.get(&peer_lid) else {
+                    continue;
+                };
+                if sh.owner[nic.host.0] == sh.owner[dst.0] {
+                    continue;
+                }
+                let Some(transit) = self.fabric.idle_transit(nic.lid, peer_lid, 0) else {
+                    continue;
+                };
+                let lat =
+                    nic.profile.send_overhead + transit + self.nics[dst.0].profile.recv_overhead;
+                best = Some(best.map_or(lat, |b| b.min(lat)));
+            }
+        }
+        best
+    }
+
+    /// The fault-draw floor: the smallest possible ODP fault latency
+    /// across hosts owning at least one ODP region, or `None` when no
+    /// region can fault. Bounds the epoch width even without cross-shard
+    /// links: a stalled driver rekicked at the next epoch boundary
+    /// schedules its completion no earlier than stall time + this floor,
+    /// so boundaries must not outrun it.
+    pub fn fault_draw_floor(&self) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        for nic in &self.nics {
+            if nic.mrs.values().any(|m| m.mode() == MrMode::Odp) {
+                let f = nic.profile.fault_latency_min;
+                best = Some(best.map_or(f, |b| b.min(f)));
+            }
+        }
+        best
+    }
+
+    /// Checks the ingress single-writer contract of a sharded run: the
+    /// fabric's `transit` call (executed on the *sender's* replica)
+    /// mutates the destination port's ingress clock, so every host's
+    /// incoming traffic must originate from QPs on a single shard. No-op
+    /// when unsharded.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic naming the host and the two shards when
+    /// the contract is violated.
+    pub fn validate_sharding(&self) {
+        let Some(sh) = self.shard.as_ref() else {
+            return;
+        };
+        let mut writer: Vec<Option<usize>> = vec![None; self.nics.len()];
+        for nic in &self.nics {
+            let src_shard = sh.owner[nic.host.0];
+            for &qpn in nic.qpns() {
+                let Some((peer_lid, _)) = nic.qp(qpn).and_then(|qp| qp.peer()) else {
+                    continue;
+                };
+                let Some(&dst) = self.lid_to_host.get(&peer_lid) else {
+                    continue;
+                };
+                match writer[dst.0] {
+                    None => writer[dst.0] = Some(src_shard),
+                    Some(w) => assert_eq!(
+                        w, src_shard,
+                        "sharding violates the ingress single-writer contract: \
+                         host {} receives packets from QPs on shard {} and shard \
+                         {}; every sender into one host must share a shard",
+                        dst.0, w, src_shard
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Drains the cross-shard outbox for an epoch deposit.
+    pub(crate) fn take_outbox(&mut self) -> Vec<Envelope> {
+        self.shard
+            .as_mut()
+            .map_or_else(Vec::new, |sh| std::mem::take(&mut sh.outbox))
+    }
+
+    /// Drains the deferred fault-draw requests for an epoch deposit.
+    pub(crate) fn take_pending_draws(&mut self) -> Vec<PendingDraw> {
+        self.shard
+            .as_mut()
+            .map_or_else(Vec::new, |sh| std::mem::take(&mut sh.pending_draws))
+    }
+
+    /// Snapshots stalled drivers as `(host, stall time, fault floor)`
+    /// for the leader's progress computation. The stalls stay recorded
+    /// until [`Cluster::take_stalls`] consumes them at injection time.
+    pub(crate) fn snapshot_stalls(&self) -> Vec<(usize, SimTime, SimTime)> {
+        let Some(sh) = self.shard.as_ref() else {
+            return Vec::new();
+        };
+        sh.stalls
+            .iter()
+            .map(|(&host, &(at, _))| (host, at, self.nics[host].profile.fault_latency_min))
+            .collect()
+    }
+
+    /// Drains the stalled drivers as `(host, stall time, seq)` for the
+    /// unified injection sort.
+    pub(crate) fn take_stalls(&mut self) -> Vec<(usize, SimTime, u64)> {
+        self.shard.as_mut().map_or_else(Vec::new, |sh| {
+            std::mem::take(&mut sh.stalls)
+                .into_iter()
+                .map(|(host, (at, seq))| (host, at, seq))
+                .collect()
+        })
+    }
+
+    /// Applies one leader-drawn fault latency to `host`'s oldest undrawn
+    /// fault, recording the histogram sample the sequential run would
+    /// have recorded at draw time (fills arrive in the same global order,
+    /// and histograms are order-insensitive).
+    pub(crate) fn apply_draw_fill(&mut self, host: usize, latency: SimTime) {
+        self.telemetry.observe(
+            "fault.drawn_latency_ns",
+            Labels::host(host as u64),
+            latency.as_ns(),
+        );
+        self.drivers[host].fill_undrawn(latency);
     }
 
     // ------------------------------------------------------------------
@@ -659,15 +902,35 @@ impl Cluster {
         for (mr, page) in fx.faults.drain(..) {
             let lo = self.nics[host.0].profile.fault_latency_min.as_ns();
             let hi = self.nics[host.0].profile.fault_latency_max.as_ns();
-            let latency = SimTime::from_ns(lo + self.rng.next_below((hi - lo).max(1)));
             self.telemetry
                 .fault_raised(host.0 as u64, mr.0, page as u64, eng.now());
-            self.telemetry.observe(
-                "fault.drawn_latency_ns",
-                Labels::host(host.0 as u64),
-                latency.as_ns(),
-            );
-            self.drivers[host.0].push_fault(mr, page, latency);
+            let now = eng.now();
+            if let Some(sh) = self.shard.as_mut() {
+                // Sharded replicas must not consume the fault-latency RNG
+                // locally — shards would race for the stream. The draw is
+                // deferred: the epoch leader replays all raises in global
+                // order through its own replica's RNG and sends the fill
+                // back (see crate::sharded). The histogram sample moves to
+                // fill time too (apply_draw_fill); histograms commute.
+                sh.seq += 1;
+                sh.pending_draws.push(PendingDraw {
+                    raised_at: now,
+                    src_shard: sh.id,
+                    seq: sh.seq,
+                    host: host.0,
+                    lo,
+                    hi,
+                });
+                self.drivers[host.0].push_fault_undrawn(mr, page);
+            } else {
+                let latency = self.draw_fault_latency(lo, hi);
+                self.telemetry.observe(
+                    "fault.drawn_latency_ns",
+                    Labels::host(host.0 as u64),
+                    latency.as_ns(),
+                );
+                self.drivers[host.0].push_fault(mr, page, latency);
+            }
             kick = true;
         }
         for (mr, page) in fx.fault_waits.drain(..) {
@@ -802,13 +1065,42 @@ impl Cluster {
                 return;
             };
             let recv_overhead = self.nics[dst_host.0].profile.recv_overhead;
-            eng.schedule_at(at + recv_overhead, move |c: &mut Cluster, eng| {
+            let deliver_at = at + recv_overhead;
+            if !self.owns(dst_host) {
+                // Cross-shard delivery: the packet leaves this replica as
+                // an envelope and re-enters the destination's shard at the
+                // next epoch boundary, which the lookahead guarantees is
+                // no later than `deliver_at`.
+                assert!(
+                    !self.fabric.loss_is_order_dependent(),
+                    "sharded run with an order-dependent loss model: \
+                     cross-shard traffic would consume the loss PRNG in \
+                     per-shard order, diverging from the sequential stream; \
+                     run single-shard instead"
+                );
+                let sent_at = eng.now();
+                let sh = self
+                    .shard
+                    .as_mut()
+                    .expect("invariant: unowned host implies sharding");
+                sh.seq += 1;
+                sh.outbox.push(Envelope {
+                    deliver_at,
+                    sent_at,
+                    src_shard: sh.id,
+                    seq: sh.seq,
+                    dst_host: dst_host.0,
+                    pkt,
+                });
+                return;
+            }
+            eng.schedule_at(deliver_at, move |c: &mut Cluster, eng| {
                 c.deliver(eng, dst_host, pkt);
             });
         }
     }
 
-    fn deliver(&mut self, eng: &mut Sim, host: HostId, pkt: Packet) {
+    pub(crate) fn deliver(&mut self, eng: &mut Sim, host: HostId, pkt: Packet) {
         self.captures[host.0].record_with(
             eng.now(),
             Direction::Rx,
@@ -825,18 +1117,25 @@ impl Cluster {
     }
 
     fn driver_kick(&mut self, eng: &mut Sim, host: HostId) {
+        let now = eng.now();
+        self.driver_kick_at(eng, host, now);
+    }
+
+    /// [`Cluster::driver_kick`] with an explicit "now". Sharded epoch
+    /// rekicks re-enter a driver stalled at `t_s` from an event firing
+    /// at a later epoch boundary; timestamping the kick with `t_s`
+    /// reproduces the sequential begin time (the scheduled completion,
+    /// `t_s + cost`, is never earlier than the boundary because the
+    /// fault floor bounds the epoch width).
+    pub(crate) fn driver_kick_at(&mut self, eng: &mut Sim, host: HostId, now: SimTime) {
         if let Some((work, cost)) = self.drivers[host.0].begin_next() {
             if self.telemetry.is_enabled() {
                 let labels = Labels::host(host.0 as u64);
                 match &work {
                     DriverWork::FaultResolved { mr, page } => {
                         self.telemetry.counter_add("driver.faults_begun", labels, 1);
-                        self.telemetry.fault_service_begin(
-                            host.0 as u64,
-                            mr.0,
-                            *page as u64,
-                            eng.now(),
-                        );
+                        self.telemetry
+                            .fault_service_begin(host.0 as u64, mr.0, *page as u64, now);
                     }
                     DriverWork::QpResumed { .. } => {
                         self.telemetry
@@ -850,9 +1149,20 @@ impl Cluster {
                 self.telemetry
                     .observe("driver.work_cost_ns", labels, cost.as_ns());
             }
-            eng.schedule_in(cost, move |c: &mut Cluster, eng| {
+            eng.schedule_at(now + cost, move |c: &mut Cluster, eng| {
                 c.on_driver_done(eng, host, work);
             });
+        } else if self.drivers[host.0].blocked_on_undrawn() {
+            // The queue head is a fault whose latency the epoch leader
+            // has not yet filled. Record the stall (first stall time
+            // wins) so the leader bounds the epoch and rekicks us.
+            let sh = self
+                .shard
+                .as_mut()
+                .expect("invariant: undrawn faults only exist when sharded");
+            sh.seq += 1;
+            let seq = sh.seq;
+            sh.stalls.entry(host.0).or_insert((now, seq));
         }
     }
 

@@ -75,7 +75,11 @@ pub struct DriverStats {
 #[derive(Debug)]
 pub struct Driver {
     /// FIFO of pending page faults with their drawn resolution latencies.
-    faults: VecDeque<(MrKey, usize, SimTime)>,
+    /// A `None` latency is a fault whose latency draw is deferred to the
+    /// sharded epoch leader (so the PRNG is consumed in global fault
+    /// order); the driver stalls on it until
+    /// [`Driver::fill_undrawn`] supplies the value.
+    faults: VecDeque<(MrKey, usize, Option<SimTime>)>,
     /// LIFO stack of pending per-QP resumes.
     resumes: Vec<(Qpn, MrKey, usize)>,
     /// Coalesced count of pending interrupt items.
@@ -112,7 +116,38 @@ impl Driver {
 
     /// Queues a page-fault resolution taking `latency`.
     pub fn push_fault(&mut self, mr: MrKey, page: usize, latency: SimTime) {
-        self.faults.push_back((mr, page, latency));
+        self.faults.push_back((mr, page, Some(latency)));
+    }
+
+    /// Queues a page-fault resolution whose latency has not been drawn
+    /// yet (sharded execution defers the draw to the epoch leader). The
+    /// driver treats the undrawn fault as head-of-line work it cannot
+    /// start: [`Driver::begin_next`] yields nothing until
+    /// [`Driver::fill_undrawn`] supplies the latency, exactly as the
+    /// sequential driver would have been busy on this fault first.
+    pub fn push_fault_undrawn(&mut self, mr: MrKey, page: usize) {
+        self.faults.push_back((mr, page, None));
+    }
+
+    /// True when the driver is idle but cannot start its next item
+    /// because the head-of-line fault is awaiting its latency draw.
+    pub fn blocked_on_undrawn(&self) -> bool {
+        !self.busy && matches!(self.faults.front(), Some(&(_, _, None)))
+    }
+
+    /// Supplies the leader-drawn latency for the oldest undrawn fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no undrawn fault is queued: fills are produced one per
+    /// deposited draw request, so a miss is a protocol bug.
+    pub fn fill_undrawn(&mut self, latency: SimTime) {
+        let slot = self
+            .faults
+            .iter_mut()
+            .find(|f| f.2.is_none())
+            .expect("invariant: fill_undrawn without a pending undrawn fault");
+        slot.2 = Some(latency);
     }
 
     /// Queues a per-QP page-status update.
@@ -157,12 +192,23 @@ impl Driver {
             return None;
         }
         // Page faults preempt everything else: the hardware fault queue is
-        // small and the NIC blocks on it.
-        if let Some((mr, page, latency)) = self.faults.pop_front() {
-            self.busy = true;
-            self.stats.faults_resolved += 1;
-            self.stats.busy += latency;
-            return Some((DriverWork::FaultResolved { mr, page }, latency));
+        // small and the NIC blocks on it. An undrawn head fault blocks the
+        // whole queue — lower classes must not overtake it, or the busy
+        // timeline would diverge from the sequential run.
+        match self.faults.front() {
+            Some(&(_, _, None)) => return None,
+            Some(&(_, _, Some(_))) => {
+                let (mr, page, latency) = self
+                    .faults
+                    .pop_front()
+                    .expect("invariant: fault queue head vanished");
+                let latency = latency.expect("invariant: drawn fault lost its latency");
+                self.busy = true;
+                self.stats.faults_resolved += 1;
+                self.stats.busy += latency;
+                return Some((DriverWork::FaultResolved { mr, page }, latency));
+            }
+            None => {}
         }
         let irq_due = self.irq_pending > 0
             && (self.irq_served_in_round < self.irq_burst || self.resumes.is_empty());
@@ -315,6 +361,50 @@ mod tests {
             s.busy,
             SimTime::from_us(500) + SimTime::from_us(20) + SimTime::from_us(2)
         );
+    }
+
+    #[test]
+    fn undrawn_fault_blocks_queue_until_filled() {
+        let mut d = driver();
+        d.push_fault_undrawn(MrKey(1), 3);
+        d.push_resume(Qpn(1), MrKey(1), 3);
+        d.push_irq();
+        // Head-of-line undrawn fault: nothing may start, not even the
+        // lower classes behind it.
+        assert!(d.has_work());
+        assert!(d.blocked_on_undrawn());
+        assert_eq!(d.begin_next(), None);
+        d.fill_undrawn(SimTime::from_us(400));
+        assert!(!d.blocked_on_undrawn());
+        let (w, cost) = d.begin_next().unwrap();
+        assert_eq!(
+            w,
+            DriverWork::FaultResolved {
+                mr: MrKey(1),
+                page: 3
+            }
+        );
+        assert_eq!(cost, SimTime::from_us(400));
+        d.finish();
+        // Order within the fault FIFO is preserved across a fill.
+        d.push_fault(MrKey(1), 0, SimTime::from_us(250));
+        d.push_fault_undrawn(MrKey(1), 1);
+        let (w, _) = d.begin_next().unwrap();
+        assert!(matches!(w, DriverWork::FaultResolved { page: 0, .. }));
+        d.finish();
+        assert!(d.blocked_on_undrawn());
+        d.fill_undrawn(SimTime::from_us(260));
+        let (w, _) = d.begin_next().unwrap();
+        assert!(matches!(w, DriverWork::FaultResolved { page: 1, .. }));
+        d.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "without a pending undrawn fault")]
+    fn fill_without_undrawn_panics() {
+        let mut d = driver();
+        d.push_fault(MrKey(1), 0, SimTime::from_us(250));
+        d.fill_undrawn(SimTime::from_us(300));
     }
 
     #[test]

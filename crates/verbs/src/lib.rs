@@ -22,6 +22,7 @@ mod mem;
 mod nic;
 mod packet;
 pub mod qp;
+mod sharded;
 mod types;
 mod wr;
 
@@ -36,6 +37,7 @@ pub use qp::{
     RecoveryPlan, RecoveryPolicy, RetransmitCtx, SackBitmap, SelectiveRepeat, StallVerdict,
     TimerEffects, TimerFamily, WrView,
 };
+pub use sharded::{merge_queue_stats, merge_shard_telemetry, run_sharded, ShardPlan};
 pub use types::{
     packets_for, HostId, MrKey, Psn, Qpn, WrId, AETH_BYTES, BASE_HEADER_BYTES, DEFAULT_MTU,
     PAGE_SIZE, RETH_BYTES,
@@ -47,4 +49,4 @@ pub use wr::{
 
 // Re-exported so downstream crates can talk to the hub without adding
 // their own `ibsim-telemetry` dependency.
-pub use ibsim_telemetry::{Labels, Telemetry};
+pub use ibsim_telemetry::{export_jsonl, Labels, Telemetry};

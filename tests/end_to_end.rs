@@ -6,11 +6,15 @@ use ibsim::dsm::{Dsm, DsmConfig};
 use ibsim::event::{Engine, SimTime};
 use ibsim::fabric::LinkSpec;
 use ibsim::odp::{
-    detect_damming, detect_flood, run_microbench, MicrobenchConfig, OdpMode, SystemProfile,
+    detect_damming, detect_flood, fnv1a_str, run_microbench, run_microbench_digest,
+    run_microbench_sharded, run_microbench_sharded_with, MicrobenchConfig, MicrobenchDigest,
+    OdpMode, SystemProfile,
 };
 use ibsim::shuffle::{run_shuffle, ShuffleConfig};
 use ibsim::ucp::{MemSlice, Tag, Ucp, UcpConfig};
-use ibsim::verbs::{Cluster, DeviceProfile, MrMode, QpConfig, ReadWr};
+use ibsim::verbs::{
+    export_jsonl, Cluster, DeviceProfile, MrMode, QpConfig, ReadWr, ShardPlan, Telemetry,
+};
 
 #[test]
 fn facade_reexports_are_usable() {
@@ -58,6 +62,157 @@ fn paper_headline_flood_and_detection() {
     assert!(!storms.is_empty());
     assert_eq!(run.errors, 0);
     assert!(run.data_ok);
+}
+
+// ---------------------------------------------------------------------
+// Cross-shard conformance battery: the sharded conservative-lookahead
+// engine must reproduce the sequential goldens bit for bit at every
+// shard count (1, 2, 4, 8) — same pinned capture hash, same telemetry
+// event counts, same merged metrics export.
+// ---------------------------------------------------------------------
+
+fn damming_probe_cfg() -> MicrobenchConfig {
+    MicrobenchConfig {
+        interval: SimTime::from_ms(1),
+        capture: true,
+        telemetry: true,
+        ..Default::default()
+    }
+}
+
+fn flood_probe_cfg() -> MicrobenchConfig {
+    MicrobenchConfig {
+        size: 32,
+        num_ops: 128,
+        num_qps: 128,
+        odp: OdpMode::ClientSide,
+        cack: 18,
+        capture: true,
+        telemetry: true,
+        ..Default::default()
+    }
+}
+
+/// Sum of one counter family across all label sets.
+fn counter_sum(t: &Telemetry, name: &str) -> u64 {
+    t.registry()
+        .iter()
+        .filter(|&(n, _, _)| n == name)
+        .filter_map(|(_, _, i)| match i {
+            ibsim::telemetry::Instrument::Counter(v) => Some(*v),
+            _ => None,
+        })
+        .sum()
+}
+
+fn assert_digest_matches(seq: &MicrobenchDigest, sh: &MicrobenchDigest, ctx: &str) {
+    assert_eq!(seq.client_timeline, sh.client_timeline, "{ctx}: timeline");
+    assert_eq!(seq.op_completions, sh.op_completions, "{ctx}: completions");
+    assert_eq!(
+        seq.execution_time, sh.execution_time,
+        "{ctx}: execution time"
+    );
+    assert_eq!(seq.total_packets, sh.total_packets, "{ctx}: packet count");
+    assert_eq!(seq.faults, sh.faults, "{ctx}: fault count");
+    assert_eq!(seq.queue_stats, sh.queue_stats, "{ctx}: queue stats");
+    assert_eq!(
+        seq.telemetry.spans().len(),
+        sh.telemetry.spans().len(),
+        "{ctx}: span count"
+    );
+    for name in ["fault.raised", "fault.resolved", "cq.completions"] {
+        assert_eq!(
+            counter_sum(&seq.telemetry, name),
+            counter_sum(&sh.telemetry, name),
+            "{ctx}: {name}"
+        );
+    }
+    assert_eq!(
+        export_jsonl(&seq.telemetry),
+        export_jsonl(&sh.telemetry),
+        "{ctx}: telemetry export"
+    );
+}
+
+#[test]
+fn sharded_damming_reproduces_pinned_golden_at_every_shard_count() {
+    let seq = run_microbench_digest(&damming_probe_cfg());
+    assert_eq!(seq.client_timeline.len(), 919, "sequential golden drifted");
+    assert_eq!(
+        fnv1a_str(&seq.client_timeline),
+        0xeabf_f70d_d984_76b9,
+        "sequential golden drifted"
+    );
+    for shards in [1, 2, 4, 8] {
+        let sh = run_microbench_sharded(&damming_probe_cfg(), shards);
+        assert_eq!(
+            fnv1a_str(&sh.client_timeline),
+            0xeabf_f70d_d984_76b9,
+            "damming trace diverged at {shards} shards"
+        );
+        assert_digest_matches(&seq, &sh, &format!("damming, {shards} shards"));
+    }
+}
+
+#[test]
+fn sharded_flood_reproduces_pinned_golden_at_every_shard_count() {
+    let seq = run_microbench_digest(&flood_probe_cfg());
+    assert_eq!(
+        seq.client_timeline.len(),
+        135_890,
+        "sequential golden drifted"
+    );
+    assert_eq!(
+        fnv1a_str(&seq.client_timeline),
+        0xa115_5303_7a19_1337,
+        "sequential golden drifted"
+    );
+    for shards in [1, 2, 4, 8] {
+        let sh = run_microbench_sharded(&flood_probe_cfg(), shards);
+        assert_eq!(
+            fnv1a_str(&sh.client_timeline),
+            0xa115_5303_7a19_1337,
+            "flood trace diverged at {shards} shards"
+        );
+        assert_digest_matches(&seq, &sh, &format!("flood, {shards} shards"));
+    }
+}
+
+#[test]
+fn sharded_stage_sum_law_holds_with_cross_shard_fault_lifecycles() {
+    // Both-side ODP across 2 shards: faults are raised and resolved on
+    // each host's own shard, but the retransmit drain closing every span
+    // is driven by packets from the peer's shard. The stage-sum
+    // conservation law must survive the epoch-merged telemetry.
+    let sh = run_microbench_sharded(&damming_probe_cfg(), 2);
+    assert!(
+        !sh.telemetry.spans().is_empty(),
+        "damming probe must record fault spans"
+    );
+    assert!(
+        sh.telemetry.spans().iter().any(|s| s.host == 0)
+            && sh.telemetry.spans().iter().any(|s| s.host == 1),
+        "both shards must contribute spans"
+    );
+    assert_eq!(sh.telemetry.stage_sum_violations(), 0);
+    let seq = run_microbench_digest(&damming_probe_cfg());
+    assert_eq!(seq.telemetry.stage_sum_violations(), 0);
+    assert_eq!(seq.telemetry.spans().len(), sh.telemetry.spans().len());
+}
+
+#[test]
+#[should_panic(expected = "lookahead violation")]
+fn oversized_lookahead_override_is_rejected() {
+    // A lookahead wider than the real minimum cross-shard latency lets a
+    // packet arrive inside the epoch it was sent in; the leader must
+    // reject the run with a diagnostic instead of silently reordering.
+    let cfg = MicrobenchConfig {
+        odp: OdpMode::None,
+        ..Default::default()
+    };
+    let mut plan = ShardPlan::new(2, vec![0, 1]);
+    plan.lookahead_override = Some(SimTime::from_ms(1000));
+    run_microbench_sharded_with(&cfg, plan);
 }
 
 #[test]
