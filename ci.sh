@@ -39,7 +39,7 @@ echo "==> perfsuite smoke (schema-valid artifact + non-zero throughput;"
 echo "    deliberately no wall-time gate so shared hardware cannot flake)"
 cargo run -q --offline --release -p ibsim-bench --bin perfsuite -- --quick --out target/BENCH_smoke.json
 grep -q '"schema": "ibsim-perfsuite/v1"' target/BENCH_smoke.json
-for key in engine fabric scenario_corpus qpsweep pdes; do
+for key in engine fabric scenario_corpus qpsweep pdes congestion; do
     grep -q "\"$key\"" target/BENCH_smoke.json
 done
 
@@ -55,7 +55,21 @@ cargo run -q --offline --release -p ibsim-bench --bin scenario -- --workers 4 --
 echo "==> pdes conformance (corpus trace hashes must survive the move from"
 echo "    the sequential engine to 1 and 4 PDES shards byte for byte; the"
 echo "    qpsweep stage above already smoke-tests the sharded flood rung)"
-cargo run -q --offline --release -p ibsim-bench --bin scenario -- --workers 1 --shards 1
+cargo run -q --offline --release -p ibsim-bench --bin scenario -- --workers 1 --shards 1 \
+    | tee target/scenario_seq.out
 cargo run -q --offline --release -p ibsim-bench --bin scenario -- --workers 4 --shards 4
+
+echo "==> topology conformance (routed-fabric corpus entries must survive the"
+echo "    move to 4 PDES shards byte for byte; the crossbar default must keep"
+echo "    the pre-topology damming golden hash identical — zero re-pinning)"
+cargo run -q --offline --release -p ibsim-bench --bin scenario -- \
+    --only fattree,ring --workers 2 --shards 1
+cargo run -q --offline --release -p ibsim-bench --bin scenario -- \
+    --only fattree,ring --workers 2 --shards 4
+grep -q '0x82cd0331e596f726' target/scenario_seq.out
+
+echo "==> congestion smoke (fat-tree shared-uplink study: the flood must"
+echo "    inflate the victim p99 and selective repeat must beat go-back-N)"
+cargo run -q --offline --release -p ibsim-bench --bin congestion -- --quick
 
 echo "==> ci: all green"

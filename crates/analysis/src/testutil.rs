@@ -22,6 +22,7 @@ pub fn read_req(psn: u32, resp_packets: u32) -> Packet {
             resp_packets,
         },
         ghost: false,
+        ecn: false,
         retransmit: false,
     }
 }
@@ -41,6 +42,7 @@ pub fn read_resp(req_psn: u32, psn: u32) -> Packet {
             offset: 0,
         },
         ghost: false,
+        ecn: false,
         retransmit: false,
     }
 }
@@ -55,6 +57,7 @@ pub fn ack(psn: u32) -> Packet {
         psn: Psn::new(psn),
         kind: PacketKind::Ack,
         ghost: false,
+        ecn: false,
         retransmit: false,
     }
 }
@@ -71,6 +74,7 @@ pub fn nak_seq(epsn: u32) -> Packet {
             epsn: Psn::new(epsn),
         }),
         ghost: false,
+        ecn: false,
         retransmit: false,
     }
 }
@@ -87,6 +91,7 @@ pub fn nak_rnr() -> Packet {
             delay: SimTime::from_us(500),
         }),
         ghost: false,
+        ecn: false,
         retransmit: false,
     }
 }

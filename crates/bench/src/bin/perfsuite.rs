@@ -3,12 +3,12 @@
 //! has a baseline to beat (ROADMAP "Raw speed").
 //!
 //! ```text
-//! cargo run --release -p ibsim-bench --bin perfsuite             # full, writes BENCH_9.json
+//! cargo run --release -p ibsim-bench --bin perfsuite             # full, writes BENCH_10.json
 //! cargo run --release -p ibsim-bench --bin perfsuite -- --quick  # smoke, writes target/BENCH_quick.json
 //! cargo run --release -p ibsim-bench --bin perfsuite -- --out path.json
 //! ```
 //!
-//! Five metric families, every workload seeded and deterministic (only
+//! Six metric families, every workload seeded and deterministic (only
 //! the wall-clock readings vary run to run):
 //!
 //! 1. **engine**: raw event churn through one `Engine` — 64 synthetic
@@ -35,6 +35,12 @@
 //!    1-shard run is the baseline because it carries the full
 //!    epoch/replica machinery on the full workload; conformance against
 //!    the sequential rung is enforced unconditionally.
+//! 6. **congestion**: the routed-fabric shared-uplink study
+//!    ([`ibsim_bench::congestion`]) — victim p99 under no storm, a
+//!    go-back-N storm, and a selective-repeat storm on a fat-tree k=2.
+//!    The artifact pins all three p99s; the study's inequalities (the
+//!    flood inflates the victim p99, selective repeat is less damaging
+//!    than go-back-N) are gated here as well as in the `congestion` bin.
 //!
 //! The suite validates its own output — schema fields present, non-zero
 //! throughput everywhere, zero oracle violations, zero dead pops, full
@@ -44,6 +50,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use ibsim_bench::congestion::congestion_study;
 use ibsim_bench::flood::{run_flood_rung, run_flood_rung_sharded, FloodRung, SHARD_QPS};
 use ibsim_bench::json::JsonValue;
 use ibsim_bench::{header, quick_mode, row};
@@ -52,7 +59,7 @@ use ibsim_fabric::{Delivery, Fabric, LinkSpec};
 use ibsim_scenario::{paper_corpus, run_corpus};
 
 /// The PR number this artifact pins; also names the default output file.
-const PR: u64 = 9;
+const PR: u64 = 10;
 
 /// Shard count of the pdes family's sharded rung.
 const PDES_SHARDS: usize = 4;
@@ -327,6 +334,26 @@ fn main() -> ExitCode {
         }
     }
 
+    // 6. The congestion family: the shared-uplink study, gated on its
+    // own inequalities so the trajectory cannot silently pin a broken
+    // comparison.
+    let study = congestion_study(quick);
+    println!(
+        "congest:  victim p99 {} ns baseline, {} ns gbn storm, {} ns irn storm \
+         ({} / {} retransmits)",
+        study.baseline.victim_p99_ns,
+        study.gbn.victim_p99_ns,
+        study.irn.victim_p99_ns,
+        study.gbn.retransmits,
+        study.irn.retransmits,
+    );
+    for (claim, holds) in study.verdicts() {
+        if !holds {
+            fail(format!("congestion study: {claim} — does not hold"));
+            failed = true;
+        }
+    }
+
     // Emit the artifact. Schema changes require a version bump here and
     // in DESIGN 8.8.
     let doc = JsonValue::obj()
@@ -377,6 +404,20 @@ fn main() -> ExitCode {
                 .field("sharded_wall_ms", par.wall_secs * 1e3)
                 .field("speedup", speedup)
                 .field("conformant", conformant),
+        )
+        .field(
+            "congestion",
+            JsonValue::obj()
+                .field("baseline_victim_p99_ns", study.baseline.victim_p99_ns)
+                .field("gbn_victim_p99_ns", study.gbn.victim_p99_ns)
+                .field("irn_victim_p99_ns", study.irn.victim_p99_ns)
+                .field("gbn_retransmits", study.gbn.retransmits)
+                .field("irn_retransmits", study.irn.retransmits)
+                .field("gbn_ecn_marks", study.gbn.ecn_marks)
+                .field(
+                    "wall_ms",
+                    (study.baseline.wall_secs + study.gbn.wall_secs + study.irn.wall_secs) * 1e3,
+                ),
         );
     let text = doc.pretty();
 

@@ -5,6 +5,7 @@
 //! cargo run --release --bin scenario                      # corpus only
 //! cargo run --release --bin scenario -- --workers 4 --fuzz 256 --minimize-demo
 //! cargo run --release --bin scenario -- --shards 4        # PDES conformance
+//! cargo run --release --bin scenario -- --only fattree,ring   # corpus subset
 //! ```
 //!
 //! Stages (each optional flag adds one):
@@ -37,9 +38,23 @@ fn main() {
     let fuzz = arg_value("--fuzz").unwrap_or(0);
     let fuzz = if quick_mode() { fuzz.min(32) } else { fuzz };
     let minimize_demo = std::env::args().any(|a| a == "--minimize-demo");
+    let only = arg_str("--only");
     let mut failed = false;
 
-    let corpus = paper_corpus();
+    // `--only a,b` keeps corpus entries whose name contains any of the
+    // comma-separated substrings — the CI topology stage uses it to run
+    // just the routed-fabric entries at several shard counts.
+    let corpus: Vec<Scenario> = paper_corpus()
+        .into_iter()
+        .filter(|sc| match &only {
+            None => true,
+            Some(pats) => pats.split(',').any(|p| sc.name.contains(p)),
+        })
+        .collect();
+    if corpus.is_empty() {
+        println!("[scenario] --only matched no corpus entries");
+        std::process::exit(1);
+    }
     failed |= !run_stage("paper corpus", &corpus, workers, shards);
 
     if fuzz > 0 {
@@ -62,6 +77,13 @@ fn arg_value(flag: &str) -> Option<usize> {
     let args: Vec<String> = std::env::args().collect();
     let i = args.iter().position(|a| a == flag)?;
     args.get(i + 1)?.parse().ok()
+}
+
+/// Parses `--flag value` from the command line as a string.
+fn arg_str(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == flag)?;
+    args.get(i + 1).cloned()
 }
 
 /// Runs one batch twice — a sequential-engine baseline with 1 worker,

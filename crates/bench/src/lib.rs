@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod congestion;
 pub mod flood;
 pub mod json;
 

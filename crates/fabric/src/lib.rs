@@ -1,9 +1,11 @@
 //! # ibsim-fabric
 //!
 //! The physical-network substrate of the `ibsim` InfiniBand simulator:
-//! hosts, a crossbar switch, LID-based routing, link latency/bandwidth with
-//! per-port serialization, deterministic loss injection, and an
-//! `ibdump`-style packet capture facility.
+//! hosts, routed switch topologies (crossbar, fat-tree, ring, dragonfly)
+//! behind the [`Topology`] trait, LID-based routing, link
+//! latency/bandwidth with per-port and per-hop FIFO serialization,
+//! optional ECN/PFC congestion signals, deterministic loss injection,
+//! and an `ibdump`-style packet capture facility.
 //!
 //! The fabric is a *pure timing model*: callers (the verbs layer) ask it
 //! when a frame of a given size sent now from one LID to another would be
@@ -21,7 +23,7 @@
 //! let a = fabric.add_host("client");
 //! let b = fabric.add_host("server");
 //! match fabric.transit(SimTime::ZERO, a, b, 256) {
-//!     Delivery::Deliver { at } => assert!(at > SimTime::ZERO),
+//!     Delivery::Deliver { at, .. } => assert!(at > SimTime::ZERO),
 //!     Delivery::Dropped(reason) => panic!("unexpected drop: {reason}"),
 //! }
 //! ```
@@ -30,8 +32,12 @@
 
 mod capture;
 mod loss;
+mod routing;
 mod topology;
 
 pub use capture::{Capture, Captured, Direction};
 pub use loss::{LossModel, Xorshift64Star};
-pub use topology::{Delivery, DropReason, Fabric, Lid, LinkSpec, LinkSpecError, LinkStats};
+pub use routing::{DirectedLink, RouteNode, SwitchId, Topology, TopologyKind};
+pub use topology::{
+    Delivery, DropReason, Fabric, InterLinkStats, Lid, LinkSpec, LinkSpecError, LinkStats,
+};

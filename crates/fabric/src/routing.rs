@@ -1,0 +1,560 @@
+//! Switch topologies and deterministic route computation.
+//!
+//! A [`Topology`] describes the switch graph of a subnet and computes,
+//! for any ordered pair of attachment switches, the exact sequence of
+//! switches a frame traverses. Routes are a pure function of the
+//! topology parameters and the endpoint indices — never of construction
+//! order, traffic history, or load — so every replica of a sharded run
+//! computes bit-identical paths and the conservative lookahead derived
+//! from them is a true lower bound.
+//!
+//! Four built-ins cover the shapes the congestion studies need:
+//!
+//! * [`TopologyKind::Crossbar`] — every host on one switch; the
+//!   historical default, and the timing-identity baseline every golden
+//!   trace is pinned against.
+//! * [`TopologyKind::FatTree`] — `k` leaf switches fully meshed to
+//!   `k/2` spines; the classic shared-uplink shape where a flood storm
+//!   and a victim flow contend for the same leaf→spine link.
+//! * [`TopologyKind::Ring`] — `n` switches in a cycle, shortest-path
+//!   routed with a deterministic clockwise tie-break.
+//! * [`TopologyKind::Dragonfly`] — `g` groups of two routers, cliqued
+//!   inside a group, one global link per group pair through fixed
+//!   gateway routers.
+
+use std::fmt;
+
+use crate::topology::Lid;
+
+/// Identifier of one switch inside a [`Topology`] (dense from 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SwitchId(pub u16);
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sw{}", self.0)
+    }
+}
+
+/// The built-in topology catalog, as plain serializable data.
+///
+/// The scenario spec's `topology=` facet round-trips through
+/// [`fmt::Display`] / [`std::str::FromStr`]; tokens are single words
+/// (`crossbar`, `fattree4`, `ring5`, `dragonfly3`) so they fit the
+/// line-oriented spec format without escaping.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TopologyKind {
+    /// One switch, every host attached to it (the historical default).
+    #[default]
+    Crossbar,
+    /// `k` leaf switches, each connected to every one of `k/2` spine
+    /// switches. Hosts attach round-robin to leaves. `k` must be an
+    /// even number ≥ 2.
+    FatTree {
+        /// Number of leaf switches.
+        k: u16,
+    },
+    /// `n ≥ 2` switches in a cycle; shortest-direction routing, ties
+    /// broken clockwise (ascending switch index).
+    Ring {
+        /// Number of switches on the ring.
+        switches: u16,
+    },
+    /// `g ≥ 2` groups of two routers each: routers inside a group are
+    /// directly linked, and each ordered group pair shares one global
+    /// link between deterministically chosen gateway routers.
+    Dragonfly {
+        /// Number of router groups.
+        groups: u16,
+    },
+}
+
+impl TopologyKind {
+    /// Every built-in kind at a small representative size, for tests and
+    /// fuzzers that want to sweep the catalog.
+    pub const ALL_SAMPLES: [TopologyKind; 4] = [
+        TopologyKind::Crossbar,
+        TopologyKind::FatTree { k: 2 },
+        TopologyKind::Ring { switches: 3 },
+        TopologyKind::Dragonfly { groups: 2 },
+    ];
+
+    /// Validates the parameters; returns the first problem found.
+    pub fn validate(self) -> Result<(), String> {
+        match self {
+            TopologyKind::Crossbar => Ok(()),
+            TopologyKind::FatTree { k } => {
+                if k < 2 || k % 2 != 0 {
+                    Err(format!("fat-tree needs an even leaf count >= 2, got {k}"))
+                } else {
+                    Ok(())
+                }
+            }
+            TopologyKind::Ring { switches } => {
+                if switches < 2 {
+                    Err(format!("ring needs at least 2 switches, got {switches}"))
+                } else {
+                    Ok(())
+                }
+            }
+            TopologyKind::Dragonfly { groups } => {
+                if groups < 2 {
+                    Err(format!("dragonfly needs at least 2 groups, got {groups}"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Builds the route computer for this kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`TopologyKind::validate`] fails: an invalid topology is
+    /// a configuration bug and must not enter the fabric.
+    pub fn build(self) -> Box<dyn Topology> {
+        if let Err(e) = self.validate() {
+            panic!("fabric: invalid topology: {e}");
+        }
+        match self {
+            TopologyKind::Crossbar => Box::new(Crossbar),
+            TopologyKind::FatTree { k } => Box::new(FatTree { k }),
+            TopologyKind::Ring { switches } => Box::new(Ring { switches }),
+            TopologyKind::Dragonfly { groups } => Box::new(Dragonfly { groups }),
+        }
+    }
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyKind::Crossbar => write!(f, "crossbar"),
+            TopologyKind::FatTree { k } => write!(f, "fattree{k}"),
+            TopologyKind::Ring { switches } => write!(f, "ring{switches}"),
+            TopologyKind::Dragonfly { groups } => write!(f, "dragonfly{groups}"),
+        }
+    }
+}
+
+impl std::str::FromStr for TopologyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let parse_param = |rest: &str, what: &str| -> Result<u16, String> {
+            rest.parse()
+                .map_err(|_| format!("bad {what} parameter {rest:?}"))
+        };
+        let kind = if s == "crossbar" {
+            TopologyKind::Crossbar
+        } else if let Some(rest) = s.strip_prefix("fattree") {
+            TopologyKind::FatTree {
+                k: parse_param(rest, "fat-tree")?,
+            }
+        } else if let Some(rest) = s.strip_prefix("ring") {
+            TopologyKind::Ring {
+                switches: parse_param(rest, "ring")?,
+            }
+        } else if let Some(rest) = s.strip_prefix("dragonfly") {
+            TopologyKind::Dragonfly {
+                groups: parse_param(rest, "dragonfly")?,
+            }
+        } else {
+            return Err(format!("unknown topology kind {s:?}"));
+        };
+        kind.validate()?;
+        Ok(kind)
+    }
+}
+
+/// One endpoint of a [`DirectedLink`]: a host NIC port or a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RouteNode {
+    /// A host NIC port, by LID.
+    Host(Lid),
+    /// A switch, by topology-local id.
+    Switch(SwitchId),
+}
+
+impl fmt::Display for RouteNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteNode::Host(lid) => write!(f, "{lid}"),
+            RouteNode::Switch(sw) => write!(f, "{sw}"),
+        }
+    }
+}
+
+/// One directed hop of a route. Direction matters: the fabric keeps
+/// independent serialization horizons (and telemetry) per direction, so
+/// `(a → b)` and `(b → a)` never contend with each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DirectedLink {
+    /// Transmitting end.
+    pub from: RouteNode,
+    /// Receiving end.
+    pub to: RouteNode,
+}
+
+/// Deterministic route computation over a fixed switch graph.
+///
+/// The contract every implementation (and every future out-of-tree one)
+/// must honor:
+///
+/// * **Purity** — `route_switches(a, b)` depends only on the topology
+///   parameters and `(a, b)`. No interior mutability, no load awareness.
+/// * **Completeness** — for any two *attachment* switches (values of
+///   [`Topology::attach`]) the returned path starts at `a`, ends at
+///   `b`, and every consecutive pair is a physical link of the
+///   topology. `route_switches(s, s)` is `[s]`. Routes between
+///   non-attachment switches (e.g. fat-tree spines) are not part of the
+///   contract — no host lives there, so the fabric never asks.
+/// * **Attachment stability** — `attach(i)` depends only on `i`, so a
+///   host's switch never changes as later hosts join.
+///
+/// These properties are what let the sharded executor derive its
+/// cross-shard lookahead from routes computed independently on every
+/// replica, and what the seeded route-determinism fuzz test enforces
+/// for the built-ins.
+pub trait Topology: fmt::Debug + Send {
+    /// The serializable parameters this computer was built from.
+    fn kind(&self) -> TopologyKind;
+
+    /// Number of switches in the graph (ids are `0..switch_count()`).
+    fn switch_count(&self) -> u16;
+
+    /// The switch the `i`-th registered host attaches to (hosts are
+    /// indexed densely in LID order).
+    fn attach(&self, host_index: u16) -> SwitchId;
+
+    /// The switch sequence from `from` to `to`, inclusive of both.
+    fn route_switches(&self, from: SwitchId, to: SwitchId) -> Vec<SwitchId>;
+}
+
+/// The single-switch crossbar (see [`TopologyKind::Crossbar`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Crossbar;
+
+impl Topology for Crossbar {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Crossbar
+    }
+
+    fn switch_count(&self) -> u16 {
+        1
+    }
+
+    fn attach(&self, _host_index: u16) -> SwitchId {
+        SwitchId(0)
+    }
+
+    fn route_switches(&self, from: SwitchId, _to: SwitchId) -> Vec<SwitchId> {
+        vec![from]
+    }
+}
+
+/// Two-level fat-tree (see [`TopologyKind::FatTree`]): leaves are
+/// switches `0..k`, spines are `k..k + k/2`.
+#[derive(Debug, Clone, Copy)]
+struct FatTree {
+    k: u16,
+}
+
+impl FatTree {
+    /// The spine carrying traffic between two distinct leaves. Static
+    /// (destination-independent ECMP hash of the leaf pair) so the same
+    /// pair always shares the same uplink — which is exactly what the
+    /// congestion study wants: a storm and a victim between the same
+    /// leaves collide by construction.
+    fn spine_for(&self, a: u16, b: u16) -> u16 {
+        self.k + (a + b) % (self.k / 2)
+    }
+}
+
+impl Topology for FatTree {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::FatTree { k: self.k }
+    }
+
+    fn switch_count(&self) -> u16 {
+        self.k + self.k / 2
+    }
+
+    fn attach(&self, host_index: u16) -> SwitchId {
+        SwitchId(host_index % self.k)
+    }
+
+    fn route_switches(&self, from: SwitchId, to: SwitchId) -> Vec<SwitchId> {
+        if from == to {
+            return vec![from];
+        }
+        vec![from, SwitchId(self.spine_for(from.0, to.0)), to]
+    }
+}
+
+/// Cycle of `switches` switches (see [`TopologyKind::Ring`]).
+#[derive(Debug, Clone, Copy)]
+struct Ring {
+    switches: u16,
+}
+
+impl Topology for Ring {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Ring {
+            switches: self.switches,
+        }
+    }
+
+    fn switch_count(&self) -> u16 {
+        self.switches
+    }
+
+    fn attach(&self, host_index: u16) -> SwitchId {
+        SwitchId(host_index % self.switches)
+    }
+
+    fn route_switches(&self, from: SwitchId, to: SwitchId) -> Vec<SwitchId> {
+        let n = self.switches;
+        let clockwise = (to.0 + n - from.0) % n;
+        let counter = (from.0 + n - to.0) % n;
+        // Shortest direction; the exact half-way tie goes clockwise so
+        // both replicas of a sharded run agree without consulting state.
+        let step = if clockwise <= counter { 1 } else { n - 1 };
+        let mut path = vec![from];
+        let mut cur = from.0;
+        while cur != to.0 {
+            cur = (cur + step) % n;
+            path.push(SwitchId(cur));
+        }
+        path
+    }
+}
+
+/// Dragonfly of `groups` two-router groups (see
+/// [`TopologyKind::Dragonfly`]): group `g` owns routers `2g` and
+/// `2g + 1`.
+#[derive(Debug, Clone, Copy)]
+struct Dragonfly {
+    groups: u16,
+}
+
+impl Dragonfly {
+    fn group_of(sw: u16) -> u16 {
+        sw / 2
+    }
+
+    /// The gateway router group `from` uses toward group `to`. The
+    /// parity split spreads global links across both routers of a group
+    /// while staying a pure function of the group pair.
+    fn gateway(from_group: u16, to_group: u16) -> u16 {
+        2 * from_group + to_group % 2
+    }
+}
+
+impl Topology for Dragonfly {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Dragonfly {
+            groups: self.groups,
+        }
+    }
+
+    fn switch_count(&self) -> u16 {
+        2 * self.groups
+    }
+
+    fn attach(&self, host_index: u16) -> SwitchId {
+        SwitchId(host_index % (2 * self.groups))
+    }
+
+    fn route_switches(&self, from: SwitchId, to: SwitchId) -> Vec<SwitchId> {
+        if from == to {
+            return vec![from];
+        }
+        let (ga, gb) = (Self::group_of(from.0), Self::group_of(to.0));
+        if ga == gb {
+            // Intra-group: the two routers of a group are directly linked.
+            return vec![from, to];
+        }
+        let out = Self::gateway(ga, gb);
+        let inn = Self::gateway(gb, ga);
+        let mut path = vec![from];
+        if out != from.0 {
+            path.push(SwitchId(out));
+        }
+        path.push(SwitchId(inn));
+        if inn != to.0 {
+            path.push(to);
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The switches any host can actually attach to (sweeping well past
+    /// one round-robin cycle of host indices).
+    fn attachment_switches(topo: &dyn Topology) -> Vec<SwitchId> {
+        let mut set: Vec<SwitchId> = (0..4 * topo.switch_count())
+            .map(|i| topo.attach(i))
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    fn assert_route_contract(topo: &dyn Topology) {
+        let n = topo.switch_count();
+        for &SwitchId(a) in &attachment_switches(topo) {
+            for &SwitchId(b) in &attachment_switches(topo) {
+                let path = topo.route_switches(SwitchId(a), SwitchId(b));
+                assert_eq!(path.first(), Some(&SwitchId(a)), "{topo:?} {a}->{b}");
+                assert_eq!(path.last(), Some(&SwitchId(b)), "{topo:?} {a}->{b}");
+                if a == b {
+                    assert_eq!(path.len(), 1, "{topo:?} self-route must be trivial");
+                }
+                for w in path.windows(2) {
+                    assert_ne!(w[0], w[1], "{topo:?} {a}->{b}: repeated switch");
+                    assert!(w[0].0 < n && w[1].0 < n, "{topo:?} {a}->{b}: bad id");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_builtin_satisfies_the_route_contract() {
+        for kind in [
+            TopologyKind::Crossbar,
+            TopologyKind::FatTree { k: 2 },
+            TopologyKind::FatTree { k: 4 },
+            TopologyKind::FatTree { k: 8 },
+            TopologyKind::Ring { switches: 2 },
+            TopologyKind::Ring { switches: 5 },
+            TopologyKind::Ring { switches: 8 },
+            TopologyKind::Dragonfly { groups: 2 },
+            TopologyKind::Dragonfly { groups: 4 },
+        ] {
+            assert_route_contract(kind.build().as_ref());
+        }
+    }
+
+    #[test]
+    fn crossbar_routes_are_single_switch() {
+        let t = TopologyKind::Crossbar.build();
+        assert_eq!(t.switch_count(), 1);
+        assert_eq!(t.attach(0), SwitchId(0));
+        assert_eq!(t.attach(17), SwitchId(0));
+        assert_eq!(t.route_switches(SwitchId(0), SwitchId(0)), [SwitchId(0)]);
+    }
+
+    #[test]
+    fn fattree_pairs_share_a_fixed_spine() {
+        let t = TopologyKind::FatTree { k: 4 }.build();
+        assert_eq!(t.switch_count(), 6); // 4 leaves + 2 spines
+        let via = t.route_switches(SwitchId(0), SwitchId(1));
+        assert_eq!(via.len(), 3);
+        assert!(via[1].0 >= 4, "middle hop is a spine");
+        // The reverse direction uses the same spine (symmetric hash).
+        assert_eq!(t.route_switches(SwitchId(1), SwitchId(0))[1], via[1]);
+        // Leaves 0..4 round-robin host attachment.
+        assert_eq!(t.attach(5), SwitchId(1));
+    }
+
+    #[test]
+    fn ring_routes_take_the_shortest_direction() {
+        let t = TopologyKind::Ring { switches: 5 }.build();
+        assert_eq!(
+            t.route_switches(SwitchId(0), SwitchId(1)),
+            [SwitchId(0), SwitchId(1)]
+        );
+        // 0 -> 4 is one counter-clockwise hop, not four clockwise ones.
+        assert_eq!(
+            t.route_switches(SwitchId(0), SwitchId(4)),
+            [SwitchId(0), SwitchId(4)]
+        );
+        // Even split on an even ring breaks clockwise.
+        let even = TopologyKind::Ring { switches: 4 }.build();
+        assert_eq!(
+            even.route_switches(SwitchId(0), SwitchId(2)),
+            [SwitchId(0), SwitchId(1), SwitchId(2)]
+        );
+    }
+
+    #[test]
+    fn dragonfly_routes_use_one_global_link() {
+        let t = TopologyKind::Dragonfly { groups: 3 }.build();
+        assert_eq!(t.switch_count(), 6);
+        // Intra-group is a single hop.
+        assert_eq!(
+            t.route_switches(SwitchId(0), SwitchId(1)),
+            [SwitchId(0), SwitchId(1)]
+        );
+        // Inter-group routes cross exactly one group boundary.
+        for a in 0..6 {
+            for b in 0..6 {
+                let path = t.route_switches(SwitchId(a), SwitchId(b));
+                let crossings = path
+                    .windows(2)
+                    .filter(|w| Dragonfly::group_of(w[0].0) != Dragonfly::group_of(w[1].0))
+                    .count();
+                assert!(crossings <= 1, "{a}->{b}: {path:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kind_tokens_round_trip() {
+        for kind in [
+            TopologyKind::Crossbar,
+            TopologyKind::FatTree { k: 6 },
+            TopologyKind::Ring { switches: 7 },
+            TopologyKind::Dragonfly { groups: 3 },
+        ] {
+            let token = kind.to_string();
+            let back: TopologyKind = token.parse().unwrap_or_else(|e| panic!("{token}: {e}"));
+            assert_eq!(kind, back, "{token}");
+        }
+        assert!("torus3".parse::<TopologyKind>().is_err());
+        assert!("fattree".parse::<TopologyKind>().is_err());
+        assert!(
+            "fattree3".parse::<TopologyKind>().is_err(),
+            "odd leaf count"
+        );
+        assert!("ring1".parse::<TopologyKind>().is_err());
+        assert!("dragonfly1".parse::<TopologyKind>().is_err());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(TopologyKind::FatTree { k: 3 }.validate().is_err());
+        assert!(TopologyKind::FatTree { k: 0 }.validate().is_err());
+        assert!(TopologyKind::Ring { switches: 1 }.validate().is_err());
+        assert!(TopologyKind::Dragonfly { groups: 1 }.validate().is_err());
+        assert!(TopologyKind::Crossbar.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid topology")]
+    fn building_an_invalid_topology_panics() {
+        let _ = TopologyKind::Ring { switches: 0 }.build();
+    }
+
+    #[test]
+    fn routes_are_identical_across_repeated_builds() {
+        for kind in TopologyKind::ALL_SAMPLES {
+            let a = kind.build();
+            let b = kind.build();
+            let n = a.switch_count();
+            for x in 0..n {
+                for y in 0..n {
+                    assert_eq!(
+                        a.route_switches(SwitchId(x), SwitchId(y)),
+                        b.route_switches(SwitchId(x), SwitchId(y)),
+                        "{kind} {x}->{y}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -15,7 +15,10 @@
 //!   [`FLOAT_BOUNDARY_FILES`].
 //! * **no-wildcard-match-on-protocol-enums** applies to `verbs` and
 //!   `analysis`, where protocol-enum matches encode the RC state
-//!   machine and the trace linter's opcode accounting.
+//!   machine and the trace linter's opcode accounting, and — since the
+//!   routed-fabric refactor added `TopologyKind` to the protected enum
+//!   list — to `fabric` (route construction dispatches on it) and
+//!   `scenario` (the `topology=` facet serializer must stay exhaustive).
 //! * **no-direct-retransmit** applies to `verbs`, where every packet is
 //!   built: retransmissions must come out of a `RecoveryPolicy` plan,
 //!   not a hard-coded `retransmit: true`, minus the sanctioned sites in
@@ -87,7 +90,7 @@ pub const ROOTS: &[RootConfig] = &[
         dir: "crates/fabric",
         wall_clock: true,
         float_path: true,
-        wildcard: false,
+        wildcard: true,
         retransmit: false,
     },
     RootConfig {
@@ -108,7 +111,7 @@ pub const ROOTS: &[RootConfig] = &[
         dir: "crates/scenario",
         wall_clock: true,
         float_path: false,
-        wildcard: false,
+        wildcard: true,
         retransmit: false,
     },
     RootConfig {
@@ -232,6 +235,17 @@ mod tests {
 
         let boundary = policy_for("crates/event/src/time.rs").expect("time.rs is linted");
         assert!(!boundary.no_float_in_sim_path && boundary.no_wall_clock);
+
+        let fabric = policy_for("crates/fabric/src/routing.rs").expect("linted");
+        assert!(
+            fabric.no_wildcard_match,
+            "TopologyKind matches stay exhaustive"
+        );
+        let scenario = policy_for("crates/scenario/src/spec.rs").expect("linted");
+        assert!(
+            scenario.no_wildcard_match,
+            "facet serializer stays exhaustive"
+        );
 
         let root = policy_for("src/lib.rs").expect("root crate is linted");
         assert!(root.no_unwrap && !root.no_wildcard_match);

@@ -39,10 +39,17 @@ pub const ALL_RULES: [Rule; 6] = [
 ];
 
 /// The enum types whose matches must stay wildcard-free: adding a
-/// protocol variant (a new QP state, opcode, or timer family) must break
-/// the build everywhere the variant matters, the same exhaustiveness
-/// discipline the RC state-transition table enforces dynamically.
-pub const PROTOCOL_ENUMS: [&str; 4] = ["QpState", "PacketKind", "WrOp", "TimerFamily"];
+/// protocol variant (a new QP state, opcode, timer family, or fabric
+/// topology) must break the build everywhere the variant matters, the
+/// same exhaustiveness discipline the RC state-transition table
+/// enforces dynamically.
+pub const PROTOCOL_ENUMS: [&str; 5] = [
+    "QpState",
+    "PacketKind",
+    "WrOp",
+    "TimerFamily",
+    "TopologyKind",
+];
 
 impl Rule {
     /// The stable kebab-case rule ID used in diagnostics and

@@ -273,6 +273,56 @@ pub fn paper_corpus() -> Vec<Scenario> {
     }];
     corpus.push(sc);
 
+    // Routed-fabric coverage: the damming shape replayed across a
+    // two-leaf fat-tree, so every request crosses a store-and-forward
+    // leaf→spine→leaf path while ODP faults stall the endpoints. The
+    // oracle is topology-blind (routing only moves time, never bytes),
+    // which is exactly the property this entry locks in.
+    let mut sc = Scenario::base("fattree-damming");
+    sc.seed = 41;
+    sc.slot = 256;
+    sc.client_odp = true;
+    sc.server_odp = true;
+    sc.post_interval_ns = 1_000_000;
+    sc.topology = ibsim_fabric::TopologyKind::FatTree { k: 2 };
+    sc.wrs = vec![
+        (0, WrSpec::Read { off: 0, len: 100 }),
+        (0, WrSpec::Read { off: 128, len: 100 }),
+    ];
+    corpus.push(sc);
+
+    // Ring topology under burst loss: the longest built-in path (two
+    // hosts sit one hop apart on a three-switch cycle) composed with
+    // go-back-N recovery — retransmissions re-serialize over every
+    // inter-switch hop they originally crossed.
+    let mut sc = Scenario::base("ring-burst-loss");
+    sc.seed = 42;
+    sc.qps = 2;
+    sc.slot = 64;
+    sc.post_interval_ns = 3_000;
+    sc.topology = ibsim_fabric::TopologyKind::Ring { switches: 3 };
+    sc.wrs = vec![
+        (0, WrSpec::Write { off: 0, len: 48 }),
+        (1, WrSpec::Read { off: 0, len: 48 }),
+        (0, WrSpec::Read { off: 0, len: 48 }),
+    ];
+    sc.loss = vec![
+        LossPhase {
+            at_ns: 0,
+            model: LossSpec::Burst {
+                enter_milli: 30,
+                exit_milli: 500,
+                drop_milli: 300,
+                seed: 9,
+            },
+        },
+        LossPhase {
+            at_ns: 400_000,
+            model: LossSpec::None,
+        },
+    ];
+    corpus.push(sc);
+
     for sc in &corpus {
         debug_assert!(sc.validate().is_ok(), "corpus scenario {} invalid", sc.name);
     }

@@ -128,6 +128,7 @@ fn build_scenario_world(sc: &Scenario, shard: Option<(usize, &[usize])>) -> (Sim
         .host("server", profile)
         .capture(true)
         .telemetry(true)
+        .topology(sc.topology)
         .build();
     let (client, server) = (hosts[0], hosts[1]);
     if let Some((id, owner)) = shard {

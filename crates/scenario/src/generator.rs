@@ -139,6 +139,12 @@ pub fn random_scenario(seed: u64) -> Scenario {
     // count perturbs nothing but which engine runs the spec.
     sc.shards = [1usize, 2, 4, 8][rng.next_below(4) as usize];
 
+    // Newest facet draws after `shards` (same preservation argument).
+    // Routing is deterministic and the reference executor runs the same
+    // fabric, so the differential oracle holds on every topology; the
+    // draw just moves traffic onto multi-hop paths for some seeds.
+    sc.topology = ibsim_fabric::TopologyKind::ALL_SAMPLES[rng.next_below(4) as usize];
+
     debug_assert!(sc.validate().is_ok(), "generator produced invalid scenario");
     sc
 }

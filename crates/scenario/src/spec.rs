@@ -300,6 +300,11 @@ pub struct Scenario {
     /// the facet exists so the conformance battery and fuzzer can
     /// exercise the sharded executor through the same spec pipeline.
     pub shards: usize,
+    /// Fabric topology routing the two hosts' traffic. Defaults to the
+    /// single-switch crossbar (the hardware shape every golden trace is
+    /// pinned against); specs without a `topology=` line parse to that
+    /// default, so pre-facet reproducers stay valid.
+    pub topology: ibsim_fabric::TopologyKind,
 }
 
 impl Scenario {
@@ -324,6 +329,7 @@ impl Scenario {
             faults: Vec::new(),
             loss: Vec::new(),
             shards: 1,
+            topology: ibsim_fabric::TopologyKind::Crossbar,
         }
     }
 
@@ -448,8 +454,13 @@ impl Scenario {
         s.push_str(&format!("rnr_ns={}\n", self.min_rnr_delay_ns));
         s.push_str(&format!("interval_ns={}\n", self.post_interval_ns));
         s.push_str(&format!("recovery={}\n", self.recovery));
-        // Emitted only when non-default so every pre-facet spec string —
-        // and its pinned corpus hash — stays byte-identical.
+        // `topology=` and `shards=` are emitted only when non-default,
+        // in this canonical order, so every pre-facet spec string — and
+        // its pinned corpus hash — stays byte-identical (a test pins
+        // the facet order itself).
+        if self.topology != ibsim_fabric::TopologyKind::Crossbar {
+            s.push_str(&format!("topology={}\n", self.topology));
+        }
         if self.shards != 1 {
             s.push_str(&format!("shards={}\n", self.shards));
         }
@@ -530,6 +541,7 @@ impl Scenario {
                 "rnr_ns" => sc.min_rnr_delay_ns = parse_num(value)?,
                 "interval_ns" => sc.post_interval_ns = parse_num(value)?,
                 "recovery" => sc.recovery = value.parse()?,
+                "topology" => sc.topology = value.parse()?,
                 "shards" => sc.shards = parse_num::<u64>(value)? as usize,
                 "wr" => {
                     let parts: Vec<&str> = value.split_whitespace().collect();
@@ -737,6 +749,56 @@ mod tests {
         let bad = "ibsim-scenario v1\nname=x\nrecovery=tcp\n";
         let err = Scenario::parse(bad).expect_err("unknown backend");
         assert!(err.contains("unknown recovery kind"), "{err}");
+    }
+
+    #[test]
+    fn topology_facet_round_trips_every_kind() {
+        for kind in ibsim_fabric::TopologyKind::ALL_SAMPLES {
+            let mut sc = sample();
+            sc.topology = kind;
+            let text = sc.to_spec_string();
+            let back = Scenario::parse(&text).expect("parse back");
+            assert_eq!(sc, back);
+            assert_eq!(text, back.to_spec_string());
+        }
+        // Pre-facet specs (no topology line) parse to the crossbar.
+        let legacy = "ibsim-scenario v1\nname=old\n";
+        let sc = Scenario::parse(legacy).expect("parse legacy spec");
+        assert_eq!(sc.topology, ibsim_fabric::TopologyKind::Crossbar);
+        let bad = "ibsim-scenario v1\nname=x\ntopology=torus3\n";
+        let err = Scenario::parse(bad).expect_err("unknown topology");
+        assert!(err.contains("unknown topology kind"), "{err}");
+    }
+
+    /// Pins the canonical facet order (`recovery=` → `topology=` →
+    /// `shards=`) and the emit-only-when-non-default rule. Corpus hashes
+    /// are FNV over the spec string, so the facet block's byte layout is
+    /// load-bearing: reordering it (or emitting defaults) would silently
+    /// re-pin every corpus entry.
+    #[test]
+    fn facet_block_order_is_canonical() {
+        let mut sc = sample();
+        sc.recovery = RecoveryKind::SelectiveRepeat;
+        sc.topology = ibsim_fabric::TopologyKind::FatTree { k: 4 };
+        sc.shards = 4;
+        let text = sc.to_spec_string();
+        assert!(
+            text.contains("recovery=irn\ntopology=fattree4\nshards=4\n"),
+            "facets must be adjacent lines in canonical order:\n{text}"
+        );
+        // Defaults vanish individually, never reordering the others.
+        sc.topology = ibsim_fabric::TopologyKind::Crossbar;
+        let text = sc.to_spec_string();
+        assert!(!text.contains("topology="), "default topology is elided");
+        assert!(
+            text.contains("recovery=irn\nshards=4\n"),
+            "remaining facets stay adjacent:\n{text}"
+        );
+        sc.shards = 1;
+        let text = sc.to_spec_string();
+        assert!(!text.contains("shards="), "default shards is elided");
+        let back = Scenario::parse(&text).expect("parse back");
+        assert_eq!(text, back.to_spec_string());
     }
 
     #[test]

@@ -105,6 +105,42 @@ fn random_shard_assignments_reproduce_the_sequential_trace() {
     );
 }
 
+/// Route determinism across the executor matrix: the same workload on
+/// every built-in topology must produce one trace regardless of shard
+/// count. Each shard's replica builds its *own* fabric and computes
+/// routes independently — any nondeterminism in route construction
+/// (iteration order, tie-breaks) or in the per-hop serialization would
+/// split the hashes apart here.
+#[test]
+fn every_topology_is_shard_count_invariant() {
+    for kind in ibsim_fabric::TopologyKind::ALL_SAMPLES {
+        // The damming shape: ODP faults on both ends plus paced READs,
+        // so cross-shard lookahead, fault deferral and multi-hop transit
+        // all engage at once.
+        let mut sc = random_scenario(7);
+        sc.shards = 1;
+        sc.topology = kind;
+        let seq = run_scenario(&sc);
+        for shards in [2usize, 4, 8] {
+            let mut sharded = sc.clone();
+            sharded.shards = shards;
+            let run = run_scenario(&sharded);
+            assert_eq!(
+                seq.trace_hash, run.trace_hash,
+                "{kind}: trace diverged at {shards} shards"
+            );
+            assert_eq!(
+                seq.timeline, run.timeline,
+                "{kind}: timeline diverged at {shards} shards"
+            );
+            assert_eq!(
+                seq.end_ns, run.end_ns,
+                "{kind}: end time diverged at {shards} shards"
+            );
+        }
+    }
+}
+
 #[test]
 fn the_shards_facet_round_trips_and_dispatches_from_the_spec_pipeline() {
     // A spec-borne shard count must survive the parse round trip and

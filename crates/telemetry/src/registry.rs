@@ -177,14 +177,29 @@ impl Instrument {
     }
 }
 
+/// A stable, copyable reference to one registry slot, acquired with
+/// [`Registry::counter_handle`]. Recording through a handle skips the
+/// `(name, labels)` tree walk — the hot-path optimization for per-packet
+/// counters. Handles stay valid for the lifetime of the registry they
+/// came from (slots are never reindexed, even by [`Registry::remove`]);
+/// a handle applied to a *different* registry is bounds-checked and
+/// silently ignored when out of range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricHandle(usize);
+
 /// The metric registry: `(name, labels) → instrument`.
 ///
 /// Names are `&'static str` by design — the metric namespace is closed
 /// and compiled in, which keeps recording allocation-free and makes the
 /// export order a compile-time property.
+///
+/// Internally a slab: a sorted index maps keys to slots in an append-only
+/// `Vec`. Exporters walk the index (deterministic order); the hot path
+/// records through [`MetricHandle`]s that jump straight to a slot.
 #[derive(Debug, Default)]
 pub struct Registry {
-    metrics: BTreeMap<(&'static str, Labels), Instrument>,
+    index: BTreeMap<(&'static str, Labels), usize>,
+    slots: Vec<Instrument>,
 }
 
 impl Registry {
@@ -193,45 +208,63 @@ impl Registry {
         Registry::default()
     }
 
+    /// Slot index for `(name, labels)`, inserting `default` if absent.
+    fn slot_of(
+        &mut self,
+        name: &'static str,
+        labels: Labels,
+        default: impl FnOnce() -> Instrument,
+    ) -> usize {
+        *self.index.entry((name, labels)).or_insert_with(|| {
+            self.slots.push(default());
+            self.slots.len() - 1
+        })
+    }
+
     /// Adds `delta` to the counter `(name, labels)`, creating it at zero.
     ///
     /// Silently ignored if the slot already holds a different instrument
     /// kind (a programming error surfaced by the slot keeping its value).
     pub fn counter_add(&mut self, name: &'static str, labels: Labels, delta: u64) {
-        let e = self
-            .metrics
-            .entry((name, labels))
-            .or_insert(Instrument::Counter(0));
-        if let Instrument::Counter(v) = e {
+        let i = self.slot_of(name, labels, || Instrument::Counter(0));
+        if let Instrument::Counter(v) = &mut self.slots[i] {
+            *v += delta;
+        }
+    }
+
+    /// Registers the counter `(name, labels)` (creating it at zero) and
+    /// returns a handle for tree-walk-free recording.
+    pub fn counter_handle(&mut self, name: &'static str, labels: Labels) -> MetricHandle {
+        MetricHandle(self.slot_of(name, labels, || Instrument::Counter(0)))
+    }
+
+    /// Adds `delta` to the counter behind `h`. Out-of-range handles (from
+    /// another registry) and non-counter slots are silently ignored.
+    pub fn counter_add_handle(&mut self, h: MetricHandle, delta: u64) {
+        if let Some(Instrument::Counter(v)) = self.slots.get_mut(h.0) {
             *v += delta;
         }
     }
 
     /// Sets the gauge `(name, labels)` to `v`.
     pub fn gauge_set(&mut self, name: &'static str, labels: Labels, v: u64) {
-        let e = self
-            .metrics
-            .entry((name, labels))
-            .or_insert(Instrument::Gauge(0));
-        if let Instrument::Gauge(g) = e {
+        let i = self.slot_of(name, labels, || Instrument::Gauge(0));
+        if let Instrument::Gauge(g) = &mut self.slots[i] {
             *g = v;
         }
     }
 
     /// Records `v` into the histogram `(name, labels)`.
     pub fn observe(&mut self, name: &'static str, labels: Labels, v: u64) {
-        let e = self
-            .metrics
-            .entry((name, labels))
-            .or_insert_with(|| Instrument::Histogram(Histogram::default()));
-        if let Instrument::Histogram(h) = e {
+        let i = self.slot_of(name, labels, || Instrument::Histogram(Histogram::default()));
+        if let Instrument::Histogram(h) = &mut self.slots[i] {
             h.observe(v);
         }
     }
 
     /// Looks up one instrument.
     pub fn get(&self, name: &'static str, labels: Labels) -> Option<&Instrument> {
-        self.metrics.get(&(name, labels))
+        self.index.get(&(name, labels)).map(|&i| &self.slots[i])
     }
 
     /// The value of a counter, or `None` if absent / not a counter.
@@ -260,17 +293,19 @@ impl Registry {
 
     /// Number of registered `(name, labels)` slots.
     pub fn len(&self) -> usize {
-        self.metrics.len()
+        self.index.len()
     }
 
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.metrics.is_empty()
+        self.index.is_empty()
     }
 
     /// Iterates every instrument in deterministic (name, labels) order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, Labels, &Instrument)> + '_ {
-        self.metrics.iter().map(|(&(n, l), i)| (n, l, i))
+        self.index
+            .iter()
+            .map(|(&(n, l), &i)| (n, l, &self.slots[i]))
     }
 
     /// Folds every instrument of `other` into `self`: counters add,
@@ -280,21 +315,19 @@ impl Registry {
     /// that do not sum (queue depths) are recomputed by the caller after
     /// absorbing.
     pub fn absorb(&mut self, other: &Registry) {
-        for (&key, inst) in &other.metrics {
+        for (name, labels, inst) in other.iter() {
             match inst {
-                Instrument::Counter(v) => self.counter_add(key.0, key.1, *v),
+                Instrument::Counter(v) => self.counter_add(name, labels, *v),
                 Instrument::Gauge(v) => {
-                    let e = self.metrics.entry(key).or_insert(Instrument::Gauge(0));
-                    if let Instrument::Gauge(g) = e {
+                    let i = self.slot_of(name, labels, || Instrument::Gauge(0));
+                    if let Instrument::Gauge(g) = &mut self.slots[i] {
                         *g += v;
                     }
                 }
                 Instrument::Histogram(h) => {
-                    let e = self
-                        .metrics
-                        .entry(key)
-                        .or_insert_with(|| Instrument::Histogram(Histogram::default()));
-                    if let Instrument::Histogram(mine) = e {
+                    let i =
+                        self.slot_of(name, labels, || Instrument::Histogram(Histogram::default()));
+                    if let Instrument::Histogram(mine) = &mut self.slots[i] {
                         mine.merge(h);
                     }
                 }
@@ -302,9 +335,13 @@ impl Registry {
         }
     }
 
-    /// Removes one instrument slot; returns whether it existed.
+    /// Removes one instrument from the index; returns whether it existed.
+    ///
+    /// The backing slot is orphaned, not reindexed — outstanding
+    /// [`MetricHandle`]s to *other* slots stay valid, and a stale handle
+    /// to the removed slot mutates storage no exporter visits.
     pub fn remove(&mut self, name: &'static str, labels: Labels) -> bool {
-        self.metrics.remove(&(name, labels)).is_some()
+        self.index.remove(&(name, labels)).is_some()
     }
 }
 
@@ -329,6 +366,40 @@ mod tests {
         r.gauge_set("depth", Labels::NONE, 10);
         r.gauge_set("depth", Labels::NONE, 4);
         assert_eq!(r.gauge("depth", Labels::NONE), Some(4));
+    }
+
+    #[test]
+    fn handles_alias_the_named_counter() {
+        let mut r = Registry::new();
+        r.counter_add("packets.total", Labels::host(3), 2);
+        let h = r.counter_handle("packets.total", Labels::host(3));
+        r.counter_add_handle(h, 5);
+        r.counter_add("packets.total", Labels::host(3), 1);
+        assert_eq!(r.counter("packets.total", Labels::host(3)), Some(8));
+        // A handle for a fresh key registers it at zero.
+        let h2 = r.counter_handle("packets.ack", Labels::NONE);
+        assert_ne!(h, h2);
+        assert_eq!(r.counter("packets.ack", Labels::NONE), Some(0));
+    }
+
+    #[test]
+    fn stale_handles_are_harmless() {
+        let mut r = Registry::new();
+        let h = r.counter_handle("gone", Labels::NONE);
+        // Against an empty registry (the post-`take` state of a hub) the
+        // slot is out of range: bounds-checked no-op.
+        let mut fresh = Registry::new();
+        fresh.counter_add_handle(h, 7);
+        assert!(fresh.is_empty());
+        // After `remove`, the orphaned slot absorbs writes invisibly and
+        // other handles keep working.
+        let keep = r.counter_handle("keep", Labels::NONE);
+        assert!(r.remove("gone", Labels::NONE));
+        r.counter_add_handle(h, 9);
+        r.counter_add_handle(keep, 4);
+        assert_eq!(r.counter("gone", Labels::NONE), None);
+        assert_eq!(r.counter("keep", Labels::NONE), Some(4));
+        assert_eq!(r.len(), 1);
     }
 
     #[test]

@@ -4,8 +4,10 @@
 use std::collections::BTreeMap;
 
 use ibsim_event::{Engine, SimTime};
-use ibsim_fabric::{Capture, Delivery, Direction, Fabric, Lid, LinkSpec, Xorshift64Star};
-use ibsim_telemetry::{Labels, Telemetry};
+use ibsim_fabric::{
+    Capture, Delivery, DirectedLink, Direction, Fabric, Lid, LinkSpec, TopologyKind, Xorshift64Star,
+};
+use ibsim_telemetry::{Labels, MetricHandle, Telemetry};
 
 use crate::device::DeviceProfile;
 use crate::driver::{Driver, DriverStats, DriverWork};
@@ -130,6 +132,14 @@ pub struct Cluster {
     /// conservative-lookahead PDES run (see [`crate::sharded`]); `None`
     /// on an ordinary sequential cluster.
     shard: Option<Box<ShardState>>,
+    /// Per-host caches of the hot-path packet-counter handles used by
+    /// `transmit` (slot 0 is `packets.total`, 1..8 the per-kind
+    /// counters), so the per-packet cost is a slab write instead of a
+    /// `(name, labels)` tree walk. Populated lazily only while telemetry
+    /// is enabled — a disabled run registers nothing — and reset by
+    /// [`Cluster::telemetry_enable`] so re-enabling a taken hub can
+    /// never dereference handles from the old registry.
+    packet_handles: Vec<[Option<MetricHandle>; 8]>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -159,6 +169,7 @@ impl Cluster {
             fx_pool: Vec::new(),
             default_recovery: None,
             shard: None,
+            packet_handles: Vec::new(),
         }
     }
 
@@ -181,6 +192,7 @@ impl Cluster {
         self.mems.push(Memory::new());
         self.captures.push(Capture::new());
         self.lid_to_host.insert(lid, host);
+        self.packet_handles.push([None; 8]);
         host
     }
 
@@ -470,6 +482,12 @@ impl Cluster {
     /// golden FNV hashes to prove it).
     pub fn telemetry_enable(&mut self) {
         self.telemetry.enable();
+        // Drop any cached counter handles: if the hub was replaced since
+        // they were acquired (`std::mem::take` leaves a fresh disabled
+        // hub), old slot indices must not alias the new registry.
+        for slots in &mut self.packet_handles {
+            *slots = [None; 8];
+        }
     }
 
     /// The observability hub (read side: exporters, assertions).
@@ -563,6 +581,25 @@ impl Cluster {
                 t.gauge_set("qp.pendency_drops", ql, s.pendency_drops);
             }
         }
+        // Inter-switch link counters. Lazily registered by the fabric on
+        // first use, so a crossbar run (no inter-switch hops) emits no
+        // `fabric.link.*` slots and its JSONL export stays byte-identical
+        // to the pre-topology simulator. Labels reuse the `(host, qp)`
+        // slots as `(src switch, dst switch)` — see DESIGN §8.11. The
+        // sharded merge is sound because routing is deterministic and
+        // [`Cluster::validate_sharding`] pins every directed link to a
+        // single sending shard: each gauge is non-zero on exactly one
+        // replica, and gauge-ADD absorption reproduces the sequential
+        // values (including the non-additive `peak_backlog_ns`).
+        for (from, to, ls) in self.fabric.inter_links() {
+            let labels = Labels::host_qp(from.0 as u64, to.0 as u32);
+            t.gauge_set("fabric.link.frames", labels, ls.frames);
+            t.gauge_set("fabric.link.bytes", labels, ls.bytes);
+            t.gauge_set("fabric.link.busy_ns", labels, ls.busy_ns);
+            t.gauge_set("fabric.link.peak_backlog_ns", labels, ls.peak_backlog_ns);
+            t.gauge_set("fabric.link.ecn_marks", labels, ls.ecn_marks);
+            t.gauge_set("fabric.link.pauses", labels, ls.pauses);
+        }
         t.flush_dwell(now);
     }
 
@@ -643,9 +680,13 @@ impl Cluster {
 
     /// The conservative cross-shard packet lookahead: the minimum
     /// latency any packet between hosts on *different* shards can
-    /// experience (send overhead + unloaded zero-byte transit + receive
-    /// overhead, minimized over connected cross-shard QP pairs). `None`
-    /// when no QP crosses a shard boundary — or when unsharded.
+    /// experience (send overhead + unloaded zero-byte transit along the
+    /// topology's **route** — every store-and-forward hop of a fat-tree
+    /// or ring path counts — + receive overhead, minimized over
+    /// connected cross-shard QP pairs). Routed topologies therefore
+    /// widen the epoch for free: a deeper shard cut means a larger
+    /// provable lower bound. `None` when no QP crosses a shard boundary
+    /// — or when unsharded.
     pub fn cross_shard_lookahead(&self) -> Option<SimTime> {
         let sh = self.shard.as_ref()?;
         let mut best: Option<SimTime> = None;
@@ -688,39 +729,52 @@ impl Cluster {
         best
     }
 
-    /// Checks the ingress single-writer contract of a sharded run: the
+    /// Checks the fabric single-writer contract of a sharded run: the
     /// fabric's `transit` call (executed on the *sender's* replica)
-    /// mutates the destination port's ingress clock, so every host's
-    /// incoming traffic must originate from QPs on a single shard. No-op
-    /// when unsharded.
+    /// mutates the serialization horizon of **every directed link** on
+    /// the packet's route — the destination port's ingress clock and,
+    /// on a routed topology, each inter-switch link along the way. So
+    /// every directed link must be traversed by QPs from a single
+    /// shard. On the crossbar, where every route is `src → sw0 → dst`,
+    /// this degenerates to the historical per-host ingress rule; on a
+    /// fat-tree it additionally forbids two shards sharing an uplink.
+    /// No-op when unsharded.
     ///
     /// # Panics
     ///
-    /// Panics with a diagnostic naming the host and the two shards when
+    /// Panics with a diagnostic naming the link and the two shards when
     /// the contract is violated.
     pub fn validate_sharding(&self) {
         let Some(sh) = self.shard.as_ref() else {
             return;
         };
-        let mut writer: Vec<Option<usize>> = vec![None; self.nics.len()];
+        let mut writer: BTreeMap<DirectedLink, usize> = BTreeMap::new();
         for nic in &self.nics {
             let src_shard = sh.owner[nic.host.0];
             for &qpn in nic.qpns() {
                 let Some((peer_lid, _)) = nic.qp(qpn).and_then(|qp| qp.peer()) else {
                     continue;
                 };
-                let Some(&dst) = self.lid_to_host.get(&peer_lid) else {
+                if !self.lid_to_host.contains_key(&peer_lid) {
+                    continue;
+                }
+                let Some(route) = self.fabric.route(nic.lid, peer_lid) else {
                     continue;
                 };
-                match writer[dst.0] {
-                    None => writer[dst.0] = Some(src_shard),
-                    Some(w) => assert_eq!(
-                        w, src_shard,
-                        "sharding violates the ingress single-writer contract: \
-                         host {} receives packets from QPs on shard {} and shard \
-                         {}; every sender into one host must share a shard",
-                        dst.0, w, src_shard
-                    ),
+                for link in route {
+                    match writer.get(&link) {
+                        None => {
+                            writer.insert(link, src_shard);
+                        }
+                        Some(&w) => assert_eq!(
+                            w, src_shard,
+                            "sharding violates the fabric single-writer contract: \
+                             link {} -> {} carries packets sent from shard {} and \
+                             shard {}; every route over one directed link must \
+                             originate on a single shard",
+                            link.from, link.to, w, src_shard
+                        ),
+                    }
                 }
             }
         }
@@ -987,39 +1041,61 @@ impl Cluster {
         });
     }
 
-    fn transmit(&mut self, eng: &mut Sim, host: HostId, pkt: Packet) {
+    /// Adds one to the host-labelled counter `name`, going through the
+    /// cached [`MetricHandle`] in `packet_handles[host][slot]` (acquired
+    /// lazily on first use) instead of the registry's `(name, labels)`
+    /// tree walk — `transmit` runs once per packet, and the walk was the
+    /// dominant telemetry cost in the flood profile.
+    fn hot_counter_add(&mut self, host: HostId, slot: usize, name: &'static str) {
+        let cache = &mut self.packet_handles[host.0][slot];
+        let h = match *cache {
+            Some(h) => h,
+            None => {
+                let Some(h) = self
+                    .telemetry
+                    .counter_handle(name, Labels::host(host.0 as u64))
+                else {
+                    return;
+                };
+                *cache = Some(h);
+                h
+            }
+        };
+        self.telemetry.counter_add_handle(h, 1);
+    }
+
+    fn transmit(&mut self, eng: &mut Sim, host: HostId, mut pkt: Packet) {
         self.stats.total_packets += 1;
-        let kind_metric = match (&pkt.kind, pkt.retransmit) {
+        let (kind_metric, kind_slot) = match (&pkt.kind, pkt.retransmit) {
             (PacketKind::Ack, _) => {
                 self.stats.ack_packets += 1;
-                "packets.ack"
+                ("packets.ack", 1)
             }
             (PacketKind::Nak(crate::packet::NakKind::Rnr { .. }), _) => {
                 self.stats.rnr_nak_packets += 1;
-                "packets.rnr_nak"
+                ("packets.rnr_nak", 2)
             }
             (PacketKind::Nak(crate::packet::NakKind::SequenceError { .. }), _) => {
                 self.stats.seq_nak_packets += 1;
-                "packets.seq_nak"
+                ("packets.seq_nak", 3)
             }
-            (PacketKind::Nak(_), _) => "packets.nak_other",
+            (PacketKind::Nak(_), _) => ("packets.nak_other", 4),
             (PacketKind::ReadResponse { .. }, _) => {
                 self.stats.response_packets += 1;
-                "packets.response"
+                ("packets.response", 5)
             }
             (_, true) => {
                 self.stats.retransmit_packets += 1;
-                "packets.retransmit"
+                ("packets.retransmit", 6)
             }
             (_, false) => {
                 self.stats.request_packets += 1;
-                "packets.request"
+                ("packets.request", 7)
             }
         };
         if self.telemetry.is_enabled() {
-            let labels = Labels::host(host.0 as u64);
-            self.telemetry.counter_add("packets.total", labels, 1);
-            self.telemetry.counter_add(kind_metric, labels, 1);
+            self.hot_counter_add(host, 0, "packets.total");
+            self.hot_counter_add(host, kind_slot, kind_metric);
         }
         let bytes = pkt.wire_bytes();
         let src_lid = pkt.src;
@@ -1060,7 +1136,16 @@ impl Cluster {
             dropped,
             || pkt.clone(),
         );
-        if let Delivery::Deliver { at } = delivery {
+        if let Delivery::Deliver { at, ecn } = delivery {
+            // The fabric marked the packet in flight (a congested
+            // inter-switch hop crossed the ECN threshold). The Tx
+            // capture above deliberately recorded the pre-mark packet —
+            // the sender's `ibdump` sees what left the NIC — so only the
+            // receiver observes the mark, and a crossbar run (which has
+            // no inter-switch links) renders byte-identical timelines.
+            if ecn {
+                pkt.ecn = true;
+            }
             let Some(&dst_host) = self.lid_to_host.get(&dst_lid) else {
                 return;
             };
@@ -1250,6 +1335,7 @@ pub struct ClusterBuilder {
     capture: bool,
     telemetry: bool,
     recovery: Option<RecoveryKind>,
+    topology: Option<TopologyKind>,
 }
 
 impl ClusterBuilder {
@@ -1292,11 +1378,27 @@ impl ClusterBuilder {
         self
     }
 
+    /// Routes the fabric over this topology instead of the default
+    /// single-switch crossbar. Hosts attach to switches round-robin in
+    /// add order (the topology's `attach` rule), so host placement in
+    /// the builder determines which flows share uplinks.
+    ///
+    /// # Panics
+    ///
+    /// `build` panics if the kind fails [`TopologyKind::validate`].
+    pub fn topology(mut self, kind: TopologyKind) -> Self {
+        self.topology = Some(kind);
+        self
+    }
+
     /// Builds the engine and cluster; returns them with the host ids in
     /// the order the hosts were added.
     pub fn build(self) -> (Sim, Cluster, Vec<HostId>) {
         let eng = Engine::new();
         let mut cl = Cluster::new(self.seed);
+        if let Some(kind) = self.topology {
+            cl.fabric.set_topology(kind);
+        }
         if self.telemetry {
             cl.telemetry_enable();
         }

@@ -240,6 +240,10 @@ pub struct Packet {
     pub ghost: bool,
     /// True if this transmission is a retransmission.
     pub retransmit: bool,
+    /// Congestion-experienced mark set by a congested fabric hop (the
+    /// IB FECN / RoCE ECN-CE analogue). Always false on transmit; the
+    /// fabric sets it in flight, so only receive-side captures show it.
+    pub ecn: bool,
 }
 
 impl Packet {
@@ -298,6 +302,9 @@ impl fmt::Display for Packet {
         if self.ghost {
             write!(f, " [GHOST]")?;
         }
+        if self.ecn {
+            write!(f, " [ECN]")?;
+        }
         Ok(())
     }
 }
@@ -316,6 +323,7 @@ mod tests {
             kind,
             ghost: false,
             retransmit: false,
+            ecn: false,
         }
     }
 
@@ -378,6 +386,10 @@ mod tests {
         assert!(s.contains("[RETX]"));
         assert!(s.contains("[GHOST]"));
         assert!(s.contains("ACK"));
+        // ECN renders only when set, so crossbar captures are unchanged.
+        assert!(!s.contains("[ECN]"));
+        p.ecn = true;
+        assert!(p.to_string().contains("[ECN]"));
     }
 
     #[test]

@@ -133,6 +133,9 @@ pub struct QpStats {
     /// Currently covers illegal QP state transitions per
     /// [`QpState::transition_allowed`].
     pub invariant_violations: u64,
+    /// ACKs received carrying an ECN echo (requester side). Nonzero only
+    /// on routed topologies with congestion marking enabled.
+    pub ecn_echoes: u64,
 }
 
 /// Everything a QP handler may touch on its host.
@@ -271,6 +274,7 @@ impl Qp {
             pendency_drops: self.resp.stats.pendency_drops,
             pages_pinned: self.req.stats.pages_pinned + self.resp.stats.pages_pinned,
             invariant_violations: self.life.violations(),
+            ecn_echoes: self.req.stats.ecn_echoes,
         }
     }
 
@@ -308,7 +312,12 @@ impl Qp {
                 self.req
                     .on_atomic_response(&self.ctx, &self.life, &self.fault, env, fx, pkt)
             }
-            PacketKind::Ack => self.req.on_ack(&self.ctx, &self.life, env, fx, pkt.psn),
+            PacketKind::Ack => {
+                if pkt.ecn {
+                    self.req.on_ecn_echo(env.now);
+                }
+                self.req.on_ack(&self.ctx, &self.life, env, fx, pkt.psn)
+            }
             PacketKind::Nak(kind) => {
                 self.req
                     .on_nak(&self.ctx, &mut self.life, env, fx, pkt.psn, *kind)

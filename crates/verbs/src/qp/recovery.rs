@@ -379,6 +379,13 @@ pub trait RecoveryPolicy: fmt::Debug + Send {
     /// `stalled` lists their first PSNs in stall order. Returned
     /// messages are resumed (retransmitted) and their stalls cleared.
     fn on_fault_resolved(&mut self, ctx: &RetransmitCtx<'_>, stalled: &[Psn]) -> RecoveryPlan;
+
+    /// An ACK arrived carrying an ECN echo: some hop of the forward path
+    /// was congested when this message's packets crossed it. Backends
+    /// may use it to moderate retransmission aggressiveness; the default
+    /// ignores it, so congestion marking never perturbs timing for
+    /// backends that don't opt in.
+    fn on_ecn_echo(&mut self, _now: SimTime) {}
 }
 
 /// Constructs the backend for `kind`.

@@ -50,6 +50,8 @@ pub(super) struct ReqStats {
     pub(super) faults_raised: u64,
     /// Pages pinned on first touch (`OnDemandPin` backend only).
     pub(super) pages_pinned: u64,
+    /// ACKs received carrying an ECN echo (congested forward path).
+    pub(super) ecn_echoes: u64,
 }
 
 /// The requester half of an RC queue pair.
@@ -117,6 +119,14 @@ impl Requester {
     /// See [`Recovery::active`].
     pub(super) fn in_recovery(&self) -> bool {
         self.recovery.active()
+    }
+
+    /// An ACK arrived with its ECN-echo bit set: count it and let the
+    /// recovery backend react (the default backend reaction is a no-op,
+    /// so unmarked runs are timing-identical).
+    pub(super) fn on_ecn_echo(&mut self, now: SimTime) {
+        self.stats.ecn_echoes += 1;
+        self.policy.on_ecn_echo(now);
     }
 
     fn next_gen(&mut self) -> u64 {

@@ -66,6 +66,10 @@ pub(super) struct Responder {
     /// ePSN jumps over every contiguous recorded span (see `drain_ooo`).
     /// Always empty under go-back-N and on-demand pinning.
     ooo_done: BTreeMap<u32, u32>,
+    /// A request arrived ECN-marked; the next ACK echoes the mark back
+    /// to the requester (the BECN half of FECN/BECN). Never set on a
+    /// crossbar fabric, which has no marking hops.
+    ecn_pending: bool,
     /// Protocol counters.
     pub(super) stats: RespStats,
 }
@@ -81,6 +85,7 @@ impl Responder {
             rq_written: 0,
             atomic_replay: VecDeque::new(),
             ooo_done: BTreeMap::new(),
+            ecn_pending: false,
             stats: RespStats::default(),
         }
     }
@@ -106,6 +111,9 @@ impl Responder {
         fx: &mut Effects,
         pkt: &Packet,
     ) {
+        if pkt.ecn {
+            self.ecn_pending = true;
+        }
         // Fault pendency: drop everything; re-RNR-NAK the faulted PSN
         // itself so an early retransmission keeps the requester waiting.
         if let Some(pend) = &self.resp_pend {
@@ -152,6 +160,7 @@ impl Responder {
                     psn: pkt.psn,
                     kind: PacketKind::Nak(NakKind::SequenceError { epsn: self.epsn }),
                     ghost: false,
+                    ecn: false,
                     retransmit: false,
                 });
             }
@@ -223,6 +232,7 @@ impl Responder {
                             offset: lo as u32,
                         },
                         ghost: false,
+                        ecn: false,
                         retransmit: false,
                     });
                 }
@@ -289,6 +299,7 @@ impl Responder {
                 delay: ctx.cfg.min_rnr_delay,
             }),
             ghost: false,
+            ecn: false,
             retransmit: false,
         });
     }
@@ -333,6 +344,9 @@ impl Responder {
             psn,
             kind: PacketKind::Ack,
             ghost: false,
+            // Echo a pending forward-path congestion mark back to the
+            // requester; consumed so each mark is echoed once.
+            ecn: std::mem::take(&mut self.ecn_pending),
             retransmit: false,
         });
     }
@@ -433,6 +447,7 @@ impl Responder {
                     offset: lo as u32,
                 },
                 ghost: false,
+                ecn: false,
                 retransmit: false,
             });
         }
@@ -608,6 +623,7 @@ impl Responder {
                 req_psn: pkt.psn,
             },
             ghost: false,
+            ecn: false,
             retransmit: false,
         });
     }
@@ -622,6 +638,7 @@ impl Responder {
             psn,
             kind: PacketKind::Nak(NakKind::RemoteAccess),
             ghost: false,
+            ecn: false,
             retransmit: false,
         });
     }
@@ -694,6 +711,7 @@ impl Responder {
                     offset: lo as u32,
                 },
                 ghost: false,
+                ecn: false,
                 retransmit: true,
             });
         }
@@ -721,6 +739,7 @@ impl Responder {
                     req_psn: pkt.psn,
                 },
                 ghost: false,
+                ecn: false,
                 retransmit: true,
             });
         }

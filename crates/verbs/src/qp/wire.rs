@@ -118,6 +118,7 @@ pub(super) fn build_request_packet(
         psn: wqe.psn_first.add(seg),
         kind,
         ghost: wqe.ghosted,
+        ecn: false,
         retransmit,
     }
 }

@@ -191,6 +191,7 @@ fn nak_seq_error_triggers_go_back_n() {
         psn: Psn::new(2),
         kind: PacketKind::Nak(NakKind::SequenceError { epsn: Psn::new(1) }),
         ghost: false,
+        ecn: false,
         retransmit: false,
     };
     let mut out2 = Effects::new();
@@ -218,6 +219,7 @@ fn responder_rnr_naks_send_without_recv_and_recovers() {
             data: b"hello".to_vec(),
         },
         ghost: false,
+        ecn: false,
         retransmit: false,
     };
     let mut out = Effects::new();
@@ -260,6 +262,7 @@ fn odp_responder_faults_and_enters_pendency() {
             resp_packets: 1,
         },
         ghost: false,
+        ecn: false,
         retransmit: false,
     };
     let mut out = Effects::new();
@@ -329,6 +332,7 @@ fn damming_device_ghosts_posts_inside_rnr_wait() {
             delay: SimTime::from_ms_f64(1.28),
         }),
         ghost: false,
+        ecn: false,
         retransmit: false,
     };
     let mut out2 = Effects::new();
@@ -369,6 +373,7 @@ fn healthy_device_does_not_ghost() {
             delay: SimTime::from_ms_f64(1.28),
         }),
         ghost: false,
+        ecn: false,
         retransmit: false,
     };
     let mut out2 = Effects::new();
@@ -404,6 +409,7 @@ fn rnr_fire_retransmits_only_faulted_message_on_damming_device() {
             delay: SimTime::from_ms_f64(1.28),
         }),
         ghost: false,
+        ecn: false,
         retransmit: false,
     };
     let mut out2 = Effects::new();
